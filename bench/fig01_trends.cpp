@@ -1,0 +1,63 @@
+// Figure 1: technology trends for DRAM latency, network latency and
+// network bandwidth, normalized to CPU cycles (adapted by the paper from
+// Ramesh's thesis). This bench reprints the trend data and derives the
+// simulator's default cost model from the latest (2011) column, so the
+// connection between the paper's motivation and our NetConfig defaults is
+// auditable.
+#include "bench/report.hpp"
+#include "net/netconfig.hpp"
+
+int main() {
+  using benchutil::Table;
+  benchutil::header("Figure 1", "technology trends normalized to CPU cycles");
+
+  struct Row {
+    int year;
+    int cpu_mhz;
+    int dram_lat_cycles;
+    int net_bw_cycles_per_kb;  // inverse bandwidth
+    int net_lat_cycles;
+  };
+  // The paper's data points (Fig. 1).
+  const Row rows[] = {
+      {1992, 200, 16, 1092, 40000},  {1994, 500, 35, 2731, 50000},
+      {1997, 1000, 70, 3901, 30000}, {2000, 2400, 168, 2313, 24000},
+      {2005, 3200, 224, 1311, 4160}, {2007, 3200, 192, 655, 4160},
+      {2009, 3300, 165, 211, 3300},  {2011, 3400, 170, 111, 1700},
+  };
+
+  Table t({"year", "CPU (MHz)", "DRAM lat (cycles)", "net BW (cycles/KB)",
+           "net lat (cycles)", "net/DRAM lat ratio"});
+  for (const Row& r : rows)
+    t.row({Table::fmt("%d", r.year), Table::fmt("%d", r.cpu_mhz),
+           Table::fmt("%d", r.dram_lat_cycles),
+           Table::fmt("%d", r.net_bw_cycles_per_kb),
+           Table::fmt("%d", r.net_lat_cycles),
+           Table::fmt("%.0fx", static_cast<double>(r.net_lat_cycles) /
+                                   r.dram_lat_cycles)});
+  t.print();
+
+  benchutil::note("");
+  benchutil::note("Trend: network latency fell from ~2500x DRAM latency (1992)");
+  benchutil::note("to ~10x (2011), while bandwidth kept improving — the paper's");
+  benchutil::note("motivation to trade bandwidth for latency and to eliminate");
+  benchutil::note("software message handlers.");
+
+  const Row& latest = rows[sizeof(rows) / sizeof(rows[0]) - 1];
+  argonet::NetConfig def;
+  benchutil::header("derived", "simulator cost-model defaults (NetConfig)");
+  Table d({"parameter", "derivation", "default"});
+  d.row({"rdma_latency", Table::fmt("%d cycles @ %d MHz", latest.net_lat_cycles,
+                                    latest.cpu_mhz),
+         Table::fmt("%llu ns", static_cast<unsigned long long>(def.rdma_latency))});
+  d.row({"net_bytes_per_ns",
+         "paper Fig. 7: measured MPI-RMA plateau ~2.5 GB/s",
+         Table::fmt("%.1f B/ns", def.net_bytes_per_ns)});
+  d.row({"mem_latency", Table::fmt("%d cycles @ %d MHz", latest.dram_lat_cycles,
+                                   latest.cpu_mhz),
+         Table::fmt("%llu ns", static_cast<unsigned long long>(def.mem_latency))});
+  d.row({"handler_dispatch", "software message handler (active protocols only)",
+         Table::fmt("%llu ns", static_cast<unsigned long long>(def.handler_dispatch))});
+  d.print();
+  return 0;
+}

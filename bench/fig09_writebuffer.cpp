@@ -1,0 +1,31 @@
+// Figure 9: execution time as a function of the write-buffer size.
+//
+// Expected shape (paper): below a benchmark-specific critical size the
+// runtime explodes (every store forces an eager drain: writebacks
+// skyrocket, Fig. 10); above it the curve is flat, with only slight
+// degradation at very large buffers (SD fences must drain more at once).
+#include "bench/apps_common.hpp"
+
+int main() {
+  using namespace benchutil;
+  header("Figure 9", "runtime vs write-buffer size (pages), 4 nodes x 15 threads, P/S3");
+
+  const std::size_t sizes[] = {4, 8, 16, 32, 128, 512, 2048, 8192};
+  std::vector<std::string> headers{"benchmark"};
+  for (std::size_t s : sizes) headers.push_back(Table::fmt("%zu", s));
+  Table t(headers);
+  for (const AppSpec& app : six_apps(/*write_sweep=*/true)) {
+    std::vector<std::string> row{app.name};
+    for (std::size_t wb : sizes) {
+      argo::Cluster cl(
+          paper_cfg(4, kPaperTpn, app.mem_bytes, argo::Mode::PS3, wb));
+      row.push_back(Table::fmt("%.2f", argosim::to_ms(app.run(cl))));
+    }
+    t.row(std::move(row));
+  }
+  t.print();
+  note("");
+  note("Execution time in virtual ms. Paper Fig. 9: a minimum buffer size is");
+  note("required to run well; growing it further neither helps nor hurts much.");
+  return 0;
+}

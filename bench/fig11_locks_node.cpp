@@ -1,0 +1,65 @@
+// Figure 11: scaling of lock-synchronized code on a single machine —
+// concurrent priority queue (pairing heap), 48 thread-local work units per
+// operation, insert/extract_min with equal probability.
+//
+// Expected shape (paper): QD locking rises with the thread count and
+// stays high (~4.5 ops/us at 8+ threads); the Cohort lock sits in between;
+// the Pthreads mutex peaks at 1-2 threads and degrades under contention
+// (futex wakeups + data migration every handoff).
+#include <memory>
+
+#include "apps/pqueue.hpp"
+#include "bench/report.hpp"
+#include "sync/local_locks.hpp"
+#include "sync/qd_lock.hpp"
+
+int main() {
+  using namespace benchutil;
+  using argoapps::PqParams;
+  using argoapps::pq_bench_local;
+
+  header("Figure 11",
+         "single-node priority-queue throughput (ops/us) vs threads");
+
+  argonet::NodeTopology topo;  // 16 cores, 4 NUMA groups (Opteron 6220 box)
+  PqParams p;
+  p.duration = 1'000'000;  // 1 virtual ms measured window
+
+  const int threads[] = {1, 2, 4, 6, 8, 10, 12, 14, 16};
+  std::vector<std::string> head{"lock"};
+  for (int t : threads) head.push_back(Table::fmt("%d", t));
+  Table table(head);
+
+  struct LockKind {
+    const char* name;
+    std::function<std::unique_ptr<argosync::CriticalSectionExecutor>()> make;
+  };
+  const LockKind kinds[] = {
+      {"QD locking",
+       [&] { return std::make_unique<argosync::QdLock>(&topo); }},
+      {"Cohort locking",
+       [&] { return std::make_unique<argosync::CohortLock>(&topo); }},
+      {"Pthreads mutex",
+       [&] { return std::make_unique<argosync::MutexLock>(&topo); }},
+      {"MCS (extra)",
+       [&] { return std::make_unique<argosync::McsLock>(&topo); }},
+  };
+  for (const LockKind& k : kinds) {
+    std::vector<std::string> row{k.name};
+    std::fprintf(stderr, "  running %s", k.name);
+    for (int t : threads) {
+      auto lock = k.make();
+      const auto r = pq_bench_local(*lock, topo, t, p);
+      row.push_back(Table::fmt("%.2f", r.ops_per_us()));
+      std::fprintf(stderr, " .");
+      std::fflush(stderr);
+    }
+    std::fprintf(stderr, "\n");
+    table.row(std::move(row));
+  }
+  table.print();
+  note("");
+  note("Paper Fig. 11: QD > Cohort > Pthreads mutex; QD keeps the heap hot");
+  note("on the helper's core, the mutex migrates it on every handoff.");
+  return 0;
+}

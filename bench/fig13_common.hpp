@@ -1,0 +1,84 @@
+// Shared machinery for the Figure 13 scaling benches: speedup series over
+// node counts, normalized (as in the paper) to a single-threaded run.
+//
+// Scale note: the paper runs up to 128 nodes / 2048 cores; the directory
+// word encoding caps this reproduction at 32 nodes / 480 threads, and
+// workloads are scaled to simulator size (see EXPERIMENTS.md).
+#pragma once
+
+#include <functional>
+
+#include "bench/report.hpp"
+
+namespace benchutil {
+
+inline const std::vector<int> kNodeCounts{1, 2, 4, 8, 16, 32};
+inline const std::vector<int> kPthreadCounts{1, 2, 4, 8, 15};
+
+/// Print a speedup table: one row per series, one column per node count
+/// (plus single-node thread counts for the Pthreads/OpenMP series).
+struct SpeedupReport {
+  explicit SpeedupReport(double t_seq_ms) : t_seq_ms_(t_seq_ms) {}
+
+  void series(const std::string& name, const std::vector<int>& xs,
+              const std::vector<double>& times_ms, const char* x_unit) {
+    rows_.push_back({name, xs, times_ms, x_unit});
+  }
+
+  void print() const {
+    Table t({"series", "x", "time (ms)", "speedup"});
+    for (const auto& r : rows_)
+      for (std::size_t i = 0; i < r.xs.size(); ++i)
+        t.row({i == 0 ? r.name : "",
+               Table::fmt("%d %s", r.xs[i], r.unit),
+               Table::fmt("%.3f", r.times[i]),
+               Table::fmt("%.1fx", t_seq_ms_ / r.times[i])});
+    t.print();
+    note("");
+    note(Table::fmt("sequential baseline: %.3f ms (1 node, 1 thread)",
+                    t_seq_ms_)
+             .c_str());
+  }
+
+ private:
+  struct Row {
+    std::string name;
+    std::vector<int> xs;
+    std::vector<double> times;
+    const char* unit;
+  };
+  double t_seq_ms_;
+  std::vector<Row> rows_;
+};
+
+/// Run an argo-backend app over the standard node counts (15 threads per
+/// node) and single-node thread counts ("Pthreads"/"OpenMP" series).
+struct ArgoScaling {
+  std::vector<double> argo_ms;      // per kNodeCounts
+  std::vector<double> pthread_ms;   // per kPthreadCounts
+  double seq_ms = 0;
+};
+
+inline ArgoScaling run_argo_scaling(
+    const std::function<argosim::Time(argo::Cluster&)>& run,
+    std::size_t mem_bytes) {
+  // Like the paper's runs, the global memory is sized to the (fixed)
+  // workload whatever the node count: every node serves an equal share, so
+  // the blocked home distribution spreads the data over all nodes.
+  ArgoScaling out;
+  {
+    argo::Cluster cl(paper_cfg(1, 1, mem_bytes));
+    out.seq_ms = argosim::to_ms(run(cl));
+  }
+  for (int tc : kPthreadCounts) {
+    argo::Cluster cl(paper_cfg(1, tc, mem_bytes));
+    out.pthread_ms.push_back(argosim::to_ms(run(cl)));
+  }
+  for (int nc : kNodeCounts) {
+    argo::Cluster cl(paper_cfg(nc, kPaperTpn, mem_bytes));
+    out.argo_ms.push_back(argosim::to_ms(run(cl)));
+  }
+  return out;
+}
+
+}  // namespace benchutil

@@ -1,0 +1,34 @@
+// Figure 13e: NAS EP — Argo vs OpenMP (single machine) vs UPC.
+// (The paper runs class D to 128 nodes; scaled to 2^22 pairs, 32 nodes.)
+//
+// Expected shape (paper): embarrassingly parallel — everything scales;
+// Argo matches the PGAS implementation without PGAS programming effort.
+#include "apps/ep.hpp"
+#include "bench/fig13_common.hpp"
+
+int main() {
+  using namespace benchutil;
+  header("Figure 13e", "NAS EP speedup (2^22 pairs, scaled class)");
+
+  argoapps::EpParams p;
+  p.log2_pairs = 22;
+  p.chunks = 4096;
+
+  const auto s = run_argo_scaling(
+      [&](argo::Cluster& cl) { return argoapps::ep_run_argo(cl, p).elapsed; },
+      4u << 20);
+
+  std::vector<double> upc_ms;
+  for (int nc : kNodeCounts) {
+    argo::Cluster cl(paper_cfg(nc, kPaperTpn, 4u << 20));
+    upc_ms.push_back(argosim::to_ms(argoapps::ep_run_upc(cl, p).elapsed));
+  }
+
+  SpeedupReport rep(s.seq_ms);
+  rep.series("OpenMP (1 node)", kPthreadCounts, s.pthread_ms, "thr");
+  rep.series("Argo (15 thr/node)", kNodeCounts, s.argo_ms, "nodes");
+  rep.series("UPC (15 thr/node)", kNodeCounts, upc_ms, "nodes");
+  rep.print();
+  note("Paper Fig. 13e: Argo and UPC scale together up to the largest runs.");
+  return 0;
+}

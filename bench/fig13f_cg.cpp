@@ -1,0 +1,37 @@
+// Figure 13f: NAS CG — Argo vs OpenMP (single machine) vs UPC.
+// (The paper runs class C to 32 nodes; scaled to n=16384, 12 iterations.)
+//
+// Expected shape (paper): the UPC implementation starts ahead (optimized,
+// no caching overhead) but stops scaling around 8 nodes — its fine-grained
+// remote reductions serialize — while Argo, whose nodes *cache* the shared
+// direction vector and the reduction partials, continues to 32.
+#include "apps/cg.hpp"
+#include "bench/fig13_common.hpp"
+
+int main() {
+  using namespace benchutil;
+  header("Figure 13f", "NAS CG speedup (n=65536, 12 iterations)");
+
+  argoapps::CgParams p;
+  p.n = 65536;
+  p.iterations = 12;
+
+  const auto s = run_argo_scaling(
+      [&](argo::Cluster& cl) { return argoapps::cg_run_argo(cl, p).elapsed; },
+      8u << 20);
+
+  std::vector<double> upc_ms;
+  for (int nc : kNodeCounts) {
+    argo::Cluster cl(paper_cfg(nc, kPaperTpn, 4u << 20));
+    upc_ms.push_back(argosim::to_ms(argoapps::cg_run_upc(cl, p).elapsed));
+  }
+
+  SpeedupReport rep(s.seq_ms);
+  rep.series("OpenMP (1 node)", kPthreadCounts, s.pthread_ms, "thr");
+  rep.series("Argo (15 thr/node)", kNodeCounts, s.argo_ms, "nodes");
+  rep.series("UPC (15 thr/node)", kNodeCounts, upc_ms, "nodes");
+  rep.print();
+  note("Paper Fig. 13f: UPC leads at small scale but stops at ~8 nodes;");
+  note("Argo continues to 32 without changing the algorithm.");
+  return 0;
+}

@@ -1,0 +1,87 @@
+// Shared helpers for the benchmark binaries: paper-style cluster
+// configurations and aligned table output. Every bench regenerates one
+// table or figure from the paper (see DESIGN.md §3); EXPERIMENTS.md records
+// the measured numbers against the paper's.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/cluster.hpp"
+
+namespace benchutil {
+
+using argo::ClusterConfig;
+using argo::Mode;
+using argomem::kPageSize;
+using argosim::Time;
+
+/// The paper's node: 16 cores (4 NUMA groups), 15 worker threads per node
+/// (one core left for the OS / MPI progress, §5).
+inline constexpr int kPaperTpn = 15;
+
+/// A cluster configured like the paper's runs: blocked distribution,
+/// global memory sized to the workload, page cache large enough to hold it
+/// (the paper sizes both to the workload), prefetching enabled.
+inline ClusterConfig paper_cfg(int nodes, int tpn, std::size_t mem_bytes,
+                               Mode mode = Mode::PS3,
+                               std::size_t write_buffer = 8192) {
+  ClusterConfig c;
+  c.nodes = nodes;
+  c.threads_per_node = tpn;
+  c.global_mem_bytes = mem_bytes;
+  c.cache.classification = mode;
+  c.cache.cache_lines = 16384;
+  c.cache.pages_per_line = 4;
+  c.cache.write_buffer_pages = write_buffer;
+  return c;
+}
+
+/// Aligned table printer.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  void row(std::vector<std::string> cells) { rows_.push_back(std::move(cells)); }
+
+  template <typename... Args>
+  static std::string fmt(const char* f, Args... args) {
+    char buf[128];
+    std::snprintf(buf, sizeof(buf), f, args...);
+    return buf;
+  }
+
+  void print() const {
+    std::vector<std::size_t> w(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c) w[c] = headers_[c].size();
+    for (const auto& r : rows_)
+      for (std::size_t c = 0; c < r.size() && c < w.size(); ++c)
+        w[c] = std::max(w[c], r[c].size());
+    auto line = [&](const std::vector<std::string>& cells) {
+      std::printf("  ");
+      for (std::size_t c = 0; c < cells.size(); ++c)
+        std::printf("%-*s  ", static_cast<int>(w[c]), cells[c].c_str());
+      std::printf("\n");
+    };
+    line(headers_);
+    std::string dashes;
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+      dashes += std::string(w[c], '-') + "  ";
+    std::printf("  %s\n", dashes.c_str());
+    for (const auto& r : rows_) line(r);
+  }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+inline void header(const char* id, const char* title) {
+  std::printf("\n=== %s: %s ===\n\n", id, title);
+}
+
+inline void note(const char* text) { std::printf("  %s\n", text); }
+
+}  // namespace benchutil

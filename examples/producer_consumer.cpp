@@ -1,0 +1,86 @@
+// Producer/consumer pipeline over the DSM — demonstrates the S,SW
+// ("single writer") classification sweet spot from §3.5: the producer
+// keeps its pages cached across synchronizations (it is the single
+// writer), while consumers self-invalidate and read fresh data straight
+// from the home node, with no invalidation messages and no directory
+// indirection anywhere.
+#include <cstdio>
+
+#include "core/cluster.hpp"
+#include "sync/dsm_locks.hpp"
+
+int main() {
+  argo::ClusterConfig cfg;
+  cfg.nodes = 4;
+  cfg.threads_per_node = 2;
+  cfg.global_mem_bytes = 4u << 20;
+  argo::Cluster cluster(cfg);
+
+  constexpr std::size_t kItems = 4096;  // doubles per round
+  constexpr int kRounds = 8;
+  auto ring = cluster.alloc<double>(kItems);
+  auto sums = cluster.alloc<double>(static_cast<std::size_t>(kRounds) *
+                                    static_cast<std::size_t>(cluster.nthreads()));
+  argosync::DsmFlag round_flag(cluster);
+  // Backpressure: consumers acknowledge each round; the producer must not
+  // overwrite the buffer before every consumer has read it.
+  auto acks = cluster.gmem().alloc_on_node<std::uint64_t>(0, 1);
+  *cluster.gmem().home_ptr(acks) = 0;
+
+  const argosim::Time elapsed = cluster.run([&](argo::Thread& self) {
+    if (self.gid() == 0) {
+      // Producer: fill the buffer, then signal the round number. set()
+      // self-downgrades first, so consumers always see complete data.
+      std::vector<double> batch(kItems);
+      const auto consumers = static_cast<std::uint64_t>(self.nthreads() - 1);
+      for (int r = 1; r <= kRounds; ++r) {
+        for (std::size_t i = 0; i < kItems; ++i)
+          batch[i] = r * 1000.0 + static_cast<double>(i);
+        self.store_bulk(ring, batch.data(), kItems);
+        round_flag.set(self, static_cast<std::uint64_t>(r));
+        self.compute(50'000);  // produce the next batch meanwhile
+        // Wait for every consumer's acknowledgement of this round.
+        while (self.atomic_load(acks) <
+               static_cast<std::uint64_t>(r) * consumers)
+          self.compute(1'000);
+      }
+    } else {
+      // Consumers: wait for each round, verify the batch.
+      std::vector<double> batch(kItems);
+      for (int r = 1; r <= kRounds; ++r) {
+        round_flag.wait(self, static_cast<std::uint64_t>(r));
+        self.load_bulk(ring, batch.data(), kItems);
+        double sum = 0;
+        for (double v : batch) sum += v;
+        self.store(sums + ((r - 1) * self.nthreads() + self.gid()), sum);
+        self.release();  // publish our sums row before acknowledging
+        self.atomic_fetch_add(acks, 1);
+      }
+    }
+    self.barrier();
+  });
+
+  // Verify on the host: every consumer saw every complete round.
+  int ok = 0, total = 0;
+  for (int r = 1; r <= kRounds; ++r) {
+    const double expect =
+        kItems * (r * 1000.0) + (kItems - 1) * kItems / 2.0;
+    for (int g = 1; g < cluster.nthreads(); ++g) {
+      ++total;
+      const double got =
+          cluster.host_ptr(sums)[(r - 1) * cluster.nthreads() + g];
+      if (got == expect) ++ok;
+    }
+  }
+  const auto st = cluster.coherence_stats();
+  std::printf("rounds verified : %d/%d consumer observations correct\n", ok,
+              total);
+  std::printf("virtual time    : %.3f ms\n", argosim::to_ms(elapsed));
+  std::printf("producer node SI invalidations: %llu (single-writer pages survive)\n",
+              static_cast<unsigned long long>(
+                  cluster.node_cache(0).stats().si_invalidations));
+  std::printf("total writebacks: %llu, diffs: %llu\n",
+              static_cast<unsigned long long>(st.writebacks),
+              static_cast<unsigned long long>(st.diffs_built));
+  return ok == total ? 0 : 1;
+}

@@ -1,0 +1,84 @@
+// 2-D Jacobi heat diffusion over the DSM — the canonical halo-exchange
+// pattern expressed as plain shared-memory code. Each thread owns a band
+// of rows; reading the neighbour rows ("halo") is just a load — Carina's
+// coherence turns it into one page fetch per neighbour per iteration,
+// while each band's interior pages are Private and never re-fetched.
+#include <cmath>
+#include <cstdio>
+
+#include "core/cluster.hpp"
+#include <cstring>
+#include <array>
+
+int main() {
+  argo::ClusterConfig cfg;
+  cfg.nodes = 4;
+  cfg.threads_per_node = 4;
+  cfg.global_mem_bytes = 16u << 20;
+  argo::Cluster cluster(cfg);
+
+  constexpr std::size_t kN = 512;  // grid kN x kN
+  constexpr int kIters = 10;
+  auto grid =
+      std::array{cluster.alloc<double>(kN * kN), cluster.alloc<double>(kN * kN)};
+  auto residual = cluster.alloc<double>(static_cast<std::size_t>(cluster.nthreads()));
+
+  // Host init: hot left edge, cold elsewhere.
+  for (std::size_t i = 0; i < kN; ++i)
+    for (std::size_t j = 0; j < kN; ++j)
+      cluster.host_ptr(grid[0])[i * kN + j] = (j == 0) ? 100.0 : 0.0;
+  std::memcpy(cluster.host_ptr(grid[1]), cluster.host_ptr(grid[0]),
+              kN * kN * sizeof(double));
+  cluster.reset_classification();
+
+  const argosim::Time elapsed = cluster.run([&](argo::Thread& self) {
+    const std::size_t T = static_cast<std::size_t>(self.nthreads());
+    const std::size_t g = static_cast<std::size_t>(self.gid());
+    const std::size_t lo = std::max<std::size_t>(1, kN * g / T);
+    const std::size_t hi = std::min(kN - 1, kN * (g + 1) / T);
+    std::vector<double> up(kN), mid(kN), down(kN), out(kN);
+    double diff = 0;
+    for (int it = 0; it < kIters; ++it) {
+      const auto src = grid[it & 1];
+      const auto dst = grid[(it + 1) & 1];
+      diff = 0;
+      self.load_bulk(src + static_cast<std::ptrdiff_t>((lo - 1) * kN),
+                     up.data(), kN);
+      self.load_bulk(src + static_cast<std::ptrdiff_t>(lo * kN), mid.data(),
+                     kN);
+      for (std::size_t i = lo; i < hi; ++i) {
+        self.load_bulk(src + static_cast<std::ptrdiff_t>((i + 1) * kN),
+                       down.data(), kN);
+        out[0] = mid[0];
+        out[kN - 1] = mid[kN - 1];
+        for (std::size_t j = 1; j + 1 < kN; ++j) {
+          out[j] = 0.25 * (up[j] + down[j] + mid[j - 1] + mid[j + 1]);
+          diff += std::fabs(out[j] - mid[j]);
+        }
+        self.compute(kN * 6);  // ~6 flops per cell
+        self.store_bulk(dst + static_cast<std::ptrdiff_t>(i * kN), out.data(),
+                        kN);
+        up.swap(mid);
+        mid.swap(down);
+      }
+      self.store(residual + self.gid(), diff);
+      self.barrier();
+    }
+  });
+
+  double total_residual = 0;
+  for (int g = 0; g < cluster.nthreads(); ++g)
+    total_residual += cluster.host_ptr(residual)[g];
+  const auto st = cluster.coherence_stats();
+  const auto net = cluster.net_stats();
+  std::printf("grid            : %zux%zu, %d iterations\n", kN, kN, kIters);
+  std::printf("final residual  : %.4f (diffusion progressing)\n", total_residual);
+  std::printf("virtual time    : %.3f ms\n", argosim::to_ms(elapsed));
+  std::printf("bytes fetched   : %.2f MB over %llu line fetches\n",
+              static_cast<double>(st.bytes_fetched) / (1 << 20),
+              static_cast<unsigned long long>(st.line_fetches));
+  std::printf("network         : %llu RDMA reads / %llu writes, zero handlers\n",
+              static_cast<unsigned long long>(net.rdma_reads),
+              static_cast<unsigned long long>(net.rdma_writes));
+  return 0;
+}

@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Build, test, and regenerate every table/figure, capturing the outputs the
+# repository documents (test_output.txt, bench_output.txt).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+ctest --test-dir build 2>&1 | tee test_output.txt
+
+: > bench_output.txt
+for b in build/bench/*; do
+  [ -x "$b" ] && [ -f "$b" ] || continue
+  echo "### $b" | tee -a bench_output.txt
+  "$b" 2>&1 | tee -a bench_output.txt
+done

@@ -1,0 +1,59 @@
+// PARSEC-style blackscholes (paper §5.4, Fig. 13c).
+//
+// Embarrassingly parallel option pricing: each thread prices a contiguous
+// chunk of options; one barrier per benchmark iteration. On Argo the
+// option arrays are global, each thread's chunk is effectively private
+// (P classification) or read-only, so P/S3 keeps almost everything cached
+// across barriers — which is why the paper scales it to 128 nodes.
+//
+// Backends: Argo (Thread), "Pthreads" (a 1-node cluster = plain shared
+// memory), and MPI (broadcast inputs, compute, gather prices).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "baseline/mpi.hpp"
+#include "core/cluster.hpp"
+#include "sim/time.hpp"
+
+namespace argoapps {
+
+using argosim::Time;
+
+struct BsParams {
+  std::size_t options = 1 << 16;
+  int iterations = 4;       ///< PARSEC reruns the pricing loop
+  std::uint64_t seed = 42;
+  /// Virtual compute cost per option priced (CNDF evaluations dominate).
+  Time ns_per_option = 300;
+};
+
+struct BsInput {
+  std::vector<double> spot, strike, rate, vol, expiry;
+  std::vector<std::uint8_t> is_put;
+};
+
+struct BsResult {
+  Time elapsed = 0;
+  double checksum = 0;  ///< sum of all prices from the final iteration
+};
+
+/// Deterministic input generation.
+BsInput bs_make_input(const BsParams& p);
+
+/// Price one option (the real PARSEC formula).
+double bs_price(double spot, double strike, double rate, double vol,
+                double expiry, bool is_put);
+
+/// Sequential reference checksum.
+double bs_reference(const BsParams& p);
+
+/// Argo backend: arrays live in the cluster's global memory.
+BsResult bs_run_argo(argo::Cluster& cl, const BsParams& p);
+
+/// MPI backend: root broadcasts inputs, ranks price their chunk, prices
+/// are gathered back to root every iteration (as the PARSEC MPI port does).
+BsResult bs_run_mpi(argompi::MpiEnv& env, const BsParams& p);
+
+}  // namespace argoapps

@@ -1,0 +1,258 @@
+#include "apps/cg.hpp"
+
+#include <cassert>
+
+#include "baseline/pgas.hpp"
+
+namespace argoapps {
+
+using argo::gptr;
+using argo::Thread;
+
+constexpr int CgMatrix::kOffsets[4];
+
+void CgMatrix::spmv_rows(const double* p, double* y, std::size_t n,
+                         std::size_t lo, std::size_t hi) {
+  for (std::size_t i = lo; i < hi; ++i) {
+    double acc = kDiag * p[i];
+    for (int k = 0; k < 4; ++k) {
+      const auto o = static_cast<std::size_t>(kOffsets[k]);
+      acc += off_value(k) * p[(i + o) % n];
+      acc += off_value(k) * p[(i + n - o) % n];
+    }
+    y[i - lo] = acc;
+  }
+}
+
+namespace {
+
+/// Right-hand side: varied so b is not an eigenvector of the stencil
+/// (an all-ones b makes CG converge exactly in one step and break down).
+double cg_b(std::size_t i) { return 1.0 + 0.1 * static_cast<double>(i % 17); }
+
+double cg_rho0(std::size_t n) {
+  double s = 0;
+  for (std::size_t i = 0; i < n; ++i) s += cg_b(i) * cg_b(i);
+  return s;
+}
+
+Time spmv_cost(const CgParams& p, std::size_t rows) {
+  return static_cast<Time>(rows * CgMatrix::nnz_per_row()) * p.ns_per_nnz;
+}
+
+Time vec_cost(const CgParams& p, std::size_t elems) {
+  return static_cast<Time>(elems) * p.ns_per_flop;
+}
+
+}  // namespace
+
+CgResult cg_reference(const CgParams& prm) {
+  const std::size_t n = prm.n;
+  std::vector<double> x(n, 0.0), r(n), p(n), q(n);
+  for (std::size_t i = 0; i < n; ++i) p[i] = r[i] = cg_b(i);
+  double rho = cg_rho0(n);
+  for (int it = 0; it < prm.iterations; ++it) {
+    CgMatrix::spmv_rows(p.data(), q.data(), n, 0, n);
+    double pq = 0;
+    for (std::size_t i = 0; i < n; ++i) pq += p[i] * q[i];
+    const double alpha = rho / pq;
+    double rr = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      x[i] += alpha * p[i];
+      r[i] -= alpha * q[i];
+      rr += r[i] * r[i];
+    }
+    const double beta = rr / rho;
+    rho = rr;
+    for (std::size_t i = 0; i < n; ++i) p[i] = r[i] + beta * p[i];
+  }
+  CgResult res;
+  res.final_rho = rho;
+  for (double v : x) res.x_checksum += v;
+  return res;
+}
+
+CgResult cg_run_argo(argo::Cluster& cl, const CgParams& prm) {
+  const std::size_t n = prm.n;
+  auto result = cl.alloc<double>(2);
+  const auto nt = static_cast<std::size_t>(cl.nthreads());
+  auto part_pq = cl.alloc<double>(nt);
+  auto part_rr = cl.alloc<double>(nt);
+  auto part_x = cl.alloc<double>(nt);
+  auto gp = cl.alloc<double>(n);  // direction vector, read by everyone
+  auto gx = cl.alloc<double>(n);  // solution slices (private per owner)
+  auto gr = cl.alloc<double>(n);  // residual slices (private per owner)
+  for (std::size_t i = 0; i < n; ++i) {
+    cl.host_ptr(gp)[i] = cg_b(i);
+    cl.host_ptr(gx)[i] = 0.0;
+    cl.host_ptr(gr)[i] = cg_b(i);
+  }
+  cl.reset_classification();
+
+  CgResult res;
+  res.elapsed = cl.run([&](Thread& t) {
+    const auto T = static_cast<std::size_t>(t.nthreads());
+    const auto g = static_cast<std::size_t>(t.gid());
+    const std::size_t lo = n * g / T, hi = n * (g + 1) / T;
+    const std::size_t cnt = hi - lo;
+    std::vector<double> p(n), x(cnt), r(cnt), q(cnt);
+    t.load_bulk(gx + static_cast<std::ptrdiff_t>(lo), x.data(), cnt);
+    t.load_bulk(gr + static_cast<std::ptrdiff_t>(lo), r.data(), cnt);
+    double rho = cg_rho0(n);
+    for (int it = 0; it < prm.iterations; ++it) {
+      t.load_bulk(gp, p.data(), n);  // whole direction vector
+      CgMatrix::spmv_rows(p.data(), q.data(), n, lo, hi);
+      t.compute(spmv_cost(prm, cnt));
+      double pq = 0;
+      for (std::size_t i = 0; i < cnt; ++i) pq += p[lo + i] * q[i];
+      t.compute(vec_cost(prm, cnt));
+      t.store(part_pq + t.gid(), pq);
+      t.barrier();
+      double pq_tot = 0;
+      for (std::size_t k = 0; k < T; ++k)
+        pq_tot += t.load(part_pq + static_cast<std::ptrdiff_t>(k));
+      const double alpha = rho / pq_tot;
+      double rr = 0;
+      // x and r are shared arrays in the original code: publish them (and
+      // later p) in interleaved chunks as they are updated.
+      for (std::size_t i = 0; i < cnt; i += 64) {
+        const std::size_t end = std::min(cnt, i + 64);
+        for (std::size_t j = i; j < end; ++j) {
+          x[j] += alpha * p[lo + j];
+          r[j] -= alpha * q[j];
+          rr += r[j] * r[j];
+        }
+        t.compute(vec_cost(prm, 3 * (end - i)));
+        t.store_bulk(gx + static_cast<std::ptrdiff_t>(lo + i), x.data() + i,
+                     end - i);
+        t.store_bulk(gr + static_cast<std::ptrdiff_t>(lo + i), r.data() + i,
+                     end - i);
+      }
+      t.store(part_rr + t.gid(), rr);
+      t.barrier();
+      double rr_tot = 0;
+      for (std::size_t k = 0; k < T; ++k)
+        rr_tot += t.load(part_rr + static_cast<std::ptrdiff_t>(k));
+      const double beta = rr_tot / rho;
+      rho = rr_tot;
+      for (std::size_t i = 0; i < cnt; i += 64) {
+        const std::size_t end = std::min(cnt, i + 64);
+        for (std::size_t j = i; j < end; ++j)
+          p[lo + j] = r[j] + beta * p[lo + j];
+        t.compute(vec_cost(prm, end - i));
+        t.store_bulk(gp + static_cast<std::ptrdiff_t>(lo + i), p.data() + lo + i,
+                     end - i);
+      }
+      t.barrier();  // p complete before the next SpMV
+    }
+    // Publish the checksums (x is already in the shared array).
+    double xs = 0;
+    for (double v : x) xs += v;
+    t.store(part_x + t.gid(), xs);
+    t.barrier();
+    if (t.gid() == 0) {
+      double total = 0;
+      for (std::size_t k = 0; k < T; ++k)
+        total += t.load(part_x + static_cast<std::ptrdiff_t>(k));
+      t.store(result, rho);
+      t.store(result + 1, total);
+    }
+    t.barrier();
+  });
+  res.final_rho = cl.host_ptr(result)[0];
+  res.x_checksum = cl.host_ptr(result)[1];
+  return res;
+}
+
+CgResult cg_run_upc(argo::Cluster& cl, const CgParams& prm) {
+  const std::size_t n = prm.n;
+  const auto nt = static_cast<std::size_t>(cl.nthreads());
+  argopgas::PgasArray<double> gp(cl, n);
+  argopgas::PgasArray<double> part_pq(cl, nt), part_rr(cl, nt),
+      part_x(cl, nt);
+  argopgas::PgasArray<double> scal(cl, 4);  // alpha, beta, rho, x_checksum
+  for (std::size_t i = 0; i < n; ++i)
+    *cl.gmem().home_ptr(gp.gbase().at(i)) = cg_b(i);
+
+  CgResult res;
+  const auto max_off = static_cast<std::size_t>(CgMatrix::kOffsets[3]);
+  res.elapsed = cl.run([&](Thread& t) {
+    const auto T = static_cast<std::size_t>(t.nthreads());
+    const auto g = static_cast<std::size_t>(t.gid());
+    const std::size_t lo = n * g / T, hi = n * (g + 1) / T;
+    const std::size_t cnt = hi - lo;
+    // Private x/r (UPC style: thread-local working data), shared p.
+    std::vector<double> x(cnt, 0.0), r(cnt), q(cnt);
+    for (std::size_t i = 0; i < cnt; ++i) r[i] = cg_b(lo + i);
+    std::vector<double> p(n, 0.0);
+    double rho = cg_rho0(n);
+    for (int it = 0; it < prm.iterations; ++it) {
+      // Fetch our slice plus the halo (the rest of p we touch through the
+      // band) with bulk gets — the "optimized UPC" idiom.
+      const std::size_t halo_lo = (lo + n - max_off) % n;
+      const std::size_t halo_hi_len = std::min(max_off, n - hi);
+      if (halo_lo < lo) {
+        gp.get_bulk(t, halo_lo, lo - halo_lo + cnt, p.data() + halo_lo);
+      } else {  // wraps around zero
+        gp.get_bulk(t, halo_lo, n - halo_lo, p.data() + halo_lo);
+        gp.get_bulk(t, 0, lo + cnt, p.data());
+      }
+      if (halo_hi_len > 0) gp.get_bulk(t, hi, halo_hi_len, p.data() + hi);
+      if (hi + max_off > n) gp.get_bulk(t, 0, hi + max_off - n, p.data());
+      CgMatrix::spmv_rows(p.data(), q.data(), n, lo, hi);
+      t.compute(spmv_cost(prm, cnt));
+      double pq = 0;
+      for (std::size_t i = 0; i < cnt; ++i) pq += p[lo + i] * q[i];
+      t.compute(vec_cost(prm, cnt));
+      part_pq.put(t, g, pq);
+      argopgas::pgas_barrier(t);
+      if (g == 0) {
+        // Thread 0 reduces with fine-grained remote reads (each one a full
+        // network round trip) and publishes alpha.
+        double tot = 0;
+        for (std::size_t k = 0; k < T; ++k) tot += part_pq.get(t, k);
+        scal.put(t, 0, rho / tot);
+      }
+      argopgas::pgas_barrier(t);
+      const double alpha = scal.get(t, 0);
+      double rr = 0;
+      for (std::size_t i = 0; i < cnt; ++i) {
+        x[i] += alpha * p[lo + i];
+        r[i] -= alpha * q[i];
+        rr += r[i] * r[i];
+      }
+      t.compute(vec_cost(prm, 3 * cnt));
+      part_rr.put(t, g, rr);
+      argopgas::pgas_barrier(t);
+      if (g == 0) {
+        double tot = 0;
+        for (std::size_t k = 0; k < T; ++k) tot += part_rr.get(t, k);
+        scal.put(t, 1, tot / rho);
+        scal.put(t, 2, tot);
+      }
+      argopgas::pgas_barrier(t);
+      const double beta = scal.get(t, 1);
+      rho = scal.get(t, 2);
+      for (std::size_t i = 0; i < cnt; ++i)
+        p[lo + i] = r[i] + beta * p[lo + i];
+      t.compute(vec_cost(prm, cnt));
+      gp.put_bulk(t, lo, cnt, p.data() + lo);
+      argopgas::pgas_barrier(t);
+    }
+    double xs = 0;
+    for (double v : x) xs += v;
+    part_x.put(t, g, xs);
+    argopgas::pgas_barrier(t);
+    if (g == 0) {
+      double tot = 0;
+      for (std::size_t k = 0; k < T; ++k) tot += part_x.get(t, k);
+      scal.put(t, 3, tot);
+    }
+    argopgas::pgas_barrier(t);
+    if (g == 0) res.final_rho = rho;
+  });
+  res.x_checksum = *cl.gmem().home_ptr(scal.gbase().at(3));
+  return res;
+}
+
+}  // namespace argoapps

@@ -1,0 +1,150 @@
+#include "apps/ep.hpp"
+
+#include <cmath>
+
+#include "baseline/pgas.hpp"
+#include "sim/random.hpp"
+
+namespace argoapps {
+
+using argo::gptr;
+using argo::Thread;
+
+EpTally ep_chunk(const EpParams& p, int chunk) {
+  const std::uint64_t total = std::uint64_t{1} << p.log2_pairs;
+  const std::uint64_t per_chunk = total / static_cast<std::uint64_t>(p.chunks);
+  argosim::Rng rng(p.seed * 0x9e3779b9u + static_cast<std::uint64_t>(chunk));
+  EpTally t;
+  for (std::uint64_t i = 0; i < per_chunk; ++i) {
+    const double x = 2.0 * rng.next_double() - 1.0;
+    const double y = 2.0 * rng.next_double() - 1.0;
+    const double r2 = x * x + y * y;
+    if (r2 > 1.0 || r2 == 0.0) continue;
+    const double f = std::sqrt(-2.0 * std::log(r2) / r2);
+    const double gx = x * f, gy = y * f;
+    t.sx += gx;
+    t.sy += gy;
+    ++t.accepted;
+    const double mx = std::max(std::fabs(gx), std::fabs(gy));
+    int bin = static_cast<int>(mx);
+    if (bin > 9) bin = 9;
+    ++t.q[static_cast<std::size_t>(bin)];
+  }
+  return t;
+}
+
+EpTally ep_reference(const EpParams& p) {
+  EpTally total;
+  for (int c = 0; c < p.chunks; ++c) total += ep_chunk(p, c);
+  return total;
+}
+
+namespace {
+
+/// Charge virtual compute for one chunk.
+Time chunk_cost(const EpParams& p) {
+  const std::uint64_t total = std::uint64_t{1} << p.log2_pairs;
+  return static_cast<Time>(total / static_cast<std::uint64_t>(p.chunks)) *
+         p.ns_per_pair;
+}
+
+/// Pack/unpack a tally to a flat array of 13 doubles for reductions.
+constexpr std::size_t kTallyDoubles = 13;
+
+void pack(const EpTally& t, double* out) {
+  out[0] = t.sx;
+  out[1] = t.sy;
+  out[2] = static_cast<double>(t.accepted);
+  for (int i = 0; i < 10; ++i) out[3 + i] = static_cast<double>(t.q[static_cast<std::size_t>(i)]);
+}
+
+EpTally unpack(const double* in) {
+  EpTally t;
+  t.sx = in[0];
+  t.sy = in[1];
+  t.accepted = static_cast<std::uint64_t>(in[2]);
+  for (int i = 0; i < 10; ++i)
+    t.q[static_cast<std::size_t>(i)] = static_cast<std::uint64_t>(in[3 + i]);
+  return t;
+}
+
+}  // namespace
+
+EpResult ep_run_argo(argo::Cluster& cl, const EpParams& p) {
+  auto result = cl.alloc<double>(kTallyDoubles);
+  auto partial = cl.alloc<double>(
+      static_cast<std::size_t>(cl.nthreads()) * kTallyDoubles);
+  cl.reset_classification();
+  EpResult res;
+  res.elapsed = cl.run([&](Thread& t) {
+    EpTally mine;
+    for (int c = t.gid(); c < p.chunks; c += t.nthreads()) {
+      mine += ep_chunk(p, c);
+      t.compute(chunk_cost(p));
+    }
+    double buf[kTallyDoubles];
+    pack(mine, buf);
+    t.store_bulk(partial + static_cast<std::ptrdiff_t>(
+                               static_cast<std::size_t>(t.gid()) * kTallyDoubles),
+                 buf, kTallyDoubles);
+    t.barrier();
+    if (t.gid() == 0) {
+      EpTally total;
+      for (int g = 0; g < t.nthreads(); ++g) {
+        double in[kTallyDoubles];
+        t.load_bulk(partial + static_cast<std::ptrdiff_t>(
+                                  static_cast<std::size_t>(g) * kTallyDoubles),
+                    in, kTallyDoubles);
+        total += unpack(in);
+      }
+      pack(total, buf);
+      t.store_bulk(result, buf, kTallyDoubles);
+    }
+    t.barrier();
+  });
+  double out[kTallyDoubles];
+  for (std::size_t i = 0; i < kTallyDoubles; ++i)
+    out[i] = cl.host_ptr(result)[i];
+  res.tally = unpack(out);
+  return res;
+}
+
+EpResult ep_run_upc(argo::Cluster& cl, const EpParams& p) {
+  argopgas::PgasArray<double> partial(
+      cl, static_cast<std::size_t>(cl.nthreads()) * kTallyDoubles);
+  argopgas::PgasArray<double> result(cl, kTallyDoubles);
+  EpResult res;
+  res.elapsed = cl.run([&](Thread& t) {
+    EpTally mine;
+    for (int c = t.gid(); c < p.chunks; c += t.nthreads()) {
+      mine += ep_chunk(p, c);
+      t.compute(chunk_cost(p));
+    }
+    double buf[kTallyDoubles];
+    pack(mine, buf);
+    partial.put_bulk(t, static_cast<std::size_t>(t.gid()) * kTallyDoubles,
+                     kTallyDoubles, buf);
+    argopgas::pgas_barrier(t);
+    if (t.gid() == 0) {
+      // Fine-grained remote reads: the UPC style the paper contrasts.
+      EpTally total;
+      for (int g = 0; g < t.nthreads(); ++g) {
+        double in[kTallyDoubles];
+        for (std::size_t i = 0; i < kTallyDoubles; ++i)
+          in[i] = partial.get(
+              t, static_cast<std::size_t>(g) * kTallyDoubles + i);
+        total += unpack(in);
+      }
+      pack(total, buf);
+      result.put_bulk(t, 0, kTallyDoubles, buf);
+    }
+    argopgas::pgas_barrier(t);
+  });
+  double out[kTallyDoubles];
+  for (std::size_t i = 0; i < kTallyDoubles; ++i)
+    out[i] = *cl.gmem().home_ptr(result.gbase().at(i));
+  res.tally = unpack(out);
+  return res;
+}
+
+}  // namespace argoapps

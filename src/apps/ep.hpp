@@ -1,0 +1,60 @@
+// NAS EP-style "embarrassingly parallel" kernel (paper §5.5, Fig. 13e).
+//
+// Generate pairs of uniform deviates, accept those inside the unit circle,
+// transform them to Gaussian pairs (Box–Muller, as NAS EP does), and tally
+// sums and annulus counts. The index space is split into fixed chunks with
+// per-chunk RNG streams, so results are independent of the thread count.
+// Communication is a single final reduction.
+//
+// Backends: Argo, "OpenMP" (1-node cluster), UPC (PGAS tally arrays).
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+#include "core/cluster.hpp"
+#include "sim/time.hpp"
+
+namespace argoapps {
+
+using argosim::Time;
+
+struct EpParams {
+  int log2_pairs = 18;      ///< total pairs = 2^log2_pairs (NAS "class")
+  int chunks = 256;         ///< fixed work decomposition (thread-agnostic)
+  std::uint64_t seed = 271828183;
+  Time ns_per_pair = 60;    ///< sqrt/log per accepted pair
+};
+
+struct EpTally {
+  double sx = 0, sy = 0;
+  std::array<std::uint64_t, 10> q{};
+  std::uint64_t accepted = 0;
+
+  EpTally& operator+=(const EpTally& o) {
+    sx += o.sx;
+    sy += o.sy;
+    accepted += o.accepted;
+    for (int i = 0; i < 10; ++i) q[i] += o.q[i];
+    return *this;
+  }
+};
+
+struct EpResult {
+  Time elapsed = 0;
+  EpTally tally;
+};
+
+/// Process one chunk of the index space (the real computation).
+EpTally ep_chunk(const EpParams& p, int chunk);
+
+/// Sequential reference.
+EpTally ep_reference(const EpParams& p);
+
+EpResult ep_run_argo(argo::Cluster& cl, const EpParams& p);
+/// UPC port: per-thread tallies live in PGAS arrays; thread 0 reduces them
+/// with fine-grained remote reads after a upc_barrier.
+EpResult ep_run_upc(argo::Cluster& cl, const EpParams& p);
+
+}  // namespace argoapps

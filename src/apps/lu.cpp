@@ -1,0 +1,227 @@
+#include "apps/lu.hpp"
+
+#include <cassert>
+#include <cmath>
+
+#include "sim/random.hpp"
+
+namespace argoapps {
+
+using argo::gptr;
+using argo::Thread;
+
+namespace {
+
+/// Factor the diagonal block in place (unit-lower L, U on/above diagonal).
+void factor_diag(double* d, std::size_t b) {
+  for (std::size_t j = 0; j < b; ++j)
+    for (std::size_t i = j + 1; i < b; ++i) {
+      d[i * b + j] /= d[j * b + j];
+      const double lij = d[i * b + j];
+      for (std::size_t k = j + 1; k < b; ++k) d[i * b + k] -= lij * d[j * b + k];
+    }
+}
+
+/// Column-perimeter block: A := A · U(diag)^{-1}.
+void bdiv(double* a, const double* diag, std::size_t b) {
+  for (std::size_t i = 0; i < b; ++i)
+    for (std::size_t j = 0; j < b; ++j) {
+      a[i * b + j] /= diag[j * b + j];
+      const double aij = a[i * b + j];
+      for (std::size_t k = j + 1; k < b; ++k)
+        a[i * b + k] -= aij * diag[j * b + k];
+    }
+}
+
+/// Row-perimeter block: A := L(diag)^{-1} · A.
+void bmodd(double* a, const double* diag, std::size_t b) {
+  for (std::size_t j = 0; j < b; ++j)
+    for (std::size_t i = j + 1; i < b; ++i) {
+      const double lij = diag[i * b + j];
+      for (std::size_t c = 0; c < b; ++c) a[i * b + c] -= lij * a[j * b + c];
+    }
+}
+
+/// Interior block: A -= L · U.
+void bmod(double* a, const double* l, const double* u, std::size_t b) {
+  for (std::size_t i = 0; i < b; ++i)
+    for (std::size_t k = 0; k < b; ++k) {
+      const double lik = l[i * b + k];
+      for (std::size_t j = 0; j < b; ++j) a[i * b + j] -= lik * u[k * b + j];
+    }
+}
+
+/// 2D scatter ownership: thread grid pr×pc with pr·pc == T.
+struct Scatter {
+  int pr, pc;
+  explicit Scatter(int threads) {
+    pr = 1;
+    for (int d = static_cast<int>(std::sqrt(threads)); d >= 1; --d)
+      if (threads % d == 0) {
+        pr = d;
+        break;
+      }
+    pc = threads / pr;
+  }
+  int owner(std::size_t bi, std::size_t bj) const {
+    return static_cast<int>(bi % static_cast<std::size_t>(pr)) * pc +
+           static_cast<int>(bj % static_cast<std::size_t>(pc));
+  }
+};
+
+std::size_t block_off(std::size_t bi, std::size_t bj, std::size_t nb,
+                      std::size_t b) {
+  return (bi * nb + bj) * b * b;
+}
+
+/// Run the blocked factorization; `mine` decides which blocks this caller
+/// owns, `sync` is called at the three phase boundaries per step, and
+/// load/store access the matrix (shared by reference for the sequential
+/// path, through the DSM for Argo).
+template <typename Mine, typename Sync, typename LoadB, typename StoreB,
+          typename Charge>
+void lu_steps(std::size_t nb, std::size_t b, Mine mine, Sync sync,
+              LoadB load_block, StoreB store_block, Charge charge) {
+  std::vector<double> diag(b * b), work(b * b), lblk(b * b), ublk(b * b);
+  const auto b3 = static_cast<Time>(b * b * b);
+  for (std::size_t k = 0; k < nb; ++k) {
+    if (mine(k, k)) {
+      load_block(k, k, diag.data());
+      factor_diag(diag.data(), b);
+      charge(b3 / 3);
+      store_block(k, k, diag.data());
+    }
+    sync();
+    bool have_diag = false;
+    for (std::size_t i = k + 1; i < nb; ++i) {
+      if (mine(i, k)) {
+        if (!have_diag) {
+          load_block(k, k, diag.data());
+          have_diag = true;
+        }
+        load_block(i, k, work.data());
+        bdiv(work.data(), diag.data(), b);
+        charge(b3 / 2);
+        store_block(i, k, work.data());
+      }
+      if (mine(k, i)) {
+        if (!have_diag) {
+          load_block(k, k, diag.data());
+          have_diag = true;
+        }
+        load_block(k, i, work.data());
+        bmodd(work.data(), diag.data(), b);
+        charge(b3 / 2);
+        store_block(k, i, work.data());
+      }
+    }
+    sync();
+    for (std::size_t i = k + 1; i < nb; ++i) {
+      bool have_l = false;
+      for (std::size_t j = k + 1; j < nb; ++j) {
+        if (!mine(i, j)) continue;
+        if (!have_l) {
+          load_block(i, k, lblk.data());
+          have_l = true;
+        }
+        load_block(k, j, ublk.data());
+        load_block(i, j, work.data());
+        bmod(work.data(), lblk.data(), ublk.data(), b);
+        charge(b3);
+        store_block(i, j, work.data());
+      }
+    }
+    sync();
+  }
+}
+
+}  // namespace
+
+std::size_t lu_index(const LuParams& p, std::size_t i, std::size_t j) {
+  const std::size_t b = p.block, nb = p.n / p.block;
+  return block_off(i / b, j / b, nb, b) + (i % b) * b + (j % b);
+}
+
+std::vector<double> lu_make_input(const LuParams& p) {
+  assert(p.n % p.block == 0);
+  argosim::Rng rng(p.seed);
+  std::vector<double> a(p.n * p.n);
+  // Fill in (i, j) order so the content is layout-independent.
+  for (std::size_t i = 0; i < p.n; ++i)
+    for (std::size_t j = 0; j < p.n; ++j) {
+      double v = rng.next_double(-1, 1);
+      if (i == j) v += static_cast<double>(p.n);  // diagonal dominance
+      a[lu_index(p, i, j)] = v;
+    }
+  return a;
+}
+
+double lu_reference(const LuParams& p) {
+  std::vector<double> a = lu_make_input(p);
+  const std::size_t b = p.block, nb = p.n / b;
+  lu_steps(
+      nb, b, [](std::size_t, std::size_t) { return true; }, [] {},
+      [&](std::size_t bi, std::size_t bj, double* out) {
+        std::copy_n(a.data() + block_off(bi, bj, nb, b), b * b, out);
+      },
+      [&](std::size_t bi, std::size_t bj, const double* in) {
+        std::copy_n(in, b * b, a.data() + block_off(bi, bj, nb, b));
+      },
+      [](Time) {});
+  double sum = 0;
+  for (double v : a) sum += v;
+  return sum;
+}
+
+LuResult lu_run_argo(argo::Cluster& cl, const LuParams& p) {
+  const std::vector<double> init = lu_make_input(p);
+  const std::size_t b = p.block, nb = p.n / b;
+  auto result = cl.alloc<double>(1);
+  auto partial = cl.alloc<double>(static_cast<std::size_t>(cl.nthreads()));
+  auto mat = cl.alloc<double>(p.n * p.n);
+  std::copy(init.begin(), init.end(), cl.host_ptr(mat));
+  cl.reset_classification();
+
+  LuResult res;
+  res.elapsed = cl.run([&](Thread& t) {
+    const Scatter sc(t.nthreads());
+    lu_steps(
+        nb, b,
+        [&](std::size_t bi, std::size_t bj) {
+          return sc.owner(bi, bj) == t.gid();
+        },
+        [&] { t.barrier(); },
+        [&](std::size_t bi, std::size_t bj, double* out) {
+          t.load_bulk(mat + static_cast<std::ptrdiff_t>(block_off(bi, bj, nb, b)),
+                      out, b * b);
+        },
+        [&](std::size_t bi, std::size_t bj, const double* in) {
+          t.store_bulk(mat + static_cast<std::ptrdiff_t>(block_off(bi, bj, nb, b)),
+                       in, b * b);
+        },
+        [&](Time c) { t.compute(c * p.ns_per_mac); });
+    // Checksum of the blocks this thread owns.
+    const auto T = static_cast<std::size_t>(t.nthreads());
+    (void)T;
+    double sum = 0;
+    std::vector<double> blk(b * b);
+    for (std::size_t bi = 0; bi < nb; ++bi)
+      for (std::size_t bj = 0; bj < nb; ++bj) {
+        if (sc.owner(bi, bj) != t.gid()) continue;
+        t.load_bulk(mat + static_cast<std::ptrdiff_t>(block_off(bi, bj, nb, b)),
+                    blk.data(), b * b);
+        for (double v : blk) sum += v;
+      }
+    t.store(partial + t.gid(), sum);
+    t.barrier();
+    if (t.gid() == 0) {
+      double total = 0;
+      for (int g = 0; g < t.nthreads(); ++g) total += t.load(partial + g);
+      t.store(result, total);
+    }
+  });
+  res.checksum = *cl.host_ptr(result);
+  return res;
+}
+
+}  // namespace argoapps

@@ -1,0 +1,42 @@
+// Naive matrix multiplication C = A·B (paper §5.4, Fig. 13d).
+//
+// Rows of C (and A) are partitioned across threads; B is read by everyone
+// and written by no one — the poster child for P/S3's No-Writer
+// classification (B's pages never self-invalidate). The MPI port
+// broadcasts B, scatters A's rows, and gathers C.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "baseline/mpi.hpp"
+#include "core/cluster.hpp"
+#include "sim/time.hpp"
+
+namespace argoapps {
+
+using argosim::Time;
+
+struct MmParams {
+  std::size_t n = 256;      ///< square matrices n×n
+  int iterations = 1;       ///< repeated multiplications, barrier per round
+  std::uint64_t seed = 5;
+  Time ns_per_mac = 1;      ///< virtual cost per multiply-accumulate
+};
+
+struct MmResult {
+  Time elapsed = 0;
+  double checksum = 0;  ///< sum of all C entries
+};
+
+/// Deterministic inputs.
+void mm_make_input(const MmParams& p, std::vector<double>& a,
+                   std::vector<double>& b);
+
+/// Sequential reference checksum (same loop order as the parallel kernel).
+double mm_reference(const MmParams& p);
+
+MmResult mm_run_argo(argo::Cluster& cl, const MmParams& p);
+MmResult mm_run_mpi(argompi::MpiEnv& env, const MmParams& p);
+
+}  // namespace argoapps

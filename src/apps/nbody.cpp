@@ -1,0 +1,232 @@
+#include "apps/nbody.hpp"
+
+#include <cmath>
+
+#include "sim/random.hpp"
+
+namespace argoapps {
+
+using argo::gptr;
+using argo::Thread;
+
+namespace {
+
+constexpr double kSoftening = 1e-3;
+
+/// Accumulate the force on body i from all bodies (the real computation).
+void accumulate_force(const double* x, const double* y, const double* z,
+                      const double* m, std::size_t n, std::size_t i,
+                      double& fx, double& fy, double& fz) {
+  const double xi = x[i], yi = y[i], zi = z[i];
+  double ax = 0, ay = 0, az = 0;
+  for (std::size_t j = 0; j < n; ++j) {
+    const double dx = x[j] - xi, dy = y[j] - yi, dz = z[j] - zi;
+    const double r2 = dx * dx + dy * dy + dz * dz + kSoftening;
+    const double inv_r = 1.0 / std::sqrt(r2);
+    const double s = m[j] * inv_r * inv_r * inv_r;
+    ax += dx * s;
+    ay += dy * s;
+    az += dz * s;
+  }
+  fx = ax;
+  fy = ay;
+  fz = az;
+}
+
+void integrate_slice(const NbodyParams& p, const double* x, const double* y,
+                     const double* z, const double* m, std::size_t n,
+                     std::size_t lo, std::size_t hi, double* nx, double* ny,
+                     double* nz, double* vx, double* vy, double* vz) {
+  for (std::size_t i = lo; i < hi; ++i) {
+    double fx, fy, fz;
+    accumulate_force(x, y, z, m, n, i, fx, fy, fz);
+    vx[i - lo] += p.dt * fx;
+    vy[i - lo] += p.dt * fy;
+    vz[i - lo] += p.dt * fz;
+    nx[i - lo] = x[i] + p.dt * vx[i - lo];
+    ny[i - lo] = y[i] + p.dt * vy[i - lo];
+    nz[i - lo] = z[i] + p.dt * vz[i - lo];
+  }
+}
+
+}  // namespace
+
+NbodyState nbody_make_input(const NbodyParams& p) {
+  argosim::Rng rng(p.seed);
+  NbodyState s;
+  const std::size_t n = p.bodies;
+  s.x.resize(n);
+  s.y.resize(n);
+  s.z.resize(n);
+  s.vx.assign(n, 0.0);
+  s.vy.assign(n, 0.0);
+  s.vz.assign(n, 0.0);
+  s.mass.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    s.x[i] = rng.next_double(-1, 1);
+    s.y[i] = rng.next_double(-1, 1);
+    s.z[i] = rng.next_double(-1, 1);
+    s.mass[i] = rng.next_double(0.5, 1.5);
+  }
+  return s;
+}
+
+double nbody_reference(const NbodyParams& p) {
+  NbodyState s = nbody_make_input(p);
+  const std::size_t n = p.bodies;
+  std::vector<double> nx(n), ny(n), nz(n);
+  for (int step = 0; step < p.steps; ++step) {
+    integrate_slice(p, s.x.data(), s.y.data(), s.z.data(), s.mass.data(), n,
+                    0, n, nx.data(), ny.data(), nz.data(), s.vx.data(),
+                    s.vy.data(), s.vz.data());
+    s.x.swap(nx);
+    s.y.swap(ny);
+    s.z.swap(nz);
+  }
+  double sum = 0;
+  for (std::size_t i = 0; i < n; ++i)
+    sum += std::fabs(s.x[i]) + std::fabs(s.y[i]) + std::fabs(s.z[i]);
+  return sum;
+}
+
+NbodyResult nbody_run_argo(argo::Cluster& cl, const NbodyParams& p) {
+  const NbodyState init = nbody_make_input(p);
+  const std::size_t n = p.bodies;
+  auto result = cl.alloc<double>(1);
+  auto partial = cl.alloc<double>(static_cast<std::size_t>(cl.nthreads()));
+  // Double-buffered positions + velocities + masses.
+  gptr<double> pos[2][3] = {
+      {cl.alloc<double>(n), cl.alloc<double>(n), cl.alloc<double>(n)},
+      {cl.alloc<double>(n), cl.alloc<double>(n), cl.alloc<double>(n)}};
+  gptr<double> vel[3] = {cl.alloc<double>(n), cl.alloc<double>(n),
+                         cl.alloc<double>(n)};
+  auto mass = cl.alloc<double>(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    cl.host_ptr(pos[0][0])[i] = init.x[i];
+    cl.host_ptr(pos[0][1])[i] = init.y[i];
+    cl.host_ptr(pos[0][2])[i] = init.z[i];
+    cl.host_ptr(mass)[i] = init.mass[i];
+  }
+  cl.reset_classification();
+
+  NbodyResult res;
+  res.elapsed = cl.run([&](Thread& t) {
+    const auto nt = static_cast<std::size_t>(t.nthreads());
+    const auto gid = static_cast<std::size_t>(t.gid());
+    const std::size_t lo = n * gid / nt, hi = n * (gid + 1) / nt;
+    const std::size_t cnt = hi - lo;
+    std::vector<double> x(n), y(n), z(n), m(n);
+    std::vector<double> nx(cnt), ny(cnt), nz(cnt);
+    std::vector<double> vx(cnt), vy(cnt), vz(cnt);
+    t.load_bulk(mass, m.data(), n);
+    for (int step = 0; step < p.steps; ++step) {
+      const int cur = step & 1, nxt = cur ^ 1;
+      // Velocities are shared arrays touched only by their owner slice —
+      // Private pages under P/S (they never need self-invalidation).
+      t.load_bulk(vel[0] + static_cast<std::ptrdiff_t>(lo), vx.data(), cnt);
+      t.load_bulk(vel[1] + static_cast<std::ptrdiff_t>(lo), vy.data(), cnt);
+      t.load_bulk(vel[2] + static_cast<std::ptrdiff_t>(lo), vz.data(), cnt);
+      t.load_bulk(pos[cur][0], x.data(), n);
+      t.load_bulk(pos[cur][1], y.data(), n);
+      t.load_bulk(pos[cur][2], z.data(), n);
+      // Compute in chunks and publish each chunk's results immediately —
+      // as the original element-wise code does, the six output arrays'
+      // pages are dirtied interleaved, which is what makes the write
+      // buffer's size matter (Figs. 9/10).
+      for (std::size_t i = lo; i < hi; i += 16) {
+        const std::size_t end = std::min(hi, i + 16);
+        integrate_slice(p, x.data(), y.data(), z.data(), m.data(), n, i, end,
+                        nx.data() + (i - lo), ny.data() + (i - lo),
+                        nz.data() + (i - lo), vx.data() + (i - lo),
+                        vy.data() + (i - lo), vz.data() + (i - lo));
+        t.compute(static_cast<Time>((end - i) * n) * p.ns_per_interaction);
+        const std::size_t c = end - i;
+        const auto off = static_cast<std::ptrdiff_t>(i);
+        t.store_bulk(pos[nxt][0] + off, nx.data() + (i - lo), c);
+        t.store_bulk(pos[nxt][1] + off, ny.data() + (i - lo), c);
+        t.store_bulk(pos[nxt][2] + off, nz.data() + (i - lo), c);
+        t.store_bulk(vel[0] + off, vx.data() + (i - lo), c);
+        t.store_bulk(vel[1] + off, vy.data() + (i - lo), c);
+        t.store_bulk(vel[2] + off, vz.data() + (i - lo), c);
+      }
+      t.barrier();
+    }
+    const int fin = p.steps & 1;
+    double sum = 0;
+    std::vector<double> fx(cnt), fy(cnt), fz(cnt);
+    t.load_bulk(pos[fin][0] + static_cast<std::ptrdiff_t>(lo), fx.data(), cnt);
+    t.load_bulk(pos[fin][1] + static_cast<std::ptrdiff_t>(lo), fy.data(), cnt);
+    t.load_bulk(pos[fin][2] + static_cast<std::ptrdiff_t>(lo), fz.data(), cnt);
+    for (std::size_t i = 0; i < cnt; ++i)
+      sum += std::fabs(fx[i]) + std::fabs(fy[i]) + std::fabs(fz[i]);
+    t.store(partial + t.gid(), sum);
+    t.barrier();
+    if (t.gid() == 0) {
+      double total = 0;
+      for (int g = 0; g < t.nthreads(); ++g) total += t.load(partial + g);
+      t.store(result, total);
+    }
+  });
+  res.checksum = *cl.host_ptr(result);
+  return res;
+}
+
+NbodyResult nbody_run_mpi(argompi::MpiEnv& env, const NbodyParams& p) {
+  const NbodyState init = nbody_make_input(p);
+  const std::size_t n = p.bodies;
+  const int ranks = env.world.size();
+  NbodyResult res;
+  double checksum = 0;
+  res.elapsed = env.run([&](argompi::MpiWorld& w, int me) {
+    const std::size_t lo = n * static_cast<std::size_t>(me) /
+                           static_cast<std::size_t>(ranks);
+    const std::size_t hi = n * (static_cast<std::size_t>(me) + 1) /
+                           static_cast<std::size_t>(ranks);
+    const std::size_t cnt = hi - lo;
+    // Rank slices: allgather needs equal sizes — use the max slice and pad.
+    const std::size_t slice =
+        (n + static_cast<std::size_t>(ranks) - 1) / static_cast<std::size_t>(ranks);
+    std::vector<double> x(init.x), y(init.y), z(init.z), m(init.mass);
+    std::vector<double> vx(cnt, 0), vy(cnt, 0), vz(cnt, 0);
+    std::vector<double> nx(cnt), ny(cnt), nz(cnt);
+    std::vector<double> sendbuf(3 * slice, 0.0), recvbuf(3 * slice *
+                                                         static_cast<std::size_t>(ranks));
+    for (int step = 0; step < p.steps; ++step) {
+      for (std::size_t i = lo; i < hi; i += 16) {
+        const std::size_t end = std::min(hi, i + 16);
+        integrate_slice(p, x.data(), y.data(), z.data(), m.data(), n, i, end,
+                        nx.data() + (i - lo), ny.data() + (i - lo),
+                        nz.data() + (i - lo), vx.data() + (i - lo),
+                        vy.data() + (i - lo), vz.data() + (i - lo));
+        argosim::delay(static_cast<Time>((end - i) * n) * p.ns_per_interaction);
+      }
+      // Exchange the new positions (allgather of padded slices).
+      std::copy(nx.begin(), nx.end(), sendbuf.begin());
+      std::copy(ny.begin(), ny.end(), sendbuf.begin() + static_cast<std::ptrdiff_t>(slice));
+      std::copy(nz.begin(), nz.end(), sendbuf.begin() + static_cast<std::ptrdiff_t>(2 * slice));
+      w.allgather(me, sendbuf.data(), recvbuf.data(),
+                  sendbuf.size() * sizeof(double));
+      for (int r = 0; r < ranks; ++r) {
+        const std::size_t rlo = n * static_cast<std::size_t>(r) /
+                                static_cast<std::size_t>(ranks);
+        const std::size_t rhi = n * (static_cast<std::size_t>(r) + 1) /
+                                static_cast<std::size_t>(ranks);
+        const double* base = recvbuf.data() + static_cast<std::size_t>(r) * 3 * slice;
+        for (std::size_t i = rlo; i < rhi; ++i) {
+          x[i] = base[i - rlo];
+          y[i] = base[slice + (i - rlo)];
+          z[i] = base[2 * slice + (i - rlo)];
+        }
+      }
+    }
+    double sum = 0;
+    for (std::size_t i = lo; i < hi; ++i)
+      sum += std::fabs(x[i]) + std::fabs(y[i]) + std::fabs(z[i]);
+    w.reduce_sum(me, 0, &sum, 1);
+    if (me == 0) checksum = sum;
+  });
+  res.checksum = checksum;
+  return res;
+}
+
+}  // namespace argoapps

@@ -1,0 +1,46 @@
+// All-pairs N-body with barrier-separated steps (paper §5.4, Fig. 13b).
+//
+// Double-buffered positions: step s reads pos[s%2] for every body and
+// writes pos[(s+1)%2] and velocities for the thread's own slice. On Argo
+// each slice's pages have a single writer and many readers (S,SW), so the
+// producers keep their pages while consumers re-fetch once per step. The
+// MPI port allgathers positions every step.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "baseline/mpi.hpp"
+#include "core/cluster.hpp"
+#include "sim/time.hpp"
+
+namespace argoapps {
+
+using argosim::Time;
+
+struct NbodyParams {
+  std::size_t bodies = 2048;
+  int steps = 4;
+  double dt = 1e-3;
+  std::uint64_t seed = 7;
+  Time ns_per_interaction = 10;  ///< ~20 flops + rsqrt per pair
+};
+
+struct NbodyResult {
+  Time elapsed = 0;
+  double checksum = 0;  ///< sum of |coordinates| after the last step
+};
+
+struct NbodyState {
+  std::vector<double> x, y, z, vx, vy, vz, mass;
+};
+
+NbodyState nbody_make_input(const NbodyParams& p);
+
+/// Sequential reference: runs the same step order; bit-identical results.
+double nbody_reference(const NbodyParams& p);
+
+NbodyResult nbody_run_argo(argo::Cluster& cl, const NbodyParams& p);
+NbodyResult nbody_run_mpi(argompi::MpiEnv& env, const NbodyParams& p);
+
+}  // namespace argoapps

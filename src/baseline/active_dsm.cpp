@@ -1,0 +1,309 @@
+#include "baseline/active_dsm.hpp"
+
+#include <cassert>
+#include <cstring>
+
+namespace argobaseline {
+
+using argonet::Message;
+
+ActiveDsm::ActiveDsm(Config cfg)
+    : cfg_(cfg),
+      net_(cfg.nodes, cfg.net),
+      gmem_(cfg.nodes, cfg.global_mem_bytes) {
+  dirs_.resize(gmem_.pages());
+  for (int n = 0; n < cfg_.nodes; ++n)
+    nodes_.push_back(std::make_unique<NodeState>());
+  for (int n = 0; n < cfg_.nodes; ++n)
+    node_barriers_.push_back(std::make_unique<argosim::SimBarrier>(
+        static_cast<std::size_t>(cfg_.threads_per_node)));
+  leader_barrier_ = std::make_unique<argosim::SimBarrier>(
+      static_cast<std::size_t>(cfg_.nodes));
+  int rounds = 0;
+  while ((1 << rounds) < cfg_.nodes) ++rounds;
+  barrier_net_cost_ = static_cast<Time>(rounds) *
+                      (cfg_.net.msg_latency + cfg_.net.nic_overhead);
+}
+
+void ActiveDsm::send_ctrl(int src, int dst, Tag tag, std::uint64_t page,
+                          std::vector<std::byte> payload) {
+  Message m;
+  m.src = src;
+  m.dst = dst;
+  m.tag = tag;
+  m.a = page;
+  m.payload = std::move(payload);
+  net_.send(std::move(m));
+}
+
+// ---------------------------------------------------------------------------
+// The active agent: one handler fiber per node. It is both the directory
+// agent for the node's home pages and the cache agent answering recalls
+// and invalidations — each processed message pays handler_dispatch.
+// ---------------------------------------------------------------------------
+
+void ActiveDsm::handler_loop(int node) {
+  NodeState& ns = *nodes_[static_cast<std::size_t>(node)];
+  for (;;) {
+    Message m = net_.recv(node);
+    argosim::delay(cfg_.net.handler_dispatch);
+    ++ns.stats.handler_messages;
+    ns.stats.handler_busy += cfg_.net.handler_dispatch;
+    switch (m.tag) {
+      case kReqR:
+      case kReqW:
+      case kInvAck:
+      case kRecallAck:
+        handle_home_request(node, std::move(m));
+        break;
+      case kRecall:
+      case kRecallInv: {
+        // We own this page in M; return the data to the home.
+        auto it = ns.cache.find(m.a);
+        assert(it != ns.cache.end() && it->second.modified);
+        std::vector<std::byte> data = it->second.data;
+        if (m.tag == kRecall)
+          it->second.modified = false;  // downgrade M→S
+        else
+          ns.cache.erase(it);
+        ++ns.stats.recalls;
+        send_ctrl(node, m.src, kRecallAck, m.a, std::move(data));
+        break;
+      }
+      case kInv: {
+        ns.cache.erase(m.a);
+        ++ns.stats.invalidations;
+        send_ctrl(node, m.src, kInvAck, m.a);
+        break;
+      }
+      case kDataR:
+      case kDataW: {
+        CacheEntry& e = ns.cache[m.a];
+        e.modified = (m.tag == kDataW);
+        e.data = std::move(m.payload);
+        auto pit = ns.pending.find(m.a);
+        if (pit != ns.pending.end()) pit->second->ev.set();
+        break;
+      }
+      default:
+        assert(false && "unknown message tag");
+    }
+  }
+}
+
+void ActiveDsm::grant(int home, std::uint64_t page, PageDir& d) {
+  const Message& m = d.cur;
+  std::vector<std::byte> data(kPageSize);
+  std::memcpy(data.data(), gmem_.home_ptr(page * kPageSize), kPageSize);
+  if (m.tag == kReqR) {
+    d.sharers |= std::uint32_t{1} << m.src;
+    send_ctrl(home, m.src, kDataR, page, std::move(data));
+  } else {
+    d.owner = m.src;
+    d.sharers = 0;
+    send_ctrl(home, m.src, kDataW, page, std::move(data));
+  }
+}
+
+void ActiveDsm::handle_home_request(int node, Message m) {
+  const std::uint64_t page = m.a;
+  assert(gmem_.home_of_page(page) == node);
+  PageDir& d = dir_of(page);
+  switch (m.tag) {
+    case kReqR:
+    case kReqW: {
+      if (d.busy) {
+        d.waiting.push_back(std::move(m));
+        return;
+      }
+      const int req = m.src;
+      if (m.tag == kReqR) {
+        if (d.owner != -1 && d.owner != req) {
+          d.busy = true;
+          d.cur = std::move(m);
+          d.pending_acks = 1;
+          send_ctrl(node, d.owner, kRecall, page);
+          return;
+        }
+        d.cur = std::move(m);
+        grant(node, page, d);
+        return;
+      }
+      // kReqW
+      if (d.owner != -1 && d.owner != req) {
+        d.busy = true;
+        d.cur = std::move(m);
+        d.pending_acks = 1;
+        send_ctrl(node, d.owner, kRecallInv, page);
+        return;
+      }
+      const std::uint32_t others =
+          d.sharers & ~(std::uint32_t{1} << req);
+      if (others != 0) {
+        d.busy = true;
+        d.cur = std::move(m);
+        d.pending_acks = __builtin_popcount(others);
+        std::uint32_t rest = others;
+        while (rest != 0) {
+          const int s = __builtin_ctz(rest);
+          rest &= rest - 1;
+          send_ctrl(node, s, kInv, page);
+        }
+        return;
+      }
+      d.cur = std::move(m);
+      grant(node, page, d);
+      return;
+    }
+    case kInvAck: {
+      assert(d.busy && d.pending_acks > 0);
+      if (--d.pending_acks > 0) return;
+      d.sharers = 0;
+      grant(node, page, d);
+      break;  // fall through to unbusy + drain
+    }
+    case kRecallAck: {
+      assert(d.busy && d.pending_acks == 1);
+      d.pending_acks = 0;
+      std::memcpy(gmem_.home_ptr(page * kPageSize), m.payload.data(),
+                  kPageSize);
+      if (d.cur.tag == kReqR && d.owner != -1)
+        d.sharers |= std::uint32_t{1} << d.owner;  // recalled owner keeps S
+      d.owner = -1;
+      grant(node, page, d);
+      break;
+    }
+    default:
+      assert(false);
+      return;
+  }
+  // Transaction completed: serve queued requests in FIFO order.
+  d.busy = false;
+  while (!d.waiting.empty() && !d.busy) {
+    Message next = std::move(d.waiting.front());
+    d.waiting.pop_front();
+    handle_home_request(node, std::move(next));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Thread side
+// ---------------------------------------------------------------------------
+
+ActiveDsm::CacheEntry& ActiveDsm::acquire_page(int node, std::uint64_t page,
+                                               bool want_write) {
+  NodeState& ns = *nodes_[static_cast<std::size_t>(node)];
+  for (;;) {
+    auto it = ns.cache.find(page);
+    if (it != ns.cache.end() && (it->second.modified || !want_write))
+      return it->second;
+    auto pit = ns.pending.find(page);
+    if (pit != ns.pending.end()) {
+      auto keepalive = pit->second;  // survives the creator's erase
+      keepalive->ev.wait();
+      continue;
+    }
+    auto pf = std::make_shared<PendingFetch>();
+    ns.pending.emplace(page, pf);
+    if (want_write)
+      ++ns.stats.write_misses;
+    else
+      ++ns.stats.read_misses;
+    send_ctrl(node, gmem_.home_of_page(page), want_write ? kReqW : kReqR,
+              page);
+    pf->ev.wait();
+    ns.pending.erase(page);
+    // Loop: the handler installed the entry (or a racing invalidation
+    // removed it again — then we simply re-request).
+  }
+}
+
+void ActiveThread::load_bytes(GAddr a, std::byte* out, std::size_t n) {
+  while (n > 0) {
+    const std::uint64_t page = argomem::page_of(a);
+    const std::size_t off = argomem::page_offset(a);
+    const std::size_t chunk = std::min(n, kPageSize - off);
+    auto& e = dsm_->acquire_page(node_, page, /*want_write=*/false);
+    std::memcpy(out, e.data.data() + off, chunk);
+    a += chunk;
+    out += chunk;
+    n -= chunk;
+  }
+}
+
+void ActiveThread::store_bytes(GAddr a, const std::byte* in, std::size_t n) {
+  while (n > 0) {
+    const std::uint64_t page = argomem::page_of(a);
+    const std::size_t off = argomem::page_offset(a);
+    const std::size_t chunk = std::min(n, kPageSize - off);
+    auto& e = dsm_->acquire_page(node_, page, /*want_write=*/true);
+    std::memcpy(e.data.data() + off, in, chunk);
+    a += chunk;
+    in += chunk;
+    n -= chunk;
+  }
+}
+
+int ActiveThread::nodes() const { return dsm_->nodes(); }
+int ActiveThread::threads_per_node() const { return dsm_->threads_per_node(); }
+int ActiveThread::nthreads() const {
+  return dsm_->nodes() * dsm_->threads_per_node();
+}
+
+void ActiveThread::barrier() {
+  auto& nb = *dsm_->node_barriers_[static_cast<std::size_t>(node_)];
+  nb.arrive_and_wait();
+  if (tid_ == 0 && dsm_->cfg_.nodes > 1) {
+    dsm_->leader_barrier_->arrive_and_wait();
+    argosim::delay(dsm_->barrier_net_cost_);
+  }
+  nb.arrive_and_wait();
+}
+
+// ---------------------------------------------------------------------------
+// ActiveDsm facade
+// ---------------------------------------------------------------------------
+
+Time ActiveDsm::run(const std::function<void(ActiveThread&)>& body) {
+  if (!handlers_started_) {
+    handlers_started_ = true;
+    for (int n = 0; n < cfg_.nodes; ++n)
+      eng_.spawn("handler" + std::to_string(n), [this, n] { handler_loop(n); },
+                 /*daemon=*/true);
+  }
+  const Time t0 = eng_.now();
+  for (int n = 0; n < cfg_.nodes; ++n)
+    for (int t = 0; t < cfg_.threads_per_node; ++t) {
+      const int gid = n * cfg_.threads_per_node + t;
+      eng_.spawn("n" + std::to_string(n) + "t" + std::to_string(t),
+                 [this, n, t, gid, &body] {
+                   ActiveThread self(this, n, t, gid);
+                   body(self);
+                 });
+    }
+  eng_.run();
+  return eng_.now() - t0;
+}
+
+void ActiveDsm::flush_all_host() {
+  for (auto& ns : nodes_)
+    for (auto& [page, entry] : ns->cache)
+      if (entry.modified)
+        std::memcpy(gmem_.home_ptr(page * kPageSize), entry.data.data(),
+                    kPageSize);
+}
+
+ActiveDsmStats ActiveDsm::stats() const {
+  ActiveDsmStats total;
+  for (const auto& ns : nodes_) {
+    total.handler_messages += ns->stats.handler_messages;
+    total.read_misses += ns->stats.read_misses;
+    total.write_misses += ns->stats.write_misses;
+    total.recalls += ns->stats.recalls;
+    total.invalidations += ns->stats.invalidations;
+    total.handler_busy += ns->stats.handler_busy;
+  }
+  return total;
+}
+
+}  // namespace argobaseline

@@ -1,0 +1,195 @@
+// A traditional home-based DSM with *active* directories — the design the
+// paper argues against (§1, §3): every coherence action goes through a
+// software message handler at the home node, which tracks sharers/owner
+// per page, sends invalidations and recalls, and serializes transactions.
+//
+// The protocol is page-granularity MSI with a blocking home: read misses
+// indirect through the home (recalling a modified copy from its owner),
+// write misses invalidate every sharer and grant exclusive ownership.
+// Every message processed by a handler pays NetConfig::handler_dispatch —
+// the latency Argo's handler-free protocol does not have. Under migratory
+// sharing (critical sections) pages ping-pong between owners through the
+// home, costing 4+ network hops per handoff.
+//
+// Used by bench/ablation_handlers to quantify what passive coherence buys.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "mem/global_memory.hpp"
+#include "net/interconnect.hpp"
+#include "sim/engine.hpp"
+#include "sim/sync.hpp"
+
+namespace argobaseline {
+
+using argomem::GAddr;
+using argomem::GlobalMemory;
+using argomem::gptr;
+using argomem::kPageSize;
+using argosim::Time;
+
+class ActiveDsm;
+
+/// Execution context for application threads on the active DSM.
+class ActiveThread {
+ public:
+  int node() const { return node_; }
+  int tid() const { return tid_; }
+  int gid() const { return gid_; }
+  int nodes() const;
+  int threads_per_node() const;
+  int nthreads() const;
+
+  template <typename T>
+  T load(gptr<T> p) {
+    T v;
+    load_bytes(p.raw(), reinterpret_cast<std::byte*>(&v), sizeof(T));
+    return v;
+  }
+  template <typename T>
+  void store(gptr<T> p, const T& v) {
+    store_bytes(p.raw(), reinterpret_cast<const std::byte*>(&v), sizeof(T));
+  }
+  template <typename T>
+  void load_bulk(gptr<T> src, T* dst, std::size_t count) {
+    load_bytes(src.raw(), reinterpret_cast<std::byte*>(dst),
+               count * sizeof(T));
+  }
+  template <typename T>
+  void store_bulk(gptr<T> dst, const T* src, std::size_t count) {
+    store_bytes(dst.raw(), reinterpret_cast<const std::byte*>(src),
+                count * sizeof(T));
+  }
+
+  void compute(Time ns) { argosim::delay(ns); }
+  /// Barrier (no fences needed: the protocol keeps caches coherent).
+  void barrier();
+
+ private:
+  friend class ActiveDsm;
+  ActiveThread(ActiveDsm* dsm, int node, int tid, int gid)
+      : dsm_(dsm), node_(node), tid_(tid), gid_(gid) {}
+  void load_bytes(GAddr a, std::byte* out, std::size_t n);
+  void store_bytes(GAddr a, const std::byte* in, std::size_t n);
+
+  ActiveDsm* dsm_;
+  int node_, tid_, gid_;
+};
+
+struct ActiveDsmStats {
+  std::uint64_t handler_messages = 0;  ///< messages processed by handlers
+  std::uint64_t read_misses = 0;
+  std::uint64_t write_misses = 0;
+  std::uint64_t recalls = 0;
+  std::uint64_t invalidations = 0;
+  Time handler_busy = 0;               ///< handler dispatch time accumulated
+};
+
+class ActiveDsm {
+ public:
+  struct Config {
+    int nodes = 4;
+    int threads_per_node = 4;
+    std::size_t global_mem_bytes = 64u << 20;
+    argonet::NetConfig net;
+  };
+
+  explicit ActiveDsm(Config cfg);
+
+  template <typename T>
+  gptr<T> alloc(std::size_t count) {
+    return gmem_.alloc<T>(count);
+  }
+  template <typename T>
+  T* host_ptr(gptr<T> p) {
+    // Host verification requires quiescence: after run() returns, modified
+    // pages may still live at their owners; call flush_all_host() first.
+    return gmem_.home_ptr(p);
+  }
+
+  /// Host-side (free) flush: copy every modified cached page back home.
+  void flush_all_host();
+
+  /// Run `body` on every thread; returns elapsed virtual time.
+  Time run(const std::function<void(ActiveThread&)>& body);
+
+  ActiveDsmStats stats() const;
+  const argonet::NodeNetStats& net_stats(int node) const {
+    return net_.stats(node);
+  }
+  argonet::Interconnect& net() { return net_; }
+
+  int nodes() const { return cfg_.nodes; }
+  int threads_per_node() const { return cfg_.threads_per_node; }
+
+ private:
+  friend class ActiveThread;
+
+  enum Tag : int {
+    kReqR = 1,
+    kReqW,
+    kRecall,      // owner: downgrade M→S, return data
+    kRecallInv,   // owner: invalidate, return data
+    kInv,         // sharer: invalidate
+    kInvAck,
+    kRecallAck,   // carries page data
+    kDataR,       // home → requestor, shared grant + data
+    kDataW,       // home → requestor, exclusive grant + data
+  };
+
+  struct PageDir {
+    std::uint32_t sharers = 0;
+    int owner = -1;
+    bool busy = false;
+    argonet::Message cur;               // transaction being served
+    int pending_acks = 0;
+    std::deque<argonet::Message> waiting;
+  };
+
+  struct CacheEntry {
+    bool modified = false;
+    std::vector<std::byte> data;
+  };
+
+  struct PendingFetch {
+    argosim::SimEvent ev;
+  };
+
+  struct NodeState {
+    std::unordered_map<std::uint64_t, CacheEntry> cache;
+    // shared_ptr: waiters hold a reference across the creator's erase.
+    std::unordered_map<std::uint64_t, std::shared_ptr<PendingFetch>> pending;
+    ActiveDsmStats stats;
+  };
+
+  void handler_loop(int node);
+  void handle_home_request(int node, argonet::Message m);
+  void grant(int home, std::uint64_t page, PageDir& dir);
+  void send_ctrl(int src, int dst, Tag tag, std::uint64_t page,
+                 std::vector<std::byte> payload = {});
+  PageDir& dir_of(std::uint64_t page) { return dirs_[page]; }
+
+  /// Thread-side: ensure the page is cached with (at least) the requested
+  /// right; returns the cache entry.
+  CacheEntry& acquire_page(int node, std::uint64_t page, bool want_write);
+
+  Config cfg_;
+  argosim::Engine eng_;
+  argonet::Interconnect net_;
+  GlobalMemory gmem_;
+  std::vector<PageDir> dirs_;
+  std::vector<std::unique_ptr<NodeState>> nodes_;
+  std::vector<std::unique_ptr<argosim::SimBarrier>> node_barriers_;
+  std::unique_ptr<argosim::SimBarrier> leader_barrier_;
+  Time barrier_net_cost_ = 0;
+  bool handlers_started_ = false;
+};
+
+}  // namespace argobaseline

@@ -1,0 +1,126 @@
+// A small message-passing library in the style of MPI, built on the
+// simulated interconnect. The paper compares Argo against MPI ports of
+// several benchmarks (Fig. 13b/c/d); those ports run on this library.
+//
+// Ranks map onto simulated threads (ranks_per_node per node, like one MPI
+// process per core). Intra-node messages cost a memory copy; inter-node
+// messages pay NIC posting + streaming (serialized per node NIC) plus wire
+// latency, identical to the budget Argo's RDMA pays. Collectives are
+// implemented with real point-to-point messages (dissemination barrier,
+// binomial-tree broadcast/reduce), so their cost scales as a real MPI's
+// would.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "net/interconnect.hpp"
+#include "sim/engine.hpp"
+#include "sim/sync.hpp"
+
+namespace argompi {
+
+using argonet::Interconnect;
+using argosim::Time;
+
+inline constexpr int kAnySource = -1;
+
+class MpiWorld {
+ public:
+  /// `ranks_per_node` ranks are colocated per simulated node.
+  MpiWorld(Interconnect& net, int ranks, int ranks_per_node);
+
+  int size() const { return ranks_; }
+  int node_of(int rank) const { return rank / ranks_per_node_; }
+
+  // --- Point-to-point ------------------------------------------------------
+
+  /// Blocking standard-mode send (buffered: returns when the payload has
+  /// left this rank, i.e. after posting/streaming costs).
+  void send(int src_rank, int dst_rank, int tag, const void* data,
+            std::size_t bytes);
+
+  /// Blocking receive matching (src_rank, tag); src may be kAnySource.
+  /// Returns the actual source rank. `bytes` is the expected size.
+  int recv(int me, int src_rank, int tag, void* data, std::size_t bytes);
+
+  /// True if a matching message could be received without blocking.
+  bool probe(int me, int src_rank, int tag);
+
+  // --- Collectives (over all ranks; every rank must participate) ----------
+
+  void barrier(int me);
+  void bcast(int me, int root, void* data, std::size_t bytes);
+  void reduce_sum(int me, int root, double* data, std::size_t count);
+  void allreduce_sum(int me, double* data, std::size_t count);
+  void allreduce_sum(int me, std::uint64_t* data, std::size_t count);
+  /// Gather `bytes` from every rank into rank-indexed slots at root.
+  void gather(int me, int root, const void* send, void* recv_all,
+              std::size_t bytes);
+  /// Gather to everyone (gather + bcast).
+  void allgather(int me, const void* send, void* recv_all, std::size_t bytes);
+
+  /// Messages/bytes sent (from the interconnect plus intra-node traffic).
+  std::uint64_t intra_node_msgs() const { return intra_msgs_; }
+
+ private:
+  struct Msg {
+    int src;
+    int tag;
+    Time deliver_at;
+    std::uint64_t seq;
+    std::vector<std::byte> payload;
+  };
+
+  struct RankBox {
+    std::deque<Msg> queue;  // arrival order; matched by (src, tag)
+    argosim::WaitQueue waiters;
+  };
+
+  /// Find (and remove) the first deliverable matching message; returns
+  /// false if none is matched *and* deliverable yet.
+  bool try_match(RankBox& box, int src, int tag, Msg& out, Time* next_time);
+
+  // collective internals (reserved tag space)
+  static constexpr int kBarrierTag = -1000;
+  static constexpr int kBcastTag = -2000;
+  static constexpr int kReduceTag = -3000;
+  static constexpr int kGatherTag = -4000;
+
+  template <typename T>
+  void reduce_sum_impl(int me, int root, T* data, std::size_t count, int tag);
+
+  Interconnect& net_;
+  int ranks_;
+  int ranks_per_node_;
+  std::vector<std::unique_ptr<RankBox>> boxes_;
+  std::uint64_t seq_ = 0;
+  std::uint64_t intra_msgs_ = 0;
+};
+
+/// A self-contained MPI execution environment: engine + interconnect +
+/// world, with a convenience runner spawning one fiber per rank.
+struct MpiEnv {
+  MpiEnv(int nodes, int ranks_per_node, argonet::NetConfig cfg)
+      : net(nodes, cfg), world(net, nodes * ranks_per_node, ranks_per_node) {}
+
+  /// Run `rank_body(world, rank)` on every rank; returns virtual duration.
+  Time run(const std::function<void(MpiWorld&, int)>& rank_body) {
+    const Time t0 = eng.now();
+    for (int r = 0; r < world.size(); ++r)
+      eng.spawn("rank" + std::to_string(r),
+                [this, r, &rank_body] { rank_body(world, r); });
+    eng.run();
+    return eng.now() - t0;
+  }
+
+  argosim::Engine eng;
+  Interconnect net;
+  MpiWorld world;
+};
+
+}  // namespace argompi

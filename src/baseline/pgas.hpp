@@ -1,0 +1,115 @@
+// A UPC-style PGAS layer (paper §2.1, §5.5 baselines).
+//
+// Shared arrays live in the global address space with per-node affinity
+// (the home mapping *is* the affinity). There is no caching: accesses with
+// local affinity touch memory directly; remote accesses are fine-grained
+// RDMA, each paying full network latency — which is exactly the behaviour
+// the paper contrasts Argo against. Bulk transfers (the "cast to local
+// pointer and memget" idiom UPC programmers are told to use) are provided
+// and used by the optimized UPC ports of EP and CG.
+#pragma once
+
+#include <cstddef>
+#include <cstring>
+
+#include "core/cluster.hpp"
+
+namespace argopgas {
+
+using argo::Cluster;
+using argo::Thread;
+using argomem::gptr;
+
+template <typename T>
+class PgasArray {
+ public:
+  PgasArray() = default;
+  PgasArray(Cluster& cl, std::size_t n) : base_(cl.alloc<T>(n)), n_(n) {}
+
+  std::size_t size() const { return n_; }
+  gptr<T> gbase() const { return base_; }
+
+  /// Affinity of element i (its home node).
+  int affinity(Thread& t, std::size_t i) const {
+    return t.cluster().gmem().home_of(base_.at(i).raw());
+  }
+
+  bool is_local(Thread& t, std::size_t i) const {
+    return affinity(t, i) == t.node();
+  }
+
+  /// Fine-grained shared read: free when local, one RDMA read when remote.
+  T get(Thread& t, std::size_t i) const {
+    auto& g = t.cluster().gmem();
+    auto p = base_.at(i);
+    const int home = g.home_of(p.raw());
+    if (home == t.node()) return *g.home_ptr(p);
+    T v;
+    t.cluster().net().read(t.node(), home, g.home_ptr(p), &v, sizeof(T));
+    return v;
+  }
+
+  /// Fine-grained shared write.
+  void put(Thread& t, std::size_t i, const T& v) {
+    auto& g = t.cluster().gmem();
+    auto p = base_.at(i);
+    const int home = g.home_of(p.raw());
+    if (home == t.node()) {
+      *g.home_ptr(p) = v;
+      return;
+    }
+    t.cluster().net().write(t.node(), home, g.home_ptr(p), &v, sizeof(T));
+  }
+
+  /// Bulk get [lo, lo+count) into a private buffer (upc_memget): one RDMA
+  /// read per contiguous same-home segment.
+  void get_bulk(Thread& t, std::size_t lo, std::size_t count, T* out) const {
+    auto& g = t.cluster().gmem();
+    std::size_t i = lo;
+    while (i < lo + count) {
+      const int home = g.home_of(base_.at(i).raw());
+      std::size_t end = i + 1;
+      while (end < lo + count && g.home_of(base_.at(end).raw()) == home) ++end;
+      const std::size_t bytes = (end - i) * sizeof(T);
+      if (home == t.node()) {
+        std::memcpy(out + (i - lo), g.home_ptr(base_.at(i)), bytes);
+        argosim::delay(t.cluster().net().config().mem_copy(bytes));
+      } else {
+        t.cluster().net().read(t.node(), home, g.home_ptr(base_.at(i)),
+                               out + (i - lo), bytes);
+      }
+      i = end;
+    }
+  }
+
+  /// Bulk put from a private buffer (upc_memput).
+  void put_bulk(Thread& t, std::size_t lo, std::size_t count, const T* in) {
+    auto& g = t.cluster().gmem();
+    std::size_t i = lo;
+    while (i < lo + count) {
+      const int home = g.home_of(base_.at(i).raw());
+      std::size_t end = i + 1;
+      while (end < lo + count && g.home_of(base_.at(end).raw()) == home) ++end;
+      const std::size_t bytes = (end - i) * sizeof(T);
+      if (home == t.node()) {
+        std::memcpy(g.home_ptr(base_.at(i)), in + (i - lo), bytes);
+        argosim::delay(t.cluster().net().config().mem_copy(bytes));
+      } else {
+        t.cluster().net().write(t.node(), home, g.home_ptr(base_.at(i)),
+                                in + (i - lo), bytes);
+      }
+      i = end;
+    }
+  }
+
+ private:
+  gptr<T> base_;
+  std::size_t n_ = 0;
+};
+
+/// upc_barrier: the same rendezvous cost as Argo's hierarchical barrier
+/// (node-local barrier + global dissemination rounds) but with NO
+/// coherence fences — PGAS has no caches to flush or invalidate.
+inline void pgas_barrier(Thread& t) { t.cluster().rendezvous(t); }
+
+}  // namespace argopgas

@@ -1,0 +1,662 @@
+#include "core/carina.hpp"
+
+#include <cassert>
+#include <cstring>
+
+#include "sim/engine.hpp"
+
+namespace argocore {
+
+using argodir::DirWord;
+using argomem::page_of;
+using argomem::page_offset;
+
+const char* to_string(Mode m) {
+  switch (m) {
+    case Mode::S: return "S";
+    case Mode::PSNaive: return "P/S(naive)";
+    case Mode::PS: return "P/S";
+    case Mode::PS3: return "P/S3";
+  }
+  return "?";
+}
+
+const char* to_string(PageState s) {
+  switch (s) {
+    case PageState::Private: return "P";
+    case PageState::SharedNW: return "S,NW";
+    case PageState::SharedSW: return "S,SW";
+    case PageState::SharedMW: return "S,MW";
+  }
+  return "?";
+}
+
+NodeCache::NodeCache(int node, GlobalMemory& gmem, argonet::Interconnect& net,
+                     PyxisDirectory& dir, CacheConfig cfg)
+    : node_(node), gmem_(gmem), net_(net), dir_(dir), cfg_(cfg) {
+  assert(cfg_.cache_lines >= 1);
+  assert(cfg_.pages_per_line >= 1);
+  assert(cfg_.write_buffer_pages >= 1);
+  lines_.resize(cfg_.cache_lines);
+  for (auto& l : lines_) l.pages.resize(cfg_.pages_per_line);
+}
+
+bool NodeCache::my_reader_bit_set(std::uint64_t page) const {
+  return DirWord{dir_.cache_get(node_, dir_page(page))}.is_reader(node_);
+}
+
+bool NodeCache::my_writer_bit_set(std::uint64_t page) const {
+  return DirWord{dir_.cache_get(node_, dir_page(page))}.is_writer(node_);
+}
+
+void NodeCache::lock_line(Line& l) {
+  while (l.fetching) l.waiters.wait();
+  l.fetching = true;
+}
+
+void NodeCache::unlock_line(Line& l) {
+  assert(l.fetching);
+  l.fetching = false;
+  l.waiters.notify_all();
+}
+
+// ---------------------------------------------------------------------------
+// Access paths
+// ---------------------------------------------------------------------------
+
+const std::byte* NodeCache::read_ptr(GAddr a, std::size_t len) {
+  assert(page_offset(a) + len <= kPageSize && "access must not straddle pages");
+  (void)len;
+  const std::uint64_t page = page_of(a);
+  if (gmem_.home_of_page(page) == node_) {
+    // Home pages are served from home memory and never cached (§3).
+    ++stats_.home_accesses;
+    if (!my_reader_bit_set(page)) register_access(page, /*for_write=*/false);
+    return gmem_.home_ptr(a);
+  }
+  const std::uint64_t group = group_of(page);
+  Line& l = line_of_group(group);
+  // Fast path: resident, valid, and registered. No latch needed — the
+  // caller copies the bytes out before any other fiber can run.
+  if (l.group == group) {
+    PageSlot& s = slot_of(l, page);
+    if (s.valid && my_reader_bit_set(page)) {
+      ++stats_.read_hits;
+      return page_data(l, page) + page_offset(a);
+    }
+  }
+  ++stats_.read_misses;
+  argosim::delay(cfg_.fault_overhead);
+  ensure_cached(page, /*for_write=*/false);
+  return page_data(l, page) + page_offset(a);
+}
+
+std::byte* NodeCache::write_ptr(GAddr a, std::size_t len) {
+  assert(page_offset(a) + len <= kPageSize && "access must not straddle pages");
+  (void)len;
+  const std::uint64_t page = page_of(a);
+  if (gmem_.home_of_page(page) == node_) {
+    // Home writes go straight to the authoritative copy; only the
+    // classification registration matters.
+    ++stats_.home_accesses;
+    if (!my_writer_bit_set(page)) register_access(page, /*for_write=*/true);
+    return gmem_.home_ptr(a);
+  }
+  const std::uint64_t group = group_of(page);
+  Line& l = line_of_group(group);
+  // Fast path: resident, already dirty (twin exists, queued for SD).
+  if (l.group == group) {
+    PageSlot& s = slot_of(l, page);
+    if (s.valid && s.dirty && my_writer_bit_set(page)) {
+      ++stats_.write_hits;
+      return page_data(l, page) + page_offset(a);
+    }
+  }
+  ++stats_.write_misses;
+  argosim::delay(cfg_.fault_overhead);
+  for (;;) {
+    ensure_cached(page, /*for_write=*/true);
+    lock_line(l);
+    PageSlot& s = slot_of(l, page);
+    if (!(l.group == group && s.valid && my_writer_bit_set(page))) {
+      unlock_line(l);
+      continue;  // displaced while we were away; retry
+    }
+    if (!s.dirty) {
+      // Admission control BEFORE dirtying: when the buffer is full, drain
+      // the oldest entry and retry. A store never waits for the global
+      // occupancy to fall after its page is admitted — gating on that
+      // livelocks as soon as concurrent writers outnumber buffer slots
+      // (each drain victim simply re-dirties its page).
+      if (wb_live_ >= cfg_.write_buffer_pages) {
+        unlock_line(l);
+        // If nothing was drainable (every live entry is mid-writeback in
+        // another fiber), back off in *time*: a zero-cost yield would spin
+        // at the current virtual instant forever while the in-flight
+        // writebacks are scheduled in the future.
+        if (!drain_oldest()) argosim::delay(net_.config().mem_latency * 4);
+        continue;
+      }
+      // Write-allocate: twin for later diffing (checkpoint of the fetched
+      // content), mark dirty, queue for self-downgrade. The twin copy may
+      // let the occupancy transiently overshoot by the number of
+      // concurrent writers; that is bounded and harmless.
+      s.twin = std::make_unique<std::byte[]>(kPageSize);
+      std::memcpy(s.twin.get(), page_data(l, page), kPageSize);
+      argosim::delay(net_.config().mem_copy(kPageSize));
+      if (l.group == group && s.valid && !s.dirty) {
+        s.dirty = true;
+        if (!s.in_wb) {
+          s.in_wb = true;
+          write_buffer_.push_back(page);
+          ++wb_live_;
+        }
+      } else {
+        unlock_line(l);
+        continue;  // displaced during the twin copy; retry
+      }
+    }
+    unlock_line(l);
+    return page_data(l, page) + page_offset(a);
+  }
+}
+
+void NodeCache::ensure_cached(std::uint64_t page, bool for_write) {
+  const std::uint64_t group = group_of(page);
+  Line& l = line_of_group(group);
+  bool registered_this_call = false;
+  for (;;) {
+    // Register first (deposit our ID, learn the maps, trigger transitions
+    // and naive-P/S healing) so the subsequent data fetch sees the healed
+    // home copy.
+    if ((for_write && !my_writer_bit_set(page)) || !my_reader_bit_set(page)) {
+      const bool healed = register_access(page, for_write);
+      registered_this_call = true;
+      if (healed) {
+        // A copy prefetched before the heal (as part of a neighbouring
+        // page's line fill) predates the healed home content: drop it.
+        lock_line(l);
+        PageSlot& s = slot_of(l, page);
+        if (l.group == group && s.valid && !s.dirty) s.valid = false;
+        unlock_line(l);
+      }
+      continue;
+    }
+    // Naive P/S: about to (re)fetch a page we registered for long ago — a
+    // page whose sole writer is another node may be stale at the home (the
+    // writer checkpoints instead of downgrading), so heal it from that
+    // writer's checkpoint first (§3.4.2). The heal decision must NOT use
+    // the cached word: SW→MW transitions only notify the previous single
+    // writer, so our cached word can claim "single writer X" long after
+    // more writers appeared — healing on that stale claim would rewind the
+    // home copy to X's old checkpoint. Re-read the word from the home
+    // directory (one more RDMA read naive P/S pays that Carina's private
+    // self-downgrade avoids). Skipped if we registered within this miss:
+    // registration already healed on fresh information.
+    if (cfg_.classification == Mode::PSNaive && !registered_this_call) {
+      const DirWord stale{dir_.cache_get(node_, page)};
+      const bool resident =
+          l.group == group && slot_of(l, page).valid && !l.fetching;
+      if (!resident && stale.writer_count() == 1 &&
+          stale.single_writer() != node_) {
+        ++stats_.dir_ops;
+        const DirWord fresh = dir_.read(node_, page);
+        dir_.cache_merge_local(node_, page, fresh.raw);
+        if (fresh.writer_count() == 1 && fresh.single_writer() != node_)
+          heal_from_checkpoint(fresh.single_writer(), page);
+      }
+    }
+    lock_line(l);
+    if (l.group != group) {
+      evict_line_locked(l);
+      l.group = group;
+      occupied_.insert(group % cfg_.cache_lines);
+      if (!l.data) l.data = std::make_unique<std::byte[]>(
+          cfg_.pages_per_line * kPageSize);
+      for (auto& s : l.pages) {
+        s.valid = false;
+        s.dirty = false;
+        s.in_wb = false;
+        s.twin.reset();
+      }
+      fetch_line_locked(l, group);
+      unlock_line(l);
+      continue;
+    }
+    PageSlot& s = slot_of(l, page);
+    if (!s.valid) {
+      fetch_line_locked(l, group);
+      unlock_line(l);
+      continue;
+    }
+    unlock_line(l);
+    // Re-validate with no intervening delays.
+    if (l.group == group && slot_of(l, page).valid &&
+        my_reader_bit_set(page) &&
+        (!for_write || my_writer_bit_set(page)))
+      return;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Directory registration and classification transitions (§3.4–3.5)
+// ---------------------------------------------------------------------------
+
+bool NodeCache::register_access(std::uint64_t page, bool for_write) {
+  const std::uint64_t dp = dir_page(page);
+  std::uint64_t bits = DirWord::reader_bit(node_);
+  if (for_write) bits |= DirWord::writer_bit(node_);
+  ++stats_.dir_ops;
+  const DirWord prev = dir_.fetch_or(node_, dp, bits);
+  const DirWord updated{prev.raw | bits};
+  dir_.cache_merge_local(node_, dp, updated.raw);
+
+  const std::uint32_t me = std::uint32_t{1} << node_;
+  std::uint32_t notified = 0;
+
+  // P→S: before us, exactly one *other* node had accessed the page. The
+  // displaced private owner learns of the transition via one RDMA update
+  // of its directory cache (deferred invalidation, §3.4.1).
+  const std::uint32_t prev_accessors = prev.accessors();
+  if (prev_accessors != 0 && (prev_accessors & me) == 0 &&
+      __builtin_popcount(prev_accessors) == 1) {
+    const int owner = __builtin_ctz(prev_accessors);
+    ++stats_.transitions_caused;
+    dir_.cache_merge_remote(node_, owner, dp, updated.raw);
+    notified |= std::uint32_t{1} << owner;
+  }
+  // Naive P/S: if — per the *fresh* word we just fetched — the page has a
+  // single writer that is not us, the home copy may lag that writer's last
+  // synchronization point; heal it from the writer's checkpoint before
+  // using home data. This must happen at registration time: a second
+  // writer joining makes the count 2, after which nobody would ever heal
+  // the first writer's checkpoint-only bytes into the home copy. Healing
+  // is idempotent, so concurrent newcomers may each heal without
+  // coordination.
+  bool healed = false;
+  if (cfg_.classification == Mode::PSNaive && prev.writer_count() == 1 &&
+      prev.single_writer() != node_) {
+    heal_from_checkpoint(prev.single_writer(), page);
+    healed = true;
+  }
+
+  if (for_write && !prev.is_writer(node_)) {
+    switch (prev.writer_count()) {
+      case 0: {
+        // NW→SW: every other node caching the page must learn there is now
+        // a writer (they can no longer treat it as read-only).
+        std::uint32_t readers = prev.readers() & ~me & ~notified;
+        if (readers != 0) ++stats_.transitions_caused;
+        while (readers != 0) {
+          const int r = __builtin_ctz(readers);
+          readers &= readers - 1;
+          dir_.cache_merge_remote(node_, r, dp, updated.raw);
+        }
+        break;
+      }
+      case 1: {
+        // SW→MW: only the previous single writer needs to know (§3.5) —
+        // for everyone else SW-other and MW mean the same thing.
+        const int w = prev.single_writer();
+        if (w != node_ && ((notified >> w) & 1) == 0) {
+          ++stats_.transitions_caused;
+          dir_.cache_merge_remote(node_, w, dp, updated.raw);
+        }
+        break;
+      }
+      default:
+        break;  // already MW: no action needed
+    }
+  }
+  return healed;
+}
+
+void NodeCache::heal_from_checkpoint(int owner, std::uint64_t page) {
+  assert(peers_ && "naive P/S healing requires peer registration");
+  NodeCache& oc = *(*peers_)[static_cast<std::size_t>(owner)];
+  auto it = oc.checkpoints_.find(page);
+  if (it == oc.checkpoints_.end())
+    return;  // owner never synced a dirty copy: home already holds all the
+             // data DRF entitles us to
+  const std::byte* ckpt = it->second.get();  // stable across rehash/refresh
+  ++stats_.heals;
+  std::byte scratch[kPageSize];
+  net_.read(node_, owner, ckpt, scratch, kPageSize);
+  const GAddr base = page * kPageSize;
+  net_.write(node_, gmem_.home_of_page(page), gmem_.home_ptr(base), scratch,
+             kPageSize);
+}
+
+// ---------------------------------------------------------------------------
+// Fills, evictions, writebacks
+// ---------------------------------------------------------------------------
+
+void NodeCache::fetch_line_locked(Line& l, std::uint64_t group) {
+  const std::uint64_t first = group * cfg_.pages_per_line;
+  const std::uint64_t last =
+      std::min<std::uint64_t>(first + cfg_.pages_per_line, gmem_.pages());
+  ++stats_.line_fetches;
+  // Fetch contiguous runs of invalid pages that share a home node with one
+  // RDMA read each (own-home pages are never cached; they stay invalid).
+  std::uint64_t p = first;
+  while (p < last) {
+    PageSlot& s = slot_of(l, p);
+    const int home = gmem_.home_of_page(p);
+    if (s.valid || home == node_) {
+      ++p;
+      continue;
+    }
+    std::uint64_t end = p + 1;
+    while (end < last && !slot_of(l, end).valid &&
+           gmem_.home_of_page(end) == home)
+      ++end;
+    const std::size_t bytes = (end - p) * kPageSize;
+    net_.read(node_, home, gmem_.home_ptr(p * kPageSize), page_data(l, p),
+              bytes);
+    stats_.pages_fetched += end - p;
+    stats_.bytes_fetched += bytes;
+    for (std::uint64_t q = p; q < end; ++q) {
+      PageSlot& qs = slot_of(l, q);
+      qs.valid = true;
+      qs.dirty = false;
+      qs.in_wb = false;
+      qs.twin.reset();
+    }
+    p = end;
+  }
+}
+
+void NodeCache::evict_line_locked(Line& l) {
+  if (l.group == kNoGroup) return;
+  for (std::size_t i = 0; i < cfg_.pages_per_line; ++i) {
+    PageSlot& s = l.pages[i];
+    if (!s.valid) continue;
+    const std::uint64_t page = l.group * cfg_.pages_per_line + i;
+    if (s.dirty) {
+      writeback_locked(l, page);
+      // Keep the naive-P/S checkpoint in sync with what we just flushed so
+      // a later heal can never rewind the home copy behind this flush.
+      if (cfg_.classification == Mode::PSNaive) refresh_checkpoint(l, page);
+    }
+    s.valid = false;
+    s.twin.reset();
+    ++stats_.evictions;
+  }
+  l.group = kNoGroup;
+}
+
+void NodeCache::refresh_checkpoint(Line& l, std::uint64_t page) {
+  auto& buf = checkpoints_[page];
+  if (!buf) buf = std::make_unique<std::byte[]>(kPageSize);
+  std::memcpy(buf.get(), page_data(l, page), kPageSize);
+  argosim::delay(net_.config().mem_copy(kPageSize));
+  ++stats_.checkpoints;
+  stats_.checkpoint_bytes += kPageSize;
+  // The diff base must advance to the synchronization point: once this page
+  // turns shared, "any further writes must be self-downgraded ... as a diff"
+  // (§3.4.2) — a diff of the writes since the last sync, not since the
+  // original write-allocate. Otherwise a late downgrade would re-transmit
+  // pre-checkpoint bytes and could overwrite writes other nodes made in
+  // later, properly synchronized epochs.
+  PageSlot& s = slot_of(l, page);
+  if (s.dirty) {
+    if (!s.twin) s.twin = std::make_unique<std::byte[]>(kPageSize);
+    std::memcpy(s.twin.get(), page_data(l, page), kPageSize);
+  }
+}
+
+void NodeCache::writeback_locked(Line& l, std::uint64_t page) {
+  PageSlot& s = slot_of(l, page);
+  assert(s.valid && s.dirty);
+  std::byte* cur = page_data(l, page);
+  const GAddr base = page * kPageSize;
+  std::byte* home = gmem_.home_ptr(base);
+  const int home_node = gmem_.home_of_page(page);
+  const DirWord w{dir_.cache_get(node_, dir_page(page))};
+
+  const bool sole_writer = w.writers() == (std::uint32_t{1} << node_);
+  std::size_t wire = 0;
+  if (!s.twin || (cfg_.sw_diff_suppression && sole_writer)) {
+    // Whole-page downgrade: no diff scan, more wire bytes (§3.2's
+    // bandwidth-for-latency trade). Safe: either nobody else writes this
+    // page, or (defensively, missing twin) the values we'd "clobber" are
+    // bytes no other node has flushed — DRF guarantees disjointness.
+    wire = kPageSize;
+    net_.write(node_, home_node, home, cur, kPageSize);
+    ++stats_.full_page_writebacks;
+  } else {
+    // Diff against the twin: scan both copies (charged as local memory
+    // traffic), transmit only changed runs, apply them at the home.
+    argosim::delay(net_.config().mem_copy(2 * kPageSize));
+    struct Run {
+      std::size_t off, len;
+    };
+    std::vector<Run> runs;
+    const std::byte* twin = s.twin.get();
+    std::size_t i = 0;
+    while (i < kPageSize) {
+      if (cur[i] == twin[i]) {
+        ++i;
+        continue;
+      }
+      std::size_t j = i + 1;
+      std::size_t gap = 0;
+      // Merge runs separated by short equal stretches: one header costs
+      // 8 bytes, so gaps under 8 bytes are cheaper transmitted inline.
+      while (j < kPageSize && gap < 8) {
+        if (cur[j] == twin[j])
+          ++gap;
+        else
+          gap = 0;
+        ++j;
+      }
+      const std::size_t end = j - gap;
+      runs.push_back(Run{i, end - i});
+      i = j;
+    }
+    ++stats_.diffs_built;
+    if (runs.empty()) {
+      // Nothing actually changed; no transmission needed.
+      s.dirty = false;
+      if (s.in_wb) {
+        s.in_wb = false;
+        --wb_live_;
+      }
+      s.twin.reset();
+      return;
+    }
+    for (const Run& r : runs) wire += r.len + 8;
+    net_.charge_write(node_, home_node, wire);
+    for (const Run& r : runs) std::memcpy(home + r.off, cur + r.off, r.len);
+  }
+  s.dirty = false;
+  if (s.in_wb) {
+    s.in_wb = false;
+    --wb_live_;
+  }
+  s.twin.reset();
+  ++stats_.writebacks;
+  stats_.writeback_bytes += wire;
+}
+
+void NodeCache::writeback(std::uint64_t page) {
+  const std::uint64_t group = group_of(page);
+  Line& l = line_of_group(group);
+  lock_line(l);
+  PageSlot& s = slot_of(l, page);
+  if (l.group == group && s.valid && s.dirty) writeback_locked(l, page);
+  unlock_line(l);
+}
+
+bool NodeCache::drain_oldest() {
+  const bool naive = cfg_.classification == Mode::PSNaive;
+  auto is_live = [&](std::uint64_t page) {
+    const std::uint64_t group = group_of(page);
+    Line& l = line_of_group(group);
+    if (l.group != group) return false;
+    const PageSlot& s = slot_of(l, page);
+    return s.valid && s.dirty && s.in_wb;
+  };
+  if (!naive) {
+    // FIFO: stale leading entries (already written back or evicted) are
+    // popped eagerly so the deque cannot grow without bound.
+    while (!write_buffer_.empty()) {
+      const std::uint64_t page = write_buffer_.front();
+      write_buffer_.pop_front();
+      if (!is_live(page)) continue;
+      writeback(page);  // latches and re-validates internally
+      return true;
+    }
+    return false;
+  }
+  // Naive P/S: prefer the oldest non-private entry (private pages are not
+  // supposed to downgrade); fall back to a forced flush if all-private.
+  for (std::size_t attempt = 0; attempt < 2; ++attempt) {
+    const bool allow_private = attempt == 1;
+    for (std::size_t i = 0; i < write_buffer_.size();) {
+      const std::uint64_t page = write_buffer_[i];
+      if (!is_live(page)) {  // compact stale entries as we scan
+        write_buffer_.erase(write_buffer_.begin() +
+                            static_cast<std::ptrdiff_t>(i));
+        continue;
+      }
+      if (!allow_private &&
+          DirWord{dir_.cache_get(node_, dir_page(page))}.private_to(node_)) {
+        ++i;
+        continue;
+      }
+      write_buffer_.erase(write_buffer_.begin() +
+                          static_cast<std::ptrdiff_t>(i));
+      const std::uint64_t group = group_of(page);
+      Line& l = line_of_group(group);
+      lock_line(l);
+      if (l.group == group && slot_of(l, page).valid &&
+          slot_of(l, page).dirty) {
+        writeback_locked(l, page);
+        refresh_checkpoint(l, page);
+      }
+      unlock_line(l);
+      return true;
+    }
+    if (write_buffer_.empty()) return false;
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// Fences (§3.1)
+// ---------------------------------------------------------------------------
+
+void NodeCache::si_fence() {
+  ++stats_.si_fences;
+  const std::vector<std::size_t> occ(occupied_.begin(), occupied_.end());
+  for (const std::size_t idx : occ) {
+    Line& l = lines_[idx];
+    if (l.group == kNoGroup) continue;
+    lock_line(l);
+    if (l.group == kNoGroup) {  // evicted while we waited for the latch
+      unlock_line(l);
+      continue;
+    }
+    for (std::size_t i = 0; i < cfg_.pages_per_line; ++i) {
+      PageSlot& s = l.pages[i];
+      if (!s.valid) continue;
+      const std::uint64_t page = l.group * cfg_.pages_per_line + i;
+      const DirWord w{dir_.cache_get(node_, dir_page(page))};
+      const bool registered = w.is_reader(node_) || w.is_writer(node_);
+      if (registered && !si_required(cfg_.classification, w, node_)) continue;
+      if (s.dirty) writeback_locked(l, page);
+      s.valid = false;
+      s.twin.reset();
+      ++stats_.si_invalidations;
+    }
+    unlock_line(l);
+  }
+}
+
+void NodeCache::sd_fence() {
+  ++stats_.sd_fences;
+  const bool naive = cfg_.classification == Mode::PSNaive;
+  // Drain in place: entries must stay visible to concurrent capacity
+  // drains (hiding them in a local queue can starve a writer spinning for
+  // a free buffer slot, which never yields in the cooperative simulator).
+  // Naive P/S keeps its private pages dirty: they go to a side list that
+  // is re-attached afterwards.
+  std::deque<std::uint64_t> keep;
+  std::size_t budget = write_buffer_.size() + wb_live_ + 1;
+  while (!write_buffer_.empty() && budget-- > 0) {
+    const std::uint64_t page = write_buffer_.front();
+    write_buffer_.pop_front();
+    const std::uint64_t group = group_of(page);
+    Line& l = line_of_group(group);
+    lock_line(l);
+    PageSlot& s = slot_of(l, page);
+    if (!(l.group == group && s.valid && s.dirty && s.in_wb)) {
+      unlock_line(l);
+      continue;  // stale entry
+    }
+    if (naive) {
+      const DirWord w{dir_.cache_get(node_, page)};
+      if (w.private_to(node_)) {
+        // Naive P/S: private pages are not downgraded; instead the node
+        // checkpoints them at every synchronization point so a later P→S
+        // can be serviced (§3.4.2 "Naive Solution"). The page stays dirty,
+        // so the checkpoint is re-taken at every future sync — this is the
+        // accumulating overhead Figure 8 charges against naive P/S.
+        refresh_checkpoint(l, page);
+        keep.push_back(page);  // keep tracking it
+        unlock_line(l);
+        continue;
+      }
+      writeback_locked(l, page);
+      // While we remain the page's sole writer, newcomers heal from our
+      // checkpoint — keep it as fresh as what we just flushed.
+      if (w.writers() == (std::uint32_t{1} << node_))
+        refresh_checkpoint(l, page);
+      unlock_line(l);
+      continue;
+    }
+    writeback_locked(l, page);
+    unlock_line(l);
+  }
+  for (std::uint64_t page : keep) write_buffer_.push_back(page);
+}
+
+// ---------------------------------------------------------------------------
+// Maintenance
+// ---------------------------------------------------------------------------
+
+void NodeCache::invalidate_all_free() {
+  assert(dirty_pages() == 0 &&
+         "reset_classification requires a clean cache (barrier first)");
+  occupied_.clear();
+  for (auto& l : lines_) {
+    assert(!l.fetching);
+    l.group = kNoGroup;
+    for (auto& s : l.pages) {
+      s.valid = false;
+      s.dirty = false;
+      s.in_wb = false;
+      s.twin.reset();
+    }
+  }
+  write_buffer_.clear();
+  wb_live_ = 0;
+  checkpoints_.clear();
+}
+
+std::size_t NodeCache::resident_pages() const {
+  std::size_t n = 0;
+  for (const std::size_t idx : occupied_)
+    for (const auto& s : lines_[idx].pages) n += s.valid ? 1 : 0;
+  return n;
+}
+
+std::size_t NodeCache::dirty_pages() const {
+  std::size_t n = 0;
+  for (const std::size_t idx : occupied_)
+    for (const auto& s : lines_[idx].pages) n += (s.valid && s.dirty) ? 1 : 0;
+  return n;
+}
+
+}  // namespace argocore

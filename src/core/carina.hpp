@@ -1,0 +1,190 @@
+// Carina: Argo's coherence protocol (paper §3).
+//
+// One NodeCache per node implements the node-side protocol engine:
+//
+//  * a direct-mapped page cache whose "lines" are runs of consecutive pages
+//    fetched with one RDMA read (prefetching, §3.6.2); all threads of a
+//    node share it;
+//  * self-invalidation (SI) and self-downgrade (SD) fences (§3.1) filtered
+//    by the Pyxis classification (§3.4–3.5, src/core/policy.hpp);
+//  * a FIFO write buffer bounding SD-fence latency (§3.6.1);
+//  * twins + diffs for multiple-writer pages, optional single-writer diff
+//    suppression;
+//  * the naive P/S checkpointing variant evaluated in §5.1.
+//
+// Everything here is initiated by the *requesting* node's threads; the home
+// side is passive memory. No handler runs anywhere on this path.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/policy.hpp"
+#include "core/stats.hpp"
+#include "dir/pyxis.hpp"
+#include "mem/global_memory.hpp"
+#include "net/interconnect.hpp"
+#include "sim/sync.hpp"
+
+namespace argocore {
+
+using argodir::PyxisDirectory;
+using argomem::GAddr;
+using argomem::GlobalMemory;
+using argomem::kPageSize;
+
+class NodeCache {
+ public:
+  NodeCache(int node, GlobalMemory& gmem, argonet::Interconnect& net,
+            PyxisDirectory& dir, CacheConfig cfg);
+
+  int node() const { return node_; }
+  const CacheConfig& config() const { return cfg_; }
+
+  /// Readable span [a, a+len) (must not cross a page boundary). Home pages
+  /// are served from home memory; remote pages from the page cache,
+  /// faulting the line in on a miss. The pointer is valid only until the
+  /// next protocol operation — callers copy out immediately.
+  const std::byte* read_ptr(GAddr a, std::size_t len);
+
+  /// Writable span [a, a+len) (must not cross a page boundary). Remote
+  /// pages get write-allocated: twin created, marked dirty, queued in the
+  /// write buffer; registration and classification transitions happen here.
+  std::byte* write_ptr(GAddr a, std::size_t len);
+
+  /// SI fence: drop every cached page the classification says may be stale
+  /// (flushing it first if dirty). Acquire-side of every synchronization.
+  void si_fence();
+
+  /// SD fence: make all this node's writes globally visible (drain the
+  /// write buffer; checkpoint instead under naive P/S). Release-side of
+  /// every synchronization.
+  void sd_fence();
+
+  /// Peers, for the naive-P/S P→S healing path (reading a private owner's
+  /// checkpoint is an RDMA read of its registered checkpoint region).
+  void set_peers(const std::vector<NodeCache*>* peers) { peers_ = peers; }
+
+  /// Drop all cached pages without cost. Only valid when nothing is dirty;
+  /// used by Cluster::reset_classification() at the end of initialization.
+  void invalidate_all_free();
+
+  const CoherenceStats& stats() const { return stats_; }
+  void reset_stats() { stats_ = CoherenceStats{}; }
+
+  /// Pages currently valid in the cache (for tests/diagnostics).
+  std::size_t resident_pages() const;
+  /// Pages currently dirty.
+  std::size_t dirty_pages() const;
+
+ private:
+  static constexpr std::uint64_t kNoGroup = ~std::uint64_t{0};
+
+  struct PageSlot {
+    bool valid = false;
+    bool dirty = false;
+    bool in_wb = false;  // queued in the write buffer
+    std::unique_ptr<std::byte[]> twin;
+  };
+
+  struct Line {
+    std::uint64_t group = kNoGroup;
+    bool fetching = false;
+    std::unique_ptr<std::byte[]> data;  // pages_per_line * kPageSize
+    std::vector<PageSlot> pages;
+    argosim::WaitQueue waiters;
+  };
+
+  std::uint64_t group_of(std::uint64_t page) const {
+    return page / cfg_.pages_per_line;
+  }
+  Line& line_of_group(std::uint64_t group) {
+    return lines_[group % cfg_.cache_lines];
+  }
+  std::byte* page_data(Line& l, std::uint64_t page) {
+    return l.data.get() + (page % cfg_.pages_per_line) * kPageSize;
+  }
+  PageSlot& slot_of(Line& l, std::uint64_t page) {
+    return l.pages[page % cfg_.pages_per_line];
+  }
+
+  /// Classification granularity: like the original system, classification
+  /// follows the fetch granularity — one directory word per cache *line*
+  /// (keyed by the line's first page), so a line fill costs one directory
+  /// atomic, not one per page. Maps become unions over the line's pages,
+  /// which only ever makes self-invalidation more conservative, never
+  /// unsound. Naive P/S classifies per page (its checkpoints/heals are
+  /// per-page).
+  std::uint64_t dir_page(std::uint64_t page) const {
+    if (cfg_.classification == Mode::PSNaive) return page;
+    return page - (page % cfg_.pages_per_line);
+  }
+
+  bool my_reader_bit_set(std::uint64_t page) const;
+  bool my_writer_bit_set(std::uint64_t page) const;
+
+  /// Per-line latch excluding concurrent mutators (fetch/evict/writeback)
+  /// across their virtual-time delays. Read fast paths do not take it.
+  void lock_line(Line& l);
+  void unlock_line(Line& l);
+
+  /// Fault `page` into the cache (registering first, then fetching its
+  /// line). Returns with the page valid and this node registered as reader
+  /// (and writer if `for_write`).
+  void ensure_cached(std::uint64_t page, bool for_write);
+
+  /// Register access bits at the home directory and notify displaced
+  /// owners/writers of the transitions this causes. Returns true if the
+  /// naive-P/S path healed the home copy (the caller must then drop any
+  /// copy fetched before the heal).
+  bool register_access(std::uint64_t page, bool for_write);
+
+  /// Evict the current contents of `l` (flushing dirty pages). Latch held.
+  void evict_line_locked(Line& l);
+
+  /// Fetch every invalid page of `group` into `l`, one RDMA read per
+  /// contiguous same-home segment (prefetching). Latch held.
+  void fetch_line_locked(Line& l, std::uint64_t group);
+
+  /// Write one dirty cached page back to its home (diff or whole page).
+  void writeback_locked(Line& l, std::uint64_t page);
+  void writeback(std::uint64_t page);  // latches, re-validates, delegates
+
+  /// Naive P/S: refresh the page's checkpoint from its current contents
+  /// (charged local copy). Latch held by caller.
+  void refresh_checkpoint(Line& l, std::uint64_t page);
+
+  /// Drain the oldest live write-buffer entry (write-buffer overflow).
+  /// Under naive P/S prefers the oldest non-private entry. Returns false
+  /// if no entry could be drained.
+  bool drain_oldest();
+
+  /// Naive P/S: service a P→S transition from the private owner's
+  /// checkpoint (RDMA read from owner + RDMA write to home).
+  void heal_from_checkpoint(int owner, std::uint64_t page);
+
+  int node_;
+  GlobalMemory& gmem_;
+  argonet::Interconnect& net_;
+  PyxisDirectory& dir_;
+  CacheConfig cfg_;
+  std::vector<Line> lines_;
+  // Indices of line slots that currently hold a group — fences and stats
+  // iterate this instead of scanning every slot of a large cache.
+  std::unordered_set<std::size_t> occupied_;
+  std::deque<std::uint64_t> write_buffer_;
+  std::size_t wb_live_ = 0;
+  // Naive P/S: per-page checkpoint taken at each sync (page image as of the
+  // owner's last synchronization point).
+  std::unordered_map<std::uint64_t, std::unique_ptr<std::byte[]>> checkpoints_;
+  const std::vector<NodeCache*>* peers_ = nullptr;
+  CoherenceStats stats_;
+};
+
+}  // namespace argocore

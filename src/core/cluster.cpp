@@ -1,0 +1,183 @@
+#include "core/cluster.hpp"
+
+#include <string>
+
+namespace argo {
+
+Cluster::Cluster(ClusterConfig cfg)
+    : cfg_(cfg),
+      net_(cfg.nodes, cfg.net),
+      gmem_(cfg.nodes, cfg.global_mem_bytes, cfg.mapping),
+      dir_(gmem_, net_) {
+  assert(cfg_.nodes >= 1 && cfg_.nodes <= argodir::kMaxNodes);
+  assert(cfg_.threads_per_node >= 1);
+  caches_.reserve(static_cast<std::size_t>(cfg_.nodes));
+  for (int n = 0; n < cfg_.nodes; ++n)
+    caches_.push_back(
+        std::make_unique<NodeCache>(n, gmem_, net_, dir_, cfg_.cache));
+  peer_view_.clear();
+  for (auto& c : caches_) peer_view_.push_back(c.get());
+  for (auto& c : caches_) c->set_peers(&peer_view_);
+}
+
+void Cluster::reset_classification() {
+  for (auto& c : caches_) c->invalidate_all_free();
+  dir_.reset_all();
+}
+
+Time Cluster::run(const std::function<void(Thread&)>& body) {
+  return run_subset(cfg_.nodes, cfg_.threads_per_node, body);
+}
+
+Time Cluster::run_subset(int use_nodes, int use_threads_per_node,
+                         const std::function<void(Thread&)>& body) {
+  assert(use_nodes >= 1 && use_nodes <= cfg_.nodes);
+  assert(use_threads_per_node >= 1 &&
+         use_threads_per_node <= cfg_.threads_per_node);
+  active_nodes_ = use_nodes;
+  active_tpn_ = use_threads_per_node;
+
+  node_barriers_.clear();
+  for (int n = 0; n < use_nodes; ++n)
+    node_barriers_.push_back(std::make_unique<argosim::SimBarrier>(
+        static_cast<std::size_t>(use_threads_per_node)));
+  leader_barrier_ = std::make_unique<argosim::SimBarrier>(
+      static_cast<std::size_t>(use_nodes));
+  // Global rendezvous cost: a dissemination barrier runs ceil(log2 N)
+  // message rounds; each round costs one posting plus one wire latency.
+  int rounds = 0;
+  while ((1 << rounds) < use_nodes) ++rounds;
+  barrier_net_cost_ =
+      static_cast<Time>(rounds) * (cfg_.net.msg_latency + cfg_.net.nic_overhead);
+
+  const Time t0 = eng_.now();
+  for (int n = 0; n < use_nodes; ++n) {
+    for (int t = 0; t < use_threads_per_node; ++t) {
+      const int gid = n * use_threads_per_node + t;
+      const int core = t % cfg_.topo.cores;
+      eng_.spawn("n" + std::to_string(n) + "t" + std::to_string(t),
+                 [this, n, t, gid, core, &body] {
+                   Thread self(this, n, t, gid, core, caches_[n].get());
+                   body(self);
+                 });
+    }
+  }
+  eng_.run();
+  return eng_.now() - t0;
+}
+
+CoherenceStats Cluster::coherence_stats() const {
+  CoherenceStats total;
+  for (const auto& c : caches_) total += c->stats();
+  return total;
+}
+
+void Cluster::reset_stats() {
+  for (auto& c : caches_) c->reset_stats();
+  net_.reset_stats();
+}
+
+void Cluster::rendezvous(Thread& t) {
+  auto& nb = *node_barriers_[static_cast<std::size_t>(t.node())];
+  nb.arrive_and_wait();
+  if (t.tid() == 0) global_rendezvous();
+  nb.arrive_and_wait();
+}
+
+void Cluster::global_rendezvous() {
+  if (active_nodes_ <= 1) return;
+  leader_barrier_->arrive_and_wait();
+  if (barrier_net_cost_ > 0) argosim::delay(barrier_net_cost_);
+}
+
+// ---------------------------------------------------------------------------
+// Thread
+// ---------------------------------------------------------------------------
+
+int Thread::nodes() const { return cluster_->active_nodes(); }
+int Thread::threads_per_node() const { return cluster_->active_tpn(); }
+int Thread::nthreads() const {
+  return cluster_->active_nodes() * cluster_->active_tpn();
+}
+
+bool Thread::is_home(GAddr a) const {
+  return cluster_->gmem().home_of(a) == node_;
+}
+
+void Thread::barrier() {
+  auto& nb = *cluster_->node_barriers_[static_cast<std::size_t>(node_)];
+  nb.arrive_and_wait();
+  if (tid_ == 0) {
+    // The node leader downgrades the whole node, rendezvouses with the
+    // other nodes (no node may re-read before every node has flushed),
+    // then self-invalidates for the whole node.
+    cache_->sd_fence();
+    cluster_->global_rendezvous();
+    cache_->si_fence();
+  }
+  nb.arrive_and_wait();
+}
+
+void Thread::load_bytes(GAddr a, std::byte* dst, std::size_t n) {
+  while (n > 0) {
+    const std::size_t in_page = kPageSize - argomem::page_offset(a);
+    const std::size_t chunk = n < in_page ? n : in_page;
+    std::memcpy(dst, cache_->read_ptr(a, chunk), chunk);
+    a += chunk;
+    dst += chunk;
+    n -= chunk;
+  }
+}
+
+void Thread::store_bytes(GAddr a, const std::byte* src, std::size_t n) {
+  while (n > 0) {
+    const std::size_t in_page = kPageSize - argomem::page_offset(a);
+    const std::size_t chunk = n < in_page ? n : in_page;
+    std::memcpy(cache_->write_ptr(a, chunk), src, chunk);
+    a += chunk;
+    src += chunk;
+    n -= chunk;
+  }
+}
+
+std::uint64_t Thread::atomic_fetch_add(gptr<std::uint64_t> p,
+                                       std::uint64_t v) {
+  auto& g = cluster_->gmem();
+  return cluster_->net().fetch_add(node_, g.home_of(p.raw()),
+                                   g.home_ptr(p), v);
+}
+
+std::uint64_t Thread::atomic_fetch_or(gptr<std::uint64_t> p, std::uint64_t v) {
+  auto& g = cluster_->gmem();
+  return cluster_->net().fetch_or(node_, g.home_of(p.raw()), g.home_ptr(p), v);
+}
+
+std::uint64_t Thread::atomic_cas(gptr<std::uint64_t> p, std::uint64_t expected,
+                                 std::uint64_t desired) {
+  auto& g = cluster_->gmem();
+  return cluster_->net().cas(node_, g.home_of(p.raw()), g.home_ptr(p),
+                             expected, desired);
+}
+
+std::uint64_t Thread::atomic_exchange(gptr<std::uint64_t> p,
+                                      std::uint64_t desired) {
+  auto& g = cluster_->gmem();
+  return cluster_->net().exchange(node_, g.home_of(p.raw()), g.home_ptr(p),
+                                  desired);
+}
+
+std::uint64_t Thread::atomic_load(gptr<std::uint64_t> p) {
+  auto& g = cluster_->gmem();
+  std::uint64_t v = 0;
+  cluster_->net().read(node_, g.home_of(p.raw()), g.home_ptr(p), &v,
+                       sizeof(v));
+  return v;
+}
+
+void Thread::atomic_store(gptr<std::uint64_t> p, std::uint64_t v) {
+  auto& g = cluster_->gmem();
+  cluster_->net().write(node_, g.home_of(p.raw()), g.home_ptr(p), &v,
+                        sizeof(v));
+}
+
+}  // namespace argo

@@ -1,0 +1,236 @@
+// Public Argo API: a simulated cluster running the Argo DSM.
+//
+//   argo::ClusterConfig cfg;
+//   cfg.nodes = 4; cfg.threads_per_node = 4;
+//   argo::Cluster cluster(cfg);
+//   auto data = cluster.alloc<double>(1 << 20);   // global allocation
+//   ... initialize via cluster.host_ptr(data) ...
+//   cluster.reset_classification();               // end of init (§3.4)
+//   argosim::Time t = cluster.run([&](argo::Thread& self) {
+//     double v = self.load(data + self.gid());
+//     self.store(data + self.gid(), v * 2);
+//     self.barrier();
+//   });
+//
+// Thread::load/store are the explicit stand-in for the original system's
+// mprotect-trapped accesses: they take exactly the protocol path a fault
+// handler would (page-cache lookup → registration → line fetch), and cost
+// nothing on hits. See DESIGN.md for this substitution.
+#pragma once
+
+#include <cassert>
+#include <cstring>
+#include <functional>
+#include <memory>
+#include <type_traits>
+#include <vector>
+
+#include "core/carina.hpp"
+#include "core/config.hpp"
+#include "core/stats.hpp"
+#include "dir/pyxis.hpp"
+#include "mem/gaddr.hpp"
+#include "mem/global_memory.hpp"
+#include "net/interconnect.hpp"
+#include "sim/engine.hpp"
+#include "sim/sync.hpp"
+
+namespace argo {
+
+using argocore::CacheConfig;
+using argocore::ClusterConfig;
+using argocore::CoherenceStats;
+using argocore::Mode;
+using argocore::NodeCache;
+using argomem::GAddr;
+using argomem::gptr;
+using argomem::kPageSize;
+using argosim::Time;
+
+class Cluster;
+
+/// Execution context handed to every simulated application thread.
+class Thread {
+ public:
+  int node() const { return node_; }           ///< node index
+  int tid() const { return tid_; }             ///< thread index within node
+  int gid() const { return gid_; }             ///< global thread index
+  int core() const { return core_; }           ///< core within the node
+  int nodes() const;
+  int threads_per_node() const;
+  int nthreads() const;                        ///< nodes * threads_per_node
+
+  Cluster& cluster() { return *cluster_; }
+  NodeCache& cache() { return *cache_; }
+
+  // --- DSM accesses -------------------------------------------------------
+
+  template <typename T>
+  T load(gptr<T> p) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    T v;
+    if (argomem::page_offset(p.raw()) + sizeof(T) <= kPageSize) {
+      std::memcpy(&v, cache_->read_ptr(p.raw(), sizeof(T)), sizeof(T));
+    } else {
+      load_bytes(p.raw(), reinterpret_cast<std::byte*>(&v), sizeof(T));
+    }
+    return v;
+  }
+
+  template <typename T>
+  void store(gptr<T> p, const T& v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    if (argomem::page_offset(p.raw()) + sizeof(T) <= kPageSize) {
+      std::memcpy(cache_->write_ptr(p.raw(), sizeof(T)), &v, sizeof(T));
+    } else {
+      store_bytes(p.raw(), reinterpret_cast<const std::byte*>(&v), sizeof(T));
+    }
+  }
+
+  /// Bulk copies; chunked per page, hitting the same protocol path as
+  /// element loads/stores but far cheaper in host time.
+  template <typename T>
+  void load_bulk(gptr<T> src, T* dst, std::size_t count) {
+    load_bytes(src.raw(), reinterpret_cast<std::byte*>(dst),
+               count * sizeof(T));
+  }
+  template <typename T>
+  void store_bulk(gptr<T> dst, const T* src, std::size_t count) {
+    store_bytes(dst.raw(), reinterpret_cast<const std::byte*>(src),
+                count * sizeof(T));
+  }
+
+  /// True if `a` is homed on this thread's node (its accesses are local).
+  bool is_home(GAddr a) const;
+
+  // --- Time ---------------------------------------------------------------
+
+  /// Charge `ns` of computation to this thread's virtual clock.
+  void compute(Time ns) { argosim::delay(ns); }
+  Time now() const { return argosim::now(); }
+
+  // --- Synchronization building blocks ------------------------------------
+
+  /// SI fence (acquire side): drop cached pages per classification (§3.1).
+  void acquire() { cache_->si_fence(); }
+  /// SD fence (release side): make this node's writes globally visible.
+  void release() { cache_->sd_fence(); }
+
+  /// Vela hierarchical barrier (§4.1): node-local barrier → node SD →
+  /// global rendezvous → node SI → node-local release.
+  void barrier();
+
+  // --- Network atomics (for synchronization libraries) --------------------
+  //
+  // These operate on home memory directly, bypassing the page cache —
+  // synchronization "constitutes a data race" (§4) and is implemented with
+  // raw RDMA atomics plus explicit SI/SD fences. Never mix them with
+  // load/store on the same addresses.
+
+  std::uint64_t atomic_fetch_add(gptr<std::uint64_t> p, std::uint64_t v);
+  std::uint64_t atomic_fetch_or(gptr<std::uint64_t> p, std::uint64_t v);
+  std::uint64_t atomic_cas(gptr<std::uint64_t> p, std::uint64_t expected,
+                           std::uint64_t desired);
+  std::uint64_t atomic_exchange(gptr<std::uint64_t> p, std::uint64_t desired);
+  std::uint64_t atomic_load(gptr<std::uint64_t> p);
+  void atomic_store(gptr<std::uint64_t> p, std::uint64_t v);
+
+ private:
+  friend class Cluster;
+  Thread(Cluster* cluster, int node, int tid, int gid, int core,
+         NodeCache* cache)
+      : cluster_(cluster), node_(node), tid_(tid), gid_(gid), core_(core),
+        cache_(cache) {}
+
+  void load_bytes(GAddr a, std::byte* dst, std::size_t n);
+  void store_bytes(GAddr a, const std::byte* src, std::size_t n);
+
+  Cluster* cluster_;
+  int node_, tid_, gid_, core_;
+  NodeCache* cache_;
+};
+
+/// The simulated Argo cluster: nodes, interconnect, global memory, Pyxis
+/// directory, one Carina NodeCache per node, and the virtual-time engine.
+class Cluster {
+ public:
+  explicit Cluster(ClusterConfig cfg);
+
+  const ClusterConfig& config() const { return cfg_; }
+  int nodes() const { return cfg_.nodes; }
+  int threads_per_node() const { return cfg_.threads_per_node; }
+  int nthreads() const { return cfg_.nodes * cfg_.threads_per_node; }
+
+  // --- Global memory -------------------------------------------------------
+
+  /// Allocate a global array (host-side; free of virtual time).
+  template <typename T>
+  gptr<T> alloc(std::size_t count) {
+    return gmem_.alloc<T>(count);
+  }
+
+  /// Direct host access to the authoritative (home) copy — for workload
+  /// initialization before the parallel phase and verification after it.
+  template <typename T>
+  T* host_ptr(gptr<T> p) {
+    return gmem_.home_ptr(p);
+  }
+
+  /// Reset reader/writer maps and drop all page caches: the paper's
+  /// "initialization writes do not count" adaptation (§3.4). Call between
+  /// host-side initialization and run().
+  void reset_classification();
+
+  // --- Execution -----------------------------------------------------------
+
+  /// Run `body` on every thread of the cluster; returns the virtual time
+  /// the parallel phase took. May be called repeatedly (phases).
+  Time run(const std::function<void(Thread&)>& body);
+
+  /// Run `body` only on the first `threads` threads of node 0 (sequential
+  /// baselines and single-node scaling points).
+  Time run_subset(int use_nodes, int use_threads_per_node,
+                  const std::function<void(Thread&)>& body);
+
+  // --- Introspection -------------------------------------------------------
+
+  argosim::Engine& engine() { return eng_; }
+  argonet::Interconnect& net() { return net_; }
+  argomem::GlobalMemory& gmem() { return gmem_; }
+  argodir::PyxisDirectory& dir() { return dir_; }
+  NodeCache& node_cache(int node) { return *caches_[node]; }
+
+  CoherenceStats coherence_stats() const;
+  argonet::NodeNetStats net_stats() const { return net_.total_stats(); }
+  void reset_stats();
+
+  Time now() const { return eng_.now(); }
+
+  /// Node/thread counts of the current (or most recent) run_subset call.
+  int active_nodes() const { return active_nodes_; }
+  int active_tpn() const { return active_tpn_; }
+
+  /// Barrier over all active threads WITHOUT coherence fences: node-local
+  /// rendezvous plus the global dissemination cost. Used by runtimes that
+  /// have no page caches to maintain (the PGAS baseline).
+  void rendezvous(Thread& t);
+
+ private:
+  friend class Thread;
+  void global_rendezvous();  // leader part of the hierarchical barrier
+
+  int active_nodes_ = 1;
+  int active_tpn_ = 1;
+  ClusterConfig cfg_;
+  argosim::Engine eng_;
+  argonet::Interconnect net_;
+  argomem::GlobalMemory gmem_;
+  argodir::PyxisDirectory dir_;
+  std::vector<std::unique_ptr<NodeCache>> caches_;
+  std::vector<NodeCache*> peer_view_;
+  std::vector<std::unique_ptr<argosim::SimBarrier>> node_barriers_;
+  std::unique_ptr<argosim::SimBarrier> leader_barrier_;
+  Time barrier_net_cost_ = 0;
+};
+
+}  // namespace argo

@@ -1,0 +1,66 @@
+// Classification policy: which pages self-invalidate and how dirty pages
+// self-downgrade, per mode. This is the executable form of the paper's
+// Table 1; bench/table1_classification prints the table directly from these
+// functions so documentation can never drift from the implementation.
+#pragma once
+
+#include "core/config.hpp"
+#include "dir/pyxis.hpp"
+
+namespace argocore {
+
+using argodir::DirWord;
+
+/// Page classification as inferred by node `me` from a directory word.
+enum class PageState {
+  Private,   ///< P: me is the only accessor (so far)
+  SharedNW,  ///< S,NW: multiple accessors, no writer
+  SharedSW,  ///< S,SW: multiple accessors, exactly one writer
+  SharedMW,  ///< S,MW: multiple accessors, multiple writers
+};
+
+const char* to_string(PageState s);
+
+inline PageState classify(DirWord w, int me) {
+  if (w.private_to(me)) return PageState::Private;
+  switch (w.writer_count()) {
+    case 0:
+      return PageState::SharedNW;
+    case 1:
+      return PageState::SharedSW;
+    default:
+      return PageState::SharedMW;
+  }
+}
+
+/// Must node `me` self-invalidate its cached copy at an SI fence?
+inline bool si_required(Mode mode, DirWord w, int me) {
+  switch (mode) {
+    case Mode::S:
+      return true;  // no classification: everything invalidates
+    case Mode::PSNaive:
+    case Mode::PS:
+      return !w.private_to(me);  // only private pages are exempt
+    case Mode::PS3: {
+      if (w.private_to(me)) return false;          // P
+      const int wc = w.writer_count();
+      if (wc == 0) return false;                   // S,NW (read-only)
+      if (wc == 1 && w.is_writer(me)) return false;  // S,SW and I'm the writer
+      return true;  // S,SW (someone else) or S,MW
+    }
+  }
+  return true;
+}
+
+/// What happens to a *dirty* page at an SD fence.
+enum class SdAction {
+  WriteBack,   ///< flush (diff or whole page) to the home node
+  Checkpoint,  ///< naive P/S: copy to a local checkpoint, keep dirty
+};
+
+inline SdAction sd_action(Mode mode, DirWord w, int me) {
+  if (mode == Mode::PSNaive && w.private_to(me)) return SdAction::Checkpoint;
+  return SdAction::WriteBack;
+}
+
+}  // namespace argocore

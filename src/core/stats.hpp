@@ -1,0 +1,61 @@
+// Protocol statistics gathered per node by the Carina coherence layer.
+#pragma once
+
+#include <cstdint>
+
+namespace argocore {
+
+struct CoherenceStats {
+  std::uint64_t read_hits = 0;
+  std::uint64_t read_misses = 0;
+  std::uint64_t write_hits = 0;        ///< stores to already-dirty pages
+  std::uint64_t write_misses = 0;      ///< stores needing twin + registration
+  std::uint64_t home_accesses = 0;     ///< loads/stores served by home memory
+
+  std::uint64_t line_fetches = 0;      ///< line fills (prefetch included)
+  std::uint64_t pages_fetched = 0;
+  std::uint64_t bytes_fetched = 0;
+
+  std::uint64_t writebacks = 0;        ///< pages written back (Fig. 10 metric)
+  std::uint64_t writeback_bytes = 0;   ///< wire bytes of all writebacks
+  std::uint64_t diffs_built = 0;
+  std::uint64_t full_page_writebacks = 0;
+
+  std::uint64_t si_fences = 0;
+  std::uint64_t sd_fences = 0;
+  std::uint64_t si_invalidations = 0;  ///< pages dropped by SI fences
+  std::uint64_t evictions = 0;         ///< pages displaced by conflicts
+
+  std::uint64_t dir_ops = 0;           ///< remote directory atomics issued
+  std::uint64_t transitions_caused = 0;///< P→S / NW→SW / SW→MW this node caused
+  std::uint64_t checkpoints = 0;       ///< naive-P/S checkpoint copies
+  std::uint64_t checkpoint_bytes = 0;
+  std::uint64_t heals = 0;             ///< naive-P/S P→S services from checkpoints
+
+  CoherenceStats& operator+=(const CoherenceStats& o) {
+    read_hits += o.read_hits;
+    read_misses += o.read_misses;
+    write_hits += o.write_hits;
+    write_misses += o.write_misses;
+    home_accesses += o.home_accesses;
+    line_fetches += o.line_fetches;
+    pages_fetched += o.pages_fetched;
+    bytes_fetched += o.bytes_fetched;
+    writebacks += o.writebacks;
+    writeback_bytes += o.writeback_bytes;
+    diffs_built += o.diffs_built;
+    full_page_writebacks += o.full_page_writebacks;
+    si_fences += o.si_fences;
+    sd_fences += o.sd_fences;
+    si_invalidations += o.si_invalidations;
+    evictions += o.evictions;
+    dir_ops += o.dir_ops;
+    transitions_caused += o.transitions_caused;
+    checkpoints += o.checkpoints;
+    checkpoint_bytes += o.checkpoint_bytes;
+    heals += o.heals;
+    return *this;
+  }
+};
+
+}  // namespace argocore

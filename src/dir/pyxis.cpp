@@ -1,0 +1,43 @@
+#include "dir/pyxis.hpp"
+
+namespace argodir {
+
+PyxisDirectory::PyxisDirectory(GlobalMemory& gmem, argonet::Interconnect& net)
+    : gmem_(gmem), net_(net) {
+  words_.assign(gmem.pages(), 0);
+  caches_.assign(static_cast<std::size_t>(net.nodes()),
+                 std::vector<std::uint64_t>(gmem.pages(), 0));
+  notify_count_.assign(static_cast<std::size_t>(net.nodes()), 0);
+  assert(net.nodes() <= kMaxNodes &&
+         "directory word encodes at most 32 nodes");
+}
+
+DirWord PyxisDirectory::fetch_or(int src, std::uint64_t page,
+                                 std::uint64_t bits) {
+  const int home = gmem_.home_of_page(page);
+  std::uint64_t prev = net_.fetch_or(src, home, &words_[page], bits);
+  return DirWord{prev};
+}
+
+DirWord PyxisDirectory::read(int src, std::uint64_t page) {
+  const int home = gmem_.home_of_page(page);
+  std::uint64_t word = 0;
+  net_.read(src, home, &words_[page], &word, sizeof(word));
+  return DirWord{word};
+}
+
+void PyxisDirectory::reset_all() {
+  std::fill(words_.begin(), words_.end(), 0);
+  for (auto& c : caches_) std::fill(c.begin(), c.end(), 0);
+}
+
+void PyxisDirectory::cache_merge_remote(int src, int dst, std::uint64_t page,
+                                        std::uint64_t word) {
+  // One small RDMA atomic into the displaced owner's (registered)
+  // directory-cache window. An OR at completion time, so it commutes with
+  // the owner's own lookups and with other racing notifications.
+  net_.fetch_or(src, dst, &cache_slot(dst, page), word);
+  ++notify_count_[static_cast<std::size_t>(dst)];
+}
+
+}  // namespace argodir

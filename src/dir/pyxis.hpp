@@ -1,0 +1,139 @@
+// Pyxis: the passive classification directory (paper §3.3–3.5).
+//
+// For every page the home node holds a *full map* of readers and writers.
+// The directory is pure metadata: it is only ever read and written by RDMA
+// issued from requesting nodes — there is no directory agent, no message
+// handler, no state machine running at the home. Classification
+// (Private/Shared, No-Writer/Single-Writer/Multiple-Writers) is *inferred*
+// by the accessing nodes from the maps.
+//
+// Encoding: one 64-bit word per page; bit r (r < 32) = node r has read the
+// page, bit 32+w = node w has written it. A single fetch-or therefore
+// registers the caller and returns both maps in one network atomic — the
+// paper's "Fetch&Add [that] returns the updated reader and writer full
+// maps". This caps the cluster at 32 nodes (the paper's own runs beyond 32
+// nodes are reproduced at reduced scale; see EXPERIMENTS.md).
+//
+// Every node also keeps a *directory cache*: a local copy of the word for
+// every page it has ever looked up. Nodes that cause a classification
+// transition (P→S, NW→SW, SW→MW) notify the displaced owner by remotely
+// writing the updated word into the owner's directory cache (one RDMA
+// write, no handler). The owner observes the change at its next fence or
+// miss — the paper's *deferred invalidation*, valid under DRF semantics.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+#include "mem/global_memory.hpp"
+#include "net/interconnect.hpp"
+
+namespace argodir {
+
+using argomem::GAddr;
+using argomem::GlobalMemory;
+
+/// Maximum cluster size representable in one directory word.
+inline constexpr int kMaxNodes = 32;
+
+/// Reader/writer full maps for one page.
+struct DirWord {
+  std::uint64_t raw = 0;
+
+  static constexpr std::uint64_t reader_bit(int node) {
+    return std::uint64_t{1} << node;
+  }
+  static constexpr std::uint64_t writer_bit(int node) {
+    return std::uint64_t{1} << (32 + node);
+  }
+
+  std::uint32_t readers() const { return static_cast<std::uint32_t>(raw); }
+  std::uint32_t writers() const { return static_cast<std::uint32_t>(raw >> 32); }
+
+  bool is_reader(int node) const { return readers() >> node & 1; }
+  bool is_writer(int node) const { return writers() >> node & 1; }
+
+  int reader_count() const { return __builtin_popcount(readers()); }
+  int writer_count() const { return __builtin_popcount(writers()); }
+
+  /// All nodes that have touched the page (read or write).
+  std::uint32_t accessors() const { return readers() | writers(); }
+
+  /// Private: at most one node has ever accessed the page.
+  bool private_to(int node) const {
+    return (accessors() & ~(std::uint32_t{1} << node)) == 0;
+  }
+
+  /// Index of the single reader/writer (precondition: count == 1).
+  int single_reader() const { return __builtin_ctz(readers()); }
+  int single_writer() const { return __builtin_ctz(writers()); }
+};
+
+// Directory-cache words start at 0 ("no knowledge"). Because maps are
+// monotonic (bits are only ever set between resets), every update — the
+// node's own lookups and remote transition notifications alike — is an OR,
+// so concurrent updates commute and no versioning is needed. A node with a
+// page in its page cache always has at least its own reader bit cached.
+
+/// The home-side directory plus each node's directory cache.
+class PyxisDirectory {
+ public:
+  PyxisDirectory(GlobalMemory& gmem, argonet::Interconnect& net);
+
+  // --- Home-side directory, accessed only via RDMA ----------------------
+
+  /// Register bits (reader and/or writer) for `page` at its home directory.
+  /// Issued by node `src`; returns the word *before* the OR (the caller
+  /// derives the updated maps locally). Charged as one remote atomic.
+  DirWord fetch_or(int src, std::uint64_t page, std::uint64_t bits);
+
+  /// Read the home directory word without modifying it (one RDMA read).
+  DirWord read(int src, std::uint64_t page);
+
+  /// Host-side (zero-cost) view of a home directory word, for tests and
+  /// benchmark reporting outside the simulation.
+  DirWord host_word(std::uint64_t page) const { return DirWord{words_[page]}; }
+
+  /// Zero every map and every directory cache. Models the paper's reset of
+  /// reader/writer maps at the end of the (sequential) initialization phase
+  /// (§3.4: "initialization writes do not count"). Collective; free.
+  void reset_all();
+
+  // --- Per-node directory caches -----------------------------------------
+
+  /// Local lookup in `node`'s directory cache (free: node-local memory).
+  /// Returns 0 if the node has no knowledge of the page.
+  std::uint64_t cache_get(int node, std::uint64_t page) const {
+    return caches_[static_cast<std::size_t>(node)][page];
+  }
+
+  /// Merge new knowledge into `node`'s own cache (free: node-local).
+  void cache_merge_local(int node, std::uint64_t page, std::uint64_t word) {
+    cache_slot(node, page) |= word;
+  }
+
+  /// Remotely merge `word` into `dst`'s directory cache: the RDMA write a
+  /// transition-causing node uses to notify a displaced private owner or
+  /// single writer. Charged as one remote write of 8 bytes issued by `src`.
+  void cache_merge_remote(int src, int dst, std::uint64_t page,
+                          std::uint64_t word);
+
+  /// Number of transition notifications delivered to each node (stats).
+  std::uint64_t notifications(int node) const {
+    return notify_count_[static_cast<std::size_t>(node)];
+  }
+
+ private:
+  std::uint64_t& cache_slot(int node, std::uint64_t page) {
+    return caches_[static_cast<std::size_t>(node)][page];
+  }
+
+  GlobalMemory& gmem_;
+  argonet::Interconnect& net_;
+  std::vector<std::uint64_t> words_;                // home dir, one per page
+  std::vector<std::vector<std::uint64_t>> caches_;  // [node][page]
+  std::vector<std::uint64_t> notify_count_;
+};
+
+}  // namespace argodir

@@ -1,0 +1,66 @@
+// Typed handles into the global (cluster-wide) address space.
+//
+// A gptr<T> is an offset into the shared virtual address space that Argo
+// sets up across all nodes (§3 of the paper: "allocating the same range of
+// virtual addresses using mmap"). In the original system a gptr is a real
+// pointer and loads/stores trap via mprotect; in this reproduction access
+// goes through the explicit Thread::load/store API, which enters the same
+// protocol path a fault handler would.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace argomem {
+
+/// Size of a DSM page (the paper uses the 4 KiB virtual-memory page).
+inline constexpr std::size_t kPageSize = 4096;
+
+/// Raw byte offset in the global address space.
+using GAddr = std::uint64_t;
+
+/// Invalid / null global address.
+inline constexpr GAddr kNullGAddr = ~static_cast<GAddr>(0);
+
+/// Page number containing a global address.
+inline constexpr std::uint64_t page_of(GAddr a) { return a / kPageSize; }
+
+/// Byte offset of a global address within its page.
+inline constexpr std::size_t page_offset(GAddr a) { return a % kPageSize; }
+
+/// Typed global pointer: behaves like a random-access pointer over GAddr.
+template <typename T>
+class gptr {
+ public:
+  using value_type = T;
+
+  constexpr gptr() = default;
+  constexpr explicit gptr(GAddr raw) : raw_(raw) {}
+
+  constexpr GAddr raw() const { return raw_; }
+  constexpr bool null() const { return raw_ == kNullGAddr; }
+  constexpr explicit operator bool() const { return !null(); }
+
+  constexpr gptr operator+(std::ptrdiff_t i) const {
+    return gptr(raw_ + static_cast<GAddr>(i * static_cast<std::ptrdiff_t>(sizeof(T))));
+  }
+  constexpr gptr operator-(std::ptrdiff_t i) const { return *this + (-i); }
+  gptr& operator+=(std::ptrdiff_t i) { return *this = *this + i, *this; }
+  gptr& operator++() { return *this += 1; }
+  constexpr gptr<T> at(std::size_t i) const {
+    return *this + static_cast<std::ptrdiff_t>(i);
+  }
+
+  constexpr bool operator==(const gptr&) const = default;
+
+  /// Reinterpret as a pointer to another element type (offset preserved).
+  template <typename U>
+  constexpr gptr<U> cast() const {
+    return gptr<U>(raw_);
+  }
+
+ private:
+  GAddr raw_ = kNullGAddr;
+};
+
+}  // namespace argomem

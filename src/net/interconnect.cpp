@@ -1,0 +1,209 @@
+#include "net/interconnect.hpp"
+
+#include <cassert>
+#include <cstring>
+
+namespace argonet {
+
+NodeNetStats& NodeNetStats::operator+=(const NodeNetStats& o) {
+  rdma_reads += o.rdma_reads;
+  rdma_writes += o.rdma_writes;
+  rdma_atomics += o.rdma_atomics;
+  msgs_sent += o.msgs_sent;
+  msgs_received += o.msgs_received;
+  bytes_read += o.bytes_read;
+  bytes_written += o.bytes_written;
+  bytes_sent += o.bytes_sent;
+  nic_busy += o.nic_busy;
+  return *this;
+}
+
+Interconnect::Interconnect(int nodes, NetConfig cfg)
+    : nodes_(nodes), cfg_(cfg) {
+  assert(nodes > 0);
+  boxes_.reserve(static_cast<std::size_t>(nodes));
+  for (int i = 0; i < nodes; ++i) boxes_.push_back(std::make_unique<NodeBox>());
+}
+
+void Interconnect::charge(int src, Time busy, Time extra_latency) {
+  auto& box = *boxes_[src];
+  box.stats.nic_busy += busy;
+  if (cfg_.serialize_nic) {
+    argosim::SimLockGuard g(box.nic);
+    argosim::delay(busy);
+  } else {
+    argosim::delay(busy);
+  }
+  if (extra_latency > 0) argosim::delay(extra_latency);
+}
+
+void Interconnect::read(int src, int dst, const void* remote, void* local,
+                        std::size_t n) {
+  auto& s = boxes_[src]->stats;
+  ++s.rdma_reads;
+  s.bytes_read += n;
+  if (src == dst) {
+    argosim::delay(cfg_.mem_latency + cfg_.mem_copy(n));
+  } else {
+    charge(src, cfg_.nic_overhead + cfg_.net_transfer(n), cfg_.rdma_latency);
+  }
+  // The value observed is the remote content at completion time.
+  std::memcpy(local, remote, n);
+}
+
+void Interconnect::write(int src, int dst, void* remote, const void* local,
+                         std::size_t n) {
+  auto& s = boxes_[src]->stats;
+  ++s.rdma_writes;
+  s.bytes_written += n;
+  if (src == dst) {
+    argosim::delay(cfg_.mem_latency + cfg_.mem_copy(n));
+  } else {
+    charge(src, cfg_.nic_overhead + cfg_.net_transfer(n), cfg_.rdma_latency);
+  }
+  // The data becomes globally visible at completion time.
+  std::memcpy(remote, local, n);
+}
+
+void Interconnect::charge_write(int src, int dst, std::size_t n) {
+  auto& s = boxes_[src]->stats;
+  ++s.rdma_writes;
+  s.bytes_written += n;
+  if (src == dst) {
+    argosim::delay(cfg_.mem_latency + cfg_.mem_copy(n));
+  } else {
+    charge(src, cfg_.nic_overhead + cfg_.net_transfer(n), cfg_.rdma_latency);
+  }
+}
+
+std::uint64_t Interconnect::fetch_or(int src, int dst, std::uint64_t* remote,
+                                     std::uint64_t bits) {
+  auto& s = boxes_[src]->stats;
+  ++s.rdma_atomics;
+  if (src == dst) {
+    argosim::delay(cfg_.mem_latency);
+  } else {
+    charge(src, cfg_.nic_overhead, cfg_.rdma_latency);
+  }
+  std::uint64_t old = *remote;
+  *remote = old | bits;
+  return old;
+}
+
+std::uint64_t Interconnect::fetch_add(int src, int dst, std::uint64_t* remote,
+                                      std::uint64_t v) {
+  auto& s = boxes_[src]->stats;
+  ++s.rdma_atomics;
+  if (src == dst) {
+    argosim::delay(cfg_.mem_latency);
+  } else {
+    charge(src, cfg_.nic_overhead, cfg_.rdma_latency);
+  }
+  std::uint64_t old = *remote;
+  *remote = old + v;
+  return old;
+}
+
+std::uint64_t Interconnect::cas(int src, int dst, std::uint64_t* remote,
+                                std::uint64_t expected, std::uint64_t desired) {
+  auto& s = boxes_[src]->stats;
+  ++s.rdma_atomics;
+  if (src == dst) {
+    argosim::delay(cfg_.mem_latency);
+  } else {
+    charge(src, cfg_.nic_overhead, cfg_.rdma_latency);
+  }
+  std::uint64_t old = *remote;
+  if (old == expected) *remote = desired;
+  return old;
+}
+
+std::uint64_t Interconnect::exchange(int src, int dst, std::uint64_t* remote,
+                                     std::uint64_t desired) {
+  auto& s = boxes_[src]->stats;
+  ++s.rdma_atomics;
+  if (src == dst) {
+    argosim::delay(cfg_.mem_latency);
+  } else {
+    charge(src, cfg_.nic_overhead, cfg_.rdma_latency);
+  }
+  std::uint64_t old = *remote;
+  *remote = desired;
+  return old;
+}
+
+void Interconnect::send(Message msg) {
+  assert(msg.src >= 0 && msg.src < nodes_ && msg.dst >= 0 && msg.dst < nodes_);
+  auto& s = boxes_[msg.src]->stats;
+  ++s.msgs_sent;
+  s.bytes_sent += msg.payload.size();
+  const std::size_t wire = msg.wire_size();
+  if (msg.src == msg.dst) {
+    argosim::delay(cfg_.mem_latency + cfg_.mem_copy(wire));
+  } else {
+    charge(msg.src, cfg_.nic_overhead + cfg_.net_transfer(wire), 0);
+  }
+  Time deliver_at = argosim::now() + (msg.src == msg.dst ? 0 : cfg_.msg_latency);
+  auto& box = *boxes_[msg.dst];
+  box.inbox.push(Pending{deliver_at, send_seq_++, std::move(msg)});
+  box.rx_waiters.notify_all();
+}
+
+Time Interconnect::charge_message(int src, int dst,
+                                  std::size_t payload_bytes) {
+  auto& s = boxes_[src]->stats;
+  ++s.msgs_sent;
+  s.bytes_sent += payload_bytes;
+  const std::size_t wire = 40 + payload_bytes;
+  if (src == dst) {
+    argosim::delay(cfg_.mem_latency + cfg_.mem_copy(wire));
+    return argosim::now();
+  }
+  charge(src, cfg_.nic_overhead + cfg_.net_transfer(wire), 0);
+  return argosim::now() + cfg_.msg_latency;
+}
+
+Message Interconnect::recv(int node) {
+  auto& box = *boxes_[node];
+  for (;;) {
+    if (!box.inbox.empty()) {
+      const Pending& top = box.inbox.top();
+      if (top.deliver_at <= argosim::now()) {
+        Message m = std::move(const_cast<Pending&>(top).msg);
+        box.inbox.pop();
+        ++box.stats.msgs_received;
+        return m;
+      }
+      box.rx_waiters.wait_until(top.deliver_at);
+    } else {
+      box.rx_waiters.wait();
+    }
+  }
+}
+
+std::optional<Message> Interconnect::try_recv(int node) {
+  auto& box = *boxes_[node];
+  if (box.inbox.empty() || box.inbox.top().deliver_at > argosim::now())
+    return std::nullopt;
+  Message m = std::move(const_cast<Pending&>(box.inbox.top()).msg);
+  box.inbox.pop();
+  ++box.stats.msgs_received;
+  return m;
+}
+
+bool Interconnect::poll(int node) {
+  auto& box = *boxes_[node];
+  return !box.inbox.empty() && box.inbox.top().deliver_at <= argosim::now();
+}
+
+NodeNetStats Interconnect::total_stats() const {
+  NodeNetStats total;
+  for (auto& b : boxes_) total += b->stats;
+  return total;
+}
+
+void Interconnect::reset_stats() {
+  for (auto& b : boxes_) b->stats = NodeNetStats{};
+}
+
+}  // namespace argonet

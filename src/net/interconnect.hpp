@@ -1,0 +1,157 @@
+// Simulated cluster interconnect.
+//
+// Provides the two communication styles the paper contrasts:
+//
+//  * one-sided RDMA verbs (read, write, fetch-or, fetch-add, CAS) — the only
+//    operations Argo's passive Carina/Pyxis protocol uses; no code runs on
+//    the target node, only latency/bandwidth is charged, and
+//  * two-sided messages with mailboxes — what traditional DSMs and the
+//    MPI/PGAS baselines use; receiving requires an *active* agent (a handler
+//    fiber or a blocked receiver) on the target node.
+//
+// All operations must be called from a simulated thread. When
+// NetConfig::serialize_nic is set, ops from the same node serialize on a
+// per-node NIC lock, reproducing the paper's "only one thread can use the
+// interconnect at any point in time" MPI prototype limitation (§3.6.2).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "net/netconfig.hpp"
+#include "sim/engine.hpp"
+#include "sim/sync.hpp"
+
+namespace argonet {
+
+using argosim::Time;
+
+/// A two-sided message. `tag` is protocol-defined; `a/b/c` carry small
+/// immediate operands so tiny control messages need no payload allocation.
+struct Message {
+  int src = -1;
+  int dst = -1;
+  int tag = 0;
+  std::uint64_t a = 0, b = 0, c = 0;
+  std::vector<std::byte> payload;
+
+  std::size_t wire_size() const { return 40 + payload.size(); }
+};
+
+/// Per-node traffic statistics (virtual-time accounting).
+struct NodeNetStats {
+  std::uint64_t rdma_reads = 0;
+  std::uint64_t rdma_writes = 0;
+  std::uint64_t rdma_atomics = 0;
+  std::uint64_t msgs_sent = 0;
+  std::uint64_t msgs_received = 0;
+  std::uint64_t bytes_read = 0;     ///< payload bytes fetched by RDMA reads
+  std::uint64_t bytes_written = 0;  ///< payload bytes pushed by RDMA writes
+  std::uint64_t bytes_sent = 0;     ///< message payload bytes sent
+  Time nic_busy = 0;                ///< time this node's NIC was held
+
+  std::uint64_t total_ops() const {
+    return rdma_reads + rdma_writes + rdma_atomics + msgs_sent;
+  }
+  std::uint64_t total_bytes() const {
+    return bytes_read + bytes_written + bytes_sent;
+  }
+  NodeNetStats& operator+=(const NodeNetStats& o);
+};
+
+class Interconnect {
+ public:
+  Interconnect(int nodes, NetConfig cfg);
+
+  int nodes() const { return nodes_; }
+  const NetConfig& config() const { return cfg_; }
+
+  // --- One-sided RDMA verbs (passive: no code runs on `dst`) -------------
+
+  /// Read `n` bytes from `remote` (memory homed on node `dst`) into `local`.
+  void read(int src, int dst, const void* remote, void* local, std::size_t n);
+
+  /// Write `n` bytes from `local` into `remote` (memory homed on node `dst`).
+  void write(int src, int dst, void* remote, const void* local, std::size_t n);
+
+  /// Charge an RDMA write of `n` payload bytes without performing a copy.
+  /// Used for scattered payloads (diff runs): the caller applies the bytes
+  /// itself immediately after this returns (i.e. at completion time).
+  void charge_write(int src, int dst, std::size_t n);
+
+  /// Remote atomic OR; returns the previous value (MPI_Fetch_and_op(BOR)).
+  std::uint64_t fetch_or(int src, int dst, std::uint64_t* remote,
+                         std::uint64_t bits);
+
+  /// Remote atomic add; returns the previous value.
+  std::uint64_t fetch_add(int src, int dst, std::uint64_t* remote,
+                          std::uint64_t v);
+
+  /// Remote compare-and-swap; returns the previous value.
+  std::uint64_t cas(int src, int dst, std::uint64_t* remote,
+                    std::uint64_t expected, std::uint64_t desired);
+
+  /// Remote atomic exchange; returns the previous value
+  /// (MPI_Fetch_and_op(REPLACE)).
+  std::uint64_t exchange(int src, int dst, std::uint64_t* remote,
+                         std::uint64_t desired);
+
+  // --- Two-sided messages (require an active receiver on `dst`) ----------
+
+  /// Post a message. The sender is charged posting + streaming time; the
+  /// message becomes visible to receivers on `dst` after the wire latency.
+  void send(Message msg);
+
+  /// Charge the cost of sending a `payload_bytes` message from `src` to
+  /// `dst` without enqueuing anything; returns the virtual time at which
+  /// the message is delivered. Higher-level messaging layers (the MPI
+  /// library) keep their own mailboxes but pay the same budget.
+  Time charge_message(int src, int dst, std::size_t payload_bytes);
+
+  /// Block until a message for `node` is deliverable, then return it.
+  Message recv(int node);
+
+  /// Non-blocking receive; returns an empty optional if nothing deliverable.
+  std::optional<Message> try_recv(int node);
+
+  /// True if a message is deliverable right now without blocking.
+  bool poll(int node);
+
+  // --- Statistics ---------------------------------------------------------
+
+  const NodeNetStats& stats(int node) const { return boxes_[node]->stats; }
+  NodeNetStats total_stats() const;
+  void reset_stats();
+
+ private:
+  struct Pending {
+    Time deliver_at;
+    std::uint64_t seq;
+    Message msg;
+    bool operator>(const Pending& o) const {
+      return deliver_at != o.deliver_at ? deliver_at > o.deliver_at
+                                        : seq > o.seq;
+    }
+  };
+
+  struct NodeBox {
+    argosim::SimMutex nic;
+    std::priority_queue<Pending, std::vector<Pending>, std::greater<>> inbox;
+    argosim::WaitQueue rx_waiters;
+    NodeNetStats stats;
+  };
+
+  /// Hold node `src`'s NIC for `busy` ns, then charge `extra_latency` more
+  /// (time the op is in flight but the NIC is free again).
+  void charge(int src, Time busy, Time extra_latency);
+
+  int nodes_;
+  NetConfig cfg_;
+  std::vector<std::unique_ptr<NodeBox>> boxes_;
+  std::uint64_t send_seq_ = 0;
+};
+
+}  // namespace argonet

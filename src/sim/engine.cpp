@@ -1,0 +1,205 @@
+#include "sim/engine.hpp"
+
+#include <ucontext.h>
+
+#include <cassert>
+#include <exception>
+#include <sstream>
+
+namespace argosim {
+
+namespace {
+
+thread_local Engine* g_engine = nullptr;
+thread_local SimThread* g_thread = nullptr;
+
+// The context the scheduler loop runs in. One engine is active per OS thread
+// at a time, so a thread_local slot is sufficient.
+thread_local ucontext_t g_sched_ctx;
+
+// makecontext() only passes ints; smuggle the SimThread* through two halves.
+void pack_ptr(SimThread* t, unsigned& hi, unsigned& lo) {
+  auto p = reinterpret_cast<std::uintptr_t>(t);
+  hi = static_cast<unsigned>(p >> 32);
+  lo = static_cast<unsigned>(p & 0xffffffffu);
+}
+
+SimThread* unpack_ptr(unsigned hi, unsigned lo) {
+  auto p = (static_cast<std::uintptr_t>(hi) << 32) | lo;
+  return reinterpret_cast<SimThread*>(p);
+}
+
+}  // namespace
+
+struct SimThread::Impl {
+  ucontext_t ctx{};
+  std::unique_ptr<char[]> stack;
+  std::size_t stack_size = 0;
+  bool started = false;
+  std::exception_ptr error;
+};
+
+SimThread::SimThread(Engine* eng, std::uint64_t id, std::string name,
+                     std::function<void()> body, std::size_t stack_size,
+                     bool daemon)
+    : impl_(std::make_unique<Impl>()),
+      engine_(eng),
+      id_(id),
+      name_(std::move(name)),
+      body_(std::move(body)),
+      daemon_(daemon) {
+  impl_->stack_size = stack_size;
+  impl_->stack = std::make_unique<char[]>(stack_size);
+}
+
+SimThread::~SimThread() = default;
+
+Engine::Engine() = default;
+
+Engine::~Engine() {
+  // Unwind any fibers that are still alive (typically daemon message
+  // handlers) so their stacks and captures are destroyed properly.
+  for (auto& t : threads_) {
+    if (!t->finished_) {
+      t->stop_requested_ = true;
+      if (t->blocked_) {
+        t->blocked_ = false;
+        make_runnable(t.get(), now_);
+      }
+    }
+  }
+  while (!runq_.empty()) {
+    QueueEntry e = runq_.top();
+    runq_.pop();
+    if (e.thread->finished_ || e.token != e.thread->wake_token_) continue;
+    now_ = std::max(now_, e.when);
+    try {
+      switch_to(e.thread);
+    } catch (...) {
+      // Destructor must not throw; errors during shutdown are dropped.
+    }
+  }
+}
+
+Engine* Engine::current() { return g_engine; }
+SimThread* Engine::current_thread() { return g_thread; }
+
+SimThread* Engine::spawn(std::string name, std::function<void()> body,
+                         bool daemon, std::size_t stack_size) {
+  auto t = std::unique_ptr<SimThread>(new SimThread(
+      this, next_id_++, std::move(name), std::move(body), stack_size, daemon));
+  SimThread* raw = t.get();
+  threads_.push_back(std::move(t));
+  ++spawned_;
+  if (daemon)
+    ++live_daemon_;
+  else
+    ++live_nondaemon_;
+  make_runnable(raw, now_);
+  return raw;
+}
+
+void Engine::make_runnable(SimThread* t, Time when) {
+  assert(!t->finished_);
+  // Bumping the wake token invalidates any entry already queued for this
+  // thread (e.g. the timeout entry of a timed wait that got notified first).
+  runq_.push(QueueEntry{when, next_seq_++, t, ++t->wake_token_});
+}
+
+void Engine::fiber_main(unsigned hi, unsigned lo) {
+  SimThread* t = unpack_ptr(hi, lo);
+  try {
+    if (t->stop_requested_) throw SimStopped{};
+    t->body_();
+  } catch (const SimStopped&) {
+    // clean shutdown of a parked fiber
+  } catch (...) {
+    t->impl_->error = std::current_exception();
+  }
+  t->finished_ = true;
+  t->body_ = nullptr;
+  // Hand control back to the scheduler loop for good.
+  swapcontext(&t->impl_->ctx, &g_sched_ctx);
+}
+
+void Engine::switch_to(SimThread* t) {
+  Engine* prev_engine = g_engine;
+  SimThread* prev_thread = g_thread;
+  g_engine = this;
+  g_thread = t;
+  running_ = t;
+
+  if (!t->impl_->started) {
+    t->impl_->started = true;
+    getcontext(&t->impl_->ctx);
+    t->impl_->ctx.uc_stack.ss_sp = t->impl_->stack.get();
+    t->impl_->ctx.uc_stack.ss_size = t->impl_->stack_size;
+    t->impl_->ctx.uc_link = &g_sched_ctx;
+    unsigned hi, lo;
+    pack_ptr(t, hi, lo);
+    makecontext(&t->impl_->ctx,
+                reinterpret_cast<void (*)()>(&Engine::fiber_main), 2, hi, lo);
+  }
+  swapcontext(&g_sched_ctx, &t->impl_->ctx);
+
+  running_ = nullptr;
+  g_engine = prev_engine;
+  g_thread = prev_thread;
+
+  if (t->finished_) reap_finished_one(t);
+}
+
+void Engine::reap_finished_one(SimThread* t) {
+  if (t->daemon_)
+    --live_daemon_;
+  else
+    --live_nondaemon_;
+  if (t->impl_->error) {
+    std::exception_ptr err = t->impl_->error;
+    t->impl_->error = nullptr;
+    std::rethrow_exception(err);
+  }
+}
+
+void Engine::switch_to_scheduler() {
+  SimThread* self = g_thread;
+  assert(self && "must be called from inside a simulated thread");
+  swapcontext(&self->impl_->ctx, &g_sched_ctx);
+  if (self->stop_requested_) throw SimStopped{};
+}
+
+void Engine::delay(Time ns) {
+  SimThread* self = g_thread;
+  assert(self && "delay() outside a simulated thread");
+  make_runnable(self, now_ + ns);
+  switch_to_scheduler();
+}
+
+void Engine::run() {
+  assert(!in_run_ && "Engine::run() is not reentrant");
+  in_run_ = true;
+  while (live_nondaemon_ > 0) {
+    if (runq_.empty()) {
+      std::ostringstream os;
+      os << "simulation deadlock at t=" << now_ << "ns; blocked threads:";
+      for (auto& t : threads_)
+        if (!t->finished_ && t->blocked_) os << ' ' << t->name_;
+      in_run_ = false;
+      throw SimDeadlock(os.str());
+    }
+    QueueEntry e = runq_.top();
+    runq_.pop();
+    if (e.thread->finished_ || e.token != e.thread->wake_token_) continue;
+    assert(e.when >= now_);
+    now_ = e.when;
+    try {
+      switch_to(e.thread);
+    } catch (...) {
+      in_run_ = false;
+      throw;
+    }
+  }
+  in_run_ = false;
+}
+
+}  // namespace argosim

@@ -1,0 +1,153 @@
+// Deterministic virtual-time execution engine.
+//
+// The engine cooperatively schedules "simulated threads" (fibers) against a
+// single virtual clock. Exactly one fiber runs at any moment, so simulated
+// code needs no real synchronization; logical concurrency is modeled by the
+// interleaving of fibers at explicit scheduling points (delay/yield/wait).
+// Scheduling is fully deterministic: the runnable fiber with the smallest
+// (wake time, insertion sequence) pair always runs next, so the same program
+// produces bit-identical virtual timings and statistics on every run.
+//
+// This is the substrate that stands in for the paper's physical cluster:
+// nodes, cores, NICs and message handlers are all simulated threads whose
+// costs are charged through delay().
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace argosim {
+
+class Engine;
+
+/// Thrown inside blocked fibers when the engine shuts down (e.g. daemon
+/// handler threads still waiting on a channel after all workers finished).
+struct SimStopped {};
+
+/// Thrown by Engine::run() when no fiber is runnable but non-daemon fibers
+/// are still blocked.
+class SimDeadlock : public std::runtime_error {
+ public:
+  explicit SimDeadlock(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// A simulated thread. Created via Engine::spawn(); users interact with it
+/// through the engine's static current()/delay()/now() interface and the
+/// primitives in sim/sync.hpp.
+class SimThread {
+ public:
+  const std::string& name() const { return name_; }
+  std::uint64_t id() const { return id_; }
+  bool daemon() const { return daemon_; }
+  bool finished() const { return finished_; }
+  ~SimThread();
+
+ private:
+  friend class Engine;
+  friend class WaitQueue;
+  SimThread(Engine* eng, std::uint64_t id, std::string name,
+            std::function<void()> body, std::size_t stack_size, bool daemon);
+  SimThread(const SimThread&) = delete;
+  SimThread& operator=(const SimThread&) = delete;
+
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+  Engine* engine_;
+  std::uint64_t id_;
+  std::string name_;
+  std::function<void()> body_;
+  bool daemon_ = false;
+  bool finished_ = false;
+  bool blocked_ = false;   // parked on a WaitQueue
+  bool stop_requested_ = false;
+  std::uint64_t wake_token_ = 0;  // invalidates stale run-queue entries
+};
+
+/// The virtual-time scheduler.
+class Engine {
+ public:
+  Engine();
+  ~Engine();
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Create a simulated thread, runnable at the current virtual time.
+  /// May be called from outside the simulation or from a running fiber.
+  /// Daemon fibers do not keep run() alive and are stopped (by a SimStopped
+  /// throw at their next scheduling point) when every non-daemon finished.
+  SimThread* spawn(std::string name, std::function<void()> body,
+                   bool daemon = false, std::size_t stack_size = default_stack_size);
+
+  /// Run the simulation until all non-daemon fibers have finished.
+  /// Throws SimDeadlock if progress is impossible. May be called repeatedly;
+  /// virtual time keeps advancing monotonically across calls.
+  void run();
+
+  /// Current virtual time.
+  Time now() const { return now_; }
+
+  /// Number of fibers that have ever been spawned / that are still live.
+  std::size_t spawned_count() const { return spawned_; }
+  std::size_t live_count() const { return live_nondaemon_ + live_daemon_; }
+
+  /// The engine owning the currently executing fiber (nullptr outside one).
+  static Engine* current();
+  /// The currently executing fiber (nullptr outside the simulation).
+  static SimThread* current_thread();
+
+  /// Advance the calling fiber's clock by `ns` virtual nanoseconds.
+  /// Other runnable fibers execute in the meantime.
+  void delay(Time ns);
+
+  /// Reschedule the calling fiber at the current time, after every other
+  /// fiber already runnable at this time (round-robin fairness point).
+  void yield() { delay(0); }
+
+ private:
+  friend class SimThread;
+  friend class WaitQueue;
+
+  static constexpr std::size_t default_stack_size = 256 * 1024;
+
+  struct QueueEntry {
+    Time when;
+    std::uint64_t seq;
+    SimThread* thread;
+    std::uint64_t token;
+    bool operator>(const QueueEntry& o) const {
+      return when != o.when ? when > o.when : seq > o.seq;
+    }
+  };
+
+  static void fiber_main(unsigned hi, unsigned lo);
+  void make_runnable(SimThread* t, Time when);
+  void switch_to(SimThread* t);
+  void switch_to_scheduler();  // called from inside a fiber
+  void reap_finished_one(SimThread* t);
+
+  std::priority_queue<QueueEntry, std::vector<QueueEntry>, std::greater<>> runq_;
+  std::vector<std::unique_ptr<SimThread>> threads_;
+  Time now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t next_id_ = 0;
+  std::size_t spawned_ = 0;
+  std::size_t live_nondaemon_ = 0;
+  std::size_t live_daemon_ = 0;
+  SimThread* running_ = nullptr;
+  bool in_run_ = false;
+};
+
+/// Free-function shorthands, valid inside a simulated thread.
+inline Time now() { return Engine::current()->now(); }
+inline void delay(Time ns) { Engine::current()->delay(ns); }
+inline void yield() { Engine::current()->yield(); }
+
+}  // namespace argosim

@@ -1,0 +1,237 @@
+// Cooperative synchronization primitives for simulated threads.
+//
+// These primitives order fibers in *virtual* time but are themselves free of
+// cost: they model the semantics of blocking, not its price. Cost models
+// (cacheline transfers, futex wakeups, network hops) are charged explicitly
+// by the higher-level lock/interconnect code that uses them.
+//
+// All waits are FIFO and deterministic.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <deque>
+#include <optional>
+#include <utility>
+
+#include "sim/engine.hpp"
+
+namespace argosim {
+
+/// FIFO parking lot for fibers. The building block for every other primitive.
+class WaitQueue {
+ public:
+  WaitQueue() = default;
+  WaitQueue(const WaitQueue&) = delete;
+  WaitQueue& operator=(const WaitQueue&) = delete;
+  // Movable so that containers of wait-queue-bearing structs can resize;
+  // moving with parked waiters is a logic error.
+  WaitQueue(WaitQueue&& o) noexcept : waiters_(std::move(o.waiters_)) {}
+  WaitQueue& operator=(WaitQueue&& o) noexcept {
+    assert(waiters_.empty() && o.waiters_.empty());
+    waiters_ = std::move(o.waiters_);
+    return *this;
+  }
+
+  /// Park the calling fiber until a notify releases it.
+  void wait() {
+    Engine* eng = Engine::current();
+    SimThread* self = Engine::current_thread();
+    assert(eng && self && "WaitQueue::wait outside simulation");
+    self->blocked_ = true;
+    waiters_.push_back(self);
+    eng->switch_to_scheduler();
+  }
+
+  /// Park the calling fiber until notified or until the virtual deadline.
+  /// Returns true if notified, false on timeout.
+  bool wait_until(Time deadline) {
+    Engine* eng = Engine::current();
+    SimThread* self = Engine::current_thread();
+    assert(eng && self && "WaitQueue::wait_until outside simulation");
+    self->blocked_ = true;
+    waiters_.push_back(self);
+    eng->make_runnable(self, deadline);  // timeout path
+    eng->switch_to_scheduler();
+    if (self->blocked_) {  // timeout fired before any notify reached us
+      self->blocked_ = false;
+      std::erase(waiters_, self);
+      return false;
+    }
+    return true;
+  }
+
+  /// Like wait_until, with a relative timeout.
+  bool wait_for(Time timeout) {
+    return wait_until(Engine::current()->now() + timeout);
+  }
+
+  /// Wake the oldest waiter (runnable at the current virtual time).
+  /// Returns the number of fibers woken (0 or 1).
+  std::size_t notify_one() {
+    Engine* eng = Engine::current();
+    assert(eng && "WaitQueue::notify_one outside simulation");
+    while (!waiters_.empty()) {
+      SimThread* t = waiters_.front();
+      waiters_.pop_front();
+      if (t->finished_) continue;  // unwound during shutdown
+      t->blocked_ = false;
+      eng->make_runnable(t, eng->now());
+      return 1;
+    }
+    return 0;
+  }
+
+  /// Wake every waiter. Returns the number of fibers woken.
+  std::size_t notify_all() {
+    std::size_t n = 0;
+    while (!waiters_.empty()) n += notify_one();
+    return n;
+  }
+
+  std::size_t waiters() const { return waiters_.size(); }
+
+ private:
+  std::deque<SimThread*> waiters_;
+};
+
+/// FIFO mutex with direct handoff: unlock passes ownership to the oldest
+/// waiter, so acquisition order equals arrival order (deterministic).
+class SimMutex {
+ public:
+  void lock() {
+    if (!locked_) {
+      locked_ = true;
+      return;
+    }
+    q_.wait();  // ownership is handed to us by unlock()
+  }
+
+  bool try_lock() {
+    if (locked_) return false;
+    locked_ = true;
+    return true;
+  }
+
+  void unlock() {
+    assert(locked_);
+    if (q_.notify_one() == 0) locked_ = false;
+    // else: stays locked, ownership transferred to the woken fiber
+  }
+
+  bool locked() const { return locked_; }
+
+ private:
+  bool locked_ = false;
+  WaitQueue q_;
+};
+
+/// RAII lock guard for SimMutex.
+class SimLockGuard {
+ public:
+  explicit SimLockGuard(SimMutex& m) : m_(m) { m_.lock(); }
+  ~SimLockGuard() { m_.unlock(); }
+  SimLockGuard(const SimLockGuard&) = delete;
+  SimLockGuard& operator=(const SimLockGuard&) = delete;
+
+ private:
+  SimMutex& m_;
+};
+
+/// Condition variable over SimMutex. No spurious wakeups.
+class SimCondVar {
+ public:
+  void wait(SimMutex& m) {
+    m.unlock();
+    q_.wait();
+    m.lock();
+  }
+
+  template <typename Pred>
+  void wait(SimMutex& m, Pred pred) {
+    while (!pred()) wait(m);
+  }
+
+  void notify_one() { q_.notify_one(); }
+  void notify_all() { q_.notify_all(); }
+
+ private:
+  WaitQueue q_;
+};
+
+/// Classic generation-counted barrier for a fixed party count.
+class SimBarrier {
+ public:
+  explicit SimBarrier(std::size_t parties) : parties_(parties) {}
+
+  void arrive_and_wait() {
+    assert(parties_ > 0);
+    std::uint64_t gen = generation_;
+    if (++arrived_ == parties_) {
+      arrived_ = 0;
+      ++generation_;
+      q_.notify_all();
+      return;
+    }
+    while (generation_ == gen) q_.wait();
+  }
+
+  std::size_t parties() const { return parties_; }
+
+ private:
+  std::size_t parties_;
+  std::size_t arrived_ = 0;
+  std::uint64_t generation_ = 0;
+  WaitQueue q_;
+};
+
+/// One-shot event: set() releases all current and future waiters.
+class SimEvent {
+ public:
+  void wait() {
+    while (!set_) q_.wait();
+  }
+  void set() {
+    set_ = true;
+    q_.notify_all();
+  }
+  bool is_set() const { return set_; }
+  void reset() { set_ = false; }
+
+ private:
+  bool set_ = false;
+  WaitQueue q_;
+};
+
+/// Unbounded FIFO channel between fibers.
+template <typename T>
+class Channel {
+ public:
+  void send(T v) {
+    items_.push_back(std::move(v));
+    q_.notify_one();
+  }
+
+  T recv() {
+    while (items_.empty()) q_.wait();
+    T v = std::move(items_.front());
+    items_.pop_front();
+    return v;
+  }
+
+  std::optional<T> try_recv() {
+    if (items_.empty()) return std::nullopt;
+    T v = std::move(items_.front());
+    items_.pop_front();
+    return v;
+  }
+
+  std::size_t size() const { return items_.size(); }
+  bool empty() const { return items_.empty(); }
+
+ private:
+  std::deque<T> items_;
+  WaitQueue q_;
+};
+
+}  // namespace argosim

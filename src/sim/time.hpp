@@ -1,0 +1,26 @@
+// Virtual time for the cluster simulator.
+//
+// All performance numbers produced by this repository are measured on a
+// deterministic virtual clock, counted in nanoseconds. The clock only
+// advances when simulated threads explicitly spend time (compute charges,
+// network transfers, handler dispatch); pure bookkeeping is free.
+#pragma once
+
+#include <cstdint>
+
+namespace argosim {
+
+/// Virtual nanoseconds since the start of the simulation.
+using Time = std::uint64_t;
+
+/// Convenience literals for cost-model constants.
+constexpr Time operator""_ns(unsigned long long v) { return static_cast<Time>(v); }
+constexpr Time operator""_us(unsigned long long v) { return static_cast<Time>(v) * 1000; }
+constexpr Time operator""_ms(unsigned long long v) { return static_cast<Time>(v) * 1000000; }
+
+/// Convert a virtual duration to (floating point) microseconds / seconds.
+constexpr double to_us(Time t) { return static_cast<double>(t) / 1e3; }
+constexpr double to_ms(Time t) { return static_cast<double>(t) / 1e6; }
+constexpr double to_s(Time t) { return static_cast<double>(t) / 1e9; }
+
+}  // namespace argosim

@@ -1,0 +1,230 @@
+#include "sync/dsm_locks.hpp"
+
+#include <cassert>
+
+namespace argosync {
+
+// ---------------------------------------------------------------------------
+// GlobalMcsLock
+// ---------------------------------------------------------------------------
+
+GlobalMcsLock::GlobalMcsLock(Cluster& cluster) {
+  auto& g = cluster.gmem();
+  tail_ = g.alloc_on_node<std::uint64_t>(0, 1);
+  *g.home_ptr(tail_) = 0;
+  flag_.reserve(static_cast<std::size_t>(cluster.nodes()));
+  next_.reserve(static_cast<std::size_t>(cluster.nodes()));
+  for (int n = 0; n < cluster.nodes(); ++n) {
+    flag_.push_back(g.alloc_on_node<std::uint64_t>(n, 1));
+    next_.push_back(g.alloc_on_node<std::uint64_t>(n, 1));
+    *g.home_ptr(flag_.back()) = 0;
+    *g.home_ptr(next_.back()) = 0;
+  }
+}
+
+void GlobalMcsLock::acquire(Thread& t) {
+  const auto me = static_cast<std::uint64_t>(t.node());
+  // Reset our queue slot (local memory), then swap ourselves in as tail.
+  t.atomic_store(flag_[me], 0);
+  t.atomic_store(next_[me], 0);
+  const std::uint64_t prev = t.atomic_exchange(tail_, me + 1);
+  if (prev != 0) {
+    // Link into the predecessor's slot (one remote write), then spin on
+    // our *own* node's flag — the predecessor will write it remotely.
+    t.atomic_store(next_[prev - 1], me + 1);
+    while (t.atomic_load(flag_[me]) == 0) t.compute(kPoll);
+  }
+}
+
+void GlobalMcsLock::release(Thread& t) {
+  const auto me = static_cast<std::uint64_t>(t.node());
+  if (t.atomic_load(next_[me]) == 0) {
+    // Appear to have no successor: try to swing the tail back to free.
+    if (t.atomic_cas(tail_, me + 1, 0) == me + 1) return;
+    // Someone swapped in concurrently; wait for the link to appear.
+    while (t.atomic_load(next_[me]) == 0) t.compute(kPoll);
+  }
+  const std::uint64_t succ = t.atomic_load(next_[me]) - 1;
+  t.atomic_store(flag_[succ], 1);  // grant: remote write into their memory
+}
+
+// ---------------------------------------------------------------------------
+// HqdLock
+// ---------------------------------------------------------------------------
+
+HqdLock::HqdLock(Cluster& cluster, std::size_t queue_capacity,
+                 std::size_t batch_limit)
+    : cluster_(cluster),
+      global_(cluster),
+      queue_capacity_(queue_capacity),
+      batch_limit_(batch_limit),
+      stats_(static_cast<std::size_t>(cluster.nodes())) {
+  for (int n = 0; n < cluster.nodes(); ++n)
+    nodes_.emplace_back(&cluster.config().topo);
+}
+
+void HqdLock::execute(Thread& t, const std::function<void(Thread&)>& cs,
+                      bool wait) {
+  NodeQ& nq = nodes_[static_cast<std::size_t>(t.node())];
+  DelegationStats& st = stats_[static_cast<std::size_t>(t.node())];
+  for (;;) {
+    nq.word.rmw(t.core());  // TATAS on the node-local lock word
+    if (!nq.helper_active) {
+      // Become this node's helper: take the global lock, self-invalidate
+      // once to see earlier critical sections from other nodes, run a
+      // whole batch locally, self-downgrade once, hand the lock on.
+      nq.helper_active = true;
+      nq.open = true;
+      global_.acquire(t);
+      t.acquire();  // SI fence — once per batch (§4.2)
+      ++st.batches;
+      cs(t);
+      ++st.executed;
+      std::size_t executed = 1;
+      for (;;) {
+        if (executed >= batch_limit_) nq.open = false;
+        if (nq.queue.empty()) {
+          nq.open = false;
+          break;
+        }
+        Entry e = std::move(nq.queue.front());
+        nq.queue.pop_front();
+        nq.qline.touch(t.core());
+        e.cs(t);  // executed by the helper thread, same node = same cache
+        if (e.done != nullptr) e.done->set();
+        ++st.executed;
+        ++st.delegated;
+        ++executed;
+      }
+      t.release();  // SD fence — once per batch
+      global_.release(t);
+      nq.helper_active = false;
+      nq.word.touch(t.core());
+      return;
+    }
+    if (nq.open && nq.queue.size() < queue_capacity_) {
+      nq.qline.touch(t.core());
+      // The helper may have closed the queue during the transfer delay;
+      // re-validate before enqueueing or the entry would never run.
+      if (!nq.open || nq.queue.size() >= queue_capacity_) continue;
+      if (wait) {
+        argosim::SimEvent done;
+        nq.queue.push_back(Entry{cs, &done, t.core()});
+        done.wait();
+      } else {
+        nq.queue.push_back(Entry{cs, nullptr, t.core()});
+      }
+      return;
+    }
+    t.compute(200);  // queue closed or full: back off, retry
+  }
+}
+
+DelegationStats HqdLock::total_stats() const {
+  DelegationStats total;
+  for (const auto& s : stats_) {
+    total.batches += s.batches;
+    total.executed += s.executed;
+    total.delegated += s.delegated;
+  }
+  return total;
+}
+
+// ---------------------------------------------------------------------------
+// DsmCohortLock
+// ---------------------------------------------------------------------------
+
+DsmCohortLock::DsmCohortLock(Cluster& cluster, int cohort_limit)
+    : cluster_(cluster), global_(cluster), cohort_limit_(cohort_limit) {
+  for (int n = 0; n < cluster.nodes(); ++n)
+    nodes_.emplace_back(&cluster.config().topo);
+}
+
+void DsmCohortLock::lock(Thread& t) {
+  NodeState& ns = nodes_[static_cast<std::size_t>(t.node())];
+  ns.word.rmw(t.core());
+  if (ns.held) {
+    ns.q.wait();  // local handoff: ownership passed to us
+    ns.word.touch(t.core());
+  } else {
+    ns.held = true;
+  }
+  if (!ns.owns_global) {
+    global_.acquire(t);
+    ns.owns_global = true;
+    ns.batch = 0;
+    ++global_acqs_;
+  }
+  // Conventional lock semantics on Argo: SI fence at every acquire.
+  t.acquire();
+}
+
+void DsmCohortLock::unlock(Thread& t) {
+  // Conventional lock semantics on Argo: SD fence at every release.
+  t.release();
+  NodeState& ns = nodes_[static_cast<std::size_t>(t.node())];
+  ns.word.touch(t.core());
+  ++ns.batch;
+  const bool pass_local = ns.q.waiters() > 0 && ns.batch < cohort_limit_;
+  if (!pass_local && ns.owns_global) {
+    global_.release(t);
+    ns.owns_global = false;
+  }
+  if (ns.q.waiters() > 0)
+    ns.q.notify_one();
+  else
+    ns.held = false;
+}
+
+void DsmCohortLock::execute(Thread& t,
+                            const std::function<void(Thread&)>& cs) {
+  lock(t);
+  cs(t);
+  unlock(t);
+}
+
+// ---------------------------------------------------------------------------
+// DsmMutex
+// ---------------------------------------------------------------------------
+
+DsmMutex::DsmMutex(Cluster& cluster) : cluster_(cluster), global_(cluster) {
+  for (int n = 0; n < cluster.nodes(); ++n)
+    node_serial_.push_back(std::make_unique<argosim::SimMutex>());
+}
+
+void DsmMutex::lock(Thread& t) {
+  node_serial_[static_cast<std::size_t>(t.node())]->lock();
+  global_.acquire(t);
+  t.acquire();
+}
+
+void DsmMutex::unlock(Thread& t) {
+  t.release();
+  global_.release(t);
+  node_serial_[static_cast<std::size_t>(t.node())]->unlock();
+}
+
+// ---------------------------------------------------------------------------
+// DsmFlag
+// ---------------------------------------------------------------------------
+
+DsmFlag::DsmFlag(Cluster& cluster) {
+  word_ = cluster.gmem().alloc_on_node<std::uint64_t>(0, 1);
+  *cluster.gmem().home_ptr(word_) = 0;
+}
+
+void DsmFlag::set(Thread& t, std::uint64_t value) {
+  t.release();  // make everything written before the signal visible
+  t.atomic_store(word_, value);
+}
+
+std::uint64_t DsmFlag::wait(Thread& t, std::uint64_t at_least) {
+  std::uint64_t v;
+  while ((v = t.atomic_load(word_)) < at_least) t.compute(500);
+  t.acquire();  // see everything the signaller published
+  return v;
+}
+
+std::uint64_t DsmFlag::peek(Thread& t) { return t.atomic_load(word_); }
+
+}  // namespace argosync

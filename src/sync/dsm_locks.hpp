@@ -1,0 +1,162 @@
+// Vela: Argo's distributed synchronization (paper §4).
+//
+//  * GlobalMcsLock — the inter-node building block: an MCS queue lock over
+//    RDMA whose per-node queue entries are homed on their own node, so
+//    waiters spin on local memory and handoff is a single remote write.
+//  * HqdLock — hierarchical queue delegation (§4.2): critical sections are
+//    delegated only *within* a node; whichever thread becomes the node's
+//    helper takes the global lock once, self-invalidates once, executes a
+//    whole batch locally, self-downgrades once, and passes the global lock
+//    on. One SI/SD pair per batch instead of per critical section.
+//  * DsmCohortLock — the comparison point of Figure 12: a cohort lock over
+//    the DSM with conventional lock semantics, i.e. every critical section
+//    pays an SI fence at acquire and an SD fence at release.
+//  * DsmMutex — plain distributed mutex with per-CS fences (the "Argo
+//    Pthreads" lock for ported applications).
+//  * DsmFlag — signal/wait via an RDMA word plus fences (spin-flag
+//    synchronization exposed to Carina, §3.1).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "core/cluster.hpp"
+#include "sync/numa.hpp"
+
+namespace argosync {
+
+using argo::Cluster;
+using argo::Thread;
+using argomem::gptr;
+
+/// MCS queue lock across nodes, all protocol state accessed by RDMA.
+/// One queue slot per node: a node's threads serialize locally before
+/// contending globally (callers such as HqdLock guarantee this; DsmMutex
+/// adds its own node-local serialization).
+class GlobalMcsLock {
+ public:
+  explicit GlobalMcsLock(Cluster& cluster);
+
+  void acquire(Thread& t);
+  void release(Thread& t);
+
+  /// Poll interval while spinning on the (node-local) grant flag.
+  static constexpr argosim::Time kPoll = 100;
+
+ private:
+  gptr<std::uint64_t> tail_;                    // 0 = free, else node id + 1
+  std::vector<gptr<std::uint64_t>> flag_;       // grant flag, homed per node
+  std::vector<gptr<std::uint64_t>> next_;       // successor link, per node
+};
+
+/// Statistics for the delegation locks.
+struct DelegationStats {
+  std::uint64_t batches = 0;      ///< global lock acquisitions
+  std::uint64_t executed = 0;     ///< critical sections executed
+  std::uint64_t delegated = 0;    ///< sections executed on behalf of others
+};
+
+/// Hierarchical queue delegation lock (§4.2).
+class HqdLock {
+ public:
+  /// `batch_limit`: max critical sections one node executes per global
+  /// lock acquisition before handing over (the paper's "limit is reached").
+  HqdLock(Cluster& cluster, std::size_t queue_capacity = 128,
+          std::size_t batch_limit = 256);
+
+  /// Run `cs` under global mutual exclusion. If `wait` is false, the call
+  /// may return before `cs` executes (detached delegation). `cs` receives
+  /// the *executing* thread — always one on the caller's node, sharing its
+  /// page cache, which is what makes intra-node delegation fence-free.
+  void execute(Thread& t, const std::function<void(Thread&)>& cs, bool wait);
+
+  const DelegationStats& stats(int node) const { return stats_[node]; }
+  DelegationStats total_stats() const;
+
+ private:
+  struct Entry {
+    std::function<void(Thread&)> cs;
+    argosim::SimEvent* done;
+    int from_core;
+  };
+  struct NodeQ {
+    bool helper_active = false;
+    bool open = false;
+    std::deque<Entry> queue;
+    CachelineSet word;
+    CachelineSet qline;
+    explicit NodeQ(const argonet::NodeTopology* t) : word(t), qline(t) {}
+  };
+
+  Cluster& cluster_;
+  GlobalMcsLock global_;
+  std::size_t queue_capacity_;
+  std::size_t batch_limit_;
+  std::deque<NodeQ> nodes_;
+  std::vector<DelegationStats> stats_;
+};
+
+/// Cohort lock over the DSM with conventional acquire/release semantics:
+/// node-local handoff keeps the *lock* nearby, but every critical section
+/// still self-invalidates on acquire and self-downgrades on release —
+/// which is exactly why Figure 12 shows it collapsing against HQDL.
+class DsmCohortLock {
+ public:
+  DsmCohortLock(Cluster& cluster, int cohort_limit = 64);
+
+  void lock(Thread& t);
+  void unlock(Thread& t);
+  void execute(Thread& t, const std::function<void(Thread&)>& cs);
+
+  std::uint64_t global_acquisitions() const { return global_acqs_; }
+
+ private:
+  struct NodeState {
+    bool held = false;
+    bool owns_global = false;
+    int batch = 0;
+    argosim::WaitQueue q;
+    CachelineSet word;
+    explicit NodeState(const argonet::NodeTopology* t) : word(t) {}
+  };
+
+  Cluster& cluster_;
+  GlobalMcsLock global_;
+  int cohort_limit_;
+  std::deque<NodeState> nodes_;
+  std::uint64_t global_acqs_ = 0;
+};
+
+/// Plain distributed mutex: global MCS lock, SI on acquire, SD on release.
+class DsmMutex {
+ public:
+  explicit DsmMutex(Cluster& cluster);
+
+  void lock(Thread& t);
+  void unlock(Thread& t);
+
+ private:
+  Cluster& cluster_;
+  GlobalMcsLock global_;
+  std::vector<std::unique_ptr<argosim::SimMutex>> node_serial_;
+};
+
+/// One-word signal/wait flag ("synchronization via spin loops and flags",
+/// §3.1): set() publishes all prior writes (SD) then raises the flag;
+/// wait() spins on the flag then SI-fences before reading shared data.
+class DsmFlag {
+ public:
+  explicit DsmFlag(Cluster& cluster);
+
+  void set(Thread& t, std::uint64_t value = 1);
+  std::uint64_t wait(Thread& t, std::uint64_t at_least = 1);
+  std::uint64_t peek(Thread& t);  // no fence; raw RDMA read
+
+ private:
+  gptr<std::uint64_t> word_;
+};
+
+}  // namespace argosync

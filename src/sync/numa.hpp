@@ -1,0 +1,61 @@
+// NUMA cost accounting for node-local lock algorithms (paper §2.2, §5.3).
+//
+// On the paper's machines (2× Opteron 6220 = 4 NUMA groups of 4 cores) lock
+// performance is dominated by where the lock word and the protected data
+// last lived. This helper tracks the "owning" core of a cacheline (or of a
+// whole working set) and charges the transfer cost when another core
+// touches it.
+#pragma once
+
+#include "net/netconfig.hpp"
+#include "sim/engine.hpp"
+
+namespace argosync {
+
+using argonet::NodeTopology;
+using argosim::Time;
+
+/// One logical cacheline (a lock word, a queue slot) or a small working set
+/// of `lines` cachelines that moves between cores as a unit (e.g. the hot
+/// part of a data structure protected by a lock).
+class CachelineSet {
+ public:
+  explicit CachelineSet(const NodeTopology* topo, int lines = 1)
+      : topo_(topo), lines_(lines) {}
+
+  /// Charge the cost of core `core` touching the set; ownership moves.
+  void touch(int core) {
+    Time per_line = last_core_ < 0
+                        ? topo_->l1_hit
+                        : topo_->cacheline_transfer(last_core_, core);
+    argosim::delay(per_line * static_cast<Time>(lines_));
+    last_core_ = core;
+  }
+
+  /// Charge core `core` touching `count` cachelines of the set (e.g. the
+  /// nodes a heap operation visited); ownership moves.
+  void touch_n(int core, int count) {
+    Time per_line = last_core_ < 0
+                        ? topo_->l1_hit
+                        : topo_->cacheline_transfer(last_core_, core);
+    argosim::delay(per_line * static_cast<Time>(count));
+    last_core_ = core;
+  }
+
+  /// Charge an uncontended atomic read-modify-write on the set's first
+  /// line, including fetching it.
+  void rmw(int core) {
+    touch(core);
+    argosim::delay(topo_->atomic_rmw);
+  }
+
+  int last_core() const { return last_core_; }
+  void reset() { last_core_ = -1; }
+
+ private:
+  const NodeTopology* topo_;
+  int lines_;
+  int last_core_ = -1;
+};
+
+}  // namespace argosync

@@ -1,0 +1,54 @@
+#include "sync/qd_lock.hpp"
+
+namespace argosync {
+
+void QdLock::execute(int core, const std::function<void(int)>& cs, bool wait) {
+  for (;;) {
+    word_.rmw(core);  // TATAS acquire attempt
+    if (!helper_active_) {
+      // We hold the lock: open the delegation queue, run our own section,
+      // then help everyone who delegates while we are at it.
+      helper_active_ = true;
+      queue_open_ = true;
+      ++batches_;
+      cs(core);
+      std::size_t executed = 1;
+      for (;;) {
+        if (executed >= batch_limit_) queue_open_ = false;
+        if (queue_.empty()) {
+          queue_open_ = false;
+          break;
+        }
+        Entry e = std::move(queue_.front());
+        queue_.pop_front();
+        queue_line_.touch(core);  // pull the delegated entry's cacheline
+        e.cs(core);
+        if (e.done != nullptr) e.done->set();
+        ++delegated_;
+        ++executed;
+      }
+      helper_active_ = false;
+      word_.touch(core);
+      return;
+    }
+    if (queue_open_ && queue_.size() < queue_capacity_) {
+      // Delegate: publish the section into the queue (one cacheline write
+      // toward the helper) and either wait for completion or detach.
+      queue_line_.touch(core);
+      // The helper may have closed the queue and left during the transfer
+      // delay; an entry enqueued now would never execute. Re-validate.
+      if (!queue_open_ || queue_.size() >= queue_capacity_) continue;
+      if (wait) {
+        argosim::SimEvent done;
+        queue_.push_back(Entry{cs, &done, core});
+        done.wait();
+      } else {
+        queue_.push_back(Entry{cs, nullptr, core});
+      }
+      return;
+    }
+    argosim::delay(200);  // queue closed or full: back off and retry
+  }
+}
+
+}  // namespace argosync

@@ -1,0 +1,58 @@
+// Queue delegation locking (Klaftenegger/Sagonas/Winblad), node-local.
+//
+// Instead of moving the lock (and the protected data) to each contender,
+// contenders ship their critical sections to whichever thread currently
+// holds the lock; that helper executes them in a batch on one core, so the
+// protected data stays hot in that core's caches. Detached delegation
+// (wait=false) lets delegators continue immediately — the paper's insert
+// operations exploit this.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <functional>
+
+#include "sync/local_locks.hpp"
+
+namespace argosync {
+
+class QdLock : public CriticalSectionExecutor {
+ public:
+  /// `queue_capacity`: max delegated sections buffered at once;
+  /// `batch_limit`: max sections a helper executes before closing the
+  /// queue and releasing the lock (bounds helper latency).
+  explicit QdLock(const NodeTopology* topo, std::size_t queue_capacity = 128,
+                  std::size_t batch_limit = 1024)
+      : topo_(topo),
+        word_(topo),
+        queue_line_(topo),
+        queue_capacity_(queue_capacity),
+        batch_limit_(batch_limit) {}
+
+  void execute(int core, const std::function<void(int)>& cs, bool wait) override;
+  const char* name() const override { return "qd"; }
+
+  /// Sections executed by helpers on behalf of other threads (stats).
+  std::uint64_t delegated() const { return delegated_; }
+  std::uint64_t batches() const { return batches_; }
+
+ private:
+  struct Entry {
+    std::function<void(int)> cs;  // owned: detached delegators return at once
+    argosim::SimEvent* done;   // null for fully detached entries
+    int from_core;
+  };
+
+  const NodeTopology* topo_;
+  CachelineSet word_;        // lock word
+  CachelineSet queue_line_;  // delegation queue cachelines
+  std::size_t queue_capacity_;
+  std::size_t batch_limit_;
+  bool helper_active_ = false;
+  bool queue_open_ = false;
+  std::deque<Entry> queue_;
+  std::uint64_t delegated_ = 0;
+  std::uint64_t batches_ = 0;
+};
+
+}  // namespace argosync

@@ -1,0 +1,322 @@
+// Tests for the baselines: MPI-like library, PGAS arrays, active-handler
+// DSM (src/baseline).
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "baseline/active_dsm.hpp"
+#include "baseline/mpi.hpp"
+#include "baseline/pgas.hpp"
+#include "core/cluster.hpp"
+
+namespace {
+
+using argo::Cluster;
+using argo::ClusterConfig;
+using argo::Thread;
+using argobaseline::ActiveDsm;
+using argobaseline::ActiveThread;
+using argomem::gptr;
+using argomem::kPageSize;
+using argompi::kAnySource;
+using argompi::MpiWorld;
+using argonet::Interconnect;
+using argonet::NetConfig;
+using argosim::Engine;
+using argosim::Time;
+
+// ---------------------------------------------------------------------------
+// MPI library
+// ---------------------------------------------------------------------------
+
+struct MpiHarness {
+  explicit MpiHarness(int nodes, int ranks_per_node)
+      : net(nodes, NetConfig{}),
+        world(net, nodes * ranks_per_node, ranks_per_node) {}
+  Engine eng;
+  Interconnect net;
+  MpiWorld world;
+
+  void run(const std::function<void(int)>& rank_body) {
+    for (int r = 0; r < world.size(); ++r)
+      eng.spawn("rank" + std::to_string(r), [&, r] { rank_body(r); });
+    eng.run();
+  }
+};
+
+TEST(Mpi, PingPong) {
+  MpiHarness h(2, 1);
+  h.run([&](int me) {
+    double v = 0;
+    if (me == 0) {
+      v = 3.14;
+      h.world.send(0, 1, 7, &v, sizeof(v));
+      h.world.recv(0, 1, 8, &v, sizeof(v));
+      EXPECT_DOUBLE_EQ(v, 6.28);
+    } else {
+      h.world.recv(1, 0, 7, &v, sizeof(v));
+      v *= 2;
+      h.world.send(1, 0, 8, &v, sizeof(v));
+    }
+  });
+}
+
+TEST(Mpi, FifoPerSenderAndTagMatching) {
+  MpiHarness h(2, 1);
+  h.run([&](int me) {
+    if (me == 0) {
+      for (int i = 0; i < 5; ++i) h.world.send(0, 1, 1, &i, sizeof(i));
+      int x = 99;
+      h.world.send(0, 1, 2, &x, sizeof(x));
+    } else {
+      int v;
+      h.world.recv(1, 0, 2, &v, sizeof(v));  // tag 2 first, out of order
+      EXPECT_EQ(v, 99);
+      for (int i = 0; i < 5; ++i) {
+        h.world.recv(1, 0, 1, &v, sizeof(v));
+        EXPECT_EQ(v, i);
+      }
+    }
+  });
+}
+
+TEST(Mpi, AnySource) {
+  MpiHarness h(4, 1);
+  h.run([&](int me) {
+    if (me == 0) {
+      int sum = 0, v;
+      for (int i = 0; i < 3; ++i) {
+        int src = h.world.recv(0, kAnySource, 5, &v, sizeof(v));
+        EXPECT_EQ(v, src * 10);
+        sum += v;
+      }
+      EXPECT_EQ(sum, 60);
+    } else {
+      int v = me * 10;
+      h.world.send(me, 0, 5, &v, sizeof(v));
+    }
+  });
+}
+
+TEST(Mpi, IntraNodeIsCheaperThanInterNode) {
+  MpiHarness h(2, 2);  // ranks 0,1 on node 0; ranks 2,3 on node 1
+  Time intra = 0, inter = 0;
+  h.run([&](int me) {
+    std::vector<double> buf(512);
+    if (me == 0) {
+      Time t0 = argosim::now();
+      h.world.send(0, 1, 1, buf.data(), buf.size() * 8);  // same node
+      intra = argosim::now() - t0;
+      t0 = argosim::now();
+      h.world.send(0, 2, 2, buf.data(), buf.size() * 8);  // cross node
+      inter = argosim::now() - t0;
+    } else if (me == 1) {
+      h.world.recv(1, 0, 1, buf.data(), buf.size() * 8);
+    } else if (me == 2) {
+      h.world.recv(2, 0, 2, buf.data(), buf.size() * 8);
+    }
+  });
+  EXPECT_LT(intra, inter);
+}
+
+TEST(Mpi, BarrierSynchronizes) {
+  MpiHarness h(4, 2);
+  std::vector<int> phase(8, 0);
+  h.run([&](int me) {
+    for (int round = 0; round < 3; ++round) {
+      argosim::delay(static_cast<Time>((me + 1) * 50));
+      phase[me] = round + 1;
+      h.world.barrier(me);
+      for (int r = 0; r < 8; ++r) EXPECT_GE(phase[r], round + 1);
+    }
+  });
+}
+
+TEST(Mpi, BcastReduceAllreduceGather) {
+  MpiHarness h(4, 2);  // 8 ranks
+  h.run([&](int me) {
+    // bcast
+    std::vector<double> data(16, me == 2 ? 1.5 : 0.0);
+    h.world.bcast(me, 2, data.data(), data.size() * 8);
+    for (double d : data) EXPECT_DOUBLE_EQ(d, 1.5);
+    // reduce to root 1
+    std::vector<double> v(4, static_cast<double>(me));
+    h.world.reduce_sum(me, 1, v.data(), v.size());
+    if (me == 1)
+      for (double d : v) EXPECT_DOUBLE_EQ(d, 28.0);  // 0+..+7
+    // allreduce
+    std::vector<double> w(2, 1.0);
+    h.world.allreduce_sum(me, w.data(), w.size());
+    for (double d : w) EXPECT_DOUBLE_EQ(d, 8.0);
+    // allgather
+    double mine = me * 2.0;
+    std::vector<double> all(8);
+    h.world.allgather(me, &mine, all.data(), sizeof(double));
+    for (int r = 0; r < 8; ++r) EXPECT_DOUBLE_EQ(all[r], r * 2.0);
+  });
+}
+
+// ---------------------------------------------------------------------------
+// PGAS
+// ---------------------------------------------------------------------------
+
+ClusterConfig pgas_cfg(int nodes, int tpn) {
+  ClusterConfig c;
+  c.nodes = nodes;
+  c.threads_per_node = tpn;
+  c.global_mem_bytes = static_cast<std::size_t>(nodes) * 32 * kPageSize;
+  return c;
+}
+
+TEST(Pgas, GetPutRoundTripAndAffinity) {
+  Cluster cl(pgas_cfg(4, 1));
+  argopgas::PgasArray<double> arr(cl, 8192);  // 64 KiB spans all homes
+  cl.run([&](Thread& t) {
+    // Each thread writes the slice with its node's affinity.
+    for (std::size_t i = 0; i < arr.size(); ++i)
+      if (arr.is_local(t, i)) arr.put(t, i, static_cast<double>(i) * 0.5);
+    argopgas::pgas_barrier(t);
+    // Everyone reads a sample of everything (remote = fine-grained RDMA).
+    for (std::size_t i = t.gid(); i < arr.size(); i += 37)
+      EXPECT_DOUBLE_EQ(arr.get(t, i), static_cast<double>(i) * 0.5);
+  });
+  EXPECT_GT(cl.net_stats().rdma_reads, 0u);
+}
+
+TEST(Pgas, BulkTransfersCrossHomes) {
+  Cluster cl(pgas_cfg(4, 1));
+  argopgas::PgasArray<std::uint32_t> arr(cl, 8192);
+  cl.run([&](Thread& t) {
+    if (t.node() == 0) {
+      std::vector<std::uint32_t> src(8192);
+      std::iota(src.begin(), src.end(), 7u);
+      arr.put_bulk(t, 0, src.size(), src.data());
+    }
+    argopgas::pgas_barrier(t);
+    if (t.node() == 3) {
+      std::vector<std::uint32_t> dst(8192);
+      arr.get_bulk(t, 0, dst.size(), dst.data());
+      for (std::size_t i = 0; i < dst.size(); ++i)
+        ASSERT_EQ(dst[i], i + 7u);
+    }
+  });
+}
+
+TEST(Pgas, RemoteAccessPaysFullLatencyPerElement) {
+  auto cfg = pgas_cfg(2, 1);
+  cfg.global_mem_bytes = 16 * kPageSize;  // array must span both homes
+  Cluster cl(cfg);
+  argopgas::PgasArray<double> arr(cl, 8192);
+  Time per_local = 0, per_remote = 0;
+  cl.run([&](Thread& t) {
+    if (t.node() != 0) return;
+    std::size_t local_i = 0, remote_i = 0;
+    for (std::size_t i = 0; i < arr.size(); ++i) {
+      if (arr.is_local(t, i)) local_i = i;
+      else remote_i = i;
+    }
+    Time t0 = argosim::now();
+    for (int k = 0; k < 10; ++k) (void)arr.get(t, local_i);
+    per_local = (argosim::now() - t0) / 10;
+    t0 = argosim::now();
+    for (int k = 0; k < 10; ++k) (void)arr.get(t, remote_i);
+    per_remote = (argosim::now() - t0) / 10;
+  });
+  EXPECT_GE(per_remote, cl.config().net.rdma_latency);
+  EXPECT_LT(per_local, 100u);
+}
+
+// ---------------------------------------------------------------------------
+// Active (message-handler) DSM
+// ---------------------------------------------------------------------------
+
+ActiveDsm::Config active_cfg(int nodes, int tpn) {
+  ActiveDsm::Config c;
+  c.nodes = nodes;
+  c.threads_per_node = tpn;
+  c.global_mem_bytes = static_cast<std::size_t>(nodes) * 32 * kPageSize;
+  return c;
+}
+
+TEST(ActiveDsm, ReadAfterRemoteWrite) {
+  ActiveDsm dsm(active_cfg(2, 1));
+  auto p = dsm.alloc<std::uint64_t>(1);
+  dsm.run([&](ActiveThread& t) {
+    if (t.node() == 0) t.store(p, std::uint64_t{4242});
+    t.barrier();
+    // MSI is coherent at all times: the read recalls the modified copy.
+    EXPECT_EQ(t.load(p), 4242u);
+  });
+  const auto st = dsm.stats();
+  EXPECT_GE(st.recalls, 1u);
+  EXPECT_GT(st.handler_messages, 0u);
+}
+
+TEST(ActiveDsm, WriteInvalidatesSharers) {
+  ActiveDsm dsm(active_cfg(4, 1));
+  auto p = dsm.alloc<std::uint64_t>(1);
+  dsm.run([&](ActiveThread& t) {
+    (void)t.load(p);  // everyone becomes a sharer
+    t.barrier();
+    if (t.node() == 2) t.store(p, std::uint64_t{5});
+    t.barrier();
+    EXPECT_EQ(t.load(p), 5u);
+  });
+  EXPECT_GE(dsm.stats().invalidations, 2u);
+}
+
+TEST(ActiveDsm, MigratoryCounterIsCorrect) {
+  // Critical-section-like ping-pong: every increment recalls the page from
+  // the previous owner through the home — the migratory pattern §1 blames.
+  ActiveDsm dsm(active_cfg(4, 2));
+  auto p = dsm.alloc<std::uint64_t>(1);
+  const int iters = 10;
+  dsm.run([&](ActiveThread& t) {
+    for (int k = 0; k < iters; ++k) {
+      for (int turn = 0; turn < t.nthreads(); ++turn) {
+        if (turn == t.gid()) t.store(p, t.load(p) + 1);
+        t.barrier();
+      }
+    }
+  });
+  dsm.flush_all_host();
+  EXPECT_EQ(*dsm.host_ptr(p), static_cast<std::uint64_t>(iters * 8));
+}
+
+TEST(ActiveDsm, FalseSharingPingPongsWholePage) {
+  // Two nodes write disjoint halves of one page: unlike Argo's diffs, MSI
+  // must bounce exclusive ownership back and forth.
+  ActiveDsm dsm(active_cfg(2, 1));
+  auto p = dsm.alloc<std::uint8_t>(kPageSize);
+  dsm.run([&](ActiveThread& t) {
+    for (int k = 0; k < 5; ++k) {
+      const std::size_t off = t.node() == 0 ? 0 : kPageSize / 2;
+      t.store(p + static_cast<std::ptrdiff_t>(off + k),
+              static_cast<std::uint8_t>(k + 1));
+      t.barrier();
+    }
+  });
+  dsm.flush_all_host();
+  for (int k = 0; k < 5; ++k) {
+    EXPECT_EQ(dsm.host_ptr(p)[k], k + 1);
+    EXPECT_EQ(dsm.host_ptr(p)[kPageSize / 2 + k], k + 1);
+  }
+  // Ownership bounces at least once per round (the previous round's last
+  // writer serves the other node's write-exclusive request).
+  EXPECT_GE(dsm.stats().recalls, 4u);
+}
+
+TEST(ActiveDsm, HandlerDispatchCostIsCharged) {
+  ActiveDsm dsm(active_cfg(2, 1));
+  auto p = dsm.alloc<std::uint64_t>(1);
+  dsm.run([&](ActiveThread& t) {
+    if (t.node() == 1) (void)t.load(p);
+  });
+  const auto st = dsm.stats();
+  EXPECT_GT(st.handler_busy, 0u);
+  EXPECT_EQ(st.handler_busy,
+            st.handler_messages * NetConfig{}.handler_dispatch);
+}
+
+}  // namespace

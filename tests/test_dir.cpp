@@ -1,0 +1,157 @@
+// Unit tests for the Pyxis passive classification directory (src/dir).
+#include <gtest/gtest.h>
+
+#include "dir/pyxis.hpp"
+#include "core/policy.hpp"
+#include "sim/engine.hpp"
+
+namespace argodir {
+namespace {
+
+using argocore::classify;
+using argocore::Mode;
+using argocore::PageState;
+using argocore::SdAction;
+using argocore::sd_action;
+using argocore::si_required;
+using argomem::GlobalMemory;
+using argomem::kPageSize;
+using argonet::Interconnect;
+using argonet::NetConfig;
+using argosim::Engine;
+
+TEST(DirWord, BitEncodingAndDecoding) {
+  DirWord w{DirWord::reader_bit(0) | DirWord::reader_bit(5) |
+            DirWord::writer_bit(5)};
+  EXPECT_TRUE(w.is_reader(0));
+  EXPECT_TRUE(w.is_reader(5));
+  EXPECT_FALSE(w.is_reader(1));
+  EXPECT_TRUE(w.is_writer(5));
+  EXPECT_FALSE(w.is_writer(0));
+  EXPECT_EQ(w.reader_count(), 2);
+  EXPECT_EQ(w.writer_count(), 1);
+  EXPECT_EQ(w.single_writer(), 5);
+  EXPECT_EQ(w.accessors(), 0b100001u);
+}
+
+TEST(DirWord, PrivateClassification) {
+  DirWord empty{0};
+  EXPECT_TRUE(empty.private_to(3));  // untouched: trivially private
+  DirWord mine{DirWord::reader_bit(3) | DirWord::writer_bit(3)};
+  EXPECT_TRUE(mine.private_to(3));
+  EXPECT_FALSE(mine.private_to(2));
+  DirWord shared{DirWord::reader_bit(3) | DirWord::reader_bit(4)};
+  EXPECT_FALSE(shared.private_to(3));
+}
+
+TEST(Policy, ClassifyMatchesPaperStates) {
+  const int me = 0;
+  DirWord p{DirWord::reader_bit(0) | DirWord::writer_bit(0)};
+  EXPECT_EQ(classify(p, me), PageState::Private);
+  DirWord nw{DirWord::reader_bit(0) | DirWord::reader_bit(1)};
+  EXPECT_EQ(classify(nw, me), PageState::SharedNW);
+  DirWord sw{nw.raw | DirWord::writer_bit(1)};
+  EXPECT_EQ(classify(sw, me), PageState::SharedSW);
+  DirWord mw{sw.raw | DirWord::writer_bit(0)};
+  EXPECT_EQ(classify(mw, me), PageState::SharedMW);
+}
+
+// Table 1 of the paper, row by row.
+TEST(Policy, Table1SelfInvalidationMatrix) {
+  const int me = 0;
+  DirWord P{DirWord::reader_bit(0) | DirWord::writer_bit(0)};
+  DirWord S_NW{DirWord::reader_bit(0) | DirWord::reader_bit(1)};
+  DirWord S_SW_me{S_NW.raw | DirWord::writer_bit(0)};
+  DirWord S_SW_other{S_NW.raw | DirWord::writer_bit(1)};
+  DirWord S_MW{S_NW.raw | DirWord::writer_bit(0) | DirWord::writer_bit(1)};
+
+  // S classification: everything self-invalidates.
+  for (auto w : {P, S_NW, S_SW_me, S_SW_other, S_MW})
+    EXPECT_TRUE(si_required(Mode::S, w, me));
+
+  // P/S: only private pages are exempt.
+  EXPECT_FALSE(si_required(Mode::PS, P, me));
+  for (auto w : {S_NW, S_SW_me, S_SW_other, S_MW})
+    EXPECT_TRUE(si_required(Mode::PS, w, me));
+
+  // P/S3: P, S.NW, and S.SW-where-I-am-the-writer are exempt.
+  EXPECT_FALSE(si_required(Mode::PS3, P, me));
+  EXPECT_FALSE(si_required(Mode::PS3, S_NW, me));
+  EXPECT_FALSE(si_required(Mode::PS3, S_SW_me, me));
+  EXPECT_TRUE(si_required(Mode::PS3, S_SW_other, me));
+  EXPECT_TRUE(si_required(Mode::PS3, S_MW, me));
+}
+
+TEST(Policy, SdActionOnlyCheckpointsNaivePrivate) {
+  const int me = 0;
+  DirWord P{DirWord::reader_bit(0) | DirWord::writer_bit(0)};
+  DirWord S_MW{P.raw | DirWord::reader_bit(1) | DirWord::writer_bit(1)};
+  EXPECT_EQ(sd_action(Mode::PSNaive, P, me), SdAction::Checkpoint);
+  EXPECT_EQ(sd_action(Mode::PSNaive, S_MW, me), SdAction::WriteBack);
+  EXPECT_EQ(sd_action(Mode::PS, P, me), SdAction::WriteBack);
+  EXPECT_EQ(sd_action(Mode::PS3, P, me), SdAction::WriteBack);
+  EXPECT_EQ(sd_action(Mode::S, P, me), SdAction::WriteBack);
+}
+
+struct DirFixture {
+  Engine eng;
+  GlobalMemory gmem{4, 64 * kPageSize};
+  Interconnect net{4, NetConfig{}};
+  PyxisDirectory dir{gmem, net};
+};
+
+TEST(PyxisDirectory, FetchOrRegistersAndReturnsPrevious) {
+  DirFixture f;
+  f.eng.spawn("t", [&] {
+    DirWord prev = f.dir.fetch_or(1, 7, DirWord::reader_bit(1));
+    EXPECT_EQ(prev.raw, 0u);
+    DirWord prev2 =
+        f.dir.fetch_or(2, 7, DirWord::reader_bit(2) | DirWord::writer_bit(2));
+    EXPECT_TRUE(prev2.is_reader(1));
+    EXPECT_FALSE(prev2.is_reader(2));
+    DirWord now = f.dir.read(0, 7);
+    EXPECT_TRUE(now.is_reader(1));
+    EXPECT_TRUE(now.is_reader(2));
+    EXPECT_TRUE(now.is_writer(2));
+  });
+  f.eng.run();
+  // Registration is charged to the requesting node as remote atomics
+  // (page 7 is homed on node 0 in the blocked mapping).
+  EXPECT_EQ(f.net.stats(1).rdma_atomics, 1u);
+  EXPECT_EQ(f.net.stats(2).rdma_atomics, 1u);
+}
+
+TEST(PyxisDirectory, DirectoryCachesMergeMonotonically) {
+  DirFixture f;
+  f.eng.spawn("t", [&] {
+    EXPECT_EQ(f.dir.cache_get(1, 3), 0u);
+    f.dir.cache_merge_local(1, 3, DirWord::reader_bit(1));
+    f.dir.cache_merge_local(1, 3, DirWord::reader_bit(0));
+    EXPECT_EQ(f.dir.cache_get(1, 3),
+              DirWord::reader_bit(0) | DirWord::reader_bit(1));
+    // Remote notification from node 2 into node 1's cache.
+    f.dir.cache_merge_remote(2, 1, 3, DirWord::writer_bit(2));
+    DirWord w{f.dir.cache_get(1, 3)};
+    EXPECT_TRUE(w.is_reader(0));
+    EXPECT_TRUE(w.is_reader(1));
+    EXPECT_TRUE(w.is_writer(2));
+  });
+  f.eng.run();
+  EXPECT_EQ(f.dir.notifications(1), 1u);
+  EXPECT_EQ(f.net.stats(2).rdma_atomics, 1u);  // notification charged to 2
+}
+
+TEST(PyxisDirectory, ResetClearsEverything) {
+  DirFixture f;
+  f.eng.spawn("t", [&] {
+    f.dir.fetch_or(1, 5, DirWord::reader_bit(1));
+    f.dir.cache_merge_local(1, 5, DirWord::reader_bit(1));
+    f.dir.reset_all();
+    EXPECT_EQ(f.dir.read(1, 5).raw, 0u);
+    EXPECT_EQ(f.dir.cache_get(1, 5), 0u);
+  });
+  f.eng.run();
+}
+
+}  // namespace
+}  // namespace argodir

@@ -1,0 +1,206 @@
+// Coverage for less-traveled configuration corners: interleaved home
+// mapping, node-homed allocations, single-writer diff suppression
+// interactions, and cluster-level determinism of statistics.
+#include <gtest/gtest.h>
+
+#include "core/cluster.hpp"
+#include "sim/random.hpp"
+
+namespace argo {
+namespace {
+
+using argomem::GlobalMemory;
+using argomem::HomeMapping;
+using argomem::kPageSize;
+
+TEST(AllocOnNode, BlockedMappingHomesCorrectly) {
+  GlobalMemory g(4, 64 * kPageSize, HomeMapping::Blocked);
+  for (int n = 0; n < 4; ++n)
+    for (int k = 0; k < 8; ++k) {
+      auto a = g.alloc_on_node(n, 64);
+      EXPECT_EQ(g.home_of(a), n) << "node " << n << " alloc " << k;
+    }
+}
+
+TEST(AllocOnNode, InterleavedMappingHomesCorrectly) {
+  GlobalMemory g(4, 64 * kPageSize, HomeMapping::Interleaved);
+  for (int n = 0; n < 4; ++n)
+    for (int k = 0; k < 8; ++k) {
+      auto a = g.alloc_on_node(n, 1024, 64);
+      EXPECT_EQ(g.home_of(a), n);
+    }
+}
+
+TEST(AllocOnNode, GrowsDownwardAwayFromBumpAllocator) {
+  GlobalMemory g(2, 64 * kPageSize);
+  const auto low = g.alloc_bytes(kPageSize, 8);
+  const auto high = g.alloc_on_node(0, 64);
+  EXPECT_LT(low, high);
+  EXPECT_GE(high, (g.pages_per_node() - 1) * kPageSize);
+}
+
+ClusterConfig interleaved_cfg(int nodes, int tpn) {
+  ClusterConfig c;
+  c.nodes = nodes;
+  c.threads_per_node = tpn;
+  c.global_mem_bytes = static_cast<std::size_t>(nodes) * 16 * kPageSize;
+  c.mapping = HomeMapping::Interleaved;
+  c.cache.pages_per_line = 4;  // lines now span home nodes
+  c.cache.cache_lines = 32;
+  return c;
+}
+
+TEST(InterleavedMapping, LineFetchSpansHomes) {
+  // With page-interleaved homes, one 4-page line needs one RDMA read per
+  // home segment; correctness must be unaffected.
+  Cluster cl(interleaved_cfg(4, 1));
+  auto arr = cl.alloc<std::uint64_t>(4096);  // 8 pages across 4 homes
+  for (int i = 0; i < 4096; ++i)
+    cl.host_ptr(arr)[i] = static_cast<std::uint64_t>(i * 31);
+  cl.reset_classification();
+  cl.run([&](Thread& t) {
+    for (int i = t.gid(); i < 4096; i += t.nthreads())
+      ASSERT_EQ(t.load(arr + i), static_cast<std::uint64_t>(i * 31));
+    t.barrier();
+  });
+}
+
+TEST(InterleavedMapping, ProducerConsumerRounds) {
+  Cluster cl(interleaved_cfg(3, 2));
+  auto p = cl.alloc<std::uint64_t>(512);  // one page
+  cl.run([&](Thread& t) {
+    for (int r = 1; r <= 5; ++r) {
+      if (t.gid() == r % t.nthreads())
+        t.store(p + (r % 512), static_cast<std::uint64_t>(r * 7));
+      t.barrier();
+      EXPECT_EQ(t.load(p + (r % 512)), static_cast<std::uint64_t>(r * 7));
+      t.barrier();
+    }
+  });
+}
+
+TEST(InterleavedMapping, RandomDrfMiniProperty) {
+  Cluster cl(interleaved_cfg(4, 2));
+  argosim::Rng host_rng(77);
+  const std::uint64_t base_page = 4;
+  std::vector<std::uint8_t> shadow(8 * kPageSize, 0);
+  struct Op {
+    int epoch, node;
+    std::uint64_t page;
+    std::uint32_t off;
+    std::uint8_t val;
+  };
+  std::vector<Op> writes;
+  for (int e = 0; e < 6; ++e)
+    for (std::uint64_t pg = 0; pg < 8; ++pg) {
+      if (!host_rng.next_bool(0.4)) continue;
+      const int node = static_cast<int>(host_rng.next_below(4));
+      for (int k = 0; k < 8; ++k) {
+        const auto off = static_cast<std::uint32_t>(host_rng.next_below(kPageSize));
+        const auto val = static_cast<std::uint8_t>(1 + host_rng.next_below(255));
+        writes.push_back(Op{e, node, pg, off, val});
+        shadow[pg * kPageSize + off] = val;
+      }
+    }
+  cl.run([&](Thread& t) {
+    for (int e = 0; e < 6; ++e) {
+      if (t.tid() == 0)
+        for (const Op& w : writes)
+          if (w.epoch == e && w.node == t.node())
+            t.store(gptr<std::uint8_t>((base_page + w.page) * kPageSize + w.off),
+                    w.val);
+      t.barrier();
+    }
+  });
+  for (std::size_t i = 0; i < shadow.size(); ++i)
+    ASSERT_EQ(
+        static_cast<std::uint8_t>(*cl.host_ptr(
+            gptr<std::uint8_t>(base_page * kPageSize + i))),
+        shadow[i])
+        << "byte " << i;
+}
+
+TEST(SwDiffSuppression, CorrectUnderWriterHandoffs) {
+  // The suppression option must stay correct when a page's single writer
+  // changes over time and when multiple writers eventually appear.
+  ClusterConfig cfg;
+  cfg.nodes = 3;
+  cfg.threads_per_node = 1;
+  cfg.global_mem_bytes = 3 * 16 * kPageSize;
+  cfg.cache.sw_diff_suppression = true;
+  Cluster cl(cfg);
+  auto p = gptr<std::uint64_t>(40 * kPageSize);  // homed node 2
+  cl.run([&](Thread& t) {
+    for (int r = 0; r < 6; ++r) {
+      const int writer = r % 2;  // nodes 0 and 1 alternate epochs
+      if (t.node() == writer)
+        t.store(p + r, static_cast<std::uint64_t>(100 * writer + r));
+      t.barrier();
+      EXPECT_EQ(t.load(p + r), static_cast<std::uint64_t>(100 * (r % 2) + r));
+      t.barrier();
+    }
+    // Finale: both write disjoint words in the same epoch (MW).
+    if (t.node() < 2) t.store(p + 100 + t.node(), std::uint64_t{55});
+    t.barrier();
+    EXPECT_EQ(t.load(p + 100), 55u);
+    EXPECT_EQ(t.load(p + 101), 55u);
+  });
+}
+
+TEST(Stats, DeterministicAcrossRuns) {
+  auto collect = [] {
+    ClusterConfig cfg;
+    cfg.nodes = 4;
+    cfg.threads_per_node = 3;
+    cfg.global_mem_bytes = 4 * 16 * kPageSize;
+    Cluster cl(cfg);
+    auto arr = cl.alloc<std::uint64_t>(4096);
+    cl.run([&](Thread& t) {
+      argosim::Rng rng(static_cast<std::uint64_t>(t.gid()));
+      for (int i = 0; i < 300; ++i) {
+        const auto idx = static_cast<std::ptrdiff_t>(rng.next_below(4096));
+        if (rng.next_bool(0.4))
+          t.store(arr + idx, rng.next_u64());
+        else
+          (void)t.load(arr + idx);
+        if (i % 60 == 59) t.barrier();
+      }
+      t.barrier();
+    });
+    const auto c = cl.coherence_stats();
+    const auto n = cl.net_stats();
+    return std::tuple(c.read_misses, c.write_misses, c.writebacks,
+                      c.si_invalidations, c.dir_ops, n.total_bytes(),
+                      n.rdma_atomics, cl.now());
+  };
+  EXPECT_EQ(collect(), collect());
+}
+
+TEST(Fences, ManualAcquireReleaseFlagSync) {
+  // Spin-flag synchronization with explicit fences (§3.1): release() then
+  // flag-set via atomics; acquire() after flag-wait.
+  ClusterConfig cfg;
+  cfg.nodes = 2;
+  cfg.threads_per_node = 1;
+  cfg.global_mem_bytes = 2 * 16 * kPageSize;
+  Cluster cl(cfg);
+  auto data = cl.alloc<std::uint64_t>(600);  // spans pages
+  auto flag = cl.gmem().alloc_on_node<std::uint64_t>(0, 1);
+  *cl.gmem().home_ptr(flag) = 0;
+  cl.run([&](Thread& t) {
+    if (t.node() == 0) {
+      for (int i = 0; i < 600; ++i)
+        t.store(data + i, static_cast<std::uint64_t>(i + 5));
+      t.release();                // SD fence: publish the writes
+      t.atomic_store(flag, 1);    // raise the flag (RDMA)
+    } else {
+      while (t.atomic_load(flag) == 0) t.compute(500);
+      t.acquire();                // SI fence: drop stale copies
+      for (int i = 0; i < 600; ++i)
+        ASSERT_EQ(t.load(data + i), static_cast<std::uint64_t>(i + 5));
+    }
+  });
+}
+
+}  // namespace
+}  // namespace argo

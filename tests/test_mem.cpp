@@ -1,0 +1,86 @@
+// Unit tests for the global address space (src/mem).
+#include <gtest/gtest.h>
+
+#include "mem/gaddr.hpp"
+#include "mem/global_memory.hpp"
+
+namespace argomem {
+namespace {
+
+TEST(GAddr, PageArithmetic) {
+  EXPECT_EQ(page_of(0), 0u);
+  EXPECT_EQ(page_of(4095), 0u);
+  EXPECT_EQ(page_of(4096), 1u);
+  EXPECT_EQ(page_offset(4097), 1u);
+}
+
+TEST(Gptr, PointerArithmeticAndCast) {
+  gptr<double> p(800);
+  EXPECT_EQ((p + 3).raw(), 824u);
+  EXPECT_EQ((p - 1).raw(), 792u);
+  EXPECT_EQ(p.at(2).raw(), 816u);
+  EXPECT_EQ(p.cast<std::uint32_t>().raw(), 800u);
+  gptr<int> n;
+  EXPECT_TRUE(n.null());
+  EXPECT_FALSE(n);
+  EXPECT_TRUE(p);
+  gptr<double> q(800);
+  EXPECT_EQ(p, q);
+}
+
+TEST(GlobalMemory, BlockedMappingSplitsAddressRange) {
+  GlobalMemory g(4, 64 * kPageSize, HomeMapping::Blocked);
+  EXPECT_EQ(g.pages(), 64u);
+  EXPECT_EQ(g.pages_per_node(), 16u);
+  EXPECT_EQ(g.home_of_page(0), 0);
+  EXPECT_EQ(g.home_of_page(15), 0);
+  EXPECT_EQ(g.home_of_page(16), 1);
+  EXPECT_EQ(g.home_of_page(63), 3);
+}
+
+TEST(GlobalMemory, InterleavedMappingRoundRobins) {
+  GlobalMemory g(4, 64 * kPageSize, HomeMapping::Interleaved);
+  EXPECT_EQ(g.home_of_page(0), 0);
+  EXPECT_EQ(g.home_of_page(1), 1);
+  EXPECT_EQ(g.home_of_page(5), 1);
+  EXPECT_EQ(g.home_of_page(7), 3);
+}
+
+TEST(GlobalMemory, SizeRoundsUpToEqualNodeShares) {
+  GlobalMemory g(3, 10 * kPageSize);
+  EXPECT_EQ(g.pages(), 12u);  // ceil(10/3)=4 pages per node
+  EXPECT_EQ(g.pages_per_node(), 4u);
+}
+
+TEST(GlobalMemory, AllocatorAlignmentRules) {
+  GlobalMemory g(2, 64 * kPageSize);
+  GAddr a = g.alloc_bytes(10, 64);
+  GAddr b = g.alloc_bytes(10, 64);
+  EXPECT_EQ(a % 64, 0u);
+  EXPECT_EQ(b % 64, 0u);
+  EXPECT_GE(b, a + 10);
+
+  // Small typed allocations pack; page-or-larger arrays are page-aligned.
+  auto small = g.alloc<double>(4);
+  EXPECT_EQ(small.raw() % 8, 0u);
+  auto big = g.alloc<double>(1024);  // 8 KiB
+  EXPECT_EQ(big.raw() % kPageSize, 0u);
+}
+
+TEST(GlobalMemory, AllocatorExhaustionThrows) {
+  GlobalMemory g(2, 4 * kPageSize);
+  EXPECT_NO_THROW(g.alloc_bytes(3 * kPageSize, 8));
+  EXPECT_THROW(g.alloc_bytes(2 * kPageSize, 8), std::bad_alloc);
+}
+
+TEST(GlobalMemory, HomePtrReadsAndWrites) {
+  GlobalMemory g(2, 16 * kPageSize);
+  auto p = g.alloc<std::uint64_t>(8);
+  *g.home_ptr(p + 3) = 12345;
+  EXPECT_EQ(*g.home_ptr(p + 3), 12345u);
+  EXPECT_EQ(*reinterpret_cast<std::uint64_t*>(g.home_ptr(p.raw() + 24)),
+            12345u);
+}
+
+}  // namespace
+}  // namespace argomem

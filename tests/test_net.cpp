@@ -1,0 +1,270 @@
+// Unit tests for the simulated interconnect (src/net).
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "net/interconnect.hpp"
+#include "sim/engine.hpp"
+
+namespace argonet {
+namespace {
+
+using argosim::Engine;
+using argosim::Time;
+
+NetConfig test_cfg() {
+  NetConfig c;
+  c.rdma_latency = 1000;
+  c.msg_latency = 1000;
+  c.nic_overhead = 100;
+  c.net_bytes_per_ns = 2.0;
+  c.mem_latency = 50;
+  c.mem_bytes_per_ns = 10.0;
+  return c;
+}
+
+TEST(NetConfig, TransferArithmetic) {
+  NetConfig c = test_cfg();
+  EXPECT_EQ(c.net_transfer(4096), 2048u);
+  EXPECT_EQ(c.net_transfer(0), 0u);
+  EXPECT_EQ(c.mem_copy(4096), 409u);  // truncating division
+}
+
+TEST(NodeTopology, NumaGroupsAndTransferCosts) {
+  NodeTopology t;
+  EXPECT_EQ(t.numa_group_of(0), 0);
+  EXPECT_EQ(t.numa_group_of(3), 0);
+  EXPECT_EQ(t.numa_group_of(4), 1);
+  EXPECT_EQ(t.numa_group_of(15), 3);
+  EXPECT_EQ(t.cacheline_transfer(2, 2), t.l1_hit);
+  EXPECT_EQ(t.cacheline_transfer(0, 3), t.cacheline_same_numa);
+  EXPECT_EQ(t.cacheline_transfer(0, 12), t.cacheline_cross_numa);
+}
+
+TEST(Interconnect, RemoteReadCostAndData) {
+  Engine eng;
+  Interconnect net(2, test_cfg());
+  std::uint64_t remote = 0xdeadbeef;
+  eng.spawn("t", [&] {
+    std::uint64_t local = 0;
+    net.read(0, 1, &remote, &local, sizeof(local));
+    EXPECT_EQ(local, 0xdeadbeefu);
+    // nic_overhead + 8B/2.0 + rdma_latency = 100 + 4 + 1000
+    EXPECT_EQ(argosim::now(), 1104u);
+  });
+  eng.run();
+  EXPECT_EQ(net.stats(0).rdma_reads, 1u);
+  EXPECT_EQ(net.stats(0).bytes_read, 8u);
+  EXPECT_EQ(net.stats(1).rdma_reads, 0u);
+}
+
+TEST(Interconnect, RemoteWriteAppliesAtCompletion) {
+  Engine eng;
+  Interconnect net(2, test_cfg());
+  std::uint64_t remote = 0;
+  eng.spawn("writer", [&] {
+    std::uint64_t v = 42;
+    net.write(0, 1, &remote, &v, sizeof(v));
+  });
+  eng.spawn("observer", [&] {
+    argosim::delay(500);  // mid-flight
+    EXPECT_EQ(remote, 0u);
+    argosim::delay(1000);  // past completion (1104)
+    EXPECT_EQ(remote, 42u);
+  });
+  eng.run();
+}
+
+TEST(Interconnect, LocalOpsAreCheapAndBypassTheNic) {
+  Engine eng;
+  Interconnect net(1, test_cfg());
+  std::uint64_t cell = 7;
+  eng.spawn("t", [&] {
+    std::uint64_t v = 0;
+    net.read(0, 0, &cell, &v, sizeof(v));
+    EXPECT_EQ(v, 7u);
+    EXPECT_EQ(argosim::now(), 50u);  // mem_latency only for 8 bytes (50 + 0)
+  });
+  eng.run();
+}
+
+TEST(Interconnect, AtomicsReturnPreviousValue) {
+  Engine eng;
+  Interconnect net(2, test_cfg());
+  std::uint64_t word = 0b0011;
+  eng.spawn("t", [&] {
+    EXPECT_EQ(net.fetch_or(0, 1, &word, 0b0110), 0b0011u);
+    EXPECT_EQ(word, 0b0111u);
+    EXPECT_EQ(net.fetch_add(0, 1, &word, 1), 0b0111u);
+    EXPECT_EQ(word, 8u);
+    EXPECT_EQ(net.cas(0, 1, &word, 8, 100), 8u);
+    EXPECT_EQ(word, 100u);
+    EXPECT_EQ(net.cas(0, 1, &word, 8, 200), 100u);  // fails
+    EXPECT_EQ(word, 100u);
+  });
+  eng.run();
+  EXPECT_EQ(net.stats(0).rdma_atomics, 4u);
+}
+
+TEST(Interconnect, NicSerializesOpsFromOneNode) {
+  Engine eng;
+  NetConfig cfg = test_cfg();
+  Interconnect net(2, cfg);
+  std::vector<std::byte> remote(4096);
+  std::vector<std::byte> a(4096), b(4096);
+  Time done_a = 0, done_b = 0;
+  // Two threads on node 0 issue 4 KiB reads simultaneously: the second
+  // holds off while the first streams through the NIC.
+  eng.spawn("a", [&] {
+    net.read(0, 1, remote.data(), a.data(), 4096);
+    done_a = argosim::now();
+  });
+  eng.spawn("b", [&] {
+    net.read(0, 1, remote.data(), b.data(), 4096);
+    done_b = argosim::now();
+  });
+  eng.run();
+  const Time busy = 100 + 4096 / 2;  // nic_overhead + streaming
+  EXPECT_EQ(done_a, busy + 1000);
+  EXPECT_EQ(done_b, 2 * busy + 1000);  // NIC held by a first
+}
+
+TEST(Interconnect, NicSerializationCanBeDisabled) {
+  Engine eng;
+  NetConfig cfg = test_cfg();
+  cfg.serialize_nic = false;
+  Interconnect net(2, cfg);
+  std::vector<std::byte> remote(4096), a(4096), b(4096);
+  Time done_a = 0, done_b = 0;
+  eng.spawn("a", [&] {
+    net.read(0, 1, remote.data(), a.data(), 4096);
+    done_a = argosim::now();
+  });
+  eng.spawn("b", [&] {
+    net.read(0, 1, remote.data(), b.data(), 4096);
+    done_b = argosim::now();
+  });
+  eng.run();
+  EXPECT_EQ(done_a, done_b);  // fully parallel
+}
+
+TEST(Interconnect, DifferentNodesNicsAreIndependent) {
+  Engine eng;
+  Interconnect net(3, test_cfg());
+  std::vector<std::byte> remote(4096), a(4096), b(4096);
+  Time done_a = 0, done_b = 0;
+  eng.spawn("a", [&] {
+    net.read(0, 2, remote.data(), a.data(), 4096);
+    done_a = argosim::now();
+  });
+  eng.spawn("b", [&] {
+    net.read(1, 2, remote.data(), b.data(), 4096);
+    done_b = argosim::now();
+  });
+  eng.run();
+  EXPECT_EQ(done_a, done_b);  // different source NICs
+}
+
+TEST(Interconnect, MessageDeliveryAfterLatency) {
+  Engine eng;
+  Interconnect net(2, test_cfg());
+  Time received_at = 0;
+  eng.spawn("rx", [&] {
+    Message m = net.recv(1);
+    received_at = argosim::now();
+    EXPECT_EQ(m.src, 0);
+    EXPECT_EQ(m.tag, 5);
+    EXPECT_EQ(m.a, 99u);
+  });
+  eng.spawn("tx", [&] {
+    Message m;
+    m.src = 0;
+    m.dst = 1;
+    m.tag = 5;
+    m.a = 99;
+    net.send(std::move(m));
+  });
+  eng.run();
+  // posting (100 + 40/2=20) then 1000 wire latency
+  EXPECT_EQ(received_at, 1120u);
+  EXPECT_EQ(net.stats(0).msgs_sent, 1u);
+  EXPECT_EQ(net.stats(1).msgs_received, 1u);
+}
+
+TEST(Interconnect, MessagesFifoPerSender) {
+  Engine eng;
+  Interconnect net(2, test_cfg());
+  std::vector<int> order;
+  eng.spawn("rx", [&] {
+    for (int i = 0; i < 6; ++i) order.push_back(net.recv(1).tag);
+  });
+  eng.spawn("tx", [&] {
+    for (int i = 0; i < 6; ++i) {
+      Message m;
+      m.src = 0;
+      m.dst = 1;
+      m.tag = i;
+      net.send(std::move(m));
+    }
+  });
+  eng.run();
+  std::vector<int> expect{0, 1, 2, 3, 4, 5};
+  EXPECT_EQ(order, expect);
+}
+
+TEST(Interconnect, TryRecvAndPollRespectDeliveryTime) {
+  Engine eng;
+  Interconnect net(2, test_cfg());
+  eng.spawn("t", [&] {
+    Message m;
+    m.src = 0;
+    m.dst = 1;
+    net.send(std::move(m));
+    // Sent but not yet delivered (wire latency pending).
+    EXPECT_FALSE(net.poll(1));
+    EXPECT_FALSE(net.try_recv(1).has_value());
+    argosim::delay(2000);
+    EXPECT_TRUE(net.poll(1));
+    EXPECT_TRUE(net.try_recv(1).has_value());
+    EXPECT_FALSE(net.poll(1));
+  });
+  eng.run();
+}
+
+TEST(Interconnect, PayloadBytesAndStatReset) {
+  Engine eng;
+  Interconnect net(2, test_cfg());
+  eng.spawn("t", [&] {
+    Message m;
+    m.src = 0;
+    m.dst = 1;
+    m.payload.resize(1000);
+    net.send(std::move(m));
+    net.charge_write(0, 1, 123);
+  });
+  eng.run();
+  EXPECT_EQ(net.stats(0).bytes_sent, 1000u);
+  EXPECT_EQ(net.stats(0).bytes_written, 123u);
+  EXPECT_EQ(net.total_stats().msgs_sent, 1u);
+  net.reset_stats();
+  EXPECT_EQ(net.total_stats().total_ops(), 0u);
+}
+
+TEST(WaitQueueTimed, TimeoutAndNotifyPaths) {
+  Engine eng;
+  argosim::WaitQueue q;
+  bool notified_result = true, timeout_result = true;
+  eng.spawn("timeout", [&] { timeout_result = q.wait_for(100); });
+  eng.spawn("notified", [&] { notified_result = q.wait_for(1000); });
+  eng.spawn("notifier", [&] {
+    argosim::delay(500);
+    q.notify_one();  // the timeout waiter is gone; wakes "notified"
+  });
+  eng.run();
+  EXPECT_FALSE(timeout_result);
+  EXPECT_TRUE(notified_result);
+  EXPECT_EQ(q.waiters(), 0u);
+}
+
+}  // namespace
+}  // namespace argonet

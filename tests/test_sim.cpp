@@ -1,0 +1,347 @@
+// Unit tests for the deterministic virtual-time engine (src/sim).
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "sim/random.hpp"
+#include "sim/sync.hpp"
+
+namespace argosim {
+namespace {
+
+TEST(Engine, SingleThreadAdvancesClock) {
+  Engine eng;
+  Time seen = 1;
+  eng.spawn("t0", [&] {
+    EXPECT_EQ(now(), 0u);
+    delay(100);
+    EXPECT_EQ(now(), 100u);
+    delay(50);
+    seen = now();
+  });
+  eng.run();
+  EXPECT_EQ(seen, 150u);
+  EXPECT_EQ(eng.now(), 150u);
+}
+
+TEST(Engine, ClockIsSharedAcrossThreads) {
+  Engine eng;
+  std::vector<Time> order;
+  eng.spawn("a", [&] {
+    delay(10);
+    order.push_back(now());
+    delay(30);  // wakes at 40
+    order.push_back(now());
+  });
+  eng.spawn("b", [&] {
+    delay(25);
+    order.push_back(now());
+  });
+  eng.run();
+  ASSERT_EQ(order.size(), 3u);
+  EXPECT_EQ(order[0], 10u);
+  EXPECT_EQ(order[1], 25u);
+  EXPECT_EQ(order[2], 40u);
+}
+
+TEST(Engine, FifoOrderAmongEqualTimes) {
+  Engine eng;
+  std::vector<int> order;
+  for (int i = 0; i < 8; ++i)
+    eng.spawn("t" + std::to_string(i), [&order, i] {
+      delay(100);
+      order.push_back(i);
+    });
+  eng.run();
+  std::vector<int> expect{0, 1, 2, 3, 4, 5, 6, 7};
+  EXPECT_EQ(order, expect);
+}
+
+TEST(Engine, YieldIsRoundRobinFair) {
+  Engine eng;
+  std::vector<int> order;
+  for (int i = 0; i < 3; ++i)
+    eng.spawn("t" + std::to_string(i), [&order, i] {
+      for (int k = 0; k < 3; ++k) {
+        order.push_back(i);
+        yield();
+      }
+    });
+  eng.run();
+  std::vector<int> expect{0, 1, 2, 0, 1, 2, 0, 1, 2};
+  EXPECT_EQ(order, expect);
+  EXPECT_EQ(eng.now(), 0u);  // yields cost no virtual time
+}
+
+TEST(Engine, SpawnFromInsideFiber) {
+  Engine eng;
+  int children_done = 0;
+  eng.spawn("parent", [&] {
+    delay(5);
+    for (int i = 0; i < 4; ++i)
+      Engine::current()->spawn("child", [&] {
+        delay(10);
+        ++children_done;
+      });
+  });
+  eng.run();
+  EXPECT_EQ(children_done, 4);
+  EXPECT_EQ(eng.now(), 15u);
+}
+
+TEST(Engine, RunIsRepeatableAndTimeMonotonic) {
+  Engine eng;
+  eng.spawn("a", [] { delay(100); });
+  eng.run();
+  EXPECT_EQ(eng.now(), 100u);
+  eng.spawn("b", [] { delay(10); });
+  eng.run();
+  EXPECT_EQ(eng.now(), 110u);
+}
+
+TEST(Engine, ExceptionInFiberPropagatesFromRun) {
+  Engine eng;
+  eng.spawn("boom", [] {
+    delay(1);
+    throw std::logic_error("boom");
+  });
+  EXPECT_THROW(eng.run(), std::logic_error);
+}
+
+TEST(Engine, DeadlockIsDetected) {
+  Engine eng;
+  WaitQueue q;
+  eng.spawn("stuck", [&] { q.wait(); });
+  EXPECT_THROW(eng.run(), SimDeadlock);
+}
+
+TEST(Engine, DaemonsDoNotBlockCompletionAndAreUnwound) {
+  bool daemon_unwound = false;
+  {
+    Engine eng;
+    Channel<int>* ch = new Channel<int>();
+    eng.spawn(
+        "handler",
+        [&, ch] {
+          struct Sentinel {
+            bool* flag;
+            ~Sentinel() { *flag = true; }
+          } s{&daemon_unwound};
+          for (;;) ch->recv();  // parked forever
+        },
+        /*daemon=*/true);
+    eng.spawn("worker", [] { delay(42); });
+    eng.run();  // completes despite the parked daemon
+    EXPECT_EQ(eng.now(), 42u);
+    EXPECT_FALSE(daemon_unwound);
+    // Engine destructor unwinds the daemon (running Sentinel's destructor).
+    // `ch` intentionally outlives the engine since the daemon references it.
+  }
+  EXPECT_TRUE(daemon_unwound);
+}
+
+TEST(Engine, ManyFibers) {
+  Engine eng;
+  int sum = 0;
+  const int n = 2048;
+  for (int i = 0; i < n; ++i)
+    eng.spawn("w", [&sum] {
+      delay(7);
+      ++sum;
+    });
+  eng.run();
+  EXPECT_EQ(sum, n);
+  EXPECT_EQ(eng.now(), 7u);
+}
+
+TEST(SimMutex, MutualExclusionAndFifoHandoff) {
+  Engine eng;
+  SimMutex m;
+  int inside = 0;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i)
+    eng.spawn("t" + std::to_string(i), [&, i] {
+      m.lock();
+      EXPECT_EQ(inside, 0);
+      ++inside;
+      order.push_back(i);
+      delay(10);
+      --inside;
+      m.unlock();
+    });
+  eng.run();
+  std::vector<int> expect{0, 1, 2, 3, 4};
+  EXPECT_EQ(order, expect);
+  EXPECT_EQ(eng.now(), 50u);
+  EXPECT_FALSE(m.locked());
+}
+
+TEST(SimMutex, TryLock) {
+  Engine eng;
+  SimMutex m;
+  eng.spawn("a", [&] {
+    EXPECT_TRUE(m.try_lock());
+    delay(10);
+    m.unlock();
+  });
+  eng.spawn("b", [&] {
+    delay(5);
+    EXPECT_FALSE(m.try_lock());
+    delay(10);  // now t=15, a released at t=10
+    EXPECT_TRUE(m.try_lock());
+    m.unlock();
+  });
+  eng.run();
+}
+
+TEST(SimCondVar, PredicateWait) {
+  Engine eng;
+  SimMutex m;
+  SimCondVar cv;
+  bool ready = false;
+  Time consumer_woke = 0;
+  eng.spawn("consumer", [&] {
+    SimLockGuard g(m);
+    cv.wait(m, [&] { return ready; });
+    consumer_woke = now();
+  });
+  eng.spawn("producer", [&] {
+    delay(77);
+    SimLockGuard g(m);
+    ready = true;
+    cv.notify_all();
+  });
+  eng.run();
+  EXPECT_EQ(consumer_woke, 77u);
+}
+
+TEST(SimBarrier, RendezvousAcrossGenerations) {
+  Engine eng;
+  const int n = 6, rounds = 4;
+  SimBarrier bar(n);
+  std::vector<int> phase(n, 0);
+  for (int i = 0; i < n; ++i)
+    eng.spawn("t" + std::to_string(i), [&, i] {
+      for (int r = 0; r < rounds; ++r) {
+        delay(static_cast<Time>(i + 1));  // arrive staggered
+        // Nobody may be a full phase ahead before the barrier.
+        for (int j = 0; j < n; ++j) EXPECT_LE(phase[j], r + 1);
+        bar.arrive_and_wait();
+        ++phase[i];
+        for (int j = 0; j < n; ++j) EXPECT_GE(phase[j] + 1, phase[i]);
+      }
+    });
+  eng.run();
+  for (int j = 0; j < n; ++j) EXPECT_EQ(phase[j], rounds);
+}
+
+TEST(SimEvent, ReleasesCurrentAndFutureWaiters) {
+  Engine eng;
+  SimEvent ev;
+  int released = 0;
+  eng.spawn("early", [&] {
+    ev.wait();
+    ++released;
+  });
+  eng.spawn("setter", [&] {
+    delay(10);
+    ev.set();
+  });
+  eng.spawn("late", [&] {
+    delay(20);
+    ev.wait();  // already set: returns immediately
+    ++released;
+    EXPECT_EQ(now(), 20u);
+  });
+  eng.run();
+  EXPECT_EQ(released, 2);
+}
+
+TEST(Channel, FifoDelivery) {
+  Engine eng;
+  Channel<int> ch;
+  std::vector<int> got;
+  eng.spawn("rx", [&] {
+    for (int i = 0; i < 5; ++i) got.push_back(ch.recv());
+  });
+  eng.spawn("tx", [&] {
+    for (int i = 0; i < 5; ++i) {
+      delay(3);
+      ch.send(i);
+    }
+  });
+  eng.run();
+  std::vector<int> expect{0, 1, 2, 3, 4};
+  EXPECT_EQ(got, expect);
+}
+
+TEST(Channel, TryRecv) {
+  Engine eng;
+  Channel<std::string> ch;
+  eng.spawn("t", [&] {
+    EXPECT_FALSE(ch.try_recv().has_value());
+    ch.send("x");
+    auto v = ch.try_recv();
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(*v, "x");
+  });
+  eng.run();
+}
+
+// Determinism: identical programs produce identical traces.
+std::vector<std::uint64_t> run_trace(std::uint64_t seed) {
+  Engine eng;
+  std::vector<std::uint64_t> trace;
+  SimMutex m;
+  for (int i = 0; i < 16; ++i)
+    eng.spawn("t", [&, i] {
+      Rng rng(seed + static_cast<std::uint64_t>(i));
+      for (int k = 0; k < 50; ++k) {
+        delay(rng.next_below(100));
+        SimLockGuard g(m);
+        trace.push_back(now() * 31 + static_cast<std::uint64_t>(i));
+        delay(rng.next_below(10));
+      }
+    });
+  eng.run();
+  trace.push_back(eng.now());
+  return trace;
+}
+
+TEST(Engine, DeterministicReplay) {
+  auto a = run_trace(12345);
+  auto b = run_trace(12345);
+  EXPECT_EQ(a, b);
+  auto c = run_trace(54321);
+  EXPECT_NE(a, c);
+}
+
+TEST(Rng, KnownSequencesAndRanges) {
+  Rng a(7), b(7), c(8);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+  bool differs = false;
+  for (int i = 0; i < 100; ++i) differs |= (a.next_u64() != c.next_u64());
+  EXPECT_TRUE(differs);
+  Rng r(99);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(r.next_below(17), 17u);
+    double d = r.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+    auto v = r.next_range(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(Time, LiteralsAndConversions) {
+  EXPECT_EQ(3_us, 3000u);
+  EXPECT_EQ(2_ms, 2000000u);
+  EXPECT_DOUBLE_EQ(to_us(1500), 1.5);
+  EXPECT_DOUBLE_EQ(to_s(2500000000ull), 2.5);
+}
+
+}  // namespace
+}  // namespace argosim
