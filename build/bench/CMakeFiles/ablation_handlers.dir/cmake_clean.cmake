@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_handlers.dir/ablation_handlers.cpp.o"
+  "CMakeFiles/ablation_handlers.dir/ablation_handlers.cpp.o.d"
+  "ablation_handlers"
+  "ablation_handlers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_handlers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_bandwidth.dir/fig07_bandwidth.cpp.o"
+  "CMakeFiles/fig07_bandwidth.dir/fig07_bandwidth.cpp.o.d"
+  "fig07_bandwidth"
+  "fig07_bandwidth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_bandwidth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

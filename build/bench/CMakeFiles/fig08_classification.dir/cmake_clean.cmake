@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_classification.dir/fig08_classification.cpp.o"
+  "CMakeFiles/fig08_classification.dir/fig08_classification.cpp.o.d"
+  "fig08_classification"
+  "fig08_classification.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_classification.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_writebuffer.dir/fig09_writebuffer.cpp.o"
+  "CMakeFiles/fig09_writebuffer.dir/fig09_writebuffer.cpp.o.d"
+  "fig09_writebuffer"
+  "fig09_writebuffer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_writebuffer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

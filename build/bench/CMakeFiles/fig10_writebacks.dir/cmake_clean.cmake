@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_writebacks.dir/fig10_writebacks.cpp.o"
+  "CMakeFiles/fig10_writebacks.dir/fig10_writebacks.cpp.o.d"
+  "fig10_writebacks"
+  "fig10_writebacks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_writebacks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

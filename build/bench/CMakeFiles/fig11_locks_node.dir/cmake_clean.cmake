@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_locks_node.dir/fig11_locks_node.cpp.o"
+  "CMakeFiles/fig11_locks_node.dir/fig11_locks_node.cpp.o.d"
+  "fig11_locks_node"
+  "fig11_locks_node.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_locks_node.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

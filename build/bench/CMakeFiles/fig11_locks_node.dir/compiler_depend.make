@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig11_locks_node.
+# This may be replaced when dependencies are built.

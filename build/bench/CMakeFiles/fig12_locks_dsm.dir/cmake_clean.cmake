@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_locks_dsm.dir/fig12_locks_dsm.cpp.o"
+  "CMakeFiles/fig12_locks_dsm.dir/fig12_locks_dsm.cpp.o.d"
+  "fig12_locks_dsm"
+  "fig12_locks_dsm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_locks_dsm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

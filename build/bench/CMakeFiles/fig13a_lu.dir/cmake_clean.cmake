@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13a_lu.dir/fig13a_lu.cpp.o"
+  "CMakeFiles/fig13a_lu.dir/fig13a_lu.cpp.o.d"
+  "fig13a_lu"
+  "fig13a_lu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13a_lu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

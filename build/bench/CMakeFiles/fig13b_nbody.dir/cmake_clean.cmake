@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13b_nbody.dir/fig13b_nbody.cpp.o"
+  "CMakeFiles/fig13b_nbody.dir/fig13b_nbody.cpp.o.d"
+  "fig13b_nbody"
+  "fig13b_nbody.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13b_nbody.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13c_blackscholes.dir/fig13c_blackscholes.cpp.o"
+  "CMakeFiles/fig13c_blackscholes.dir/fig13c_blackscholes.cpp.o.d"
+  "fig13c_blackscholes"
+  "fig13c_blackscholes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13c_blackscholes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13d_mm.dir/fig13d_mm.cpp.o"
+  "CMakeFiles/fig13d_mm.dir/fig13d_mm.cpp.o.d"
+  "fig13d_mm"
+  "fig13d_mm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13d_mm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

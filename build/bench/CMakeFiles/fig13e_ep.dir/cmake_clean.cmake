@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13e_ep.dir/fig13e_ep.cpp.o"
+  "CMakeFiles/fig13e_ep.dir/fig13e_ep.cpp.o.d"
+  "fig13e_ep"
+  "fig13e_ep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13e_ep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig13e_ep.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13f_cg.dir/fig13f_cg.cpp.o"
+  "CMakeFiles/fig13f_cg.dir/fig13f_cg.cpp.o.d"
+  "fig13f_cg"
+  "fig13f_cg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13f_cg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

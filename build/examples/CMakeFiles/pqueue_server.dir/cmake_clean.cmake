@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pqueue_server.dir/pqueue_server.cpp.o"
+  "CMakeFiles/pqueue_server.dir/pqueue_server.cpp.o.d"
+  "pqueue_server"
+  "pqueue_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pqueue_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

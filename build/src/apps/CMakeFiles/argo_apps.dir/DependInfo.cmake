@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/blackscholes.cpp" "src/apps/CMakeFiles/argo_apps.dir/blackscholes.cpp.o" "gcc" "src/apps/CMakeFiles/argo_apps.dir/blackscholes.cpp.o.d"
+  "/root/repo/src/apps/cg.cpp" "src/apps/CMakeFiles/argo_apps.dir/cg.cpp.o" "gcc" "src/apps/CMakeFiles/argo_apps.dir/cg.cpp.o.d"
+  "/root/repo/src/apps/ep.cpp" "src/apps/CMakeFiles/argo_apps.dir/ep.cpp.o" "gcc" "src/apps/CMakeFiles/argo_apps.dir/ep.cpp.o.d"
+  "/root/repo/src/apps/lu.cpp" "src/apps/CMakeFiles/argo_apps.dir/lu.cpp.o" "gcc" "src/apps/CMakeFiles/argo_apps.dir/lu.cpp.o.d"
+  "/root/repo/src/apps/mm.cpp" "src/apps/CMakeFiles/argo_apps.dir/mm.cpp.o" "gcc" "src/apps/CMakeFiles/argo_apps.dir/mm.cpp.o.d"
+  "/root/repo/src/apps/nbody.cpp" "src/apps/CMakeFiles/argo_apps.dir/nbody.cpp.o" "gcc" "src/apps/CMakeFiles/argo_apps.dir/nbody.cpp.o.d"
+  "/root/repo/src/apps/pqueue.cpp" "src/apps/CMakeFiles/argo_apps.dir/pqueue.cpp.o" "gcc" "src/apps/CMakeFiles/argo_apps.dir/pqueue.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/argo_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/argo_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/sync/CMakeFiles/argo_sync.dir/DependInfo.cmake"
+  "/root/repo/build/src/dir/CMakeFiles/argo_dir.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/argo_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/argo_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/argo_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

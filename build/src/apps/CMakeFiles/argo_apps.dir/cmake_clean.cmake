@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/argo_apps.dir/blackscholes.cpp.o"
+  "CMakeFiles/argo_apps.dir/blackscholes.cpp.o.d"
+  "CMakeFiles/argo_apps.dir/cg.cpp.o"
+  "CMakeFiles/argo_apps.dir/cg.cpp.o.d"
+  "CMakeFiles/argo_apps.dir/ep.cpp.o"
+  "CMakeFiles/argo_apps.dir/ep.cpp.o.d"
+  "CMakeFiles/argo_apps.dir/lu.cpp.o"
+  "CMakeFiles/argo_apps.dir/lu.cpp.o.d"
+  "CMakeFiles/argo_apps.dir/mm.cpp.o"
+  "CMakeFiles/argo_apps.dir/mm.cpp.o.d"
+  "CMakeFiles/argo_apps.dir/nbody.cpp.o"
+  "CMakeFiles/argo_apps.dir/nbody.cpp.o.d"
+  "CMakeFiles/argo_apps.dir/pqueue.cpp.o"
+  "CMakeFiles/argo_apps.dir/pqueue.cpp.o.d"
+  "libargo_apps.a"
+  "libargo_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/argo_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

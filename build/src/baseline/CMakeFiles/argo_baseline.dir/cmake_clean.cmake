@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/argo_baseline.dir/active_dsm.cpp.o"
+  "CMakeFiles/argo_baseline.dir/active_dsm.cpp.o.d"
+  "CMakeFiles/argo_baseline.dir/mpi.cpp.o"
+  "CMakeFiles/argo_baseline.dir/mpi.cpp.o.d"
+  "libargo_baseline.a"
+  "libargo_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/argo_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

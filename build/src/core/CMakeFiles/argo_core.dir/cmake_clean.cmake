@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/argo_core.dir/carina.cpp.o"
+  "CMakeFiles/argo_core.dir/carina.cpp.o.d"
+  "CMakeFiles/argo_core.dir/cluster.cpp.o"
+  "CMakeFiles/argo_core.dir/cluster.cpp.o.d"
+  "libargo_core.a"
+  "libargo_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/argo_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

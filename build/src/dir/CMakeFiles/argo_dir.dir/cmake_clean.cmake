@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/argo_dir.dir/pyxis.cpp.o"
+  "CMakeFiles/argo_dir.dir/pyxis.cpp.o.d"
+  "libargo_dir.a"
+  "libargo_dir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/argo_dir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

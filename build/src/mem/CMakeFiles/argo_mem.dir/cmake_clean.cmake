@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/argo_mem.dir/global_memory.cpp.o"
+  "CMakeFiles/argo_mem.dir/global_memory.cpp.o.d"
+  "libargo_mem.a"
+  "libargo_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/argo_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

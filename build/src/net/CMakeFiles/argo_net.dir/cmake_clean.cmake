@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/argo_net.dir/interconnect.cpp.o"
+  "CMakeFiles/argo_net.dir/interconnect.cpp.o.d"
+  "libargo_net.a"
+  "libargo_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/argo_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

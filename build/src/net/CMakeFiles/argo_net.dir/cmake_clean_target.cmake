@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libargo_net.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/argo_sim.dir/engine.cpp.o"
+  "CMakeFiles/argo_sim.dir/engine.cpp.o.d"
+  "libargo_sim.a"
+  "libargo_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/argo_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

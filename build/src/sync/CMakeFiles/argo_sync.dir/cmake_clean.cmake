@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/argo_sync.dir/dsm_locks.cpp.o"
+  "CMakeFiles/argo_sync.dir/dsm_locks.cpp.o.d"
+  "CMakeFiles/argo_sync.dir/local_locks.cpp.o"
+  "CMakeFiles/argo_sync.dir/local_locks.cpp.o.d"
+  "CMakeFiles/argo_sync.dir/qd_lock.cpp.o"
+  "CMakeFiles/argo_sync.dir/qd_lock.cpp.o.d"
+  "libargo_sync.a"
+  "libargo_sync.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/argo_sync.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
