@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Build and test both configurations: the normal optimized build and the
+# ARGO_SANITIZE build (ASan + UBSan, with the fiber-switch annotations in
+# sim/engine.cpp keeping ASan's stack bookkeeping coherent across
+# swapcontext). Intended as the pre-merge gate.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS="${JOBS:-$(nproc)}"
+
+echo "=== default build ==="
+cmake -B build -S .
+cmake --build build -j "$JOBS"
+ctest --test-dir build --output-on-failure -j "$JOBS"
+
+echo "=== sanitizer build (ASan + UBSan) ==="
+cmake -B build-sanitize -S . -DARGO_SANITIZE=ON
+cmake --build build-sanitize -j "$JOBS"
+ctest --test-dir build-sanitize --output-on-failure -j "$JOBS"
+
+echo "all checks passed"

@@ -576,6 +576,7 @@ void NodeCache::si_fence() {
 
 void NodeCache::sd_fence() {
   ++stats_.sd_fences;
+  if (cfg_.debug_skip_sd_fence) return;  // chaos knob: leave pages dirty
   const bool naive = cfg_.classification == Mode::PSNaive;
   // Drain in place: entries must stay visible to concurrent capacity
   // drains (hiding them in a local queue can starve a writer spinning for
@@ -657,6 +658,20 @@ std::size_t NodeCache::dirty_pages() const {
   for (const std::size_t idx : occupied_)
     for (const auto& s : lines_[idx].pages) n += (s.valid && s.dirty) ? 1 : 0;
   return n;
+}
+
+std::vector<NodeCache::CachedPage> NodeCache::cached_pages() const {
+  std::vector<CachedPage> out;
+  for (const std::size_t idx : occupied_) {
+    const Line& l = lines_[idx];
+    if (l.group == kNoGroup) continue;
+    for (std::size_t i = 0; i < l.pages.size(); ++i) {
+      const PageSlot& s = l.pages[i];
+      if (s.valid)
+        out.push_back({l.group * cfg_.pages_per_line + i, s.dirty, s.in_wb});
+    }
+  }
+  return out;
 }
 
 }  // namespace argocore

@@ -83,6 +83,22 @@ class NodeCache {
   /// Pages currently dirty.
   std::size_t dirty_pages() const;
 
+  /// Snapshot of every valid cached page, for the ProtocolValidator.
+  struct CachedPage {
+    std::uint64_t page;
+    bool dirty;
+    bool in_wb;
+  };
+  std::vector<CachedPage> cached_pages() const;
+
+  /// Live (non-stale) write-buffer entries; bounded by
+  /// CacheConfig::write_buffer_pages at all times.
+  std::size_t write_buffer_live() const { return wb_live_; }
+
+  /// The page whose directory word governs `page` (classification follows
+  /// the fetch granularity; see dir_page below). For the validator.
+  std::uint64_t dir_key(std::uint64_t page) const { return dir_page(page); }
+
  private:
   static constexpr std::uint64_t kNoGroup = ~std::uint64_t{0};
 

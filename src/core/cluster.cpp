@@ -18,6 +18,7 @@ Cluster::Cluster(ClusterConfig cfg)
   peer_view_.clear();
   for (auto& c : caches_) peer_view_.push_back(c.get());
   for (auto& c : caches_) c->set_peers(&peer_view_);
+  net_.enable_faults(cfg_.faults);
 }
 
 void Cluster::reset_classification() {
@@ -47,6 +48,7 @@ Time Cluster::run_subset(int use_nodes, int use_threads_per_node,
   // message rounds; each round costs one posting plus one wire latency.
   int rounds = 0;
   while ((1 << rounds) < use_nodes) ++rounds;
+  barrier_rounds_ = rounds;
   barrier_net_cost_ =
       static_cast<Time>(rounds) * (cfg_.net.msg_latency + cfg_.net.nic_overhead);
 
@@ -80,14 +82,26 @@ void Cluster::reset_stats() {
 void Cluster::rendezvous(Thread& t) {
   auto& nb = *node_barriers_[static_cast<std::size_t>(t.node())];
   nb.arrive_and_wait();
-  if (t.tid() == 0) global_rendezvous();
+  if (t.tid() == 0) global_rendezvous(t.node());
   nb.arrive_and_wait();
 }
 
-void Cluster::global_rendezvous() {
+void Cluster::global_rendezvous(int node) {
   if (active_nodes_ <= 1) return;
   leader_barrier_->arrive_and_wait();
-  if (barrier_net_cost_ > 0) argosim::delay(barrier_net_cost_);
+  if (!net_.faults_enabled()) {
+    // Fault-free: one lump-sum delay (identical to charging each round
+    // separately, since virtual delays are additive on one fiber).
+    if (barrier_net_cost_ > 0) argosim::delay(barrier_net_cost_);
+    return;
+  }
+  // With faults enabled each dissemination round is a real fallible
+  // notification toward that round's partner, retried under RetryPolicy —
+  // so a flaky link slows the barrier instead of wedging or corrupting it.
+  for (int r = 0; r < barrier_rounds_; ++r) {
+    const int partner = (node + (1 << r)) % active_nodes_;
+    net_.barrier_round(node, partner);
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -112,8 +126,9 @@ void Thread::barrier() {
     // other nodes (no node may re-read before every node has flushed),
     // then self-invalidates for the whole node.
     cache_->sd_fence();
-    cluster_->global_rendezvous();
+    cluster_->global_rendezvous(node_);
     cache_->si_fence();
+    if (cluster_->barrier_hook_) cluster_->barrier_hook_(node_);
   }
   nb.arrive_and_wait();
 }

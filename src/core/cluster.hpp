@@ -215,9 +215,17 @@ class Cluster {
   /// have no page caches to maintain (the PGAS baseline).
   void rendezvous(Thread& t);
 
+  /// Install a hook called by each node leader at the end of every Vela
+  /// barrier (after its SI fence, before releasing the node's threads),
+  /// with the node index. Costs no virtual time. Used by the
+  /// ProtocolValidator to check coherence invariants at quiescent points.
+  void set_barrier_hook(std::function<void(int)> hook) {
+    barrier_hook_ = std::move(hook);
+  }
+
  private:
   friend class Thread;
-  void global_rendezvous();  // leader part of the hierarchical barrier
+  void global_rendezvous(int node);  // leader part of the hierarchical barrier
 
   int active_nodes_ = 1;
   int active_tpn_ = 1;
@@ -231,6 +239,8 @@ class Cluster {
   std::vector<std::unique_ptr<argosim::SimBarrier>> node_barriers_;
   std::unique_ptr<argosim::SimBarrier> leader_barrier_;
   Time barrier_net_cost_ = 0;
+  int barrier_rounds_ = 0;
+  std::function<void(int)> barrier_hook_;
 };
 
 }  // namespace argo

@@ -4,6 +4,7 @@
 #include <cstddef>
 
 #include "mem/global_memory.hpp"
+#include "net/faults.hpp"
 #include "net/netconfig.hpp"
 #include "sim/time.hpp"
 
@@ -45,6 +46,11 @@ struct CacheConfig {
   /// CPU cost of taking a page-cache miss (the original system's SIGSEGV +
   /// fault-handler entry), charged once per miss before the protocol runs.
   argosim::Time fault_overhead = 1500;
+
+  /// Test-only chaos knob: skip the SD fence on barriers/releases so dirty
+  /// pages are never downgraded. Deliberately breaks coherence — exists so
+  /// the ProtocolValidator's tests can prove a protocol hole is caught.
+  bool debug_skip_sd_fence = false;
 };
 
 /// Whole-cluster configuration.
@@ -60,6 +66,11 @@ struct ClusterConfig {
   CacheConfig cache;
   argonet::NetConfig net;
   argonet::NodeTopology topo;
+
+  /// Deterministic fault injection (net/faults.hpp). Disabled by default;
+  /// when disabled the interconnect never consults the injector and all
+  /// virtual times match a fault-free build exactly.
+  argonet::FaultConfig faults;
 };
 
 }  // namespace argocore

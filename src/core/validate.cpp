@@ -1,0 +1,76 @@
+#include "core/validate.hpp"
+
+#include "core/carina.hpp"
+#include "core/cluster.hpp"
+#include "core/policy.hpp"
+#include "dir/pyxis.hpp"
+
+namespace argocore {
+
+using argodir::DirWord;
+
+void ProtocolValidator::attach() {
+  cluster_.set_barrier_hook([this](int node) { check_post_barrier(node); });
+}
+
+void ProtocolValidator::fail(int node, std::uint64_t page,
+                             const std::string& what) {
+  violations_.push_back("node " + std::to_string(node) + " page " +
+                        std::to_string(page) + ": " + what);
+}
+
+void ProtocolValidator::check(int node) {
+  ++checks_run_;
+  NodeCache& cache = cluster_.node_cache(node);
+  argodir::PyxisDirectory& dir = cluster_.dir();
+  const CacheConfig& cfg = cache.config();
+
+  std::size_t in_wb_flags = 0;
+  for (const NodeCache::CachedPage& p : cache.cached_pages()) {
+    if (p.in_wb) ++in_wb_flags;
+    const std::uint64_t key = cache.dir_key(p.page);
+    const DirWord home = dir.host_word(key);
+    if (p.dirty && !home.is_writer(node))
+      fail(node, p.page, "dirty but writer bit not set at home");
+    const std::uint64_t cached = dir.cache_get(node, key);
+    if ((cached & ~home.raw) != 0)
+      fail(node, p.page, "cached directory word claims bits home lacks");
+  }
+
+  if (cache.write_buffer_live() > cfg.write_buffer_pages)
+    fail(node, 0,
+         "write buffer live count " +
+             std::to_string(cache.write_buffer_live()) + " exceeds capacity " +
+             std::to_string(cfg.write_buffer_pages));
+  if (in_wb_flags != cache.write_buffer_live())
+    fail(node, 0,
+         "in_wb flags (" + std::to_string(in_wb_flags) +
+             ") disagree with live write-buffer count (" +
+             std::to_string(cache.write_buffer_live()) + ")");
+}
+
+void ProtocolValidator::check_post_barrier(int node) {
+  check(node);
+  NodeCache& cache = cluster_.node_cache(node);
+  argodir::PyxisDirectory& dir = cluster_.dir();
+  const Mode mode = cache.config().classification;
+
+  for (const NodeCache::CachedPage& p : cache.cached_pages()) {
+    // The word a node acts on is keyed at classification granularity (the
+    // line's first page, except per-page under naive P/S).
+    const std::uint64_t key = cache.dir_key(p.page);
+    const DirWord cached{dir.cache_get(node, key)};
+    if (p.dirty) {
+      const bool naive_private =
+          mode == Mode::PSNaive && cached.private_to(node);
+      if (!naive_private)
+        fail(node, p.page, "still dirty after barrier SD+SI");
+    }
+    if (si_required(mode, cached, node))
+      fail(node, p.page, "survived SI fence but classification requires drop");
+    if (!dir.host_word(key).is_reader(node))
+      fail(node, p.page, "cached without reader registration at home");
+  }
+}
+
+}  // namespace argocore

@@ -1,0 +1,71 @@
+// ProtocolValidator: a coherence invariant checker for tests.
+//
+// The simulator makes protocol state directly inspectable, so instead of
+// trusting end-to-end results alone, tests can assert the Carina/Pyxis
+// invariants that make those results correct. Two check levels:
+//
+//  * check(node) — holds at any quiescent instant (no protocol op of that
+//    node mid-flight):
+//      - every dirty cached page has the node's writer bit set in the
+//        *home* directory word (registration happens before the write);
+//      - the node's cached directory word for a cached page never claims
+//        bits the home word lacks (cache words are ORed from home reads
+//        and notifications, so cached ⊆ home between resets);
+//      - live write-buffer entries never exceed the configured capacity,
+//        and agree with the per-page in_wb flags.
+//
+//  * check_post_barrier(node) — additionally holds right after a node
+//    leader finishes its barrier SI fence:
+//      - no cached page is dirty (SD drained the write buffer; naive P/S
+//        private pages, which legitimately stay dirty, are exempted);
+//      - every surviving cached page is one classification says may be
+//        kept (si_required == false on the node's cached word) and has the
+//        node registered as reader at home.
+//
+// attach() installs the checks as the Cluster's barrier hook so every Vela
+// barrier in a test run is validated in place; violations are collected as
+// strings (not asserted inside the hook) so a test can both EXPECT none on
+// healthy configs and EXPECT some when a chaos knob deliberately breaks
+// the protocol. Checks cost no virtual time and perform no simulated ops.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace argo {
+class Cluster;
+}
+
+namespace argocore {
+
+class ProtocolValidator {
+ public:
+  explicit ProtocolValidator(argo::Cluster& cluster) : cluster_(cluster) {}
+
+  /// Install check_post_barrier as the cluster's barrier hook (called by
+  /// each node leader after its barrier SI fence).
+  void attach();
+
+  /// Run the quiescent-state checks for one node now.
+  void check(int node);
+
+  /// Run the stricter post-barrier checks for one node now.
+  void check_post_barrier(int node);
+
+  /// All accumulated invariant violations (empty = protocol clean).
+  const std::vector<std::string>& violations() const { return violations_; }
+  void clear() { violations_.clear(); }
+
+  /// Total checks executed (to prove the hook actually ran).
+  std::uint64_t checks_run() const { return checks_run_; }
+
+ private:
+  void fail(int node, std::uint64_t page, const std::string& what);
+
+  argo::Cluster& cluster_;
+  std::vector<std::string> violations_;
+  std::uint64_t checks_run_ = 0;
+};
+
+}  // namespace argocore

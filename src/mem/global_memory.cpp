@@ -1,8 +1,8 @@
 #include "mem/global_memory.hpp"
 
 #include <cassert>
-#include <new>
 #include <stdexcept>
+#include <string>
 
 namespace argomem {
 
@@ -45,7 +45,12 @@ GAddr GlobalMemory::alloc_on_node(int node, std::size_t n, std::size_t align) {
   NodeArena& a = arenas_[static_cast<std::size_t>(node)];
   std::size_t off = (a.cur_off + align - 1) & ~(align - 1);
   if (!a.has_page || off + n > kPageSize) {
-    assert(a.pages_taken < pages_per_node_ && "node sync arena exhausted");
+    if (a.pages_taken >= pages_per_node_)
+      throw std::runtime_error(
+          "node " + std::to_string(node) + " sync arena exhausted: requested " +
+          std::to_string(n) + " bytes but all " +
+          std::to_string(pages_per_node_) +
+          " node-homed pages are taken (raise ClusterConfig::global_mem_bytes)");
     a.cur_page = kth_top_page_of(node, a.pages_taken++) * kPageSize;
     a.cur_off = 0;
     a.has_page = true;
@@ -59,8 +64,14 @@ GAddr GlobalMemory::alloc_on_node(int node, std::size_t n, std::size_t align) {
 GAddr GlobalMemory::alloc_bytes(std::size_t n, std::size_t align) {
   assert(align > 0 && (align & (align - 1)) == 0 && "alignment must be a power of two");
   std::size_t base = (brk_ + align - 1) & ~(align - 1);
-  if (n > size() || base > size() - n)
-    throw std::bad_alloc();
+  if (n > size() || base > size() - n) {
+    const std::size_t remaining = base <= size() ? size() - base : 0;
+    throw std::runtime_error(
+        "global memory exhausted: requested " + std::to_string(n) +
+        " bytes, " + std::to_string(remaining) + " of " +
+        std::to_string(size()) +
+        " remaining (raise ClusterConfig::global_mem_bytes)");
+  }
   brk_ = base + n;
   return static_cast<GAddr>(base);
 }

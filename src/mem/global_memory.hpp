@@ -64,8 +64,9 @@ class GlobalMemory {
 
   // --- Allocation (collective-free bump allocator; no free()) ------------
 
-  /// Allocate `n` bytes with the given alignment. Throws std::bad_alloc
-  /// when the global space is exhausted.
+  /// Allocate `n` bytes with the given alignment. Throws std::runtime_error
+  /// (naming the requested and remaining byte counts) when the global
+  /// space is exhausted.
   GAddr alloc_bytes(std::size_t n, std::size_t align = 64);
 
   /// Allocate an array of `count` Ts. Arrays of a page or more are

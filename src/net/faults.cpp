@@ -1,0 +1,89 @@
+#include "net/faults.hpp"
+
+#include <cassert>
+
+namespace argonet {
+
+namespace {
+
+// Mix a node index into the master seed so per-node streams are
+// decorrelated (SplitMix64 finalizer, same constants as sim/random.hpp).
+std::uint64_t mix_seed(std::uint64_t seed, std::uint64_t salt) {
+  std::uint64_t z = seed + (salt + 1) * 0x9e3779b97f4a7c15ull;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+// Uniform in [mean/2, 3*mean/2): keeps the mean while avoiding degenerate
+// zero-length gaps/windows.
+Time around(argosim::Rng& rng, Time mean) {
+  assert(mean > 0);
+  return mean / 2 + static_cast<Time>(rng.next_below(
+                        static_cast<std::uint64_t>(mean) + 1));
+}
+
+}  // namespace
+
+FaultInjector::FaultInjector(FaultConfig cfg, int nodes)
+    : cfg_(cfg), rng_(mix_seed(cfg.seed, 0)) {
+  assert(nodes > 0);
+  windows_.reserve(static_cast<std::size_t>(nodes));
+  for (int n = 0; n < nodes; ++n) {
+    NodeWindows w;
+    w.rng = argosim::Rng(mix_seed(cfg.seed, static_cast<std::uint64_t>(n) + 1));
+    windows_.push_back(std::move(w));
+  }
+}
+
+void FaultInjector::advance(NodeWindows& w, Time now) {
+  if (!w.scheduled) {
+    w.start = around(w.rng, cfg_.brownout_mean_interval);
+    w.end = w.start + around(w.rng, cfg_.brownout_mean_duration);
+    w.scheduled = true;
+  }
+  while (now >= w.end) {
+    ++w.entered;
+    w.start = w.end + around(w.rng, cfg_.brownout_mean_interval);
+    w.end = w.start + around(w.rng, cfg_.brownout_mean_duration);
+  }
+}
+
+bool FaultInjector::in_brownout(int node, Time now) {
+  if (cfg_.brownout_mean_interval == 0 || cfg_.brownout_mean_duration == 0)
+    return false;
+  NodeWindows& w = windows_[static_cast<std::size_t>(node)];
+  advance(w, now);
+  return now >= w.start;
+}
+
+AttemptPlan FaultInjector::plan_attempt(int src, int dst, Time now) {
+  AttemptPlan p;
+  if (in_brownout(src, now) || in_brownout(dst, now)) {
+    p.latency_mult = cfg_.brownout_latency_mult;
+    p.bw_frac = cfg_.brownout_bw_frac;
+  }
+  if (cfg_.jitter_prob > 0 && cfg_.jitter_max > 0 &&
+      rng_.next_bool(cfg_.jitter_prob)) {
+    p.extra_latency = static_cast<Time>(
+        rng_.next_below(static_cast<std::uint64_t>(cfg_.jitter_max) + 1));
+  }
+  if (cfg_.rdma_fail_prob > 0) p.fail = rng_.next_bool(cfg_.rdma_fail_prob);
+  return p;
+}
+
+bool FaultInjector::drop_message() {
+  return cfg_.msg_drop_prob > 0 && rng_.next_bool(cfg_.msg_drop_prob);
+}
+
+bool FaultInjector::duplicate_message() {
+  return cfg_.msg_dup_prob > 0 && rng_.next_bool(cfg_.msg_dup_prob);
+}
+
+Time FaultInjector::backoff_jitter(Time span) {
+  if (span <= 0) return 0;
+  return static_cast<Time>(
+      rng_.next_below(static_cast<std::uint64_t>(span) + 1));
+}
+
+}  // namespace argonet

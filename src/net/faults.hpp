@@ -1,0 +1,117 @@
+// Deterministic, seeded fault injection for the simulated interconnect.
+//
+// Real RDMA deployments see transient NIC timeouts, dropped/duplicated
+// two-sided messages, latency jitter, and per-node "brownouts" (windows of
+// degraded bandwidth/latency while a link retrains or a switch queue
+// drains). The paper's protocol is all one-sided ops issued by the
+// requester, so recovery is entirely the requester's problem: every verb
+// must be retryable. This module decides *what* goes wrong and *when*;
+// the Interconnect charges the costs and runs the retry/backoff loops.
+//
+// Determinism: all draws come from xoshiro streams (sim/random.hpp) seeded
+// from FaultConfig::seed, and the virtual-time engine schedules fibers
+// deterministically — so a given (program, config, seed) triple produces a
+// bit-identical fault pattern, virtual times, and statistics on every run.
+// Per-node brownout schedules use per-node streams, making each node's
+// windows independent of the cluster-wide op order.
+//
+// When FaultConfig::enabled is false the Interconnect never consults this
+// module: the fault-free path is byte-for-byte the pre-fault code and its
+// virtual times are unchanged.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/random.hpp"
+#include "sim/time.hpp"
+
+namespace argonet {
+
+using argosim::Time;
+
+/// What can go wrong, and how often. All probabilities are per-attempt.
+struct FaultConfig {
+  bool enabled = false;      ///< master switch; false = zero overhead
+  std::uint64_t seed = 1;    ///< seeds every fault stream
+
+  /// Probability that a remote RDMA op attempt (read/write/atomic) fails
+  /// transiently: the initiator pays the full attempt cost, observes a
+  /// completion timeout, and must retry.
+  double rdma_fail_prob = 0.0;
+
+  /// Probability a two-sided message is dropped after the sender is
+  /// charged (it never becomes deliverable).
+  double msg_drop_prob = 0.0;
+
+  /// Probability a two-sided message is delivered twice (NIC-level
+  /// retransmission whose original was not actually lost).
+  double msg_dup_prob = 0.0;
+
+  /// Latency jitter: with probability `jitter_prob`, a remote op or
+  /// message gets uniform extra latency in [0, jitter_max].
+  double jitter_prob = 0.0;
+  Time jitter_max = 0;
+
+  /// Per-node brownout windows: roughly every `brownout_mean_interval` ns
+  /// (uniform in [interval/2, 3*interval/2)) a node enters a window of
+  /// roughly `brownout_mean_duration` ns during which every op it
+  /// initiates — or that targets it — runs at `brownout_latency_mult` ×
+  /// latency and `brownout_bw_frac` × bandwidth. 0 disables brownouts.
+  Time brownout_mean_interval = 0;
+  Time brownout_mean_duration = 0;
+  double brownout_latency_mult = 4.0;
+  double brownout_bw_frac = 0.25;
+};
+
+/// Fault decision for one remote-op attempt.
+struct AttemptPlan {
+  bool fail = false;          ///< attempt is charged but does not complete
+  Time extra_latency = 0;     ///< jitter added to the completion latency
+  double latency_mult = 1.0;  ///< brownout latency multiplier
+  double bw_frac = 1.0;       ///< brownout bandwidth fraction (0 < f <= 1)
+};
+
+class FaultInjector {
+ public:
+  FaultInjector(FaultConfig cfg, int nodes);
+
+  const FaultConfig& config() const { return cfg_; }
+
+  /// Decide the fate of one remote op attempt issued by `src` against
+  /// memory homed on `dst` at virtual time `now`. Draws nothing for
+  /// features whose probability/config is zero.
+  AttemptPlan plan_attempt(int src, int dst, Time now);
+
+  /// Independent per-message draws (send-side).
+  bool drop_message();
+  bool duplicate_message();
+
+  /// Uniform draw in [0, span] for retry backoff jitter (0 if span == 0).
+  Time backoff_jitter(Time span);
+
+  /// True if `node` is inside a brownout window at time `now`. Queries
+  /// must be monotonic in `now` per node (virtual time only advances).
+  bool in_brownout(int node, Time now);
+
+  /// Number of brownout windows node has fully entered so far (tests).
+  std::uint64_t brownouts_seen(int node) const {
+    return windows_[static_cast<std::size_t>(node)].entered;
+  }
+
+ private:
+  struct NodeWindows {
+    argosim::Rng rng;         // per-node stream: schedule is op-order free
+    Time start = 0, end = 0;  // current/next window [start, end)
+    std::uint64_t entered = 0;
+    bool scheduled = false;
+  };
+
+  void advance(NodeWindows& w, Time now);
+
+  FaultConfig cfg_;
+  argosim::Rng rng_;  // shared stream for per-op draws
+  std::vector<NodeWindows> windows_;
+};
+
+}  // namespace argonet

@@ -1,7 +1,9 @@
 #include "net/interconnect.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <cstring>
+#include <string>
 
 namespace argonet {
 
@@ -15,6 +17,9 @@ NodeNetStats& NodeNetStats::operator+=(const NodeNetStats& o) {
   bytes_written += o.bytes_written;
   bytes_sent += o.bytes_sent;
   nic_busy += o.nic_busy;
+  faults_injected += o.faults_injected;
+  retries += o.retries;
+  backoff_time += o.backoff_time;
   return *this;
 }
 
@@ -23,6 +28,11 @@ Interconnect::Interconnect(int nodes, NetConfig cfg)
   assert(nodes > 0);
   boxes_.reserve(static_cast<std::size_t>(nodes));
   for (int i = 0; i < nodes; ++i) boxes_.push_back(std::make_unique<NodeBox>());
+}
+
+void Interconnect::enable_faults(const FaultConfig& cfg) {
+  if (!cfg.enabled) return;
+  faults_ = std::make_unique<FaultInjector>(cfg, nodes_);
 }
 
 void Interconnect::charge(int src, Time busy, Time extra_latency) {
@@ -37,6 +47,66 @@ void Interconnect::charge(int src, Time busy, Time extra_latency) {
   if (extra_latency > 0) argosim::delay(extra_latency);
 }
 
+bool Interconnect::remote_attempt(int src, int dst, std::size_t stream_bytes,
+                                  Time base_latency) {
+  if (!faults_) {
+    charge(src, cfg_.nic_overhead + cfg_.net_transfer(stream_bytes),
+           base_latency);
+    return true;
+  }
+  const AttemptPlan p = faults_->plan_attempt(src, dst, argosim::now());
+  Time stream = cfg_.net_transfer(stream_bytes);
+  if (p.bw_frac < 1.0 && stream > 0)
+    stream = static_cast<Time>(static_cast<double>(stream) / p.bw_frac);
+  const Time latency =
+      static_cast<Time>(static_cast<double>(base_latency) * p.latency_mult) +
+      p.extra_latency;
+  // A failed attempt costs as much as a successful one: the initiator
+  // streams the payload and then waits out the completion timeout.
+  charge(src, cfg_.nic_overhead + stream, latency);
+  if (p.fail) {
+    ++boxes_[src]->stats.faults_injected;
+    return false;
+  }
+  return true;
+}
+
+void Interconnect::remote_op(int src, int dst, std::size_t stream_bytes,
+                             Time base_latency, const char* what) {
+  if (!faults_) {
+    // Fault-free fast path: exactly the historical single-attempt cost.
+    charge(src, cfg_.nic_overhead + cfg_.net_transfer(stream_bytes),
+           base_latency);
+    return;
+  }
+  const RetryPolicy& rp = cfg_.retry;
+  const Time started = argosim::now();
+  Time backoff = rp.backoff_base;
+  for (int attempt = 1;; ++attempt) {
+    if (remote_attempt(src, dst, stream_bytes, base_latency)) return;
+    const bool out_of_attempts = attempt >= rp.max_attempts;
+    const bool past_deadline =
+        rp.deadline > 0 && argosim::now() - started >= rp.deadline;
+    if (out_of_attempts || past_deadline) {
+      throw NetworkError(std::string(what) + " from node " +
+                         std::to_string(src) + " to node " +
+                         std::to_string(dst) + " failed after " +
+                         std::to_string(attempt) + " attempts");
+    }
+    Time wait = backoff;
+    if (rp.backoff_jitter > 0)
+      wait += faults_->backoff_jitter(static_cast<Time>(
+          static_cast<double>(backoff) * rp.backoff_jitter));
+    auto& st = boxes_[src]->stats;
+    ++st.retries;
+    st.backoff_time += wait;
+    argosim::delay(wait);
+    backoff = std::min<Time>(
+        static_cast<Time>(static_cast<double>(backoff) * rp.backoff_mult),
+        rp.backoff_max);
+  }
+}
+
 void Interconnect::read(int src, int dst, const void* remote, void* local,
                         std::size_t n) {
   auto& s = boxes_[src]->stats;
@@ -45,10 +115,24 @@ void Interconnect::read(int src, int dst, const void* remote, void* local,
   if (src == dst) {
     argosim::delay(cfg_.mem_latency + cfg_.mem_copy(n));
   } else {
-    charge(src, cfg_.nic_overhead + cfg_.net_transfer(n), cfg_.rdma_latency);
+    remote_op(src, dst, n, cfg_.rdma_latency, "RDMA read");
   }
   // The value observed is the remote content at completion time.
   std::memcpy(local, remote, n);
+}
+
+bool Interconnect::try_read(int src, int dst, const void* remote, void* local,
+                            std::size_t n) {
+  auto& s = boxes_[src]->stats;
+  ++s.rdma_reads;
+  s.bytes_read += n;
+  if (src == dst) {
+    argosim::delay(cfg_.mem_latency + cfg_.mem_copy(n));
+  } else if (!remote_attempt(src, dst, n, cfg_.rdma_latency)) {
+    return false;
+  }
+  std::memcpy(local, remote, n);
+  return true;
 }
 
 void Interconnect::write(int src, int dst, void* remote, const void* local,
@@ -59,10 +143,24 @@ void Interconnect::write(int src, int dst, void* remote, const void* local,
   if (src == dst) {
     argosim::delay(cfg_.mem_latency + cfg_.mem_copy(n));
   } else {
-    charge(src, cfg_.nic_overhead + cfg_.net_transfer(n), cfg_.rdma_latency);
+    remote_op(src, dst, n, cfg_.rdma_latency, "RDMA write");
   }
   // The data becomes globally visible at completion time.
   std::memcpy(remote, local, n);
+}
+
+bool Interconnect::try_write(int src, int dst, void* remote, const void* local,
+                             std::size_t n) {
+  auto& s = boxes_[src]->stats;
+  ++s.rdma_writes;
+  s.bytes_written += n;
+  if (src == dst) {
+    argosim::delay(cfg_.mem_latency + cfg_.mem_copy(n));
+  } else if (!remote_attempt(src, dst, n, cfg_.rdma_latency)) {
+    return false;
+  }
+  std::memcpy(remote, local, n);
+  return true;
 }
 
 void Interconnect::charge_write(int src, int dst, std::size_t n) {
@@ -72,9 +170,13 @@ void Interconnect::charge_write(int src, int dst, std::size_t n) {
   if (src == dst) {
     argosim::delay(cfg_.mem_latency + cfg_.mem_copy(n));
   } else {
-    charge(src, cfg_.nic_overhead + cfg_.net_transfer(n), cfg_.rdma_latency);
+    remote_op(src, dst, n, cfg_.rdma_latency, "RDMA write");
   }
 }
+
+// Remote atomics share one attempt shape: no payload streaming, one
+// completion latency; the operation commits only on a successful attempt
+// (a failed attempt is detected before the NIC executes it remotely).
 
 std::uint64_t Interconnect::fetch_or(int src, int dst, std::uint64_t* remote,
                                      std::uint64_t bits) {
@@ -83,7 +185,22 @@ std::uint64_t Interconnect::fetch_or(int src, int dst, std::uint64_t* remote,
   if (src == dst) {
     argosim::delay(cfg_.mem_latency);
   } else {
-    charge(src, cfg_.nic_overhead, cfg_.rdma_latency);
+    remote_op(src, dst, 0, cfg_.rdma_latency, "RDMA fetch-or");
+  }
+  std::uint64_t old = *remote;
+  *remote = old | bits;
+  return old;
+}
+
+std::optional<std::uint64_t> Interconnect::try_fetch_or(int src, int dst,
+                                                        std::uint64_t* remote,
+                                                        std::uint64_t bits) {
+  auto& s = boxes_[src]->stats;
+  ++s.rdma_atomics;
+  if (src == dst) {
+    argosim::delay(cfg_.mem_latency);
+  } else if (!remote_attempt(src, dst, 0, cfg_.rdma_latency)) {
+    return std::nullopt;
   }
   std::uint64_t old = *remote;
   *remote = old | bits;
@@ -97,7 +214,22 @@ std::uint64_t Interconnect::fetch_add(int src, int dst, std::uint64_t* remote,
   if (src == dst) {
     argosim::delay(cfg_.mem_latency);
   } else {
-    charge(src, cfg_.nic_overhead, cfg_.rdma_latency);
+    remote_op(src, dst, 0, cfg_.rdma_latency, "RDMA fetch-add");
+  }
+  std::uint64_t old = *remote;
+  *remote = old + v;
+  return old;
+}
+
+std::optional<std::uint64_t> Interconnect::try_fetch_add(int src, int dst,
+                                                         std::uint64_t* remote,
+                                                         std::uint64_t v) {
+  auto& s = boxes_[src]->stats;
+  ++s.rdma_atomics;
+  if (src == dst) {
+    argosim::delay(cfg_.mem_latency);
+  } else if (!remote_attempt(src, dst, 0, cfg_.rdma_latency)) {
+    return std::nullopt;
   }
   std::uint64_t old = *remote;
   *remote = old + v;
@@ -111,7 +243,23 @@ std::uint64_t Interconnect::cas(int src, int dst, std::uint64_t* remote,
   if (src == dst) {
     argosim::delay(cfg_.mem_latency);
   } else {
-    charge(src, cfg_.nic_overhead, cfg_.rdma_latency);
+    remote_op(src, dst, 0, cfg_.rdma_latency, "RDMA CAS");
+  }
+  std::uint64_t old = *remote;
+  if (old == expected) *remote = desired;
+  return old;
+}
+
+std::optional<std::uint64_t> Interconnect::try_cas(int src, int dst,
+                                                   std::uint64_t* remote,
+                                                   std::uint64_t expected,
+                                                   std::uint64_t desired) {
+  auto& s = boxes_[src]->stats;
+  ++s.rdma_atomics;
+  if (src == dst) {
+    argosim::delay(cfg_.mem_latency);
+  } else if (!remote_attempt(src, dst, 0, cfg_.rdma_latency)) {
+    return std::nullopt;
   }
   std::uint64_t old = *remote;
   if (old == expected) *remote = desired;
@@ -125,14 +273,41 @@ std::uint64_t Interconnect::exchange(int src, int dst, std::uint64_t* remote,
   if (src == dst) {
     argosim::delay(cfg_.mem_latency);
   } else {
-    charge(src, cfg_.nic_overhead, cfg_.rdma_latency);
+    remote_op(src, dst, 0, cfg_.rdma_latency, "RDMA exchange");
   }
   std::uint64_t old = *remote;
   *remote = desired;
   return old;
 }
 
-void Interconnect::send(Message msg) {
+std::optional<std::uint64_t> Interconnect::try_exchange(int src, int dst,
+                                                        std::uint64_t* remote,
+                                                        std::uint64_t desired) {
+  auto& s = boxes_[src]->stats;
+  ++s.rdma_atomics;
+  if (src == dst) {
+    argosim::delay(cfg_.mem_latency);
+  } else if (!remote_attempt(src, dst, 0, cfg_.rdma_latency)) {
+    return std::nullopt;
+  }
+  std::uint64_t old = *remote;
+  *remote = desired;
+  return old;
+}
+
+void Interconnect::barrier_round(int node, int partner) {
+  remote_op(node, partner, 0, cfg_.msg_latency, "barrier round");
+}
+
+void Interconnect::deliver(Message msg, Time deliver_at) {
+  auto& box = *boxes_[msg.dst];
+  box.inbox.push(Pending{deliver_at, send_seq_++, std::move(msg)});
+  box.rx_waiters.notify_all();
+}
+
+void Interconnect::send(Message msg) { try_send(std::move(msg)); }
+
+bool Interconnect::try_send(Message msg) {
   assert(msg.src >= 0 && msg.src < nodes_ && msg.dst >= 0 && msg.dst < nodes_);
   auto& s = boxes_[msg.src]->stats;
   ++s.msgs_sent;
@@ -140,13 +315,38 @@ void Interconnect::send(Message msg) {
   const std::size_t wire = msg.wire_size();
   if (msg.src == msg.dst) {
     argosim::delay(cfg_.mem_latency + cfg_.mem_copy(wire));
-  } else {
-    charge(msg.src, cfg_.nic_overhead + cfg_.net_transfer(wire), 0);
+    deliver(std::move(msg), argosim::now());
+    return true;
   }
-  Time deliver_at = argosim::now() + (msg.src == msg.dst ? 0 : cfg_.msg_latency);
-  auto& box = *boxes_[msg.dst];
-  box.inbox.push(Pending{deliver_at, send_seq_++, std::move(msg)});
-  box.rx_waiters.notify_all();
+  if (!faults_) {
+    charge(msg.src, cfg_.nic_overhead + cfg_.net_transfer(wire), 0);
+    deliver(std::move(msg), argosim::now() + cfg_.msg_latency);
+    return true;
+  }
+  const AttemptPlan p = faults_->plan_attempt(msg.src, msg.dst, argosim::now());
+  Time stream = cfg_.net_transfer(wire);
+  if (p.bw_frac < 1.0 && stream > 0)
+    stream = static_cast<Time>(static_cast<double>(stream) / p.bw_frac);
+  charge(msg.src, cfg_.nic_overhead + stream, 0);
+  if (faults_->drop_message()) {
+    ++s.faults_injected;
+    return false;
+  }
+  const Time latency =
+      static_cast<Time>(static_cast<double>(cfg_.msg_latency) *
+                        p.latency_mult) +
+      p.extra_latency;
+  const bool dup = faults_->duplicate_message();
+  const Time deliver_at = argosim::now() + latency;
+  if (dup) {
+    Message copy = msg;
+    deliver(std::move(copy), deliver_at);
+    // The spurious retransmission arrives one latency later still.
+    deliver(std::move(msg), deliver_at + cfg_.msg_latency);
+  } else {
+    deliver(std::move(msg), deliver_at);
+  }
+  return true;
 }
 
 Time Interconnect::charge_message(int src, int dst,
@@ -189,6 +389,28 @@ std::optional<Message> Interconnect::try_recv(int node) {
   box.inbox.pop();
   ++box.stats.msgs_received;
   return m;
+}
+
+std::optional<Message> Interconnect::recv_for(int node, Time timeout) {
+  auto& box = *boxes_[node];
+  const Time deadline = argosim::now() + timeout;
+  for (;;) {
+    if (!box.inbox.empty()) {
+      const Pending& top = box.inbox.top();
+      if (top.deliver_at <= argosim::now()) {
+        Message m = std::move(const_cast<Pending&>(top).msg);
+        box.inbox.pop();
+        ++box.stats.msgs_received;
+        return m;
+      }
+      if (top.deliver_at <= deadline) {
+        box.rx_waiters.wait_until(top.deliver_at);
+        continue;
+      }
+    }
+    if (argosim::now() >= deadline) return std::nullopt;
+    box.rx_waiters.wait_until(deadline);
+  }
 }
 
 bool Interconnect::poll(int node) {

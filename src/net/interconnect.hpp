@@ -18,9 +18,12 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <queue>
+#include <stdexcept>
 #include <vector>
 
+#include "net/faults.hpp"
 #include "net/netconfig.hpp"
 #include "sim/engine.hpp"
 #include "sim/sync.hpp"
@@ -28,6 +31,14 @@
 namespace argonet {
 
 using argosim::Time;
+
+/// Thrown by the reliable verbs when an op still fails after the
+/// RetryPolicy's attempt budget / deadline is exhausted (a hard, rather
+/// than transient, network failure).
+class NetworkError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
 
 /// A two-sided message. `tag` is protocol-defined; `a/b/c` carry small
 /// immediate operands so tiny control messages need no payload allocation.
@@ -52,6 +63,9 @@ struct NodeNetStats {
   std::uint64_t bytes_written = 0;  ///< payload bytes pushed by RDMA writes
   std::uint64_t bytes_sent = 0;     ///< message payload bytes sent
   Time nic_busy = 0;                ///< time this node's NIC was held
+  std::uint64_t faults_injected = 0;  ///< failed attempts + dropped msgs
+  std::uint64_t retries = 0;          ///< re-attempts after injected faults
+  Time backoff_time = 0;              ///< virtual time spent backing off
 
   std::uint64_t total_ops() const {
     return rdma_reads + rdma_writes + rdma_atomics + msgs_sent;
@@ -68,6 +82,18 @@ class Interconnect {
 
   int nodes() const { return nodes_; }
   const NetConfig& config() const { return cfg_; }
+
+  // --- Fault injection ----------------------------------------------------
+
+  /// Attach a fault injector. From here on every *remote* op consults it:
+  /// the reliable verbs below turn into retry loops (RetryPolicy in
+  /// NetConfig) and the try_* variants may report failure. Without an
+  /// injector the fault machinery is never consulted — the fault-free
+  /// path's virtual times are identical to a build without this feature.
+  void enable_faults(const FaultConfig& cfg);
+
+  bool faults_enabled() const { return faults_ != nullptr; }
+  FaultInjector* faults() { return faults_.get(); }
 
   // --- One-sided RDMA verbs (passive: no code runs on `dst`) -------------
 
@@ -99,6 +125,36 @@ class Interconnect {
   std::uint64_t exchange(int src, int dst, std::uint64_t* remote,
                          std::uint64_t desired);
 
+  // --- Fallible single-attempt variants -----------------------------------
+  //
+  // One wire attempt each: the caller is charged the attempt's full cost
+  // whether it completes or not; on failure (injected fault) the op has no
+  // remote effect and the caller owns recovery. Without a fault injector
+  // they always succeed and cost exactly what the reliable verbs cost.
+
+  bool try_read(int src, int dst, const void* remote, void* local,
+                std::size_t n);
+  bool try_write(int src, int dst, void* remote, const void* local,
+                 std::size_t n);
+  std::optional<std::uint64_t> try_fetch_or(int src, int dst,
+                                            std::uint64_t* remote,
+                                            std::uint64_t bits);
+  std::optional<std::uint64_t> try_fetch_add(int src, int dst,
+                                             std::uint64_t* remote,
+                                             std::uint64_t v);
+  std::optional<std::uint64_t> try_cas(int src, int dst, std::uint64_t* remote,
+                                       std::uint64_t expected,
+                                       std::uint64_t desired);
+  std::optional<std::uint64_t> try_exchange(int src, int dst,
+                                            std::uint64_t* remote,
+                                            std::uint64_t desired);
+
+  /// One dissemination round of the hierarchical barrier, issued by
+  /// `node` toward `partner`: charged like a small one-sided notification
+  /// (nic_overhead busy + msg_latency in flight) and retried under the
+  /// RetryPolicy when faults are enabled.
+  void barrier_round(int node, int partner);
+
   // --- Two-sided messages (require an active receiver on `dst`) ----------
 
   /// Post a message. The sender is charged posting + streaming time; the
@@ -114,8 +170,17 @@ class Interconnect {
   /// Block until a message for `node` is deliverable, then return it.
   Message recv(int node);
 
+  /// Like send(), but reports whether the message became deliverable:
+  /// false means an injected fault dropped it after the sender paid the
+  /// posting cost (never happens without a fault injector).
+  bool try_send(Message msg);
+
   /// Non-blocking receive; returns an empty optional if nothing deliverable.
   std::optional<Message> try_recv(int node);
+
+  /// Blocking receive with a virtual-time deadline: returns the message,
+  /// or an empty optional if none became deliverable within `timeout`.
+  std::optional<Message> recv_for(int node, Time timeout);
 
   /// True if a message is deliverable right now without blocking.
   bool poll(int node);
@@ -148,9 +213,22 @@ class Interconnect {
   /// (time the op is in flight but the NIC is free again).
   void charge(int src, Time busy, Time extra_latency);
 
+  /// Charge one remote-op attempt (streaming `stream_bytes`, completing
+  /// after `base_latency`); returns false if an injected fault consumed it.
+  bool remote_attempt(int src, int dst, std::size_t stream_bytes,
+                      Time base_latency);
+
+  /// Reliable remote op: retry remote_attempt under the RetryPolicy.
+  /// Throws NetworkError when the budget is exhausted.
+  void remote_op(int src, int dst, std::size_t stream_bytes,
+                 Time base_latency, const char* what);
+
+  void deliver(Message msg, Time deliver_at);
+
   int nodes_;
   NetConfig cfg_;
   std::vector<std::unique_ptr<NodeBox>> boxes_;
+  std::unique_ptr<FaultInjector> faults_;
   std::uint64_t send_seq_ = 0;
 };
 

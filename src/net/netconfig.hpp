@@ -18,6 +18,20 @@ namespace argonet {
 
 using argosim::Time;
 
+/// Recovery policy for transient remote-op failures (injected by
+/// net/faults.hpp, or — in a real deployment — NIC completion timeouts).
+/// Every reliable verb retries failed attempts under exponential backoff
+/// with jitter until it succeeds, the attempt budget is spent, or the
+/// per-op deadline passes; exhaustion throws argonet::NetworkError.
+struct RetryPolicy {
+  int max_attempts = 10;       ///< total attempts per op (first one included)
+  Time backoff_base = 4000;    ///< first backoff delay
+  double backoff_mult = 2.0;   ///< exponential growth factor
+  Time backoff_max = 1 << 20;  ///< backoff ceiling (~1 ms)
+  double backoff_jitter = 0.5; ///< extra uniform [0, frac*backoff] per wait
+  Time deadline = 0;           ///< give up when retries exceed this (0=never)
+};
+
 struct NetConfig {
   /// Completion latency of a small one-sided RDMA op (read/write/atomic),
   /// initiator-observed, excluding payload streaming time.
@@ -46,6 +60,10 @@ struct NetConfig {
   /// If true (the paper's MPI prototype limitation), only one thread per
   /// node can use the interconnect at a time: ops serialize on a NIC lock.
   bool serialize_nic = true;
+
+  /// Retry/timeout/backoff machinery for fallible remote ops. Only
+  /// consulted when a FaultInjector is attached to the Interconnect.
+  RetryPolicy retry;
 
   /// Payload streaming time over the network.
   Time net_transfer(std::size_t bytes) const {

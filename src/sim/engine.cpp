@@ -6,6 +6,21 @@
 #include <exception>
 #include <sstream>
 
+// AddressSanitizer needs to be told about stack switches, otherwise its
+// stack bookkeeping (fake stacks, use-after-return detection) corrupts as
+// fibers swap. Each swapcontext call site is bracketed with the
+// start/finish pair; the annotations compile away in normal builds.
+#if defined(__SANITIZE_ADDRESS__)
+#define ARGO_ASAN_FIBERS 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define ARGO_ASAN_FIBERS 1
+#endif
+#endif
+#if defined(ARGO_ASAN_FIBERS)
+#include <sanitizer/common_interface_defs.h>
+#endif
+
 namespace argosim {
 
 namespace {
@@ -28,6 +43,13 @@ SimThread* unpack_ptr(unsigned hi, unsigned lo) {
   auto p = (static_cast<std::uintptr_t>(hi) << 32) | lo;
   return reinterpret_cast<SimThread*>(p);
 }
+
+#if defined(ARGO_ASAN_FIBERS)
+// Bounds of the scheduler's (OS thread's) stack, learned from ASan the
+// first time a fiber runs; needed to annotate fiber -> scheduler switches.
+thread_local const void* g_sched_stack_bottom = nullptr;
+thread_local std::size_t g_sched_stack_size = 0;
+#endif
 
 }  // namespace
 
@@ -108,6 +130,10 @@ void Engine::make_runnable(SimThread* t, Time when) {
 
 void Engine::fiber_main(unsigned hi, unsigned lo) {
   SimThread* t = unpack_ptr(hi, lo);
+#if defined(ARGO_ASAN_FIBERS)
+  __sanitizer_finish_switch_fiber(nullptr, &g_sched_stack_bottom,
+                                  &g_sched_stack_size);
+#endif
   try {
     if (t->stop_requested_) throw SimStopped{};
     t->body_();
@@ -119,6 +145,11 @@ void Engine::fiber_main(unsigned hi, unsigned lo) {
   t->finished_ = true;
   t->body_ = nullptr;
   // Hand control back to the scheduler loop for good.
+#if defined(ARGO_ASAN_FIBERS)
+  // nullptr fake-stack slot: this fiber is exiting, release its fake stack.
+  __sanitizer_start_switch_fiber(nullptr, g_sched_stack_bottom,
+                                 g_sched_stack_size);
+#endif
   swapcontext(&t->impl_->ctx, &g_sched_ctx);
 }
 
@@ -140,7 +171,15 @@ void Engine::switch_to(SimThread* t) {
     makecontext(&t->impl_->ctx,
                 reinterpret_cast<void (*)()>(&Engine::fiber_main), 2, hi, lo);
   }
+#if defined(ARGO_ASAN_FIBERS)
+  void* fake_stack = nullptr;
+  __sanitizer_start_switch_fiber(&fake_stack, t->impl_->stack.get(),
+                                 t->impl_->stack_size);
+#endif
   swapcontext(&g_sched_ctx, &t->impl_->ctx);
+#if defined(ARGO_ASAN_FIBERS)
+  __sanitizer_finish_switch_fiber(fake_stack, nullptr, nullptr);
+#endif
 
   running_ = nullptr;
   g_engine = prev_engine;
@@ -164,7 +203,16 @@ void Engine::reap_finished_one(SimThread* t) {
 void Engine::switch_to_scheduler() {
   SimThread* self = g_thread;
   assert(self && "must be called from inside a simulated thread");
+#if defined(ARGO_ASAN_FIBERS)
+  void* fake_stack = nullptr;
+  __sanitizer_start_switch_fiber(&fake_stack, g_sched_stack_bottom,
+                                 g_sched_stack_size);
+#endif
   swapcontext(&self->impl_->ctx, &g_sched_ctx);
+#if defined(ARGO_ASAN_FIBERS)
+  __sanitizer_finish_switch_fiber(fake_stack, &g_sched_stack_bottom,
+                                  &g_sched_stack_size);
+#endif
   if (self->stop_requested_) throw SimStopped{};
 }
 

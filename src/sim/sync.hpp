@@ -113,6 +113,17 @@ class SimMutex {
     return true;
   }
 
+  /// Acquire, giving up after `timeout` virtual ns. Returns true if the
+  /// lock was obtained. Handoff semantics make this exact: being notified
+  /// IS ownership, so a timeout means no ownership was ever transferred.
+  bool try_lock_for(Time timeout) {
+    if (!locked_) {
+      locked_ = true;
+      return true;
+    }
+    return q_.wait_for(timeout);
+  }
+
   void unlock() {
     assert(locked_);
     if (q_.notify_one() == 0) locked_ = false;
@@ -190,6 +201,15 @@ class SimEvent {
  public:
   void wait() {
     while (!set_) q_.wait();
+  }
+
+  /// Wait with a virtual-time deadline; true if the event was set in time.
+  bool wait_for(Time timeout) {
+    const Time deadline = Engine::current()->now() + timeout;
+    while (!set_) {
+      if (!q_.wait_until(deadline) && !set_) return false;
+    }
+    return true;
   }
   void set() {
     set_ = true;

@@ -1,5 +1,6 @@
 #include "sync/dsm_locks.hpp"
 
+#include <algorithm>
 #include <cassert>
 
 namespace argosync {
@@ -33,6 +34,22 @@ void GlobalMcsLock::acquire(Thread& t) {
     // our *own* node's flag — the predecessor will write it remotely.
     t.atomic_store(next_[prev - 1], me + 1);
     while (t.atomic_load(flag_[me]) == 0) t.compute(kPoll);
+  }
+}
+
+bool GlobalMcsLock::try_acquire_for(Thread& t, argosim::Time timeout) {
+  const auto me = static_cast<std::uint64_t>(t.node());
+  const argosim::Time deadline = t.now() + timeout;
+  // Reset our slot before we can become visible as tail: once the CAS
+  // succeeds a contender may immediately link into next_[me].
+  t.atomic_store(flag_[me], 0);
+  t.atomic_store(next_[me], 0);
+  argosim::Time poll = kPoll;
+  for (;;) {
+    if (t.atomic_cas(tail_, 0, me + 1) == 0) return true;
+    if (t.now() >= deadline) return false;
+    t.compute(poll);
+    poll = std::min<argosim::Time>(poll * 2, kPoll * 64);
   }
 }
 
@@ -80,22 +97,7 @@ void HqdLock::execute(Thread& t, const std::function<void(Thread&)>& cs,
       ++st.batches;
       cs(t);
       ++st.executed;
-      std::size_t executed = 1;
-      for (;;) {
-        if (executed >= batch_limit_) nq.open = false;
-        if (nq.queue.empty()) {
-          nq.open = false;
-          break;
-        }
-        Entry e = std::move(nq.queue.front());
-        nq.queue.pop_front();
-        nq.qline.touch(t.core());
-        e.cs(t);  // executed by the helper thread, same node = same cache
-        if (e.done != nullptr) e.done->set();
-        ++st.executed;
-        ++st.delegated;
-        ++executed;
-      }
+      run_batch(t, nq, st, 1);
       t.release();  // SD fence — once per batch
       global_.release(t);
       nq.helper_active = false;
@@ -116,6 +118,80 @@ void HqdLock::execute(Thread& t, const std::function<void(Thread&)>& cs,
       }
       return;
     }
+    t.compute(200);  // queue closed or full: back off, retry
+  }
+}
+
+void HqdLock::run_batch(Thread& t, NodeQ& nq, DelegationStats& st,
+                        std::size_t already) {
+  std::size_t executed = already;
+  for (;;) {
+    if (executed >= batch_limit_) nq.open = false;
+    if (nq.queue.empty()) {
+      nq.open = false;
+      break;
+    }
+    Entry e = std::move(nq.queue.front());
+    nq.queue.pop_front();
+    nq.qline.touch(t.core());
+    e.cs(t);  // executed by the helper thread, same node = same cache
+    if (e.done != nullptr) e.done->set();
+    ++st.executed;
+    ++st.delegated;
+    ++executed;
+  }
+}
+
+bool HqdLock::try_execute(Thread& t, const std::function<void(Thread&)>& cs,
+                          argosim::Time timeout) {
+  NodeQ& nq = nodes_[static_cast<std::size_t>(t.node())];
+  DelegationStats& st = stats_[static_cast<std::size_t>(t.node())];
+  const argosim::Time deadline = t.now() + timeout;
+  for (;;) {
+    nq.word.rmw(t.core());
+    if (!nq.helper_active) {
+      nq.helper_active = true;
+      // The queue stays closed until the global lock is actually held:
+      // if the timed acquisition fails, no delegated entry is stranded.
+      const argosim::Time left =
+          deadline > t.now() ? deadline - t.now() : 0;
+      if (!global_.try_acquire_for(t, left)) {
+        nq.helper_active = false;
+        nq.word.touch(t.core());
+        return false;
+      }
+      nq.open = true;
+      t.acquire();  // SI fence — once per batch (§4.2)
+      ++st.batches;
+      cs(t);
+      ++st.executed;
+      run_batch(t, nq, st, 1);
+      t.release();  // SD fence — once per batch
+      global_.release(t);
+      nq.helper_active = false;
+      nq.word.touch(t.core());
+      return true;
+    }
+    if (nq.open && nq.queue.size() < queue_capacity_) {
+      nq.qline.touch(t.core());
+      if (!nq.open || nq.queue.size() >= queue_capacity_) continue;
+      argosim::SimEvent done;
+      nq.queue.push_back(Entry{cs, &done, t.core()});
+      const argosim::Time left = deadline > t.now() ? deadline - t.now() : 0;
+      if (done.wait_for(left)) return true;
+      // Timed out. Withdraw the entry if the helper has not claimed it.
+      for (auto it = nq.queue.begin(); it != nq.queue.end(); ++it) {
+        if (it->done == &done) {
+          nq.queue.erase(it);
+          return false;
+        }
+      }
+      // Already dequeued: it is executing (or about to). The event lives
+      // on this stack, so ride out the completion — and report success.
+      done.wait();
+      return true;
+    }
+    if (t.now() >= deadline) return false;
     t.compute(200);  // queue closed or full: back off, retry
   }
 }
@@ -196,6 +272,19 @@ void DsmMutex::lock(Thread& t) {
   node_serial_[static_cast<std::size_t>(t.node())]->lock();
   global_.acquire(t);
   t.acquire();
+}
+
+bool DsmMutex::try_lock_for(Thread& t, argosim::Time timeout) {
+  const argosim::Time deadline = t.now() + timeout;
+  auto& serial = *node_serial_[static_cast<std::size_t>(t.node())];
+  if (!serial.try_lock_for(timeout)) return false;
+  const argosim::Time left = deadline > t.now() ? deadline - t.now() : 0;
+  if (!global_.try_acquire_for(t, left)) {
+    serial.unlock();
+    return false;
+  }
+  t.acquire();
+  return true;
 }
 
 void DsmMutex::unlock(Thread& t) {

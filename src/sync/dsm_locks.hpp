@@ -43,6 +43,13 @@ class GlobalMcsLock {
   void acquire(Thread& t);
   void release(Thread& t);
 
+  /// Bounded acquire: give up after `timeout` virtual ns. To stay
+  /// timeout-safe it never enters the MCS queue (a queued waiter cannot
+  /// abandon its slot without racing the handoff); it polls the tail with
+  /// CAS under exponentially growing intervals instead. Uncontended cost
+  /// equals acquire(); on success release() works unchanged.
+  bool try_acquire_for(Thread& t, argosim::Time timeout);
+
   /// Poll interval while spinning on the (node-local) grant flag.
   static constexpr argosim::Time kPoll = 100;
 
@@ -73,6 +80,16 @@ class HqdLock {
   /// page cache, which is what makes intra-node delegation fence-free.
   void execute(Thread& t, const std::function<void(Thread&)>& cs, bool wait);
 
+  /// Like execute(wait = true), but bounded: false means `cs` did NOT run
+  /// (and never will). A thread that becomes the helper keeps the queue
+  /// closed until the global lock is actually held, so a timed-out
+  /// acquisition can never strand other threads' delegated entries; a
+  /// delegating thread whose wait times out withdraws its entry, unless
+  /// the helper already claimed it — then the call rides out the (short)
+  /// remaining execution and reports success.
+  bool try_execute(Thread& t, const std::function<void(Thread&)>& cs,
+                   argosim::Time timeout);
+
   const DelegationStats& stats(int node) const { return stats_[node]; }
   DelegationStats total_stats() const;
 
@@ -90,6 +107,12 @@ class HqdLock {
     CachelineSet qline;
     explicit NodeQ(const argonet::NodeTopology* t) : word(t), qline(t) {}
   };
+
+  /// Helper-side batch drain: execute delegated entries until the queue
+  /// empties or the batch limit closes it. `already` counts sections the
+  /// helper ran before draining (its own).
+  void run_batch(Thread& t, NodeQ& nq, DelegationStats& st,
+                 std::size_t already);
 
   Cluster& cluster_;
   GlobalMcsLock global_;
@@ -137,6 +160,9 @@ class DsmMutex {
 
   void lock(Thread& t);
   void unlock(Thread& t);
+
+  /// Bounded lock: SI fence runs only on success. False = not acquired.
+  bool try_lock_for(Thread& t, argosim::Time timeout);
 
  private:
   Cluster& cluster_;

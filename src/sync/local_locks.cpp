@@ -68,11 +68,14 @@ void McsLock::lock(int core) {
   tail_node_ = me;
   if (pred != nullptr) {
     // Link into the predecessor's node (one remote line write), then spin
-    // on our own line until the predecessor hands over.
-    argosim::delay(topo_->cacheline_transfer(core, pred->core));
+    // on our own line until the predecessor hands over. The predecessor
+    // frees its node right after the hand-over, so its core id must be
+    // read before waiting.
+    const int pred_core = pred->core;
+    argosim::delay(topo_->cacheline_transfer(core, pred_core));
     pred->next = me;
     me->ev.wait();
-    argosim::delay(topo_->cacheline_transfer(pred->core, core));
+    argosim::delay(topo_->cacheline_transfer(pred_core, core));
   }
   owner_ = me;
 }

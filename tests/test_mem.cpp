@@ -1,6 +1,9 @@
 // Unit tests for the global address space (src/mem).
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+#include <string>
+
 #include "mem/gaddr.hpp"
 #include "mem/global_memory.hpp"
 
@@ -70,7 +73,15 @@ TEST(GlobalMemory, AllocatorAlignmentRules) {
 TEST(GlobalMemory, AllocatorExhaustionThrows) {
   GlobalMemory g(2, 4 * kPageSize);
   EXPECT_NO_THROW(g.alloc_bytes(3 * kPageSize, 8));
-  EXPECT_THROW(g.alloc_bytes(2 * kPageSize, 8), std::bad_alloc);
+  try {
+    g.alloc_bytes(2 * kPageSize, 8);
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    // The message names the requested and remaining byte counts.
+    const std::string what = e.what();
+    EXPECT_NE(what.find(std::to_string(2 * kPageSize)), std::string::npos);
+    EXPECT_NE(what.find(std::to_string(1 * kPageSize)), std::string::npos);
+  }
 }
 
 TEST(GlobalMemory, HomePtrReadsAndWrites) {

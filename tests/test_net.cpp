@@ -266,5 +266,112 @@ TEST(WaitQueueTimed, TimeoutAndNotifyPaths) {
   EXPECT_EQ(q.waiters(), 0u);
 }
 
+TEST(Interconnect, SameTimestampMessagesDeliverInSendOrder) {
+  // Two messages posted back-to-back with identical wire parameters land
+  // at the same virtual instant; the (deliver_at, seq) tie-break must
+  // hand them out in send order.
+  Engine eng;
+  NetConfig c = test_cfg();
+  c.nic_overhead = 0;
+  c.net_bytes_per_ns = 1e9;  // streaming time rounds to zero
+  Interconnect net(2, c);
+  eng.spawn("tx", [&] {
+    for (int i = 1; i <= 3; ++i) {
+      Message m;
+      m.src = 0;
+      m.dst = 1;
+      m.tag = i;
+      net.send(std::move(m));
+    }
+  });
+  eng.spawn("rx", [&] {
+    for (int i = 1; i <= 3; ++i) {
+      Message m = net.recv(1);
+      EXPECT_EQ(m.tag, i);
+    }
+  });
+  eng.run();
+  EXPECT_EQ(net.stats(1).msgs_received, 3u);
+}
+
+TEST(Interconnect, TryRecvDrainsQueueAndReportsEmpty) {
+  Engine eng;
+  Interconnect net(2, test_cfg());
+  eng.spawn("t", [&] {
+    Message m;
+    m.src = 0;
+    m.dst = 1;
+    m.tag = 7;
+    net.send(std::move(m));
+    // The message is still in flight (msg_latency ahead of now).
+    EXPECT_FALSE(net.poll(1));
+    EXPECT_FALSE(net.try_recv(1).has_value());
+    argosim::delay(test_cfg().msg_latency);
+    EXPECT_TRUE(net.poll(1));
+    auto got = net.try_recv(1);
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(got->tag, 7);
+    // Queue drained: poll and try_recv report empty again.
+    EXPECT_FALSE(net.poll(1));
+    EXPECT_FALSE(net.try_recv(1).has_value());
+  });
+  eng.run();
+}
+
+TEST(Interconnect, RecvForTimesOutAndReturnsEarlyArrivals) {
+  Engine eng;
+  Interconnect net(2, test_cfg());
+  eng.spawn("rx", [&] {
+    // Nothing in flight: times out at exactly the deadline.
+    EXPECT_FALSE(net.recv_for(1, 300).has_value());
+    EXPECT_EQ(argosim::now(), 300u);
+    // A message arriving before the deadline is returned at delivery time.
+    auto got = net.recv_for(1, 1u << 20);
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(got->tag, 9);
+  });
+  eng.spawn("tx", [&] {
+    argosim::delay(500);
+    Message m;
+    m.src = 0;
+    m.dst = 1;
+    m.tag = 9;
+    net.send(std::move(m));
+  });
+  eng.run();
+}
+
+TEST(NodeNetStats, AccumulationCoversEveryField) {
+  NodeNetStats a, b;
+  a.rdma_reads = 1;
+  a.rdma_writes = 2;
+  a.rdma_atomics = 3;
+  a.msgs_sent = 4;
+  a.msgs_received = 5;
+  a.bytes_read = 6;
+  a.bytes_written = 7;
+  a.bytes_sent = 8;
+  a.nic_busy = 9;
+  a.faults_injected = 10;
+  a.retries = 11;
+  a.backoff_time = 12;
+  b = a;
+  b += a;
+  EXPECT_EQ(b.rdma_reads, 2u);
+  EXPECT_EQ(b.rdma_writes, 4u);
+  EXPECT_EQ(b.rdma_atomics, 6u);
+  EXPECT_EQ(b.msgs_sent, 8u);
+  EXPECT_EQ(b.msgs_received, 10u);
+  EXPECT_EQ(b.bytes_read, 12u);
+  EXPECT_EQ(b.bytes_written, 14u);
+  EXPECT_EQ(b.bytes_sent, 16u);
+  EXPECT_EQ(b.nic_busy, 18);
+  EXPECT_EQ(b.faults_injected, 20u);
+  EXPECT_EQ(b.retries, 22u);
+  EXPECT_EQ(b.backoff_time, 24);
+  EXPECT_EQ(b.total_ops(), 2u + 4u + 6u + 8u);
+  EXPECT_EQ(b.total_bytes(), 12u + 14u + 16u);
+}
+
 }  // namespace
 }  // namespace argonet

@@ -1,6 +1,7 @@
 // Unit tests for the deterministic virtual-time engine (src/sim).
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -119,12 +120,14 @@ TEST(Engine, DeadlockIsDetected) {
 
 TEST(Engine, DaemonsDoNotBlockCompletionAndAreUnwound) {
   bool daemon_unwound = false;
+  // Declared before the engine: the parked daemon still references the
+  // channel while the engine destructor unwinds it.
+  auto ch = std::make_unique<Channel<int>>();
   {
     Engine eng;
-    Channel<int>* ch = new Channel<int>();
     eng.spawn(
         "handler",
-        [&, ch] {
+        [&, ch = ch.get()] {
           struct Sentinel {
             bool* flag;
             ~Sentinel() { *flag = true; }
@@ -137,7 +140,6 @@ TEST(Engine, DaemonsDoNotBlockCompletionAndAreUnwound) {
     EXPECT_EQ(eng.now(), 42u);
     EXPECT_FALSE(daemon_unwound);
     // Engine destructor unwinds the daemon (running Sentinel's destructor).
-    // `ch` intentionally outlives the engine since the daemon references it.
   }
   EXPECT_TRUE(daemon_unwound);
 }

@@ -374,5 +374,115 @@ TEST(Hqdl, BeatsDsmCohortUnderContention) {
   EXPECT_LT(t_hqdl, t_cohort);
 }
 
+
+TEST(GlobalMcs, TimedAcquireSucceedsAndTimesOut) {
+  Cluster cl(dsm_cfg(2, 1));
+  GlobalMcsLock lock(cl);
+  bool n0_got = false, n1_got = true;
+  cl.run([&](Thread& t) {
+    if (t.node() == 0) {
+      n0_got = lock.try_acquire_for(t, 1000);  // free: immediate success
+      t.compute(500000);                       // hold it well past the other
+      if (n0_got) lock.release(t);
+    } else {
+      t.compute(5000);  // let node 0 win the lock first
+      n1_got = lock.try_acquire_for(t, 20000);
+    }
+  });
+  EXPECT_TRUE(n0_got);
+  EXPECT_FALSE(n1_got);  // gave up while node 0 still held it
+}
+
+TEST(GlobalMcs, TimedAcquireInteroperatesWithRelease) {
+  // A lock obtained through the timed path must release normally and be
+  // re-acquirable through the blocking path, repeatedly.
+  Cluster cl(dsm_cfg(2, 1));
+  GlobalMcsLock lock(cl);
+  int acquisitions = 0;
+  cl.run([&](Thread& t) {
+    for (int k = 0; k < 10; ++k) {
+      if (lock.try_acquire_for(t, 1u << 22)) {
+        ++acquisitions;
+        t.compute(300);
+        lock.release(t);
+      }
+      t.compute(200);
+    }
+  });
+  EXPECT_EQ(acquisitions, 20);
+}
+
+TEST(Hqdl, TryExecuteRunsOrFailsCleanly) {
+  Cluster cl(dsm_cfg(4, 4));
+  HqdLock lock(cl);
+  auto ctr = cl.alloc<std::uint64_t>(1);
+  const int iters = 10;
+  std::uint64_t executed = 0;
+  cl.run([&](Thread& t) {
+    for (int k = 0; k < iters; ++k) {
+      const bool ran = lock.try_execute(t, [&](Thread& exec) {
+        exec.store(ctr, exec.load(ctr) + 1);
+      }, /*timeout=*/1u << 26);
+      if (ran) ++executed;
+      t.compute(200);
+    }
+  });
+  // A generous timeout must execute everything — and the counter must
+  // agree exactly with the number of reported successes.
+  EXPECT_EQ(executed, 16u * iters);
+  EXPECT_EQ(*cl.host_ptr(ctr), executed);
+}
+
+TEST(Hqdl, TryExecuteTimesOutWithoutStrandingEntries) {
+  Cluster cl(dsm_cfg(2, 2));
+  HqdLock lock(cl);
+  auto ctr = cl.alloc<std::uint64_t>(1);
+  std::uint64_t succeeded = 0, failed = 0;
+  cl.run([&](Thread& t) {
+    if (t.node() == 0 && t.tid() == 0) {
+      // Hog the lock with one long critical section.
+      lock.execute(t, [&](Thread& exec) { exec.compute(300000); },
+                   /*wait=*/true);
+    } else {
+      t.compute(2000);  // let the hog start first
+      const bool ran = lock.try_execute(t, [&](Thread& exec) {
+        exec.store(ctr, exec.load(ctr) + 1);
+      }, /*timeout=*/5000);
+      if (ran) ++succeeded; else ++failed;
+    }
+  });
+  // Tight timeout while the lock is hogged: some threads must fail, and
+  // every reported success must be reflected in the counter — a timed-out
+  // entry never executes later.
+  EXPECT_GT(failed, 0u);
+  EXPECT_EQ(*cl.host_ptr(ctr), succeeded);
+}
+
+TEST(DsmMutex, TimedLockHonorsTimeoutAndFences) {
+  Cluster cl(dsm_cfg(2, 1));
+  DsmMutex lock(cl);
+  auto data = cl.alloc<std::uint64_t>(1);
+  bool n1_first_try = true;
+  std::uint64_t n1_read = 0;
+  cl.run([&](Thread& t) {
+    if (t.node() == 0) {
+      lock.lock(t);
+      t.store(data, std::uint64_t{41});
+      t.compute(100000);
+      t.store(data, std::uint64_t{42});
+      lock.unlock(t);
+    } else {
+      t.compute(2000);
+      n1_first_try = lock.try_lock_for(t, 5000);  // held: must time out
+      if (!n1_first_try && lock.try_lock_for(t, 1u << 22)) {
+        n1_read = t.load(data);  // SI fence ran: sees node 0's release
+        lock.unlock(t);
+      }
+    }
+  });
+  EXPECT_FALSE(n1_first_try);
+  EXPECT_EQ(n1_read, 42u);
+}
+
 }  // namespace
 }  // namespace argosync
