@@ -7,8 +7,9 @@
 #include "bench/report.hpp"
 #include "net/netconfig.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using benchutil::Table;
+  const benchutil::BenchOpts opts = benchutil::BenchOpts::parse(argc, argv);
   benchutil::header("Figure 1", "technology trends normalized to CPU cycles");
 
   struct Row {
@@ -59,5 +60,15 @@ int main() {
   d.row({"handler_dispatch", "software message handler (active protocols only)",
          Table::fmt("%llu ns", static_cast<unsigned long long>(def.handler_dispatch))});
   d.print();
-  return 0;
+
+  benchutil::JsonReport json;
+  for (const Row& r : rows)
+    json.row()
+        .str("fig", "fig01")
+        .num("year", r.year)
+        .num("cpu_mhz", r.cpu_mhz)
+        .num("dram_lat_cycles", r.dram_lat_cycles)
+        .num("net_bw_cycles_per_kb", r.net_bw_cycles_per_kb)
+        .num("net_lat_cycles", r.net_lat_cycles);
+  return json.write(opts.json_path) ? 0 : 1;
 }

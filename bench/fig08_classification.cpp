@@ -8,23 +8,37 @@
 // split providing most of the benefit.
 #include "bench/apps_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace benchutil;
+  const BenchOpts opts = BenchOpts::parse(argc, argv);
   header("Figure 8", "classification impact on execution time (4 nodes x 15 threads)");
 
   const argo::Mode modes[] = {argo::Mode::S, argo::Mode::PSNaive,
                               argo::Mode::PS3};
+  const char* mode_names[] = {"S", "PSNaive", "PS3"};
   Table t({"benchmark", "S (ms)", "PS naive", "PS3", "PS naive (norm)",
            "PS3 (norm)", "SI invalidations S -> PS3"});
+  JsonReport json;
   double sum_naive = 0, sum_ps3 = 0;
   int count = 0;
-  for (const AppSpec& app : six_apps()) {
+  auto apps = six_apps();
+  if (opts.quick) apps.resize(2);
+  for (const AppSpec& app : apps) {
     double ms[3] = {0, 0, 0};
     std::uint64_t si[3] = {0, 0, 0};
     for (int m = 0; m < 3; ++m) {
-      argo::Cluster cl(paper_cfg(4, kPaperTpn, app.mem_bytes, modes[m]));
+      auto cfg = paper_cfg(4, kPaperTpn, app.mem_bytes, modes[m]);
+      cfg.net.pipeline = opts.pipeline;
+      argo::Cluster cl(cfg);
       ms[m] = argosim::to_ms(app.run(cl));
       si[m] = cl.coherence_stats().si_invalidations;
+      json.row()
+          .str("fig", "fig08")
+          .str("app", app.name)
+          .str("mode", mode_names[m])
+          .num("pipeline", opts.pipeline)
+          .num("virtual_ms", ms[m])
+          .num("si_invalidations", si[m]);
     }
     const double n_naive = ms[1] / ms[0], n_ps3 = ms[2] / ms[0];
     sum_naive += n_naive;
@@ -43,5 +57,5 @@ int main() {
   note("Normalized to the S classification (paper Fig. 8: naive P/S ~1.0,");
   note("P/S3 ~0.7 on average; P/S3's private/shared split eliminates most");
   note("self-invalidations).");
-  return 0;
+  return json.write(opts.json_path) ? 0 : 1;
 }

@@ -13,19 +13,22 @@
 #include "sync/local_locks.hpp"
 #include "sync/qd_lock.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace benchutil;
   using argoapps::PqParams;
   using argoapps::pq_bench_local;
 
+  const BenchOpts opts = BenchOpts::parse(argc, argv);
   header("Figure 11",
          "single-node priority-queue throughput (ops/us) vs threads");
 
   argonet::NodeTopology topo;  // 16 cores, 4 NUMA groups (Opteron 6220 box)
   PqParams p;
-  p.duration = 1'000'000;  // 1 virtual ms measured window
+  p.duration = opts.quick ? 250'000 : 1'000'000;  // measured window (virt. ns)
 
-  const int threads[] = {1, 2, 4, 6, 8, 10, 12, 14, 16};
+  std::vector<int> threads{1, 2, 4, 6, 8, 10, 12, 14, 16};
+  if (opts.quick) threads = {1, 4, 16};
+  JsonReport json;
   std::vector<std::string> head{"lock"};
   for (int t : threads) head.push_back(Table::fmt("%d", t));
   Table table(head);
@@ -51,6 +54,11 @@ int main() {
       auto lock = k.make();
       const auto r = pq_bench_local(*lock, topo, t, p);
       row.push_back(Table::fmt("%.2f", r.ops_per_us()));
+      json.row()
+          .str("fig", "fig11")
+          .str("lock", k.name)
+          .num("threads", t)
+          .num("ops_per_us", r.ops_per_us());
       std::fprintf(stderr, " .");
       std::fflush(stderr);
     }
@@ -61,5 +69,5 @@ int main() {
   note("");
   note("Paper Fig. 11: QD > Cohort > Pthreads mutex; QD keeps the heap hot");
   note("on the helper's core, the mutex migrates it on every handoff.");
-  return 0;
+  return json.write(opts.json_path) ? 0 : 1;
 }

@@ -9,32 +9,45 @@
 #include "apps/pqueue.hpp"
 #include "bench/report.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace benchutil;
   using argoapps::DsmLockKind;
   using argoapps::PqParams;
   using argoapps::pq_bench_dsm;
 
+  const BenchOpts opts = BenchOpts::parse(argc, argv);
   header("Figure 12", "DSM priority-queue throughput (ops/us), 15 threads/node");
 
   PqParams p;
-  p.duration = 2'000'000;
+  p.duration = opts.quick ? 500'000 : 2'000'000;
   p.prefill = 2048;
 
-  const int node_counts[] = {1, 2, 4, 8, 16, 32};
-  Table table({"lock", "threads", "1", "2", "4", "8", "16", "32"});
+  std::vector<int> node_counts{1, 2, 4, 8, 16, 32};
+  if (opts.quick) node_counts = {1, 2, 4};
+  std::vector<std::string> head{"lock", "threads"};
+  for (int n : node_counts) head.push_back(Table::fmt("%d", n));
+  Table table(head);
   std::vector<std::string> thr_row{"", "(threads)"};
   for (int n : node_counts) thr_row.push_back(Table::fmt("%d", n * kPaperTpn));
 
+  JsonReport json;
   for (DsmLockKind kind : {DsmLockKind::Hqdl, DsmLockKind::Cohort}) {
-    std::vector<std::string> row{
-        kind == DsmLockKind::Hqdl ? "Argo (QD locking)" : "Cohort locking",
-        ""};
+    const char* name =
+        kind == DsmLockKind::Hqdl ? "Argo (QD locking)" : "Cohort locking";
+    std::vector<std::string> row{name, ""};
     for (int nodes : node_counts) {
-      argo::Cluster cl(paper_cfg(nodes, kPaperTpn,
-                                 static_cast<std::size_t>(nodes) * (4u << 20)));
+      auto cfg = paper_cfg(nodes, kPaperTpn,
+                           static_cast<std::size_t>(nodes) * (4u << 20));
+      cfg.net.pipeline = opts.pipeline;
+      argo::Cluster cl(cfg);
       const auto r = pq_bench_dsm(cl, kind, p);
       row.push_back(Table::fmt("%.2f", r.ops_per_us()));
+      json.row()
+          .str("fig", "fig12")
+          .str("lock", name)
+          .num("nodes", nodes)
+          .num("pipeline", opts.pipeline)
+          .num("ops_per_us", r.ops_per_us());
     }
     table.row(std::move(row));
   }
@@ -43,5 +56,5 @@ int main() {
   note("");
   note("Paper Fig. 12: HQDL loses ~40% from 1 to 2 nodes, then stays stable");
   note("across node counts and far above the per-CS-fencing Cohort lock.");
-  return 0;
+  return json.write(opts.json_path) ? 0 : 1;
 }

@@ -54,31 +54,56 @@ struct SpeedupReport {
 /// Run an argo-backend app over the standard node counts (15 threads per
 /// node) and single-node thread counts ("Pthreads"/"OpenMP" series).
 struct ArgoScaling {
-  std::vector<double> argo_ms;      // per kNodeCounts
-  std::vector<double> pthread_ms;   // per kPthreadCounts
+  std::vector<int> nodes;           // node counts actually run
+  std::vector<int> threads;         // single-node thread counts actually run
+  std::vector<double> argo_ms;      // per nodes
+  std::vector<double> pthread_ms;   // per threads
   double seq_ms = 0;
 };
 
 inline ArgoScaling run_argo_scaling(
     const std::function<argosim::Time(argo::Cluster&)>& run,
-    std::size_t mem_bytes) {
+    std::size_t mem_bytes, const BenchOpts& opts = BenchOpts{}) {
   // Like the paper's runs, the global memory is sized to the (fixed)
   // workload whatever the node count: every node serves an equal share, so
   // the blocked home distribution spreads the data over all nodes.
   ArgoScaling out;
+  out.nodes = opts.quick ? std::vector<int>{1, 2, 4} : kNodeCounts;
+  out.threads = opts.quick ? std::vector<int>{1, 4} : kPthreadCounts;
   {
-    argo::Cluster cl(paper_cfg(1, 1, mem_bytes));
+    auto cfg = paper_cfg(1, 1, mem_bytes);
+    cfg.net.pipeline = opts.pipeline;
+    argo::Cluster cl(cfg);
     out.seq_ms = argosim::to_ms(run(cl));
   }
-  for (int tc : kPthreadCounts) {
-    argo::Cluster cl(paper_cfg(1, tc, mem_bytes));
+  for (int tc : out.threads) {
+    auto cfg = paper_cfg(1, tc, mem_bytes);
+    cfg.net.pipeline = opts.pipeline;
+    argo::Cluster cl(cfg);
     out.pthread_ms.push_back(argosim::to_ms(run(cl)));
   }
-  for (int nc : kNodeCounts) {
-    argo::Cluster cl(paper_cfg(nc, kPaperTpn, mem_bytes));
+  for (int nc : out.nodes) {
+    auto cfg = paper_cfg(nc, kPaperTpn, mem_bytes);
+    cfg.net.pipeline = opts.pipeline;
+    argo::Cluster cl(cfg);
     out.argo_ms.push_back(argosim::to_ms(run(cl)));
   }
   return out;
+}
+
+/// Append one JSON row per point of a scaling series.
+inline void scaling_rows(JsonReport& json, const char* fig, const char* series,
+                         const std::vector<int>& xs,
+                         const std::vector<double>& times_ms, double seq_ms,
+                         const BenchOpts& opts) {
+  for (std::size_t i = 0; i < xs.size() && i < times_ms.size(); ++i)
+    json.row()
+        .str("fig", fig)
+        .str("series", series)
+        .num("x", xs[i])
+        .num("pipeline", opts.pipeline)
+        .num("virtual_ms", times_ms[i])
+        .num("speedup", seq_ms / times_ms[i]);
 }
 
 }  // namespace benchutil

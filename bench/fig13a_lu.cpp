@@ -7,22 +7,27 @@
 #include "apps/lu.hpp"
 #include "bench/fig13_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace benchutil;
+  const BenchOpts opts = BenchOpts::parse(argc, argv);
   header("Figure 13a", "SPLASH-2 LU speedup (n=768, 32x32 blocks)");
 
   argoapps::LuParams p;
-  p.n = 768;
+  p.n = opts.quick ? 384 : 768;
   p.block = 32;
 
   const auto s = run_argo_scaling(
       [&](argo::Cluster& cl) { return argoapps::lu_run_argo(cl, p).elapsed; },
-      16u << 20);
+      16u << 20, opts);
   SpeedupReport rep(s.seq_ms);
-  rep.series("Pthreads (1 node)", kPthreadCounts, s.pthread_ms, "thr");
-  rep.series("Argo (15 thr/node)", kNodeCounts, s.argo_ms, "nodes");
+  rep.series("Pthreads (1 node)", s.threads, s.pthread_ms, "thr");
+  rep.series("Argo (15 thr/node)", s.nodes, s.argo_ms, "nodes");
   rep.print();
   note("Paper Fig. 13a: Argo overtakes single-machine Pthreads and keeps");
   note("gaining up to ~8 nodes despite the data migration.");
-  return 0;
+  JsonReport json;
+  scaling_rows(json, "fig13a", "pthreads", s.threads, s.pthread_ms, s.seq_ms,
+               opts);
+  scaling_rows(json, "fig13a", "argo", s.nodes, s.argo_ms, s.seq_ms, opts);
+  return json.write(opts.json_path) ? 0 : 1;
 }

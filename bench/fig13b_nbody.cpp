@@ -7,31 +7,37 @@
 #include "apps/nbody.hpp"
 #include "bench/fig13_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace benchutil;
+  const BenchOpts opts = BenchOpts::parse(argc, argv);
   header("Figure 13b", "N-body speedup (4096 bodies, 4 steps)");
 
   argoapps::NbodyParams p;
   p.bodies = 4096;
-  p.steps = 4;
+  p.steps = opts.quick ? 2 : 4;
 
   const auto s = run_argo_scaling(
       [&](argo::Cluster& cl) {
         return argoapps::nbody_run_argo(cl, p).elapsed;
       },
-      8u << 20);
+      8u << 20, opts);
 
   std::vector<double> mpi_ms;
-  for (int nc : kNodeCounts) {
+  for (int nc : s.nodes) {
     argompi::MpiEnv env(nc, kPaperTpn, argonet::NetConfig{});
     mpi_ms.push_back(argosim::to_ms(argoapps::nbody_run_mpi(env, p).elapsed));
   }
 
   SpeedupReport rep(s.seq_ms);
-  rep.series("Pthreads (1 node)", kPthreadCounts, s.pthread_ms, "thr");
-  rep.series("Argo (15 thr/node)", kNodeCounts, s.argo_ms, "nodes");
-  rep.series("MPI (15 ranks/node)", kNodeCounts, mpi_ms, "nodes");
+  rep.series("Pthreads (1 node)", s.threads, s.pthread_ms, "thr");
+  rep.series("Argo (15 thr/node)", s.nodes, s.argo_ms, "nodes");
+  rep.series("MPI (15 ranks/node)", s.nodes, mpi_ms, "nodes");
   rep.print();
   note("Paper Fig. 13b: Argo scales to 32 nodes, exceeding the MPI port.");
-  return 0;
+  JsonReport json;
+  scaling_rows(json, "fig13b", "pthreads", s.threads, s.pthread_ms, s.seq_ms,
+               opts);
+  scaling_rows(json, "fig13b", "argo", s.nodes, s.argo_ms, s.seq_ms, opts);
+  scaling_rows(json, "fig13b", "mpi", s.nodes, mpi_ms, s.seq_ms, opts);
+  return json.write(opts.json_path) ? 0 : 1;
 }

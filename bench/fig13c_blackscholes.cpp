@@ -7,30 +7,36 @@
 #include "apps/blackscholes.hpp"
 #include "bench/fig13_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace benchutil;
+  const BenchOpts opts = BenchOpts::parse(argc, argv);
   header("Figure 13c", "PARSEC blackscholes speedup (128Ki options, 4 iterations)");
 
   argoapps::BsParams p;
-  p.options = 131072;
-  p.iterations = 4;
+  p.options = opts.quick ? 32768 : 131072;
+  p.iterations = opts.quick ? 2 : 4;
 
   const auto s = run_argo_scaling(
       [&](argo::Cluster& cl) { return argoapps::bs_run_argo(cl, p).elapsed; },
-      24u << 20);
+      24u << 20, opts);
 
   std::vector<double> mpi_ms;
-  for (int nc : kNodeCounts) {
+  for (int nc : s.nodes) {
     argompi::MpiEnv env(nc, kPaperTpn, argonet::NetConfig{});
     mpi_ms.push_back(argosim::to_ms(argoapps::bs_run_mpi(env, p).elapsed));
   }
 
   SpeedupReport rep(s.seq_ms);
-  rep.series("Pthreads (1 node)", kPthreadCounts, s.pthread_ms, "thr");
-  rep.series("Argo (15 thr/node)", kNodeCounts, s.argo_ms, "nodes");
-  rep.series("MPI (15 ranks/node)", kNodeCounts, mpi_ms, "nodes");
+  rep.series("Pthreads (1 node)", s.threads, s.pthread_ms, "thr");
+  rep.series("Argo (15 thr/node)", s.nodes, s.argo_ms, "nodes");
+  rep.series("MPI (15 ranks/node)", s.nodes, mpi_ms, "nodes");
   rep.print();
   note("Paper Fig. 13c: Argo scales furthest of the whole suite; the MPI");
   note("port stops scaling earlier. (Paper reaches 128 nodes; we cap at 32.)");
-  return 0;
+  JsonReport json;
+  scaling_rows(json, "fig13c", "pthreads", s.threads, s.pthread_ms, s.seq_ms,
+               opts);
+  scaling_rows(json, "fig13c", "argo", s.nodes, s.argo_ms, s.seq_ms, opts);
+  scaling_rows(json, "fig13c", "mpi", s.nodes, mpi_ms, s.seq_ms, opts);
+  return json.write(opts.json_path) ? 0 : 1;
 }

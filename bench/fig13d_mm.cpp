@@ -8,34 +8,45 @@
 #include "apps/mm.hpp"
 #include "bench/fig13_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace benchutil;
+  const BenchOpts opts = BenchOpts::parse(argc, argv);
   header("Figure 13d", "Matrix multiply speedup, small (256) & large (576) inputs");
 
-  for (std::size_t n : {std::size_t{256}, std::size_t{576}}) {
+  JsonReport json;
+  std::vector<std::size_t> inputs{256, 576};
+  if (opts.quick) inputs = {256};
+  for (std::size_t n : inputs) {
     argoapps::MmParams p;
     p.n = n;
     p.iterations = 2;
     std::printf("\n-- input %zux%zu --\n", n, n);
     const auto s = run_argo_scaling(
         [&](argo::Cluster& cl) { return argoapps::mm_run_argo(cl, p).elapsed; },
-        (3 * n * n * sizeof(double) * 5) / 4 + (1u << 20));
+        (3 * n * n * sizeof(double) * 5) / 4 + (1u << 20), opts);
 
     std::vector<double> mpi_ms;
-    for (int nc : kNodeCounts) {
+    for (int nc : s.nodes) {
       argompi::MpiEnv env(nc, kPaperTpn, argonet::NetConfig{});
       mpi_ms.push_back(argosim::to_ms(argoapps::mm_run_mpi(env, p).elapsed));
     }
 
     SpeedupReport rep(s.seq_ms);
-    rep.series("Pthreads (1 node)", kPthreadCounts, s.pthread_ms, "thr");
-    rep.series("Argo (15 thr/node)", kNodeCounts, s.argo_ms, "nodes");
-    rep.series("MPI (15 ranks/node)", kNodeCounts, mpi_ms, "nodes");
+    rep.series("Pthreads (1 node)", s.threads, s.pthread_ms, "thr");
+    rep.series("Argo (15 thr/node)", s.nodes, s.argo_ms, "nodes");
+    rep.series("MPI (15 ranks/node)", s.nodes, mpi_ms, "nodes");
     rep.print();
+    const std::string tag = "argo_n" + std::to_string(n);
+    scaling_rows(json, "fig13d", ("pthreads_n" + std::to_string(n)).c_str(),
+                 s.threads, s.pthread_ms, s.seq_ms, opts);
+    scaling_rows(json, "fig13d", tag.c_str(), s.nodes, s.argo_ms, s.seq_ms,
+                 opts);
+    scaling_rows(json, "fig13d", ("mpi_n" + std::to_string(n)).c_str(),
+                 s.nodes, mpi_ms, s.seq_ms, opts);
   }
   note("");
   note("Paper Fig. 13d: with the small input MPI cannot keep its single-node");
   note("advantage past 1 node while Argo scales to ~8; with the large input");
   note("both scale similarly.");
-  return 0;
+  return json.write(opts.json_path) ? 0 : 1;
 }

@@ -6,29 +6,37 @@
 #include "apps/ep.hpp"
 #include "bench/fig13_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace benchutil;
+  const BenchOpts opts = BenchOpts::parse(argc, argv);
   header("Figure 13e", "NAS EP speedup (2^22 pairs, scaled class)");
 
   argoapps::EpParams p;
-  p.log2_pairs = 22;
-  p.chunks = 4096;
+  p.log2_pairs = opts.quick ? 18 : 22;
+  p.chunks = opts.quick ? 512 : 4096;
 
   const auto s = run_argo_scaling(
       [&](argo::Cluster& cl) { return argoapps::ep_run_argo(cl, p).elapsed; },
-      4u << 20);
+      4u << 20, opts);
 
   std::vector<double> upc_ms;
-  for (int nc : kNodeCounts) {
-    argo::Cluster cl(paper_cfg(nc, kPaperTpn, 4u << 20));
+  for (int nc : s.nodes) {
+    auto cfg = paper_cfg(nc, kPaperTpn, 4u << 20);
+    cfg.net.pipeline = opts.pipeline;
+    argo::Cluster cl(cfg);
     upc_ms.push_back(argosim::to_ms(argoapps::ep_run_upc(cl, p).elapsed));
   }
 
   SpeedupReport rep(s.seq_ms);
-  rep.series("OpenMP (1 node)", kPthreadCounts, s.pthread_ms, "thr");
-  rep.series("Argo (15 thr/node)", kNodeCounts, s.argo_ms, "nodes");
-  rep.series("UPC (15 thr/node)", kNodeCounts, upc_ms, "nodes");
+  rep.series("OpenMP (1 node)", s.threads, s.pthread_ms, "thr");
+  rep.series("Argo (15 thr/node)", s.nodes, s.argo_ms, "nodes");
+  rep.series("UPC (15 thr/node)", s.nodes, upc_ms, "nodes");
   rep.print();
   note("Paper Fig. 13e: Argo and UPC scale together up to the largest runs.");
-  return 0;
+  JsonReport json;
+  scaling_rows(json, "fig13e", "openmp", s.threads, s.pthread_ms, s.seq_ms,
+               opts);
+  scaling_rows(json, "fig13e", "argo", s.nodes, s.argo_ms, s.seq_ms, opts);
+  scaling_rows(json, "fig13e", "upc", s.nodes, upc_ms, s.seq_ms, opts);
+  return json.write(opts.json_path) ? 0 : 1;
 }

@@ -8,30 +8,38 @@
 #include "apps/cg.hpp"
 #include "bench/fig13_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace benchutil;
+  const BenchOpts opts = BenchOpts::parse(argc, argv);
   header("Figure 13f", "NAS CG speedup (n=65536, 12 iterations)");
 
   argoapps::CgParams p;
-  p.n = 65536;
-  p.iterations = 12;
+  p.n = opts.quick ? 16384 : 65536;
+  p.iterations = opts.quick ? 6 : 12;
 
   const auto s = run_argo_scaling(
       [&](argo::Cluster& cl) { return argoapps::cg_run_argo(cl, p).elapsed; },
-      8u << 20);
+      8u << 20, opts);
 
   std::vector<double> upc_ms;
-  for (int nc : kNodeCounts) {
-    argo::Cluster cl(paper_cfg(nc, kPaperTpn, 4u << 20));
+  for (int nc : s.nodes) {
+    auto cfg = paper_cfg(nc, kPaperTpn, 4u << 20);
+    cfg.net.pipeline = opts.pipeline;
+    argo::Cluster cl(cfg);
     upc_ms.push_back(argosim::to_ms(argoapps::cg_run_upc(cl, p).elapsed));
   }
 
   SpeedupReport rep(s.seq_ms);
-  rep.series("OpenMP (1 node)", kPthreadCounts, s.pthread_ms, "thr");
-  rep.series("Argo (15 thr/node)", kNodeCounts, s.argo_ms, "nodes");
-  rep.series("UPC (15 thr/node)", kNodeCounts, upc_ms, "nodes");
+  rep.series("OpenMP (1 node)", s.threads, s.pthread_ms, "thr");
+  rep.series("Argo (15 thr/node)", s.nodes, s.argo_ms, "nodes");
+  rep.series("UPC (15 thr/node)", s.nodes, upc_ms, "nodes");
   rep.print();
   note("Paper Fig. 13f: UPC leads at small scale but stops at ~8 nodes;");
   note("Argo continues to 32 without changing the algorithm.");
-  return 0;
+  JsonReport json;
+  scaling_rows(json, "fig13f", "openmp", s.threads, s.pthread_ms, s.seq_ms,
+               opts);
+  scaling_rows(json, "fig13f", "argo", s.nodes, s.argo_ms, s.seq_ms, opts);
+  scaling_rows(json, "fig13f", "upc", s.nodes, upc_ms, s.seq_ms, opts);
+  return json.write(opts.json_path) ? 0 : 1;
 }

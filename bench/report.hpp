@@ -5,6 +5,8 @@
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <string>
 #include <vector>
 
@@ -83,5 +85,125 @@ inline void header(const char* id, const char* title) {
 }
 
 inline void note(const char* text) { std::printf("  %s\n", text); }
+
+/// Flags shared by every fig* binary:
+///   --json <path>      also write the figure's data points as JSON rows
+///   --pipeline <depth> posted-verb send-queue depth (default 1: blocking)
+///   --quick            reduced sweep for CI smoke runs
+/// Unrecognized arguments are kept (fig07 forwards them to its harness).
+struct BenchOpts {
+  std::string json_path;
+  int pipeline = 1;
+  bool quick = false;
+  std::vector<char*> rest;  // argv[0] + unconsumed arguments
+
+  static BenchOpts parse(int argc, char** argv) {
+    BenchOpts o;
+    if (argc > 0) o.rest.push_back(argv[0]);
+    for (int i = 1; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+        o.json_path = argv[++i];
+      } else if (std::strcmp(argv[i], "--pipeline") == 0 && i + 1 < argc) {
+        o.pipeline = std::atoi(argv[++i]);
+        if (o.pipeline < 1) o.pipeline = 1;
+      } else if (std::strcmp(argv[i], "--quick") == 0) {
+        o.quick = true;
+      } else {
+        o.rest.push_back(argv[i]);
+      }
+    }
+    return o;
+  }
+};
+
+/// Collects flat one-object-per-line JSON rows and writes them as an array:
+///   [
+///   {"fig":"fig09","app":"MM","wb":512,"pipeline":4,"virtual_ms":12.34},
+///   ...
+///   ]
+/// Keys are emitted in insertion order, values verbatim — callers format
+/// numbers themselves so rows stay grep/awk-friendly.
+class JsonReport {
+ public:
+  class Row {
+   public:
+    Row& field(const char* key, const std::string& raw) {
+      if (!body_.empty()) body_ += ',';
+      body_ += '"';
+      body_ += key;
+      body_ += "\":";
+      body_ += raw;
+      return *this;
+    }
+    Row& str(const char* key, const std::string& v) {
+      return field(key, "\"" + v + "\"");
+    }
+    Row& num(const char* key, double v) {
+      return field(key, Table::fmt("%.4f", v));
+    }
+    Row& num(const char* key, std::uint64_t v) {
+      return field(key, Table::fmt("%llu", static_cast<unsigned long long>(v)));
+    }
+    Row& num(const char* key, int v) { return field(key, std::to_string(v)); }
+
+   private:
+    friend class JsonReport;
+    std::string body_;
+  };
+
+  Row& row() {
+    rows_.emplace_back();
+    return rows_.back();
+  }
+
+  /// Write the accumulated rows to `path`. No-op when path is empty.
+  bool write(const std::string& path) const {
+    if (path.empty()) return true;
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (!f) {
+      std::fprintf(stderr, "cannot write %s\n", path.c_str());
+      return false;
+    }
+    std::fputs("[\n", f);
+    for (std::size_t i = 0; i < rows_.size(); ++i)
+      std::fprintf(f, "{%s}%s\n", rows_[i].body_.c_str(),
+                   i + 1 < rows_.size() ? "," : "");
+    std::fputs("]\n", f);
+    std::fclose(f);
+    std::printf("  wrote %zu rows to %s\n", rows_.size(), path.c_str());
+    return true;
+  }
+
+ private:
+  std::vector<Row> rows_;
+};
+
+/// Per-node fence-duration histograms and posted-queue high-water marks
+/// (Figure 9/10 diagnostics). Log2-bucketed; only non-empty buckets print.
+inline void print_fence_histograms(argo::Cluster& cl, int nodes) {
+  std::printf("\n  per-node fence durations (virtual us) and posted-queue depth:\n");
+  Table t({"node", "sd_fences", "sd_mean", "sd_max", "si_fences", "si_mean",
+           "si_max", "inflight_hwm"});
+  for (int n = 0; n < nodes; ++n) {
+    const argocore::CoherenceStats& cs = cl.node_cache(n).stats();
+    t.row({Table::fmt("%d", n), Table::fmt("%llu", (unsigned long long)cs.sd_fence_ns.samples),
+           Table::fmt("%.1f", cs.sd_fence_ns.mean_ns() / 1e3),
+           Table::fmt("%.1f", static_cast<double>(cs.sd_fence_ns.max_ns) / 1e3),
+           Table::fmt("%llu", (unsigned long long)cs.si_fence_ns.samples),
+           Table::fmt("%.1f", cs.si_fence_ns.mean_ns() / 1e3),
+           Table::fmt("%.1f", static_cast<double>(cs.si_fence_ns.max_ns) / 1e3),
+           Table::fmt("%llu", (unsigned long long)cl.net().stats(n).posted_inflight_hwm)});
+  }
+  t.print();
+  for (int n = 0; n < nodes; ++n) {
+    const argocore::LatencyHist& h = cl.node_cache(n).stats().sd_fence_ns;
+    if (h.samples == 0) continue;
+    std::string buckets;
+    for (int b = 0; b < argocore::LatencyHist::kBuckets; ++b)
+      if (h.bucket[b] != 0)
+        buckets += Table::fmt(" [<2^%d:%llu]", b, (unsigned long long)h.bucket[b]);
+    std::printf("  node %d sd-fence ns histogram:%s\n", n, buckets.c_str());
+  }
+}
 
 }  // namespace benchutil

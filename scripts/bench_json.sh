@@ -1,0 +1,68 @@
+#!/usr/bin/env bash
+# Pipeline-depth benchmark sweep: runs the RDMA-bound figures at posted
+# send-queue depths 1 / 4 / 16 and merges the per-run JSON into one file
+# (BENCH_pipeline.json by default).
+#
+# Usage: scripts/bench_json.sh [--quick] [--out <path>] [--build <dir>]
+#   --quick   reduced sweep (fig09 only, small sizes) for CI smoke runs
+#
+# Depth 1 is the paper's serialized-NIC behaviour (one blocking MPI/verbs
+# op at a time); higher depths overlap wire latency across in-flight ops.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT="BENCH_pipeline.json"
+BUILD="build"
+QUICK=0
+while [ $# -gt 0 ]; do
+  case "$1" in
+    --quick) QUICK=1 ;;
+    --out) OUT="$2"; shift ;;
+    --build) BUILD="$2"; shift ;;
+    *) echo "unknown argument: $1" >&2; exit 2 ;;
+  esac
+  shift
+done
+
+if [ ! -x "$BUILD/bench/fig09_writebuffer" ]; then
+  echo "benches not built; run: cmake -B $BUILD -S . && cmake --build $BUILD -j" >&2
+  exit 1
+fi
+
+TMPDIR_JSON="$(mktemp -d)"
+trap 'rm -rf "$TMPDIR_JSON"' EXIT
+
+run() { # run <binary> <tag> <depth> [extra args...]
+  local bin="$1" tag="$2" depth="$3"
+  shift 3
+  echo "-- $tag pipeline=$depth"
+  "$BUILD/bench/$bin" --json "$TMPDIR_JSON/$tag-p$depth.json" \
+    --pipeline "$depth" "$@" > "$TMPDIR_JSON/$tag-p$depth.log"
+}
+
+DEPTHS="1 4 16"
+for d in $DEPTHS; do
+  if [ "$QUICK" = 1 ]; then
+    run fig09_writebuffer fig09 "$d" --quick
+  else
+    run fig07_bandwidth fig07 "$d"
+    run fig09_writebuffer fig09 "$d"
+    run fig13a_lu fig13a "$d"
+  fi
+done
+
+# Merge the per-run arrays (one object per line) into a single array.
+{
+  echo "["
+  for f in "$TMPDIR_JSON"/*.json; do
+    # Strip the array brackets, keep the row lines, normalize commas.
+    sed -e '/^\[$/d' -e '/^\]$/d' -e 's/,$//' "$f" | while IFS= read -r row; do
+      [ -z "$row" ] && continue
+      echo "$row,"
+    done
+  done | sed '$ s/,$//'
+  echo "]"
+} > "$OUT"
+
+ROWS=$(grep -c '^{' "$OUT" || true)
+echo "wrote $ROWS rows to $OUT"

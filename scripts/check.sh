@@ -18,4 +18,30 @@ cmake -B build-sanitize -S . -DARGO_SANITIZE=ON
 cmake --build build-sanitize -j "$JOBS"
 ctest --test-dir build-sanitize --output-on-failure -j "$JOBS"
 
+echo "=== perf smoke: pipelined SD-fence drains ==="
+# Reduced fig09 sweep at posted-queue depths 1/4/16; the pipelined drain
+# must not be slower than the blocking one where the buffer is large
+# enough (>= 512 pages) for the fence to batch work.
+scripts/bench_json.sh --quick --out build/BENCH_smoke.json
+awk '
+  /"fig":"fig09"/ {
+    wb = 0; p = 0; sd = 0
+    if (match($0, /"wb":[0-9]+/))        wb = substr($0, RSTART+5,  RLENGTH-5)  + 0
+    if (match($0, /"pipeline":[0-9]+/))  p  = substr($0, RSTART+11, RLENGTH-11) + 0
+    if (match($0, /"sd_fence_total_ms":[0-9.]+/))
+                                         sd = substr($0, RSTART+20, RLENGTH-20) + 0
+    if (wb >= 512) { tot[p] += sd; n[p]++ }
+  }
+  END {
+    if (n[1] == 0 || n[16] == 0) { print "perf smoke: missing depth rows"; exit 1 }
+    printf "  depth-1  SD-fence total: %.3f ms (%d points)\n", tot[1], n[1]
+    printf "  depth-16 SD-fence total: %.3f ms (%d points)\n", tot[16], n[16]
+    if (tot[16] >= tot[1]) {
+      print "FAIL: depth-16 SD-fence time regressed above depth-1"
+      exit 1
+    }
+    printf "  OK: depth 16 cuts SD-fence time by %.1f%%\n", 100 * (1 - tot[16] / tot[1])
+  }
+' build/BENCH_smoke.json
+
 echo "all checks passed"

@@ -131,10 +131,12 @@ std::byte* NodeCache::write_ptr(GAddr a, std::size_t len) {
       if (wb_live_ >= cfg_.write_buffer_pages) {
         unlock_line(l);
         // If nothing was drainable (every live entry is mid-writeback in
-        // another fiber), back off in *time*: a zero-cost yield would spin
-        // at the current virtual instant forever while the in-flight
-        // writebacks are scheduled in the future.
-        if (!drain_oldest()) argosim::delay(net_.config().mem_latency * 4);
+        // another fiber), park until one of those writebacks completes and
+        // releases its slot. No lost wakeup: drain_oldest's failure path
+        // never yields, so the occupancy cannot drop between the re-check
+        // and the wait.
+        if (!drain_oldest() && wb_live_ >= cfg_.write_buffer_pages)
+          wb_slot_waiters_.wait();
         continue;
       }
       // Write-allocate: twin for later diffing (checkpoint of the fetched
@@ -162,6 +164,13 @@ std::byte* NodeCache::write_ptr(GAddr a, std::size_t len) {
 }
 
 void NodeCache::ensure_cached(std::uint64_t page, bool for_write) {
+  // Naive P/S keeps the sequential miss path: its heal decisions need the
+  // registration's result *before* any data moves, so there is nothing to
+  // overlap.
+  if (pipelined() && cfg_.classification != Mode::PSNaive) {
+    ensure_cached_pipelined(page, for_write);
+    return;
+  }
   const std::uint64_t group = group_of(page);
   Line& l = line_of_group(group);
   bool registered_this_call = false;
@@ -238,6 +247,51 @@ void NodeCache::ensure_cached(std::uint64_t page, bool for_write) {
   }
 }
 
+void NodeCache::ensure_cached_pipelined(std::uint64_t page, bool for_write) {
+  const std::uint64_t group = group_of(page);
+  Line& l = line_of_group(group);
+  for (;;) {
+    // Post the directory registration, then run the fill while it is on
+    // the wire. The send queue is FIFO, so the home-side fetch_or still
+    // precedes the data reads — same ordering as the blocking path, minus
+    // the dead time between them.
+    argonet::PostedHandle reg{};
+    std::uint64_t bits = 0, dp = 0;
+    if ((for_write && !my_writer_bit_set(page)) || !my_reader_bit_set(page)) {
+      dp = dir_page(page);
+      bits = DirWord::reader_bit(node_);
+      if (for_write) bits |= DirWord::writer_bit(node_);
+      ++stats_.dir_ops;
+      reg = dir_.post_fetch_or(node_, dp, bits);
+    }
+    lock_line(l);
+    if (l.group != group) {
+      evict_line_locked(l);
+      l.group = group;
+      occupied_.insert(group % cfg_.cache_lines);
+      if (!l.data)
+        l.data = std::make_unique<std::byte[]>(cfg_.pages_per_line * kPageSize);
+      for (auto& s : l.pages) {
+        s.valid = false;
+        s.dirty = false;
+        s.in_wb = false;
+        s.twin.reset();
+      }
+      fetch_line_locked(l, group);
+    } else if (!slot_of(l, page).valid) {
+      fetch_line_locked(l, group);
+    }
+    unlock_line(l);
+    if (reg) {
+      const DirWord prev = dir_.wait_word(reg);
+      apply_registration(page, dp, prev, bits, for_write);
+    }
+    if (l.group == group && slot_of(l, page).valid && my_reader_bit_set(page) &&
+        (!for_write || my_writer_bit_set(page)))
+      return;
+  }
+}
+
 // ---------------------------------------------------------------------------
 // Directory registration and classification transitions (§3.4–3.5)
 // ---------------------------------------------------------------------------
@@ -248,11 +302,28 @@ bool NodeCache::register_access(std::uint64_t page, bool for_write) {
   if (for_write) bits |= DirWord::writer_bit(node_);
   ++stats_.dir_ops;
   const DirWord prev = dir_.fetch_or(node_, dp, bits);
+  return apply_registration(page, dp, prev, bits, for_write);
+}
+
+bool NodeCache::apply_registration(std::uint64_t page, std::uint64_t dp,
+                                   DirWord prev, std::uint64_t bits,
+                                   bool for_write) {
   const DirWord updated{prev.raw | bits};
   dir_.cache_merge_local(node_, dp, updated.raw);
 
   const std::uint32_t me = std::uint32_t{1} << node_;
   std::uint32_t notified = 0;
+
+  // Notification fan-out: blocking one at a time at depth 1 (the historical
+  // behaviour), collected and posted as one coalesced batch when
+  // pipelining — the multi-reader NW→SW case then overlaps its atomics.
+  std::vector<argodir::DirNotify> batch;
+  auto notify = [&](int dst) {
+    if (pipelined())
+      batch.push_back(argodir::DirNotify{dst, dp, updated.raw});
+    else
+      dir_.cache_merge_remote(node_, dst, dp, updated.raw);
+  };
 
   // P→S: before us, exactly one *other* node had accessed the page. The
   // displaced private owner learns of the transition via one RDMA update
@@ -262,7 +333,7 @@ bool NodeCache::register_access(std::uint64_t page, bool for_write) {
       __builtin_popcount(prev_accessors) == 1) {
     const int owner = __builtin_ctz(prev_accessors);
     ++stats_.transitions_caused;
-    dir_.cache_merge_remote(node_, owner, dp, updated.raw);
+    notify(owner);
     notified |= std::uint32_t{1} << owner;
   }
   // Naive P/S: if — per the *fresh* word we just fetched — the page has a
@@ -290,7 +361,7 @@ bool NodeCache::register_access(std::uint64_t page, bool for_write) {
         while (readers != 0) {
           const int r = __builtin_ctz(readers);
           readers &= readers - 1;
-          dir_.cache_merge_remote(node_, r, dp, updated.raw);
+          notify(r);
         }
         break;
       }
@@ -300,7 +371,7 @@ bool NodeCache::register_access(std::uint64_t page, bool for_write) {
         const int w = prev.single_writer();
         if (w != node_ && ((notified >> w) & 1) == 0) {
           ++stats_.transitions_caused;
-          dir_.cache_merge_remote(node_, w, dp, updated.raw);
+          notify(w);
         }
         break;
       }
@@ -308,6 +379,7 @@ bool NodeCache::register_access(std::uint64_t page, bool for_write) {
         break;  // already MW: no action needed
     }
   }
+  if (!batch.empty()) dir_.cache_merge_remote_batch(node_, std::move(batch));
   return healed;
 }
 
@@ -338,6 +410,14 @@ void NodeCache::fetch_line_locked(Line& l, std::uint64_t group) {
   ++stats_.line_fetches;
   // Fetch contiguous runs of invalid pages that share a home node with one
   // RDMA read each (own-home pages are never cached; they stay invalid).
+  // With pipelining the reads are posted back to back — the runs' wire
+  // latencies overlap — and retired together before the pages turn valid.
+  // The latch is held throughout, so the slots and line buffer are stable
+  // until the posted memcpys have landed.
+  struct Fetched {
+    std::uint64_t begin, end;
+  };
+  std::vector<Fetched> posted_runs;
   std::uint64_t p = first;
   while (p < last) {
     PageSlot& s = slot_of(l, p);
@@ -351,18 +431,35 @@ void NodeCache::fetch_line_locked(Line& l, std::uint64_t group) {
            gmem_.home_of_page(end) == home)
       ++end;
     const std::size_t bytes = (end - p) * kPageSize;
-    net_.read(node_, home, gmem_.home_ptr(p * kPageSize), page_data(l, p),
-              bytes);
     stats_.pages_fetched += end - p;
     stats_.bytes_fetched += bytes;
-    for (std::uint64_t q = p; q < end; ++q) {
-      PageSlot& qs = slot_of(l, q);
-      qs.valid = true;
-      qs.dirty = false;
-      qs.in_wb = false;
-      qs.twin.reset();
+    if (pipelined()) {
+      net_.post_read(node_, home, gmem_.home_ptr(p * kPageSize),
+                     page_data(l, p), bytes);
+      posted_runs.push_back(Fetched{p, end});
+    } else {
+      net_.read(node_, home, gmem_.home_ptr(p * kPageSize), page_data(l, p),
+                bytes);
+      for (std::uint64_t q = p; q < end; ++q) {
+        PageSlot& qs = slot_of(l, q);
+        qs.valid = true;
+        qs.dirty = false;
+        qs.in_wb = false;
+        qs.twin.reset();
+      }
     }
     p = end;
+  }
+  if (!posted_runs.empty()) {
+    net_.wait_all(node_);
+    for (const Fetched& r : posted_runs)
+      for (std::uint64_t q = r.begin; q < r.end; ++q) {
+        PageSlot& qs = slot_of(l, q);
+        qs.valid = true;
+        qs.dirty = false;
+        qs.in_wb = false;
+        qs.twin.reset();
+      }
   }
 }
 
@@ -405,6 +502,16 @@ void NodeCache::refresh_checkpoint(Line& l, std::uint64_t page) {
   }
 }
 
+void NodeCache::release_wb_slot(PageSlot& s) {
+  s.dirty = false;
+  if (s.in_wb) {
+    s.in_wb = false;
+    --wb_live_;
+    wb_slot_waiters_.notify_all();
+  }
+  s.twin.reset();
+}
+
 void NodeCache::writeback_locked(Line& l, std::uint64_t page) {
   PageSlot& s = slot_of(l, page);
   assert(s.valid && s.dirty);
@@ -422,7 +529,10 @@ void NodeCache::writeback_locked(Line& l, std::uint64_t page) {
     // page, or (defensively, missing twin) the values we'd "clobber" are
     // bytes no other node has flushed — DRF guarantees disjointness.
     wire = kPageSize;
-    net_.write(node_, home_node, home, cur, kPageSize);
+    if (pipelined())
+      net_.post_write(node_, home_node, home, cur, kPageSize);
+    else
+      net_.write(node_, home_node, home, cur, kPageSize);
     ++stats_.full_page_writebacks;
   } else {
     // Diff against the twin: scan both copies (charged as local memory
@@ -457,24 +567,27 @@ void NodeCache::writeback_locked(Line& l, std::uint64_t page) {
     ++stats_.diffs_built;
     if (runs.empty()) {
       // Nothing actually changed; no transmission needed.
-      s.dirty = false;
-      if (s.in_wb) {
-        s.in_wb = false;
-        --wb_live_;
-      }
-      s.twin.reset();
+      release_wb_slot(s);
       return;
     }
-    for (const Run& r : runs) wire += r.len + 8;
-    net_.charge_write(node_, home_node, wire);
-    for (const Run& r : runs) std::memcpy(home + r.off, cur + r.off, r.len);
+    if (pipelined()) {
+      // One posted scatter-gather writeback for the whole page: the
+      // payload is snapshotted at post time, so the diff for the *next*
+      // buffer entry is computed while this one is on the wire.
+      std::vector<argonet::GatherRun> gather;
+      gather.reserve(runs.size());
+      for (const Run& r : runs) {
+        wire += r.len + 8;
+        gather.push_back(argonet::GatherRun{home + r.off, cur + r.off, r.len});
+      }
+      net_.post_write_gather(node_, home_node, gather, 8);
+    } else {
+      for (const Run& r : runs) wire += r.len + 8;
+      net_.charge_write(node_, home_node, wire);
+      for (const Run& r : runs) std::memcpy(home + r.off, cur + r.off, r.len);
+    }
   }
-  s.dirty = false;
-  if (s.in_wb) {
-    s.in_wb = false;
-    --wb_live_;
-  }
-  s.twin.reset();
+  release_wb_slot(s);
   ++stats_.writebacks;
   stats_.writeback_bytes += wire;
 }
@@ -549,6 +662,7 @@ bool NodeCache::drain_oldest() {
 
 void NodeCache::si_fence() {
   ++stats_.si_fences;
+  const argosim::Time fence_start = argosim::now();
   const std::vector<std::size_t> occ(occupied_.begin(), occupied_.end());
   for (const std::size_t idx : occ) {
     Line& l = lines_[idx];
@@ -572,11 +686,16 @@ void NodeCache::si_fence() {
     }
     unlock_line(l);
   }
+  // Retire any writebacks this sweep posted (free at pipeline depth 1:
+  // the send queue is always empty there).
+  net_.wait_all(node_);
+  stats_.si_fence_ns.add(argosim::now() - fence_start);
 }
 
 void NodeCache::sd_fence() {
   ++stats_.sd_fences;
   if (cfg_.debug_skip_sd_fence) return;  // chaos knob: leave pages dirty
+  const argosim::Time fence_start = argosim::now();
   const bool naive = cfg_.classification == Mode::PSNaive;
   // Drain in place: entries must stay visible to concurrent capacity
   // drains (hiding them in a local queue can starve a writer spinning for
@@ -621,6 +740,14 @@ void NodeCache::sd_fence() {
     unlock_line(l);
   }
   for (std::uint64_t page : keep) write_buffer_.push_back(page);
+  // Re-attached private entries are drainable again: wake writers that
+  // parked on a full buffer while the fence had them popped.
+  if (!keep.empty()) wb_slot_waiters_.notify_all();
+  // Retire the posted writebacks — the whole drain's diffs were computed
+  // back to back while earlier pages were on the wire; the fence ends when
+  // the last one lands. Free at pipeline depth 1.
+  net_.wait_all(node_);
+  stats_.sd_fence_ns.add(argosim::now() - fence_start);
 }
 
 // ---------------------------------------------------------------------------

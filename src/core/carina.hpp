@@ -155,11 +155,26 @@ class NodeCache {
   /// (and writer if `for_write`).
   void ensure_cached(std::uint64_t page, bool for_write);
 
+  /// Pipelined miss path (NetConfig::pipeline > 1, non-naive modes): the
+  /// directory fetch_or is *posted* before the line fill so the
+  /// registration latency overlaps the data reads, which are themselves
+  /// posted back to back. The posted send queue keeps home-side ordering
+  /// identical to the blocking path (registration precedes the fill).
+  void ensure_cached_pipelined(std::uint64_t page, bool for_write);
+
   /// Register access bits at the home directory and notify displaced
   /// owners/writers of the transitions this causes. Returns true if the
   /// naive-P/S path healed the home copy (the caller must then drop any
   /// copy fetched before the heal).
   bool register_access(std::uint64_t page, bool for_write);
+
+  /// Post-fetch_or half of register_access: merge the updated word into
+  /// our directory cache and fan out the transition notifications `prev`
+  /// implies (batched/coalesced when pipelining). Returns true if the
+  /// naive-P/S path healed the home copy.
+  bool apply_registration(std::uint64_t page, std::uint64_t dp,
+                          argodir::DirWord prev, std::uint64_t bits,
+                          bool for_write);
 
   /// Evict the current contents of `l` (flushing dirty pages). Latch held.
   void evict_line_locked(Line& l);
@@ -169,8 +184,16 @@ class NodeCache {
   void fetch_line_locked(Line& l, std::uint64_t group);
 
   /// Write one dirty cached page back to its home (diff or whole page).
+  /// With pipelining the transfer is *posted* (payload snapshotted) and the
+  /// slot is released immediately — fences retire the queue with wait_all.
   void writeback_locked(Line& l, std::uint64_t page);
   void writeback(std::uint64_t page);  // latches, re-validates, delegates
+
+  /// Clear a page's dirty/write-buffer state after its writeback has been
+  /// issued, waking any writer parked on a full write buffer.
+  void release_wb_slot(PageSlot& s);
+
+  bool pipelined() const { return net_.config().pipeline > 1; }
 
   /// Naive P/S: refresh the page's checkpoint from its current contents
   /// (charged local copy). Latch held by caller.
@@ -196,6 +219,9 @@ class NodeCache {
   std::unordered_set<std::size_t> occupied_;
   std::deque<std::uint64_t> write_buffer_;
   std::size_t wb_live_ = 0;
+  // Writers parked on a full write buffer whose every live entry is
+  // mid-writeback in another fiber; release_wb_slot wakes them.
+  argosim::WaitQueue wb_slot_waiters_;
   // Naive P/S: per-page checkpoint taken at each sync (page image as of the
   // owner's last synchronization point).
   std::unordered_map<std::uint64_t, std::unique_ptr<std::byte[]>> checkpoints_;

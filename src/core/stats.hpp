@@ -5,6 +5,44 @@
 
 namespace argocore {
 
+/// Power-of-two histogram of virtual-time durations (ns). Bucket b counts
+/// samples in [2^(b-1), 2^b); bucket 0 counts zero-duration samples.
+/// Recording costs no virtual time.
+struct LatencyHist {
+  static constexpr int kBuckets = 40;
+  std::uint64_t bucket[kBuckets] = {};
+  std::uint64_t samples = 0;
+  std::uint64_t total_ns = 0;
+  std::uint64_t max_ns = 0;
+
+  static int bucket_of(std::uint64_t ns) {
+    if (ns == 0) return 0;
+    const int width = 64 - __builtin_clzll(ns);
+    return width < kBuckets ? width : kBuckets - 1;
+  }
+
+  void add(std::uint64_t ns) {
+    ++bucket[bucket_of(ns)];
+    ++samples;
+    total_ns += ns;
+    if (ns > max_ns) max_ns = ns;
+  }
+
+  double mean_ns() const {
+    return samples == 0 ? 0.0
+                        : static_cast<double>(total_ns) /
+                              static_cast<double>(samples);
+  }
+
+  LatencyHist& operator+=(const LatencyHist& o) {
+    for (int b = 0; b < kBuckets; ++b) bucket[b] += o.bucket[b];
+    samples += o.samples;
+    total_ns += o.total_ns;
+    if (o.max_ns > max_ns) max_ns = o.max_ns;
+    return *this;
+  }
+};
+
 struct CoherenceStats {
   std::uint64_t read_hits = 0;
   std::uint64_t read_misses = 0;
@@ -32,6 +70,9 @@ struct CoherenceStats {
   std::uint64_t checkpoint_bytes = 0;
   std::uint64_t heals = 0;             ///< naive-P/S P→S services from checkpoints
 
+  LatencyHist sd_fence_ns;             ///< per-fence SD drain durations
+  LatencyHist si_fence_ns;             ///< per-fence SI sweep durations
+
   CoherenceStats& operator+=(const CoherenceStats& o) {
     read_hits += o.read_hits;
     read_misses += o.read_misses;
@@ -54,6 +95,8 @@ struct CoherenceStats {
     checkpoints += o.checkpoints;
     checkpoint_bytes += o.checkpoint_bytes;
     heals += o.heals;
+    sd_fence_ns += o.sd_fence_ns;
+    si_fence_ns += o.si_fence_ns;
     return *this;
   }
 };

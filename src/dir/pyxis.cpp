@@ -1,5 +1,7 @@
 #include "dir/pyxis.hpp"
 
+#include <algorithm>
+
 namespace argodir {
 
 PyxisDirectory::PyxisDirectory(GlobalMemory& gmem, argonet::Interconnect& net)
@@ -17,6 +19,17 @@ DirWord PyxisDirectory::fetch_or(int src, std::uint64_t page,
   const int home = gmem_.home_of_page(page);
   std::uint64_t prev = net_.fetch_or(src, home, &words_[page], bits);
   return DirWord{prev};
+}
+
+argonet::PostedHandle PyxisDirectory::post_fetch_or(int src,
+                                                    std::uint64_t page,
+                                                    std::uint64_t bits) {
+  const int home = gmem_.home_of_page(page);
+  return net_.post_fetch_or(src, home, &words_[page], bits);
+}
+
+DirWord PyxisDirectory::wait_word(argonet::PostedHandle h) {
+  return DirWord{net_.wait(h)};
 }
 
 DirWord PyxisDirectory::read(int src, std::uint64_t page) {
@@ -38,6 +51,31 @@ void PyxisDirectory::cache_merge_remote(int src, int dst, std::uint64_t page,
   // the owner's own lookups and with other racing notifications.
   net_.fetch_or(src, dst, &cache_slot(dst, page), word);
   ++notify_count_[static_cast<std::size_t>(dst)];
+}
+
+void PyxisDirectory::cache_merge_remote_batch(int src,
+                                              std::vector<DirNotify> batch) {
+  if (batch.empty()) return;
+  std::sort(batch.begin(), batch.end(),
+            [](const DirNotify& a, const DirNotify& b) {
+              return a.dst != b.dst ? a.dst < b.dst : a.page < b.page;
+            });
+  std::vector<argonet::PostedHandle> posted;
+  posted.reserve(batch.size());
+  for (std::size_t i = 0; i < batch.size();) {
+    std::uint64_t word = 0;
+    std::size_t j = i;
+    while (j < batch.size() && batch[j].dst == batch[i].dst &&
+           batch[j].page == batch[i].page) {
+      word |= batch[j].word;
+      ++j;
+    }
+    posted.push_back(net_.post_fetch_or(
+        src, batch[i].dst, &cache_slot(batch[i].dst, batch[i].page), word));
+    ++notify_count_[static_cast<std::size_t>(batch[i].dst)];
+    i = j;
+  }
+  for (const argonet::PostedHandle& h : posted) net_.wait(h);
 }
 
 }  // namespace argodir

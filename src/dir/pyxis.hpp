@@ -76,6 +76,15 @@ struct DirWord {
 // so concurrent updates commute and no versioning is needed. A node with a
 // page in its page cache always has at least its own reader bit cached.
 
+/// One pending transition notification: OR `word` into `dst`'s directory
+/// cache slot for `page`. Batches of these are coalesced and posted by
+/// cache_merge_remote_batch.
+struct DirNotify {
+  int dst;
+  std::uint64_t page;
+  std::uint64_t word;
+};
+
 /// The home-side directory plus each node's directory cache.
 class PyxisDirectory {
  public:
@@ -87,6 +96,16 @@ class PyxisDirectory {
   /// Issued by node `src`; returns the word *before* the OR (the caller
   /// derives the updated maps locally). Charged as one remote atomic.
   DirWord fetch_or(int src, std::uint64_t page, std::uint64_t bits);
+
+  /// Posted variant of fetch_or: returns immediately after the NIC charge
+  /// so the caller can overlap the registration with the line's data fetch;
+  /// redeem the previous word with wait_word. At pipeline depth 1 this is
+  /// exactly fetch_or.
+  argonet::PostedHandle post_fetch_or(int src, std::uint64_t page,
+                                      std::uint64_t bits);
+
+  /// Retire a post_fetch_or and return the word before the OR.
+  DirWord wait_word(argonet::PostedHandle h);
 
   /// Read the home directory word without modifying it (one RDMA read).
   DirWord read(int src, std::uint64_t page);
@@ -118,6 +137,14 @@ class PyxisDirectory {
   /// single writer. Charged as one remote write of 8 bytes issued by `src`.
   void cache_merge_remote(int src, int dst, std::uint64_t page,
                           std::uint64_t word);
+
+  /// Pipelined notification fan-out: coalesce entries that target the same
+  /// (destination, directory word) into one remote atomic — several pages
+  /// of one line share a word, so a transition touching many of them needs
+  /// one OR, not one per page — then post the distinct atomics back to
+  /// back and wait for all of them. Notification counts reflect the
+  /// coalesced (actually transmitted) atomics.
+  void cache_merge_remote_batch(int src, std::vector<DirNotify> batch);
 
   /// Number of transition notifications delivered to each node (stats).
   std::uint64_t notifications(int node) const {

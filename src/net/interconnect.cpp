@@ -20,6 +20,8 @@ NodeNetStats& NodeNetStats::operator+=(const NodeNetStats& o) {
   faults_injected += o.faults_injected;
   retries += o.retries;
   backoff_time += o.backoff_time;
+  posted_ops += o.posted_ops;
+  posted_inflight_hwm = std::max(posted_inflight_hwm, o.posted_inflight_hwm);
   return *this;
 }
 
@@ -105,6 +107,295 @@ void Interconnect::remote_op(int src, int dst, std::size_t stream_bytes,
         static_cast<Time>(static_cast<double>(backoff) * rp.backoff_mult),
         rp.backoff_max);
   }
+}
+
+// ---------------------------------------------------------------------------
+// Posted (asynchronous) verbs
+// ---------------------------------------------------------------------------
+
+void Interconnect::throw_posted_failure(int node, const char* what) {
+  throw NetworkError(std::string(what) + " (posted) from node " +
+                     std::to_string(node) +
+                     " failed after exhausting its retry budget");
+}
+
+void Interconnect::retire_front(int src) {
+  auto& box = *boxes_[src];
+  assert(!box.sendq.empty());
+  const std::uint64_t id = box.sendq.front().id;
+  // Sleep until the head completes, then re-check: another fiber may have
+  // retired it (and possibly more) while we slept. Ids are never reused,
+  // so observing a different front id means our target is gone.
+  while (!box.sendq.empty() && box.sendq.front().id == id) {
+    const Time comp = box.sendq.front().complete_at;
+    if (argosim::now() < comp) {
+      argosim::delay(comp - argosim::now());
+      continue;
+    }
+    Posted p = std::move(box.sendq.front());
+    box.sendq.pop_front();
+    if (p.hard_fail) {
+      box.posted_failed.emplace(p.id, p.what);
+    } else {
+      const std::uint64_t v = p.effect ? p.effect() : 0;
+      if (p.has_value) box.posted_results.emplace(p.id, v);
+    }
+  }
+}
+
+PostedHandle Interconnect::retired_handle(int src, bool has_value,
+                                          std::uint64_t value) {
+  auto& box = *boxes_[src];
+  const std::uint64_t id = box.posted_next_id++;
+  if (has_value) box.posted_results.emplace(id, value);
+  return PostedHandle{src, id};
+}
+
+PostedHandle Interconnect::post_remote(int src, int dst,
+                                       std::size_t stream_bytes,
+                                       Time base_latency, const char* what,
+                                       bool has_value,
+                                       std::function<std::uint64_t()> effect) {
+  auto& box = *boxes_[src];
+  const int depth = cfg_.pipeline > 1 ? cfg_.pipeline : 1;
+  if (depth == 1) {
+    // Depth 1 degenerates to the blocking verb: identical charges and
+    // retry loop, effect applied at completion time.
+    remote_op(src, dst, stream_bytes, base_latency, what);
+    const std::uint64_t v = effect ? effect() : 0;
+    return retired_handle(src, has_value, v);
+  }
+  while (box.sendq.size() >= static_cast<std::size_t>(depth))
+    retire_front(src);
+  ++box.stats.posted_ops;
+
+  Time done = 0;
+  bool hard_fail = false;
+  if (!faults_) {
+    charge(src, cfg_.nic_overhead + cfg_.net_transfer(stream_bytes), 0);
+    done = argosim::now() + base_latency;
+  } else {
+    // Project the whole retry history at post time. Plans must be drawn
+    // against the posting-time clock: FaultInjector brownout queries are
+    // required to be monotonic in `now` per node, so probing the future
+    // per retry would be unsound once several ops are in flight. The
+    // first attempt holds the NIC for real; retransmissions of an
+    // in-flight op are NIC work too, but only their time is folded into
+    // the completion (accounted in nic_busy, not serialized — the queue
+    // depth already bounds how much can pile up).
+    const RetryPolicy& rp = cfg_.retry;
+    const Time post_now = argosim::now();
+    Time backoff = rp.backoff_base;
+    for (int attempt = 1;; ++attempt) {
+      const AttemptPlan p = faults_->plan_attempt(src, dst, post_now);
+      Time stream = cfg_.net_transfer(stream_bytes);
+      if (p.bw_frac < 1.0 && stream > 0)
+        stream = static_cast<Time>(static_cast<double>(stream) / p.bw_frac);
+      const Time latency =
+          static_cast<Time>(static_cast<double>(base_latency) *
+                            p.latency_mult) +
+          p.extra_latency;
+      const Time busy = cfg_.nic_overhead + stream;
+      if (attempt == 1) {
+        charge(src, busy, 0);
+        done = argosim::now() + latency;
+      } else {
+        box.stats.nic_busy += busy;
+        done += busy + latency;
+      }
+      if (!p.fail) break;
+      ++box.stats.faults_injected;
+      const bool out_of_attempts = attempt >= rp.max_attempts;
+      const bool past_deadline =
+          rp.deadline > 0 && done - post_now >= rp.deadline;
+      if (out_of_attempts || past_deadline) {
+        hard_fail = true;
+        break;
+      }
+      Time wait = backoff;
+      if (rp.backoff_jitter > 0)
+        wait += faults_->backoff_jitter(static_cast<Time>(
+            static_cast<double>(backoff) * rp.backoff_jitter));
+      ++box.stats.retries;
+      box.stats.backoff_time += wait;
+      done += wait;
+      backoff = std::min<Time>(
+          static_cast<Time>(static_cast<double>(backoff) * rp.backoff_mult),
+          rp.backoff_max);
+    }
+  }
+  // In-order completion (reliable-connection queue-pair semantics): an op
+  // can never retire before its predecessors.
+  if (!box.sendq.empty() && box.sendq.back().complete_at > done)
+    done = box.sendq.back().complete_at;
+  const std::uint64_t id = box.posted_next_id++;
+  box.sendq.push_back(
+      Posted{id, done, hard_fail, what, has_value, std::move(effect)});
+  box.stats.posted_inflight_hwm =
+      std::max<std::uint64_t>(box.stats.posted_inflight_hwm, box.sendq.size());
+  return PostedHandle{src, id};
+}
+
+std::uint64_t Interconnect::wait(PostedHandle h) {
+  if (h.node < 0 || h.id == 0) return 0;
+  auto& box = *boxes_[h.node];
+  for (;;) {
+    if (auto it = box.posted_failed.find(h.id); it != box.posted_failed.end()) {
+      const char* what = it->second;
+      box.posted_failed.erase(it);
+      throw_posted_failure(h.node, what);
+    }
+    if (auto it = box.posted_results.find(h.id);
+        it != box.posted_results.end()) {
+      const std::uint64_t v = it->second;
+      box.posted_results.erase(it);
+      return v;
+    }
+    // Retired without a banked value (a plain read/write), or never of
+    // this queue at all: nothing left to wait for.
+    if (box.sendq.empty() || box.sendq.front().id > h.id) return 0;
+    retire_front(h.node);
+  }
+}
+
+void Interconnect::wait_all(int node) {
+  auto& box = *boxes_[node];
+  while (!box.sendq.empty()) retire_front(node);
+  if (!box.posted_failed.empty()) {
+    const char* what = box.posted_failed.begin()->second;
+    box.posted_failed.clear();
+    throw_posted_failure(node, what);
+  }
+}
+
+PostedHandle Interconnect::post_read(int src, int dst, const void* remote,
+                                     void* local, std::size_t n) {
+  auto& s = boxes_[src]->stats;
+  ++s.rdma_reads;
+  s.bytes_read += n;
+  if (src == dst) {
+    argosim::delay(cfg_.mem_latency + cfg_.mem_copy(n));
+    std::memcpy(local, remote, n);
+    return retired_handle(src, false, 0);
+  }
+  return post_remote(src, dst, n, cfg_.rdma_latency, "RDMA read", false,
+                     [remote, local, n]() -> std::uint64_t {
+                       std::memcpy(local, remote, n);
+                       return 0;
+                     });
+}
+
+PostedHandle Interconnect::post_write(int src, int dst, void* remote,
+                                      const void* local, std::size_t n) {
+  auto& s = boxes_[src]->stats;
+  ++s.rdma_writes;
+  s.bytes_written += n;
+  if (src == dst) {
+    argosim::delay(cfg_.mem_latency + cfg_.mem_copy(n));
+    std::memcpy(remote, local, n);
+    return retired_handle(src, false, 0);
+  }
+  // Posted semantics capture the payload at post time: the source buffer
+  // may be reused (page evicted, refetched, re-dirtied) before retirement.
+  auto buf = std::make_shared<std::vector<std::byte>>(
+      static_cast<const std::byte*>(local),
+      static_cast<const std::byte*>(local) + n);
+  return post_remote(src, dst, n, cfg_.rdma_latency, "RDMA write", false,
+                     [remote, buf, n]() -> std::uint64_t {
+                       std::memcpy(remote, buf->data(), n);
+                       return 0;
+                     });
+}
+
+PostedHandle Interconnect::post_write_gather(int src, int dst,
+                                             const std::vector<GatherRun>& runs,
+                                             std::size_t header_bytes) {
+  std::size_t wire = 0;
+  for (const GatherRun& r : runs) wire += r.len + header_bytes;
+  auto& s = boxes_[src]->stats;
+  ++s.rdma_writes;
+  s.bytes_written += wire;
+  auto buf = std::make_shared<std::vector<std::byte>>();
+  buf->reserve(wire);
+  std::vector<std::pair<void*, std::size_t>> targets;
+  targets.reserve(runs.size());
+  for (const GatherRun& r : runs) {
+    const std::byte* p = static_cast<const std::byte*>(r.local);
+    buf->insert(buf->end(), p, p + r.len);
+    targets.emplace_back(r.remote, r.len);
+  }
+  auto effect = [buf, targets = std::move(targets)]() -> std::uint64_t {
+    std::size_t off = 0;
+    for (const auto& [to, len] : targets) {
+      std::memcpy(to, buf->data() + off, len);
+      off += len;
+    }
+    return 0;
+  };
+  if (src == dst) {
+    argosim::delay(cfg_.mem_latency + cfg_.mem_copy(wire));
+    effect();
+    return retired_handle(src, false, 0);
+  }
+  return post_remote(src, dst, wire, cfg_.rdma_latency, "RDMA gather write",
+                     false, std::move(effect));
+}
+
+PostedHandle Interconnect::post_fetch_or(int src, int dst,
+                                         std::uint64_t* remote,
+                                         std::uint64_t bits) {
+  auto& s = boxes_[src]->stats;
+  ++s.rdma_atomics;
+  if (src == dst) {
+    argosim::delay(cfg_.mem_latency);
+    const std::uint64_t old = *remote;
+    *remote = old | bits;
+    return retired_handle(src, true, old);
+  }
+  return post_remote(src, dst, 0, cfg_.rdma_latency, "RDMA fetch-or", true,
+                     [remote, bits]() -> std::uint64_t {
+                       const std::uint64_t old = *remote;
+                       *remote = old | bits;
+                       return old;
+                     });
+}
+
+PostedHandle Interconnect::post_fetch_add(int src, int dst,
+                                          std::uint64_t* remote,
+                                          std::uint64_t v) {
+  auto& s = boxes_[src]->stats;
+  ++s.rdma_atomics;
+  if (src == dst) {
+    argosim::delay(cfg_.mem_latency);
+    const std::uint64_t old = *remote;
+    *remote = old + v;
+    return retired_handle(src, true, old);
+  }
+  return post_remote(src, dst, 0, cfg_.rdma_latency, "RDMA fetch-add", true,
+                     [remote, v]() -> std::uint64_t {
+                       const std::uint64_t old = *remote;
+                       *remote = old + v;
+                       return old;
+                     });
+}
+
+PostedHandle Interconnect::post_cas(int src, int dst, std::uint64_t* remote,
+                                    std::uint64_t expected,
+                                    std::uint64_t desired) {
+  auto& s = boxes_[src]->stats;
+  ++s.rdma_atomics;
+  if (src == dst) {
+    argosim::delay(cfg_.mem_latency);
+    const std::uint64_t old = *remote;
+    if (old == expected) *remote = desired;
+    return retired_handle(src, true, old);
+  }
+  return post_remote(src, dst, 0, cfg_.rdma_latency, "RDMA CAS", true,
+                     [remote, expected, desired]() -> std::uint64_t {
+                       const std::uint64_t old = *remote;
+                       if (old == expected) *remote = desired;
+                       return old;
+                     });
 }
 
 void Interconnect::read(int src, int dst, const void* remote, void* local,

@@ -17,6 +17,9 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
 #include <memory>
 #include <optional>
 #include <queue>
@@ -52,6 +55,23 @@ struct Message {
   std::size_t wire_size() const { return 40 + payload.size(); }
 };
 
+/// Completion handle for a posted (asynchronous) verb. Handles are cheap
+/// value types; redeem them with Interconnect::wait / wait_all. A
+/// default-constructed handle is inert (wait returns immediately).
+struct PostedHandle {
+  int node = -1;        ///< issuing node (owns the send queue)
+  std::uint64_t id = 0; ///< per-node monotonically increasing op id
+  explicit operator bool() const { return id != 0; }
+};
+
+/// One element of a scatter-gather posted write: `len` bytes copied from
+/// `local` to `remote` when the (single) op completes.
+struct GatherRun {
+  void* remote = nullptr;
+  const void* local = nullptr;
+  std::size_t len = 0;
+};
+
 /// Per-node traffic statistics (virtual-time accounting).
 struct NodeNetStats {
   std::uint64_t rdma_reads = 0;
@@ -66,6 +86,8 @@ struct NodeNetStats {
   std::uint64_t faults_injected = 0;  ///< failed attempts + dropped msgs
   std::uint64_t retries = 0;          ///< re-attempts after injected faults
   Time backoff_time = 0;              ///< virtual time spent backing off
+  std::uint64_t posted_ops = 0;       ///< async verbs queued (pipeline > 1)
+  std::uint64_t posted_inflight_hwm = 0;  ///< send-queue depth high-water mark
 
   std::uint64_t total_ops() const {
     return rdma_reads + rdma_writes + rdma_atomics + msgs_sent;
@@ -124,6 +146,61 @@ class Interconnect {
   /// (MPI_Fetch_and_op(REPLACE)).
   std::uint64_t exchange(int src, int dst, std::uint64_t* remote,
                          std::uint64_t desired);
+
+  // --- Posted (asynchronous) verbs ----------------------------------------
+  //
+  // The RDMA work-queue model: post returns after charging the op's NIC
+  // occupancy (overhead + payload streaming, serialized per node); the wire
+  // latency runs concurrently with whatever the caller does next, bounded
+  // by NetConfig::pipeline outstanding ops per node. Completions retire
+  // strictly in post order (reliable-connection semantics), and the op's
+  // effect — the memcpy or atomic — is applied at retirement, exactly when
+  // the blocking verbs apply theirs. Posted writes snapshot their payload
+  // at post time, so source buffers may be reused immediately.
+  //
+  // Fault injection composes transparently: a posted op draws all of its
+  // attempt plans when posted (one per retry, against the posting-time
+  // clock) and folds the retries and backoff into its completion time; a
+  // hard failure (retry budget exhausted) surfaces as NetworkError from
+  // wait()/wait_all() of the *issuing* node, never from an innocent fiber
+  // that happens to retire the queue.
+  //
+  // At pipeline depth 1 a post degenerates to the matching blocking verb —
+  // bit-identical charges, already retired on return.
+
+  PostedHandle post_read(int src, int dst, const void* remote, void* local,
+                         std::size_t n);
+  PostedHandle post_write(int src, int dst, void* remote, const void* local,
+                          std::size_t n);
+
+  /// One posted op carrying several runs to scattered remote addresses
+  /// (one wire transfer of sum(len + header_bytes); one logical RDMA
+  /// write). The diff-writeback path uses this to ship a whole page's runs
+  /// as a single scatter-gather element list.
+  PostedHandle post_write_gather(int src, int dst,
+                                 const std::vector<GatherRun>& runs,
+                                 std::size_t header_bytes);
+
+  PostedHandle post_fetch_or(int src, int dst, std::uint64_t* remote,
+                             std::uint64_t bits);
+  PostedHandle post_fetch_add(int src, int dst, std::uint64_t* remote,
+                              std::uint64_t v);
+  PostedHandle post_cas(int src, int dst, std::uint64_t* remote,
+                        std::uint64_t expected, std::uint64_t desired);
+
+  /// Block until `h` has retired; returns the op's value (previous value
+  /// for atomics, 0 for reads/writes). Throws NetworkError if the op hard-
+  /// failed. Waiting on a retired or default handle returns immediately.
+  std::uint64_t wait(PostedHandle h);
+
+  /// Retire every outstanding posted op of `node` (a full send-queue
+  /// drain). Throws NetworkError if any unclaimed op hard-failed.
+  void wait_all(int node);
+
+  /// Outstanding (not yet retired) posted ops of `node`.
+  std::size_t posted_pending(int node) const {
+    return boxes_[node]->sendq.size();
+  }
 
   // --- Fallible single-attempt variants -----------------------------------
   //
@@ -202,11 +279,27 @@ class Interconnect {
     }
   };
 
+  /// A posted op sitting in a node's send queue. `complete_at` already
+  /// folds in NIC occupancy, wire latency, projected fault retries and the
+  /// in-order constraint against earlier ops.
+  struct Posted {
+    std::uint64_t id;
+    Time complete_at;
+    bool hard_fail;
+    const char* what;
+    bool has_value;
+    std::function<std::uint64_t()> effect;  ///< applied at retirement
+  };
+
   struct NodeBox {
     argosim::SimMutex nic;
     std::priority_queue<Pending, std::vector<Pending>, std::greater<>> inbox;
     argosim::WaitQueue rx_waiters;
     NodeNetStats stats;
+    std::deque<Posted> sendq;          // outstanding posted ops, post order
+    std::uint64_t posted_next_id = 1;  // 0 is the inert handle
+    std::map<std::uint64_t, std::uint64_t> posted_results;  // unclaimed values
+    std::map<std::uint64_t, const char*> posted_failed;     // unclaimed errors
   };
 
   /// Hold node `src`'s NIC for `busy` ns, then charge `extra_latency` more
@@ -222,6 +315,24 @@ class Interconnect {
   /// Throws NetworkError when the budget is exhausted.
   void remote_op(int src, int dst, std::size_t stream_bytes,
                  Time base_latency, const char* what);
+
+  /// Core of the posted verbs: reclaim a queue slot if the pipeline is
+  /// full, charge this op's NIC occupancy, project its completion time
+  /// (including fault retries), and enqueue it. At depth 1, runs the
+  /// blocking remote_op and returns an already-retired handle.
+  PostedHandle post_remote(int src, int dst, std::size_t stream_bytes,
+                           Time base_latency, const char* what,
+                           bool has_value,
+                           std::function<std::uint64_t()> effect);
+
+  /// Handle for an op that completed synchronously (local ops, depth 1).
+  PostedHandle retired_handle(int src, bool has_value, std::uint64_t value);
+
+  /// Retire the head of `src`'s send queue: sleep until its completion
+  /// time, apply its effect, bank its value/failure for the owner's wait.
+  void retire_front(int src);
+
+  [[noreturn]] void throw_posted_failure(int node, const char* what);
 
   void deliver(Message msg, Time deliver_at);
 

@@ -61,6 +61,15 @@ struct NetConfig {
   /// node can use the interconnect at a time: ops serialize on a NIC lock.
   bool serialize_nic = true;
 
+  /// Per-node send-queue depth for the posted (asynchronous) verbs. At 1
+  /// (the default) a posted op degenerates to the matching blocking verb,
+  /// reproducing the paper's serialized-NIC MPI prototype exactly — virtual
+  /// times are bit-identical to builds predating the posted API. Depths > 1
+  /// model a verbs NIC with a work queue: each posted op still charges its
+  /// NIC occupancy (overhead + streaming) serially, but its wire latency
+  /// overlaps with other in-flight ops; completions retire in post order.
+  int pipeline = 1;
+
   /// Retry/timeout/backoff machinery for fallible remote ops. Only
   /// consulted when a FaultInjector is attached to the Interconnect.
   RetryPolicy retry;

@@ -104,6 +104,7 @@ struct PropParam {
   std::size_t cache_lines;
   std::size_t write_buffer;
   std::uint64_t seed;
+  int pipeline = 1;  ///< posted-verb send-queue depth (1 = blocking verbs)
 };
 
 std::string param_name(const ::testing::TestParamInfo<PropParam>& info) {
@@ -117,7 +118,7 @@ std::string param_name(const ::testing::TestParamInfo<PropParam>& info) {
   }
   return m + "_ppl" + std::to_string(p.pages_per_line) + "_lines" +
          std::to_string(p.cache_lines) + "_wb" + std::to_string(p.write_buffer) +
-         "_seed" + std::to_string(p.seed);
+         "_seed" + std::to_string(p.seed) + "_p" + std::to_string(p.pipeline);
 }
 
 class RandomDrfPrograms : public ::testing::TestWithParam<PropParam> {};
@@ -135,6 +136,7 @@ TEST_P(RandomDrfPrograms, ObserveExactlyTheEntitledValues) {
   cfg.cache.pages_per_line = param.pages_per_line;
   cfg.cache.cache_lines = param.cache_lines;
   cfg.cache.write_buffer_pages = param.write_buffer;
+  cfg.net.pipeline = param.pipeline;
   Cluster cl(cfg);
 
   // Pages 8..27 span all four home nodes (16 pages per node).
@@ -220,6 +222,31 @@ INSTANTIATE_TEST_SUITE_P(
         PropParam{Mode::PS3, 4, 8, 4, 6},
         PropParam{Mode::PSNaive, 4, 8, 4, 7},
         PropParam{Mode::S, 2, 8, 2, 8}),
+    param_name);
+
+INSTANTIATE_TEST_SUITE_P(
+    CarinaPipelined, RandomDrfPrograms,
+    ::testing::Values(
+        // Every mode with the posted verbs engaged.
+        PropParam{Mode::S, 1, 64, 64, 1, 4},
+        PropParam{Mode::PSNaive, 1, 64, 64, 1, 4},
+        PropParam{Mode::PS, 1, 64, 64, 1, 4},
+        PropParam{Mode::PS3, 1, 64, 64, 1, 4},
+        // Prefetching lines: fills post one read per home segment.
+        PropParam{Mode::S, 4, 16, 64, 2, 4},
+        PropParam{Mode::PSNaive, 4, 16, 64, 2, 4},
+        PropParam{Mode::PS, 4, 16, 64, 2, 4},
+        PropParam{Mode::PS3, 4, 16, 64, 2, 4},
+        // Tiny write buffer: drains race the posted queue hard.
+        PropParam{Mode::S, 1, 64, 2, 4, 4},
+        PropParam{Mode::PSNaive, 1, 64, 2, 4, 4},
+        PropParam{Mode::PS, 1, 64, 2, 4, 4},
+        PropParam{Mode::PS3, 1, 64, 2, 4, 4},
+        // Deep queue, conflict-heavy geometry.
+        PropParam{Mode::PS3, 4, 8, 4, 5, 16},
+        PropParam{Mode::PS, 4, 8, 4, 6, 16},
+        PropParam{Mode::PSNaive, 4, 8, 4, 7, 16},
+        PropParam{Mode::S, 2, 8, 2, 8, 16}),
     param_name);
 
 }  // namespace

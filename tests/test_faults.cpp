@@ -326,6 +326,123 @@ TEST(InterconnectFaults, DroppedAndDuplicatedMessages) {
   EXPECT_GT(net.stats(0).faults_injected, 0u);  // drops are counted
 }
 
+void expect_stats_equal(const NodeNetStats& a, const NodeNetStats& b) {
+  EXPECT_EQ(a.rdma_reads, b.rdma_reads);
+  EXPECT_EQ(a.rdma_writes, b.rdma_writes);
+  EXPECT_EQ(a.rdma_atomics, b.rdma_atomics);
+  EXPECT_EQ(a.faults_injected, b.faults_injected);
+  EXPECT_EQ(a.retries, b.retries);
+  EXPECT_EQ(a.backoff_time, b.backoff_time);
+  EXPECT_EQ(a.nic_busy, b.nic_busy);
+  EXPECT_EQ(a.posted_ops, b.posted_ops);
+  EXPECT_EQ(a.posted_inflight_hwm, b.posted_inflight_hwm);
+}
+
+// ---------------------------------------------------------------------------
+// Posted (pipelined) verbs under fault injection
+// ---------------------------------------------------------------------------
+
+TEST(PostedFaults, OnlyTheFaultedOpPaysItsRetries) {
+  // Post six reads back to back at depth 8. The fault pattern is drawn
+  // from the injector's shared stream, so an identical probe injector
+  // tells us exactly which ops fault and how often — the completion time
+  // and retry/backoff statistics must charge those retries to the faulted
+  // ops alone, and to nothing else.
+  NetConfig nc = faulty_net();
+  nc.pipeline = 8;
+  nc.retry.backoff_base = 1000;
+  nc.retry.backoff_mult = 2.0;
+  nc.retry.backoff_jitter = 0.0;
+  FaultConfig fc;
+  fc.enabled = true;
+  fc.seed = 17;
+  fc.rdma_fail_prob = 0.25;
+
+  constexpr int kOps = 6;
+  FaultInjector probe(fc, 2);
+  int fails[kOps] = {};
+  for (int i = 0; i < kOps; ++i)
+    while (probe.plan_attempt(0, 1, 0).fail) ++fails[i];
+  int total_fails = 0;
+  bool any_clean = false, any_faulted = false;
+  for (int f : fails) {
+    total_fails += f;
+    (f == 0 ? any_clean : any_faulted) = true;
+  }
+  ASSERT_TRUE(any_clean && any_faulted) << "seed no longer discriminates";
+
+  // Mirror the cost model: op i's NIC charge ends at 104*(i+1); its wire
+  // completes one rdma_latency later plus, per retry k, the backoff
+  // 1000*2^k and a full retransmission (104 + 1000) folded into the
+  // completion; in-order retirement takes the running max.
+  Time expect_done = 0;
+  Time expect_backoff = 0;
+  for (int i = 0; i < kOps; ++i) {
+    Time done = 104u * static_cast<Time>(i + 1) + 1000;
+    for (int k = 0; k < fails[i]; ++k) {
+      const Time backoff = 1000u << k;
+      done += backoff + 104 + 1000;
+      expect_backoff += backoff;
+    }
+    expect_done = std::max(expect_done, done);
+  }
+
+  auto run_once = [&] {
+    Engine eng;
+    Interconnect net(2, nc);
+    net.enable_faults(fc);
+    std::uint64_t remote[kOps], local[kOps] = {};
+    for (int i = 0; i < kOps; ++i) remote[i] = 100 + static_cast<unsigned>(i);
+    Time finished = 0;
+    eng.spawn("t", [&] {
+      for (int i = 0; i < kOps; ++i) net.post_read(0, 1, &remote[i], &local[i], 8);
+      net.wait_all(0);
+      finished = argosim::now();
+      // In-order retirement: every read landed, in program order.
+      for (int i = 0; i < kOps; ++i)
+        EXPECT_EQ(local[i], 100u + static_cast<unsigned>(i));
+    });
+    eng.run();
+    return std::make_pair(finished, net.stats(0));
+  };
+  const auto [t1, s1] = run_once();
+  EXPECT_EQ(t1, expect_done);
+  EXPECT_EQ(s1.faults_injected, static_cast<std::uint64_t>(total_fails));
+  EXPECT_EQ(s1.retries, static_cast<std::uint64_t>(total_fails));
+  EXPECT_EQ(s1.backoff_time, expect_backoff);
+  EXPECT_EQ(s1.rdma_reads, static_cast<std::uint64_t>(kOps));
+  // Same seed, same everything: pipelined chaos reruns are bit-identical.
+  const auto [t2, s2] = run_once();
+  EXPECT_EQ(t1, t2);
+  expect_stats_equal(s1, s2);
+}
+
+TEST(PostedFaults, ExhaustedRetryBudgetSurfacesAtWait) {
+  NetConfig nc = faulty_net();
+  nc.pipeline = 4;
+  nc.retry.max_attempts = 3;
+  nc.retry.backoff_jitter = 0.0;
+  FaultConfig fc;
+  fc.enabled = true;
+  fc.seed = 1;
+  fc.rdma_fail_prob = 1.0;  // every attempt fails: the op is doomed
+  Engine eng;
+  Interconnect net(2, nc);
+  net.enable_faults(fc);
+  std::uint64_t remote = 42, local = 0;
+  eng.spawn("t", [&] {
+    argonet::PostedHandle h = net.post_read(0, 1, &remote, &local, 8);
+    // The post itself returns normally — the failure is banked against the
+    // handle and thrown only when its owner collects the completion.
+    EXPECT_THROW(net.wait(h), NetworkError);
+    EXPECT_EQ(local, 0u);  // a hard-failed op never applies its effect
+    net.wait_all(0);       // failure already consumed by wait: no rethrow
+  });
+  eng.run();
+  EXPECT_EQ(net.stats(0).faults_injected, 3u);
+  EXPECT_EQ(net.stats(0).retries, 2u);
+}
+
 // ---------------------------------------------------------------------------
 // Chaos runs of the fig13 mini-apps: numerically correct, fault counters
 // alive, and bit-identical per seed
@@ -352,16 +469,6 @@ ClusterConfig chaos_cfg(std::uint64_t seed) {
 
 double rel_err(double a, double b) {
   return std::fabs(a - b) / std::max(1.0, std::fabs(b));
-}
-
-void expect_stats_equal(const NodeNetStats& a, const NodeNetStats& b) {
-  EXPECT_EQ(a.rdma_reads, b.rdma_reads);
-  EXPECT_EQ(a.rdma_writes, b.rdma_writes);
-  EXPECT_EQ(a.rdma_atomics, b.rdma_atomics);
-  EXPECT_EQ(a.faults_injected, b.faults_injected);
-  EXPECT_EQ(a.retries, b.retries);
-  EXPECT_EQ(a.backoff_time, b.backoff_time);
-  EXPECT_EQ(a.nic_busy, b.nic_busy);
 }
 
 TEST(ChaosApps, LuCorrectAndDeterministicUnderFaults) {
@@ -426,6 +533,73 @@ TEST(ChaosApps, EpCorrectAndDeterministicUnderFaults) {
     EXPECT_EQ(r1.tally.q, ref.q) << "seed " << seed;
     EXPECT_EQ(r1.elapsed, r2.elapsed) << "seed " << seed;
   }
+}
+
+TEST(ChaosApps, PipelinedAllModesCorrectDeterministicAndValidated) {
+  // Pipelining must not change what the protocol computes: every
+  // classification mode, under every chaos seed, at depth 4 — checksum
+  // exact, coherence invariants clean at every barrier, rerun
+  // bit-identical.
+  argoapps::MmParams p;
+  p.n = 96;
+  p.iterations = 2;
+  const double ref = argoapps::mm_reference(p);
+  const Mode modes[] = {Mode::S, Mode::PSNaive, Mode::PS, Mode::PS3};
+  for (const Mode mode : modes) {
+    for (const std::uint64_t seed : kChaosSeeds) {
+      auto run_once = [&] {
+        ClusterConfig cfg = chaos_cfg(seed);
+        cfg.cache.classification = mode;
+        cfg.net.pipeline = 4;
+        Cluster cl(cfg);
+        ProtocolValidator validator(cl);
+        validator.attach();
+        const auto r = argoapps::mm_run_argo(cl, p);
+        EXPECT_GT(validator.checks_run(), 0u);
+        EXPECT_TRUE(validator.violations().empty())
+            << "mode " << static_cast<int>(mode) << " seed " << seed << ": "
+            << validator.violations().front();
+        return std::make_pair(r, cl.net_stats());
+      };
+      const auto [r1, s1] = run_once();
+      const auto [r2, s2] = run_once();
+      EXPECT_LT(rel_err(r1.checksum, ref), 1e-12)
+          << "mode " << static_cast<int>(mode) << " seed " << seed;
+      EXPECT_GT(s1.faults_injected, 0u) << "seed " << seed;
+      EXPECT_EQ(r1.elapsed, r2.elapsed)
+          << "mode " << static_cast<int>(mode) << " seed " << seed;
+      EXPECT_EQ(r1.checksum, r2.checksum);
+      expect_stats_equal(s1, s2);
+    }
+  }
+}
+
+TEST(ChaosApps, PipeliningPreservesFaultFreeResultsAndCutsTime) {
+  // Depth 4 versus depth 1 on a clean (fault-free) run: identical
+  // checksum, strictly less virtual time, and the posted machinery
+  // actually engaged (posted_ops > 0, high-water mark > 1).
+  argoapps::MmParams p;
+  p.n = 96;
+  p.iterations = 2;
+  auto run_depth = [&](int depth) {
+    ClusterConfig cfg;
+    cfg.nodes = 4;
+    cfg.threads_per_node = 2;
+    cfg.global_mem_bytes = 2048 * kPageSize;
+    cfg.cache.cache_lines = 8192;
+    cfg.cache.write_buffer_pages = 1024;
+    cfg.net.pipeline = depth;
+    Cluster cl(cfg);
+    const auto r = argoapps::mm_run_argo(cl, p);
+    return std::make_pair(r, cl.net_stats());
+  };
+  const auto [r1, s1] = run_depth(1);
+  const auto [r4, s4] = run_depth(4);
+  EXPECT_EQ(r1.checksum, r4.checksum);
+  EXPECT_EQ(s1.posted_ops, 0u);
+  EXPECT_GT(s4.posted_ops, 0u);
+  EXPECT_GT(s4.posted_inflight_hwm, 1u);
+  EXPECT_LT(r4.elapsed, r1.elapsed);
 }
 
 // ---------------------------------------------------------------------------

@@ -341,6 +341,179 @@ TEST(Interconnect, RecvForTimesOutAndReturnsEarlyArrivals) {
   eng.run();
 }
 
+// --- Posted (asynchronous) verbs -------------------------------------------
+
+TEST(PostedVerbs, DepthOneIsExactlyTheBlockingVerb) {
+  Engine eng;
+  Interconnect net(2, test_cfg());  // pipeline defaults to 1
+  std::uint64_t remote = 0xabcd;
+  eng.spawn("t", [&] {
+    std::uint64_t local = 0;
+    PostedHandle h = net.post_read(0, 1, &remote, &local, sizeof(local));
+    // Degenerates to the blocking read: data landed and the full cost was
+    // charged before post_read returned.
+    EXPECT_EQ(local, 0xabcdu);
+    EXPECT_EQ(argosim::now(), 1104u);
+    net.wait(h);  // inert
+    EXPECT_EQ(argosim::now(), 1104u);
+  });
+  eng.run();
+  EXPECT_EQ(net.stats(0).rdma_reads, 1u);
+  EXPECT_EQ(net.stats(0).posted_ops, 0u);  // depth 1 posts nothing
+}
+
+TEST(PostedVerbs, WireLatencyOverlapsAcrossInFlightOps) {
+  Engine eng;
+  NetConfig cfg = test_cfg();
+  cfg.pipeline = 4;
+  Interconnect net(2, cfg);
+  std::uint64_t remote[4] = {1, 2, 3, 4};
+  std::uint64_t local[4] = {};
+  eng.spawn("t", [&] {
+    for (int i = 0; i < 4; ++i) {
+      net.post_read(0, 1, &remote[i], &local[i], 8);
+      // Each post returns after its NIC charge only (100 + 8/2 = 104).
+      EXPECT_EQ(argosim::now(), 104u * static_cast<Time>(i + 1));
+      EXPECT_EQ(local[i], 0u);  // still in flight
+    }
+    net.wait_all(0);
+    // Completions: 104*i + 1000 for op i — the last retires at 1416,
+    // versus 4*1104 = 4416 if issued blocking.
+    EXPECT_EQ(argosim::now(), 1416u);
+    for (int i = 0; i < 4; ++i)
+      EXPECT_EQ(local[i], static_cast<std::uint64_t>(i + 1));
+  });
+  eng.run();
+  EXPECT_EQ(net.stats(0).rdma_reads, 4u);
+  EXPECT_EQ(net.stats(0).posted_ops, 4u);
+  EXPECT_EQ(net.stats(0).posted_inflight_hwm, 4u);
+}
+
+TEST(PostedVerbs, FullQueueBlocksUntilHeadRetires) {
+  Engine eng;
+  NetConfig cfg = test_cfg();
+  cfg.pipeline = 2;
+  Interconnect net(2, cfg);
+  std::uint64_t remote[3] = {7, 8, 9};
+  std::uint64_t local[3] = {};
+  eng.spawn("t", [&] {
+    net.post_read(0, 1, &remote[0], &local[0], 8);  // completes 1104
+    net.post_read(0, 1, &remote[1], &local[1], 8);  // completes 1208
+    EXPECT_EQ(argosim::now(), 208u);
+    // Queue is full: the third post parks until op 0 retires at 1104,
+    // then charges its own 104 and completes at 1104 + 104 + 1000 = 2208.
+    net.post_read(0, 1, &remote[2], &local[2], 8);
+    EXPECT_EQ(argosim::now(), 1208u);
+    EXPECT_EQ(local[0], 7u);  // head applied when reclaimed
+    net.wait_all(0);
+    EXPECT_EQ(argosim::now(), 2208u);
+    EXPECT_EQ(local[2], 9u);
+  });
+  eng.run();
+  EXPECT_EQ(net.stats(0).posted_inflight_hwm, 2u);
+}
+
+TEST(PostedVerbs, WaitRetiresPredecessorsInOrder) {
+  Engine eng;
+  NetConfig cfg = test_cfg();
+  cfg.pipeline = 4;
+  Interconnect net(2, cfg);
+  std::uint64_t remote[3] = {1, 2, 3};
+  std::uint64_t local[3] = {};
+  eng.spawn("t", [&] {
+    net.post_read(0, 1, &remote[0], &local[0], 8);
+    net.post_read(0, 1, &remote[1], &local[1], 8);
+    PostedHandle h = net.post_read(0, 1, &remote[2], &local[2], 8);
+    net.wait(h);
+    // Waiting on the tail retires everything before it too (RC ordering).
+    EXPECT_EQ(argosim::now(), 1312u);  // 3*104 + 1000
+    EXPECT_EQ(local[0], 1u);
+    EXPECT_EQ(local[1], 2u);
+    EXPECT_EQ(local[2], 3u);
+    net.wait_all(0);  // empty: free
+    EXPECT_EQ(argosim::now(), 1312u);
+  });
+  eng.run();
+}
+
+TEST(PostedVerbs, AtomicsBankThePreviousValue) {
+  Engine eng;
+  NetConfig cfg = test_cfg();
+  cfg.pipeline = 4;
+  Interconnect net(2, cfg);
+  std::uint64_t word = 0b0011;
+  eng.spawn("t", [&] {
+    PostedHandle a = net.post_fetch_or(0, 1, &word, 0b0110);
+    PostedHandle b = net.post_fetch_add(0, 1, &word, 1);
+    PostedHandle c = net.post_cas(0, 1, &word, 8, 100);
+    // Values redeemable in any order; each is the pre-op word in queue
+    // (program) order because effects apply at in-order retirement.
+    EXPECT_EQ(net.wait(c), 8u);
+    EXPECT_EQ(net.wait(a), 0b0011u);
+    EXPECT_EQ(net.wait(b), 0b0111u);
+    EXPECT_EQ(word, 100u);
+  });
+  eng.run();
+  EXPECT_EQ(net.stats(0).rdma_atomics, 3u);
+}
+
+TEST(PostedVerbs, WriteSnapshotsPayloadAtPostTime) {
+  Engine eng;
+  NetConfig cfg = test_cfg();
+  cfg.pipeline = 4;
+  Interconnect net(2, cfg);
+  std::uint64_t remote = 0;
+  std::uint64_t local = 42;
+  eng.spawn("t", [&] {
+    net.post_write(0, 1, &remote, &local, 8);
+    local = 99;  // reused before the write retires
+    net.wait_all(0);
+    EXPECT_EQ(remote, 42u);  // the posted value, not the clobbered buffer
+  });
+  eng.run();
+}
+
+TEST(PostedVerbs, GatherWriteChargesOneOpWithHeaders) {
+  Engine eng;
+  NetConfig cfg = test_cfg();
+  cfg.pipeline = 4;
+  Interconnect net(2, cfg);
+  std::vector<std::byte> remote(64), a(16), b(24);
+  std::memset(a.data(), 0x11, a.size());
+  std::memset(b.data(), 0x22, b.size());
+  eng.spawn("t", [&] {
+    std::vector<GatherRun> runs{{remote.data(), a.data(), 16},
+                                {remote.data() + 32, b.data(), 24}};
+    net.post_write_gather(0, 1, runs, 8);
+    // One op: wire = (16+8) + (24+8) = 56, busy = 100 + 56/2 = 128.
+    EXPECT_EQ(argosim::now(), 128u);
+    net.wait_all(0);
+    EXPECT_EQ(argosim::now(), 1128u);
+    EXPECT_EQ(remote[0], std::byte{0x11});
+    EXPECT_EQ(remote[33], std::byte{0x22});
+  });
+  eng.run();
+  EXPECT_EQ(net.stats(0).rdma_writes, 1u);
+  EXPECT_EQ(net.stats(0).bytes_written, 56u);
+}
+
+TEST(PostedVerbs, LocalPostsApplyImmediately) {
+  Engine eng;
+  NetConfig cfg = test_cfg();
+  cfg.pipeline = 8;
+  Interconnect net(2, cfg);
+  std::uint64_t cell = 5;
+  eng.spawn("t", [&] {
+    PostedHandle h = net.post_fetch_or(0, 0, &cell, 2);
+    EXPECT_EQ(cell, 7u);  // applied synchronously, charged mem_latency
+    EXPECT_EQ(argosim::now(), 50u);
+    EXPECT_EQ(net.wait(h), 5u);
+    EXPECT_EQ(argosim::now(), 50u);  // value was banked; wait is free
+  });
+  eng.run();
+  EXPECT_EQ(net.stats(0).posted_ops, 0u);  // never entered the send queue
+}
+
 TEST(NodeNetStats, AccumulationCoversEveryField) {
   NodeNetStats a, b;
   a.rdma_reads = 1;
@@ -355,6 +528,8 @@ TEST(NodeNetStats, AccumulationCoversEveryField) {
   a.faults_injected = 10;
   a.retries = 11;
   a.backoff_time = 12;
+  a.posted_ops = 13;
+  a.posted_inflight_hwm = 14;
   b = a;
   b += a;
   EXPECT_EQ(b.rdma_reads, 2u);
@@ -369,6 +544,8 @@ TEST(NodeNetStats, AccumulationCoversEveryField) {
   EXPECT_EQ(b.faults_injected, 20u);
   EXPECT_EQ(b.retries, 22u);
   EXPECT_EQ(b.backoff_time, 24);
+  EXPECT_EQ(b.posted_ops, 26u);
+  EXPECT_EQ(b.posted_inflight_hwm, 14u);  // high-water marks merge via max
   EXPECT_EQ(b.total_ops(), 2u + 4u + 6u + 8u);
   EXPECT_EQ(b.total_bytes(), 12u + 14u + 16u);
 }
