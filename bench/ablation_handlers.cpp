@@ -11,7 +11,7 @@
 //     section pattern of §1. MSI bounces exclusive ownership through the
 //     home with 4+ message-handler dispatches per handoff; Argo pays
 //     fences plus direct RDMA.
-#include "baseline/active_dsm.hpp"
+#include "argo/baseline.hpp"
 #include "bench/report.hpp"
 
 using argobaseline::ActiveDsm;

@@ -8,12 +8,7 @@
 #include <string>
 #include <vector>
 
-#include "apps/blackscholes.hpp"
-#include "apps/cg.hpp"
-#include "apps/ep.hpp"
-#include "apps/lu.hpp"
-#include "apps/mm.hpp"
-#include "apps/nbody.hpp"
+#include "argo/apps.hpp"
 #include "bench/report.hpp"
 
 namespace benchutil {

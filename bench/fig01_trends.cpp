@@ -5,7 +5,7 @@
 // connection between the paper's motivation and our NetConfig defaults is
 // auditable.
 #include "bench/report.hpp"
-#include "net/netconfig.hpp"
+#include "argo/net.hpp"
 
 int main(int argc, char** argv) {
   using benchutil::Table;

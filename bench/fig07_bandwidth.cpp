@@ -15,7 +15,7 @@
 #include <benchmark/benchmark.h>
 
 #include "bench/report.hpp"
-#include "net/interconnect.hpp"
+#include "argo/net.hpp"
 
 namespace {
 

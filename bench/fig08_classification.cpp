@@ -31,12 +31,9 @@ int main(int argc, char** argv) {
       cfg.net.pipeline = opts.pipeline;
       argo::Cluster cl(cfg);
       ms[m] = argosim::to_ms(app.run(cl));
-      si[m] = cl.coherence_stats().si_invalidations;
-      json.row()
-          .str("fig", "fig08")
-          .str("app", app.name)
+      si[m] = cl.stats().counter("carina.si_invalidations");
+      benchutil::bench_row(json, "fig08", app.name, opts)
           .str("mode", mode_names[m])
-          .num("pipeline", opts.pipeline)
           .num("virtual_ms", ms[m])
           .num("si_invalidations", si[m]);
     }

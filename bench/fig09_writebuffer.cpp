@@ -33,27 +33,25 @@ int main(int argc, char** argv) {
       argo::Cluster cl(cfg);
       const double ms = argosim::to_ms(app.run(cl));
       row.push_back(Table::fmt("%.2f", ms));
-      const argocore::CoherenceStats cs = cl.coherence_stats();
-      const argonet::NodeNetStats ns = cl.net_stats();
-      json.row()
-          .str("fig", "fig09")
-          .str("app", app.name)
+      const argo::ClusterStats s = cl.stats();
+      const argoobs::LatencyHist sd = s.hist("carina.sd_fence_ns");
+      const argoobs::LatencyHist si = s.hist("carina.si_fence_ns");
+      bench_row(json, "fig09", app.name, opts)
           .num("wb", static_cast<std::uint64_t>(wb))
-          .num("pipeline", opts.pipeline)
           .num("virtual_ms", ms)
-          .num("sd_fences", cs.sd_fence_ns.samples)
-          .num("sd_fence_total_ms", static_cast<double>(cs.sd_fence_ns.total_ns) / 1e6)
-          .num("sd_fence_mean_ns", cs.sd_fence_ns.mean_ns())
-          .num("sd_fence_max_ns", cs.sd_fence_ns.max_ns)
-          .num("si_fence_total_ms", static_cast<double>(cs.si_fence_ns.total_ns) / 1e6)
-          .num("writebacks", cs.writebacks)
-          .num("posted_ops", ns.posted_ops)
-          .num("posted_inflight_hwm", ns.posted_inflight_hwm);
+          .num("sd_fences", sd.samples)
+          .num("sd_fence_total_ms", static_cast<double>(sd.total_ns) / 1e6)
+          .num("sd_fence_mean_ns", sd.mean_ns())
+          .num("sd_fence_max_ns", sd.max_ns)
+          .num("si_fence_total_ms", static_cast<double>(si.total_ns) / 1e6)
+          .num("writebacks", s.counter("carina.writebacks"))
+          .num("posted_ops", s.counter("net.posted_ops"))
+          .num("posted_inflight_hwm", s.counter("net.posted_inflight_hwm"));
       // Per-node fence histograms for the largest buffer — the regime
       // where the SD drain dominates and pipelining matters most.
       if (wb == sizes.back()) {
         std::printf("\n  %s @ wb=%zu:\n", app.name.c_str(), wb);
-        print_fence_histograms(cl, 4);
+        print_fence_histograms(s);
       }
     }
     t.row(std::move(row));

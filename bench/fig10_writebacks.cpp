@@ -31,22 +31,20 @@ int main(int argc, char** argv) {
       cfg.net.pipeline = opts.pipeline;
       argo::Cluster cl(cfg);
       const double ms = argosim::to_ms(app.run(cl));
-      const argocore::CoherenceStats cs = cl.coherence_stats();
+      const argo::ClusterStats s = cl.stats();
       row.push_back(Table::fmt(
-          "%llu", static_cast<unsigned long long>(cs.writebacks)));
-      json.row()
-          .str("fig", "fig10")
-          .str("app", app.name)
+          "%llu",
+          static_cast<unsigned long long>(s.counter("carina.writebacks"))));
+      bench_row(json, "fig10", app.name, opts)
           .num("wb", static_cast<std::uint64_t>(wb))
-          .num("pipeline", opts.pipeline)
           .num("virtual_ms", ms)
-          .num("writebacks", cs.writebacks)
-          .num("writeback_bytes", cs.writeback_bytes)
-          .num("diffs_built", cs.diffs_built)
-          .num("sd_fence_mean_ns", cs.sd_fence_ns.mean_ns());
+          .num("writebacks", s.counter("carina.writebacks"))
+          .num("writeback_bytes", s.counter("carina.writeback_bytes"))
+          .num("diffs_built", s.counter("carina.diffs_built"))
+          .num("sd_fence_mean_ns", s.hist("carina.sd_fence_ns").mean_ns());
       if (wb == sizes.back()) {
         std::printf("\n  %s @ wb=%zu:\n", app.name.c_str(), wb);
-        print_fence_histograms(cl, 4);
+        print_fence_histograms(s);
       }
     }
     t.row(std::move(row));

@@ -8,10 +8,9 @@
 // (futex wakeups + data migration every handoff).
 #include <memory>
 
-#include "apps/pqueue.hpp"
+#include "argo/apps.hpp"
 #include "bench/report.hpp"
-#include "sync/local_locks.hpp"
-#include "sync/qd_lock.hpp"
+#include "argo/sync.hpp"
 
 int main(int argc, char** argv) {
   using namespace benchutil;

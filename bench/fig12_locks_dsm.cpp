@@ -6,7 +6,7 @@
 // two (remote lock handovers + the batch SI/SD fences appear), then stays
 // roughly flat as nodes are added, and dominates the Cohort lock, which
 // pays an SI and SD fence for every single critical section.
-#include "apps/pqueue.hpp"
+#include "argo/apps.hpp"
 #include "bench/report.hpp"
 
 int main(int argc, char** argv) {
@@ -42,11 +42,8 @@ int main(int argc, char** argv) {
       argo::Cluster cl(cfg);
       const auto r = pq_bench_dsm(cl, kind, p);
       row.push_back(Table::fmt("%.2f", r.ops_per_us()));
-      json.row()
-          .str("fig", "fig12")
-          .str("lock", name)
+      benchutil::bench_row(json, "fig12", "lock", name, opts)
           .num("nodes", nodes)
-          .num("pipeline", opts.pipeline)
           .num("ops_per_us", r.ops_per_us());
     }
     table.row(std::move(row));

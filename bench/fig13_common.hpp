@@ -97,11 +97,8 @@ inline void scaling_rows(JsonReport& json, const char* fig, const char* series,
                          const std::vector<double>& times_ms, double seq_ms,
                          const BenchOpts& opts) {
   for (std::size_t i = 0; i < xs.size() && i < times_ms.size(); ++i)
-    json.row()
-        .str("fig", fig)
-        .str("series", series)
+    bench_row(json, fig, "series", series, opts)
         .num("x", xs[i])
-        .num("pipeline", opts.pipeline)
         .num("virtual_ms", times_ms[i])
         .num("speedup", seq_ms / times_ms[i]);
 }

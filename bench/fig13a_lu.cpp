@@ -4,7 +4,7 @@
 // Expected shape (paper): heavy block migration gives Argo significant
 // overhead, but multiple nodes still beat the single machine, gaining up
 // to ~8 nodes before flattening.
-#include "apps/lu.hpp"
+#include "argo/apps.hpp"
 #include "bench/fig13_common.hpp"
 
 int main(int argc, char** argv) {

@@ -4,7 +4,7 @@
 // Expected shape (paper): barrier cost over the network is barely
 // noticeable for large inputs; Argo scales past the single machine and
 // tracks/exceeds MPI.
-#include "apps/nbody.hpp"
+#include "argo/apps.hpp"
 #include "bench/fig13_common.hpp"
 
 int main(int argc, char** argv) {

@@ -4,7 +4,7 @@
 //
 // Expected shape (paper): near-linear Argo scaling far past the single
 // machine; the MPI port stops scaling earlier (gather/bcast overheads).
-#include "apps/blackscholes.hpp"
+#include "argo/apps.hpp"
 #include "bench/fig13_common.hpp"
 
 int main(int argc, char** argv) {

@@ -5,7 +5,7 @@
 // advantage) but the small input stops scaling immediately, while Argo
 // keeps gaining to ~8 nodes; for the large input both scale, with the
 // single-node gap carried along.
-#include "apps/mm.hpp"
+#include "argo/apps.hpp"
 #include "bench/fig13_common.hpp"
 
 int main(int argc, char** argv) {

@@ -3,7 +3,7 @@
 //
 // Expected shape (paper): embarrassingly parallel — everything scales;
 // Argo matches the PGAS implementation without PGAS programming effort.
-#include "apps/ep.hpp"
+#include "argo/apps.hpp"
 #include "bench/fig13_common.hpp"
 
 int main(int argc, char** argv) {

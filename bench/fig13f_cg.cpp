@@ -5,7 +5,7 @@
 // no caching overhead) but stops scaling around 8 nodes — its fine-grained
 // remote reductions serialize — while Argo, whose nodes *cache* the shared
 // direction vector and the reduction partials, continues to 32.
-#include "apps/cg.hpp"
+#include "argo/apps.hpp"
 #include "bench/fig13_common.hpp"
 
 int main(int argc, char** argv) {

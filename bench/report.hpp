@@ -10,7 +10,8 @@
 #include <string>
 #include <vector>
 
-#include "core/cluster.hpp"
+#include "argo/argo.hpp"
+#include "argo/stats.hpp"
 
 namespace benchutil {
 
@@ -178,31 +179,50 @@ class JsonReport {
   std::vector<Row> rows_;
 };
 
+/// One JSON row per (fig, label, measurement) with the shared prefix every
+/// cluster bench emits — figure id, a label column (usually "app"; lock
+/// benches use "lock", scaling curves use "series"), and the pipeline
+/// depth — so per-bench emission code adds only its own columns.
+inline JsonReport::Row& bench_row(JsonReport& json, const char* fig,
+                                  const char* label_key,
+                                  const std::string& label,
+                                  const BenchOpts& opts) {
+  return json.row().str("fig", fig).str(label_key, label).num("pipeline",
+                                                              opts.pipeline);
+}
+
+inline JsonReport::Row& bench_row(JsonReport& json, const char* fig,
+                                  const std::string& app,
+                                  const BenchOpts& opts) {
+  return bench_row(json, fig, "app", app, opts);
+}
+
 /// Per-node fence-duration histograms and posted-queue high-water marks
-/// (Figure 9/10 diagnostics). Log2-bucketed; only non-empty buckets print.
-inline void print_fence_histograms(argo::Cluster& cl, int nodes) {
+/// (Figure 9/10 diagnostics), read from a Cluster::stats() snapshot.
+/// Log2-bucketed; only non-empty buckets print.
+inline void print_fence_histograms(const argo::ClusterStats& s) {
   std::printf("\n  per-node fence durations (virtual us) and posted-queue depth:\n");
   Table t({"node", "sd_fences", "sd_mean", "sd_max", "si_fences", "si_mean",
            "si_max", "inflight_hwm"});
-  for (int n = 0; n < nodes; ++n) {
-    const argocore::CoherenceStats& cs = cl.node_cache(n).stats();
-    t.row({Table::fmt("%d", n), Table::fmt("%llu", (unsigned long long)cs.sd_fence_ns.samples),
+  for (std::size_t n = 0; n < s.per_node.size(); ++n) {
+    const argo::CoherenceStats& cs = s.per_node[n];
+    t.row({Table::fmt("%zu", n), Table::fmt("%llu", (unsigned long long)cs.sd_fence_ns.samples),
            Table::fmt("%.1f", cs.sd_fence_ns.mean_ns() / 1e3),
            Table::fmt("%.1f", static_cast<double>(cs.sd_fence_ns.max_ns) / 1e3),
            Table::fmt("%llu", (unsigned long long)cs.si_fence_ns.samples),
            Table::fmt("%.1f", cs.si_fence_ns.mean_ns() / 1e3),
            Table::fmt("%.1f", static_cast<double>(cs.si_fence_ns.max_ns) / 1e3),
-           Table::fmt("%llu", (unsigned long long)cl.net().stats(n).posted_inflight_hwm)});
+           Table::fmt("%llu", (unsigned long long)s.net_per_node[n].posted_inflight_hwm)});
   }
   t.print();
-  for (int n = 0; n < nodes; ++n) {
-    const argocore::LatencyHist& h = cl.node_cache(n).stats().sd_fence_ns;
+  for (std::size_t n = 0; n < s.per_node.size(); ++n) {
+    const argoobs::LatencyHist& h = s.per_node[n].sd_fence_ns;
     if (h.samples == 0) continue;
     std::string buckets;
-    for (int b = 0; b < argocore::LatencyHist::kBuckets; ++b)
+    for (int b = 0; b < argoobs::LatencyHist::kBuckets; ++b)
       if (h.bucket[b] != 0)
         buckets += Table::fmt(" [<2^%d:%llu]", b, (unsigned long long)h.bucket[b]);
-    std::printf("  node %d sd-fence ns histogram:%s\n", n, buckets.c_str());
+    std::printf("  node %zu sd-fence ns histogram:%s\n", n, buckets.c_str());
   }
 }
 

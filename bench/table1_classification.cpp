@@ -5,7 +5,7 @@
 // it can never drift from the implementation; the naive P/S variant
 // evaluated in §5.1 is shown as a fourth column.
 #include "bench/report.hpp"
-#include "core/policy.hpp"
+#include "argo/argo.hpp"
 
 using argocore::DirWord;
 using argocore::Mode;

@@ -9,9 +9,9 @@
 #include <cstdio>
 #include <cstring>
 
-#include "apps/pqueue.hpp"
-#include "sim/random.hpp"
-#include "sync/dsm_locks.hpp"
+#include "argo/apps.hpp"
+#include "argo/sim.hpp"
+#include "argo/sync.hpp"
 
 int main(int argc, char** argv) {
   const bool use_cohort = argc > 1 && std::strcmp(argv[1], "--cohort") == 0;
@@ -76,10 +76,10 @@ int main(int argc, char** argv) {
                 static_cast<double>(st.executed) /
                     static_cast<double>(st.batches));
   }
-  const auto coh = cluster.coherence_stats();
+  const argo::ClusterStats cs = cluster.stats();
   std::printf("SI fences       : %llu, SD fences: %llu\n",
-              static_cast<unsigned long long>(coh.si_fences),
-              static_cast<unsigned long long>(coh.sd_fences));
+              static_cast<unsigned long long>(cs.coherence.si_fences),
+              static_cast<unsigned long long>(cs.coherence.sd_fences));
   std::printf("hint: run with --cohort to compare conventional lock semantics\n");
   return executed.size() == static_cast<std::size_t>(total) ? 0 : 1;
 }

@@ -6,8 +6,8 @@
 // indirection anywhere.
 #include <cstdio>
 
-#include "core/cluster.hpp"
-#include "sync/dsm_locks.hpp"
+#include "argo/argo.hpp"
+#include "argo/sync.hpp"
 
 int main() {
   argo::ClusterConfig cfg;
@@ -72,15 +72,15 @@ int main() {
       if (got == expect) ++ok;
     }
   }
-  const auto st = cluster.coherence_stats();
+  const argo::ClusterStats s = cluster.stats();
   std::printf("rounds verified : %d/%d consumer observations correct\n", ok,
               total);
   std::printf("virtual time    : %.3f ms\n", argosim::to_ms(elapsed));
   std::printf("producer node SI invalidations: %llu (single-writer pages survive)\n",
               static_cast<unsigned long long>(
-                  cluster.node_cache(0).stats().si_invalidations));
+                  s.per_node[0].si_invalidations));
   std::printf("total writebacks: %llu, diffs: %llu\n",
-              static_cast<unsigned long long>(st.writebacks),
-              static_cast<unsigned long long>(st.diffs_built));
+              static_cast<unsigned long long>(s.coherence.writebacks),
+              static_cast<unsigned long long>(s.coherence.diffs_built));
   return ok == total ? 0 : 1;
 }

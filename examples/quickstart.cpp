@@ -9,16 +9,24 @@
 // distributed execution (network, coherence, fences), not host time.
 #include <cstdio>
 
-#include "core/cluster.hpp"
+#include "argo/argo.hpp"
+#include "argo/trace.hpp"
 
 int main() {
   // 1. Configure a cluster: 4 nodes x 4 threads, default Carina coherence
-  //    (P/S3 classification), blocked home distribution.
+  //    (P/S3 classification), blocked home distribution. Protocol tracing
+  //    is off by default; enabling it never changes virtual times.
   argo::ClusterConfig cfg;
   cfg.nodes = 4;
   cfg.threads_per_node = 4;
   cfg.global_mem_bytes = 8u << 20;
+  cfg.trace.enabled = true;
   argo::Cluster cluster(cfg);
+  // Export every protocol event (fences, fills, writebacks, transitions)
+  // as Chrome trace_event JSON — open in chrome://tracing or Perfetto —
+  // and as the compact binary format for scripts/trace_query.
+  cluster.trace_sink(argoobs::make_chrome_trace_sink("quickstart_trace.json"));
+  cluster.trace_sink(argoobs::make_binary_trace_sink("quickstart_trace.bin"));
 
   // 2. Allocate a global array. Pages are homed across the nodes.
   constexpr std::size_t kN = 1 << 16;
@@ -59,22 +67,27 @@ int main() {
     }
   });
 
-  // 5. Inspect results and protocol statistics on the host.
-  const auto coh = cluster.coherence_stats();
-  const auto net = cluster.net_stats();
+  // 5. Inspect results and protocol statistics on the host, through the
+  //    aggregated immutable snapshot.
+  const argo::ClusterStats s = cluster.stats();
   std::printf("sum(2/i)        : %.6f (expect 2*H(%zu) = %.6f)\n",
               *cluster.host_ptr(result), kN, 2 * 11.667578);  // H(65536)
   std::printf("virtual time    : %.3f ms\n", argosim::to_ms(elapsed));
   std::printf("read misses     : %llu (line fetches: %llu)\n",
-              static_cast<unsigned long long>(coh.read_misses),
-              static_cast<unsigned long long>(coh.line_fetches));
+              static_cast<unsigned long long>(s.coherence.read_misses),
+              static_cast<unsigned long long>(s.coherence.line_fetches));
   std::printf("writebacks      : %llu (diffs: %llu)\n",
-              static_cast<unsigned long long>(coh.writebacks),
-              static_cast<unsigned long long>(coh.diffs_built));
+              static_cast<unsigned long long>(s.coherence.writebacks),
+              static_cast<unsigned long long>(s.coherence.diffs_built));
   std::printf("RDMA ops        : %llu reads, %llu writes, %llu atomics\n",
-              static_cast<unsigned long long>(net.rdma_reads),
-              static_cast<unsigned long long>(net.rdma_writes),
-              static_cast<unsigned long long>(net.rdma_atomics));
+              static_cast<unsigned long long>(s.net.rdma_reads),
+              static_cast<unsigned long long>(s.net.rdma_writes),
+              static_cast<unsigned long long>(s.net.rdma_atomics));
+  std::printf("trace events    : %llu recorded\n",
+              static_cast<unsigned long long>(s.counter("trace.emitted")));
   std::printf("handlers run    : 0 (the protocol is passive)\n");
+  cluster.flush_trace();  // write quickstart_trace.{json,bin}
+  std::printf("trace written   : quickstart_trace.json (Chrome), "
+              "quickstart_trace.bin (scripts/trace_query)\n");
   return 0;
 }

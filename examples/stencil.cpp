@@ -6,7 +6,7 @@
 #include <cmath>
 #include <cstdio>
 
-#include "core/cluster.hpp"
+#include "argo/argo.hpp"
 #include <cstring>
 #include <array>
 
@@ -69,16 +69,15 @@ int main() {
   double total_residual = 0;
   for (int g = 0; g < cluster.nthreads(); ++g)
     total_residual += cluster.host_ptr(residual)[g];
-  const auto st = cluster.coherence_stats();
-  const auto net = cluster.net_stats();
+  const argo::ClusterStats s = cluster.stats();
   std::printf("grid            : %zux%zu, %d iterations\n", kN, kN, kIters);
   std::printf("final residual  : %.4f (diffusion progressing)\n", total_residual);
   std::printf("virtual time    : %.3f ms\n", argosim::to_ms(elapsed));
   std::printf("bytes fetched   : %.2f MB over %llu line fetches\n",
-              static_cast<double>(st.bytes_fetched) / (1 << 20),
-              static_cast<unsigned long long>(st.line_fetches));
+              static_cast<double>(s.coherence.bytes_fetched) / (1 << 20),
+              static_cast<unsigned long long>(s.coherence.line_fetches));
   std::printf("network         : %llu RDMA reads / %llu writes, zero handlers\n",
-              static_cast<unsigned long long>(net.rdma_reads),
-              static_cast<unsigned long long>(net.rdma_writes));
+              static_cast<unsigned long long>(s.net.rdma_reads),
+              static_cast<unsigned long long>(s.net.rdma_writes));
   return 0;
 }

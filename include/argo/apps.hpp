@@ -1,0 +1,11 @@
+// Workload surface: the paper's application kernels (Fig. 13 suite plus
+// the priority-queue lock benchmark).
+#pragma once
+
+#include "apps/blackscholes.hpp"
+#include "apps/cg.hpp"
+#include "apps/ep.hpp"
+#include "apps/lu.hpp"
+#include "apps/mm.hpp"
+#include "apps/nbody.hpp"
+#include "apps/pqueue.hpp"

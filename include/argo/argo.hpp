@@ -1,0 +1,21 @@
+// Argo public API umbrella: the cluster, its configuration, the thread
+// execution context, and the page-classification policy types.
+//
+// This is the only header an Argo application needs:
+//
+//   #include "argo/argo.hpp"
+//   argo::ClusterConfig cfg;
+//   argo::Cluster cluster(cfg);
+//   auto data = cluster.alloc<double>(1 << 20);
+//   cluster.run([&](argo::Thread& self) { ... });
+//   argo::ClusterStats s = cluster.stats();
+//
+// Reporting goes through Cluster::stats() (argo/stats.hpp) and tracing
+// through Cluster::trace_sink() (argo/trace.hpp). The src/ layout behind
+// these headers is internal and may change; examples, benches and
+// downstream code include only argo/*.hpp (enforced by scripts/check.sh).
+#pragma once
+
+#include "core/cluster.hpp"
+#include "core/config.hpp"
+#include "core/policy.hpp"

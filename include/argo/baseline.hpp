@@ -1,0 +1,7 @@
+// Baseline-system surface: the traditional active DSM, the MPI library
+// model, and the PGAS runtime the paper compares against.
+#pragma once
+
+#include "baseline/active_dsm.hpp"
+#include "baseline/mpi.hpp"
+#include "baseline/pgas.hpp"

@@ -1,0 +1,7 @@
+// Interconnect surface: NetConfig (latencies, pipeline depth, retry
+// policy), the simulated Interconnect itself, and fault injection.
+#pragma once
+
+#include "net/faults.hpp"
+#include "net/interconnect.hpp"
+#include "net/netconfig.hpp"

@@ -1,0 +1,8 @@
+// Statistics surface: argo::ClusterStats (the immutable aggregated
+// snapshot returned by Cluster::stats()), the underlying per-subsystem
+// stat structs, and the LatencyHist/MetricsRegistry primitives.
+#pragma once
+
+#include "core/cluster.hpp"
+#include "core/stats.hpp"
+#include "obs/metrics.hpp"

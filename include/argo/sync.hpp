@@ -1,0 +1,7 @@
+// Synchronization surface: the DSM locks built on Argo (global MCS, HQD
+// delegation, cohort, mutex, flag) and the node-local lock family.
+#pragma once
+
+#include "sync/dsm_locks.hpp"
+#include "sync/local_locks.hpp"
+#include "sync/qd_lock.hpp"

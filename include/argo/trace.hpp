@@ -1,0 +1,16 @@
+// Tracing surface: protocol event types (argoobs::Ev / TraceEvent), the
+// TraceConfig toggle (ClusterConfig::trace), and the exporters installed
+// via Cluster::trace_sink():
+//
+//   cfg.trace.enabled = true;
+//   argo::Cluster cluster(cfg);
+//   cluster.trace_sink(argoobs::make_chrome_trace_sink("trace.json"));
+//   cluster.run(...);
+//   cluster.flush_trace();   // also flushed by the destructor
+//
+// Binary traces (make_binary_trace_sink) are queried offline with
+// scripts/trace_query; the schema is documented in docs/TRACING.md.
+#pragma once
+
+#include "obs/export.hpp"
+#include "obs/trace.hpp"

@@ -8,6 +8,17 @@ cd "$(dirname "$0")/.."
 
 JOBS="${JOBS:-$(nproc)}"
 
+echo "=== public-API include gate ==="
+# examples/ and bench/ must consume only the public argo/*.hpp umbrella
+# headers — any direct #include of an internal src/ subtree is a layering
+# break.
+if grep -rnE '#include "(core|dir|mem|net|sim|sync|apps|baseline|obs)/' \
+     examples bench; then
+  echo "FAIL: examples/ and bench/ may only include argo/*.hpp" >&2
+  exit 1
+fi
+echo "  OK: examples/ and bench/ include only argo/*.hpp"
+
 echo "=== default build ==="
 cmake -B build -S .
 cmake --build build -j "$JOBS"
@@ -17,6 +28,19 @@ echo "=== sanitizer build (ASan + UBSan) ==="
 cmake -B build-sanitize -S . -DARGO_SANITIZE=ON
 cmake --build build-sanitize -j "$JOBS"
 ctest --test-dir build-sanitize --output-on-failure -j "$JOBS"
+
+echo "=== examples smoke (each must exit 0) ==="
+# Run in a scratch dir: quickstart drops trace files next to the cwd.
+EX_DIR="$(mktemp -d)"
+trap 'rm -rf "$EX_DIR"' EXIT
+for ex in quickstart producer_consumer stencil pqueue_server; do
+  echo "--- examples/$ex"
+  (cd "$EX_DIR" && "$OLDPWD/build/examples/$ex" > "$ex.out") \
+    || { echo "FAIL: examples/$ex"; cat "$EX_DIR/$ex.out"; exit 1; }
+done
+echo "--- trace_query over quickstart's binary trace"
+scripts/trace_query summary "$EX_DIR/quickstart_trace.bin"
+scripts/trace_query json "$EX_DIR/quickstart_trace.bin" > /dev/null
 
 echo "=== perf smoke: pipelined SD-fence drains ==="
 # Reduced fig09 sweep at posted-queue depths 1/4/16; the pipelined drain

@@ -31,6 +31,18 @@ const char* to_string(PageState s) {
   return "?";
 }
 
+// The trace format records PageState as a raw byte (argoobs has no view of
+// this enum); pin the encoding the exporters and trace_query document.
+static_assert(static_cast<int>(PageState::Private) == 0);
+static_assert(static_cast<int>(PageState::SharedNW) == 1);
+static_assert(static_cast<int>(PageState::SharedSW) == 2);
+static_assert(static_cast<int>(PageState::SharedMW) == 3);
+
+std::uint8_t NodeCache::traced_state(std::uint64_t page) {
+  return static_cast<std::uint8_t>(
+      classify(DirWord{dir_.cache_get(node_, dir_page(page))}, node_));
+}
+
 NodeCache::NodeCache(int node, GlobalMemory& gmem, argonet::Interconnect& net,
                      PyxisDirectory& dir, CacheConfig cfg)
     : node_(node), gmem_(gmem), net_(net), dir_(dir), cfg_(cfg) {
@@ -333,6 +345,8 @@ bool NodeCache::apply_registration(std::uint64_t page, std::uint64_t dp,
       __builtin_popcount(prev_accessors) == 1) {
     const int owner = __builtin_ctz(prev_accessors);
     ++stats_.transitions_caused;
+    trace(argoobs::Ev::ClassTransition, dp,
+          static_cast<std::uint8_t>(classify(updated, node_)), updated.raw);
     notify(owner);
     notified |= std::uint32_t{1} << owner;
   }
@@ -357,7 +371,12 @@ bool NodeCache::apply_registration(std::uint64_t page, std::uint64_t dp,
         // NW→SW: every other node caching the page must learn there is now
         // a writer (they can no longer treat it as read-only).
         std::uint32_t readers = prev.readers() & ~me & ~notified;
-        if (readers != 0) ++stats_.transitions_caused;
+        if (readers != 0) {
+          ++stats_.transitions_caused;
+          trace(argoobs::Ev::ClassTransition, dp,
+                static_cast<std::uint8_t>(classify(updated, node_)),
+                updated.raw);
+        }
         while (readers != 0) {
           const int r = __builtin_ctz(readers);
           readers &= readers - 1;
@@ -371,6 +390,9 @@ bool NodeCache::apply_registration(std::uint64_t page, std::uint64_t dp,
         const int w = prev.single_writer();
         if (w != node_ && ((notified >> w) & 1) == 0) {
           ++stats_.transitions_caused;
+          trace(argoobs::Ev::ClassTransition, dp,
+                static_cast<std::uint8_t>(classify(updated, node_)),
+                updated.raw);
           notify(w);
         }
         break;
@@ -433,6 +455,7 @@ void NodeCache::fetch_line_locked(Line& l, std::uint64_t group) {
     const std::size_t bytes = (end - p) * kPageSize;
     stats_.pages_fetched += end - p;
     stats_.bytes_fetched += bytes;
+    if (tracer_) trace(argoobs::Ev::LineFill, p, traced_state(p), bytes);
     if (pipelined()) {
       net_.post_read(node_, home, gmem_.home_ptr(p * kPageSize),
                      page_data(l, p), bytes);
@@ -469,6 +492,7 @@ void NodeCache::evict_line_locked(Line& l) {
     PageSlot& s = l.pages[i];
     if (!s.valid) continue;
     const std::uint64_t page = l.group * cfg_.pages_per_line + i;
+    const bool was_dirty = s.dirty;
     if (s.dirty) {
       writeback_locked(l, page);
       // Keep the naive-P/S checkpoint in sync with what we just flushed so
@@ -478,6 +502,9 @@ void NodeCache::evict_line_locked(Line& l) {
     s.valid = false;
     s.twin.reset();
     ++stats_.evictions;
+    if (tracer_)
+      trace(argoobs::Ev::Eviction, page, traced_state(page),
+            was_dirty ? 1 : 0);
   }
   l.group = kNoGroup;
 }
@@ -590,6 +617,7 @@ void NodeCache::writeback_locked(Line& l, std::uint64_t page) {
   release_wb_slot(s);
   ++stats_.writebacks;
   stats_.writeback_bytes += wire;
+  if (tracer_) trace(argoobs::Ev::Writeback, page, traced_state(page), wire);
 }
 
 void NodeCache::writeback(std::uint64_t page) {
@@ -663,6 +691,8 @@ bool NodeCache::drain_oldest() {
 void NodeCache::si_fence() {
   ++stats_.si_fences;
   const argosim::Time fence_start = argosim::now();
+  const std::uint64_t inval_before = stats_.si_invalidations;
+  trace(argoobs::Ev::SiFenceBegin, 0, argoobs::kUnknownState, 0);
   const std::vector<std::size_t> occ(occupied_.begin(), occupied_.end());
   for (const std::size_t idx : occ) {
     Line& l = lines_[idx];
@@ -689,6 +719,8 @@ void NodeCache::si_fence() {
   // Retire any writebacks this sweep posted (free at pipeline depth 1:
   // the send queue is always empty there).
   net_.wait_all(node_);
+  trace(argoobs::Ev::SiFenceEnd, 0, argoobs::kUnknownState,
+        stats_.si_invalidations - inval_before);
   stats_.si_fence_ns.add(argosim::now() - fence_start);
 }
 
@@ -696,6 +728,8 @@ void NodeCache::sd_fence() {
   ++stats_.sd_fences;
   if (cfg_.debug_skip_sd_fence) return;  // chaos knob: leave pages dirty
   const argosim::Time fence_start = argosim::now();
+  const std::uint64_t wb_before = stats_.writebacks;
+  trace(argoobs::Ev::SdFenceBegin, 0, argoobs::kUnknownState, wb_live_);
   const bool naive = cfg_.classification == Mode::PSNaive;
   // Drain in place: entries must stay visible to concurrent capacity
   // drains (hiding them in a local queue can starve a writer spinning for
@@ -747,6 +781,8 @@ void NodeCache::sd_fence() {
   // back to back while earlier pages were on the wire; the fence ends when
   // the last one lands. Free at pipeline depth 1.
   net_.wait_all(node_);
+  trace(argoobs::Ev::SdFenceEnd, 0, argoobs::kUnknownState,
+        stats_.writebacks - wb_before);
   stats_.sd_fence_ns.add(argosim::now() - fence_start);
 }
 

@@ -30,6 +30,7 @@
 #include "dir/pyxis.hpp"
 #include "mem/global_memory.hpp"
 #include "net/interconnect.hpp"
+#include "obs/trace.hpp"
 #include "sim/sync.hpp"
 
 namespace argocore {
@@ -77,6 +78,10 @@ class NodeCache {
 
   const CoherenceStats& stats() const { return stats_; }
   void reset_stats() { stats_ = CoherenceStats{}; }
+
+  /// Attach a protocol tracer (not owned; may be null). Emits fence,
+  /// fill, writeback, transition and eviction events for this node.
+  void set_tracer(argoobs::Tracer* tracer) { tracer_ = tracer; }
 
   /// Pages currently valid in the cache (for tests/diagnostics).
   std::size_t resident_pages() const;
@@ -195,6 +200,15 @@ class NodeCache {
 
   bool pipelined() const { return net_.config().pipeline > 1; }
 
+  /// Trace helpers: recording is free of virtual time, so these may be
+  /// called anywhere on the protocol paths without perturbing timings.
+  void trace(argoobs::Ev kind, std::uint64_t page, std::uint8_t state,
+             std::uint64_t arg) {
+    if (tracer_) tracer_->emit(node_, kind, page, state, arg);
+  }
+  /// This node's current classification of `page`, as a trace state byte.
+  std::uint8_t traced_state(std::uint64_t page);
+
   /// Naive P/S: refresh the page's checkpoint from its current contents
   /// (charged local copy). Latch held by caller.
   void refresh_checkpoint(Line& l, std::uint64_t page);
@@ -226,6 +240,7 @@ class NodeCache {
   // owner's last synchronization point).
   std::unordered_map<std::uint64_t, std::unique_ptr<std::byte[]>> checkpoints_;
   const std::vector<NodeCache*>* peers_ = nullptr;
+  argoobs::Tracer* tracer_ = nullptr;
   CoherenceStats stats_;
 };
 

@@ -19,6 +19,85 @@ Cluster::Cluster(ClusterConfig cfg)
   for (auto& c : caches_) peer_view_.push_back(c.get());
   for (auto& c : caches_) c->set_peers(&peer_view_);
   net_.enable_faults(cfg_.faults);
+  tracer_.configure(cfg_.nodes, cfg_.trace);
+  net_.set_tracer(&tracer_);
+  dir_.set_tracer(&tracer_);
+  for (auto& c : caches_) c->set_tracer(&tracer_);
+  register_metrics();
+}
+
+Cluster::~Cluster() {
+  if (!sinks_.empty()) flush_trace();
+}
+
+void Cluster::register_metrics() {
+  // Every CoherenceStats/NodeNetStats field, registered once under its
+  // stable dotted name. The closures read the live per-node storage, so a
+  // registry sample is always current.
+  auto co = [this](std::uint64_t argocore::CoherenceStats::* field) {
+    return [this, field]() {
+      std::uint64_t total = 0;
+      for (const auto& c : caches_) total += c->stats().*field;
+      return total;
+    };
+  };
+  using CS = argocore::CoherenceStats;
+  metrics_.add_counter("carina.read_hits", co(&CS::read_hits));
+  metrics_.add_counter("carina.read_misses", co(&CS::read_misses));
+  metrics_.add_counter("carina.write_hits", co(&CS::write_hits));
+  metrics_.add_counter("carina.write_misses", co(&CS::write_misses));
+  metrics_.add_counter("carina.home_accesses", co(&CS::home_accesses));
+  metrics_.add_counter("carina.line_fetches", co(&CS::line_fetches));
+  metrics_.add_counter("carina.pages_fetched", co(&CS::pages_fetched));
+  metrics_.add_counter("carina.bytes_fetched", co(&CS::bytes_fetched));
+  metrics_.add_counter("carina.writebacks", co(&CS::writebacks));
+  metrics_.add_counter("carina.writeback_bytes", co(&CS::writeback_bytes));
+  metrics_.add_counter("carina.diffs_built", co(&CS::diffs_built));
+  metrics_.add_counter("carina.full_page_writebacks",
+                       co(&CS::full_page_writebacks));
+  metrics_.add_counter("carina.si_fences", co(&CS::si_fences));
+  metrics_.add_counter("carina.sd_fences", co(&CS::sd_fences));
+  metrics_.add_counter("carina.si_invalidations", co(&CS::si_invalidations));
+  metrics_.add_counter("carina.evictions", co(&CS::evictions));
+  metrics_.add_counter("carina.dir_ops", co(&CS::dir_ops));
+  metrics_.add_counter("carina.transitions_caused",
+                       co(&CS::transitions_caused));
+  metrics_.add_counter("carina.checkpoints", co(&CS::checkpoints));
+  metrics_.add_counter("carina.checkpoint_bytes", co(&CS::checkpoint_bytes));
+  metrics_.add_counter("carina.heals", co(&CS::heals));
+  metrics_.add_hist("carina.sd_fence_ns", [this] {
+    argoobs::LatencyHist h;
+    for (const auto& c : caches_) h += c->stats().sd_fence_ns;
+    return h;
+  });
+  metrics_.add_hist("carina.si_fence_ns", [this] {
+    argoobs::LatencyHist h;
+    for (const auto& c : caches_) h += c->stats().si_fence_ns;
+    return h;
+  });
+
+  auto nt = [this](std::uint64_t argonet::NodeNetStats::* field) {
+    return [this, field] { return net_.total_stats().*field; };
+  };
+  using NS = argonet::NodeNetStats;
+  metrics_.add_counter("net.rdma_reads", nt(&NS::rdma_reads));
+  metrics_.add_counter("net.rdma_writes", nt(&NS::rdma_writes));
+  metrics_.add_counter("net.rdma_atomics", nt(&NS::rdma_atomics));
+  metrics_.add_counter("net.msgs_sent", nt(&NS::msgs_sent));
+  metrics_.add_counter("net.msgs_received", nt(&NS::msgs_received));
+  metrics_.add_counter("net.bytes_read", nt(&NS::bytes_read));
+  metrics_.add_counter("net.bytes_written", nt(&NS::bytes_written));
+  metrics_.add_counter("net.bytes_sent", nt(&NS::bytes_sent));
+  metrics_.add_counter("net.nic_busy_ns", nt(&NS::nic_busy));
+  metrics_.add_counter("net.faults_injected", nt(&NS::faults_injected));
+  metrics_.add_counter("net.retries", nt(&NS::retries));
+  metrics_.add_counter("net.backoff_ns", nt(&NS::backoff_time));
+  metrics_.add_counter("net.posted_ops", nt(&NS::posted_ops));
+  metrics_.add_counter("net.posted_inflight_hwm",
+                       nt(&NS::posted_inflight_hwm));
+
+  metrics_.add_counter("trace.emitted", [this] { return tracer_.emitted(); });
+  metrics_.add_counter("trace.dropped", [this] { return tracer_.dropped(); });
 }
 
 void Cluster::reset_classification() {
@@ -72,6 +151,47 @@ CoherenceStats Cluster::coherence_stats() const {
   CoherenceStats total;
   for (const auto& c : caches_) total += c->stats();
   return total;
+}
+
+ClusterStats Cluster::stats() const {
+  ClusterStats s;
+  s.at = eng_.now();
+  s.per_node.reserve(caches_.size());
+  s.net_per_node.reserve(caches_.size());
+  for (const auto& c : caches_) {
+    s.per_node.push_back(c->stats());
+    s.coherence += c->stats();
+  }
+  for (int n = 0; n < cfg_.nodes; ++n) s.net_per_node.push_back(net_.stats(n));
+  s.net = net_.total_stats();
+  s.counters = metrics_.sample_counters();
+  s.hists = metrics_.sample_hists();
+  return s;
+}
+
+std::uint64_t ClusterStats::counter(const std::string& name) const {
+  for (const auto& c : counters)
+    if (c.name == name) return c.value;
+  return 0;
+}
+
+argoobs::LatencyHist ClusterStats::hist(const std::string& name) const {
+  for (const auto& h : hists)
+    if (h.name == name) return h.hist;
+  return argoobs::LatencyHist{};
+}
+
+Cluster& Cluster::trace_sink(std::unique_ptr<argoobs::TraceSink> sink) {
+  assert(sink);
+  sinks_.push_back(std::move(sink));
+  return *this;
+}
+
+void Cluster::flush_trace() {
+  if (sinks_.empty()) return;
+  const std::vector<argoobs::TraceEvent> events = tracer_.snapshot();
+  const std::uint64_t dropped = tracer_.dropped();
+  for (auto& s : sinks_) s->flush(events, dropped);
 }
 
 void Cluster::reset_stats() {

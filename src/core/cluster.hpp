@@ -32,6 +32,9 @@
 #include "mem/gaddr.hpp"
 #include "mem/global_memory.hpp"
 #include "net/interconnect.hpp"
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sim/engine.hpp"
 #include "sim/sync.hpp"
 
@@ -48,6 +51,30 @@ using argomem::kPageSize;
 using argosim::Time;
 
 class Cluster;
+
+/// Immutable aggregated statistics snapshot, returned by Cluster::stats().
+/// The one sanctioned way for examples/benches/reports to read protocol
+/// counters: it survives the cluster and never exposes live storage.
+struct ClusterStats {
+  Time at = 0;  ///< virtual time the snapshot was taken
+
+  CoherenceStats coherence;   ///< summed over all nodes
+  argonet::NodeNetStats net;  ///< summed over all nodes
+
+  std::vector<CoherenceStats> per_node;
+  std::vector<argonet::NodeNetStats> net_per_node;
+
+  /// Every registered metric by its stable dotted name ("carina.writebacks",
+  /// "net.rdma_reads", ...) — the enumeration exporters should use.
+  std::vector<argoobs::CounterSample> counters;
+  std::vector<argoobs::HistSample> hists;
+
+  /// Value of one named counter (0 if absent — names are stable, so an
+  /// absent name is a typo).
+  std::uint64_t counter(const std::string& name) const;
+  /// One named histogram (empty if absent).
+  argoobs::LatencyHist hist(const std::string& name) const;
+};
 
 /// Execution context handed to every simulated application thread.
 class Thread {
@@ -155,6 +182,7 @@ class Thread {
 class Cluster {
  public:
   explicit Cluster(ClusterConfig cfg);
+  ~Cluster();  // flushes installed trace sinks
 
   const ClusterConfig& config() const { return cfg_; }
   int nodes() const { return cfg_.nodes; }
@@ -200,9 +228,29 @@ class Cluster {
   argodir::PyxisDirectory& dir() { return dir_; }
   NodeCache& node_cache(int node) { return *caches_[node]; }
 
+  /// Aggregated immutable statistics snapshot — the public reporting API.
+  ClusterStats stats() const;
+
   CoherenceStats coherence_stats() const;
   argonet::NodeNetStats net_stats() const { return net_.total_stats(); }
   void reset_stats();
+
+  // --- Observability -------------------------------------------------------
+
+  /// The protocol tracer (no-op unless ClusterConfig::trace.enabled).
+  argoobs::Tracer& tracer() { return tracer_; }
+
+  /// The metric name registry (every CoherenceStats/NodeNetStats field is
+  /// registered under a stable dotted name at construction).
+  const argoobs::MetricsRegistry& metrics() const { return metrics_; }
+
+  /// Install a trace exporter; several may be installed. Sinks receive the
+  /// merged seq-ordered event snapshot on flush_trace() and once more from
+  /// the destructor. Returns *this for chaining.
+  Cluster& trace_sink(std::unique_ptr<argoobs::TraceSink> sink);
+
+  /// Push the current trace snapshot through every installed sink.
+  void flush_trace();
 
   Time now() const { return eng_.now(); }
 
@@ -226,6 +274,7 @@ class Cluster {
  private:
   friend class Thread;
   void global_rendezvous(int node);  // leader part of the hierarchical barrier
+  void register_metrics();
 
   int active_nodes_ = 1;
   int active_tpn_ = 1;
@@ -241,6 +290,9 @@ class Cluster {
   Time barrier_net_cost_ = 0;
   int barrier_rounds_ = 0;
   std::function<void(int)> barrier_hook_;
+  argoobs::Tracer tracer_;
+  argoobs::MetricsRegistry metrics_;
+  std::vector<std::unique_ptr<argoobs::TraceSink>> sinks_;
 };
 
 }  // namespace argo

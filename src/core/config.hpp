@@ -6,6 +6,7 @@
 #include "mem/global_memory.hpp"
 #include "net/faults.hpp"
 #include "net/netconfig.hpp"
+#include "obs/trace.hpp"
 #include "sim/time.hpp"
 
 namespace argocore {
@@ -71,6 +72,11 @@ struct ClusterConfig {
   /// when disabled the interconnect never consults the injector and all
   /// virtual times match a fault-free build exactly.
   argonet::FaultConfig faults;
+
+  /// Protocol event tracing (obs/trace.hpp). Disabled by default; tracing
+  /// never charges virtual time, so enabling it changes no measurements —
+  /// and disabling it reduces every emit point to one predicted branch.
+  argoobs::TraceConfig trace;
 };
 
 }  // namespace argocore

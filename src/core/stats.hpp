@@ -3,45 +3,13 @@
 
 #include <cstdint>
 
+#include "obs/metrics.hpp"
+
 namespace argocore {
 
-/// Power-of-two histogram of virtual-time durations (ns). Bucket b counts
-/// samples in [2^(b-1), 2^b); bucket 0 counts zero-duration samples.
-/// Recording costs no virtual time.
-struct LatencyHist {
-  static constexpr int kBuckets = 40;
-  std::uint64_t bucket[kBuckets] = {};
-  std::uint64_t samples = 0;
-  std::uint64_t total_ns = 0;
-  std::uint64_t max_ns = 0;
-
-  static int bucket_of(std::uint64_t ns) {
-    if (ns == 0) return 0;
-    const int width = 64 - __builtin_clzll(ns);
-    return width < kBuckets ? width : kBuckets - 1;
-  }
-
-  void add(std::uint64_t ns) {
-    ++bucket[bucket_of(ns)];
-    ++samples;
-    total_ns += ns;
-    if (ns > max_ns) max_ns = ns;
-  }
-
-  double mean_ns() const {
-    return samples == 0 ? 0.0
-                        : static_cast<double>(total_ns) /
-                              static_cast<double>(samples);
-  }
-
-  LatencyHist& operator+=(const LatencyHist& o) {
-    for (int b = 0; b < kBuckets; ++b) bucket[b] += o.bucket[b];
-    samples += o.samples;
-    total_ns += o.total_ns;
-    if (o.max_ns > max_ns) max_ns = o.max_ns;
-    return *this;
-  }
-};
+/// The histogram primitive lives in the observability layer now; this
+/// alias keeps the historical argocore spelling working.
+using LatencyHist = argoobs::LatencyHist;
 
 struct CoherenceStats {
   std::uint64_t read_hits = 0;

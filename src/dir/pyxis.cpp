@@ -51,6 +51,9 @@ void PyxisDirectory::cache_merge_remote(int src, int dst, std::uint64_t page,
   // the owner's own lookups and with other racing notifications.
   net_.fetch_or(src, dst, &cache_slot(dst, page), word);
   ++notify_count_[static_cast<std::size_t>(dst)];
+  if (tracer_)
+    tracer_->emit(src, argoobs::Ev::DeferredInval, page,
+                  argoobs::kUnknownState, static_cast<std::uint64_t>(dst));
 }
 
 void PyxisDirectory::cache_merge_remote_batch(int src,
@@ -73,6 +76,10 @@ void PyxisDirectory::cache_merge_remote_batch(int src,
     posted.push_back(net_.post_fetch_or(
         src, batch[i].dst, &cache_slot(batch[i].dst, batch[i].page), word));
     ++notify_count_[static_cast<std::size_t>(batch[i].dst)];
+    if (tracer_)
+      tracer_->emit(src, argoobs::Ev::DeferredInval, batch[i].page,
+                    argoobs::kUnknownState,
+                    static_cast<std::uint64_t>(batch[i].dst));
     i = j;
   }
   for (const argonet::PostedHandle& h : posted) net_.wait(h);

@@ -90,6 +90,10 @@ class PyxisDirectory {
  public:
   PyxisDirectory(GlobalMemory& gmem, argonet::Interconnect& net);
 
+  /// Attach a protocol tracer (not owned; may be null). Emits DeferredInval
+  /// events for transition notifications toward displaced owners.
+  void set_tracer(argoobs::Tracer* tracer) { tracer_ = tracer; }
+
   // --- Home-side directory, accessed only via RDMA ----------------------
 
   /// Register bits (reader and/or writer) for `page` at its home directory.
@@ -158,6 +162,7 @@ class PyxisDirectory {
 
   GlobalMemory& gmem_;
   argonet::Interconnect& net_;
+  argoobs::Tracer* tracer_ = nullptr;
   std::vector<std::uint64_t> words_;                // home dir, one per page
   std::vector<std::vector<std::uint64_t>> caches_;  // [node][page]
   std::vector<std::uint64_t> notify_count_;

@@ -134,6 +134,9 @@ void Interconnect::retire_front(int src) {
     }
     Posted p = std::move(box.sendq.front());
     box.sendq.pop_front();
+    if (tracer_)
+      tracer_->emit(src, argoobs::Ev::PostedRetire, p.id,
+                    argoobs::kUnknownState, p.hard_fail ? 1 : 0);
     if (p.hard_fail) {
       box.posted_failed.emplace(p.id, p.what);
     } else {

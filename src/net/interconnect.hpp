@@ -28,6 +28,7 @@
 
 #include "net/faults.hpp"
 #include "net/netconfig.hpp"
+#include "obs/trace.hpp"
 #include "sim/engine.hpp"
 #include "sim/sync.hpp"
 
@@ -116,6 +117,10 @@ class Interconnect {
 
   bool faults_enabled() const { return faults_ != nullptr; }
   FaultInjector* faults() { return faults_.get(); }
+
+  /// Attach a protocol tracer (not owned; may be null). Emits PostedRetire
+  /// events as posted verbs leave the send queues.
+  void set_tracer(argoobs::Tracer* tracer) { tracer_ = tracer; }
 
   // --- One-sided RDMA verbs (passive: no code runs on `dst`) -------------
 
@@ -340,6 +345,7 @@ class Interconnect {
   NetConfig cfg_;
   std::vector<std::unique_ptr<NodeBox>> boxes_;
   std::unique_ptr<FaultInjector> faults_;
+  argoobs::Tracer* tracer_ = nullptr;
   std::uint64_t send_seq_ = 0;
 };
 

@@ -1,0 +1,191 @@
+#include "obs/export.hpp"
+
+#include <cstdio>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+namespace argoobs {
+namespace {
+
+void put_u16(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i)
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i)
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+std::uint64_t get_uN(const std::vector<std::uint8_t>& in, std::size_t at,
+                     int bytes) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < bytes; ++i)
+    v |= static_cast<std::uint64_t>(in[at + static_cast<std::size_t>(i)])
+         << (8 * i);
+  return v;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_binary(const std::vector<TraceEvent>& events,
+                                        std::uint64_t dropped) {
+  std::vector<std::uint8_t> out;
+  out.reserve(32 + events.size() * kBinaryRecordSize);
+  out.insert(out.end(), kBinaryMagic, kBinaryMagic + sizeof(kBinaryMagic));
+  put_u32(out, kBinaryVersion);
+  put_u32(out, kBinaryRecordSize);
+  put_u64(out, events.size());
+  put_u64(out, dropped);
+  for (const TraceEvent& e : events) {
+    put_u64(out, e.seq);
+    put_u64(out, e.t);
+    put_u64(out, e.page);
+    put_u64(out, e.arg);
+    put_u32(out, e.thread);
+    put_u16(out, e.node);
+    out.push_back(e.kind);
+    out.push_back(e.state);
+  }
+  return out;
+}
+
+std::vector<TraceEvent> decode_binary(const std::vector<std::uint8_t>& bytes,
+                                      std::uint64_t* dropped_out) {
+  if (bytes.size() < 32 ||
+      std::memcmp(bytes.data(), kBinaryMagic, sizeof(kBinaryMagic)) != 0)
+    throw std::runtime_error("trace: bad magic");
+  if (get_uN(bytes, 8, 4) != kBinaryVersion)
+    throw std::runtime_error("trace: unsupported version");
+  if (get_uN(bytes, 12, 4) != kBinaryRecordSize)
+    throw std::runtime_error("trace: unexpected record size");
+  const std::uint64_t count = get_uN(bytes, 16, 8);
+  if (dropped_out) *dropped_out = get_uN(bytes, 24, 8);
+  if (bytes.size() < 32 + count * kBinaryRecordSize)
+    throw std::runtime_error("trace: truncated");
+  std::vector<TraceEvent> out;
+  out.reserve(static_cast<std::size_t>(count));
+  std::size_t at = 32;
+  for (std::uint64_t i = 0; i < count; ++i, at += kBinaryRecordSize) {
+    TraceEvent e;
+    e.seq = get_uN(bytes, at + 0, 8);
+    e.t = get_uN(bytes, at + 8, 8);
+    e.page = get_uN(bytes, at + 16, 8);
+    e.arg = get_uN(bytes, at + 24, 8);
+    e.thread = static_cast<std::uint32_t>(get_uN(bytes, at + 32, 4));
+    e.node = static_cast<std::uint16_t>(get_uN(bytes, at + 36, 2));
+    e.kind = bytes[at + 38];
+    e.state = bytes[at + 39];
+    out.push_back(e);
+  }
+  return out;
+}
+
+std::string encode_chrome_json(const std::vector<TraceEvent>& events) {
+  std::string out = "{\"traceEvents\":[";
+  char buf[256];
+  bool first = true;
+  for (const TraceEvent& e : events) {
+    const Ev kind = static_cast<Ev>(e.kind);
+    const char* ph = "i";
+    if (kind == Ev::SiFenceBegin || kind == Ev::SdFenceBegin) ph = "B";
+    if (kind == Ev::SiFenceEnd || kind == Ev::SdFenceEnd) ph = "E";
+    const char* name = to_string(kind);
+    if (kind == Ev::SiFenceEnd) name = to_string(Ev::SiFenceBegin);
+    if (kind == Ev::SdFenceEnd) name = to_string(Ev::SdFenceBegin);
+    if (!first) out += ',';
+    first = false;
+    std::snprintf(buf, sizeof(buf),
+                  "{\"name\":\"%s\",\"ph\":\"%s\",\"ts\":%.3f,"
+                  "\"pid\":%u,\"tid\":%u",
+                  name, ph, static_cast<double>(e.t) / 1e3,
+                  static_cast<unsigned>(e.node),
+                  static_cast<unsigned>(e.thread));
+    out += buf;
+    // "E" events take no args in the trace_event format.
+    if (ph[0] != 'E') {
+      std::snprintf(buf, sizeof(buf),
+                    ",\"args\":{\"seq\":%llu,\"page\":%llu,\"arg\":%llu,"
+                    "\"state\":\"%s\"}",
+                    static_cast<unsigned long long>(e.seq),
+                    static_cast<unsigned long long>(e.page),
+                    static_cast<unsigned long long>(e.arg),
+                    state_name(e.state));
+      out += buf;
+    }
+    out += '}';
+  }
+  out += "],\"displayTimeUnit\":\"ns\"}";
+  return out;
+}
+
+namespace {
+
+void write_file(const std::string& path, const void* data, std::size_t len) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (!f) throw std::runtime_error("trace: cannot open " + path);
+  const std::size_t n = len ? std::fwrite(data, 1, len, f) : 0;
+  std::fclose(f);
+  if (n != len) throw std::runtime_error("trace: short write to " + path);
+}
+
+class BinaryFileSink final : public TraceSink {
+ public:
+  explicit BinaryFileSink(std::string path) : path_(std::move(path)) {}
+  void flush(const std::vector<TraceEvent>& events,
+             std::uint64_t dropped) override {
+    const std::vector<std::uint8_t> bytes = encode_binary(events, dropped);
+    write_file(path_, bytes.data(), bytes.size());
+  }
+
+ private:
+  std::string path_;
+};
+
+class ChromeFileSink final : public TraceSink {
+ public:
+  explicit ChromeFileSink(std::string path) : path_(std::move(path)) {}
+  void flush(const std::vector<TraceEvent>& events, std::uint64_t) override {
+    const std::string json = encode_chrome_json(events);
+    write_file(path_, json.data(), json.size());
+  }
+
+ private:
+  std::string path_;
+};
+
+class CallbackSink final : public TraceSink {
+ public:
+  using Fn = std::function<void(const std::vector<TraceEvent>&, std::uint64_t)>;
+  explicit CallbackSink(Fn fn) : fn_(std::move(fn)) {}
+  void flush(const std::vector<TraceEvent>& events,
+             std::uint64_t dropped) override {
+    fn_(events, dropped);
+  }
+
+ private:
+  Fn fn_;
+};
+
+}  // namespace
+
+std::unique_ptr<TraceSink> make_binary_trace_sink(std::string path) {
+  return std::make_unique<BinaryFileSink>(std::move(path));
+}
+
+std::unique_ptr<TraceSink> make_chrome_trace_sink(std::string path) {
+  return std::make_unique<ChromeFileSink>(std::move(path));
+}
+
+std::unique_ptr<TraceSink> make_callback_trace_sink(
+    std::function<void(const std::vector<TraceEvent>&, std::uint64_t)> fn) {
+  return std::make_unique<CallbackSink>(std::move(fn));
+}
+
+}  // namespace argoobs

@@ -1,0 +1,60 @@
+// Trace exporters: the compact binary format (schema in docs/TRACING.md,
+// readable by scripts/trace_query) and Chrome's trace_event JSON
+// (loadable in chrome://tracing / Perfetto).
+//
+// Both encoders are pure functions over a seq-ordered event vector, so a
+// deterministic simulation yields byte-identical files across reruns.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "obs/trace.hpp"
+
+namespace argoobs {
+
+/// Binary format constants. Layout: 8-byte magic, u32 version, u32 record
+/// size, u64 record count, u64 dropped count, then `count` records of
+/// {seq u64, t u64, page u64, arg u64, thread u32, node u16, kind u8,
+/// state u8}, every field little-endian.
+inline constexpr char kBinaryMagic[8] = {'A', 'R', 'G', 'O',
+                                         'T', 'R', 'C', '1'};
+inline constexpr std::uint32_t kBinaryVersion = 1;
+inline constexpr std::uint32_t kBinaryRecordSize = 40;
+
+std::vector<std::uint8_t> encode_binary(const std::vector<TraceEvent>& events,
+                                        std::uint64_t dropped);
+
+/// Decode a binary trace (throws std::runtime_error on malformed input).
+/// Round-trips encode_binary exactly; `dropped_out` may be null.
+std::vector<TraceEvent> decode_binary(const std::vector<std::uint8_t>& bytes,
+                                      std::uint64_t* dropped_out = nullptr);
+
+/// Chrome trace_event JSON: fences become "B"/"E" duration pairs, all
+/// other kinds instant ("i") events; pid = node, tid = simulated thread,
+/// ts = virtual microseconds.
+std::string encode_chrome_json(const std::vector<TraceEvent>& events);
+
+/// A trace consumer installed via Cluster::trace_sink(). flush() receives
+/// the full seq-ordered snapshot; it may be called more than once.
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+  virtual void flush(const std::vector<TraceEvent>& events,
+                     std::uint64_t dropped) = 0;
+};
+
+/// Sink writing the binary format to `path` on every flush (truncating).
+std::unique_ptr<TraceSink> make_binary_trace_sink(std::string path);
+
+/// Sink writing Chrome trace_event JSON to `path` on every flush.
+std::unique_ptr<TraceSink> make_chrome_trace_sink(std::string path);
+
+/// Sink invoking a callback with the snapshot (for tests / custom export).
+std::unique_ptr<TraceSink> make_callback_trace_sink(
+    std::function<void(const std::vector<TraceEvent>&, std::uint64_t)> fn);
+
+}  // namespace argoobs

@@ -1,0 +1,29 @@
+#include "obs/metrics.hpp"
+
+#include <utility>
+
+namespace argoobs {
+
+void MetricsRegistry::add_counter(std::string name, CounterFn read) {
+  counters_.push_back({std::move(name), std::move(read)});
+}
+
+void MetricsRegistry::add_hist(std::string name, HistFn read) {
+  hists_.push_back({std::move(name), std::move(read)});
+}
+
+std::vector<CounterSample> MetricsRegistry::sample_counters() const {
+  std::vector<CounterSample> out;
+  out.reserve(counters_.size());
+  for (const Counter& c : counters_) out.push_back({c.name, c.read()});
+  return out;
+}
+
+std::vector<HistSample> MetricsRegistry::sample_hists() const {
+  std::vector<HistSample> out;
+  out.reserve(hists_.size());
+  for (const Hist& h : hists_) out.push_back({h.name, h.read()});
+  return out;
+}
+
+}  // namespace argoobs

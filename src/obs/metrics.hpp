@@ -1,0 +1,121 @@
+// Metrics: the latency histogram primitive and the registry that gives
+// every protocol counter/histogram a stable dotted name.
+//
+// Storage stays where the hot paths already are (CoherenceStats /
+// NodeNetStats plain structs, incremented inline); the registry owns the
+// *enumeration* — name -> sampling closure — so exporters, Cluster::stats()
+// and tools never hard-code struct layouts. Sampling costs no virtual time.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace argoobs {
+
+/// Power-of-two histogram of virtual-time durations (ns).
+///
+/// Bucket layout (pinned by test_obs.cpp):
+///   bucket 0        exactly-zero durations (the [2^-1, 2^0) formula range
+///                   would be empty; zero gets its own bucket instead)
+///   bucket b >= 1   durations in [2^(b-1), 2^b) — so bucket 1 holds only
+///                   ns == 1, bucket 2 holds {2, 3}, bucket 3 holds [4, 8)
+///   bucket 39       saturating: everything >= 2^38 ns (~275 s)
+struct LatencyHist {
+  static constexpr int kBuckets = 40;
+  std::uint64_t bucket[kBuckets] = {};
+  std::uint64_t samples = 0;
+  std::uint64_t total_ns = 0;
+  std::uint64_t max_ns = 0;
+
+  static constexpr int bucket_of(std::uint64_t ns) {
+    if (ns == 0) return 0;
+    const int width = 64 - __builtin_clzll(ns);  // 2^(width-1) <= ns < 2^width
+    return width < kBuckets ? width : kBuckets - 1;
+  }
+
+  /// Inclusive lower edge of a bucket: 0 for bucket 0 (which holds only
+  /// exactly-zero durations), 2^(b-1) for bucket b >= 1 — so
+  /// bucket_floor_ns(1) == 1, the smallest nonzero duration.
+  static constexpr std::uint64_t bucket_floor_ns(int b) {
+    return b == 0 ? 0 : (std::uint64_t{1} << (b - 1));
+  }
+
+  void add(std::uint64_t ns) {
+    ++bucket[bucket_of(ns)];
+    ++samples;
+    total_ns += ns;
+    if (ns > max_ns) max_ns = ns;
+  }
+
+  double mean_ns() const {
+    return samples == 0 ? 0.0
+                        : static_cast<double>(total_ns) /
+                              static_cast<double>(samples);
+  }
+
+  LatencyHist& operator+=(const LatencyHist& o) {
+    for (int b = 0; b < kBuckets; ++b) bucket[b] += o.bucket[b];
+    samples += o.samples;
+    total_ns += o.total_ns;
+    if (o.max_ns > max_ns) max_ns = o.max_ns;
+    return *this;
+  }
+};
+
+static_assert(LatencyHist::bucket_of(0) == 0);
+static_assert(LatencyHist::bucket_of(1) == 1);
+static_assert(LatencyHist::bucket_of(2) == 2);
+static_assert(LatencyHist::bucket_of(3) == 2);
+static_assert(LatencyHist::bucket_of(4) == 3);
+static_assert(LatencyHist::bucket_of(~std::uint64_t{0}) ==
+              LatencyHist::kBuckets - 1);
+static_assert(LatencyHist::bucket_floor_ns(0) == 0);
+static_assert(LatencyHist::bucket_floor_ns(1) == 1);
+static_assert(LatencyHist::bucket_floor_ns(2) == 2);
+static_assert(LatencyHist::bucket_floor_ns(10) == 512);
+
+/// A sampled counter value.
+struct CounterSample {
+  std::string name;
+  std::uint64_t value = 0;
+};
+
+/// A sampled histogram (by value — safe to hold past the cluster).
+struct HistSample {
+  std::string name;
+  LatencyHist hist;
+};
+
+/// Name -> closure registry over live metric storage. The cluster
+/// registers every CoherenceStats / NodeNetStats field at construction;
+/// sample() reads them all at any later instant.
+class MetricsRegistry {
+ public:
+  using CounterFn = std::function<std::uint64_t()>;
+  using HistFn = std::function<LatencyHist()>;
+
+  void add_counter(std::string name, CounterFn read);
+  void add_hist(std::string name, HistFn read);
+
+  std::vector<CounterSample> sample_counters() const;
+  std::vector<HistSample> sample_hists() const;
+
+  std::size_t counter_count() const { return counters_.size(); }
+  std::size_t hist_count() const { return hists_.size(); }
+
+ private:
+  struct Counter {
+    std::string name;
+    CounterFn read;
+  };
+  struct Hist {
+    std::string name;
+    HistFn read;
+  };
+  std::vector<Counter> counters_;
+  std::vector<Hist> hists_;
+};
+
+}  // namespace argoobs

@@ -63,6 +63,10 @@ void GlobalMcsLock::release(Thread& t) {
   }
   const std::uint64_t succ = t.atomic_load(next_[me]) - 1;
   t.atomic_store(flag_[succ], 1);  // grant: remote write into their memory
+  // All DSM locks (HQDL, cohort, mutex) funnel global handovers through
+  // here; the lock's identity is its tail word's global address.
+  t.cluster().tracer().emit(t.node(), argoobs::Ev::LockHandover, tail_.raw(),
+                            argoobs::kUnknownState, succ);
 }
 
 // ---------------------------------------------------------------------------
