@@ -1,0 +1,90 @@
+#!/usr/bin/env bash
+# Host-side (wall-clock) performance of the simulator itself: runs the
+# fig13 quick suite plus the fig09 write-buffer sweep twice — once with the
+# host fast paths on (word-wise diffs, buffer pooling, scheduler
+# fast-forward, stack recycling) and once with ARGO_SLOW_PATHS=1 forcing
+# the seed's slow paths — and records wall time and peak RSS per run.
+#
+# The two modes are bit-identical in simulated behaviour (the determinism
+# tests pin that), so the wall-clock ratio isolates pure host overhead.
+#
+# Usage: scripts/bench_host.sh [--build <dir>] [--out <path>] [--gate]
+#   --gate   fail unless fast_total <= 0.95 * slow_total (perf smoke)
+#
+# Output: a JSON array (one object per line, like the other BENCH files)
+# of rows {"bench", "mode", "wall_s", "max_rss_kb"}.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT="BENCH_host.json"
+BUILD="build"
+GATE=0
+while [ $# -gt 0 ]; do
+  case "$1" in
+    --out) OUT="$2"; shift ;;
+    --build) BUILD="$2"; shift ;;
+    --gate) GATE=1 ;;
+    *) echo "unknown argument: $1" >&2; exit 2 ;;
+  esac
+  shift
+done
+
+if [ ! -x "$BUILD/bench/fig13a_lu" ]; then
+  echo "benches not built; run: cmake -B $BUILD -S . && cmake --build $BUILD -j" >&2
+  exit 1
+fi
+
+# measure <cmd...>: prints "<wall_s> <max_rss_kb>". python3 instead of
+# /usr/bin/time (not present in minimal containers); RUSAGE_CHILDREN is
+# exact because each measurement python runs exactly one child.
+measure() {
+  python3 - "$@" <<'EOF'
+import resource, subprocess, sys, time
+t0 = time.monotonic()
+r = subprocess.run(sys.argv[1:], stdout=subprocess.DEVNULL)
+wall = time.monotonic() - t0
+if r.returncode != 0:
+    sys.exit(r.returncode)
+rss = resource.getrusage(resource.RUSAGE_CHILDREN).ru_maxrss
+print(f"{wall:.3f} {rss}")
+EOF
+}
+
+BENCHES="fig13a_lu fig13b_nbody fig13c_blackscholes fig13d_mm fig13e_ep fig13f_cg fig09_writebuffer"
+
+ROWS=""
+declare -A TOTAL=( [fast]=0 [slow]=0 )
+for mode in slow fast; do
+  case "$mode" in
+    slow) export ARGO_SLOW_PATHS=1 ;;
+    fast) export ARGO_SLOW_PATHS=0 ;;
+  esac
+  for bench in $BENCHES; do
+    read -r wall rss < <(measure "$BUILD/bench/$bench" --quick)
+    echo "-- $bench [$mode] ${wall}s rss=${rss}kB"
+    ROWS="$ROWS{\"bench\":\"$bench\",\"mode\":\"$mode\",\"wall_s\":$wall,\"max_rss_kb\":$rss},\n"
+    TOTAL[$mode]=$(awk -v a="${TOTAL[$mode]}" -v b="$wall" 'BEGIN { printf "%.3f", a + b }')
+  done
+done
+unset ARGO_SLOW_PATHS
+
+{
+  echo "["
+  printf '%b' "$ROWS" | sed '$ s/,$//'
+  echo "]"
+} > "$OUT"
+
+echo "fast total: ${TOTAL[fast]}s   slow total: ${TOTAL[slow]}s"
+awk -v f="${TOTAL[fast]}" -v s="${TOTAL[slow]}" \
+  'BEGIN { printf "speedup (slow/fast): %.2fx\n", s / f }'
+echo "wrote $OUT"
+
+if [ "$GATE" = 1 ]; then
+  awk -v f="${TOTAL[fast]}" -v s="${TOTAL[slow]}" 'BEGIN {
+    if (f > 0.95 * s) {
+      printf "FAIL: host fast paths too slow: fast %.3fs > 0.95 * slow %.3fs\n", f, s
+      exit 1
+    }
+    printf "OK: fast %.3fs <= 0.95 * slow %.3fs\n", f, s
+  }'
+fi

@@ -68,4 +68,11 @@ awk '
   }
 ' build/BENCH_smoke.json
 
+echo "=== perf smoke: host fast paths ==="
+# fig13 quick suite + fig09 with the host fast paths on vs ARGO_SLOW_PATHS=1.
+# The two modes are bit-identical in simulated behaviour (the determinism
+# tests pin that); the gate fails unless the fast paths actually pay for
+# themselves in wall clock (fast <= 0.95 * slow).
+scripts/bench_host.sh --gate --out build/BENCH_host.json
+
 echo "all checks passed"

@@ -1,0 +1,44 @@
+// Host-side memoization support for pure workload kernels.
+//
+// The scaling benches run the same deterministic workload once per
+// configuration (sequential baseline, each thread count, each node count,
+// the MPI port...). The simulated data movement differs per configuration
+// — that is what is being measured — but the *numerical* work is
+// identical: the same trajectory, the same option prices, recomputed from
+// scratch each run. Caching those pure-kernel results across runs is a
+// host-side optimization only: a hit returns the exact double previously
+// computed from bit-identical inputs, so checksums, page contents, diffs
+// and hence every virtual time are unchanged. ARGO_SLOW_PATHS
+// (sim/slowpath.hpp) disables all memoization for A/B comparison.
+//
+// Keys are always verified by exact byte comparison of the full inputs —
+// the hash only narrows the search, it is never trusted.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+
+namespace argoapps {
+
+/// FNV-1a folding eight bytes per step (an order of magnitude faster than
+/// the byte loop on the multi-KiB keys the memos use); the tail is hashed
+/// byte-wise. Collisions only cost an extra memcmp — every lookup verifies
+/// the full key.
+inline std::uint64_t hash_words(const void* p, std::size_t n,
+                                std::uint64_t seed = 1469598103934665603ull) {
+  const auto* b = static_cast<const unsigned char*>(p);
+  constexpr std::uint64_t kPrime = 1099511628211ull;
+  std::uint64_t h = seed;
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    std::uint64_t w;
+    std::memcpy(&w, b + i, 8);
+    h = (h ^ w) * kPrime;
+    h ^= h >> 29;  // extra diffusion: eight new bytes per multiply
+  }
+  for (; i < n; ++i) h = (h ^ b[i]) * kPrime;
+  return h;
+}
+
+}  // namespace argoapps

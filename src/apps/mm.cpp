@@ -1,6 +1,10 @@
 #include "apps/mm.hpp"
 
+#include <cstring>
+#include <deque>
+
 #include "sim/random.hpp"
+#include "sim/slowpath.hpp"
 
 namespace argoapps {
 
@@ -22,6 +26,64 @@ void mm_rows(const double* a, const double* b, double* c, std::size_t n,
       const double* bk = b + k * n;
       for (std::size_t j = 0; j < n; ++j) ci[j] += aik * bk[j];
     }
+  }
+}
+
+// Row-level product memo: every backend multiplies the same deterministic
+// A rows by the same B, once per iteration per configuration, so each row
+// product recurs bit-identically across the sweep (see apps/memo.hpp). B
+// operands are interned by exact comparison (the benches use one per
+// size); each cached row stores its A row and result row, verified with a
+// full memcmp before replay. Random row data rejects mismatches on the
+// first word, so the newest-first scan is effectively O(entries) cheap
+// word compares. Bounded by total bytes; disabled by ARGO_SLOW_PATHS.
+struct MmRow {
+  std::size_t b_id;
+  std::vector<double> a, c;
+};
+
+void mm_rows_memo(const double* a, const double* b, double* c,
+                  std::size_t n, std::size_t rows) {
+  if (argosim::slow_paths()) {
+    mm_rows(a, b, c, n, 0, rows);
+    return;
+  }
+  static std::deque<std::vector<double>> bmats;  // deque: stable growth
+  static std::deque<MmRow> cache;
+  static std::size_t memo_bytes = 0;
+  constexpr std::size_t kMaxBytes = 96u << 20;
+
+  const std::size_t bn = n * n;
+  std::size_t b_id = bmats.size();
+  for (std::size_t i = bmats.size(); i-- > 0;) {
+    if (bmats[i].size() == bn &&
+        std::memcmp(bmats[i].data(), b, bn * sizeof(double)) == 0) {
+      b_id = i;
+      break;
+    }
+  }
+  if (b_id == bmats.size()) {
+    if (memo_bytes + bn * sizeof(double) > kMaxBytes) {
+      mm_rows(a, b, c, n, 0, rows);
+      return;
+    }
+    bmats.emplace_back(b, b + bn);
+    memo_bytes += bn * sizeof(double);
+  }
+
+  const std::size_t an = rows * n;
+  for (auto it = cache.rbegin(); it != cache.rend(); ++it) {
+    if (it->b_id == b_id && it->a.size() == an &&
+        std::memcmp(it->a.data(), a, an * sizeof(double)) == 0) {
+      std::memcpy(c, it->c.data(), an * sizeof(double));
+      return;
+    }
+  }
+  mm_rows(a, b, c, n, 0, rows);
+  if (memo_bytes + 2 * an * sizeof(double) <= kMaxBytes) {
+    cache.push_back(MmRow{b_id, std::vector<double>(a, a + an),
+                          std::vector<double>(c, c + an)});
+    memo_bytes += 2 * an * sizeof(double);
   }
 }
 
@@ -73,7 +135,7 @@ MmResult mm_run_argo(argo::Cluster& cl, const MmParams& p) {
       // One row at a time, storing each result row as it is produced
       // (like the original element-wise code).
       for (std::size_t i = 0; i < rows; ++i) {
-        mm_rows(la.data() + i * n, lb.data(), lc.data() + i * n, n, 0, 1);
+        mm_rows_memo(la.data() + i * n, lb.data(), lc.data() + i * n, n, 1);
         t.compute(static_cast<Time>(n * n) * p.ns_per_mac);
         t.store_bulk(c + static_cast<std::ptrdiff_t>((lo + i) * n),
                      lc.data() + i * n, n);
@@ -126,7 +188,7 @@ MmResult mm_run_mpi(argompi::MpiEnv& env, const MmParams& p) {
     w.bcast(me, 0, b.data(), n * n * sizeof(double));
     for (int iter = 0; iter < p.iterations; ++iter) {
       for (std::size_t i = 0; i < rows; ++i) {
-        mm_rows(la.data() + i * n, b.data(), lc.data() + i * n, n, 0, 1);
+        mm_rows_memo(la.data() + i * n, b.data(), lc.data() + i * n, n, 1);
         argosim::delay(static_cast<Time>(n * n) * p.ns_per_mac);
       }
       w.barrier(me);

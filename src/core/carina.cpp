@@ -155,7 +155,7 @@ std::byte* NodeCache::write_ptr(GAddr a, std::size_t len) {
       // content), mark dirty, queue for self-downgrade. The twin copy may
       // let the occupancy transiently overshoot by the number of
       // concurrent writers; that is bounded and harmless.
-      s.twin = std::make_unique<std::byte[]>(kPageSize);
+      s.twin = pool_.acquire(kPageSize);
       std::memcpy(s.twin.get(), page_data(l, page), kPageSize);
       argosim::delay(net_.config().mem_copy(kPageSize));
       if (l.group == group && s.valid && !s.dirty) {
@@ -232,8 +232,7 @@ void NodeCache::ensure_cached(std::uint64_t page, bool for_write) {
       evict_line_locked(l);
       l.group = group;
       occupied_.insert(group % cfg_.cache_lines);
-      if (!l.data) l.data = std::make_unique<std::byte[]>(
-          cfg_.pages_per_line * kPageSize);
+      if (!l.data) l.data = pool_.acquire(cfg_.pages_per_line * kPageSize);
       for (auto& s : l.pages) {
         s.valid = false;
         s.dirty = false;
@@ -281,8 +280,7 @@ void NodeCache::ensure_cached_pipelined(std::uint64_t page, bool for_write) {
       evict_line_locked(l);
       l.group = group;
       occupied_.insert(group % cfg_.cache_lines);
-      if (!l.data)
-        l.data = std::make_unique<std::byte[]>(cfg_.pages_per_line * kPageSize);
+      if (!l.data) l.data = pool_.acquire(cfg_.pages_per_line * kPageSize);
       for (auto& s : l.pages) {
         s.valid = false;
         s.dirty = false;
@@ -511,7 +509,7 @@ void NodeCache::evict_line_locked(Line& l) {
 
 void NodeCache::refresh_checkpoint(Line& l, std::uint64_t page) {
   auto& buf = checkpoints_[page];
-  if (!buf) buf = std::make_unique<std::byte[]>(kPageSize);
+  if (!buf) buf = pool_.acquire(kPageSize);
   std::memcpy(buf.get(), page_data(l, page), kPageSize);
   argosim::delay(net_.config().mem_copy(kPageSize));
   ++stats_.checkpoints;
@@ -524,7 +522,7 @@ void NodeCache::refresh_checkpoint(Line& l, std::uint64_t page) {
   // later, properly synchronized epochs.
   PageSlot& s = slot_of(l, page);
   if (s.dirty) {
-    if (!s.twin) s.twin = std::make_unique<std::byte[]>(kPageSize);
+    if (!s.twin) s.twin = pool_.acquire(kPageSize);
     std::memcpy(s.twin.get(), page_data(l, page), kPageSize);
   }
 }
@@ -563,37 +561,25 @@ void NodeCache::writeback_locked(Line& l, std::uint64_t page) {
     ++stats_.full_page_writebacks;
   } else {
     // Diff against the twin: scan both copies (charged as local memory
-    // traffic), transmit only changed runs, apply them at the home.
+    // traffic), transmit only changed runs, apply them at the home. The
+    // scan itself is host work only — the charge covers it whatever the
+    // scanner — so the word-wise scanner must (and does, by construction
+    // and by property test) emit exactly the reference runs. The scratch
+    // vector is stolen from the member for the duration: charge_write
+    // yields, and a concurrent writeback on another line must not clobber
+    // the runs while this one is mid-flight.
     argosim::delay(net_.config().mem_copy(2 * kPageSize));
-    struct Run {
-      std::size_t off, len;
-    };
-    std::vector<Run> runs;
+    std::vector<DiffRun> runs = std::move(diff_scratch_);
+    runs.clear();
     const std::byte* twin = s.twin.get();
-    std::size_t i = 0;
-    while (i < kPageSize) {
-      if (cur[i] == twin[i]) {
-        ++i;
-        continue;
-      }
-      std::size_t j = i + 1;
-      std::size_t gap = 0;
-      // Merge runs separated by short equal stretches: one header costs
-      // 8 bytes, so gaps under 8 bytes are cheaper transmitted inline.
-      while (j < kPageSize && gap < 8) {
-        if (cur[j] == twin[j])
-          ++gap;
-        else
-          gap = 0;
-        ++j;
-      }
-      const std::size_t end = j - gap;
-      runs.push_back(Run{i, end - i});
-      i = j;
-    }
+    if (argosim::slow_paths())
+      diff_runs_reference(cur, twin, kPageSize, runs);
+    else
+      diff_runs(cur, twin, kPageSize, runs);
     ++stats_.diffs_built;
     if (runs.empty()) {
       // Nothing actually changed; no transmission needed.
+      diff_scratch_ = std::move(runs);
       release_wb_slot(s);
       return;
     }
@@ -603,16 +589,18 @@ void NodeCache::writeback_locked(Line& l, std::uint64_t page) {
       // buffer entry is computed while this one is on the wire.
       std::vector<argonet::GatherRun> gather;
       gather.reserve(runs.size());
-      for (const Run& r : runs) {
+      for (const DiffRun& r : runs) {
         wire += r.len + 8;
         gather.push_back(argonet::GatherRun{home + r.off, cur + r.off, r.len});
       }
       net_.post_write_gather(node_, home_node, gather, 8);
     } else {
-      for (const Run& r : runs) wire += r.len + 8;
+      for (const DiffRun& r : runs) wire += r.len + 8;
       net_.charge_write(node_, home_node, wire);
-      for (const Run& r : runs) std::memcpy(home + r.off, cur + r.off, r.len);
+      for (const DiffRun& r : runs)
+        std::memcpy(home + r.off, cur + r.off, r.len);
     }
+    diff_scratch_ = std::move(runs);
   }
   release_wb_slot(s);
   ++stats_.writebacks;
@@ -652,29 +640,42 @@ bool NodeCache::drain_oldest() {
   }
   // Naive P/S: prefer the oldest non-private entry (private pages are not
   // supposed to downgrade); fall back to a forced flush if all-private.
+  // One compacting pass per attempt: stale entries ahead of the selection
+  // point are dropped by a single rewrite (the seed erased them one
+  // mid-deque erase at a time — O(n) per erase, quadratic per drain);
+  // entries behind the selection point are left untouched, exactly like
+  // the historical scan, so the buffer contents stay bit-identical.
   for (std::size_t attempt = 0; attempt < 2; ++attempt) {
     const bool allow_private = attempt == 1;
-    for (std::size_t i = 0; i < write_buffer_.size();) {
-      const std::uint64_t page = write_buffer_[i];
-      if (!is_live(page)) {  // compact stale entries as we scan
-        write_buffer_.erase(write_buffer_.begin() +
-                            static_cast<std::ptrdiff_t>(i));
-        continue;
-      }
+    const std::size_t n = write_buffer_.size();
+    bool found = false;
+    std::uint64_t sel = 0;
+    std::size_t w = 0;
+    std::size_t r = 0;
+    for (; r < n; ++r) {
+      const std::uint64_t page = write_buffer_[r];
+      if (!is_live(page)) continue;  // drop stale entries as we scan
       if (!allow_private &&
           DirWord{dir_.cache_get(node_, dir_page(page))}.private_to(node_)) {
-        ++i;
+        write_buffer_[w++] = page;
         continue;
       }
-      write_buffer_.erase(write_buffer_.begin() +
-                          static_cast<std::ptrdiff_t>(i));
-      const std::uint64_t group = group_of(page);
+      found = true;
+      sel = page;
+      ++r;  // the selected entry leaves the buffer too
+      break;
+    }
+    if (w != r || r != n) {
+      for (; r < n; ++r) write_buffer_[w++] = write_buffer_[r];
+      write_buffer_.resize(w);
+    }
+    if (found) {
+      const std::uint64_t group = group_of(sel);
       Line& l = line_of_group(group);
       lock_line(l);
-      if (l.group == group && slot_of(l, page).valid &&
-          slot_of(l, page).dirty) {
-        writeback_locked(l, page);
-        refresh_checkpoint(l, page);
+      if (l.group == group && slot_of(l, sel).valid && slot_of(l, sel).dirty) {
+        writeback_locked(l, sel);
+        refresh_checkpoint(l, sel);
       }
       unlock_line(l);
       return true;
@@ -693,7 +694,17 @@ void NodeCache::si_fence() {
   const argosim::Time fence_start = argosim::now();
   const std::uint64_t inval_before = stats_.si_invalidations;
   trace(argoobs::Ev::SiFenceBegin, 0, argoobs::kUnknownState, 0);
-  const std::vector<std::size_t> occ(occupied_.begin(), occupied_.end());
+  // Snapshot the occupied set into recycled scratch (the sweep yields at
+  // latches and writebacks, so occupied_ cannot be iterated live). Taken
+  // from a free list rather than rebuilt fresh per fence — concurrent
+  // sweeps (DSM lock acquires fence from any thread) each take their own.
+  std::vector<std::size_t> occ;
+  if (!fence_scratch_.empty()) {
+    occ = std::move(fence_scratch_.back());
+    fence_scratch_.pop_back();
+    occ.clear();
+  }
+  occ.insert(occ.end(), occupied_.begin(), occupied_.end());
   for (const std::size_t idx : occ) {
     Line& l = lines_[idx];
     if (l.group == kNoGroup) continue;
@@ -716,6 +727,7 @@ void NodeCache::si_fence() {
     }
     unlock_line(l);
   }
+  fence_scratch_.push_back(std::move(occ));
   // Retire any writebacks this sweep posted (free at pipeline depth 1:
   // the send queue is always empty there).
   net_.wait_all(node_);

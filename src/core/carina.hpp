@@ -25,10 +25,12 @@
 #include <vector>
 
 #include "core/config.hpp"
+#include "core/diff.hpp"
 #include "core/policy.hpp"
 #include "core/stats.hpp"
 #include "dir/pyxis.hpp"
 #include "mem/global_memory.hpp"
+#include "mem/pool.hpp"
 #include "net/interconnect.hpp"
 #include "obs/trace.hpp"
 #include "sim/sync.hpp"
@@ -100,6 +102,10 @@ class NodeCache {
   /// CacheConfig::write_buffer_pages at all times.
   std::size_t write_buffer_live() const { return wb_live_; }
 
+  /// The node's page-buffer pool (twins, checkpoints, line buffers), for
+  /// tests and diagnostics.
+  const argomem::BufferPool& buffer_pool() const { return pool_; }
+
   /// The page whose directory word governs `page` (classification follows
   /// the fetch granularity; see dir_page below). For the validator.
   std::uint64_t dir_key(std::uint64_t page) const { return dir_page(page); }
@@ -111,13 +117,13 @@ class NodeCache {
     bool valid = false;
     bool dirty = false;
     bool in_wb = false;  // queued in the write buffer
-    std::unique_ptr<std::byte[]> twin;
+    argomem::PageBuf twin;  // pool-backed; reset() recycles the block
   };
 
   struct Line {
     std::uint64_t group = kNoGroup;
     bool fetching = false;
-    std::unique_ptr<std::byte[]> data;  // pages_per_line * kPageSize
+    argomem::PageBuf data;  // pages_per_line * kPageSize, pool-backed
     std::vector<PageSlot> pages;
     argosim::WaitQueue waiters;
   };
@@ -227,6 +233,9 @@ class NodeCache {
   argonet::Interconnect& net_;
   PyxisDirectory& dir_;
   CacheConfig cfg_;
+  // Backs every twin, checkpoint and line buffer; declared before them so
+  // it outlives the PageBufs it issued (members destroy in reverse order).
+  argomem::BufferPool pool_;
   std::vector<Line> lines_;
   // Indices of line slots that currently hold a group — fences and stats
   // iterate this instead of scanning every slot of a large cache.
@@ -237,8 +246,18 @@ class NodeCache {
   // mid-writeback in another fiber; release_wb_slot wakes them.
   argosim::WaitQueue wb_slot_waiters_;
   // Naive P/S: per-page checkpoint taken at each sync (page image as of the
-  // owner's last synchronization point).
-  std::unordered_map<std::uint64_t, std::unique_ptr<std::byte[]>> checkpoints_;
+  // owner's last synchronization point). Heap blocks are stable across
+  // rehashes (PageBuf moves the handle, never the bytes).
+  std::unordered_map<std::uint64_t, argomem::PageBuf> checkpoints_;
+  // Diff-run scratch, stolen/returned around each writeback's scan so the
+  // steady state never reallocates. Writebacks on distinct lines can
+  // interleave across their wire delays, so the vector is moved out for
+  // the duration of a scan rather than used in place.
+  std::vector<DiffRun> diff_scratch_;
+  // Occupied-set snapshots for SI sweeps. A free list, not a single
+  // member: DSM lock acquires run si_fence on arbitrary threads, so two
+  // fibers of one node can sweep concurrently.
+  std::vector<std::vector<std::size_t>> fence_scratch_;
   const std::vector<NodeCache*>* peers_ = nullptr;
   argoobs::Tracer* tracer_ = nullptr;
   CoherenceStats stats_;

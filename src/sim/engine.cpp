@@ -2,6 +2,8 @@
 
 #include <ucontext.h>
 
+#include "sim/slowpath.hpp"
+
 #include <cassert>
 #include <exception>
 #include <sstream>
@@ -62,7 +64,8 @@ struct SimThread::Impl {
 };
 
 SimThread::SimThread(Engine* eng, std::uint64_t id, std::string name,
-                     std::function<void()> body, std::size_t stack_size,
+                     std::function<void()> body,
+                     std::unique_ptr<char[]> stack, std::size_t stack_size,
                      bool daemon)
     : impl_(std::make_unique<Impl>()),
       engine_(eng),
@@ -71,7 +74,7 @@ SimThread::SimThread(Engine* eng, std::uint64_t id, std::string name,
       body_(std::move(body)),
       daemon_(daemon) {
   impl_->stack_size = stack_size;
-  impl_->stack = std::make_unique<char[]>(stack_size);
+  impl_->stack = std::move(stack);
 }
 
 SimThread::~SimThread() = default;
@@ -108,8 +111,23 @@ SimThread* Engine::current_thread() { return g_thread; }
 
 SimThread* Engine::spawn(std::string name, std::function<void()> body,
                          bool daemon, std::size_t stack_size) {
-  auto t = std::unique_ptr<SimThread>(new SimThread(
-      this, next_id_++, std::move(name), std::move(body), stack_size, daemon));
+  std::unique_ptr<char[]> stack;
+#if !defined(ARGO_ASAN_FIBERS)
+  // Recycle a finished fiber's stack rather than freeing and re-mapping
+  // one per spawn. Only default-size stacks are pooled (odd sizes are rare
+  // enough not to matter). ASan builds always allocate fresh: its shadow
+  // poisoning from a dead fiber's frames may outlive the fiber.
+  if (!slow_paths() && stack_size == default_stack_size &&
+      !stack_pool_.empty()) {
+    stack = std::move(stack_pool_.back());
+    stack_pool_.pop_back();
+    ++stacks_reused_;
+  }
+#endif
+  if (!stack) stack = std::make_unique<char[]>(stack_size);
+  auto t = std::unique_ptr<SimThread>(
+      new SimThread(this, next_id_++, std::move(name), std::move(body),
+                    std::move(stack), stack_size, daemon));
   SimThread* raw = t.get();
   threads_.push_back(std::move(t));
   ++spawned_;
@@ -189,6 +207,13 @@ void Engine::switch_to(SimThread* t) {
 }
 
 void Engine::reap_finished_one(SimThread* t) {
+#if !defined(ARGO_ASAN_FIBERS)
+  // The fiber has swapped back to the scheduler for good — its stack is
+  // dead and can serve the next spawn.
+  if (!slow_paths() && t->impl_->stack_size == default_stack_size &&
+      t->impl_->stack)
+    stack_pool_.push_back(std::move(t->impl_->stack));
+#endif
   if (t->daemon_)
     --live_daemon_;
   else
@@ -219,7 +244,33 @@ void Engine::switch_to_scheduler() {
 void Engine::delay(Time ns) {
   SimThread* self = g_thread;
   assert(self && "delay() outside a simulated thread");
-  make_runnable(self, now_ + ns);
+  const Time when = now_ + ns;
+  // Same-fiber fast-forward: if no other runnable fiber is due strictly
+  // before `when`, the scheduler would pop our own entry next and hand
+  // control straight back — so advance the clock in place and keep
+  // running, skipping the two swapcontext calls (and their sigprocmask
+  // syscalls). Ties go to the queued entry: our entry would carry the
+  // larger seq, which preserves the round-robin fairness of yield().
+  // A stopping fiber must reach switch_to_scheduler to unwind (SimStopped).
+  if (!slow_paths() && !self->stop_requested_) {
+    while (!runq_.empty()) {
+      const QueueEntry& top = runq_.top();
+      if (top.thread->finished_ || top.token != top.thread->wake_token_) {
+        runq_.pop();  // stale: the scheduler loop would discard it anyway
+        continue;
+      }
+      break;
+    }
+    if (runq_.empty() || when < runq_.top().when) {
+      // A running fiber never has a live run-queue entry (make_runnable
+      // invalidates prior ones and the scheduler consumed the one that
+      // resumed us), so skipping the push/pop leaves no state behind.
+      now_ = when;
+      ++fast_forwards_;
+      return;
+    }
+  }
+  make_runnable(self, when);
   switch_to_scheduler();
 }
 

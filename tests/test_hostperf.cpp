@@ -1,0 +1,419 @@
+// Host-path performance machinery: word-wise diff scanning, page-buffer
+// pooling, and the scheduler fast paths. Everything here checks the same
+// contract from a different angle: the fast implementations must be
+// *observationally identical* to the slow (seed) ones — same diff runs,
+// same buffer contents, same virtual times — differing only in host work.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "core/carina.hpp"
+#include "core/cluster.hpp"
+#include "core/diff.hpp"
+#include "mem/pool.hpp"
+#include "sim/engine.hpp"
+#include "sim/slowpath.hpp"
+
+namespace {
+
+using argocore::DiffRun;
+using argocore::diff_runs;
+using argocore::diff_runs_reference;
+using argocore::kDiffMergeGap;
+
+// Restores the process-wide slow-path toggle on scope exit so a failing
+// test cannot leak ARGO_SLOW_PATHS semantics into later tests.
+struct SlowGuard {
+  bool prev = argosim::slow_paths();
+  ~SlowGuard() { argosim::set_slow_paths(prev); }
+};
+
+// ---------------------------------------------------------------------------
+// Word-wise diff scanner vs the reference byte scanner
+
+std::vector<DiffRun> scan_reference(const std::vector<std::byte>& cur,
+                                    const std::vector<std::byte>& twin) {
+  std::vector<DiffRun> out;
+  diff_runs_reference(cur.data(), twin.data(), cur.size(), out);
+  return out;
+}
+
+std::vector<DiffRun> scan_fast(const std::vector<std::byte>& cur,
+                               const std::vector<std::byte>& twin) {
+  std::vector<DiffRun> out;
+  diff_runs(cur.data(), twin.data(), cur.size(), out);
+  return out;
+}
+
+std::size_t wire_bytes(const std::vector<DiffRun>& runs) {
+  std::size_t n = 0;
+  for (const DiffRun& r : runs) n += r.len + 8;
+  return n;
+}
+
+// The equivalence check every case below funnels through: identical run
+// sequences (offsets and lengths) and hence identical wire-byte charges.
+void expect_identical(const std::vector<std::byte>& cur,
+                      const std::vector<std::byte>& twin) {
+  ASSERT_EQ(cur.size(), twin.size());
+  const auto ref = scan_reference(cur, twin);
+  const auto fast = scan_fast(cur, twin);
+  ASSERT_EQ(ref.size(), fast.size()) << "page size " << cur.size();
+  for (std::size_t k = 0; k < ref.size(); ++k) {
+    EXPECT_EQ(ref[k].off, fast[k].off) << "run " << k;
+    EXPECT_EQ(ref[k].len, fast[k].len) << "run " << k;
+  }
+  EXPECT_EQ(wire_bytes(ref), wire_bytes(fast));
+}
+
+std::vector<std::byte> bytes(std::size_t n, std::uint8_t fill = 0xAA) {
+  return std::vector<std::byte>(n, std::byte{fill});
+}
+
+TEST(DiffRuns, AllEqualAndAllDifferent) {
+  for (const std::size_t n : {std::size_t{0}, std::size_t{1}, std::size_t{7},
+                              std::size_t{8}, std::size_t{63},
+                              std::size_t{4096}}) {
+    auto cur = bytes(n);
+    auto twin = bytes(n);
+    expect_identical(cur, twin);
+    EXPECT_TRUE(scan_fast(cur, twin).empty());
+    for (auto& b : cur) b = std::byte{0x55};
+    expect_identical(cur, twin);
+    if (n > 0) {
+      const auto runs = scan_fast(cur, twin);
+      ASSERT_EQ(runs.size(), 1u);
+      EXPECT_EQ(runs[0].off, 0u);
+      EXPECT_EQ(runs[0].len, n);
+    }
+  }
+}
+
+TEST(DiffRuns, SingleByteAtEveryOffsetOfASmallPage) {
+  // Exhaustive over a three-word page: every position, including the first
+  // and last byte of every word and of the buffer.
+  constexpr std::size_t n = 24;
+  for (std::size_t pos = 0; pos < n; ++pos) {
+    auto cur = bytes(n);
+    auto twin = bytes(n);
+    cur[pos] = std::byte{0x00};
+    expect_identical(cur, twin);
+    const auto runs = scan_fast(cur, twin);
+    ASSERT_EQ(runs.size(), 1u);
+    EXPECT_EQ(runs[0].off, pos);
+    EXPECT_EQ(runs[0].len, 1u);
+  }
+}
+
+TEST(DiffRuns, TrailingByteOfAFullPage) {
+  auto cur = bytes(4096);
+  auto twin = bytes(4096);
+  cur[4095] = std::byte{0};
+  expect_identical(cur, twin);
+}
+
+TEST(DiffRuns, TailShorterThanAWord) {
+  // Sizes with a sub-8-byte tail, with changes confined to the tail.
+  for (const std::size_t n : {std::size_t{9}, std::size_t{15}, std::size_t{37},
+                              std::size_t{4093}}) {
+    for (std::size_t back = 1; back <= 3 && back <= n; ++back) {
+      auto cur = bytes(n);
+      auto twin = bytes(n);
+      cur[n - back] = std::byte{1};
+      expect_identical(cur, twin);
+    }
+  }
+}
+
+TEST(DiffRuns, GapsAroundTheMergeThreshold) {
+  // Two dirty bytes separated by every gap width around kDiffMergeGap, the
+  // pair swept across word phases so the gap straddles 0, 1 or 2 word
+  // boundaries. gap < 8 must merge into one run; gap >= 8 must split.
+  for (std::size_t gap = kDiffMergeGap - 3; gap <= kDiffMergeGap + 3; ++gap) {
+    for (std::size_t phase = 0; phase < 8; ++phase) {
+      auto cur = bytes(64);
+      auto twin = bytes(64);
+      const std::size_t a = 8 + phase;
+      const std::size_t b = a + 1 + gap;
+      ASSERT_LT(b, cur.size());
+      cur[a] = std::byte{1};
+      cur[b] = std::byte{2};
+      expect_identical(cur, twin);
+      const auto runs = scan_fast(cur, twin);
+      if (gap < kDiffMergeGap) {
+        ASSERT_EQ(runs.size(), 1u) << "gap " << gap << " phase " << phase;
+        EXPECT_EQ(runs[0].off, a);
+        EXPECT_EQ(runs[0].len, b - a + 1);
+      } else {
+        ASSERT_EQ(runs.size(), 2u) << "gap " << gap << " phase " << phase;
+        EXPECT_EQ(runs[0], (DiffRun{a, 1}));
+        EXPECT_EQ(runs[1], (DiffRun{b, 1}));
+      }
+    }
+  }
+}
+
+TEST(DiffRuns, RunsAlignedToWordBoundaries) {
+  // Whole dirty words with whole equal words between them: the pure
+  // word-stepping path on both sides of the threshold (8 equal bytes ends
+  // the run exactly at the boundary; the next word starts the next run).
+  auto cur = bytes(64);
+  auto twin = bytes(64);
+  for (std::size_t k = 0; k < 8; k += 2)
+    for (std::size_t b = 0; b < 8; ++b) cur[k * 8 + b] = std::byte{7};
+  expect_identical(cur, twin);
+  const auto runs = scan_fast(cur, twin);
+  ASSERT_EQ(runs.size(), 4u);
+  for (std::size_t k = 0; k < 4; ++k)
+    EXPECT_EQ(runs[k], (DiffRun{k * 16, 8})) << "run " << k;
+}
+
+TEST(DiffRuns, RandomizedAdversarialPages) {
+  // Randomized property sweep: several mutation regimes over page-sized and
+  // odd-sized buffers, fixed seed. Each case is checked run-for-run against
+  // the reference scanner.
+  std::mt19937 rng(20260805u);
+  const std::size_t sizes[] = {24, 37, 64, 127, 512, 4095, 4096};
+  for (int iter = 0; iter < 400; ++iter) {
+    const std::size_t n = sizes[rng() % std::size(sizes)];
+    std::vector<std::byte> twin(n);
+    for (auto& b : twin) b = std::byte(rng() & 0xff);
+    auto cur = twin;
+    switch (iter % 4) {
+      case 0: {  // sparse independent byte flips
+        const int flips = 1 + static_cast<int>(rng() % 16);
+        for (int f = 0; f < flips; ++f)
+          cur[rng() % n] = std::byte(rng() & 0xff);
+        break;
+      }
+      case 1: {  // dirty runs separated by gaps hovering around the threshold
+        std::size_t pos = rng() % 8;
+        while (pos < n) {
+          const std::size_t len = 1 + rng() % 12;
+          for (std::size_t b = pos; b < std::min(n, pos + len); ++b)
+            cur[b] = std::byte(~static_cast<std::uint8_t>(twin[b]));
+          pos += len + (kDiffMergeGap - 2 + rng() % 5);  // gaps 6..10
+        }
+        break;
+      }
+      case 2: {  // dense: every byte differs with p = 1/2
+        for (std::size_t b = 0; b < n; ++b)
+          if (rng() & 1) cur[b] = std::byte(~static_cast<std::uint8_t>(twin[b]));
+        break;
+      }
+      default: {  // word-aligned dirty words, random selection
+        for (std::size_t w = 0; w + 8 <= n; w += 8)
+          if ((rng() & 3) == 0)
+            for (std::size_t b = w; b < w + 8; ++b)
+              cur[b] = std::byte(rng() & 0xff);
+        break;
+      }
+    }
+    expect_identical(cur, twin);
+  }
+}
+
+TEST(DiffRuns, SlowPathsSelectsReferenceInsideCarina) {
+  // The toggle itself: under ARGO_SLOW_PATHS the pool hands out fresh
+  // zeroed buffers (allocator behaviour of the seed).
+  SlowGuard guard;
+  argosim::set_slow_paths(true);
+  argomem::BufferPool pool;
+  auto a = pool.acquire(64);
+  auto b = pool.acquire(64);
+  for (std::size_t i = 0; i < 64; ++i) {
+    EXPECT_EQ(a.get()[i], std::byte{0});
+    EXPECT_EQ(b.get()[i], std::byte{0});
+  }
+  a.reset();
+  EXPECT_EQ(pool.pooled_buffers(), 0u);  // slow paths never pool
+  auto c = pool.acquire(64);
+  EXPECT_EQ(pool.reuses(), 0u);
+  EXPECT_EQ(pool.allocations(), 3u);
+}
+
+// ---------------------------------------------------------------------------
+// BufferPool / PageBuf
+
+TEST(BufferPool, RecyclesBlocksPerSizeClass) {
+  SlowGuard guard;
+  argosim::set_slow_paths(false);
+  argomem::BufferPool pool;
+  auto small = pool.acquire(4096);
+  auto big = pool.acquire(8192);
+  std::byte* const small_block = small.get();
+  std::byte* const big_block = big.get();
+  EXPECT_EQ(small.size(), 4096u);
+  EXPECT_TRUE(static_cast<bool>(small));
+  small.reset();
+  big.reset();
+  EXPECT_FALSE(static_cast<bool>(small));
+  EXPECT_EQ(pool.pooled_buffers(), 2u);
+  // Same sizes come back as the same blocks, most-recently-released first.
+  auto small2 = pool.acquire(4096);
+  auto big2 = pool.acquire(8192);
+  EXPECT_EQ(small2.get(), small_block);
+  EXPECT_EQ(big2.get(), big_block);
+  EXPECT_EQ(pool.allocations(), 2u);
+  EXPECT_EQ(pool.reuses(), 2u);
+  EXPECT_EQ(pool.pooled_buffers(), 0u);
+}
+
+TEST(BufferPool, FreshAllocationsAreZeroed) {
+  SlowGuard guard;
+  argosim::set_slow_paths(false);
+  argomem::BufferPool pool;
+  auto buf = pool.acquire(4096);
+  for (std::size_t i = 0; i < 4096; ++i)
+    ASSERT_EQ(buf.get()[i], std::byte{0}) << "byte " << i;
+}
+
+TEST(BufferPool, MoveTransfersOwnershipWithoutMovingBytes) {
+  SlowGuard guard;
+  argosim::set_slow_paths(false);
+  argomem::BufferPool pool;
+  auto a = pool.acquire(64);
+  a.get()[0] = std::byte{42};
+  std::byte* const block = a.get();
+  argomem::PageBuf b = std::move(a);
+  EXPECT_FALSE(static_cast<bool>(a));
+  EXPECT_EQ(b.get(), block);
+  EXPECT_EQ(b.get()[0], std::byte{42});
+  b.reset();
+  EXPECT_EQ(pool.pooled_buffers(), 1u);
+}
+
+TEST(BufferPool, CarinaReusesBuffersInSteadyState) {
+  // End-to-end: a repeated shared-write workload must recycle twins and
+  // line buffers instead of allocating fresh ones every round (each
+  // barrier's SD drains the twins and its SI drops the lines, so every
+  // round re-acquires both).
+  SlowGuard guard;
+  argosim::set_slow_paths(false);
+  argo::ClusterConfig c;
+  c.nodes = 2;
+  c.threads_per_node = 1;
+  c.global_mem_bytes = 64 * argomem::kPageSize;
+  argo::Cluster cl(c);
+  auto arr = cl.alloc<std::uint64_t>(8 * (argomem::kPageSize / 8));
+  const std::size_t per_page = argomem::kPageSize / 8;
+  cl.reset_classification();
+  cl.run([&](argo::Thread& th) {
+    for (int round = 0; round < 10; ++round) {
+      for (std::size_t p = 0; p < 8; ++p)
+        th.store(arr.at(p * per_page + static_cast<std::size_t>(th.node())),
+                 static_cast<std::uint64_t>(round));
+      th.barrier();
+    }
+  });
+  std::uint64_t reuses = 0;
+  for (int n = 0; n < c.nodes; ++n)
+    reuses += cl.node_cache(n).buffer_pool().reuses();
+  EXPECT_GT(reuses, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Scheduler fast paths
+
+TEST(EngineFastForward, LoneFiberNeverRoundTripsThroughTheScheduler) {
+  SlowGuard guard;
+  argosim::set_slow_paths(false);
+  argosim::Engine eng;
+  eng.spawn("solo", [] {
+    for (int i = 0; i < 100; ++i) argosim::delay(10);
+  });
+  eng.run();
+  EXPECT_EQ(eng.now(), 1000u);
+  // The first delay may or may not fast-forward (spawn queues an entry);
+  // once running alone, every subsequent delay must.
+  EXPECT_GE(eng.delay_fast_forwards(), 99u);
+}
+
+TEST(EngineFastForward, VirtualTimesMatchSlowPathsExactly) {
+  // The same two-fiber interleaving, fast vs slow: every observed
+  // (virtual time, fiber, step) triple must be identical.
+  using Obs = std::vector<std::pair<argosim::Time, int>>;
+  auto run_once = [](bool slow) {
+    SlowGuard guard;
+    argosim::set_slow_paths(slow);
+    argosim::Engine eng;
+    Obs obs;
+    eng.spawn("a", [&] {
+      for (int i = 0; i < 50; ++i) {
+        argosim::delay(7);
+        obs.emplace_back(argosim::now(), 0);
+      }
+    });
+    eng.spawn("b", [&] {
+      for (int i = 0; i < 50; ++i) {
+        argosim::delay(11);
+        obs.emplace_back(argosim::now(), 1);
+      }
+    });
+    eng.run();
+    obs.emplace_back(eng.now(), -1);
+    return obs;
+  };
+  EXPECT_EQ(run_once(false), run_once(true));
+}
+
+TEST(EngineFastForward, YieldFairnessSurvivesTies) {
+  // Fibers that yield at the same instant must round-robin identically
+  // with the fast path on (ties must go through the scheduler).
+  auto run_once = [](bool slow) {
+    SlowGuard guard;
+    argosim::set_slow_paths(slow);
+    argosim::Engine eng;
+    std::vector<int> order;
+    for (int f = 0; f < 3; ++f) {
+      eng.spawn("t" + std::to_string(f), [&order, f] {
+        for (int i = 0; i < 5; ++i) {
+          order.push_back(f);
+          argosim::yield();
+        }
+      });
+    }
+    eng.run();
+    return order;
+  };
+  const auto fast = run_once(false);
+  EXPECT_EQ(fast, run_once(true));
+}
+
+TEST(EngineFastForward, DisabledUnderSlowPaths) {
+  SlowGuard guard;
+  argosim::set_slow_paths(true);
+  argosim::Engine eng;
+  eng.spawn("solo", [] {
+    for (int i = 0; i < 10; ++i) argosim::delay(1);
+  });
+  eng.run();
+  EXPECT_EQ(eng.now(), 10u);
+  EXPECT_EQ(eng.delay_fast_forwards(), 0u);
+  EXPECT_EQ(eng.stacks_reused(), 0u);
+}
+
+TEST(EngineFastForward, StackPoolRecyclesSequentialSpawns) {
+  SlowGuard guard;
+  argosim::set_slow_paths(false);
+  argosim::Engine eng;
+  // Spawn fibers from inside the simulation so earlier ones finish (and
+  // donate their stacks) before later ones start.
+  eng.spawn("spawner", [&eng] {
+    for (int i = 0; i < 8; ++i) {
+      eng.spawn("child" + std::to_string(i), [] { argosim::delay(1); });
+      argosim::delay(10);
+    }
+  });
+  eng.run();
+#if !defined(__SANITIZE_ADDRESS__)
+  // ASan builds intentionally allocate every stack fresh.
+  EXPECT_GT(eng.stacks_reused(), 0u);
+#endif
+}
+
+}  // namespace

@@ -19,6 +19,7 @@
 #include "obs/export.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "sim/slowpath.hpp"
 
 namespace {
 
@@ -403,6 +404,32 @@ TEST(ClusterTrace, LuTraceDeterministicUnderChaos) {
   const auto b = traced_lu(/*pipeline=*/4, /*chaos=*/true);
   ASSERT_GT(a.size(), 32u);
   EXPECT_EQ(a, b);
+}
+
+// The host fast paths (word-wise diff scan, buffer pooling, scheduler
+// fast-forward, stack recycling) must be invisible in simulated behaviour.
+// ARGO_SLOW_PATHS forces the seed's byte-scan/allocate/swapcontext paths;
+// the whole binary trace — every event, state and virtual timestamp —
+// must come out byte-identical either way, at pipeline depths 1 and 16
+// and under chaos fault injection.
+TEST(ClusterTrace, LuTraceIdenticalWithSlowPathsForced) {
+  struct SlowGuard {
+    bool prev = argosim::slow_paths();
+    ~SlowGuard() { argosim::set_slow_paths(prev); }
+  } guard;
+  for (const int pipeline : {1, 16}) {
+    argosim::set_slow_paths(false);
+    const auto fast = traced_lu(pipeline, /*chaos=*/false);
+    argosim::set_slow_paths(true);
+    const auto slow = traced_lu(pipeline, /*chaos=*/false);
+    ASSERT_GT(fast.size(), 32u) << "pipeline " << pipeline;
+    EXPECT_EQ(fast, slow) << "pipeline " << pipeline;
+  }
+  argosim::set_slow_paths(false);
+  const auto fast = traced_lu(/*pipeline=*/4, /*chaos=*/true);
+  argosim::set_slow_paths(true);
+  const auto slow = traced_lu(/*pipeline=*/4, /*chaos=*/true);
+  EXPECT_EQ(fast, slow);
 }
 
 // ---------------------------------------------------------------------------
