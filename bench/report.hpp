@@ -7,6 +7,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <ctime>
 #include <string>
 #include <vector>
 
@@ -117,6 +118,27 @@ struct BenchOpts {
   }
 };
 
+/// Version of the JSON row shape shared by every BENCH_*.json file. Bump
+/// when a field is renamed or its meaning changes so downstream consumers
+/// (scripts/bench_compare.py, notebooks) can refuse mismatched inputs.
+inline constexpr int kBenchSchemaVersion = 2;
+
+/// Commit hash rows are stamped with. The bench binaries cannot assume a
+/// .git directory (CI runs them from an install tree), so the driver passes
+/// it down: scripts/bench_host.sh and bench_json.sh export ARGO_GIT_COMMIT.
+inline std::string bench_commit() {
+  const char* c = std::getenv("ARGO_GIT_COMMIT");
+  return (c != nullptr && c[0] != '\0') ? c : "unknown";
+}
+
+/// UTC run date in ISO 8601 (YYYY-MM-DD).
+inline std::string bench_date() {
+  const std::time_t now = std::time(nullptr);
+  char buf[16];
+  std::strftime(buf, sizeof(buf), "%Y-%m-%d", std::gmtime(&now));
+  return buf;
+}
+
 /// Collects flat one-object-per-line JSON rows and writes them as an array:
 ///   [
 ///   {"fig":"fig09","app":"MM","wb":512,"pipeline":4,"virtual_ms":12.34},
@@ -152,9 +174,14 @@ class JsonReport {
     std::string body_;
   };
 
+  /// Every row leads with the provenance stamp (schema version, commit,
+  /// run date) so a BENCH file is self-describing even when split apart.
   Row& row() {
     rows_.emplace_back();
-    return rows_.back();
+    return rows_.back()
+        .num("schema", kBenchSchemaVersion)
+        .str("commit", bench_commit())
+        .str("date", bench_date());
   }
 
   /// Write the accumulated rows to `path`. No-op when path is empty.

@@ -14,6 +14,11 @@
 // through Cluster::trace_sink() (argo/trace.hpp). The src/ layout behind
 // these headers is internal and may change; examples, benches and
 // downstream code include only argo/*.hpp (enforced by scripts/check.sh).
+//
+// Access API: Thread::load/store (elementwise), load_bulk/store_bulk
+// (copy-out), and load_span/store_span (zero-copy views of up to one page
+// that amortize a single soft-TLB translation across a whole inner loop —
+// see the usage rules on the declarations in Thread).
 #pragma once
 
 #include "core/cluster.hpp"

@@ -1,0 +1,104 @@
+#!/usr/bin/env python3
+"""Compare two BENCH_host.json files (baseline vs fresh) on fast-mode wall
+time and gate on the geometric-mean ratio.
+
+Usage:
+  scripts/bench_compare.py BASELINE FRESH [--max-regress 0.10]
+                                          [--min-speedup 1.25]
+                                          [--mode fast]
+
+Per bench the script reports ratio = baseline_wall / fresh_wall (> 1 means
+the fresh build is faster). Gates:
+  --max-regress R   fail when the geomean ratio < 1 - R (fresh build is
+                    more than R slower than the baseline) — the CI
+                    perf-smoke setting.
+  --min-speedup S   fail when the geomean ratio < S — used by perf PRs
+                    that must demonstrate a wall-clock win.
+
+Rows carry the provenance stamp written by bench/report.hpp and
+scripts/bench_host.sh ({"schema", "commit", "date", ...}); mismatched
+schema versions are an error, missing stamps (schema-1 files) a warning.
+Stdlib only — runs in the CI container.
+"""
+
+import argparse
+import json
+import math
+import sys
+
+SCHEMA = 2
+
+
+def load_rows(path, mode):
+    with open(path) as f:
+        rows = json.load(f)
+    out = {}
+    stamp = None
+    for row in rows:
+        schema = row.get("schema")
+        if schema is not None and schema != SCHEMA:
+            sys.exit(f"{path}: schema {schema} != expected {SCHEMA}")
+        if schema is None and stamp is None:
+            print(f"warning: {path}: rows carry no provenance stamp "
+                  f"(pre-schema-{SCHEMA} file)", file=sys.stderr)
+            stamp = ("unknown", "unknown")
+        if stamp is None or stamp == ("unknown", "unknown"):
+            stamp = (row.get("commit", "unknown"), row.get("date", "unknown"))
+        if row.get("mode") != mode:
+            continue
+        out[row["bench"]] = float(row["wall_s"])
+    if not out:
+        sys.exit(f"{path}: no rows with mode={mode!r}")
+    return out, stamp
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("baseline")
+    ap.add_argument("fresh")
+    ap.add_argument("--max-regress", type=float, default=None,
+                    help="fail when geomean ratio < 1 - R")
+    ap.add_argument("--min-speedup", type=float, default=None,
+                    help="fail when geomean ratio < S")
+    ap.add_argument("--mode", default="fast",
+                    help="which rows to compare (default: fast)")
+    args = ap.parse_args()
+
+    base, base_stamp = load_rows(args.baseline, args.mode)
+    fresh, fresh_stamp = load_rows(args.fresh, args.mode)
+
+    common = sorted(set(base) & set(fresh))
+    if not common:
+        sys.exit("no benches in common between the two files")
+    for name, only in (("baseline", set(base) - set(fresh)),
+                       ("fresh", set(fresh) - set(base))):
+        if only:
+            print(f"warning: benches only in {name}: {sorted(only)}",
+                  file=sys.stderr)
+
+    print(f"baseline: {args.baseline} (commit {base_stamp[0]}, "
+          f"{base_stamp[1]})")
+    print(f"fresh:    {args.fresh} (commit {fresh_stamp[0]}, "
+          f"{fresh_stamp[1]})")
+    print(f"mode:     {args.mode}")
+    print(f"{'bench':<24} {'base_s':>8} {'fresh_s':>8} {'ratio':>7}")
+    log_sum = 0.0
+    for bench in common:
+        ratio = base[bench] / fresh[bench]
+        log_sum += math.log(ratio)
+        print(f"{bench:<24} {base[bench]:>8.3f} {fresh[bench]:>8.3f} "
+              f"{ratio:>6.2f}x")
+    geomean = math.exp(log_sum / len(common))
+    print(f"{'geomean':<24} {'':>8} {'':>8} {geomean:>6.2f}x")
+
+    if args.max_regress is not None and geomean < 1.0 - args.max_regress:
+        sys.exit(f"FAIL: geomean {geomean:.3f}x is more than "
+                 f"{args.max_regress:.0%} slower than the baseline")
+    if args.min_speedup is not None and geomean < args.min_speedup:
+        sys.exit(f"FAIL: geomean {geomean:.3f}x < required "
+                 f"{args.min_speedup:.2f}x speedup")
+    print("OK")
+
+
+if __name__ == "__main__":
+    main()

@@ -12,9 +12,16 @@
 #   --gate   fail unless fast_total <= 0.95 * slow_total (perf smoke)
 #
 # Output: a JSON array (one object per line, like the other BENCH files)
-# of rows {"bench", "mode", "wall_s", "max_rss_kb"}.
+# of rows {"schema", "commit", "date", "bench", "mode", "wall_s",
+# "max_rss_kb"} — the same provenance stamp benchutil::JsonReport puts on
+# every row (bench/report.hpp kBenchSchemaVersion).
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+SCHEMA=2
+ARGO_GIT_COMMIT="${ARGO_GIT_COMMIT:-$(git rev-parse --short HEAD 2>/dev/null || echo unknown)}"
+export ARGO_GIT_COMMIT
+RUN_DATE="$(date -u +%Y-%m-%d)"
 
 OUT="BENCH_host.json"
 BUILD="build"
@@ -62,7 +69,7 @@ for mode in slow fast; do
   for bench in $BENCHES; do
     read -r wall rss < <(measure "$BUILD/bench/$bench" --quick)
     echo "-- $bench [$mode] ${wall}s rss=${rss}kB"
-    ROWS="$ROWS{\"bench\":\"$bench\",\"mode\":\"$mode\",\"wall_s\":$wall,\"max_rss_kb\":$rss},\n"
+    ROWS="$ROWS{\"schema\":$SCHEMA,\"commit\":\"$ARGO_GIT_COMMIT\",\"date\":\"$RUN_DATE\",\"bench\":\"$bench\",\"mode\":\"$mode\",\"wall_s\":$wall,\"max_rss_kb\":$rss},\n"
     TOTAL[$mode]=$(awk -v a="${TOTAL[$mode]}" -v b="$wall" 'BEGIN { printf "%.3f", a + b }')
   done
 done

@@ -11,6 +11,10 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+# Provenance stamp for benchutil::JsonReport rows (bench/report.hpp).
+ARGO_GIT_COMMIT="${ARGO_GIT_COMMIT:-$(git rev-parse --short HEAD 2>/dev/null || echo unknown)}"
+export ARGO_GIT_COMMIT
+
 OUT="BENCH_pipeline.json"
 BUILD="build"
 QUICK=0

@@ -6,6 +6,7 @@
 #include <unordered_map>
 
 #include "apps/memo.hpp"
+#include "apps/span_util.hpp"
 #include "sim/random.hpp"
 #include "sim/slowpath.hpp"
 
@@ -197,11 +198,9 @@ BsResult bs_run_argo(argo::Cluster& cl, const BsParams& p) {
     for (double v : lp) sum += v;
     t.store(partial + t.gid(), sum);
     t.barrier();
-    if (t.gid() == 0) {
-      double total = 0;
-      for (int g = 0; g < t.nthreads(); ++g) total += t.load(partial + g);
-      t.store(result, total);
-    }
+    if (t.gid() == 0)
+      t.store(result,
+              span_sum(t, partial, static_cast<std::size_t>(t.nthreads())));
   });
   res.checksum = *cl.host_ptr(result);
   return res;

@@ -2,6 +2,7 @@
 
 #include <cassert>
 
+#include "apps/span_util.hpp"
 #include "baseline/pgas.hpp"
 
 namespace argoapps {
@@ -108,9 +109,7 @@ CgResult cg_run_argo(argo::Cluster& cl, const CgParams& prm) {
       t.compute(vec_cost(prm, cnt));
       t.store(part_pq + t.gid(), pq);
       t.barrier();
-      double pq_tot = 0;
-      for (std::size_t k = 0; k < T; ++k)
-        pq_tot += t.load(part_pq + static_cast<std::ptrdiff_t>(k));
+      const double pq_tot = span_sum(t, part_pq, T);
       const double alpha = rho / pq_tot;
       double rr = 0;
       // x and r are shared arrays in the original code: publish them (and
@@ -130,9 +129,7 @@ CgResult cg_run_argo(argo::Cluster& cl, const CgParams& prm) {
       }
       t.store(part_rr + t.gid(), rr);
       t.barrier();
-      double rr_tot = 0;
-      for (std::size_t k = 0; k < T; ++k)
-        rr_tot += t.load(part_rr + static_cast<std::ptrdiff_t>(k));
+      const double rr_tot = span_sum(t, part_rr, T);
       const double beta = rr_tot / rho;
       rho = rr_tot;
       for (std::size_t i = 0; i < cnt; i += 64) {
@@ -151,11 +148,8 @@ CgResult cg_run_argo(argo::Cluster& cl, const CgParams& prm) {
     t.store(part_x + t.gid(), xs);
     t.barrier();
     if (t.gid() == 0) {
-      double total = 0;
-      for (std::size_t k = 0; k < T; ++k)
-        total += t.load(part_x + static_cast<std::ptrdiff_t>(k));
       t.store(result, rho);
-      t.store(result + 1, total);
+      t.store(result + 1, span_sum(t, part_x, T));
     }
     t.barrier();
   });

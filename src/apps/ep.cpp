@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "apps/span_util.hpp"
 #include "baseline/pgas.hpp"
 #include "sim/random.hpp"
 
@@ -91,10 +92,13 @@ EpResult ep_run_argo(argo::Cluster& cl, const EpParams& p) {
     if (t.gid() == 0) {
       EpTally total;
       for (int g = 0; g < t.nthreads(); ++g) {
+        // 13 doubles per tally, so a tally may straddle a page boundary:
+        // span_copy chunks exactly like load_bulk did.
         double in[kTallyDoubles];
-        t.load_bulk(partial + static_cast<std::ptrdiff_t>(
-                                  static_cast<std::size_t>(g) * kTallyDoubles),
-                    in, kTallyDoubles);
+        span_copy(t,
+                  partial + static_cast<std::ptrdiff_t>(
+                                static_cast<std::size_t>(g) * kTallyDoubles),
+                  kTallyDoubles, in);
         total += unpack(in);
       }
       pack(total, buf);

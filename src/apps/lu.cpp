@@ -3,6 +3,7 @@
 #include <cassert>
 #include <cmath>
 
+#include "apps/span_util.hpp"
 #include "sim/random.hpp"
 
 namespace argoapps {
@@ -200,25 +201,21 @@ LuResult lu_run_argo(argo::Cluster& cl, const LuParams& p) {
                        in, b * b);
         },
         [&](Time c) { t.compute(c * p.ns_per_mac); });
-    // Checksum of the blocks this thread owns.
-    const auto T = static_cast<std::size_t>(t.nthreads());
-    (void)T;
+    // Checksum of the blocks this thread owns, summed in place through
+    // per-page spans (no block-sized scratch copy).
     double sum = 0;
-    std::vector<double> blk(b * b);
     for (std::size_t bi = 0; bi < nb; ++bi)
       for (std::size_t bj = 0; bj < nb; ++bj) {
         if (sc.owner(bi, bj) != t.gid()) continue;
-        t.load_bulk(mat + static_cast<std::ptrdiff_t>(block_off(bi, bj, nb, b)),
-                    blk.data(), b * b);
-        for (double v : blk) sum += v;
+        sum += span_sum(
+            t, mat + static_cast<std::ptrdiff_t>(block_off(bi, bj, nb, b)),
+            b * b);
       }
     t.store(partial + t.gid(), sum);
     t.barrier();
-    if (t.gid() == 0) {
-      double total = 0;
-      for (int g = 0; g < t.nthreads(); ++g) total += t.load(partial + g);
-      t.store(result, total);
-    }
+    if (t.gid() == 0)
+      t.store(result,
+              span_sum(t, partial, static_cast<std::size_t>(t.nthreads())));
   });
   res.checksum = *cl.host_ptr(result);
   return res;

@@ -3,6 +3,7 @@
 #include <cstring>
 #include <deque>
 
+#include "apps/span_util.hpp"
 #include "sim/random.hpp"
 #include "sim/slowpath.hpp"
 
@@ -146,11 +147,9 @@ MmResult mm_run_argo(argo::Cluster& cl, const MmParams& p) {
     for (double v : lc) sum += v;
     t.store(partial + t.gid(), sum);
     t.barrier();
-    if (t.gid() == 0) {
-      double total = 0;
-      for (int g = 0; g < t.nthreads(); ++g) total += t.load(partial + g);
-      t.store(result, total);
-    }
+    if (t.gid() == 0)
+      t.store(result,
+              span_sum(t, partial, static_cast<std::size_t>(t.nthreads())));
   });
   res.checksum = *cl.host_ptr(result);
   return res;

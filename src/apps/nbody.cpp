@@ -4,6 +4,7 @@
 #include <cstring>
 #include <deque>
 
+#include "apps/span_util.hpp"
 #include "sim/random.hpp"
 #include "sim/slowpath.hpp"
 
@@ -215,6 +216,9 @@ NbodyResult nbody_run_argo(argo::Cluster& cl, const NbodyParams& p) {
       t.barrier();
     }
     const int fin = p.steps & 1;
+    // The final checksum interleaves |x|+|y|+|z| per body, so the three
+    // arrays cannot be walked one span at a time without changing the
+    // floating-point summation order: keep the bulk copies.
     double sum = 0;
     std::vector<double> fx(cnt), fy(cnt), fz(cnt);
     t.load_bulk(pos[fin][0] + static_cast<std::ptrdiff_t>(lo), fx.data(), cnt);
@@ -224,11 +228,9 @@ NbodyResult nbody_run_argo(argo::Cluster& cl, const NbodyParams& p) {
       sum += std::fabs(fx[i]) + std::fabs(fy[i]) + std::fabs(fz[i]);
     t.store(partial + t.gid(), sum);
     t.barrier();
-    if (t.gid() == 0) {
-      double total = 0;
-      for (int g = 0; g < t.nthreads(); ++g) total += t.load(partial + g);
-      t.store(result, total);
-    }
+    if (t.gid() == 0)
+      t.store(result,
+              span_sum(t, partial, static_cast<std::size_t>(t.nthreads())));
   });
   res.checksum = *cl.host_ptr(result);
   return res;

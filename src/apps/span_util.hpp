@@ -1,0 +1,56 @@
+// Span-based access helpers shared by the workloads.
+//
+// The soft-TLB (core/tlb.hpp) makes a cached *hit* nearly free, but an
+// elementwise reduction still pays one lookup per element and copies every
+// value through Thread::load's return slot. Thread::load_span resolves one
+// translation per page and exposes the page directly; these helpers wrap
+// the resulting chunking loop. Protocol behavior is identical to a
+// load_bulk of the same range (one read_ptr per page), so virtual times,
+// traces and checksums are unchanged relative to a bulk-copy-then-reduce.
+#pragma once
+
+#include <cstddef>
+
+#include "core/cluster.hpp"
+
+namespace argoapps {
+
+/// Sum `count` elements starting at `p` through per-page spans.
+template <typename T>
+T span_sum(argo::Thread& t, argo::gptr<T> p, std::size_t count) {
+  T total{};
+  while (count > 0) {
+    const auto sp = t.load_span(p, count);
+    for (const T& v : sp) total += v;
+    p += static_cast<std::ptrdiff_t>(sp.size());
+    count -= sp.size();
+  }
+  return total;
+}
+
+/// Copy `count` elements starting at `p` into `out` through per-page
+/// spans — the span analogue of Thread::load_bulk, for ranges that must
+/// land in a caller-owned buffer (e.g. to be reinterpreted as a struct).
+template <typename T>
+void span_copy(argo::Thread& t, argo::gptr<T> p, std::size_t count, T* out) {
+  while (count > 0) {
+    const auto sp = t.load_span(p, count);
+    for (const T& v : sp) *out++ = v;
+    p += static_cast<std::ptrdiff_t>(sp.size());
+    count -= sp.size();
+  }
+}
+
+/// Apply `fn(element)` to `count` elements starting at `p`.
+template <typename T, typename Fn>
+void span_for_each(argo::Thread& t, argo::gptr<T> p, std::size_t count,
+                   Fn&& fn) {
+  while (count > 0) {
+    const auto sp = t.load_span(p, count);
+    for (const T& v : sp) fn(v);
+    p += static_cast<std::ptrdiff_t>(sp.size());
+    count -= sp.size();
+  }
+}
+
+}  // namespace argoapps

@@ -49,8 +49,23 @@ NodeCache::NodeCache(int node, GlobalMemory& gmem, argonet::Interconnect& net,
   assert(cfg_.cache_lines >= 1);
   assert(cfg_.pages_per_line >= 1);
   assert(cfg_.write_buffer_pages >= 1);
+  // Per-line PageSlot vectors are sized lazily when a line first holds a
+  // group: a paper-scale cache (16384 lines × 4 pages) would otherwise pay
+  // tens of thousands of allocations per node at construction for slots
+  // most benchmarks never touch.
   lines_.resize(cfg_.cache_lines);
-  for (auto& l : lines_) l.pages.resize(cfg_.pages_per_line);
+  occ_bits_.assign((cfg_.cache_lines + 63) / 64, 0);
+  if (cfg_.classification == Mode::PSNaive)
+    checkpoints_.reserve(checkpoint_reserve());
+}
+
+std::size_t NodeCache::checkpoint_reserve() const {
+  // Naive P/S checkpoints every page that is dirty at a sync point; the
+  // working set of those is bounded by what the cache can hold dirty —
+  // the write buffer — with headroom for entries that outlive their buffer
+  // residency. Sizing the table up front keeps the measured phase free of
+  // rehashing.
+  return 2 * cfg_.write_buffer_pages;
 }
 
 bool NodeCache::my_reader_bit_set(std::uint64_t page) const {
@@ -76,7 +91,7 @@ void NodeCache::unlock_line(Line& l) {
 // Access paths
 // ---------------------------------------------------------------------------
 
-const std::byte* NodeCache::read_ptr(GAddr a, std::size_t len) {
+const std::byte* NodeCache::read_ptr(GAddr a, std::size_t len, SoftTlb* tlb) {
   assert(page_offset(a) + len <= kPageSize && "access must not straddle pages");
   (void)len;
   const std::uint64_t page = page_of(a);
@@ -84,6 +99,12 @@ const std::byte* NodeCache::read_ptr(GAddr a, std::size_t len) {
     // Home pages are served from home memory and never cached (§3).
     ++stats_.home_accesses;
     if (!my_reader_bit_set(page)) register_access(page, /*for_write=*/false);
+    // Home translations never go stale semantically (the reader bit is
+    // monotonic and home bytes live at a fixed address); the generation
+    // stamp just makes them re-validate harmlessly after protocol events.
+    if (tlb)
+      tlb->insert_read(page, tlb_gen_, gmem_.home_ptr(page * kPageSize),
+                       &stats_.home_accesses);
     return gmem_.home_ptr(a);
   }
   const std::uint64_t group = group_of(page);
@@ -94,16 +115,24 @@ const std::byte* NodeCache::read_ptr(GAddr a, std::size_t len) {
     PageSlot& s = slot_of(l, page);
     if (s.valid && my_reader_bit_set(page)) {
       ++stats_.read_hits;
+      if (tlb)
+        tlb->insert_read(page, tlb_gen_, page_data(l, page),
+                         &stats_.read_hits);
       return page_data(l, page) + page_offset(a);
     }
   }
   ++stats_.read_misses;
   argosim::delay(cfg_.fault_overhead);
   ensure_cached(page, /*for_write=*/false);
+  // ensure_cached returned with the page valid + reader bit set; the next
+  // slow-path access would be a read hit, so that is the counter a TLB hit
+  // must bump. Stamped with the post-fill generation.
+  if (tlb)
+    tlb->insert_read(page, tlb_gen_, page_data(l, page), &stats_.read_hits);
   return page_data(l, page) + page_offset(a);
 }
 
-std::byte* NodeCache::write_ptr(GAddr a, std::size_t len) {
+std::byte* NodeCache::write_ptr(GAddr a, std::size_t len, SoftTlb* tlb) {
   assert(page_offset(a) + len <= kPageSize && "access must not straddle pages");
   (void)len;
   const std::uint64_t page = page_of(a);
@@ -112,6 +141,9 @@ std::byte* NodeCache::write_ptr(GAddr a, std::size_t len) {
     // classification registration matters.
     ++stats_.home_accesses;
     if (!my_writer_bit_set(page)) register_access(page, /*for_write=*/true);
+    if (tlb)
+      tlb->insert_write(page, tlb_gen_, gmem_.home_ptr(page * kPageSize),
+                        &stats_.home_accesses);
     return gmem_.home_ptr(a);
   }
   const std::uint64_t group = group_of(page);
@@ -121,6 +153,9 @@ std::byte* NodeCache::write_ptr(GAddr a, std::size_t len) {
     PageSlot& s = slot_of(l, page);
     if (s.valid && s.dirty && my_writer_bit_set(page)) {
       ++stats_.write_hits;
+      if (tlb)
+        tlb->insert_write(page, tlb_gen_, page_data(l, page),
+                          &stats_.write_hits);
       return page_data(l, page) + page_offset(a);
     }
   }
@@ -171,6 +206,12 @@ std::byte* NodeCache::write_ptr(GAddr a, std::size_t len) {
       }
     }
     unlock_line(l);
+    // The page is now valid + dirty + write-buffered — exactly the window
+    // a write translation may live in. release_wb_slot (writeback, drain,
+    // fence) bumps the generation, ending it.
+    if (tlb)
+      tlb->insert_write(page, tlb_gen_, page_data(l, page),
+                        &stats_.write_hits);
     return page_data(l, page) + page_offset(a);
   }
 }
@@ -196,9 +237,15 @@ void NodeCache::ensure_cached(std::uint64_t page, bool for_write) {
       if (healed) {
         // A copy prefetched before the heal (as part of a neighbouring
         // page's line fill) predates the healed home content: drop it.
+        // (Group check first: an unclaimed line has no slots yet.)
         lock_line(l);
-        PageSlot& s = slot_of(l, page);
-        if (l.group == group && s.valid && !s.dirty) s.valid = false;
+        if (l.group == group) {
+          PageSlot& s = slot_of(l, page);
+          if (s.valid && !s.dirty) {
+            s.valid = false;
+            ++tlb_gen_;
+          }
+        }
         unlock_line(l);
       }
       continue;
@@ -231,8 +278,10 @@ void NodeCache::ensure_cached(std::uint64_t page, bool for_write) {
     if (l.group != group) {
       evict_line_locked(l);
       l.group = group;
-      occupied_.insert(group % cfg_.cache_lines);
+      occupy(group % cfg_.cache_lines);
       if (!l.data) l.data = pool_.acquire(cfg_.pages_per_line * kPageSize);
+      if (l.pages.size() != cfg_.pages_per_line)
+        l.pages.resize(cfg_.pages_per_line);  // first claim of this slot
       for (auto& s : l.pages) {
         s.valid = false;
         s.dirty = false;
@@ -279,8 +328,10 @@ void NodeCache::ensure_cached_pipelined(std::uint64_t page, bool for_write) {
     if (l.group != group) {
       evict_line_locked(l);
       l.group = group;
-      occupied_.insert(group % cfg_.cache_lines);
+      occupy(group % cfg_.cache_lines);
       if (!l.data) l.data = pool_.acquire(cfg_.pages_per_line * kPageSize);
+      if (l.pages.size() != cfg_.pages_per_line)
+        l.pages.resize(cfg_.pages_per_line);  // first claim of this slot
       for (auto& s : l.pages) {
         s.valid = false;
         s.dirty = false;
@@ -417,6 +468,10 @@ void NodeCache::heal_from_checkpoint(int owner, std::uint64_t page) {
   const GAddr base = page * kPageSize;
   net_.write(node_, gmem_.home_of_page(page), gmem_.home_ptr(base), scratch,
              kPageSize);
+  // A heal rewrites home *content*; translations are pointers, so none can
+  // actually dangle — but the event is on the invalidation list (tlb.hpp),
+  // and over-bumping costs one extra miss at most.
+  ++tlb_gen_;
 }
 
 // ---------------------------------------------------------------------------
@@ -428,6 +483,7 @@ void NodeCache::fetch_line_locked(Line& l, std::uint64_t group) {
   const std::uint64_t last =
       std::min<std::uint64_t>(first + cfg_.pages_per_line, gmem_.pages());
   ++stats_.line_fetches;
+  ++tlb_gen_;  // a fill changes residency: conservative, see tlb.hpp
   // Fetch contiguous runs of invalid pages that share a home node with one
   // RDMA read each (own-home pages are never cached; they stay invalid).
   // With pipelining the reads are posted back to back — the runs' wire
@@ -498,6 +554,10 @@ void NodeCache::evict_line_locked(Line& l) {
       if (cfg_.classification == Mode::PSNaive) refresh_checkpoint(l, page);
     }
     s.valid = false;
+    // Bumped adjacent to the residency change, NOT once per eviction: the
+    // dirty-page writebacks above yield, and a translation inserted by
+    // another fiber during that window must still be revoked here.
+    ++tlb_gen_;
     s.twin.reset();
     ++stats_.evictions;
     if (tracer_)
@@ -514,6 +574,7 @@ void NodeCache::refresh_checkpoint(Line& l, std::uint64_t page) {
   argosim::delay(net_.config().mem_copy(kPageSize));
   ++stats_.checkpoints;
   stats_.checkpoint_bytes += kPageSize;
+  ++tlb_gen_;  // checkpoint/diff-base refresh is on the invalidation list
   // The diff base must advance to the synchronization point: once this page
   // turns shared, "any further writes must be self-downgraded ... as a diff"
   // (§3.4.2) — a diff of the writes since the last sync, not since the
@@ -529,6 +590,10 @@ void NodeCache::refresh_checkpoint(Line& l, std::uint64_t page) {
 
 void NodeCache::release_wb_slot(PageSlot& s) {
   s.dirty = false;
+  // The page left the dirty + write-buffered window, so any thread-held
+  // write translation for it must die: the next store has to re-twin and
+  // re-queue. Covers writeback retire, capacity drains and fence drains.
+  ++tlb_gen_;
   if (s.in_wb) {
     s.in_wb = false;
     --wb_live_;
@@ -612,8 +677,10 @@ void NodeCache::writeback(std::uint64_t page) {
   const std::uint64_t group = group_of(page);
   Line& l = line_of_group(group);
   lock_line(l);
-  PageSlot& s = slot_of(l, page);
-  if (l.group == group && s.valid && s.dirty) writeback_locked(l, page);
+  if (l.group == group) {  // group first: unclaimed lines have no slots
+    PageSlot& s = slot_of(l, page);
+    if (s.valid && s.dirty) writeback_locked(l, page);
+  }
   unlock_line(l);
 }
 
@@ -695,7 +762,7 @@ void NodeCache::si_fence() {
   const std::uint64_t inval_before = stats_.si_invalidations;
   trace(argoobs::Ev::SiFenceBegin, 0, argoobs::kUnknownState, 0);
   // Snapshot the occupied set into recycled scratch (the sweep yields at
-  // latches and writebacks, so occupied_ cannot be iterated live). Taken
+  // latches and writebacks, so occ_idx_ cannot be iterated live). Taken
   // from a free list rather than rebuilt fresh per fence — concurrent
   // sweeps (DSM lock acquires fence from any thread) each take their own.
   std::vector<std::size_t> occ;
@@ -704,7 +771,7 @@ void NodeCache::si_fence() {
     fence_scratch_.pop_back();
     occ.clear();
   }
-  occ.insert(occ.end(), occupied_.begin(), occupied_.end());
+  occ.insert(occ.end(), occ_idx_.begin(), occ_idx_.end());
   for (const std::size_t idx : occ) {
     Line& l = lines_[idx];
     if (l.group == kNoGroup) continue;
@@ -722,6 +789,11 @@ void NodeCache::si_fence() {
       if (registered && !si_required(cfg_.classification, w, node_)) continue;
       if (s.dirty) writeback_locked(l, page);
       s.valid = false;
+      // Per-invalidation bump (not once per fence): the writeback above
+      // yields, and translations inserted by other fibers mid-sweep for
+      // pages this sweep has not reached yet must still be revoked when
+      // their turn comes.
+      ++tlb_gen_;
       s.twin.reset();
       ++stats_.si_invalidations;
     }
@@ -805,8 +877,8 @@ void NodeCache::sd_fence() {
 void NodeCache::invalidate_all_free() {
   assert(dirty_pages() == 0 &&
          "reset_classification requires a clean cache (barrier first)");
-  occupied_.clear();
-  for (auto& l : lines_) {
+  for (const std::size_t idx : occ_idx_) {
+    Line& l = lines_[idx];
     assert(!l.fetching);
     l.group = kNoGroup;
     for (auto& s : l.pages) {
@@ -815,29 +887,43 @@ void NodeCache::invalidate_all_free() {
       s.in_wb = false;
       s.twin.reset();
     }
+    occ_bits_[idx >> 6] &= ~(std::uint64_t{1} << (idx & 63));
   }
+  occ_idx_.clear();
+  ++tlb_gen_;  // every translation any thread holds is now invalid
   write_buffer_.clear();
   wb_live_ = 0;
+  // Shrink: drop the page images AND any oversized bucket table a long
+  // initialization phase grew, then re-reserve the steady-state sizing so
+  // the measured phase starts rehash-free.
   checkpoints_.clear();
+  if (cfg_.classification == Mode::PSNaive) {
+    const std::size_t want = checkpoint_reserve();
+    if (checkpoints_.bucket_count() >
+        2 * want / checkpoints_.max_load_factor()) {
+      std::unordered_map<std::uint64_t, argomem::PageBuf>{}.swap(checkpoints_);
+      checkpoints_.reserve(want);
+    }
+  }
 }
 
 std::size_t NodeCache::resident_pages() const {
   std::size_t n = 0;
-  for (const std::size_t idx : occupied_)
+  for (const std::size_t idx : occ_idx_)
     for (const auto& s : lines_[idx].pages) n += s.valid ? 1 : 0;
   return n;
 }
 
 std::size_t NodeCache::dirty_pages() const {
   std::size_t n = 0;
-  for (const std::size_t idx : occupied_)
+  for (const std::size_t idx : occ_idx_)
     for (const auto& s : lines_[idx].pages) n += (s.valid && s.dirty) ? 1 : 0;
   return n;
 }
 
 std::vector<NodeCache::CachedPage> NodeCache::cached_pages() const {
   std::vector<CachedPage> out;
-  for (const std::size_t idx : occupied_) {
+  for (const std::size_t idx : occ_idx_) {
     const Line& l = lines_[idx];
     if (l.group == kNoGroup) continue;
     for (std::size_t i = 0; i < l.pages.size(); ++i) {

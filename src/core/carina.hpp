@@ -21,13 +21,13 @@
 #include <deque>
 #include <memory>
 #include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 #include "core/config.hpp"
 #include "core/diff.hpp"
 #include "core/policy.hpp"
 #include "core/stats.hpp"
+#include "core/tlb.hpp"
 #include "dir/pyxis.hpp"
 #include "mem/global_memory.hpp"
 #include "mem/pool.hpp"
@@ -53,13 +53,19 @@ class NodeCache {
   /// Readable span [a, a+len) (must not cross a page boundary). Home pages
   /// are served from home memory; remote pages from the page cache,
   /// faulting the line in on a miss. The pointer is valid only until the
-  /// next protocol operation — callers copy out immediately.
-  const std::byte* read_ptr(GAddr a, std::size_t len);
+  /// next protocol operation — callers copy out immediately. When `tlb` is
+  /// non-null the resulting translation is cached there for MMU-analogue
+  /// reuse (src/core/tlb.hpp); passing null (the ARGO_SLOW_PATHS seed
+  /// behavior) changes nothing observable.
+  const std::byte* read_ptr(GAddr a, std::size_t len, SoftTlb* tlb = nullptr);
 
   /// Writable span [a, a+len) (must not cross a page boundary). Remote
   /// pages get write-allocated: twin created, marked dirty, queued in the
   /// write buffer; registration and classification transitions happen here.
-  std::byte* write_ptr(GAddr a, std::size_t len);
+  /// A cached write translation stays valid only while the page remains
+  /// dirty + write-buffered — every event that ends that (writeback, drain,
+  /// fence, checkpoint) bumps the TLB generation.
+  std::byte* write_ptr(GAddr a, std::size_t len, SoftTlb* tlb = nullptr);
 
   /// SI fence: drop every cached page the classification says may be stale
   /// (flushing it first if dirty). Acquire-side of every synchronization.
@@ -109,6 +115,23 @@ class NodeCache {
   /// The page whose directory word governs `page` (classification follows
   /// the fetch granularity; see dir_page below). For the validator.
   std::uint64_t dir_key(std::uint64_t page) const { return dir_page(page); }
+
+  /// Current soft-TLB generation. Thread-held translations stamped with an
+  /// older value are stale and must re-walk the slow path. Bumped adjacent
+  /// to every mutation that can change a page's contents, residency or
+  /// write permission (see the ++tlb_gen_ sites in carina.cpp).
+  std::uint64_t tlb_generation() const { return tlb_gen_; }
+
+  /// Address of the generation counter, for external invalidation sources
+  /// (PyxisDirectory bumps it when a deferred invalidation is merged into
+  /// this node's directory cache).
+  std::uint64_t* tlb_gen_slot() { return &tlb_gen_; }
+
+  /// Host-only diagnostics: accumulate a retiring thread's TLB hit count.
+  /// Deliberately NOT part of CoherenceStats — those must be identical
+  /// with the TLB disabled.
+  void note_tlb_hits(std::uint64_t n) { tlb_host_hits_ += n; }
+  std::uint64_t tlb_host_hits() const { return tlb_host_hits_; }
 
  private:
   static constexpr std::uint64_t kNoGroup = ~std::uint64_t{0};
@@ -228,6 +251,9 @@ class NodeCache {
   /// checkpoint (RDMA read from owner + RDMA write to home).
   void heal_from_checkpoint(int owner, std::uint64_t page);
 
+  /// Bucket sizing for checkpoints_ (naive P/S), derived from CacheConfig.
+  std::size_t checkpoint_reserve() const;
+
   int node_;
   GlobalMemory& gmem_;
   argonet::Interconnect& net_;
@@ -237,9 +263,12 @@ class NodeCache {
   // it outlives the PageBufs it issued (members destroy in reverse order).
   argomem::BufferPool pool_;
   std::vector<Line> lines_;
-  // Indices of line slots that currently hold a group — fences and stats
-  // iterate this instead of scanning every slot of a large cache.
-  std::unordered_set<std::size_t> occupied_;
+  // Line slots that currently hold a group — fences and stats iterate
+  // occ_idx_ (insertion order, which is protocol order and therefore
+  // deterministic) instead of scanning every slot of a large cache. The
+  // flat bitmap dedupes insertions without hashing.
+  std::vector<std::uint64_t> occ_bits_;
+  std::vector<std::size_t> occ_idx_;
   std::deque<std::uint64_t> write_buffer_;
   std::size_t wb_live_ = 0;
   // Writers parked on a full write buffer whose every live entry is
@@ -261,6 +290,18 @@ class NodeCache {
   const std::vector<NodeCache*>* peers_ = nullptr;
   argoobs::Tracer* tracer_ = nullptr;
   CoherenceStats stats_;
+  // Soft-TLB generation shared by all of this node's threads. Starts at 1
+  // so a zero-initialized TlbEntry can never match. Monotonic; wrap is
+  // unreachable (2^64 protocol events).
+  std::uint64_t tlb_gen_ = 1;
+  std::uint64_t tlb_host_hits_ = 0;
+
+  /// Record that line slot `idx` holds a group (idempotent).
+  void occupy(std::size_t idx) {
+    if (occ_bits_[idx >> 6] & (std::uint64_t{1} << (idx & 63))) return;
+    occ_bits_[idx >> 6] |= std::uint64_t{1} << (idx & 63);
+    occ_idx_.push_back(idx);
+  }
 };
 
 }  // namespace argocore

@@ -19,6 +19,10 @@ Cluster::Cluster(ClusterConfig cfg)
   for (auto& c : caches_) peer_view_.push_back(c.get());
   for (auto& c : caches_) c->set_peers(&peer_view_);
   net_.enable_faults(cfg_.faults);
+  // Deferred invalidations delivered into a node's directory cache must
+  // revoke that node's thread-held soft-TLB translations.
+  for (int n = 0; n < cfg_.nodes; ++n)
+    dir_.set_gen_slot(n, caches_[static_cast<std::size_t>(n)]->tlb_gen_slot());
   tracer_.configure(cfg_.nodes, cfg_.trace);
   net_.set_tracer(&tracer_);
   dir_.set_tracer(&tracer_);
@@ -254,10 +258,18 @@ void Thread::barrier() {
 }
 
 void Thread::load_bytes(GAddr a, std::byte* dst, std::size_t n) {
+  argocore::SoftTlb* tlb = tlb_ptr();
   while (n > 0) {
     const std::size_t in_page = kPageSize - argomem::page_offset(a);
     const std::size_t chunk = n < in_page ? n : in_page;
-    std::memcpy(dst, cache_->read_ptr(a, chunk), chunk);
+    const std::byte* src = tlb ? tlb->lookup_read(argomem::page_of(a),
+                                                  cache_->tlb_generation())
+                               : nullptr;
+    if (src)
+      src += argomem::page_offset(a);
+    else
+      src = cache_->read_ptr(a, chunk, tlb);
+    std::memcpy(dst, src, chunk);
     a += chunk;
     dst += chunk;
     n -= chunk;
@@ -265,10 +277,18 @@ void Thread::load_bytes(GAddr a, std::byte* dst, std::size_t n) {
 }
 
 void Thread::store_bytes(GAddr a, const std::byte* src, std::size_t n) {
+  argocore::SoftTlb* tlb = tlb_ptr();
   while (n > 0) {
     const std::size_t in_page = kPageSize - argomem::page_offset(a);
     const std::size_t chunk = n < in_page ? n : in_page;
-    std::memcpy(cache_->write_ptr(a, chunk), src, chunk);
+    std::byte* dst = tlb ? tlb->lookup_write(argomem::page_of(a),
+                                             cache_->tlb_generation())
+                         : nullptr;
+    if (dst)
+      dst += argomem::page_offset(a);
+    else
+      dst = cache_->write_ptr(a, chunk, tlb);
+    std::memcpy(dst, src, chunk);
     a += chunk;
     src += chunk;
     n -= chunk;

@@ -18,16 +18,20 @@
 // nothing on hits. See DESIGN.md for this substitution.
 #pragma once
 
+#include <algorithm>
 #include <cassert>
 #include <cstring>
 #include <functional>
 #include <memory>
+#include <span>
 #include <type_traits>
 #include <vector>
 
 #include "core/carina.hpp"
 #include "core/config.hpp"
 #include "core/stats.hpp"
+#include "core/tlb.hpp"
+#include "sim/slowpath.hpp"
 #include "dir/pyxis.hpp"
 #include "mem/gaddr.hpp"
 #include "mem/global_memory.hpp"
@@ -96,10 +100,24 @@ class Thread {
   T load(gptr<T> p) {
     static_assert(std::is_trivially_copyable_v<T>);
     T v;
-    if (argomem::page_offset(p.raw()) + sizeof(T) <= kPageSize) {
-      std::memcpy(&v, cache_->read_ptr(p.raw(), sizeof(T)), sizeof(T));
+    const GAddr a = p.raw();
+    const std::size_t off = argomem::page_offset(a);
+    if (off + sizeof(T) <= kPageSize) {
+      // MMU analogue: a soft-TLB hit is a bounds check + pointer add — the
+      // cost model of a protection-mapped page the hardware translates.
+      // Misses (and ARGO_SLOW_PATHS=1, where tlb_ptr() is null) take the
+      // full protocol walk, which refills the TLB. See src/core/tlb.hpp.
+      argocore::SoftTlb* tlb = tlb_ptr();
+      if (tlb) {
+        if (const std::byte* base = tlb->lookup_read(
+                argomem::page_of(a), cache_->tlb_generation())) {
+          std::memcpy(&v, base + off, sizeof(T));
+          return v;
+        }
+      }
+      std::memcpy(&v, cache_->read_ptr(a, sizeof(T), tlb), sizeof(T));
     } else {
-      load_bytes(p.raw(), reinterpret_cast<std::byte*>(&v), sizeof(T));
+      load_bytes(a, reinterpret_cast<std::byte*>(&v), sizeof(T));
     }
     return v;
   }
@@ -107,10 +125,20 @@ class Thread {
   template <typename T>
   void store(gptr<T> p, const T& v) {
     static_assert(std::is_trivially_copyable_v<T>);
-    if (argomem::page_offset(p.raw()) + sizeof(T) <= kPageSize) {
-      std::memcpy(cache_->write_ptr(p.raw(), sizeof(T)), &v, sizeof(T));
+    const GAddr a = p.raw();
+    const std::size_t off = argomem::page_offset(a);
+    if (off + sizeof(T) <= kPageSize) {
+      argocore::SoftTlb* tlb = tlb_ptr();
+      if (tlb) {
+        if (std::byte* base = tlb->lookup_write(argomem::page_of(a),
+                                                cache_->tlb_generation())) {
+          std::memcpy(base + off, &v, sizeof(T));
+          return;
+        }
+      }
+      std::memcpy(cache_->write_ptr(a, sizeof(T), tlb), &v, sizeof(T));
     } else {
-      store_bytes(p.raw(), reinterpret_cast<const std::byte*>(&v), sizeof(T));
+      store_bytes(a, reinterpret_cast<const std::byte*>(&v), sizeof(T));
     }
   }
 
@@ -125,6 +153,69 @@ class Thread {
   void store_bulk(gptr<T> dst, const T* src, std::size_t count) {
     store_bytes(dst.raw(), reinterpret_cast<const std::byte*>(src),
                 count * sizeof(T));
+  }
+
+  // --- Span accesses -------------------------------------------------------
+  //
+  // One translation per page instead of one per element: the span variants
+  // resolve `p`'s page once (soft-TLB hit or full protocol walk — the same
+  // walk a load/store of the first element would take) and expose the rest
+  // of the page directly. Protocol behavior is identical to load_bulk /
+  // store_bulk over the same range.
+  //
+  // Rules of use:
+  //  * The span is valid only until this thread's next protocol operation
+  //    (any load/store/span/fence/barrier) — copy out or finish iterating
+  //    first, and never hold two spans at once: the second translation can
+  //    evict the first one's line.
+  //  * A store_span's bytes must be fully written by the caller if the page
+  //    was not previously written (the span exposes raw page bytes, exactly
+  //    like consecutive store()s would).
+
+  /// Read-only view of up to `max_count` elements at `p`, clamped to the
+  /// containing page. Never empty for max_count > 0.
+  template <typename T>
+  std::span<const T> load_span(gptr<T> p, std::size_t max_count) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    static_assert(kPageSize % sizeof(T) == 0,
+                  "span element type must pack evenly into a page");
+    const GAddr a = p.raw();
+    const std::size_t off = argomem::page_offset(a);
+    assert(off % sizeof(T) == 0 && "span base must be element-aligned");
+    const std::size_t count =
+        std::min(max_count, (kPageSize - off) / sizeof(T));
+    if (count == 0) return {};
+    argocore::SoftTlb* tlb = tlb_ptr();
+    if (tlb) {
+      if (const std::byte* base = tlb->lookup_read(
+              argomem::page_of(a), cache_->tlb_generation()))
+        return {reinterpret_cast<const T*>(base + off), count};
+    }
+    const std::byte* ptr = cache_->read_ptr(a, count * sizeof(T), tlb);
+    return {reinterpret_cast<const T*>(ptr), count};
+  }
+
+  /// Writable view of up to `max_count` elements at `p`, clamped to the
+  /// containing page. Write-allocates the page exactly like store() does.
+  template <typename T>
+  std::span<T> store_span(gptr<T> p, std::size_t max_count) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    static_assert(kPageSize % sizeof(T) == 0,
+                  "span element type must pack evenly into a page");
+    const GAddr a = p.raw();
+    const std::size_t off = argomem::page_offset(a);
+    assert(off % sizeof(T) == 0 && "span base must be element-aligned");
+    const std::size_t count =
+        std::min(max_count, (kPageSize - off) / sizeof(T));
+    if (count == 0) return {};
+    argocore::SoftTlb* tlb = tlb_ptr();
+    if (tlb) {
+      if (std::byte* base = tlb->lookup_write(argomem::page_of(a),
+                                              cache_->tlb_generation()))
+        return {reinterpret_cast<T*>(base + off), count};
+    }
+    std::byte* ptr = cache_->write_ptr(a, count * sizeof(T), tlb);
+    return {reinterpret_cast<T*>(ptr), count};
   }
 
   /// True if `a` is homed on this thread's node (its accesses are local).
@@ -168,6 +259,16 @@ class Thread {
          NodeCache* cache)
       : cluster_(cluster), node_(node), tid_(tid), gid_(gid), core_(core),
         cache_(cache) {}
+  Thread(const Thread&) = delete;
+  Thread& operator=(const Thread&) = delete;
+  ~Thread() { cache_->note_tlb_hits(tlb_.host_hits); }
+
+  /// The single fast-path gate: null under ARGO_SLOW_PATHS=1, which makes
+  /// every access byte-identical to the seed implementation (no lookups,
+  /// no fills — read_ptr/write_ptr see a null TLB).
+  argocore::SoftTlb* tlb_ptr() {
+    return argosim::slow_paths() ? nullptr : &tlb_;
+  }
 
   void load_bytes(GAddr a, std::byte* dst, std::size_t n);
   void store_bytes(GAddr a, const std::byte* src, std::size_t n);
@@ -175,6 +276,9 @@ class Thread {
   Cluster* cluster_;
   int node_, tid_, gid_, core_;
   NodeCache* cache_;
+  // Per-thread translation cache (~4 KB, lives on the fiber stack with the
+  // Thread object).
+  argocore::SoftTlb tlb_;
 };
 
 /// The simulated Argo cluster: nodes, interconnect, global memory, Pyxis

@@ -42,6 +42,10 @@ DirWord PyxisDirectory::read(int src, std::uint64_t page) {
 void PyxisDirectory::reset_all() {
   std::fill(words_.begin(), words_.end(), 0);
   for (auto& c : caches_) std::fill(c.begin(), c.end(), 0);
+  // The reset clears every node's own reader/writer bits — the one event
+  // that breaks the monotonicity TLB read entries rely on.
+  for (std::size_t n = 0; n < gen_slots_.size(); ++n)
+    bump_gen(static_cast<int>(n));
 }
 
 void PyxisDirectory::cache_merge_remote(int src, int dst, std::uint64_t page,
@@ -50,6 +54,7 @@ void PyxisDirectory::cache_merge_remote(int src, int dst, std::uint64_t page,
   // directory-cache window. An OR at completion time, so it commutes with
   // the owner's own lookups and with other racing notifications.
   net_.fetch_or(src, dst, &cache_slot(dst, page), word);
+  bump_gen(dst);  // deferred invalidation delivered: revoke dst's TLB
   ++notify_count_[static_cast<std::size_t>(dst)];
   if (tracer_)
     tracer_->emit(src, argoobs::Ev::DeferredInval, page,
@@ -75,6 +80,7 @@ void PyxisDirectory::cache_merge_remote_batch(int src,
     }
     posted.push_back(net_.post_fetch_or(
         src, batch[i].dst, &cache_slot(batch[i].dst, batch[i].page), word));
+    bump_gen(batch[i].dst);  // deferred invalidation: revoke dst's TLB
     ++notify_count_[static_cast<std::size_t>(batch[i].dst)];
     if (tracer_)
       tracer_->emit(src, argoobs::Ev::DeferredInval, batch[i].page,

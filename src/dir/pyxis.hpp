@@ -155,7 +155,26 @@ class PyxisDirectory {
     return notify_count_[static_cast<std::size_t>(node)];
   }
 
+  /// Register `node`'s soft-TLB generation counter (see core/tlb.hpp). A
+  /// deferred invalidation merged into that node's directory cache bumps
+  /// it, so thread-held translations re-validate against the new word.
+  /// (Merges only OR bits in, which cannot clear the owner's own hit
+  /// conditions — the bump is conservative, matching the invalidation
+  /// event list.) Null slots (tests constructing a bare directory) are
+  /// ignored.
+  void set_gen_slot(int node, std::uint64_t* slot) {
+    if (gen_slots_.size() < static_cast<std::size_t>(node) + 1)
+      gen_slots_.resize(static_cast<std::size_t>(node) + 1, nullptr);
+    gen_slots_[static_cast<std::size_t>(node)] = slot;
+  }
+
  private:
+  void bump_gen(int node) {
+    if (static_cast<std::size_t>(node) < gen_slots_.size() &&
+        gen_slots_[static_cast<std::size_t>(node)])
+      ++*gen_slots_[static_cast<std::size_t>(node)];
+  }
+
   std::uint64_t& cache_slot(int node, std::uint64_t page) {
     return caches_[static_cast<std::size_t>(node)][page];
   }
@@ -166,6 +185,7 @@ class PyxisDirectory {
   std::vector<std::uint64_t> words_;                // home dir, one per page
   std::vector<std::vector<std::uint64_t>> caches_;  // [node][page]
   std::vector<std::uint64_t> notify_count_;
+  std::vector<std::uint64_t*> gen_slots_;  // per-node soft-TLB generations
 };
 
 }  // namespace argodir

@@ -1,6 +1,8 @@
 #include "mem/global_memory.hpp"
 
 #include <cassert>
+#include <cstdlib>
+#include <new>
 #include <stdexcept>
 #include <string>
 
@@ -18,8 +20,9 @@ GlobalMemory::GlobalMemory(int nodes, std::size_t total_bytes,
       static_cast<std::uint64_t>(nodes);
   if (per_node == 0) per_node = 1;
   pages_per_node_ = per_node;
-  bytes_.assign(per_node * static_cast<std::uint64_t>(nodes) * kPageSize,
-                std::byte{0});
+  size_ = per_node * static_cast<std::uint64_t>(nodes) * kPageSize;
+  bytes_.reset(static_cast<std::byte*>(std::calloc(size_, 1)));
+  if (!bytes_) throw std::bad_alloc();
 }
 
 std::uint64_t GlobalMemory::kth_top_page_of(int node, std::uint64_t k) const {

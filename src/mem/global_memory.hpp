@@ -15,6 +15,8 @@
 #include <algorithm>
 #include <cstddef>
 #include <cstdint>
+#include <cstdlib>
+#include <memory>
 #include <vector>
 
 #include "mem/gaddr.hpp"
@@ -34,7 +36,7 @@ class GlobalMemory {
                HomeMapping mapping = HomeMapping::Blocked);
 
   int nodes() const { return nodes_; }
-  std::size_t size() const { return bytes_.size(); }
+  std::size_t size() const { return size_; }
   std::uint64_t pages() const { return size() / kPageSize; }
   std::uint64_t pages_per_node() const { return pages_per_node_; }
   HomeMapping mapping() const { return mapping_; }
@@ -53,8 +55,8 @@ class GlobalMemory {
   int home_of(GAddr a) const { return home_of_page(page_of(a)); }
 
   /// Pointer to the authoritative (home) copy of a global address.
-  std::byte* home_ptr(GAddr a) { return bytes_.data() + a; }
-  const std::byte* home_ptr(GAddr a) const { return bytes_.data() + a; }
+  std::byte* home_ptr(GAddr a) { return bytes_.get() + a; }
+  const std::byte* home_ptr(GAddr a) const { return bytes_.get() + a; }
 
   /// Typed pointer into the home copy.
   template <typename T>
@@ -106,10 +108,18 @@ class GlobalMemory {
   /// k-th page (0-based, from the top of the address space) homed on node.
   std::uint64_t kth_top_page_of(int node, std::uint64_t k) const;
 
+  struct FreeDeleter {
+    void operator()(std::byte* p) const noexcept { std::free(p); }
+  };
+
   int nodes_;
   HomeMapping mapping_;
   std::uint64_t pages_per_node_;
-  std::vector<std::byte> bytes_;
+  // calloc-backed so the (often 64 MB) home buffer is zeroed lazily by the
+  // OS instead of memset at construction; behavior-identical to the old
+  // zero-filled vector.
+  std::unique_ptr<std::byte[], FreeDeleter> bytes_;
+  std::size_t size_ = 0;
   std::size_t brk_ = 0;
   std::vector<NodeArena> arenas_;
 };

@@ -13,12 +13,20 @@
 #include <deque>
 #include <optional>
 #include <utility>
+#include <vector>
 
 #include "sim/engine.hpp"
 
 namespace argosim {
 
 /// FIFO parking lot for fibers. The building block for every other primitive.
+///
+/// Storage is a plain vector with a consumed-prefix cursor instead of a
+/// deque: a never-used queue owns no heap block at all (NodeCache holds one
+/// WaitQueue per cache line, and almost all of them never park anyone), and
+/// popping is a cursor bump. The vector resets to empty whenever the live
+/// region drains, so it never grows past the high-water mark of concurrent
+/// waiters. FIFO order and determinism are unchanged.
 class WaitQueue {
  public:
   WaitQueue() = default;
@@ -26,10 +34,15 @@ class WaitQueue {
   WaitQueue& operator=(const WaitQueue&) = delete;
   // Movable so that containers of wait-queue-bearing structs can resize;
   // moving with parked waiters is a logic error.
-  WaitQueue(WaitQueue&& o) noexcept : waiters_(std::move(o.waiters_)) {}
+  WaitQueue(WaitQueue&& o) noexcept
+      : waiters_(std::move(o.waiters_)), head_(o.head_) {
+    o.head_ = 0;
+  }
   WaitQueue& operator=(WaitQueue&& o) noexcept {
-    assert(waiters_.empty() && o.waiters_.empty());
+    assert(waiters() == 0 && o.waiters() == 0);
     waiters_ = std::move(o.waiters_);
+    head_ = o.head_;
+    o.head_ = 0;
     return *this;
   }
 
@@ -55,7 +68,16 @@ class WaitQueue {
     eng->switch_to_scheduler();
     if (self->blocked_) {  // timeout fired before any notify reached us
       self->blocked_ = false;
-      std::erase(waiters_, self);
+      // Erase only within the live region [head_, end): slots before head_
+      // are already-consumed garbage and may alias `self` from an earlier
+      // park; touching them would corrupt the cursor accounting.
+      for (std::size_t i = head_; i < waiters_.size(); ++i) {
+        if (waiters_[i] == self) {
+          waiters_.erase(waiters_.begin() + static_cast<std::ptrdiff_t>(i));
+          break;
+        }
+      }
+      if (head_ == waiters_.size()) reset();
       return false;
     }
     return true;
@@ -71,9 +93,9 @@ class WaitQueue {
   std::size_t notify_one() {
     Engine* eng = Engine::current();
     assert(eng && "WaitQueue::notify_one outside simulation");
-    while (!waiters_.empty()) {
-      SimThread* t = waiters_.front();
-      waiters_.pop_front();
+    while (head_ < waiters_.size()) {
+      SimThread* t = waiters_[head_++];
+      if (head_ == waiters_.size()) reset();
       if (t->finished_) continue;  // unwound during shutdown
       t->blocked_ = false;
       eng->make_runnable(t, eng->now());
@@ -85,14 +107,20 @@ class WaitQueue {
   /// Wake every waiter. Returns the number of fibers woken.
   std::size_t notify_all() {
     std::size_t n = 0;
-    while (!waiters_.empty()) n += notify_one();
+    while (waiters() > 0) n += notify_one();
     return n;
   }
 
-  std::size_t waiters() const { return waiters_.size(); }
+  std::size_t waiters() const { return waiters_.size() - head_; }
 
  private:
-  std::deque<SimThread*> waiters_;
+  void reset() {
+    waiters_.clear();
+    head_ = 0;
+  }
+
+  std::vector<SimThread*> waiters_;
+  std::size_t head_ = 0;  // index of the oldest live waiter
 };
 
 /// FIFO mutex with direct handoff: unlock passes ownership to the oldest

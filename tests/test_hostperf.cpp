@@ -14,7 +14,9 @@
 #include "core/carina.hpp"
 #include "core/cluster.hpp"
 #include "core/diff.hpp"
+#include "core/tlb.hpp"
 #include "mem/pool.hpp"
+#include "obs/export.hpp"
 #include "sim/engine.hpp"
 #include "sim/slowpath.hpp"
 
@@ -414,6 +416,425 @@ TEST(EngineFastForward, StackPoolRecyclesSequentialSpawns) {
   // ASan builds intentionally allocate every stack fresh.
   EXPECT_GT(eng.stacks_reused(), 0u);
 #endif
+}
+
+// ---------------------------------------------------------------------------
+// Soft-TLB (core/tlb.hpp): the MMU-analogue hit path. Unit tests for the
+// translation array itself, directed tests for every generation-bump site,
+// and a randomized fast-vs-slow property suite.
+
+TEST(SoftTlb, HitNeedsPageAndGenerationMatch) {
+  argocore::SoftTlb tlb;
+  std::uint64_t counter = 0;
+  std::byte page[8];
+  tlb.insert_read(5, 1, page, &counter);
+  EXPECT_EQ(tlb.lookup_read(5, 1), page);
+  EXPECT_EQ(counter, 1u);  // a hit bumps exactly the slow path's counter
+  EXPECT_EQ(tlb.host_hits, 1u);
+  EXPECT_EQ(tlb.lookup_read(5, 2), nullptr);   // stale generation
+  EXPECT_EQ(tlb.lookup_read(6, 1), nullptr);   // different page
+  EXPECT_EQ(tlb.lookup_write(5, 1), nullptr);  // ways are independent
+  EXPECT_EQ(counter, 1u);                      // misses bump nothing
+  EXPECT_EQ(tlb.host_hits, 1u);
+}
+
+TEST(SoftTlb, ZeroInitializedEntriesNeverMatchLiveGenerations) {
+  // NodeCache generations start at 1 precisely so a zero-filled entry
+  // (page sentinel ~0, gen 0) can never satisfy a live lookup.
+  argocore::SoftTlb tlb;
+  for (const std::uint64_t pg :
+       {std::uint64_t{0}, std::uint64_t{63}, std::uint64_t{1} << 40})
+    EXPECT_EQ(tlb.lookup_read(pg, 1), nullptr) << "page " << pg;
+  EXPECT_EQ(tlb.host_hits, 0u);
+}
+
+TEST(SoftTlb, DirectMappedInsertEvictsConflictingPage) {
+  argocore::SoftTlb tlb;
+  std::uint64_t c1 = 0, c2 = 0;
+  std::byte a[8], b[8];
+  const std::uint64_t p = 3, q = p + argocore::SoftTlb::kEntries;
+  tlb.insert_read(p, 1, a, &c1);
+  tlb.insert_read(q, 1, b, &c2);  // same slot: displaces p
+  EXPECT_EQ(tlb.lookup_read(p, 1), nullptr);
+  EXPECT_EQ(tlb.lookup_read(q, 1), b);
+  EXPECT_EQ(c1, 0u);
+  EXPECT_EQ(c2, 1u);
+}
+
+TEST(SoftTlb, FlushDropsBothWays) {
+  argocore::SoftTlb tlb;
+  std::uint64_t c = 0;
+  std::byte page[8];
+  tlb.insert_read(7, 1, page, &c);
+  tlb.insert_write(9, 1, page, &c);
+  tlb.flush();
+  EXPECT_EQ(tlb.lookup_read(7, 1), nullptr);
+  EXPECT_EQ(tlb.lookup_write(9, 1), nullptr);
+}
+
+// --- Directed generation-bump sites ----------------------------------------
+//
+// Each test provokes exactly one protocol event class on a small cluster
+// and checks that (a) the event's stats counter fired and (b) the node's
+// TLB generation advanced, so any translation a thread held across the
+// event is revoked. The other node's thread idles through the body.
+
+constexpr std::size_t kWordsPerPage = argomem::kPageSize / sizeof(std::uint64_t);
+
+argo::ClusterConfig tlb_cfg(argo::Mode mode = argo::Mode::PS3) {
+  argo::ClusterConfig c;
+  c.nodes = 2;
+  c.threads_per_node = 1;
+  c.global_mem_bytes = 64 * argomem::kPageSize;
+  c.cache.classification = mode;
+  return c;
+}
+
+// With the blocked home mapping the upper half of global memory is homed
+// on node 1, i.e. remote for node 0's thread.
+constexpr std::size_t kRemotePg = 40, kRemotePg2 = 42;
+
+TEST(SoftTlbGen, LineFillBumpsGeneration) {
+  SlowGuard guard;
+  argosim::set_slow_paths(false);
+  argo::Cluster cl(tlb_cfg());
+  auto arr = cl.alloc<std::uint64_t>(64 * kWordsPerPage);
+  cl.reset_classification();
+  cl.run([&](argo::Thread& t) {
+    if (t.node() != 0) return;
+    const auto target = arr + static_cast<std::ptrdiff_t>(kRemotePg * kWordsPerPage);
+    ASSERT_FALSE(t.is_home(target.raw()));
+    const std::uint64_t before = t.cache().tlb_generation();
+    (void)t.load(target);
+    EXPECT_GT(t.cache().tlb_generation(), before);
+  });
+  EXPECT_GT(cl.node_cache(0).stats().line_fetches, 0u);
+}
+
+TEST(SoftTlbGen, ConflictEvictionBumpsGeneration) {
+  SlowGuard guard;
+  argosim::set_slow_paths(false);
+  auto c = tlb_cfg();
+  c.cache.cache_lines = 1;  // every group maps to the same slot
+  argo::Cluster cl(c);
+  auto arr = cl.alloc<std::uint64_t>(64 * kWordsPerPage);
+  cl.reset_classification();
+  cl.run([&](argo::Thread& t) {
+    if (t.node() != 0) return;
+    (void)t.load(arr + static_cast<std::ptrdiff_t>(kRemotePg * kWordsPerPage));
+    const std::uint64_t before = t.cache().tlb_generation();
+    (void)t.load(arr + static_cast<std::ptrdiff_t>(kRemotePg2 * kWordsPerPage));
+    EXPECT_GT(t.cache().tlb_generation(), before);
+  });
+  EXPECT_GT(cl.node_cache(0).stats().evictions, 0u);
+}
+
+TEST(SoftTlbGen, WriteBufferOverflowWritebackBumpsGeneration) {
+  SlowGuard guard;
+  argosim::set_slow_paths(false);
+  auto c = tlb_cfg();
+  c.cache.write_buffer_pages = 1;  // second dirty page forces a drain
+  argo::Cluster cl(c);
+  auto arr = cl.alloc<std::uint64_t>(64 * kWordsPerPage);
+  cl.reset_classification();
+  cl.run([&](argo::Thread& t) {
+    if (t.node() != 0) return;
+    t.store(arr + static_cast<std::ptrdiff_t>(kRemotePg * kWordsPerPage),
+            std::uint64_t{1});
+    const std::uint64_t before = t.cache().tlb_generation();
+    t.store(arr + static_cast<std::ptrdiff_t>(kRemotePg2 * kWordsPerPage),
+            std::uint64_t{2});
+    EXPECT_GT(t.cache().tlb_generation(), before);
+  });
+  EXPECT_GT(cl.node_cache(0).stats().writebacks, 0u);
+}
+
+TEST(SoftTlbGen, SdFenceDrainBumpsGeneration) {
+  SlowGuard guard;
+  argosim::set_slow_paths(false);
+  argo::Cluster cl(tlb_cfg());
+  auto arr = cl.alloc<std::uint64_t>(64 * kWordsPerPage);
+  cl.reset_classification();
+  cl.run([&](argo::Thread& t) {
+    if (t.node() != 0) return;
+    t.store(arr + static_cast<std::ptrdiff_t>(kRemotePg * kWordsPerPage),
+            std::uint64_t{7});
+    const std::uint64_t before = t.cache().tlb_generation();
+    t.release();  // SD fence: drains the write buffer, retiring the dirty page
+    EXPECT_GT(t.cache().tlb_generation(), before);
+  });
+  EXPECT_GT(cl.node_cache(0).stats().writebacks, 0u);
+  EXPECT_GT(cl.node_cache(0).stats().sd_fences, 0u);
+}
+
+TEST(SoftTlbGen, SiFenceInvalidationBumpsGeneration) {
+  SlowGuard guard;
+  argosim::set_slow_paths(false);
+  argo::Cluster cl(tlb_cfg());
+  auto arr = cl.alloc<std::uint64_t>(64 * kWordsPerPage);
+  cl.reset_classification();
+  const auto shared =
+      arr + static_cast<std::ptrdiff_t>(kRemotePg * kWordsPerPage);
+  cl.run([&](argo::Thread& t) {
+    if (t.node() == 0) (void)t.load(shared);  // node 0 caches the page
+    t.barrier();
+    if (t.node() == 1) t.store(shared, std::uint64_t{99});  // home write
+    std::uint64_t before = 0;
+    if (t.node() == 0) before = t.cache().tlb_generation();
+    t.barrier();  // node 0's SI must now drop its stale copy
+    if (t.node() == 0) {
+      EXPECT_GT(t.cache().tlb_generation(), before);
+      EXPECT_EQ(t.load(shared), 99u);
+    }
+    t.barrier();
+  });
+  EXPECT_GT(cl.node_cache(0).stats().si_invalidations, 0u);
+}
+
+TEST(SoftTlbGen, NaiveCheckpointBumpsGeneration) {
+  SlowGuard guard;
+  argosim::set_slow_paths(false);
+  argo::Cluster cl(tlb_cfg(argo::Mode::PSNaive));
+  auto arr = cl.alloc<std::uint64_t>(64 * kWordsPerPage);
+  cl.reset_classification();
+  cl.run([&](argo::Thread& t) {
+    if (t.node() != 0) return;
+    t.store(arr + static_cast<std::ptrdiff_t>(kRemotePg * kWordsPerPage),
+            std::uint64_t{5});
+    const std::uint64_t before = t.cache().tlb_generation();
+    t.release();  // naive P/S checkpoints the private page instead of draining
+    EXPECT_GT(t.cache().tlb_generation(), before);
+  });
+  EXPECT_GT(cl.node_cache(0).stats().checkpoints, 0u);
+}
+
+TEST(SoftTlbGen, NaiveHealBumpsGeneration) {
+  SlowGuard guard;
+  argosim::set_slow_paths(false);
+  argo::Cluster cl(tlb_cfg(argo::Mode::PSNaive));
+  auto arr = cl.alloc<std::uint64_t>(64 * kWordsPerPage);
+  cl.reset_classification();
+  const auto priv = arr + static_cast<std::ptrdiff_t>(kRemotePg * kWordsPerPage);
+  cl.run([&](argo::Thread& t) {
+    if (t.node() == 0) t.store(priv, std::uint64_t{42});  // page goes private
+    t.barrier();  // checkpoint at node 0's SD; home memory stays stale
+    if (t.node() == 1) {
+      const std::uint64_t before = t.cache().tlb_generation();
+      // First foreign access: P→S transition serviced from the owner's
+      // checkpoint (the §5.1 strawman's heal).
+      EXPECT_EQ(t.load(priv), 42u);
+      EXPECT_GT(t.cache().tlb_generation(), before);
+    }
+    t.barrier();
+  });
+  std::uint64_t heals = 0;
+  for (int n = 0; n < 2; ++n) heals += cl.node_cache(n).stats().heals;
+  EXPECT_GT(heals, 0u);
+}
+
+// --- Randomized fast-vs-slow property suite --------------------------------
+
+// The curated comparable footprint of one node's CoherenceStats (every
+// counter plus histogram sample counts).
+std::vector<std::uint64_t> stat_fields(const argocore::CoherenceStats& s) {
+  return {s.read_hits,      s.read_misses,
+          s.write_hits,     s.write_misses,
+          s.home_accesses,  s.line_fetches,
+          s.pages_fetched,  s.bytes_fetched,
+          s.writebacks,     s.writeback_bytes,
+          s.diffs_built,    s.full_page_writebacks,
+          s.si_fences,      s.sd_fences,
+          s.si_invalidations, s.evictions,
+          s.dir_ops,        s.transitions_caused,
+          s.checkpoints,    s.checkpoint_bytes,
+          s.heals,          s.sd_fence_ns.samples,
+          s.si_fence_ns.samples};
+}
+
+struct RunObs {
+  std::vector<std::uint8_t> trace;
+  argosim::Time elapsed = 0;
+  std::vector<std::vector<std::uint64_t>> stats;
+  std::uint64_t mem_hash = 0;
+  std::uint64_t tlb_hits = 0;
+
+  bool operator==(const RunObs& o) const {
+    return trace == o.trace && elapsed == o.elapsed && stats == o.stats &&
+           mem_hash == o.mem_hash;  // tlb_hits intentionally excluded
+  }
+};
+
+// A DRF torture workload: alternating owner-write / read-anywhere phases
+// separated by barriers, on a cache small enough to force conflict
+// evictions and a write buffer small enough to force overflow drains.
+RunObs run_random_workload(unsigned seed, bool chaos, argo::Mode mode,
+                           bool slow) {
+  SlowGuard guard;
+  argosim::set_slow_paths(slow);
+  argo::ClusterConfig c;
+  c.nodes = 2;
+  c.threads_per_node = 2;
+  c.global_mem_bytes = 128 * argomem::kPageSize;
+  c.cache.cache_lines = 8;
+  c.cache.pages_per_line = 2;
+  c.cache.write_buffer_pages = 4;
+  c.cache.classification = mode;
+  c.trace.enabled = true;
+  if (chaos) {
+    c.faults.enabled = true;
+    c.faults.seed = 4321;
+    c.faults.rdma_fail_prob = 0.02;
+    c.faults.jitter_prob = 0.1;
+    c.faults.jitter_max = 500;
+  }
+  argo::Cluster cl(c);
+  constexpr std::size_t kPages = 96;
+  auto arr = cl.alloc<std::uint64_t>(kPages * kWordsPerPage);
+  cl.reset_classification();
+  RunObs obs;
+  obs.elapsed = cl.run([&](argo::Thread& t) {
+    std::mt19937 rng(seed * 7919u + static_cast<unsigned>(t.gid()));
+    const std::size_t slice = kPages / static_cast<std::size_t>(t.nthreads());
+    const std::size_t own_lo = slice * static_cast<std::size_t>(t.gid());
+    for (int round = 0; round < 6; ++round) {
+      for (int k = 0; k < 40; ++k) {  // writes confined to the own slice
+        const std::size_t pg = own_lo + rng() % slice;
+        const std::size_t idx = pg * kWordsPerPage + rng() % kWordsPerPage;
+        t.store(arr + static_cast<std::ptrdiff_t>(idx),
+                static_cast<std::uint64_t>(rng()));
+      }
+      t.barrier();
+      std::uint64_t sink = 0;  // reads roam everywhere (no writes in flight)
+      for (int k = 0; k < 80; ++k) {
+        const std::size_t pg = rng() % kPages;
+        const std::size_t idx = pg * kWordsPerPage + rng() % kWordsPerPage;
+        sink ^= t.load(arr + static_cast<std::ptrdiff_t>(idx));
+      }
+      (void)sink;
+      t.barrier();
+    }
+  });
+  obs.trace = argoobs::encode_binary(cl.tracer().snapshot(),
+                                     cl.tracer().dropped());
+  for (int n = 0; n < c.nodes; ++n) {
+    obs.stats.push_back(stat_fields(cl.node_cache(n).stats()));
+    obs.tlb_hits += cl.node_cache(n).tlb_host_hits();
+  }
+  // FNV-1a over the whole home memory image.
+  const std::byte* bytes = cl.gmem().home_ptr(0);
+  std::uint64_t h = 14695981039346656037ull;
+  for (std::size_t i = 0; i < cl.gmem().size(); ++i) {
+    h ^= static_cast<std::uint8_t>(bytes[i]);
+    h *= 1099511628211ull;
+  }
+  obs.mem_hash = h;
+  return obs;
+}
+
+TEST(SoftTlbProperty, FastAndSlowRunsAreObservationallyIdentical) {
+  struct Case {
+    unsigned seed;
+    bool chaos;
+    argo::Mode mode;
+  };
+  const Case cases[] = {{11, false, argo::Mode::PS3},
+                        {22, false, argo::Mode::PSNaive},
+                        {33, true, argo::Mode::PS3}};
+  for (const Case& cs : cases) {
+    const RunObs fast = run_random_workload(cs.seed, cs.chaos, cs.mode,
+                                            /*slow=*/false);
+    const RunObs slow = run_random_workload(cs.seed, cs.chaos, cs.mode,
+                                            /*slow=*/true);
+    ASSERT_GT(fast.trace.size(), 32u) << "seed " << cs.seed;
+    EXPECT_EQ(fast.trace, slow.trace) << "seed " << cs.seed;
+    EXPECT_EQ(fast.elapsed, slow.elapsed) << "seed " << cs.seed;
+    EXPECT_EQ(fast.stats, slow.stats) << "seed " << cs.seed;
+    EXPECT_EQ(fast.mem_hash, slow.mem_hash) << "seed " << cs.seed;
+    // The fast run must actually engage the TLB; the slow run must not.
+    EXPECT_GT(fast.tlb_hits, 0u) << "seed " << cs.seed;
+    EXPECT_EQ(slow.tlb_hits, 0u) << "seed " << cs.seed;
+  }
+}
+
+// --- Span API ---------------------------------------------------------------
+
+// load_span/store_span promise protocol behavior identical to
+// load_bulk/store_bulk over the same ranges: same trace, same virtual
+// time, same stats, same memory image.
+constexpr std::size_t kCount = 24 * kWordsPerPage;
+
+RunObs run_span_or_bulk(bool use_spans) {
+  argo::ClusterConfig c;
+  c.nodes = 2;
+  c.threads_per_node = 2;
+  c.global_mem_bytes = 64 * argomem::kPageSize;
+  c.trace.enabled = true;
+  argo::Cluster cl(c);
+  auto arr = cl.alloc<std::uint64_t>(kCount);
+  cl.reset_classification();
+  RunObs obs;
+  obs.elapsed = cl.run([&](argo::Thread& t) {
+    const std::size_t nt = static_cast<std::size_t>(t.nthreads());
+    const std::size_t gid = static_cast<std::size_t>(t.gid());
+    const std::size_t lo = kCount * gid / nt, hi = kCount * (gid + 1) / nt;
+    if (use_spans) {
+      auto p = arr + static_cast<std::ptrdiff_t>(lo);
+      std::size_t left = hi - lo, base = lo;
+      while (left > 0) {
+        auto sp = t.store_span(p, left);
+        for (std::size_t i = 0; i < sp.size(); ++i)
+          sp[i] = (base + i) * 3 + 1;
+        p += static_cast<std::ptrdiff_t>(sp.size());
+        base += sp.size();
+        left -= sp.size();
+      }
+    } else {
+      std::vector<std::uint64_t> buf(hi - lo);
+      for (std::size_t i = 0; i < buf.size(); ++i) buf[i] = (lo + i) * 3 + 1;
+      t.store_bulk(arr + static_cast<std::ptrdiff_t>(lo), buf.data(),
+                   buf.size());
+    }
+    t.barrier();
+    std::uint64_t sum = 0;
+    if (use_spans) {
+      auto p = arr;
+      std::size_t left = kCount;
+      while (left > 0) {
+        const auto sp = t.load_span(p, left);
+        for (const std::uint64_t v : sp) sum += v;
+        p += static_cast<std::ptrdiff_t>(sp.size());
+        left -= sp.size();
+      }
+    } else {
+      std::vector<std::uint64_t> buf(kCount);
+      t.load_bulk(arr, buf.data(), kCount);
+      for (const std::uint64_t v : buf) sum += v;
+    }
+    EXPECT_EQ(sum, [] {
+      std::uint64_t s = 0;
+      for (std::size_t i = 0; i < kCount; ++i) s += i * 3 + 1;
+      return s;
+    }());
+    t.barrier();
+  });
+  obs.trace = argoobs::encode_binary(cl.tracer().snapshot(),
+                                     cl.tracer().dropped());
+  for (int n = 0; n < c.nodes; ++n) {
+    obs.stats.push_back(stat_fields(cl.node_cache(n).stats()));
+    obs.tlb_hits += cl.node_cache(n).tlb_host_hits();
+  }
+  return obs;
+}
+
+TEST(SoftTlbSpans, SpanAndBulkAccessesAreProtocolIdentical) {
+  SlowGuard guard;
+  argosim::set_slow_paths(false);
+  const RunObs spans = run_span_or_bulk(true);
+  const RunObs bulk = run_span_or_bulk(false);
+  ASSERT_GT(spans.trace.size(), 32u);
+  EXPECT_EQ(spans.trace, bulk.trace);
+  EXPECT_EQ(spans.elapsed, bulk.elapsed);
+  EXPECT_EQ(spans.stats, bulk.stats);
 }
 
 }  // namespace
