@@ -1,0 +1,135 @@
+// Recovery-latency sweep: one node crash-stops mid-run and the membership
+// service detects it by heartbeat timeout, re-homes its pages on a
+// successor, and lease-recovers any lock it stranded. This bench sweeps
+// the heartbeat interval and reports, per setting:
+//
+//   * detection latency  (crash -> first declaration; the failure-detector
+//     cost, bounded by heartbeat * (miss_threshold + 1)),
+//   * recovery latency   (declaration -> pages + directory rebuilt),
+//   * lock-recovery latency bound (detection + lease),
+//   * aborted posted ops and pages recovered / lost.
+//
+// The workload keeps every survivor writing pages homed on the victim, so
+// the crash lands on in-flight protocol traffic, not an idle cluster.
+// EXPERIMENTS.md records the measured table. Emits BENCH_recovery.json
+// rows (schema 2) via --json; scripts/bench_json.sh --chaos drives it.
+#include <cstdint>
+
+#include "argo/argo.hpp"
+#include "argo/net.hpp"
+#include "argo/stats.hpp"
+#include "bench/report.hpp"
+
+namespace {
+
+using argo::Cluster;
+using argo::ClusterConfig;
+using argomem::kPageSize;
+using argosim::Time;
+using benchutil::BenchOpts;
+using benchutil::JsonReport;
+using benchutil::Table;
+
+constexpr int kVictim = 3;
+constexpr Time kCrashAt = 300'000;
+
+struct RunResult {
+  Time elapsed = 0;
+  argocore::RecoveryStats stats;
+};
+
+RunResult run_once(Time heartbeat, int pipeline) {
+  ClusterConfig cfg;
+  cfg.nodes = 4;
+  cfg.threads_per_node = 2;
+  cfg.global_mem_bytes = 2048 * kPageSize;
+  cfg.cache.cache_lines = 8192;
+  // A tiny write buffer keeps eviction writebacks streaming to the
+  // victim's home, so the crash lands on in-flight posted traffic.
+  cfg.cache.write_buffer_pages = 8;
+  cfg.net.pipeline = pipeline;
+  cfg.faults.enabled = true;  // crash schedules ride the fault channel
+  cfg.faults.seed = 1;
+  cfg.faults.crashes.push_back(
+      argonet::CrashEvent{.node = kVictim, .at = kCrashAt});
+  cfg.membership.enabled = true;
+  cfg.membership.heartbeat_interval = heartbeat;
+
+  Cluster cl(cfg);
+  // Survivors hammer pages homed on the victim: the bottom of its blocked
+  // region, eight pages per thread.
+  const argomem::gptr<std::uint64_t> data{
+      static_cast<std::uint64_t>(kVictim) * cl.gmem().pages_per_node() *
+      kPageSize};
+  constexpr std::uint64_t kWordsPerPage = kPageSize / sizeof(std::uint64_t);
+  constexpr std::uint64_t kPagesPerThread = 24;
+  constexpr int kRounds = 12;
+
+  RunResult r;
+  r.elapsed = cl.run([&](argo::Thread& t) {
+    const std::uint64_t base =
+        static_cast<std::uint64_t>(t.gid()) * kPagesPerThread;
+    for (int round = 0; round < kRounds; ++round) {
+      if (t.node() != kVictim) {
+        for (std::uint64_t p = 0; p < kPagesPerThread; ++p)
+          t.store(data + (base + p) * kWordsPerPage,
+                  static_cast<std::uint64_t>(round) * 1000 + t.gid());
+      }
+      t.compute(5'000);
+      t.barrier();
+    }
+  });
+  r.stats = cl.membership().stats();
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const BenchOpts opts = BenchOpts::parse(argc, argv);
+  benchutil::header("recovery",
+                    "crash detection and recovery latency vs heartbeat");
+
+  std::vector<Time> heartbeats =
+      opts.quick ? std::vector<Time>{25'000, 100'000}
+                 : std::vector<Time>{10'000, 25'000, 50'000, 100'000, 200'000};
+
+  JsonReport json;
+  Table table({"heartbeat_us", "detect_us", "recover_us", "lock_bound_us",
+               "aborted", "pages_rec", "pages_lost", "elapsed_ms"});
+  for (const Time hb : heartbeats) {
+    const RunResult r = run_once(hb, opts.pipeline);
+    const argocore::RecoveryStats& s = r.stats;
+    const double detect_us = s.detect_ns.mean_ns() / 1e3;
+    const double recover_us = s.recovery_ns.mean_ns() / 1e3;
+    // A lock held by the victim is recovered by the lease sweep, which runs
+    // at most one heartbeat after detection + lease.
+    const Time lease = argocore::MembershipConfig{}.lease;
+    const double lock_bound_us =
+        detect_us + static_cast<double>(lease + hb) / 1e3;
+    table.row({Table::fmt("%.0f", static_cast<double>(hb) / 1e3),
+               Table::fmt("%.1f", detect_us), Table::fmt("%.1f", recover_us),
+               Table::fmt("%.1f", lock_bound_us),
+               Table::fmt("%llu", (unsigned long long)s.aborted_ops),
+               Table::fmt("%llu", (unsigned long long)s.pages_recovered),
+               Table::fmt("%llu", (unsigned long long)s.pages_lost),
+               Table::fmt("%.3f", static_cast<double>(r.elapsed) / 1e6)});
+    benchutil::bench_row(json, "recovery", "series",
+                         Table::fmt("hb%llu", (unsigned long long)hb), opts)
+        .num("heartbeat_ns", static_cast<std::uint64_t>(hb))
+        .num("detect_ns", s.detect_ns.mean_ns())
+        .num("recover_ns", s.recovery_ns.mean_ns())
+        .num("aborted_ops", s.aborted_ops)
+        .num("pages_recovered", s.pages_recovered)
+        .num("pages_lost", s.pages_lost)
+        .num("locks_recovered", s.locks_recovered)
+        .num("deaths", s.deaths)
+        .num("elapsed_virtual_ms", static_cast<double>(r.elapsed) / 1e6);
+  }
+  table.print();
+  benchutil::note(
+      "detection ~ heartbeat * (miss_threshold + alignment); recovery is "
+      "dominated by re-copying survivor pages to the successor home.");
+  if (!json.write(opts.json_path)) return 1;
+  return 0;
+}

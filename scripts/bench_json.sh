@@ -3,8 +3,11 @@
 # send-queue depths 1 / 4 / 16 and merges the per-run JSON into one file
 # (BENCH_pipeline.json by default).
 #
-# Usage: scripts/bench_json.sh [--quick] [--out <path>] [--build <dir>]
+# Usage: scripts/bench_json.sh [--quick] [--chaos] [--out <path>] [--build <dir>]
 #   --quick   reduced sweep (fig09 only, small sizes) for CI smoke runs
+#   --chaos   crash-recovery sweep instead: runs bench/chaos_recovery
+#             (heartbeat-interval sweep with one mid-run node crash) and
+#             writes BENCH_recovery.json
 #
 # Depth 1 is the paper's serialized-NIC behaviour (one blocking MPI/verbs
 # op at a time); higher depths overlap wire latency across in-flight ops.
@@ -15,22 +18,36 @@ cd "$(dirname "$0")/.."
 ARGO_GIT_COMMIT="${ARGO_GIT_COMMIT:-$(git rev-parse --short HEAD 2>/dev/null || echo unknown)}"
 export ARGO_GIT_COMMIT
 
-OUT="BENCH_pipeline.json"
+OUT=""
 BUILD="build"
 QUICK=0
+CHAOS=0
 while [ $# -gt 0 ]; do
   case "$1" in
     --quick) QUICK=1 ;;
+    --chaos) CHAOS=1 ;;
     --out) OUT="$2"; shift ;;
     --build) BUILD="$2"; shift ;;
     *) echo "unknown argument: $1" >&2; exit 2 ;;
   esac
   shift
 done
+if [ -z "$OUT" ]; then
+  if [ "$CHAOS" = 1 ]; then OUT="BENCH_recovery.json"; else OUT="BENCH_pipeline.json"; fi
+fi
 
 if [ ! -x "$BUILD/bench/fig09_writebuffer" ]; then
   echo "benches not built; run: cmake -B $BUILD -S . && cmake --build $BUILD -j" >&2
   exit 1
+fi
+
+if [ "$CHAOS" = 1 ]; then
+  # Crash-recovery mode: a single run of the chaos bench (it sweeps the
+  # heartbeat interval internally; one node crash-stops mid-run each time).
+  EXTRA=()
+  [ "$QUICK" = 1 ] && EXTRA+=(--quick)
+  "$BUILD/bench/chaos_recovery" --json "$OUT" ${EXTRA[@]+"${EXTRA[@]}"}
+  exit 0
 fi
 
 TMPDIR_JSON="$(mktemp -d)"

@@ -29,6 +29,16 @@ cmake -B build-sanitize -S . -DARGO_SANITIZE=ON
 cmake --build build-sanitize -j "$JOBS"
 ctest --test-dir build-sanitize --output-on-failure -j "$JOBS"
 
+echo "=== crash-recovery suite (explicit, both configs) ==="
+# The crash tests exercise teardown paths (fiber unwind, mid-RPC node
+# death, forced lock recovery) that are the likeliest to regress silently;
+# run them by name so a ctest filter change can never drop them.
+for dir in build build-sanitize; do
+  echo "--- $dir"
+  "$dir/tests/test_faults" \
+    --gtest_filter='CrashRecovery*:CrashTimeouts*:ChaosApps*' --gtest_brief=1
+done
+
 echo "=== examples smoke (each must exit 0) ==="
 # Run in a scratch dir: quickstart drops trace files next to the cwd.
 EX_DIR="$(mktemp -d)"

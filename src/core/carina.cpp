@@ -123,7 +123,25 @@ const std::byte* NodeCache::read_ptr(GAddr a, std::size_t len, SoftTlb* tlb) {
   }
   ++stats_.read_misses;
   argosim::delay(cfg_.fault_overhead);
-  ensure_cached(page, /*for_write=*/false);
+  for (;;) {
+    try {
+      ensure_cached(page, /*for_write=*/false);
+      // ensure_cached returns without a valid copy in exactly one case: a
+      // crash recovery re-homed the page onto *this* node mid-miss (we may
+      // have been parked inside it across the recovery). Own-home pages
+      // are never cached — re-dispatch for the home fast path.
+      if (gmem_.home_of_page(page) == node_) return read_ptr(a, len, tlb);
+      break;
+    } catch (const argonet::NodeFailedError& e) {
+      // The page's home (or an owner we had to contact) crash-stopped
+      // mid-miss: wait out its recovery, then retry against the successor.
+      if (!crash_failover(e)) throw;
+      // If *we* are that successor, the page is now our own home: it can
+      // never be cached (fills skip own-home pages), so re-dispatch from
+      // the top for the home fast path instead of retrying the miss.
+      if (gmem_.home_of_page(page) == node_) return read_ptr(a, len, tlb);
+    }
+  }
   // ensure_cached returned with the page valid + reader bit set; the next
   // slow-path access would be a read hit, so that is the counter a TLB hit
   // must bump. Stamped with the post-fill generation.
@@ -162,7 +180,20 @@ std::byte* NodeCache::write_ptr(GAddr a, std::size_t len, SoftTlb* tlb) {
   ++stats_.write_misses;
   argosim::delay(cfg_.fault_overhead);
   for (;;) {
-    ensure_cached(page, /*for_write=*/true);
+    try {
+      ensure_cached(page, /*for_write=*/true);
+    } catch (const argonet::NodeFailedError& e) {
+      if (!crash_failover(e)) throw;
+      // If *we* are the successor, the page is now our own home and can
+      // never be cached (fills skip own-home pages): re-dispatch from the
+      // top for the home fast path instead of retrying the miss forever.
+      if (gmem_.home_of_page(page) == node_) return write_ptr(a, len, tlb);
+      continue;  // home recovered on a successor; redo the whole miss
+    }
+    // ensure_cached bails without a copy when a recovery re-homed the page
+    // onto this node mid-miss (e.g. while we were parked on the write
+    // buffer below): re-dispatch for the home fast path.
+    if (gmem_.home_of_page(page) == node_) return write_ptr(a, len, tlb);
     lock_line(l);
     PageSlot& s = slot_of(l, page);
     if (!(l.group == group && s.valid && my_writer_bit_set(page))) {
@@ -182,8 +213,17 @@ std::byte* NodeCache::write_ptr(GAddr a, std::size_t len, SoftTlb* tlb) {
         // releases its slot. No lost wakeup: drain_oldest's failure path
         // never yields, so the occupancy cannot drop between the re-check
         // and the wait.
-        if (!drain_oldest() && wb_live_ >= cfg_.write_buffer_pages)
-          wb_slot_waiters_.wait();
+        try {
+          if (!drain_oldest() && wb_live_ >= cfg_.write_buffer_pages)
+            wb_slot_waiters_.wait();
+        } catch (const argonet::NodeFailedError& e) {
+          if (!crash_failover(e)) throw;
+          // drain_oldest pops its victim before writing it back; a crashed
+          // home aborts the writeback with the entry out of the queue (but
+          // still marked in_wb). Requeue such strays or the slot leaks and
+          // every writer parks here forever.
+          requeue_stranded_wb();
+        }
         continue;
       }
       // Write-allocate: twin for later diffing (checkpoint of the fetched
@@ -228,6 +268,12 @@ void NodeCache::ensure_cached(std::uint64_t page, bool for_write) {
   Line& l = line_of_group(group);
   bool registered_this_call = false;
   for (;;) {
+    // A crash recovery can re-home the page onto *this* node while we are
+    // mid-miss (parked on the latch, the write buffer, or a posted op).
+    // Own-home pages are never cached — fills skip them — so this loop can
+    // no longer terminate with a valid copy. Bail; the caller re-checks the
+    // home and re-dispatches through its home fast path.
+    if (gmem_.home_of_page(page) == node_) return;
     // Register first (deposit our ID, learn the maps, trigger transitions
     // and naive-P/S healing) so the subsequent data fetch sees the healed
     // home copy.
@@ -275,28 +321,35 @@ void NodeCache::ensure_cached(std::uint64_t page, bool for_write) {
       }
     }
     lock_line(l);
-    if (l.group != group) {
-      evict_line_locked(l);
-      l.group = group;
-      occupy(group % cfg_.cache_lines);
-      if (!l.data) l.data = pool_.acquire(cfg_.pages_per_line * kPageSize);
-      if (l.pages.size() != cfg_.pages_per_line)
-        l.pages.resize(cfg_.pages_per_line);  // first claim of this slot
-      for (auto& s : l.pages) {
-        s.valid = false;
-        s.dirty = false;
-        s.in_wb = false;
-        s.twin.reset();
+    // Evicts and fills issue network ops that can throw (a crashed home);
+    // the latch must release on that path or the line wedges forever.
+    try {
+      if (l.group != group) {
+        evict_line_locked(l);
+        l.group = group;
+        occupy(group % cfg_.cache_lines);
+        if (!l.data) l.data = pool_.acquire(cfg_.pages_per_line * kPageSize);
+        if (l.pages.size() != cfg_.pages_per_line)
+          l.pages.resize(cfg_.pages_per_line);  // first claim of this slot
+        for (auto& s : l.pages) {
+          s.valid = false;
+          s.dirty = false;
+          s.in_wb = false;
+          s.twin.reset();
+        }
+        fetch_line_locked(l, group);
+        unlock_line(l);
+        continue;
       }
-      fetch_line_locked(l, group);
+      PageSlot& s = slot_of(l, page);
+      if (!s.valid) {
+        fetch_line_locked(l, group);
+        unlock_line(l);
+        continue;
+      }
+    } catch (...) {
       unlock_line(l);
-      continue;
-    }
-    PageSlot& s = slot_of(l, page);
-    if (!s.valid) {
-      fetch_line_locked(l, group);
-      unlock_line(l);
-      continue;
+      throw;
     }
     unlock_line(l);
     // Re-validate with no intervening delays.
@@ -311,6 +364,10 @@ void NodeCache::ensure_cached_pipelined(std::uint64_t page, bool for_write) {
   const std::uint64_t group = group_of(page);
   Line& l = line_of_group(group);
   for (;;) {
+    // Crash recovery may have re-homed the page onto this node mid-miss;
+    // own-home pages can never become valid in the cache, so return and
+    // let the caller re-dispatch (see ensure_cached).
+    if (gmem_.home_of_page(page) == node_) return;
     // Post the directory registration, then run the fill while it is on
     // the wire. The send queue is FIFO, so the home-side fetch_or still
     // precedes the data reads — same ordering as the blocking path, minus
@@ -325,22 +382,27 @@ void NodeCache::ensure_cached_pipelined(std::uint64_t page, bool for_write) {
       reg = dir_.post_fetch_or(node_, dp, bits);
     }
     lock_line(l);
-    if (l.group != group) {
-      evict_line_locked(l);
-      l.group = group;
-      occupy(group % cfg_.cache_lines);
-      if (!l.data) l.data = pool_.acquire(cfg_.pages_per_line * kPageSize);
-      if (l.pages.size() != cfg_.pages_per_line)
-        l.pages.resize(cfg_.pages_per_line);  // first claim of this slot
-      for (auto& s : l.pages) {
-        s.valid = false;
-        s.dirty = false;
-        s.in_wb = false;
-        s.twin.reset();
+    try {
+      if (l.group != group) {
+        evict_line_locked(l);
+        l.group = group;
+        occupy(group % cfg_.cache_lines);
+        if (!l.data) l.data = pool_.acquire(cfg_.pages_per_line * kPageSize);
+        if (l.pages.size() != cfg_.pages_per_line)
+          l.pages.resize(cfg_.pages_per_line);  // first claim of this slot
+        for (auto& s : l.pages) {
+          s.valid = false;
+          s.dirty = false;
+          s.in_wb = false;
+          s.twin.reset();
+        }
+        fetch_line_locked(l, group);
+      } else if (!slot_of(l, page).valid) {
+        fetch_line_locked(l, group);
       }
-      fetch_line_locked(l, group);
-    } else if (!slot_of(l, page).valid) {
-      fetch_line_locked(l, group);
+    } catch (...) {
+      unlock_line(l);
+      throw;
     }
     unlock_line(l);
     if (reg) {
@@ -380,6 +442,11 @@ bool NodeCache::apply_registration(std::uint64_t page, std::uint64_t dp,
   // pipelining — the multi-reader NW→SW case then overlaps its atomics.
   std::vector<argodir::DirNotify> batch;
   auto notify = [&](int dst) {
+    // A displaced owner that crash-stopped needs no deferred invalidation;
+    // notifying it would only throw. (Un-detected deaths still throw from
+    // the merge itself — the caller's failover retry handles those, and
+    // the re-run skips the node once it is declared.)
+    if (membership_ != nullptr && !membership_->is_live(dst)) return;
     if (pipelined())
       batch.push_back(argodir::DirNotify{dst, dp, updated.raw});
     else
@@ -456,6 +523,9 @@ bool NodeCache::apply_registration(std::uint64_t page, std::uint64_t dp,
 
 void NodeCache::heal_from_checkpoint(int owner, std::uint64_t page) {
   assert(peers_ && "naive P/S healing requires peer registration");
+  // A crashed owner's checkpoint is gone with it; whatever it never wrote
+  // back is lost (the same conservative semantics as lost pages).
+  if (membership_ != nullptr && !membership_->is_live(owner)) return;
   NodeCache& oc = *(*peers_)[static_cast<std::size_t>(owner)];
   auto it = oc.checkpoints_.find(page);
   if (it == oc.checkpoints_.end())
@@ -679,7 +749,14 @@ void NodeCache::writeback(std::uint64_t page) {
   lock_line(l);
   if (l.group == group) {  // group first: unclaimed lines have no slots
     PageSlot& s = slot_of(l, page);
-    if (s.valid && s.dirty) writeback_locked(l, page);
+    if (s.valid && s.dirty) {
+      try {
+        writeback_locked(l, page);
+      } catch (...) {
+        unlock_line(l);  // crashed home: release the latch before unwinding
+        throw;
+      }
+    }
   }
   unlock_line(l);
 }
@@ -741,8 +818,13 @@ bool NodeCache::drain_oldest() {
       Line& l = line_of_group(group);
       lock_line(l);
       if (l.group == group && slot_of(l, sel).valid && slot_of(l, sel).dirty) {
-        writeback_locked(l, sel);
-        refresh_checkpoint(l, sel);
+        try {
+          writeback_locked(l, sel);
+          refresh_checkpoint(l, sel);
+        } catch (...) {
+          unlock_line(l);
+          throw;
+        }
       }
       unlock_line(l);
       return true;
@@ -757,6 +839,50 @@ bool NodeCache::drain_oldest() {
 // ---------------------------------------------------------------------------
 
 void NodeCache::si_fence() {
+  for (;;) {
+    try {
+      si_fence_impl();
+      return;
+    } catch (const argonet::NodeFailedError& e) {
+      // A dirty page's home crashed mid-sweep. Wait out the recovery and
+      // re-run the fence against the successor homes; pages already
+      // invalidated stay invalidated, so the re-run only finishes the job.
+      if (!crash_failover(e)) throw;
+    }
+  }
+}
+
+void NodeCache::sd_fence() {
+  for (;;) {
+    try {
+      sd_fence_impl();
+      return;
+    } catch (const argonet::NodeFailedError& e) {
+      if (!crash_failover(e)) throw;
+      // The throwing drain may have popped entries whose writebacks never
+      // finished; put every still-dirty in_wb page back in the queue so
+      // the re-run (and later capacity drains) can find them.
+      requeue_stranded_wb();
+    }
+  }
+}
+
+void NodeCache::requeue_stranded_wb() {
+  for (const std::size_t idx : occ_idx_) {
+    Line& l = lines_[idx];
+    if (l.group == kNoGroup) continue;
+    for (std::size_t i = 0; i < l.pages.size(); ++i) {
+      const PageSlot& s = l.pages[i];
+      if (!(s.valid && s.dirty && s.in_wb)) continue;
+      const std::uint64_t page = l.group * cfg_.pages_per_line + i;
+      bool queued = false;
+      for (const std::uint64_t q : write_buffer_) queued = queued || q == page;
+      if (!queued) write_buffer_.push_back(page);
+    }
+  }
+}
+
+void NodeCache::si_fence_impl() {
   ++stats_.si_fences;
   const argosim::Time fence_start = argosim::now();
   const std::uint64_t inval_before = stats_.si_invalidations;
@@ -780,22 +906,27 @@ void NodeCache::si_fence() {
       unlock_line(l);
       continue;
     }
-    for (std::size_t i = 0; i < cfg_.pages_per_line; ++i) {
-      PageSlot& s = l.pages[i];
-      if (!s.valid) continue;
-      const std::uint64_t page = l.group * cfg_.pages_per_line + i;
-      const DirWord w{dir_.cache_get(node_, dir_page(page))};
-      const bool registered = w.is_reader(node_) || w.is_writer(node_);
-      if (registered && !si_required(cfg_.classification, w, node_)) continue;
-      if (s.dirty) writeback_locked(l, page);
-      s.valid = false;
-      // Per-invalidation bump (not once per fence): the writeback above
-      // yields, and translations inserted by other fibers mid-sweep for
-      // pages this sweep has not reached yet must still be revoked when
-      // their turn comes.
-      ++tlb_gen_;
-      s.twin.reset();
-      ++stats_.si_invalidations;
+    try {
+      for (std::size_t i = 0; i < cfg_.pages_per_line; ++i) {
+        PageSlot& s = l.pages[i];
+        if (!s.valid) continue;
+        const std::uint64_t page = l.group * cfg_.pages_per_line + i;
+        const DirWord w{dir_.cache_get(node_, dir_page(page))};
+        const bool registered = w.is_reader(node_) || w.is_writer(node_);
+        if (registered && !si_required(cfg_.classification, w, node_)) continue;
+        if (s.dirty) writeback_locked(l, page);
+        s.valid = false;
+        // Per-invalidation bump (not once per fence): the writeback above
+        // yields, and translations inserted by other fibers mid-sweep for
+        // pages this sweep has not reached yet must still be revoked when
+        // their turn comes.
+        ++tlb_gen_;
+        s.twin.reset();
+        ++stats_.si_invalidations;
+      }
+    } catch (...) {
+      unlock_line(l);  // crashed home mid-writeback; see si_fence
+      throw;
     }
     unlock_line(l);
   }
@@ -808,7 +939,7 @@ void NodeCache::si_fence() {
   stats_.si_fence_ns.add(argosim::now() - fence_start);
 }
 
-void NodeCache::sd_fence() {
+void NodeCache::sd_fence_impl() {
   ++stats_.sd_fences;
   if (cfg_.debug_skip_sd_fence) return;  // chaos knob: leave pages dirty
   const argosim::Time fence_start = argosim::now();
@@ -833,28 +964,32 @@ void NodeCache::sd_fence() {
       unlock_line(l);
       continue;  // stale entry
     }
-    if (naive) {
-      const DirWord w{dir_.cache_get(node_, page)};
-      if (w.private_to(node_)) {
-        // Naive P/S: private pages are not downgraded; instead the node
-        // checkpoints them at every synchronization point so a later P→S
-        // can be serviced (§3.4.2 "Naive Solution"). The page stays dirty,
-        // so the checkpoint is re-taken at every future sync — this is the
-        // accumulating overhead Figure 8 charges against naive P/S.
-        refresh_checkpoint(l, page);
-        keep.push_back(page);  // keep tracking it
-        unlock_line(l);
-        continue;
+    try {
+      if (naive) {
+        const DirWord w{dir_.cache_get(node_, page)};
+        if (w.private_to(node_)) {
+          // Naive P/S: private pages are not downgraded; instead the node
+          // checkpoints them at every synchronization point so a later P→S
+          // can be serviced (§3.4.2 "Naive Solution"). The page stays
+          // dirty, so the checkpoint is re-taken at every future sync —
+          // this is the accumulating overhead Figure 8 charges against
+          // naive P/S.
+          refresh_checkpoint(l, page);
+          keep.push_back(page);  // keep tracking it
+        } else {
+          writeback_locked(l, page);
+          // While we remain the page's sole writer, newcomers heal from
+          // our checkpoint — keep it as fresh as what we just flushed.
+          if (w.writers() == (std::uint32_t{1} << node_))
+            refresh_checkpoint(l, page);
+        }
+      } else {
+        writeback_locked(l, page);
       }
-      writeback_locked(l, page);
-      // While we remain the page's sole writer, newcomers heal from our
-      // checkpoint — keep it as fresh as what we just flushed.
-      if (w.writers() == (std::uint32_t{1} << node_))
-        refresh_checkpoint(l, page);
-      unlock_line(l);
-      continue;
+    } catch (...) {
+      unlock_line(l);  // crashed home mid-writeback; see sd_fence
+      throw;
     }
-    writeback_locked(l, page);
     unlock_line(l);
   }
   for (std::uint64_t page : keep) write_buffer_.push_back(page);
@@ -868,6 +1003,57 @@ void NodeCache::sd_fence() {
   trace(argoobs::Ev::SdFenceEnd, 0, argoobs::kUnknownState,
         stats_.writebacks - wb_before);
   stats_.sd_fence_ns.add(argosim::now() - fence_start);
+}
+
+// ---------------------------------------------------------------------------
+// Crash recovery (core/membership.hpp)
+// ---------------------------------------------------------------------------
+
+bool NodeCache::crash_failover(const argonet::NodeFailedError& e) {
+  if (membership_ == nullptr) return false;
+  // Block until the first detector finishes re-homing the dead node's
+  // pages; every retried access then routes to the successor. The op that
+  // observed the crash was aborted mid-flight (it is retried against the
+  // successor), and posted ops the crash aborted are banked in the
+  // interconnect — account both.
+  membership_->await_recovery(e.dst());
+  membership_->note_aborted(net_.take_aborted_posted(node_) + 1);
+  return true;
+}
+
+const std::byte* NodeCache::host_page_image(std::uint64_t page, bool* dirty) {
+  const std::uint64_t group = group_of(page);
+  Line& l = line_of_group(group);
+  if (l.group != group || l.fetching) return nullptr;
+  PageSlot& s = slot_of(l, page);
+  if (!s.valid) return nullptr;
+  *dirty = s.dirty;
+  return page_data(l, page);
+}
+
+bool NodeCache::host_drop_page(std::uint64_t page) {
+  const std::uint64_t group = group_of(page);
+  Line& l = line_of_group(group);
+  if (l.group != group || l.fetching) return false;
+  PageSlot& s = slot_of(l, page);
+  if (!s.valid || s.dirty) return false;  // dirty copies survive (see .hpp)
+  s.valid = false;
+  s.twin.reset();
+  ++tlb_gen_;  // residency changed under the threads' feet
+  return true;
+}
+
+bool NodeCache::host_adopt_page(std::uint64_t page) {
+  const std::uint64_t group = group_of(page);
+  Line& l = line_of_group(group);
+  if (l.group != group || l.fetching) return false;
+  PageSlot& s = slot_of(l, page);
+  if (!s.valid) return false;
+  if (s.dirty) release_wb_slot(s);  // also wakes writers parked on the buffer
+  s.valid = false;
+  s.twin.reset();
+  ++tlb_gen_;  // residency changed under the threads' feet
+  return true;
 }
 
 // ---------------------------------------------------------------------------

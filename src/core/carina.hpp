@@ -80,6 +80,37 @@ class NodeCache {
   /// checkpoint is an RDMA read of its registered checkpoint region).
   void set_peers(const std::vector<NodeCache*>* peers) { peers_ = peers; }
 
+  /// Crash-recovery wiring (core/membership.hpp). Cluster sets this only
+  /// when membership is enabled; null (the default) keeps every access and
+  /// fence path byte-identical to the pre-recovery code — the failover
+  /// catch blocks rethrow immediately.
+  void set_membership(MembershipService* m) { membership_ = m; }
+
+  /// Host-side view of a cached page image, for the crash-recovery
+  /// harvest: returns the page bytes (stamping *dirty) when the page is
+  /// valid and its line is not mid-mutation, else null. Zero virtual cost;
+  /// the recovery pass charges the reconstruction transfer itself.
+  const std::byte* host_page_image(std::uint64_t page, bool* dirty);
+
+  /// Crash recovery: drop a *clean* cached copy of `page` — the home copy
+  /// rebuilt on the successor is now authoritative, and a clean copy
+  /// fetched from the dead home may be staler. Dirty copies are kept: their
+  /// eventual twin-based diff writebacks apply exactly this node's own
+  /// words to the new home. Latched (mid-fetch/evict) lines are skipped —
+  /// the in-flight operation re-resolves against the new home. Returns
+  /// true if a copy was dropped.
+  bool host_drop_page(std::uint64_t page);
+
+  /// Crash recovery, successor only: drop this node's cached copy of a
+  /// page it just inherited as home — dirty included. The harvest already
+  /// folded the copy's bytes into the (new) home, own-home pages are never
+  /// cached, and a kept dirty copy's later diff writeback would clobber
+  /// fresher post-recovery home-path stores with pre-crash bytes. Releases
+  /// the write-buffer slot of a dirty copy (waking parked writers); the
+  /// stale queue entry is skipped by the drains' liveness check. Returns
+  /// true if a copy was dropped.
+  bool host_adopt_page(std::uint64_t page);
+
   /// Drop all cached pages without cost. Only valid when nothing is dirty;
   /// used by Cluster::reset_classification() at the end of initialization.
   void invalidate_all_free();
@@ -251,6 +282,22 @@ class NodeCache {
   /// checkpoint (RDMA read from owner + RDMA write to home).
   void heal_from_checkpoint(int owner, std::uint64_t page);
 
+  /// Crash failover: wait out the recovery of the dead node an operation
+  /// just tripped over, account ops the crash aborted, and report that the
+  /// caller should retry. Returns false — callers rethrow — when no
+  /// membership service is attached (the feature is disabled).
+  bool crash_failover(const argonet::NodeFailedError& e);
+
+  /// Re-queue valid+dirty+in_wb pages missing from the write buffer deque:
+  /// an SD fence that threw between popping an entry and finishing its
+  /// writeback strands the page, and FIFO drains must be able to find it.
+  void requeue_stranded_wb();
+
+  /// Fence bodies; the public si_fence/sd_fence wrap them in the crash
+  /// failover retry loop.
+  void si_fence_impl();
+  void sd_fence_impl();
+
   /// Bucket sizing for checkpoints_ (naive P/S), derived from CacheConfig.
   std::size_t checkpoint_reserve() const;
 
@@ -288,6 +335,7 @@ class NodeCache {
   // fibers of one node can sweep concurrently.
   std::vector<std::vector<std::size_t>> fence_scratch_;
   const std::vector<NodeCache*>* peers_ = nullptr;
+  MembershipService* membership_ = nullptr;  // non-null only when enabled
   argoobs::Tracer* tracer_ = nullptr;
   CoherenceStats stats_;
   // Soft-TLB generation shared by all of this node's threads. Starts at 1

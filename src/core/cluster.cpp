@@ -19,6 +19,14 @@ Cluster::Cluster(ClusterConfig cfg)
   for (auto& c : caches_) peer_view_.push_back(c.get());
   for (auto& c : caches_) c->set_peers(&peer_view_);
   net_.enable_faults(cfg_.faults);
+  // Membership is always constructed (so accessors work) but caches only
+  // get the pointer when the feature is on: a null pointer keeps every
+  // Carina path identical to the pre-recovery code.
+  membership_ = std::make_unique<argocore::MembershipService>(
+      eng_, net_, gmem_, dir_, cfg_.membership, cfg_.nodes);
+  membership_->set_caches(&peer_view_);
+  for (auto& c : caches_)
+    c->set_membership(cfg_.membership.enabled ? membership_.get() : nullptr);
   // Deferred invalidations delivered into a node's directory cache must
   // revoke that node's thread-held soft-TLB translations.
   for (int n = 0; n < cfg_.nodes; ++n)
@@ -31,6 +39,12 @@ Cluster::Cluster(ClusterConfig cfg)
 }
 
 Cluster::~Cluster() {
+  // Surviving daemon fibers (membership monitors, message handlers) may be
+  // parked holding locks on the interconnect; unwind them now, while every
+  // member they reference is still alive. eng_ is declared first, so its
+  // own destructor would run the unwind *after* net_ and membership_ are
+  // gone — a use-after-free for any fiber mid-RPC.
+  eng_.shutdown();
   if (!sinks_.empty()) flush_trace();
 }
 
@@ -102,6 +116,40 @@ void Cluster::register_metrics() {
 
   metrics_.add_counter("trace.emitted", [this] { return tracer_.emitted(); });
   metrics_.add_counter("trace.dropped", [this] { return tracer_.dropped(); });
+
+  // Membership/recovery metrics exist only when the feature is on, so the
+  // fault-free metric enumeration matches the seed exactly.
+  if (cfg_.membership.enabled) {
+    auto ms = [this](std::uint64_t argocore::RecoveryStats::* field) {
+      return [this, field] { return membership_->stats().*field; };
+    };
+    using RS = argocore::RecoveryStats;
+    metrics_.add_counter("membership.epoch",
+                         [this] { return membership_->epoch(); });
+    metrics_.add_counter("membership.live", [this] {
+      std::uint64_t live = 0;
+      for (int n = 0; n < active_nodes_; ++n)
+        if (membership_->is_live(n)) ++live;
+      return live;
+    });
+    metrics_.add_counter("membership.deaths", ms(&RS::deaths));
+    metrics_.add_counter("membership.rejoins", ms(&RS::rejoins));
+    metrics_.add_counter("membership.probes", ms(&RS::probes));
+    metrics_.add_counter("membership.probe_misses", ms(&RS::probe_misses));
+    metrics_.add_counter("recovery.events", ms(&RS::recovery_events));
+    metrics_.add_counter("recovery.pages_recovered", ms(&RS::pages_recovered));
+    metrics_.add_counter("recovery.pages_lost", ms(&RS::pages_lost));
+    metrics_.add_counter("recovery.dir_words_rebuilt",
+                         ms(&RS::dir_words_rebuilt));
+    metrics_.add_counter("recovery.aborted_ops", ms(&RS::aborted_ops));
+    metrics_.add_counter("recovery.locks_recovered", ms(&RS::locks_recovered));
+    metrics_.add_counter("recovery.stale_msgs_dropped",
+                         [this] { return net_.stale_msgs_dropped(); });
+    metrics_.add_hist("membership.detect_ns",
+                      [this] { return membership_->stats().detect_ns; });
+    metrics_.add_hist("recovery.latency_ns",
+                      [this] { return membership_->stats().recovery_ns; });
+  }
 }
 
 void Cluster::reset_classification() {
@@ -135,19 +183,32 @@ Time Cluster::run_subset(int use_nodes, int use_threads_per_node,
   barrier_net_cost_ =
       static_cast<Time>(rounds) * (cfg_.net.msg_latency + cfg_.net.nic_overhead);
 
+  // Membership daemons (heartbeat monitors + crash reaper) spawn before
+  // the workers so a node already dead from a previous run is reaped at
+  // run start, before its fresh workers take their first step.
+  membership_->begin_run(use_nodes);
+
   const Time t0 = eng_.now();
   for (int n = 0; n < use_nodes; ++n) {
     for (int t = 0; t < use_threads_per_node; ++t) {
       const int gid = n * use_threads_per_node + t;
       const int core = t % cfg_.topo.cores;
-      eng_.spawn("n" + std::to_string(n) + "t" + std::to_string(t),
-                 [this, n, t, gid, core, &body] {
-                   Thread self(this, n, t, gid, core, caches_[n].get());
-                   body(self);
-                 });
+      argosim::SimThread* st =
+          eng_.spawn("n" + std::to_string(n) + "t" + std::to_string(t),
+                     [this, n, t, gid, core, &body] {
+                       Thread self(this, n, t, gid, core, caches_[n].get());
+                       body(self);
+                     });
+      membership_->note_worker(n, st);
     }
   }
-  eng_.run();
+  try {
+    eng_.run();
+  } catch (...) {
+    membership_->end_run();
+    throw;
+  }
+  membership_->end_run();
   return eng_.now() - t0;
 }
 
@@ -212,7 +273,14 @@ void Cluster::rendezvous(Thread& t) {
 
 void Cluster::global_rendezvous(int node) {
   if (active_nodes_ <= 1) return;
-  leader_barrier_->arrive_and_wait();
+  if (membership_->enabled()) {
+    // Surviving-view barrier: completes as soon as every live leader has
+    // arrived; a leader that crash-stops mid-round is counted departed by
+    // the recovery pass, releasing any stranded round retroactively.
+    membership_->barrier().arrive_and_wait(node);
+  } else {
+    leader_barrier_->arrive_and_wait();
+  }
   if (!net_.faults_enabled()) {
     // Fault-free: one lump-sum delay (identical to charging each round
     // separately, since virtual delays are additive on one fiber).
@@ -224,7 +292,16 @@ void Cluster::global_rendezvous(int node) {
   // so a flaky link slows the barrier instead of wedging or corrupting it.
   for (int r = 0; r < barrier_rounds_; ++r) {
     const int partner = (node + (1 << r)) % active_nodes_;
-    net_.barrier_round(node, partner);
+    if (membership_->enabled() && !membership_->is_live(partner))
+      continue;  // dead partners participate in nothing
+    try {
+      net_.barrier_round(node, partner);
+    } catch (const argonet::NodeFailedError&) {
+      // The partner died but is not yet declared: the rendezvous itself
+      // already completed over the arriving view, so the lost notification
+      // costs nothing — skip it rather than wait out the detection.
+      continue;
+    }
   }
 }
 

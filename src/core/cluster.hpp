@@ -332,6 +332,13 @@ class Cluster {
   argodir::PyxisDirectory& dir() { return dir_; }
   NodeCache& node_cache(int node) { return *caches_[node]; }
 
+  /// The crash-stop membership/recovery service (core/membership.hpp).
+  /// Always constructed; inert (no fibers, no probes) unless
+  /// ClusterConfig::membership.enabled. Exposes per-node views, the
+  /// cluster epoch, and per-epoch recovery statistics.
+  argocore::MembershipService& membership() { return *membership_; }
+  const argocore::MembershipService& membership() const { return *membership_; }
+
   /// Aggregated immutable statistics snapshot — the public reporting API.
   ClusterStats stats() const;
 
@@ -389,6 +396,7 @@ class Cluster {
   argodir::PyxisDirectory dir_;
   std::vector<std::unique_ptr<NodeCache>> caches_;
   std::vector<NodeCache*> peer_view_;
+  std::unique_ptr<argocore::MembershipService> membership_;
   std::vector<std::unique_ptr<argosim::SimBarrier>> node_barriers_;
   std::unique_ptr<argosim::SimBarrier> leader_barrier_;
   Time barrier_net_cost_ = 0;

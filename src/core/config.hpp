@@ -3,6 +3,7 @@
 
 #include <cstddef>
 
+#include "core/membership.hpp"
 #include "mem/global_memory.hpp"
 #include "net/faults.hpp"
 #include "net/netconfig.hpp"
@@ -77,6 +78,12 @@ struct ClusterConfig {
   /// never charges virtual time, so enabling it changes no measurements —
   /// and disabling it reduces every emit point to one predicted branch.
   argoobs::TraceConfig trace;
+
+  /// Crash-stop membership / recovery service (core/membership.hpp).
+  /// Disabled by default: no heartbeat fibers are spawned, no membership
+  /// metrics are registered, and every virtual time matches a build
+  /// without the feature exactly.
+  MembershipConfig membership;
 };
 
 }  // namespace argocore

@@ -21,6 +21,21 @@ void ProtocolValidator::fail(int node, std::uint64_t page,
 
 void ProtocolValidator::check(int node) {
   ++checks_run_;
+  const MembershipService& ms = cluster_.membership();
+  const bool degraded = ms.enabled() && ms.any_dead();
+  // A dead node's cache is frozen pre-crash state; its invariants stopped
+  // being maintained the instant it died. Only live nodes are checked.
+  if (ms.enabled() && !ms.is_live(node)) return;
+  // Directory bits of departed-and-recovered nodes: scrubbed from every
+  // home word, but survivor directory *caches* may retain them until their
+  // next SI reset — legitimate staleness the epoch-aware checks mask out.
+  std::uint64_t departed_bits = 0;
+  if (degraded) {
+    for (int n = 0; n < cluster_.nodes(); ++n)
+      if (ms.recovered(n))
+        departed_bits |= DirWord::reader_bit(n) | DirWord::writer_bit(n);
+  }
+
   NodeCache& cache = cluster_.node_cache(node);
   argodir::PyxisDirectory& dir = cluster_.dir();
   const CacheConfig& cfg = cache.config();
@@ -33,8 +48,30 @@ void ProtocolValidator::check(int node) {
     if (p.dirty && !home.is_writer(node))
       fail(node, p.page, "dirty but writer bit not set at home");
     const std::uint64_t cached = dir.cache_get(node, key);
-    if ((cached & ~home.raw) != 0)
+    if ((cached & ~home.raw & ~departed_bits) != 0)
       fail(node, p.page, "cached directory word claims bits home lacks");
+    if ((home.raw & departed_bits) != 0)
+      fail(node, p.page, "home directory word retains a departed node's bits");
+  }
+
+  // Lease invariant: a lock may stay "held" by a dead node only until its
+  // lease expires plus one sweep granule (sweeps run on heartbeat ticks).
+  // Emitted once per quiescent instant, by the lowest-numbered live node.
+  if (degraded && node == first_live_node()) {
+    argosim::Engine* eng = argosim::Engine::current();
+    if (eng != nullptr) {
+      const MembershipConfig& mc = ms.config();
+      for (RecoverableLock* l : ms.locks()) {
+        const int h = l->holder_node();
+        if (h < 0 || ms.is_live(h)) continue;
+        const argosim::Time limit =
+            ms.detect_time(h) + mc.lease + 2 * mc.heartbeat_interval;
+        if (eng->now() > limit)
+          fail(node, 0,
+               "lock still held by dead node " + std::to_string(h) +
+                   " past its lease");
+      }
+    }
   }
 
   if (cache.write_buffer_live() > cfg.write_buffer_pages)
@@ -49,8 +86,17 @@ void ProtocolValidator::check(int node) {
              std::to_string(cache.write_buffer_live()) + ")");
 }
 
+int ProtocolValidator::first_live_node() const {
+  const MembershipService& ms = cluster_.membership();
+  for (int n = 0; n < cluster_.nodes(); ++n)
+    if (ms.is_live(n)) return n;
+  return 0;
+}
+
 void ProtocolValidator::check_post_barrier(int node) {
   check(node);
+  const MembershipService& ms = cluster_.membership();
+  if (ms.enabled() && !ms.is_live(node)) return;
   NodeCache& cache = cluster_.node_cache(node);
   argodir::PyxisDirectory& dir = cluster_.dir();
   const Mode mode = cache.config().classification;

@@ -62,6 +62,9 @@ class ProtocolValidator {
 
  private:
   void fail(int node, std::uint64_t page, const std::string& what);
+  /// Lowest-numbered node the membership service still believes live
+  /// (checks that must run exactly once per instant key off it).
+  int first_live_node() const;
 
   argo::Cluster& cluster_;
   std::vector<std::string> violations_;

@@ -123,6 +123,23 @@ class PyxisDirectory {
   /// (§3.4: "initialization writes do not count"). Collective; free.
   void reset_all();
 
+  // --- Crash-recovery host-side mutators ---------------------------------
+  // The recovery pass (core/membership.cpp) rebuilds dead-homed directory
+  // words from survivors' caches and scrubs a dead node's bits everywhere.
+  // These are host-side (zero virtual cost): the network charges for the
+  // reconstruction are accounted once by the recovery pass itself.
+
+  /// Overwrite the home word of `page` (recovery reconstruction only).
+  void host_set_word(std::uint64_t page, std::uint64_t w) { words_[page] = w; }
+
+  /// Clear `mask` bits from every home directory word — used to retire a
+  /// dead node's reader/writer bits cluster-wide. Survivor caches may
+  /// transiently keep stale copies of the victim's bits (in-flight
+  /// notifications); the validator masks departed nodes accordingly.
+  void host_scrub_bits(std::uint64_t mask) {
+    for (auto& w : words_) w &= ~mask;
+  }
+
   // --- Per-node directory caches -----------------------------------------
 
   /// Local lookup in `node`'s directory cache (free: node-local memory).

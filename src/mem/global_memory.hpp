@@ -41,15 +41,41 @@ class GlobalMemory {
   std::uint64_t pages_per_node() const { return pages_per_node_; }
   HomeMapping mapping() const { return mapping_; }
 
-  /// Home node of a page.
+  /// Home node of a page, after any crash-recovery redirects.
   int home_of_page(std::uint64_t page) const {
+    int h;
     if (mapping_ == HomeMapping::Blocked) {
-      std::uint64_t h = page / pages_per_node_;
-      return static_cast<int>(h >= static_cast<std::uint64_t>(nodes_)
-                                  ? nodes_ - 1
-                                  : h);
+      std::uint64_t b = page / pages_per_node_;
+      h = static_cast<int>(b >= static_cast<std::uint64_t>(nodes_)
+                               ? nodes_ - 1
+                               : b);
+    } else {
+      h = static_cast<int>(page % static_cast<std::uint64_t>(nodes_));
     }
-    return static_cast<int>(page % static_cast<std::uint64_t>(nodes_));
+    if (any_redirect_) {
+      const int r = redirect_[static_cast<std::size_t>(h)];
+      if (r >= 0) return r;
+    }
+    return h;
+  }
+
+  /// Install a node-level home redirect: pages originally homed on `from`
+  /// are served (and charged) by `to` from now on. The bytes never move —
+  /// the home buffer is one flat allocation — so re-homing is purely a
+  /// routing/accounting change. Chains collapse: a later redirect of `to`
+  /// retargets existing entries, keeping lookups O(1). Fault-free runs
+  /// never take the redirect branch (any_redirect_ stays false).
+  void set_home_redirect(int from, int to) {
+    if (redirect_.empty()) redirect_.assign(static_cast<std::size_t>(nodes_), -1);
+    redirect_[static_cast<std::size_t>(from)] = to;
+    for (auto& r : redirect_)
+      if (r == from) r = to;
+    any_redirect_ = true;
+  }
+
+  /// Current redirect target of `node` (-1 = none). Tests/validation.
+  int home_redirect(int node) const {
+    return redirect_.empty() ? -1 : redirect_[static_cast<std::size_t>(node)];
   }
 
   int home_of(GAddr a) const { return home_of_page(page_of(a)); }
@@ -122,6 +148,8 @@ class GlobalMemory {
   std::size_t size_ = 0;
   std::size_t brk_ = 0;
   std::vector<NodeArena> arenas_;
+  std::vector<int> redirect_;  // node-level home failover (crash recovery)
+  bool any_redirect_ = false;
 };
 
 }  // namespace argomem

@@ -34,6 +34,20 @@ FaultInjector::FaultInjector(FaultConfig cfg, int nodes)
     w.rng = argosim::Rng(mix_seed(cfg.seed, static_cast<std::uint64_t>(n) + 1));
     windows_.push_back(std::move(w));
   }
+  if (!cfg_.crashes.empty()) {
+    crash_.resize(static_cast<std::size_t>(nodes));
+    for (const CrashEvent& e : cfg_.crashes) {
+      if (e.node < 0 || e.node >= nodes) continue;
+      CrashState& c = crash_[static_cast<std::size_t>(e.node)];
+      c.rejoin_at = e.rejoin_at;
+      if (e.after_ops > 0) {
+        c.after_ops = e.after_ops;  // resolved later by note_op()
+      } else {
+        c.at = e.at;
+        c.resolved = true;
+      }
+    }
+  }
 }
 
 void FaultInjector::advance(NodeWindows& w, Time now) {

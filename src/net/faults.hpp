@@ -62,6 +62,23 @@ struct FaultConfig {
   Time brownout_mean_duration = 0;
   double brownout_latency_mult = 4.0;
   double brownout_bw_frac = 0.25;
+
+  /// Crash-stop schedule (see CrashEvent). Crashes draw nothing from the
+  /// fault RNG streams, so adding a crash schedule never perturbs the
+  /// transient-fault pattern of a given seed.
+  std::vector<struct CrashEvent> crashes;
+};
+
+/// One scheduled crash-stop failure. A node crashes either at a fixed
+/// virtual time (`at`) or after it has initiated `after_ops` interconnect
+/// operations ("crash under load"); whichever trigger is configured.
+/// `rejoin_at` > 0 optionally brings the node back as a *fresh* node (empty
+/// cache, new identity for membership purposes) at that virtual time.
+struct CrashEvent {
+  int node = -1;              ///< which node dies
+  Time at = 0;                ///< crash at this virtual time (0 = use after_ops)
+  std::uint64_t after_ops = 0;  ///< crash once the node initiated this many ops
+  Time rejoin_at = 0;         ///< 0 = crash is permanent
 };
 
 /// Fault decision for one remote-op attempt.
@@ -99,6 +116,44 @@ class FaultInjector {
     return windows_[static_cast<std::size_t>(node)].entered;
   }
 
+  // --- Crash-stop schedule (RNG-free; never perturbs transient faults) ---
+
+  /// True if the config carries any crash events. The interconnect only
+  /// consults the crash machinery when this holds, so chaos runs without a
+  /// crash schedule stay bit-identical to pre-crash-support builds.
+  bool has_crashes() const { return !crash_.empty(); }
+
+  /// True if `node` is crashed (dead) at virtual time `now`. A node with a
+  /// rejoin time is dead only inside [crash, rejoin).
+  bool crashed(int node, Time now) const {
+    const CrashState& c = crash_state(node);
+    if (!c.resolved || now < c.at) return false;
+    return c.rejoin_at == 0 || now < c.rejoin_at;
+  }
+
+  /// Resolved crash time of `node` (0 = no crash scheduled / not yet
+  /// triggered for op-count crashes).
+  Time crash_time(int node) const {
+    const CrashState& c = crash_state(node);
+    return c.resolved ? c.at : 0;
+  }
+
+  /// Rejoin time of `node` (0 = permanent crash or no crash).
+  Time rejoin_time(int node) const { return crash_state(node).rejoin_at; }
+
+  /// Account one interconnect op initiated by `node` at `now`; resolves
+  /// "crash after N ops" events by stamping the crash time when the count
+  /// crosses the threshold.
+  void note_op(int node, Time now) {
+    if (crash_.empty()) return;
+    CrashState& c = crash_[static_cast<std::size_t>(node)];
+    if (c.after_ops == 0 || c.resolved) return;
+    if (++c.ops >= c.after_ops) {
+      c.at = now;
+      c.resolved = true;
+    }
+  }
+
  private:
   struct NodeWindows {
     argosim::Rng rng;         // per-node stream: schedule is op-order free
@@ -107,11 +162,26 @@ class FaultInjector {
     bool scheduled = false;
   };
 
+  struct CrashState {
+    Time at = 0;                  // resolved crash time
+    std::uint64_t after_ops = 0;  // op-count trigger (0 = time trigger)
+    Time rejoin_at = 0;
+    std::uint64_t ops = 0;        // ops initiated so far (op-count trigger)
+    bool resolved = false;        // crash time known (time triggers always)
+  };
+
+  const CrashState& crash_state(int node) const {
+    static const CrashState kNone{};
+    const auto i = static_cast<std::size_t>(node);
+    return i < crash_.size() ? crash_[i] : kNone;
+  }
+
   void advance(NodeWindows& w, Time now);
 
   FaultConfig cfg_;
   argosim::Rng rng_;  // shared stream for per-op draws
   std::vector<NodeWindows> windows_;
+  std::vector<CrashState> crash_;  // per node; empty when no schedule
 };
 
 }  // namespace argonet

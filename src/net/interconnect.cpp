@@ -37,6 +37,33 @@ void Interconnect::enable_faults(const FaultConfig& cfg) {
   faults_ = std::make_unique<FaultInjector>(cfg, nodes_);
 }
 
+namespace {
+
+// Shared error-message context: verb, endpoints, virtual time.
+std::string op_context(const char* what, int src, int dst) {
+  return std::string(what) + " from node " + std::to_string(src) +
+         " to node " + std::to_string(dst) + " at t=" +
+         std::to_string(argosim::now()) + "ns";
+}
+
+}  // namespace
+
+void Interconnect::crash_check(int src, int dst, const char* what) {
+  if (!faults_ || !faults_->has_crashes()) return;
+  const Time now = argosim::now();
+  faults_->note_op(src, now);
+  // A crashed source initiates nothing: its fiber unwinds cleanly here (the
+  // same SimStopped path Engine::kill uses) the moment it touches the
+  // network — never a NetworkError, which nothing on a dead node could
+  // handle and which would otherwise abort the whole simulation when the
+  // reaper's rethrow surfaces it. This also gives "crash after N ops" exact
+  // semantics: the op that trips the counter has no effect.
+  if (faults_->crashed(src, now)) throw argosim::SimStopped{};
+  if (dst != src && faults_->crashed(dst, now))
+    throw NodeFailedError(
+        op_context(what, src, dst) + " failed: target node is down", src, dst);
+}
+
 void Interconnect::charge(int src, Time busy, Time extra_latency) {
   auto& box = *boxes_[src];
   box.stats.nic_busy += busy;
@@ -50,12 +77,13 @@ void Interconnect::charge(int src, Time busy, Time extra_latency) {
 }
 
 bool Interconnect::remote_attempt(int src, int dst, std::size_t stream_bytes,
-                                  Time base_latency) {
+                                  Time base_latency, const char* what) {
   if (!faults_) {
     charge(src, cfg_.nic_overhead + cfg_.net_transfer(stream_bytes),
            base_latency);
     return true;
   }
+  crash_check(src, dst, what);
   const AttemptPlan p = faults_->plan_attempt(src, dst, argosim::now());
   Time stream = cfg_.net_transfer(stream_bytes);
   if (p.bw_frac < 1.0 && stream > 0)
@@ -85,14 +113,12 @@ void Interconnect::remote_op(int src, int dst, std::size_t stream_bytes,
   const Time started = argosim::now();
   Time backoff = rp.backoff_base;
   for (int attempt = 1;; ++attempt) {
-    if (remote_attempt(src, dst, stream_bytes, base_latency)) return;
+    if (remote_attempt(src, dst, stream_bytes, base_latency, what)) return;
     const bool out_of_attempts = attempt >= rp.max_attempts;
     const bool past_deadline =
         rp.deadline > 0 && argosim::now() - started >= rp.deadline;
     if (out_of_attempts || past_deadline) {
-      throw NetworkError(std::string(what) + " from node " +
-                         std::to_string(src) + " to node " +
-                         std::to_string(dst) + " failed after " +
+      throw NetworkError(op_context(what, src, dst) + " failed after " +
                          std::to_string(attempt) + " attempts");
     }
     Time wait = backoff;
@@ -113,10 +139,13 @@ void Interconnect::remote_op(int src, int dst, std::size_t stream_bytes,
 // Posted (asynchronous) verbs
 // ---------------------------------------------------------------------------
 
-void Interconnect::throw_posted_failure(int node, const char* what) {
-  throw NetworkError(std::string(what) + " (posted) from node " +
-                     std::to_string(node) +
-                     " failed after exhausting its retry budget");
+void Interconnect::throw_posted_failure(int node, PostedFailure f) {
+  const std::string msg = op_context(f.what, node, f.dst) +
+                          " (posted) failed after exhausting its retry budget";
+  // Attribute the failure to a crash when the target has since died: the
+  // recovery paths key their handling on the exception type.
+  if (node_dead(f.dst)) throw NodeFailedError(msg, node, f.dst);
+  throw NetworkError(msg);
 }
 
 void Interconnect::retire_front(int src) {
@@ -138,7 +167,7 @@ void Interconnect::retire_front(int src) {
       tracer_->emit(src, argoobs::Ev::PostedRetire, p.id,
                     argoobs::kUnknownState, p.hard_fail ? 1 : 0);
     if (p.hard_fail) {
-      box.posted_failed.emplace(p.id, p.what);
+      box.posted_failed.emplace(p.id, PostedFailure{p.what, p.dst});
     } else {
       const std::uint64_t v = p.effect ? p.effect() : 0;
       if (p.has_value) box.posted_results.emplace(p.id, v);
@@ -160,6 +189,7 @@ PostedHandle Interconnect::post_remote(int src, int dst,
                                        bool has_value,
                                        std::function<std::uint64_t()> effect) {
   auto& box = *boxes_[src];
+  crash_check(src, dst, what);
   const int depth = cfg_.pipeline > 1 ? cfg_.pipeline : 1;
   if (depth == 1) {
     // Depth 1 degenerates to the blocking verb: identical charges and
@@ -233,7 +263,7 @@ PostedHandle Interconnect::post_remote(int src, int dst,
     done = box.sendq.back().complete_at;
   const std::uint64_t id = box.posted_next_id++;
   box.sendq.push_back(
-      Posted{id, done, hard_fail, what, has_value, std::move(effect)});
+      Posted{id, done, hard_fail, what, dst, has_value, std::move(effect)});
   box.stats.posted_inflight_hwm =
       std::max<std::uint64_t>(box.stats.posted_inflight_hwm, box.sendq.size());
   return PostedHandle{src, id};
@@ -244,9 +274,10 @@ std::uint64_t Interconnect::wait(PostedHandle h) {
   auto& box = *boxes_[h.node];
   for (;;) {
     if (auto it = box.posted_failed.find(h.id); it != box.posted_failed.end()) {
-      const char* what = it->second;
+      const PostedFailure f = it->second;
       box.posted_failed.erase(it);
-      throw_posted_failure(h.node, what);
+      ++box.posted_aborted;
+      throw_posted_failure(h.node, f);
     }
     if (auto it = box.posted_results.find(h.id);
         it != box.posted_results.end()) {
@@ -265,9 +296,10 @@ void Interconnect::wait_all(int node) {
   auto& box = *boxes_[node];
   while (!box.sendq.empty()) retire_front(node);
   if (!box.posted_failed.empty()) {
-    const char* what = box.posted_failed.begin()->second;
+    const PostedFailure f = box.posted_failed.begin()->second;
+    box.posted_aborted += box.posted_failed.size();
     box.posted_failed.clear();
-    throw_posted_failure(node, what);
+    throw_posted_failure(node, f);
   }
 }
 
@@ -422,7 +454,7 @@ bool Interconnect::try_read(int src, int dst, const void* remote, void* local,
   s.bytes_read += n;
   if (src == dst) {
     argosim::delay(cfg_.mem_latency + cfg_.mem_copy(n));
-  } else if (!remote_attempt(src, dst, n, cfg_.rdma_latency)) {
+  } else if (!remote_attempt(src, dst, n, cfg_.rdma_latency, "RDMA read")) {
     return false;
   }
   std::memcpy(local, remote, n);
@@ -450,7 +482,7 @@ bool Interconnect::try_write(int src, int dst, void* remote, const void* local,
   s.bytes_written += n;
   if (src == dst) {
     argosim::delay(cfg_.mem_latency + cfg_.mem_copy(n));
-  } else if (!remote_attempt(src, dst, n, cfg_.rdma_latency)) {
+  } else if (!remote_attempt(src, dst, n, cfg_.rdma_latency, "RDMA write")) {
     return false;
   }
   std::memcpy(remote, local, n);
@@ -493,7 +525,8 @@ std::optional<std::uint64_t> Interconnect::try_fetch_or(int src, int dst,
   ++s.rdma_atomics;
   if (src == dst) {
     argosim::delay(cfg_.mem_latency);
-  } else if (!remote_attempt(src, dst, 0, cfg_.rdma_latency)) {
+  } else if (!remote_attempt(src, dst, 0, cfg_.rdma_latency,
+                             "RDMA fetch-or")) {
     return std::nullopt;
   }
   std::uint64_t old = *remote;
@@ -522,7 +555,8 @@ std::optional<std::uint64_t> Interconnect::try_fetch_add(int src, int dst,
   ++s.rdma_atomics;
   if (src == dst) {
     argosim::delay(cfg_.mem_latency);
-  } else if (!remote_attempt(src, dst, 0, cfg_.rdma_latency)) {
+  } else if (!remote_attempt(src, dst, 0, cfg_.rdma_latency,
+                             "RDMA fetch-add")) {
     return std::nullopt;
   }
   std::uint64_t old = *remote;
@@ -552,7 +586,7 @@ std::optional<std::uint64_t> Interconnect::try_cas(int src, int dst,
   ++s.rdma_atomics;
   if (src == dst) {
     argosim::delay(cfg_.mem_latency);
-  } else if (!remote_attempt(src, dst, 0, cfg_.rdma_latency)) {
+  } else if (!remote_attempt(src, dst, 0, cfg_.rdma_latency, "RDMA CAS")) {
     return std::nullopt;
   }
   std::uint64_t old = *remote;
@@ -581,7 +615,8 @@ std::optional<std::uint64_t> Interconnect::try_exchange(int src, int dst,
   ++s.rdma_atomics;
   if (src == dst) {
     argosim::delay(cfg_.mem_latency);
-  } else if (!remote_attempt(src, dst, 0, cfg_.rdma_latency)) {
+  } else if (!remote_attempt(src, dst, 0, cfg_.rdma_latency,
+                             "RDMA exchange")) {
     return std::nullopt;
   }
   std::uint64_t old = *remote;
@@ -593,16 +628,40 @@ void Interconnect::barrier_round(int node, int partner) {
   remote_op(node, partner, 0, cfg_.msg_latency, "barrier round");
 }
 
+bool Interconnect::probe(int src, int dst) {
+  // One tiny notification charged on the sender only: a dead target
+  // participates in nothing, and the probe's fate depends solely on the
+  // crash schedule (no RNG draws, no retry loop).
+  charge(src, cfg_.nic_overhead, cfg_.msg_latency);
+  return !node_dead(dst);
+}
+
 void Interconnect::deliver(Message msg, Time deliver_at) {
   auto& box = *boxes_[msg.dst];
   box.inbox.push(Pending{deliver_at, send_seq_++, std::move(msg)});
   box.rx_waiters.notify_all();
 }
 
+void Interconnect::purge_stale(NodeBox& box) {
+  if (!faults_ || !faults_->has_crashes()) return;
+  while (!box.inbox.empty() && box.inbox.top().deliver_at <= argosim::now() &&
+         faults_->crashed(box.inbox.top().msg.src, argosim::now())) {
+    // "No message from a dead node is applied": the sender crash-stopped
+    // before this delivery instant, so the message dies in the inbox.
+    box.inbox.pop();
+    ++stale_msgs_dropped_;
+  }
+}
+
 void Interconnect::send(Message msg) { try_send(std::move(msg)); }
 
 bool Interconnect::try_send(Message msg) {
   assert(msg.src >= 0 && msg.src < nodes_ && msg.dst >= 0 && msg.dst < nodes_);
+  if (faults_ && faults_->has_crashes()) {
+    faults_->note_op(msg.src, argosim::now());
+    // Crashed senders unwind instead of emitting (see crash_check).
+    if (faults_->crashed(msg.src, argosim::now())) throw argosim::SimStopped{};
+  }
   auto& s = boxes_[msg.src]->stats;
   ++s.msgs_sent;
   s.bytes_sent += msg.payload.size();
@@ -660,6 +719,7 @@ Time Interconnect::charge_message(int src, int dst,
 Message Interconnect::recv(int node) {
   auto& box = *boxes_[node];
   for (;;) {
+    purge_stale(box);
     if (!box.inbox.empty()) {
       const Pending& top = box.inbox.top();
       if (top.deliver_at <= argosim::now()) {
@@ -677,6 +737,7 @@ Message Interconnect::recv(int node) {
 
 std::optional<Message> Interconnect::try_recv(int node) {
   auto& box = *boxes_[node];
+  purge_stale(box);
   if (box.inbox.empty() || box.inbox.top().deliver_at > argosim::now())
     return std::nullopt;
   Message m = std::move(const_cast<Pending&>(box.inbox.top()).msg);
@@ -689,6 +750,7 @@ std::optional<Message> Interconnect::recv_for(int node, Time timeout) {
   auto& box = *boxes_[node];
   const Time deadline = argosim::now() + timeout;
   for (;;) {
+    purge_stale(box);
     if (!box.inbox.empty()) {
       const Pending& top = box.inbox.top();
       if (top.deliver_at <= argosim::now()) {
@@ -709,6 +771,7 @@ std::optional<Message> Interconnect::recv_for(int node, Time timeout) {
 
 bool Interconnect::poll(int node) {
   auto& box = *boxes_[node];
+  purge_stale(box);
   return !box.inbox.empty() && box.inbox.top().deliver_at <= argosim::now();
 }
 

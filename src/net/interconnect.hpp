@@ -38,10 +38,27 @@ using argosim::Time;
 
 /// Thrown by the reliable verbs when an op still fails after the
 /// RetryPolicy's attempt budget / deadline is exhausted (a hard, rather
-/// than transient, network failure).
+/// than transient, network failure). Messages carry the verb name, the
+/// source/target node ids and the virtual time of the failure.
 class NetworkError : public std::runtime_error {
  public:
   using std::runtime_error::runtime_error;
+};
+
+/// Thrown when an op targets a node that has crash-stopped (dead under the
+/// current membership view): unlike transient NetworkError failures there
+/// is no point retrying — the caller must recover (re-route to a successor
+/// home, abort a delegated critical section, drop a barrier partner).
+class NodeFailedError : public NetworkError {
+ public:
+  NodeFailedError(const std::string& what, int src, int dst)
+      : NetworkError(what), src_(src), dst_(dst) {}
+  int src() const { return src_; }
+  int dst() const { return dst_; }
+
+ private:
+  int src_;
+  int dst_;
 };
 
 /// A two-sided message. `tag` is protocol-defined; `a/b/c` carry small
@@ -207,6 +224,37 @@ class Interconnect {
     return boxes_[node]->sendq.size();
   }
 
+  /// Posted ops of `node` that hard-failed and were cleared by wait()/
+  /// wait_all() since the last call; resets the count. Recovery paths use
+  /// this to attribute a batch of banked failures (wait_all throws only the
+  /// first) to `recovery.aborted_ops`.
+  std::uint64_t take_aborted_posted(int node) {
+    auto& box = *boxes_[node];
+    const std::uint64_t n = box.posted_aborted;
+    box.posted_aborted = 0;
+    return n;
+  }
+
+  // --- Crash-stop support --------------------------------------------------
+
+  /// Heartbeat probe from `src` toward `dst`: charges one small-message
+  /// round on the *sender only* (a dead target participates in nothing)
+  /// and reports whether `dst` is currently live. Consults only the crash
+  /// schedule — never the fault RNG streams — so probing leaves the
+  /// transient-fault pattern of a seed untouched.
+  bool probe(int src, int dst);
+
+  /// True if `node` is crash-stopped at the current virtual time (false
+  /// when no crash schedule is attached).
+  bool node_dead(int node) const {
+    return faults_ && faults_->has_crashes() &&
+           faults_->crashed(node, argosim::now());
+  }
+
+  /// Messages dropped at delivery because their sender had crash-stopped
+  /// (the "no message from a dead epoch is applied" rule).
+  std::uint64_t stale_msgs_dropped() const { return stale_msgs_dropped_; }
+
   // --- Fallible single-attempt variants -----------------------------------
   //
   // One wire attempt each: the caller is charged the attempt's full cost
@@ -292,8 +340,14 @@ class Interconnect {
     Time complete_at;
     bool hard_fail;
     const char* what;
+    int dst;  ///< target node (error context)
     bool has_value;
     std::function<std::uint64_t()> effect;  ///< applied at retirement
+  };
+
+  struct PostedFailure {
+    const char* what;
+    int dst;
   };
 
   struct NodeBox {
@@ -304,17 +358,26 @@ class Interconnect {
     std::deque<Posted> sendq;          // outstanding posted ops, post order
     std::uint64_t posted_next_id = 1;  // 0 is the inert handle
     std::map<std::uint64_t, std::uint64_t> posted_results;  // unclaimed values
-    std::map<std::uint64_t, const char*> posted_failed;     // unclaimed errors
+    std::map<std::uint64_t, PostedFailure> posted_failed;   // unclaimed errors
+    std::uint64_t posted_aborted = 0;  // failures cleared since last take
   };
 
   /// Hold node `src`'s NIC for `busy` ns, then charge `extra_latency` more
   /// (time the op is in flight but the NIC is free again).
   void charge(int src, Time busy, Time extra_latency);
 
+  /// Account one op initiated by `src` against the crash schedule (resolves
+  /// "crash after N ops" triggers) and fail fast with NodeFailedError if
+  /// `dst` is crash-stopped. A dead *source* never throws: its fibers are
+  /// being reaped and must unwind only via SimStopped. No-op (and zero
+  /// cost) without a crash schedule.
+  void crash_check(int src, int dst, const char* what);
+
   /// Charge one remote-op attempt (streaming `stream_bytes`, completing
   /// after `base_latency`); returns false if an injected fault consumed it.
+  /// Throws NodeFailedError (named `what`) when `dst` is crash-stopped.
   bool remote_attempt(int src, int dst, std::size_t stream_bytes,
-                      Time base_latency);
+                      Time base_latency, const char* what);
 
   /// Reliable remote op: retry remote_attempt under the RetryPolicy.
   /// Throws NetworkError when the budget is exhausted.
@@ -337,9 +400,13 @@ class Interconnect {
   /// time, apply its effect, bank its value/failure for the owner's wait.
   void retire_front(int src);
 
-  [[noreturn]] void throw_posted_failure(int node, const char* what);
+  [[noreturn]] void throw_posted_failure(int node, PostedFailure f);
 
   void deliver(Message msg, Time deliver_at);
+
+  /// Pop (and count) deliverable inbox messages whose sender has crash-
+  /// stopped; returns once the top is live-sourced or not yet deliverable.
+  void purge_stale(NodeBox& box);
 
   int nodes_;
   NetConfig cfg_;
@@ -347,6 +414,7 @@ class Interconnect {
   std::unique_ptr<FaultInjector> faults_;
   argoobs::Tracer* tracer_ = nullptr;
   std::uint64_t send_seq_ = 0;
+  std::uint64_t stale_msgs_dropped_ = 0;
 };
 
 }  // namespace argonet

@@ -81,7 +81,9 @@ SimThread::~SimThread() = default;
 
 Engine::Engine() = default;
 
-Engine::~Engine() {
+Engine::~Engine() { shutdown(); }
+
+void Engine::shutdown() {
   // Unwind any fibers that are still alive (typically daemon message
   // handlers) so their stacks and captures are destroyed properly.
   for (auto& t : threads_) {
@@ -272,6 +274,18 @@ void Engine::delay(Time ns) {
   }
   make_runnable(self, when);
   switch_to_scheduler();
+}
+
+void Engine::kill(SimThread* t) {
+  if (t == nullptr || t->finished_) return;
+  assert(t != running_ && "a fiber must not kill itself");
+  t->stop_requested_ = true;
+  // Wake it immediately wherever it is parked (WaitQueue, timed wait, or a
+  // future run-queue entry — the token bump invalidates stale entries):
+  // switch_to_scheduler() throws SimStopped right after resumption, before
+  // any primitive logic can act on the spurious wakeup.
+  t->blocked_ = false;
+  make_runnable(t, now_);
 }
 
 void Engine::run() {

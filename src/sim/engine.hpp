@@ -48,6 +48,9 @@ class SimThread {
   std::uint64_t id() const { return id_; }
   bool daemon() const { return daemon_; }
   bool finished() const { return finished_; }
+  /// True once Engine::kill() (or shutdown) marked this fiber: it will
+  /// unwind at its next scheduling point and can no longer make progress.
+  bool stop_requested() const { return stop_requested_; }
   ~SimThread();
 
  private:
@@ -91,6 +94,21 @@ class Engine {
   /// Throws SimDeadlock if progress is impossible. May be called repeatedly;
   /// virtual time keeps advancing monotonically across calls.
   void run();
+
+  /// Crash-stop a fiber: it unwinds (via SimStopped) at its next scheduling
+  /// point instead of continuing its body — destructors run, so held NIC
+  /// locks and RAII guards release cleanly. Parked fibers are made runnable
+  /// now so the unwind is immediate. Killing a finished fiber is a no-op;
+  /// a fiber must not kill itself (return and unwind instead).
+  void kill(SimThread* t);
+
+  /// Unwind every fiber that is still alive (typically daemon message
+  /// handlers and monitors), running their destructors. The destructor
+  /// calls this too, but an owner whose fibers hold locks on sibling
+  /// objects must call it explicitly while those siblings still exist —
+  /// the Engine member is usually declared (and thus destroyed) in the
+  /// wrong order for the implicit unwind to be safe.
+  void shutdown();
 
   /// Current virtual time.
   Time now() const { return now_; }

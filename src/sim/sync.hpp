@@ -130,38 +130,81 @@ class SimMutex {
   void lock() {
     if (!locked_) {
       locked_ = true;
+      owner_ = Engine::current_thread();
       return;
     }
     q_.wait();  // ownership is handed to us by unlock()
+    owner_ = Engine::current_thread();
   }
 
   bool try_lock() {
     if (locked_) return false;
     locked_ = true;
+    owner_ = Engine::current_thread();
     return true;
   }
 
   /// Acquire, giving up after `timeout` virtual ns. Returns true if the
   /// lock was obtained. Handoff semantics make this exact: being notified
   /// IS ownership, so a timeout means no ownership was ever transferred.
+  /// The wait is sliced so a holder that crash-stops (Engine::kill) while
+  /// we are parked is noticed within kOwnerPoll instead of only at the
+  /// deadline: a dead holder can never hand the lock over, so the wait
+  /// fails fast rather than riding out the full timeout.
   bool try_lock_for(Time timeout) {
+    Engine* eng = Engine::current();
     if (!locked_) {
       locked_ = true;
+      owner_ = Engine::current_thread();
       return true;
     }
-    return q_.wait_for(timeout);
+    const Time deadline = eng->now() + timeout;
+    for (;;) {
+      // Between slices we are not parked: an unlock in that window found an
+      // empty queue and freed the lock instead of handing it to us.
+      if (!locked_) {
+        locked_ = true;
+        owner_ = Engine::current_thread();
+        return true;
+      }
+      if (owner_unwound()) return false;
+      const Time now = eng->now();
+      if (now >= deadline) return false;
+      const Time slice = deadline - now < kOwnerPoll ? deadline - now
+                                                     : kOwnerPoll;
+      if (q_.wait_until(now + slice)) {
+        owner_ = Engine::current_thread();
+        return true;
+      }
+    }
   }
 
   void unlock() {
     assert(locked_);
-    if (q_.notify_one() == 0) locked_ = false;
-    // else: stays locked, ownership transferred to the woken fiber
+    if (q_.notify_one() == 0) {
+      locked_ = false;
+      owner_ = nullptr;
+    }
+    // else: stays locked, ownership transferred to the woken fiber (which
+    // stamps owner_ when it resumes inside lock()/try_lock_for()).
   }
 
   bool locked() const { return locked_; }
 
+  /// Dead-holder poll granularity of try_lock_for.
+  static constexpr Time kOwnerPoll = 2000;
+
  private:
+  /// True if the recorded holder can never release: it finished or was
+  /// crash-stopped while owning the lock. (During a handoff window the
+  /// recorded holder is the releaser, which is live — so this only fires
+  /// for genuinely orphaned locks.)
+  bool owner_unwound() const {
+    return owner_ != nullptr && (owner_->finished() || owner_->stop_requested());
+  }
+
   bool locked_ = false;
+  SimThread* owner_ = nullptr;  // last fiber to acquire (diagnostics/death)
   WaitQueue q_;
 };
 

@@ -11,6 +11,7 @@ namespace argosync {
 
 GlobalMcsLock::GlobalMcsLock(Cluster& cluster) {
   auto& g = cluster.gmem();
+  gmem_ = &g;
   tail_ = g.alloc_on_node<std::uint64_t>(0, 1);
   *g.home_ptr(tail_) = 0;
   flag_.reserve(static_cast<std::size_t>(cluster.nodes()));
@@ -21,19 +22,77 @@ GlobalMcsLock::GlobalMcsLock(Cluster& cluster) {
     *g.home_ptr(flag_.back()) = 0;
     *g.home_ptr(next_.back()) = 0;
   }
+  if (cluster.config().membership.enabled) {
+    membership_ = &cluster.membership();
+    membership_->register_lock(this);
+  }
+}
+
+GlobalMcsLock::~GlobalMcsLock() {
+  if (membership_ != nullptr) membership_->deregister_lock(this);
+}
+
+void GlobalMcsLock::host_reset_queue() {
+  *gmem_->home_ptr(tail_) = 0;
+  for (std::size_t n = 0; n < next_.size(); ++n) {
+    *gmem_->home_ptr(next_[n]) = 0;
+    // Live nodes' flags become restart markers (any spinning waiter reads
+    // kRestart and re-contends from scratch); dead nodes' flags just clear.
+    *gmem_->home_ptr(flag_[n]) =
+        membership_ != nullptr && membership_->is_live(static_cast<int>(n))
+            ? kRestart
+            : 0;
+  }
+  if (membership_ != nullptr) membership_->bump_lock_epoch();
+}
+
+bool GlobalMcsLock::recover_after_crash(int dead_node) {
+  if (holder_ != dead_node) return false;
+  host_reset_queue();
+  holder_ = -1;
+  return true;
 }
 
 void GlobalMcsLock::acquire(Thread& t) {
   const auto me = static_cast<std::uint64_t>(t.node());
-  // Reset our queue slot (local memory), then swap ourselves in as tail.
-  t.atomic_store(flag_[me], 0);
-  t.atomic_store(next_[me], 0);
-  const std::uint64_t prev = t.atomic_exchange(tail_, me + 1);
-  if (prev != 0) {
+  for (;;) {
+    // Reset our queue slot (local memory), then swap ourselves in as tail.
+    t.atomic_store(flag_[me], 0);
+    t.atomic_store(next_[me], 0);
+    std::uint64_t prev;
+    try {
+      prev = t.atomic_exchange(tail_, me + 1);
+    } catch (const argonet::NodeFailedError& e) {
+      // The tail's home crashed: wait for the home redirect, then retry.
+      if (membership_ == nullptr) throw;
+      membership_->await_recovery(e.dst());
+      continue;
+    }
+    if (prev == 0) {
+      holder_ = static_cast<int>(me);
+      return;
+    }
     // Link into the predecessor's slot (one remote write), then spin on
     // our *own* node's flag — the predecessor will write it remotely.
-    t.atomic_store(next_[prev - 1], me + 1);
-    while (t.atomic_load(flag_[me]) == 0) t.compute(kPoll);
+    try {
+      t.atomic_store(next_[prev - 1], me + 1);
+    } catch (const argonet::NodeFailedError& e) {
+      // The predecessor's node is down. Its death will force a queue reset
+      // (lease sweep if it held the lock, release-side detection if it was
+      // queued); wait the recovery out and re-contend.
+      if (membership_ == nullptr) throw;
+      membership_->await_recovery(e.dst());
+      continue;
+    }
+    for (;;) {
+      const std::uint64_t v = t.atomic_load(flag_[me]);
+      if (v == kGranted) {
+        holder_ = static_cast<int>(me);
+        return;
+      }
+      if (v == kRestart) break;  // queue force-reset after a crash: retry
+      t.compute(kPoll);
+    }
   }
 }
 
@@ -46,7 +105,23 @@ bool GlobalMcsLock::try_acquire_for(Thread& t, argosim::Time timeout) {
   t.atomic_store(next_[me], 0);
   argosim::Time poll = kPoll;
   for (;;) {
-    if (t.atomic_cas(tail_, 0, me + 1) == 0) return true;
+    std::uint64_t cur;
+    try {
+      cur = t.atomic_cas(tail_, 0, me + 1);
+    } catch (const argonet::NodeFailedError&) {
+      // Tail's home is down. Giving up is always legal on the timed path.
+      if (membership_ == nullptr) throw;
+      return false;
+    }
+    if (cur == 0) {
+      holder_ = static_cast<int>(me);
+      return true;
+    }
+    // A declared-dead tail cannot drain until the lease sweep resets the
+    // queue; fail fast instead of burning the remaining timeout.
+    if (membership_ != nullptr &&
+        !membership_->is_live(static_cast<int>(cur - 1)))
+      return false;
     if (t.now() >= deadline) return false;
     t.compute(poll);
     poll = std::min<argosim::Time>(poll * 2, kPoll * 64);
@@ -57,12 +132,39 @@ void GlobalMcsLock::release(Thread& t) {
   const auto me = static_cast<std::uint64_t>(t.node());
   if (t.atomic_load(next_[me]) == 0) {
     // Appear to have no successor: try to swing the tail back to free.
-    if (t.atomic_cas(tail_, me + 1, 0) == me + 1) return;
+    if (t.atomic_cas(tail_, me + 1, 0) == me + 1) {
+      holder_ = -1;
+      return;
+    }
     // Someone swapped in concurrently; wait for the link to appear.
-    while (t.atomic_load(next_[me]) == 0) t.compute(kPoll);
+    int stalled = 0;
+    while (t.atomic_load(next_[me]) == 0) {
+      // A contender that swapped into the tail and then crashed before
+      // linking would strand this wait forever. Once a death has been
+      // declared, give the link well past the worst in-flight store time,
+      // then reset the queue — we still hold the lock, so this is the one
+      // place (besides the lease sweep, whose holder is dead) that may.
+      if (membership_ != nullptr && membership_->any_dead() &&
+          ++stalled >= kStuckPolls) {
+        host_reset_queue();
+        holder_ = -1;
+        return;
+      }
+      t.compute(kPoll);
+    }
   }
   const std::uint64_t succ = t.atomic_load(next_[me]) - 1;
-  t.atomic_store(flag_[succ], 1);  // grant: remote write into their memory
+  if (membership_ != nullptr &&
+      !membership_->is_live(static_cast<int>(succ))) {
+    // Handing the lock to a declared-dead node would only park it until
+    // the lease expires; reset the queue now instead. Live waiters queued
+    // behind the dead successor see kRestart and re-contend.
+    host_reset_queue();
+    holder_ = -1;
+    return;
+  }
+  t.atomic_store(flag_[succ], kGranted);  // grant: remote write to their node
+  holder_ = static_cast<int>(succ);
   // All DSM locks (HQDL, cohort, mutex) funnel global handovers through
   // here; the lock's identity is its tail word's global address.
   t.cluster().tracer().emit(t.node(), argoobs::Ev::LockHandover, tail_.raw(),
@@ -99,13 +201,25 @@ void HqdLock::execute(Thread& t, const std::function<void(Thread&)>& cs,
       global_.acquire(t);
       t.acquire();  // SI fence — once per batch (§4.2)
       ++st.batches;
-      cs(t);
+      // The helper's own section may throw (e.g. a crash aborts one of its
+      // remote ops). The batch must still drain and the locks must still be
+      // released — other threads' entries are queued behind us — so the
+      // error is parked and rethrown once the lock state is clean.
+      std::exception_ptr own_err;
+      try {
+        cs(t);
+      } catch (const argosim::SimStopped&) {
+        throw;  // this fiber is being killed: unwind, do not mask it
+      } catch (...) {
+        own_err = std::current_exception();
+      }
       ++st.executed;
       run_batch(t, nq, st, 1);
       t.release();  // SD fence — once per batch
       global_.release(t);
       nq.helper_active = false;
       nq.word.touch(t.core());
+      if (own_err) std::rethrow_exception(own_err);
       return;
     }
     if (nq.open && nq.queue.size() < queue_capacity_) {
@@ -115,10 +229,12 @@ void HqdLock::execute(Thread& t, const std::function<void(Thread&)>& cs,
       if (!nq.open || nq.queue.size() >= queue_capacity_) continue;
       if (wait) {
         argosim::SimEvent done;
-        nq.queue.push_back(Entry{cs, &done, t.core()});
+        std::exception_ptr err;
+        nq.queue.push_back(Entry{cs, &done, t.core(), &err});
         done.wait();
+        if (err) std::rethrow_exception(err);
       } else {
-        nq.queue.push_back(Entry{cs, nullptr, t.core()});
+        nq.queue.push_back(Entry{cs, nullptr, t.core(), nullptr});
       }
       return;
     }
@@ -138,7 +254,17 @@ void HqdLock::run_batch(Thread& t, NodeQ& nq, DelegationStats& st,
     Entry e = std::move(nq.queue.front());
     nq.queue.pop_front();
     nq.qline.touch(t.core());
-    e.cs(t);  // executed by the helper thread, same node = same cache
+    try {
+      e.cs(t);  // executed by the helper thread, same node = same cache
+    } catch (const argosim::SimStopped&) {
+      // The helper's node crash-stopped mid-batch. Do NOT signal the entry
+      // as done (its section did not run to completion); the delegators
+      // parked on this node die with it and unwind out of their waits.
+      throw;
+    } catch (...) {
+      if (e.err != nullptr) *e.err = std::current_exception();
+      // Detached entries (err == nullptr) have no one to report to.
+    }
     if (e.done != nullptr) e.done->set();
     ++st.executed;
     ++st.delegated;
@@ -167,22 +293,34 @@ bool HqdLock::try_execute(Thread& t, const std::function<void(Thread&)>& cs,
       nq.open = true;
       t.acquire();  // SI fence — once per batch (§4.2)
       ++st.batches;
-      cs(t);
+      std::exception_ptr own_err;
+      try {
+        cs(t);
+      } catch (const argosim::SimStopped&) {
+        throw;
+      } catch (...) {
+        own_err = std::current_exception();
+      }
       ++st.executed;
       run_batch(t, nq, st, 1);
       t.release();  // SD fence — once per batch
       global_.release(t);
       nq.helper_active = false;
       nq.word.touch(t.core());
+      if (own_err) std::rethrow_exception(own_err);
       return true;
     }
     if (nq.open && nq.queue.size() < queue_capacity_) {
       nq.qline.touch(t.core());
       if (!nq.open || nq.queue.size() >= queue_capacity_) continue;
       argosim::SimEvent done;
-      nq.queue.push_back(Entry{cs, &done, t.core()});
+      std::exception_ptr err;
+      nq.queue.push_back(Entry{cs, &done, t.core(), &err});
       const argosim::Time left = deadline > t.now() ? deadline - t.now() : 0;
-      if (done.wait_for(left)) return true;
+      if (done.wait_for(left)) {
+        if (err) std::rethrow_exception(err);
+        return true;
+      }
       // Timed out. Withdraw the entry if the helper has not claimed it.
       for (auto it = nq.queue.begin(); it != nq.queue.end(); ++it) {
         if (it->done == &done) {
@@ -193,6 +331,7 @@ bool HqdLock::try_execute(Thread& t, const std::function<void(Thread&)>& cs,
       // Already dequeued: it is executing (or about to). The event lives
       // on this stack, so ride out the completion — and report success.
       done.wait();
+      if (err) std::rethrow_exception(err);
       return true;
     }
     if (t.now() >= deadline) return false;

@@ -19,6 +19,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <exception>
 #include <functional>
 #include <memory>
 #include <vector>
@@ -36,9 +37,19 @@ using argomem::gptr;
 /// One queue slot per node: a node's threads serialize locally before
 /// contending globally (callers such as HqdLock guarantee this; DsmMutex
 /// adds its own node-local serialization).
-class GlobalMcsLock {
+///
+/// Crash recovery (only when Cluster membership is enabled): the lock
+/// keeps a host-side mirror of the holding node and registers itself with
+/// the MembershipService. When a holder has been dead past its lease the
+/// sweep force-resets the whole queue: tail and links are zeroed and every
+/// live node's grant flag is set to kRestart, which spinning waiters read
+/// as "abandon your slot and re-contend". release() performs the same
+/// reset itself when it would hand the lock to a declared-dead successor,
+/// or when a contender that swapped into the tail died before linking.
+class GlobalMcsLock : public argocore::RecoverableLock {
  public:
   explicit GlobalMcsLock(Cluster& cluster);
+  ~GlobalMcsLock() override;
 
   void acquire(Thread& t);
   void release(Thread& t);
@@ -47,16 +58,40 @@ class GlobalMcsLock {
   /// timeout-safe it never enters the MCS queue (a queued waiter cannot
   /// abandon its slot without racing the handoff); it polls the tail with
   /// CAS under exponentially growing intervals instead. Uncontended cost
-  /// equals acquire(); on success release() works unchanged.
+  /// equals acquire(); on success release() works unchanged. When the
+  /// observed tail belongs to a declared-dead node the call fails at once
+  /// instead of burning the full timeout: the queue cannot drain until the
+  /// lease sweep resets it.
   bool try_acquire_for(Thread& t, argosim::Time timeout);
 
   /// Poll interval while spinning on the (node-local) grant flag.
   static constexpr argosim::Time kPoll = 100;
 
+  /// Grant-flag values. kRestart is written by a forced queue reset.
+  static constexpr std::uint64_t kGranted = 1;
+  static constexpr std::uint64_t kRestart = 2;
+
+  /// Polls release() waits on a missing tail link (with a declared death
+  /// outstanding) before concluding the linker died mid-handshake. Sized
+  /// well past the worst-case in-flight remote store, retries included.
+  static constexpr int kStuckPolls = 64;
+
+  // RecoverableLock: lease sweep interface (host-side, no simulated ops).
+  int holder_node() const override { return holder_; }
+  bool recover_after_crash(int dead_node) override;
+
  private:
+  /// Host-side whole-queue reset: zero tail and links, write kRestart into
+  /// every live node's grant flag. Safe from the holder (release path) and
+  /// from the lease sweep (the holder is dead) — both serialize the queue.
+  void host_reset_queue();
+
   gptr<std::uint64_t> tail_;                    // 0 = free, else node id + 1
   std::vector<gptr<std::uint64_t>> flag_;       // grant flag, homed per node
   std::vector<gptr<std::uint64_t>> next_;       // successor link, per node
+  argomem::GlobalMemory* gmem_ = nullptr;
+  argocore::MembershipService* membership_ = nullptr;  // null = feature off
+  int holder_ = -1;  // host mirror: node holding (or being granted) the lock
 };
 
 /// Statistics for the delegation locks.
@@ -98,6 +133,10 @@ class HqdLock {
     std::function<void(Thread&)> cs;
     argosim::SimEvent* done;
     int from_core;
+    /// Where the helper deposits an exception thrown by `cs`, so a waiting
+    /// delegator can rethrow it on its own stack (null for detached
+    /// entries, whose errors have no one to report to).
+    std::exception_ptr* err;
   };
   struct NodeQ {
     bool helper_active = false;

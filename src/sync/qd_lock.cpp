@@ -11,7 +11,16 @@ void QdLock::execute(int core, const std::function<void(int)>& cs, bool wait) {
       helper_active_ = true;
       queue_open_ = true;
       ++batches_;
-      cs(core);
+      // Park an exception from our own section until the batch has drained
+      // and the lock is released; delegated entries behind us must run.
+      std::exception_ptr own_err;
+      try {
+        cs(core);
+      } catch (const argosim::SimStopped&) {
+        throw;  // fiber being killed: unwind, never mask
+      } catch (...) {
+        own_err = std::current_exception();
+      }
       std::size_t executed = 1;
       for (;;) {
         if (executed >= batch_limit_) queue_open_ = false;
@@ -22,13 +31,20 @@ void QdLock::execute(int core, const std::function<void(int)>& cs, bool wait) {
         Entry e = std::move(queue_.front());
         queue_.pop_front();
         queue_line_.touch(core);  // pull the delegated entry's cacheline
-        e.cs(core);
+        try {
+          e.cs(core);
+        } catch (const argosim::SimStopped&) {
+          throw;  // do not signal done: the section did not complete
+        } catch (...) {
+          if (e.err != nullptr) *e.err = std::current_exception();
+        }
         if (e.done != nullptr) e.done->set();
         ++delegated_;
         ++executed;
       }
       helper_active_ = false;
       word_.touch(core);
+      if (own_err) std::rethrow_exception(own_err);
       return;
     }
     if (queue_open_ && queue_.size() < queue_capacity_) {
@@ -40,10 +56,12 @@ void QdLock::execute(int core, const std::function<void(int)>& cs, bool wait) {
       if (!queue_open_ || queue_.size() >= queue_capacity_) continue;
       if (wait) {
         argosim::SimEvent done;
-        queue_.push_back(Entry{cs, &done, core});
+        std::exception_ptr err;
+        queue_.push_back(Entry{cs, &done, core, &err});
         done.wait();
+        if (err) std::rethrow_exception(err);
       } else {
-        queue_.push_back(Entry{cs, nullptr, core});
+        queue_.push_back(Entry{cs, nullptr, core, nullptr});
       }
       return;
     }

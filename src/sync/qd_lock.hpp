@@ -10,6 +10,7 @@
 
 #include <cstddef>
 #include <deque>
+#include <exception>
 #include <functional>
 
 #include "sync/local_locks.hpp"
@@ -41,6 +42,7 @@ class QdLock : public CriticalSectionExecutor {
     std::function<void(int)> cs;  // owned: detached delegators return at once
     argosim::SimEvent* done;   // null for fully detached entries
     int from_core;
+    std::exception_ptr* err;   // helper deposits cs's exception here (waiters)
   };
 
   const NodeTopology* topo_;

@@ -9,16 +9,20 @@
 
 #include <cmath>
 #include <cstdint>
+#include <tuple>
+#include <utility>
 #include <vector>
 
 #include "apps/ep.hpp"
 #include "apps/lu.hpp"
 #include "apps/mm.hpp"
 #include "core/cluster.hpp"
+#include "core/membership.hpp"
 #include "core/validate.hpp"
 #include "net/faults.hpp"
 #include "net/interconnect.hpp"
 #include "sim/engine.hpp"
+#include "sync/dsm_locks.hpp"
 
 namespace {
 
@@ -656,6 +660,415 @@ TEST(ProtocolValidator, CatchesSkippedSelfDowngrade) {
   for (const auto& v : validator.violations())
     if (v.find("still dirty") != std::string::npos) mentions_dirty = true;
   EXPECT_TRUE(mentions_dirty);
+}
+
+// ---------------------------------------------------------------------------
+// Crash-stop schedules: detection, lease recovery, degraded-mode runs.
+// Crashes are deterministic (virtual-time triggers, no RNG draws); the
+// seeds vary the *transient* fault pattern layered on top, and every
+// scenario must rerun bit-identically per seed.
+// ---------------------------------------------------------------------------
+
+constexpr std::uint64_t kCrashSeeds[] = {101, 202, 303};
+
+ClusterConfig crash_cfg(std::uint64_t seed) {
+  ClusterConfig c;
+  c.nodes = 4;
+  c.threads_per_node = 2;
+  c.global_mem_bytes = 2048 * kPageSize;
+  c.cache.cache_lines = 8192;
+  c.cache.write_buffer_pages = 1024;
+  c.faults.enabled = true;  // crash schedules ride the fault channel
+  c.faults.seed = seed;
+  c.faults.rdma_fail_prob = 0.01;  // light transient chaos so seeds matter
+  c.membership.enabled = true;
+  return c;
+}
+
+// Worst-case virtual delay from crash to declaration under crash_cfg:
+// miss_threshold heartbeats of misses plus one alignment interval.
+Time detect_bound(const ClusterConfig& c) {
+  return static_cast<Time>(c.membership.miss_threshold + 2) *
+         c.membership.heartbeat_interval;
+}
+
+TEST(CrashRecovery, HqdlHolderCrashRecoversViaLease) {
+  for (const std::uint64_t seed : kCrashSeeds) {
+    auto run_once = [&] {
+      ClusterConfig cfg = crash_cfg(seed);
+      cfg.faults.crashes.push_back(
+          argonet::CrashEvent{.node = 2, .at = 400'000});
+      Cluster cl(cfg);
+      ProtocolValidator validator(cl);
+      validator.attach();
+      auto counter = cl.alloc<std::uint64_t>(1);
+      argosync::HqdLock lock(cl);
+      constexpr int kIncs = 20;
+      const Time elapsed = cl.run([&](argo::Thread& t) {
+        if (t.node() == 2) {
+          // Hog the lock: become this node's helper (thread 0) or park in
+          // its delegation queue (thread 1), so the crash lands squarely
+          // on the node holding the global MCS lock.
+          lock.execute(
+              t, [](argo::Thread& th) { for (;;) th.compute(10'000); },
+              /*wait=*/true);
+          return;  // unreachable: the crash kills this fiber
+        }
+        t.compute(100'000);  // let node 2 take the lock first
+        for (int i = 0; i < kIncs; ++i)
+          lock.execute(
+              t,
+              [&](argo::Thread& th) {
+                th.store(counter, th.load(counter) + 1);
+              },
+              /*wait=*/true);
+        t.barrier();
+      });
+      const std::uint64_t total = *cl.gmem().home_ptr(counter);
+      const auto& ms = cl.membership().stats();
+      EXPECT_TRUE(validator.violations().empty())
+          << "seed " << seed << ": " << validator.violations().front();
+      return std::make_tuple(elapsed, total, ms.deaths, ms.locks_recovered);
+    };
+    const auto [e1, v1, d1, l1] = run_once();
+    // Every surviving thread got the lock back after the lease reset.
+    EXPECT_EQ(v1, 3u * 2u * 20u) << "seed " << seed;
+    EXPECT_EQ(d1, 1u) << "seed " << seed;
+    EXPECT_GE(l1, 1u) << "seed " << seed;  // the forced MCS queue reset
+    // Same seed, same everything: crash recovery replays bit-identically.
+    const auto [e2, v2, d2, l2] = run_once();
+    EXPECT_EQ(e1, e2) << "seed " << seed;
+    EXPECT_EQ(v1, v2) << "seed " << seed;
+    EXPECT_EQ(d1, d2);
+    EXPECT_EQ(l1, l2);
+  }
+}
+
+TEST(CrashRecovery, HomeNodeCrashDuringSdFenceFailsOver) {
+  // Every live thread dirties pages homed on node 3, then fences; node 3
+  // dies while the write buffers drain, so the writebacks fail over to
+  // the reconstructed home on the successor.
+  constexpr std::size_t kWordsPerPage = kPageSize / sizeof(std::uint64_t);
+  constexpr std::size_t kPagesPerThread = 8;
+  for (const std::uint64_t seed : kCrashSeeds) {
+    auto run_once = [&] {
+      ClusterConfig cfg = crash_cfg(seed);
+      cfg.faults.crashes.push_back(
+          argonet::CrashEvent{.node = 3, .at = 150'000});
+      Cluster cl(cfg);
+      ProtocolValidator validator(cl);
+      validator.attach();
+      // 8 threads × 8 pages at the bottom of node 3's blocked region: all
+      // homed on the doomed node. (alloc_on_node is for sub-page sync
+      // variables; bulk data just addresses the region directly.)
+      const argomem::gptr<std::uint64_t> data{3 * cl.gmem().pages_per_node() *
+                                              kPageSize};
+      const Time elapsed = cl.run([&](argo::Thread& t) {
+        if (t.node() == 3) return;  // the victim contributes nothing
+        const std::size_t base =
+            static_cast<std::size_t>(t.gid()) * kPagesPerThread;
+        for (std::size_t p = 0; p < kPagesPerThread; ++p)
+          t.store(data + (base + p) * kWordsPerPage,
+                  0xbeef0000u + t.gid() * 100 + p);
+        t.barrier();  // SD drain overlaps the crash → failover + retry
+        for (std::size_t p = 0; p < kPagesPerThread; ++p)
+          EXPECT_EQ(t.load(data + (base + p) * kWordsPerPage),
+                    0xbeef0000u + t.gid() * 100 + p)
+              << "seed " << seed;
+        t.barrier();
+      });
+      const auto& ms = cl.membership().stats();
+      EXPECT_TRUE(validator.violations().empty())
+          << "seed " << seed << ": " << validator.violations().front();
+      return std::make_tuple(elapsed, ms.deaths, ms.pages_recovered,
+                             ms.pages_lost);
+    };
+    const auto [e1, d1, r1, l1] = run_once();
+    EXPECT_EQ(d1, 1u) << "seed " << seed;
+    // The survivors' dirty copies rebuilt their pages on the successor.
+    EXPECT_GT(r1, 0u) << "seed " << seed;
+    const auto [e2, d2, r2, l2] = run_once();
+    EXPECT_EQ(e1, e2) << "seed " << seed;
+    EXPECT_EQ(d1, d2);
+    EXPECT_EQ(r1, r2);
+    EXPECT_EQ(l1, l2);
+  }
+}
+
+TEST(CrashRecovery, BarrierCompletesOverSurvivingView) {
+  // Node 1 is the straggler of every round and dies mid-computation; the
+  // barrier must complete over the surviving view instead of hanging.
+  constexpr int kRounds = 10;
+  for (const std::uint64_t seed : kCrashSeeds) {
+    auto run_once = [&] {
+      ClusterConfig cfg = crash_cfg(seed);
+      cfg.faults.crashes.push_back(
+          argonet::CrashEvent{.node = 1, .at = 200'000});
+      Cluster cl(cfg);
+      std::uint64_t rounds_done[8] = {};
+      const Time elapsed = cl.run([&](argo::Thread& t) {
+        for (int r = 0; r < kRounds; ++r) {
+          t.compute(t.node() == 1 ? 500'000 : 20'000);
+          t.barrier();
+          ++rounds_done[t.gid()];
+        }
+      });
+      std::uint64_t live_rounds = 0;
+      for (int g = 0; g < 8; ++g)
+        if (g / 2 != 1) live_rounds += rounds_done[g];
+      return std::make_tuple(elapsed, live_rounds,
+                             cl.membership().stats().deaths);
+    };
+    const auto [e1, r1, d1] = run_once();
+    EXPECT_EQ(r1, 6u * kRounds) << "seed " << seed;  // no survivor stranded
+    EXPECT_EQ(d1, 1u) << "seed " << seed;
+    const auto [e2, r2, d2] = run_once();
+    EXPECT_EQ(e1, e2) << "seed " << seed;
+    EXPECT_EQ(r1, r2);
+    EXPECT_EQ(d1, d2);
+  }
+}
+
+TEST(CrashRecovery, UnsharedPageOnDeadHomeIsLost) {
+  // A page homed on the victim whose only copies were dropped at an SI
+  // fence before the crash is unrecoverable: the directory word names
+  // sharers but no survivor holds the data. Recovery zeroes it and counts
+  // it lost — reads after recovery see zeros, not stale garbage.
+  ClusterConfig cfg = crash_cfg(101);
+  cfg.faults.crashes.push_back(argonet::CrashEvent{.node = 3, .at = 600'000});
+  Cluster cl(cfg);
+  // A page homed on node 3, written by two nodes: multi-writer shared, so
+  // BOTH cached copies self-invalidate at the barrier — by crash time no
+  // survivor holds the data.
+  const argomem::gptr<std::uint64_t> page{3 * cl.gmem().pages_per_node() *
+                                          kPageSize};
+  std::uint64_t after = ~0ull;
+  cl.run([&](argo::Thread& t) {
+    if (t.node() == 0 && t.tid() == 0) t.store(page, std::uint64_t{777});
+    if (t.node() == 1 && t.tid() == 0) t.store(page + 1, std::uint64_t{888});
+    // Everyone (node 3 included) joins this barrier, so it completes
+    // healthily long before the crash; the SI fence drops both MW copies.
+    t.barrier();
+    t.compute(1'500'000);  // node 3 dies at 600k, mid-compute
+    t.barrier();  // completes over the surviving view
+    if (t.node() == 0 && t.tid() == 0) after = t.load(page);
+  });
+  EXPECT_EQ(after, 0u);  // lost page reads as zeros after failover
+  EXPECT_GE(cl.membership().stats().pages_lost, 1u);
+  EXPECT_EQ(cl.membership().stats().deaths, 1u);
+}
+
+TEST(CrashRecovery, DetectionAndRejoinAsFreshNode) {
+  ClusterConfig cfg = crash_cfg(202);
+  cfg.faults.crashes.push_back(argonet::CrashEvent{
+      .node = 2, .at = 200'000, .rejoin_at = 1'500'000});
+  Cluster cl(cfg);
+  const auto& svc = cl.membership();
+  Time declared_at = 0;
+  bool live_mid_run = true;
+  cl.run([&](argo::Thread& t) {
+    if (t.node() != 0 || t.tid() != 0) {
+      t.compute(3'000'000);
+      return;
+    }
+    // Wait out detection, note the declaration time, then the rejoin.
+    while (svc.is_live(2)) t.compute(10'000);
+    declared_at = t.now();
+    live_mid_run = svc.is_live(2);
+    t.compute(3'000'000 - (t.now() - 0));
+  });
+  EXPECT_FALSE(live_mid_run);
+  EXPECT_GT(declared_at, 200'000);
+  EXPECT_LE(declared_at, 200'000 + detect_bound(cfg));
+  // Rejoined as a fresh node: probed live again, but permanently departed
+  // from collectives and its old worker fibers are gone for good.
+  EXPECT_TRUE(svc.is_live(2));
+  EXPECT_EQ(svc.stats().deaths, 1u);
+  EXPECT_EQ(svc.stats().rejoins, 1u);
+  EXPECT_NE(svc.departed_mask() & (1u << 2), 0u);
+  EXPECT_GE(svc.epoch(), 2u);
+  EXPECT_EQ(svc.stats().detect_ns.samples, 1u);
+}
+
+TEST(CrashRecovery, MembershipIdleRunsAreBitIdentical) {
+  // Membership enabled but no crash schedule: the heartbeat machinery must
+  // be deterministic, and two runs must agree to the virtual nanosecond.
+  auto run_once = [] {
+    ClusterConfig cfg = crash_cfg(303);
+    Cluster cl(cfg);
+    argoapps::MmParams p;
+    p.n = 64;
+    p.iterations = 1;
+    const auto r = argoapps::mm_run_argo(cl, p);
+    return std::make_tuple(r.elapsed, r.checksum,
+                           cl.membership().stats().probes,
+                           cl.membership().stats().deaths);
+  };
+  const auto [e1, c1, p1, d1] = run_once();
+  const auto [e2, c2, p2, d2] = run_once();
+  EXPECT_EQ(e1, e2);
+  EXPECT_EQ(c1, c2);
+  EXPECT_EQ(p1, p2);
+  EXPECT_GT(p1, 0u);
+  EXPECT_EQ(d1, 0u);
+  EXPECT_EQ(d1, d2);
+}
+
+// ---------------------------------------------------------------------------
+// Directed timeout paths: a bounded wait must fail fast once the peer it
+// depends on is dead, not ride out the full timeout.
+// ---------------------------------------------------------------------------
+
+TEST(CrashTimeouts, SimMutexTryLockFailsFastWhenHolderKilled) {
+  Engine eng;
+  argosim::SimMutex m;
+  bool got = true;
+  Time returned_at = 0;
+  argosim::SimThread* holder = eng.spawn("holder", [&] {
+    m.lock();
+    argosim::delay(1'000'000'000);
+    m.unlock();
+  });
+  eng.spawn("killer", [&] {
+    argosim::delay(50'000);
+    Engine::current()->kill(holder);
+  });
+  eng.spawn("waiter", [&] {
+    argosim::delay(1'000);
+    got = m.try_lock_for(10'000'000);
+    returned_at = argosim::now();
+  });
+  eng.run();
+  EXPECT_FALSE(got);  // a dead holder can never hand over
+  // Noticed within the owner poll granularity, nowhere near the deadline.
+  EXPECT_LT(returned_at, 50'000 + 3 * argosim::SimMutex::kOwnerPoll);
+}
+
+TEST(CrashTimeouts, McsTryAcquireFailsFastWhenTailNodeDead) {
+  ClusterConfig cfg = crash_cfg(101);
+  cfg.threads_per_node = 1;
+  cfg.faults.crashes.push_back(argonet::CrashEvent{.node = 1, .at = 300'000});
+  Cluster cl(cfg);
+  argosync::GlobalMcsLock lock(cl);
+  bool got = true;
+  Time returned_at = 0;
+  cl.run([&](argo::Thread& t) {
+    if (t.node() == 1) {
+      lock.acquire(t);
+      for (;;) t.compute(10'000);  // die holding the lock
+    }
+    if (t.node() == 0) {
+      t.compute(100'000);  // let node 1 take the lock first
+      got = lock.try_acquire_for(t, 50'000'000);
+      returned_at = t.now();
+    }
+  });
+  EXPECT_FALSE(got);
+  // Returned at the death declaration, far before the 50 ms deadline.
+  EXPECT_LT(returned_at, 300'000 + detect_bound(cfg) + 100'000);
+}
+
+TEST(CrashTimeouts, DsmMutexTryLockFailsFastWhenHolderNodeDead) {
+  ClusterConfig cfg = crash_cfg(202);
+  cfg.threads_per_node = 1;
+  cfg.faults.crashes.push_back(argonet::CrashEvent{.node = 1, .at = 300'000});
+  Cluster cl(cfg);
+  argosync::DsmMutex mtx(cl);
+  bool got = true;
+  Time returned_at = 0;
+  cl.run([&](argo::Thread& t) {
+    if (t.node() == 1) {
+      mtx.lock(t);
+      for (;;) t.compute(10'000);
+    }
+    if (t.node() == 0) {
+      t.compute(100'000);
+      got = mtx.try_lock_for(t, 50'000'000);
+      returned_at = t.now();
+    }
+  });
+  EXPECT_FALSE(got);
+  EXPECT_LT(returned_at, 300'000 + detect_bound(cfg) + 100'000);
+}
+
+// ---------------------------------------------------------------------------
+// Full mini-apps surviving one crash, with the epoch-aware validator on
+// ---------------------------------------------------------------------------
+
+TEST(CrashRecoveryApps, LuSurvivesOneCrash) {
+  auto run_once = [] {
+    ClusterConfig cfg = crash_cfg(101);
+    // The fault-free run takes ~731k virtual ns; 400k lands mid-run.
+    cfg.faults.crashes.push_back(
+        argonet::CrashEvent{.node = 3, .at = 400'000});
+    Cluster cl(cfg);
+    ProtocolValidator validator(cl);
+    validator.attach();
+    argoapps::LuParams p;
+    p.n = 128;
+    p.block = 32;
+    const auto r = argoapps::lu_run_argo(cl, p);
+    EXPECT_GT(validator.checks_run(), 0u);
+    EXPECT_TRUE(validator.violations().empty())
+        << validator.violations().front();
+    EXPECT_EQ(cl.membership().stats().deaths, 1u);
+    return std::make_pair(r.elapsed, r.checksum);
+  };
+  const auto [e1, c1] = run_once();
+  const auto [e2, c2] = run_once();
+  EXPECT_EQ(e1, e2);  // degraded-mode runs replay bit-identically
+  EXPECT_EQ(c1, c2);
+}
+
+TEST(CrashRecoveryApps, MmSurvivesOneCrash) {
+  auto run_once = [] {
+    ClusterConfig cfg = crash_cfg(202);
+    // The fault-free run takes ~458k virtual ns; 250k lands mid-run.
+    cfg.faults.crashes.push_back(
+        argonet::CrashEvent{.node = 2, .at = 250'000});
+    Cluster cl(cfg);
+    ProtocolValidator validator(cl);
+    validator.attach();
+    argoapps::MmParams p;
+    p.n = 96;
+    p.iterations = 2;
+    const auto r = argoapps::mm_run_argo(cl, p);
+    EXPECT_GT(validator.checks_run(), 0u);
+    EXPECT_TRUE(validator.violations().empty())
+        << validator.violations().front();
+    EXPECT_EQ(cl.membership().stats().deaths, 1u);
+    return std::make_pair(r.elapsed, r.checksum);
+  };
+  const auto [e1, c1] = run_once();
+  const auto [e2, c2] = run_once();
+  EXPECT_EQ(e1, e2);
+  EXPECT_EQ(c1, c2);
+}
+
+TEST(CrashRecoveryApps, EpSurvivesOneCrash) {
+  auto run_once = [] {
+    ClusterConfig cfg = crash_cfg(303);
+    // The fault-free run takes ~142k virtual ns; the death is declared
+    // while the survivors wait at the final barrier.
+    cfg.faults.crashes.push_back(
+        argonet::CrashEvent{.node = 1, .at = 70'000});
+    Cluster cl(cfg);
+    ProtocolValidator validator(cl);
+    validator.attach();
+    argoapps::EpParams p;
+    p.log2_pairs = 14;
+    p.chunks = 64;
+    const auto r = argoapps::ep_run_argo(cl, p);
+    EXPECT_GT(validator.checks_run(), 0u);
+    EXPECT_TRUE(validator.violations().empty())
+        << validator.violations().front();
+    EXPECT_EQ(cl.membership().stats().deaths, 1u);
+    return std::make_pair(r.elapsed, r.tally.sx);
+  };
+  const auto [e1, s1] = run_once();
+  const auto [e2, s2] = run_once();
+  EXPECT_EQ(e1, e2);
+  EXPECT_EQ(s1, s2);
 }
 
 TEST(ProtocolValidator, QuiescentChecksPassMidRun) {
