@@ -67,10 +67,18 @@ inline ArgoScaling run_argo_scaling(
   // Like the paper's runs, the global memory is sized to the (fixed)
   // workload whatever the node count: every node serves an equal share, so
   // the blocked home distribution spreads the data over all nodes.
+  // --nodes pins the Argo series to one node count and drops the
+  // single-node Pthreads series — the shape the parallel-engine wall-clock
+  // sweep wants (scripts/bench_host.sh --threads), where only the
+  // many-shard cluster runs are of interest.
   ArgoScaling out;
-  out.nodes = opts.quick ? std::vector<int>{1, 2, 4} : kNodeCounts;
-  out.threads = opts.quick ? std::vector<int>{1, 4} : kPthreadCounts;
-  {
+  out.nodes = opts.nodes > 0
+                  ? std::vector<int>{opts.nodes}
+                  : (opts.quick ? std::vector<int>{1, 2, 4} : kNodeCounts);
+  out.threads = opts.nodes > 0
+                    ? std::vector<int>{}
+                    : (opts.quick ? std::vector<int>{1, 4} : kPthreadCounts);
+  if (opts.nodes <= 0) {
     auto cfg = paper_cfg(1, 1, mem_bytes);
     cfg.net.pipeline = opts.pipeline;
     argo::Cluster cl(cfg);
@@ -88,6 +96,9 @@ inline ArgoScaling run_argo_scaling(
     argo::Cluster cl(cfg);
     out.argo_ms.push_back(argosim::to_ms(run(cl)));
   }
+  // Without a 1-thread baseline the speedup column normalizes to the first
+  // measured point (prints 1.0x) rather than dividing by zero.
+  if (opts.nodes > 0 && !out.argo_ms.empty()) out.seq_ms = out.argo_ms[0];
   return out;
 }
 

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "argo/argo.hpp"
+#include "argo/sim.hpp"
 #include "argo/stats.hpp"
 
 namespace benchutil {
@@ -92,11 +93,16 @@ inline void note(const char* text) { std::printf("  %s\n", text); }
 ///   --json <path>      also write the figure's data points as JSON rows
 ///   --pipeline <depth> posted-verb send-queue depth (default 1: blocking)
 ///   --quick            reduced sweep for CI smoke runs
+///   --threads <n>      engine host workers (same as ARGO_THREADS=n; 1 is
+///                      the sequential sharded reference, 0 the legacy
+///                      engine — virtual-time results are identical)
+///   --nodes <n>        restrict scaling sweeps to this one node count
 /// Unrecognized arguments are kept (fig07 forwards them to its harness).
 struct BenchOpts {
   std::string json_path;
   int pipeline = 1;
   bool quick = false;
+  int nodes = 0;  // 0 = the sweep's default node counts
   std::vector<char*> rest;  // argv[0] + unconsumed arguments
 
   static BenchOpts parse(int argc, char** argv) {
@@ -108,6 +114,11 @@ struct BenchOpts {
       } else if (std::strcmp(argv[i], "--pipeline") == 0 && i + 1 < argc) {
         o.pipeline = std::atoi(argv[++i]);
         if (o.pipeline < 1) o.pipeline = 1;
+      } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+        argosim::set_engine_threads(std::atoi(argv[++i]));
+      } else if (std::strcmp(argv[i], "--nodes") == 0 && i + 1 < argc) {
+        o.nodes = std::atoi(argv[++i]);
+        if (o.nodes < 0) o.nodes = 0;
       } else if (std::strcmp(argv[i], "--quick") == 0) {
         o.quick = true;
       } else {
@@ -121,7 +132,23 @@ struct BenchOpts {
 /// Version of the JSON row shape shared by every BENCH_*.json file. Bump
 /// when a field is renamed or its meaning changes so downstream consumers
 /// (scripts/bench_compare.py, notebooks) can refuse mismatched inputs.
-inline constexpr int kBenchSchemaVersion = 2;
+/// Schema 3 added the "threads"/"engine" stamp for the parallel engine.
+inline constexpr int kBenchSchemaVersion = 3;
+
+/// Effective engine worker count for this process: 1 for the legacy
+/// engine and the ARGO_SEQ_ENGINE reference (both sequential), N when
+/// ARGO_THREADS/--threads selected N sharded workers.
+inline int bench_threads() {
+  if (argosim::seq_engine()) return 1;
+  const int n = argosim::engine_threads();
+  return n > 0 ? n : 1;
+}
+
+/// "par" when more than one host worker advances the simulation, "seq"
+/// otherwise. Virtual-time results are identical either way (the
+/// determinism suite pins that); the stamp records how wall time was
+/// spent.
+inline const char* bench_engine() { return bench_threads() > 1 ? "par" : "seq"; }
 
 /// Commit hash rows are stamped with. The bench binaries cannot assume a
 /// .git directory (CI runs them from an install tree), so the driver passes
@@ -175,13 +202,16 @@ class JsonReport {
   };
 
   /// Every row leads with the provenance stamp (schema version, commit,
-  /// run date) so a BENCH file is self-describing even when split apart.
+  /// run date, engine workers) so a BENCH file is self-describing even
+  /// when split apart.
   Row& row() {
     rows_.emplace_back();
     return rows_.back()
         .num("schema", kBenchSchemaVersion)
         .str("commit", bench_commit())
-        .str("date", bench_date());
+        .str("date", bench_date())
+        .num("threads", bench_threads())
+        .str("engine", bench_engine());
   }
 
   /// Write the accumulated rows to `path`. No-op when path is empty.

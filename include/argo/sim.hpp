@@ -3,6 +3,7 @@
 #pragma once
 
 #include "sim/engine.hpp"
+#include "sim/par.hpp"
 #include "sim/random.hpp"
 #include "sim/sync.hpp"
 #include "sim/time.hpp"

@@ -6,6 +6,8 @@ Usage:
   scripts/bench_compare.py BASELINE FRESH [--max-regress 0.10]
                                           [--min-speedup 1.25]
                                           [--mode fast]
+  scripts/bench_compare.py --par-gate FILE [--min-par-speedup 2.0]
+                                           [--par-threads 8]
 
 Per bench the script reports ratio = baseline_wall / fresh_wall (> 1 means
 the fresh build is faster). Gates:
@@ -14,11 +16,20 @@ the fresh build is faster). Gates:
                     perf-smoke setting.
   --min-speedup S   fail when the geomean ratio < S — used by perf PRs
                     that must demonstrate a wall-clock win.
+  --par-gate FILE   single-file mode: compare the parallel-engine sweep
+                    rows (mode "par", written by scripts/bench_host.sh)
+                    at --par-threads workers against their threads=1
+                    sequential reference and fail when the geomean
+                    speedup < --min-par-speedup. The required speedup is
+                    capped at half the recorded host_cpus (a host cannot
+                    exceed its core count), and the gate is skipped with
+                    a notice on single-core hosts where any parallel
+                    speedup is physically impossible.
 
 Rows carry the provenance stamp written by bench/report.hpp and
-scripts/bench_host.sh ({"schema", "commit", "date", ...}); mismatched
-schema versions are an error, missing stamps (schema-1 files) a warning.
-Stdlib only — runs in the CI container.
+scripts/bench_host.sh ({"schema", "commit", "date", ...}); schema 2
+(pre-parallel-engine) and 3 are accepted, others are an error, missing
+stamps (schema-1 files) a warning. Stdlib only — runs in the CI container.
 """
 
 import argparse
@@ -26,7 +37,18 @@ import json
 import math
 import sys
 
-SCHEMA = 2
+SCHEMAS = (2, 3)
+
+
+def check_schema(path, row, warned):
+    schema = row.get("schema")
+    if schema is not None and schema not in SCHEMAS:
+        sys.exit(f"{path}: schema {schema} not in supported {SCHEMAS}")
+    if schema is None and not warned:
+        print(f"warning: {path}: rows carry no provenance stamp "
+              f"(pre-schema-{SCHEMAS[0]} file)", file=sys.stderr)
+        return True
+    return warned
 
 
 def load_rows(path, mode):
@@ -34,35 +56,102 @@ def load_rows(path, mode):
         rows = json.load(f)
     out = {}
     stamp = None
+    warned = False
     for row in rows:
-        schema = row.get("schema")
-        if schema is not None and schema != SCHEMA:
-            sys.exit(f"{path}: schema {schema} != expected {SCHEMA}")
-        if schema is None and stamp is None:
-            print(f"warning: {path}: rows carry no provenance stamp "
-                  f"(pre-schema-{SCHEMA} file)", file=sys.stderr)
-            stamp = ("unknown", "unknown")
-        if stamp is None or stamp == ("unknown", "unknown"):
+        warned = check_schema(path, row, warned)
+        if stamp is None and row.get("schema") is not None:
             stamp = (row.get("commit", "unknown"), row.get("date", "unknown"))
         if row.get("mode") != mode:
             continue
         out[row["bench"]] = float(row["wall_s"])
     if not out:
         sys.exit(f"{path}: no rows with mode={mode!r}")
-    return out, stamp
+    return out, stamp or ("unknown", "unknown")
+
+
+def geomean_ratios(pairs):
+    return math.exp(sum(math.log(r) for r in pairs) / len(pairs))
+
+
+def par_gate(path, want_threads, min_speedup):
+    """Gate the parallel-engine sweep in one file: wall(threads=1) /
+    wall(threads=want_threads) per bench, geomean >= the (host-capped)
+    required speedup."""
+    with open(path) as f:
+        rows = json.load(f)
+    seq, par = {}, {}
+    host_cpus = None
+    warned = False
+    for row in rows:
+        warned = check_schema(path, row, warned)
+        if row.get("mode") != "par":
+            continue
+        if host_cpus is None and "host_cpus" in row:
+            host_cpus = int(row["host_cpus"])
+        t = int(row.get("threads", 0))
+        if t == 1:
+            seq[row["bench"]] = float(row["wall_s"])
+        elif t == want_threads:
+            par[row["bench"]] = float(row["wall_s"])
+    if not seq or not par:
+        sys.exit(f"{path}: no parallel sweep rows (mode 'par') at threads 1 "
+                 f"and {want_threads}; run scripts/bench_host.sh")
+
+    common = sorted(set(seq) & set(par))
+    if not common:
+        sys.exit("no benches with both sequential and parallel rows")
+    print(f"parallel gate: {path} ({want_threads} workers vs sequential, "
+          f"host_cpus={host_cpus})")
+    print(f"{'bench':<24} {'seq_s':>8} {'par_s':>8} {'speedup':>8}")
+    ratios = []
+    for bench in common:
+        ratio = seq[bench] / par[bench]
+        ratios.append(ratio)
+        print(f"{bench:<24} {seq[bench]:>8.3f} {par[bench]:>8.3f} "
+              f"{ratio:>7.2f}x")
+    geomean = geomean_ratios(ratios)
+    print(f"{'geomean':<24} {'':>8} {'':>8} {geomean:>7.2f}x")
+
+    if host_cpus is not None and host_cpus < 2:
+        print(f"SKIP: host has {host_cpus} CPU(s); a wall-clock parallel "
+              f"speedup is physically impossible — gate not enforced")
+        return
+    required = min_speedup
+    if host_cpus is not None and host_cpus / 2.0 < required:
+        required = host_cpus / 2.0
+        print(f"note: required speedup capped at {required:.2f}x "
+              f"(host has only {host_cpus} cores)")
+    if geomean < required:
+        sys.exit(f"FAIL: {want_threads}-worker geomean {geomean:.3f}x < "
+                 f"required {required:.2f}x over the sequential engine")
+    print(f"OK: {geomean:.2f}x >= {required:.2f}x")
 
 
 def main():
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    ap.add_argument("baseline")
-    ap.add_argument("fresh")
+    ap.add_argument("baseline", nargs="?")
+    ap.add_argument("fresh", nargs="?")
     ap.add_argument("--max-regress", type=float, default=None,
                     help="fail when geomean ratio < 1 - R")
     ap.add_argument("--min-speedup", type=float, default=None,
                     help="fail when geomean ratio < S")
     ap.add_argument("--mode", default="fast",
                     help="which rows to compare (default: fast)")
+    ap.add_argument("--par-gate", metavar="FILE", default=None,
+                    help="gate the parallel-engine sweep in FILE")
+    ap.add_argument("--par-threads", type=int, default=8,
+                    help="worker count the parallel gate judges (default 8)")
+    ap.add_argument("--min-par-speedup", type=float, default=2.0,
+                    help="required parallel geomean speedup (default 2.0)")
     args = ap.parse_args()
+
+    if args.par_gate is not None:
+        par_gate(args.par_gate, args.par_threads, args.min_par_speedup)
+        if args.baseline is None:
+            return
+    if args.baseline is None or args.fresh is None:
+        ap.error("BASELINE and FRESH files are required unless --par-gate "
+                 "is used alone")
 
     base, base_stamp = load_rows(args.baseline, args.mode)
     fresh, fresh_stamp = load_rows(args.fresh, args.mode)

@@ -8,28 +8,40 @@
 # The two modes are bit-identical in simulated behaviour (the determinism
 # tests pin that), so the wall-clock ratio isolates pure host overhead.
 #
+# A second sweep runs the fig13 quick suite at 32 nodes on the parallel
+# engine across worker counts (--threads, default "1 2 4 8"; 1 is the
+# ARGO_SEQ_ENGINE sequential reference) — those rows carry "threads",
+# "engine" and "host_cpus" so scripts/bench_compare.py --par-gate can
+# judge the 8-worker wall-clock speedup, and skip honestly on hosts
+# without enough cores to demonstrate one.
+#
 # Usage: scripts/bench_host.sh [--build <dir>] [--out <path>] [--gate]
+#                              [--threads "1 2 4 8"]
 #   --gate   fail unless fast_total <= 0.95 * slow_total (perf smoke)
 #
 # Output: a JSON array (one object per line, like the other BENCH files)
-# of rows {"schema", "commit", "date", "bench", "mode", "wall_s",
-# "max_rss_kb"} — the same provenance stamp benchutil::JsonReport puts on
-# every row (bench/report.hpp kBenchSchemaVersion).
+# of rows {"schema", "commit", "date", "bench", "mode", "engine",
+# "threads", "host_cpus", "wall_s", "max_rss_kb"} — the same provenance
+# stamp benchutil::JsonReport puts on every row (bench/report.hpp
+# kBenchSchemaVersion).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-SCHEMA=2
+SCHEMA=3
 ARGO_GIT_COMMIT="${ARGO_GIT_COMMIT:-$(git rev-parse --short HEAD 2>/dev/null || echo unknown)}"
 export ARGO_GIT_COMMIT
 RUN_DATE="$(date -u +%Y-%m-%d)"
+HOST_CPUS="$(nproc)"
 
 OUT="BENCH_host.json"
 BUILD="build"
 GATE=0
+THREADS_SWEEP="1 2 4 8"
 while [ $# -gt 0 ]; do
   case "$1" in
     --out) OUT="$2"; shift ;;
     --build) BUILD="$2"; shift ;;
+    --threads) THREADS_SWEEP="$2"; shift ;;
     --gate) GATE=1 ;;
     *) echo "unknown argument: $1" >&2; exit 2 ;;
   esac
@@ -69,11 +81,33 @@ for mode in slow fast; do
   for bench in $BENCHES; do
     read -r wall rss < <(measure "$BUILD/bench/$bench" --quick)
     echo "-- $bench [$mode] ${wall}s rss=${rss}kB"
-    ROWS="$ROWS{\"schema\":$SCHEMA,\"commit\":\"$ARGO_GIT_COMMIT\",\"date\":\"$RUN_DATE\",\"bench\":\"$bench\",\"mode\":\"$mode\",\"wall_s\":$wall,\"max_rss_kb\":$rss},\n"
+    ROWS="$ROWS{\"schema\":$SCHEMA,\"commit\":\"$ARGO_GIT_COMMIT\",\"date\":\"$RUN_DATE\",\"bench\":\"$bench\",\"mode\":\"$mode\",\"engine\":\"seq\",\"threads\":1,\"host_cpus\":$HOST_CPUS,\"wall_s\":$wall,\"max_rss_kb\":$rss},\n"
     TOTAL[$mode]=$(awk -v a="${TOTAL[$mode]}" -v b="$wall" 'BEGIN { printf "%.3f", a + b }')
   done
 done
 unset ARGO_SLOW_PATHS
+
+# Parallel-engine sweep: the fig13 quick suite pinned to 32 nodes (32
+# shards give every worker count headroom), one pass per worker count.
+# threads=1 runs ARGO_SEQ_ENGINE=1 — the sequential sharded reference the
+# parallel runs are bit-identical to — so the wall-clock ratio isolates
+# pure host-level parallelism.
+PAR_BENCHES="fig13a_lu fig13b_nbody fig13c_blackscholes fig13d_mm fig13e_ep fig13f_cg"
+for T in $THREADS_SWEEP; do
+  if [ "$T" = 1 ]; then
+    export ARGO_SEQ_ENGINE=1; unset ARGO_THREADS || true
+    ENGINE=seq
+  else
+    export ARGO_THREADS="$T"; unset ARGO_SEQ_ENGINE || true
+    ENGINE=par
+  fi
+  for bench in $PAR_BENCHES; do
+    read -r wall rss < <(measure "$BUILD/bench/$bench" --quick --nodes 32)
+    echo "-- $bench [par threads=$T] ${wall}s rss=${rss}kB"
+    ROWS="$ROWS{\"schema\":$SCHEMA,\"commit\":\"$ARGO_GIT_COMMIT\",\"date\":\"$RUN_DATE\",\"bench\":\"$bench\",\"mode\":\"par\",\"engine\":\"$ENGINE\",\"threads\":$T,\"host_cpus\":$HOST_CPUS,\"wall_s\":$wall,\"max_rss_kb\":$rss},\n"
+  done
+done
+unset ARGO_THREADS ARGO_SEQ_ENGINE || true
 
 {
   echo "["

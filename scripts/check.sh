@@ -29,6 +29,15 @@ cmake -B build-sanitize -S . -DARGO_SANITIZE=ON
 cmake --build build-sanitize -j "$JOBS"
 ctest --test-dir build-sanitize --output-on-failure -j "$JOBS"
 
+echo "=== sanitizer build (TSan, parallel engine) ==="
+# ThreadSanitizer checks the parallel engine's worker pool (fiber switches
+# are annotated with __tsan_switch_to_fiber). The parallel identity suite
+# is the interesting load; the rest of the tests run single-threaded and
+# double as an annotation smoke test.
+cmake -B build-tsan -S . -DARGO_TSAN=ON
+cmake --build build-tsan -j "$JOBS"
+ctest --test-dir build-tsan --output-on-failure -j "$JOBS"
+
 echo "=== crash-recovery suite (explicit, both configs) ==="
 # The crash tests exercise teardown paths (fiber unwind, mid-RPC node
 # death, forced lock recovery) that are the likeliest to regress silently;
@@ -84,5 +93,12 @@ echo "=== perf smoke: host fast paths ==="
 # tests pin that); the gate fails unless the fast paths actually pay for
 # themselves in wall clock (fast <= 0.95 * slow).
 scripts/bench_host.sh --gate --out build/BENCH_host.json
+
+echo "=== perf smoke: parallel engine speedup ==="
+# 8 sharded workers vs the sequential reference on the fig13 quick suite
+# at 32 nodes (rows written by bench_host.sh above). Required speedup is
+# capped at host_cpus/2 and skipped on single-core hosts.
+python3 scripts/bench_compare.py --par-gate build/BENCH_host.json \
+  --par-threads 8 --min-par-speedup 2.0
 
 echo "all checks passed"

@@ -2,6 +2,7 @@
 
 #include <cstring>
 #include <deque>
+#include <mutex>
 
 #include "apps/span_util.hpp"
 #include "sim/random.hpp"
@@ -49,38 +50,52 @@ void mm_rows_memo(const double* a, const double* b, double* c,
     mm_rows(a, b, c, n, 0, rows);
     return;
   }
+  // Shared across the parallel engine's host workers: entries are never
+  // evicted (the byte cap just stops inserts), so a hit is served entirely
+  // under the lock and the expensive product runs outside it. Two workers
+  // may compute the same row block concurrently; the duplicate insert is
+  // harmless.
   static std::deque<std::vector<double>> bmats;  // deque: stable growth
   static std::deque<MmRow> cache;
   static std::size_t memo_bytes = 0;
+  static std::mutex mu;
   constexpr std::size_t kMaxBytes = 96u << 20;
+  constexpr std::size_t kFull = static_cast<std::size_t>(-1);
 
   const std::size_t bn = n * n;
-  std::size_t b_id = bmats.size();
-  for (std::size_t i = bmats.size(); i-- > 0;) {
-    if (bmats[i].size() == bn &&
-        std::memcmp(bmats[i].data(), b, bn * sizeof(double)) == 0) {
-      b_id = i;
-      break;
-    }
-  }
-  if (b_id == bmats.size()) {
-    if (memo_bytes + bn * sizeof(double) > kMaxBytes) {
-      mm_rows(a, b, c, n, 0, rows);
-      return;
-    }
-    bmats.emplace_back(b, b + bn);
-    memo_bytes += bn * sizeof(double);
-  }
-
   const std::size_t an = rows * n;
-  for (auto it = cache.rbegin(); it != cache.rend(); ++it) {
-    if (it->b_id == b_id && it->a.size() == an &&
-        std::memcmp(it->a.data(), a, an * sizeof(double)) == 0) {
-      std::memcpy(c, it->c.data(), an * sizeof(double));
-      return;
+  std::size_t b_id;
+  {
+    std::lock_guard<std::mutex> g(mu);
+    b_id = bmats.size();
+    for (std::size_t i = bmats.size(); i-- > 0;) {
+      if (bmats[i].size() == bn &&
+          std::memcmp(bmats[i].data(), b, bn * sizeof(double)) == 0) {
+        b_id = i;
+        break;
+      }
+    }
+    if (b_id == bmats.size()) {
+      if (memo_bytes + bn * sizeof(double) > kMaxBytes) {
+        b_id = kFull;  // over budget: compute without caching
+      } else {
+        bmats.emplace_back(b, b + bn);
+        memo_bytes += bn * sizeof(double);
+      }
+    }
+    if (b_id != kFull) {
+      for (auto it = cache.rbegin(); it != cache.rend(); ++it) {
+        if (it->b_id == b_id && it->a.size() == an &&
+            std::memcmp(it->a.data(), a, an * sizeof(double)) == 0) {
+          std::memcpy(c, it->c.data(), an * sizeof(double));
+          return;
+        }
+      }
     }
   }
   mm_rows(a, b, c, n, 0, rows);
+  if (b_id == kFull) return;
+  std::lock_guard<std::mutex> g(mu);
   if (memo_bytes + 2 * an * sizeof(double) <= kMaxBytes) {
     cache.push_back(MmRow{b_id, std::vector<double>(a, a + an),
                           std::vector<double>(c, c + an)});

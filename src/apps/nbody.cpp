@@ -3,6 +3,7 @@
 #include <cmath>
 #include <cstring>
 #include <deque>
+#include <mutex>
 
 #include "apps/span_util.hpp"
 #include "sim/random.hpp"
@@ -53,7 +54,14 @@ struct ForceTable {
 ForceTable* force_table(const double* x, const double* y, const double* z,
                         const double* m, std::size_t n) {
   static std::deque<ForceTable> tables;  // FIFO-capped, process-global
+  static std::mutex mu;  // parallel engine workers share the table
   constexpr std::size_t kMaxStates = 16;
+  // Returned pointers are written outside the lock, but each caller owns a
+  // disjoint body slice (disjoint fx/fy/fz/have elements), and eviction
+  // cannot reach an in-use state: concurrent shards are at most one
+  // lookahead window apart, far less than the steps needed to push
+  // kMaxStates newer position states.
+  std::lock_guard<std::mutex> g(mu);
   // No hashing: with at most kMaxStates live states, a newest-first scan
   // with early-exit memcmp is cheaper than hashing 4n doubles per call
   // (every body moves every step, so mismatching states diverge in the

@@ -700,7 +700,7 @@ void NodeCache::writeback_locked(Line& l, std::uint64_t page) {
     // scan itself is host work only — the charge covers it whatever the
     // scanner — so the word-wise scanner must (and does, by construction
     // and by property test) emit exactly the reference runs. The scratch
-    // vector is stolen from the member for the duration: charge_write
+    // vector is stolen from the member for the duration: the gather write
     // yields, and a concurrent writeback on another line must not clobber
     // the runs while this one is mid-flight.
     argosim::delay(net_.config().mem_copy(2 * kPageSize));
@@ -718,22 +718,21 @@ void NodeCache::writeback_locked(Line& l, std::uint64_t page) {
       release_wb_slot(s);
       return;
     }
+    std::vector<argonet::GatherRun> gather;
+    gather.reserve(runs.size());
+    for (const DiffRun& r : runs) {
+      wire += r.len + 8;
+      gather.push_back(argonet::GatherRun{home + r.off, cur + r.off, r.len});
+    }
     if (pipelined()) {
       // One posted scatter-gather writeback for the whole page: the
       // payload is snapshotted at post time, so the diff for the *next*
       // buffer entry is computed while this one is on the wire.
-      std::vector<argonet::GatherRun> gather;
-      gather.reserve(runs.size());
-      for (const DiffRun& r : runs) {
-        wire += r.len + 8;
-        gather.push_back(argonet::GatherRun{home + r.off, cur + r.off, r.len});
-      }
       net_.post_write_gather(node_, home_node, gather, 8);
     } else {
-      for (const DiffRun& r : runs) wire += r.len + 8;
-      net_.charge_write(node_, home_node, wire);
-      for (const DiffRun& r : runs)
-        std::memcpy(home + r.off, cur + r.off, r.len);
+      // Blocking scatter-gather: one wire transfer, runs applied at the
+      // home at completion time (on the home's shard when sharded).
+      net_.write_gather(node_, home_node, gather, 8);
     }
     diff_scratch_ = std::move(runs);
   }

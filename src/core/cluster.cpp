@@ -1,6 +1,9 @@
 #include "core/cluster.hpp"
 
+#include <cstdio>
 #include <string>
+
+#include "sim/par.hpp"
 
 namespace argo {
 
@@ -161,6 +164,46 @@ Time Cluster::run(const std::function<void(Thread&)>& body) {
   return run_subset(cfg_.nodes, cfg_.threads_per_node, body);
 }
 
+void Cluster::maybe_enable_sharding() {
+  if (sharding_decided_) return;
+  sharding_decided_ = true;
+  int workers = cfg_.engine_threads > 0 ? cfg_.engine_threads
+                                        : argosim::engine_threads();
+  if (argosim::seq_engine()) workers = 1;
+  if (workers <= 0) return;  // legacy single-queue engine (the default)
+
+  // Features that need same-time cross-shard wakeups or instant cross-node
+  // inspection cannot run under conservative lookahead; keep the legacy
+  // engine rather than silently changing their semantics.
+  const char* serial_only = nullptr;
+  if (cfg_.membership.enabled) {
+    serial_only = "membership daemons probe peers at same-time granularity";
+  } else if (barrier_hook_) {
+    serial_only = "barrier hooks inspect every node's state at one instant";
+  } else {
+    for (const auto& e : cfg_.faults.crashes) {
+      if (e.after_ops > 0) {
+        serial_only = "op-count crash triggers resolve across shards";
+        break;
+      }
+    }
+  }
+  if (serial_only != nullptr) {
+    std::fprintf(stderr, "argo: sharded engine unavailable (%s); %s\n",
+                 serial_only, "running on the legacy engine");
+    return;
+  }
+
+  // Conservative lookahead: every cross-shard effect (RDMA completion or
+  // message delivery) is timestamped at least one base verb latency after
+  // the instant it is posted.
+  const Time lookahead = std::min(cfg_.net.rdma_latency, cfg_.net.msg_latency);
+  eng_.enable_sharding(static_cast<std::uint32_t>(cfg_.nodes), lookahead,
+                       static_cast<std::uint32_t>(workers));
+  tracer_.enable_sharded();
+  if (net_.faults_enabled()) net_.faults()->enable_sharded_streams();
+}
+
 Time Cluster::run_subset(int use_nodes, int use_threads_per_node,
                          const std::function<void(Thread&)>& body) {
   assert(use_nodes >= 1 && use_nodes <= cfg_.nodes);
@@ -168,13 +211,12 @@ Time Cluster::run_subset(int use_nodes, int use_threads_per_node,
          use_threads_per_node <= cfg_.threads_per_node);
   active_nodes_ = use_nodes;
   active_tpn_ = use_threads_per_node;
+  maybe_enable_sharding();
 
   node_barriers_.clear();
   for (int n = 0; n < use_nodes; ++n)
     node_barriers_.push_back(std::make_unique<argosim::SimBarrier>(
         static_cast<std::size_t>(use_threads_per_node)));
-  leader_barrier_ = std::make_unique<argosim::SimBarrier>(
-      static_cast<std::size_t>(use_nodes));
   // Global rendezvous cost: a dissemination barrier runs ceil(log2 N)
   // message rounds; each round costs one posting plus one wire latency.
   int rounds = 0;
@@ -182,6 +224,20 @@ Time Cluster::run_subset(int use_nodes, int use_threads_per_node,
   barrier_rounds_ = rounds;
   barrier_net_cost_ =
       static_cast<Time>(rounds) * (cfg_.net.msg_latency + cfg_.net.nic_overhead);
+  if (eng_.sharded()) {
+    // Cross-shard rendezvous point. Fault-free the gate also charges the
+    // dissemination cost (release = max arrivals + cost, exactly the
+    // legacy barrier + lump-sum delay); with faults the rounds are charged
+    // per-link in global_rendezvous, so the gate only synchronizes.
+    leader_barrier_.reset();
+    leader_gate_ = std::make_unique<argosim::SimGate>(
+        &eng_, static_cast<std::size_t>(use_nodes),
+        net_.faults_enabled() ? 0 : barrier_net_cost_);
+  } else {
+    leader_gate_.reset();
+    leader_barrier_ = std::make_unique<argosim::SimBarrier>(
+        static_cast<std::size_t>(use_nodes));
+  }
 
   // Membership daemons (heartbeat monitors + crash reaper) spawn before
   // the workers so a node already dead from a previous run is reaped at
@@ -193,12 +249,19 @@ Time Cluster::run_subset(int use_nodes, int use_threads_per_node,
     for (int t = 0; t < use_threads_per_node; ++t) {
       const int gid = n * use_threads_per_node + t;
       const int core = t % cfg_.topo.cores;
+      std::string name = "n" + std::to_string(n) + "t" + std::to_string(t);
+      auto fiber = [this, n, t, gid, core, &body] {
+        Thread self(this, n, t, gid, core, caches_[n].get());
+        body(self);
+      };
+      // Sharded: a node's threads live on that node's shard for their
+      // whole lifetime (shard = node is the partition the lookahead bound
+      // is proved against).
       argosim::SimThread* st =
-          eng_.spawn("n" + std::to_string(n) + "t" + std::to_string(t),
-                     [this, n, t, gid, core, &body] {
-                       Thread self(this, n, t, gid, core, caches_[n].get());
-                       body(self);
-                     });
+          eng_.sharded()
+              ? eng_.spawn_on(static_cast<std::uint32_t>(n), std::move(name),
+                              std::move(fiber))
+              : eng_.spawn(std::move(name), std::move(fiber));
       membership_->note_worker(n, st);
     }
   }
@@ -278,6 +341,11 @@ void Cluster::global_rendezvous(int node) {
     // arrived; a leader that crash-stops mid-round is counted departed by
     // the recovery pass, releasing any stranded round retroactively.
     membership_->barrier().arrive_and_wait(node);
+  } else if (leader_gate_) {
+    leader_gate_->arrive_and_wait();
+    // Fault-free the gate's release time already includes the
+    // dissemination cost; with faults fall through to the per-round loop.
+    if (!net_.faults_enabled()) return;
   } else {
     leader_barrier_->arrive_and_wait();
   }

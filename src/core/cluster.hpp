@@ -378,17 +378,24 @@ class Cluster {
   /// barrier (after its SI fence, before releasing the node's threads),
   /// with the node index. Costs no virtual time. Used by the
   /// ProtocolValidator to check coherence invariants at quiescent points.
+  /// A hook inspects every node's state from one node's fiber, so it is a
+  /// legacy-engine feature: installing one before the first run keeps the
+  /// cluster on the legacy engine; installing one after the sharded engine
+  /// has started throws.
   void set_barrier_hook(std::function<void(int)> hook) {
+    eng_.require_serial("barrier hooks");
     barrier_hook_ = std::move(hook);
   }
 
  private:
   friend class Thread;
   void global_rendezvous(int node);  // leader part of the hierarchical barrier
+  void maybe_enable_sharding();      // decided once, at the first run
   void register_metrics();
 
   int active_nodes_ = 1;
   int active_tpn_ = 1;
+  bool sharding_decided_ = false;
   ClusterConfig cfg_;
   argosim::Engine eng_;
   argonet::Interconnect net_;
@@ -399,6 +406,7 @@ class Cluster {
   std::unique_ptr<argocore::MembershipService> membership_;
   std::vector<std::unique_ptr<argosim::SimBarrier>> node_barriers_;
   std::unique_ptr<argosim::SimBarrier> leader_barrier_;
+  std::unique_ptr<argosim::SimGate> leader_gate_;  // sharded replacement
   Time barrier_net_cost_ = 0;
   int barrier_rounds_ = 0;
   std::function<void(int)> barrier_hook_;

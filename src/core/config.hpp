@@ -84,6 +84,17 @@ struct ClusterConfig {
   /// metrics are registered, and every virtual time matches a build
   /// without the feature exactly.
   MembershipConfig membership;
+
+  /// Sharded-engine worker count for this cluster (sim/par.hpp):
+  ///   0  inherit the process-wide ARGO_THREADS / ARGO_SEQ_ENGINE toggles
+  ///      (both unset: the legacy single-queue engine, the seed behaviour)
+  ///   1  sharded engine, one worker — the sequential reference
+  ///   N  sharded engine, N host workers
+  /// ARGO_SEQ_ENGINE=1 overrides any positive value down to one worker.
+  /// Features that need same-time cross-shard wakeups (membership,
+  /// barrier hooks, op-count crash triggers) fall back to the legacy
+  /// engine with a stderr notice.
+  int engine_threads = 0;
 };
 
 }  // namespace argocore

@@ -4,6 +4,19 @@
 
 namespace argodir {
 
+namespace {
+
+// Under the sharded engine, a displaced owner's TLB generation and
+// notification counter belong to that owner's shard: the bump must ride
+// inside the fetch_or's remote completion instead of running on the
+// notifier's fiber.
+inline bool sharded_engine() {
+  argosim::Engine* e = argosim::Engine::current();
+  return e != nullptr && e->sharded();
+}
+
+}  // namespace
+
 PyxisDirectory::PyxisDirectory(GlobalMemory& gmem, argonet::Interconnect& net)
     : gmem_(gmem), net_(net) {
   words_.assign(gmem.pages(), 0);
@@ -53,9 +66,17 @@ void PyxisDirectory::cache_merge_remote(int src, int dst, std::uint64_t page,
   // One small RDMA atomic into the displaced owner's (registered)
   // directory-cache window. An OR at completion time, so it commutes with
   // the owner's own lookups and with other racing notifications.
-  net_.fetch_or(src, dst, &cache_slot(dst, page), word);
-  bump_gen(dst);  // deferred invalidation delivered: revoke dst's TLB
-  ++notify_count_[static_cast<std::size_t>(dst)];
+  if (sharded_engine()) {
+    net_.fetch_or(src, dst, &cache_slot(dst, page), word,
+                  [this, dst](std::uint64_t) {
+                    bump_gen(dst);
+                    ++notify_count_[static_cast<std::size_t>(dst)];
+                  });
+  } else {
+    net_.fetch_or(src, dst, &cache_slot(dst, page), word);
+    bump_gen(dst);  // deferred invalidation delivered: revoke dst's TLB
+    ++notify_count_[static_cast<std::size_t>(dst)];
+  }
   if (tracer_)
     tracer_->emit(src, argoobs::Ev::DeferredInval, page,
                   argoobs::kUnknownState, static_cast<std::uint64_t>(dst));
@@ -78,10 +99,20 @@ void PyxisDirectory::cache_merge_remote_batch(int src,
       word |= batch[j].word;
       ++j;
     }
-    posted.push_back(net_.post_fetch_or(
-        src, batch[i].dst, &cache_slot(batch[i].dst, batch[i].page), word));
-    bump_gen(batch[i].dst);  // deferred invalidation: revoke dst's TLB
-    ++notify_count_[static_cast<std::size_t>(batch[i].dst)];
+    const int dst = batch[i].dst;
+    if (sharded_engine()) {
+      posted.push_back(net_.post_fetch_or(
+          src, dst, &cache_slot(dst, batch[i].page), word,
+          [this, dst](std::uint64_t) {
+            bump_gen(dst);
+            ++notify_count_[static_cast<std::size_t>(dst)];
+          }));
+    } else {
+      posted.push_back(net_.post_fetch_or(
+          src, dst, &cache_slot(dst, batch[i].page), word));
+      bump_gen(dst);  // deferred invalidation: revoke dst's TLB
+      ++notify_count_[static_cast<std::size_t>(dst)];
+    }
     if (tracer_)
       tracer_->emit(src, argoobs::Ev::DeferredInval, batch[i].page,
                     argoobs::kUnknownState,

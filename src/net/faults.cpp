@@ -1,5 +1,6 @@
 #include "net/faults.hpp"
 
+#include <algorithm>
 #include <cassert>
 
 namespace argonet {
@@ -66,9 +67,42 @@ void FaultInjector::advance(NodeWindows& w, Time now) {
 bool FaultInjector::in_brownout(int node, Time now) {
   if (cfg_.brownout_mean_interval == 0 || cfg_.brownout_mean_duration == 0)
     return false;
+  if (sharded_) return in_brownout_sharded(node, now);
   NodeWindows& w = windows_[static_cast<std::size_t>(node)];
   advance(w, now);
   return now >= w.start;
+}
+
+bool FaultInjector::in_brownout_sharded(int node, Time now) {
+  // Fibers on different shards query a node's windows with clocks that are
+  // not mutually monotonic, and a node's windows are queried both by its
+  // own fibers (src side) and by remote initiators (dst side). Materialize
+  // the schedule under a host mutex and answer by binary search: the
+  // result is a pure function of (node, now), independent of query order.
+  std::lock_guard<std::mutex> g(mu_);
+  NodeWindows& w = windows_[static_cast<std::size_t>(node)];
+  if (now > w.max_t) w.max_t = now;
+  while (w.mat.empty() || w.mat.back().second <= w.max_t) {
+    if (!w.scheduled) {
+      w.start = around(w.rng, cfg_.brownout_mean_interval);
+      w.end = w.start + around(w.rng, cfg_.brownout_mean_duration);
+      w.scheduled = true;
+    } else {
+      w.start = w.end + around(w.rng, cfg_.brownout_mean_interval);
+      w.end = w.start + around(w.rng, cfg_.brownout_mean_duration);
+    }
+    w.mat.emplace_back(w.start, w.end);
+  }
+  const auto end_after = [](Time t, const std::pair<Time, Time>& p) {
+    return t < p.second;
+  };
+  // Windows whose end is behind the furthest query have been fully entered.
+  w.entered = static_cast<std::uint64_t>(
+      std::upper_bound(w.mat.begin(), w.mat.end(), w.max_t, end_after) -
+      w.mat.begin());
+  const auto it =
+      std::upper_bound(w.mat.begin(), w.mat.end(), now, end_after);
+  return it != w.mat.end() && now >= it->first;
 }
 
 AttemptPlan FaultInjector::plan_attempt(int src, int dst, Time now) {
@@ -77,27 +111,40 @@ AttemptPlan FaultInjector::plan_attempt(int src, int dst, Time now) {
     p.latency_mult = cfg_.brownout_latency_mult;
     p.bw_frac = cfg_.brownout_bw_frac;
   }
+  argosim::Rng& rng = op_rng(src);
   if (cfg_.jitter_prob > 0 && cfg_.jitter_max > 0 &&
-      rng_.next_bool(cfg_.jitter_prob)) {
+      rng.next_bool(cfg_.jitter_prob)) {
     p.extra_latency = static_cast<Time>(
-        rng_.next_below(static_cast<std::uint64_t>(cfg_.jitter_max) + 1));
+        rng.next_below(static_cast<std::uint64_t>(cfg_.jitter_max) + 1));
   }
-  if (cfg_.rdma_fail_prob > 0) p.fail = rng_.next_bool(cfg_.rdma_fail_prob);
+  if (cfg_.rdma_fail_prob > 0) p.fail = rng.next_bool(cfg_.rdma_fail_prob);
   return p;
 }
 
-bool FaultInjector::drop_message() {
-  return cfg_.msg_drop_prob > 0 && rng_.next_bool(cfg_.msg_drop_prob);
+bool FaultInjector::drop_message(int src) {
+  return cfg_.msg_drop_prob > 0 && op_rng(src).next_bool(cfg_.msg_drop_prob);
 }
 
-bool FaultInjector::duplicate_message() {
-  return cfg_.msg_dup_prob > 0 && rng_.next_bool(cfg_.msg_dup_prob);
+bool FaultInjector::duplicate_message(int src) {
+  return cfg_.msg_dup_prob > 0 && op_rng(src).next_bool(cfg_.msg_dup_prob);
 }
 
-Time FaultInjector::backoff_jitter(Time span) {
+Time FaultInjector::backoff_jitter(Time span, int src) {
   if (span <= 0) return 0;
   return static_cast<Time>(
-      rng_.next_below(static_cast<std::uint64_t>(span) + 1));
+      op_rng(src).next_below(static_cast<std::uint64_t>(span) + 1));
+}
+
+void FaultInjector::enable_sharded_streams() {
+  if (sharded_) return;
+  sharded_ = true;
+  src_rng_.reserve(windows_.size());
+  for (std::size_t n = 0; n < windows_.size(); ++n) {
+    // Salted well away from the per-node window streams (salt n+1) and the
+    // shared op stream (salt 0).
+    src_rng_.push_back(
+        argosim::Rng(mix_seed(cfg_.seed, 0x5ead0000ull + n)));
+  }
 }
 
 }  // namespace argonet

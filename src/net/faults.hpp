@@ -21,6 +21,8 @@
 #pragma once
 
 #include <cstdint>
+#include <mutex>
+#include <utility>
 #include <vector>
 
 #include "sim/random.hpp"
@@ -100,12 +102,23 @@ class FaultInjector {
   /// features whose probability/config is zero.
   AttemptPlan plan_attempt(int src, int dst, Time now);
 
-  /// Independent per-message draws (send-side).
-  bool drop_message();
-  bool duplicate_message();
+  /// Independent per-message draws (send-side). `src` selects the per-node
+  /// stream under sharded mode; ignored (shared stream) otherwise.
+  bool drop_message(int src = 0);
+  bool duplicate_message(int src = 0);
 
   /// Uniform draw in [0, span] for retry backoff jitter (0 if span == 0).
-  Time backoff_jitter(Time span);
+  Time backoff_jitter(Time span, int src = 0);
+
+  /// Switch per-op draws to per-source-node streams and brownout windows
+  /// to a mutex-guarded materialized schedule, for the sharded engine:
+  /// each node's fibers then draw only from that node's stream (single
+  /// writer per shard), and brownout queries need not be monotonic per
+  /// node across shards. Changes the fault pattern versus the legacy
+  /// shared-stream mode (but not the per-node window schedules, which
+  /// always use per-node streams). Call before the simulation starts.
+  void enable_sharded_streams();
+  bool sharded_streams() const { return sharded_; }
 
   /// True if `node` is inside a brownout window at time `now`. Queries
   /// must be monotonic in `now` per node (virtual time only advances).
@@ -160,6 +173,11 @@ class FaultInjector {
     Time start = 0, end = 0;  // current/next window [start, end)
     std::uint64_t entered = 0;
     bool scheduled = false;
+    // Sharded mode: materialized windows (sorted by end) and the furthest
+    // query time seen, guarded by mu_. The same rng generates the same
+    // schedule; only the bookkeeping differs.
+    std::vector<std::pair<Time, Time>> mat;
+    Time max_t = 0;
   };
 
   struct CrashState {
@@ -177,11 +195,21 @@ class FaultInjector {
   }
 
   void advance(NodeWindows& w, Time now);
+  bool in_brownout_sharded(int node, Time now);
+
+  /// Per-op draw stream: the shared stream in legacy mode, `src`'s own
+  /// stream in sharded mode.
+  argosim::Rng& op_rng(int src) {
+    return sharded_ ? src_rng_[static_cast<std::size_t>(src)] : rng_;
+  }
 
   FaultConfig cfg_;
-  argosim::Rng rng_;  // shared stream for per-op draws
+  argosim::Rng rng_;  // shared stream for per-op draws (legacy engine)
   std::vector<NodeWindows> windows_;
   std::vector<CrashState> crash_;  // per node; empty when no schedule
+  bool sharded_ = false;
+  std::vector<argosim::Rng> src_rng_;  // per-src-node op streams (sharded)
+  std::mutex mu_;  // guards windows_ materialization in sharded mode
 };
 
 }  // namespace argonet

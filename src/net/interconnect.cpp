@@ -46,6 +46,13 @@ std::string op_context(const char* what, int src, int dst) {
          std::to_string(argosim::now()) + "ns";
 }
 
+// True when the calling fiber runs on the sharded engine: remote memory
+// lives on another shard and every remote touch must ship as an effect.
+inline bool sharded_engine() {
+  argosim::Engine* e = argosim::Engine::current();
+  return e != nullptr && e->sharded();
+}
+
 }  // namespace
 
 void Interconnect::crash_check(int src, int dst, const char* what) {
@@ -123,8 +130,90 @@ void Interconnect::remote_op(int src, int dst, std::size_t stream_bytes,
     }
     Time wait = backoff;
     if (rp.backoff_jitter > 0)
-      wait += faults_->backoff_jitter(static_cast<Time>(
-          static_cast<double>(backoff) * rp.backoff_jitter));
+      wait += faults_->backoff_jitter(
+          static_cast<Time>(static_cast<double>(backoff) * rp.backoff_jitter),
+          src);
+    auto& st = boxes_[src]->stats;
+    ++st.retries;
+    st.backoff_time += wait;
+    argosim::delay(wait);
+    backoff = std::min<Time>(
+        static_cast<Time>(static_cast<double>(backoff) * rp.backoff_mult),
+        rp.backoff_max);
+  }
+}
+
+bool Interconnect::sharded_attempt(
+    int src, int dst, std::size_t stream_bytes, Time base_latency,
+    const char* what, const std::shared_ptr<argosim::SimRecord>& rec,
+    const std::function<void(argosim::SimRecord&)>& apply) {
+  auto& box = *boxes_[src];
+  bool fail = false;
+  Time stream = cfg_.net_transfer(stream_bytes);
+  Time latency = base_latency;
+  if (faults_) {
+    crash_check(src, dst, what);
+    const AttemptPlan p = faults_->plan_attempt(src, dst, argosim::now());
+    if (p.bw_frac < 1.0 && stream > 0)
+      stream = static_cast<Time>(static_cast<double>(stream) / p.bw_frac);
+    latency = static_cast<Time>(static_cast<double>(base_latency) *
+                                p.latency_mult) +
+              p.extra_latency;
+    fail = p.fail;
+  }
+  const Time busy = cfg_.nic_overhead + stream;
+  box.stats.nic_busy += busy;
+  {
+    // Same NIC serialization as charge(); the effect must be timestamped
+    // from the instant the NIC is acquired, so the post happens under the
+    // lock, before the busy time is paid.
+    std::optional<argosim::SimLockGuard> g;
+    if (cfg_.serialize_nic) g.emplace(box.nic);
+    if (!fail && apply) {
+      argosim::Engine::current()->post_effect(
+          static_cast<std::uint32_t>(dst), argosim::now() + busy + latency, 1,
+          static_cast<std::uint64_t>(src), box.effect_seq++, [rec, apply] {
+            apply(*rec);
+            rec->complete();
+          });
+    }
+    argosim::delay(busy);
+  }
+  if (latency > 0) argosim::delay(latency);
+  if (fail) {
+    ++box.stats.faults_injected;
+    return false;
+  }
+  return true;
+}
+
+std::shared_ptr<argosim::SimRecord> Interconnect::sharded_op(
+    int src, int dst, std::size_t stream_bytes, Time base_latency,
+    const char* what, std::function<void(argosim::SimRecord&)> apply) {
+  auto rec = std::make_shared<argosim::SimRecord>();
+  if (!faults_) {
+    sharded_attempt(src, dst, stream_bytes, base_latency, what, rec, apply);
+    return rec;
+  }
+  const RetryPolicy& rp = cfg_.retry;
+  const Time started = argosim::now();
+  Time backoff = rp.backoff_base;
+  for (int attempt = 1;; ++attempt) {
+    if (sharded_attempt(src, dst, stream_bytes, base_latency, what, rec,
+                        apply))
+      return rec;
+    const bool out_of_attempts = attempt >= rp.max_attempts;
+    const bool past_deadline =
+        rp.deadline > 0 && argosim::now() - started >= rp.deadline;
+    if (out_of_attempts || past_deadline) {
+      throw NetworkError(op_context(what, src, dst) + " failed after " +
+                         std::to_string(attempt) + " attempts");
+    }
+    Time wait = backoff;
+    if (rp.backoff_jitter > 0)
+      wait += faults_->backoff_jitter(
+          static_cast<Time>(static_cast<double>(backoff) * rp.backoff_jitter),
+          src);
     auto& st = boxes_[src]->stats;
     ++st.retries;
     st.backoff_time += wait;
@@ -168,6 +257,14 @@ void Interconnect::retire_front(int src) {
                     argoobs::kUnknownState, p.hard_fail ? 1 : 0);
     if (p.hard_fail) {
       box.posted_failed.emplace(p.id, PostedFailure{p.what, p.dst});
+    } else if (p.rec) {
+      // Sharded engine: the remote half ran (or is about to run) on dst's
+      // shard at complete_at; wait for the record, then run the src-side
+      // finish. Remote application order per destination is preserved by
+      // the effect keys, so interleaved retirements of later ops are fine.
+      argosim::Engine::current()->await(p.rec);
+      const std::uint64_t v = p.finish ? p.finish(*p.rec) : 0;
+      if (p.has_value) box.posted_results.emplace(p.id, v);
     } else {
       const std::uint64_t v = p.effect ? p.effect() : 0;
       if (p.has_value) box.posted_results.emplace(p.id, v);
@@ -183,17 +280,28 @@ PostedHandle Interconnect::retired_handle(int src, bool has_value,
   return PostedHandle{src, id};
 }
 
-PostedHandle Interconnect::post_remote(int src, int dst,
-                                       std::size_t stream_bytes,
-                                       Time base_latency, const char* what,
-                                       bool has_value,
-                                       std::function<std::uint64_t()> effect) {
+PostedHandle Interconnect::post_remote(
+    int src, int dst, std::size_t stream_bytes, Time base_latency,
+    const char* what, bool has_value, std::function<std::uint64_t()> effect,
+    std::function<void(argosim::SimRecord&)> dst_apply,
+    std::function<std::uint64_t(argosim::SimRecord&)> finish) {
   auto& box = *boxes_[src];
   crash_check(src, dst, what);
+  const bool sharded = sharded_engine();
   const int depth = cfg_.pipeline > 1 ? cfg_.pipeline : 1;
   if (depth == 1) {
     // Depth 1 degenerates to the blocking verb: identical charges and
     // retry loop, effect applied at completion time.
+    if (sharded) {
+      auto rec = sharded_op(src, dst, stream_bytes, base_latency, what,
+                            std::move(dst_apply));
+      std::uint64_t v = 0;
+      if (finish) {
+        argosim::Engine::current()->await(rec);
+        v = finish(*rec);
+      }
+      return retired_handle(src, has_value, v);
+    }
     remote_op(src, dst, stream_bytes, base_latency, what);
     const std::uint64_t v = effect ? effect() : 0;
     return retired_handle(src, has_value, v);
@@ -247,8 +355,10 @@ PostedHandle Interconnect::post_remote(int src, int dst,
       }
       Time wait = backoff;
       if (rp.backoff_jitter > 0)
-        wait += faults_->backoff_jitter(static_cast<Time>(
-            static_cast<double>(backoff) * rp.backoff_jitter));
+        wait += faults_->backoff_jitter(
+            static_cast<Time>(static_cast<double>(backoff) *
+                              rp.backoff_jitter),
+            src);
       ++box.stats.retries;
       box.stats.backoff_time += wait;
       done += wait;
@@ -262,8 +372,23 @@ PostedHandle Interconnect::post_remote(int src, int dst,
   if (!box.sendq.empty() && box.sendq.back().complete_at > done)
     done = box.sendq.back().complete_at;
   const std::uint64_t id = box.posted_next_id++;
-  box.sendq.push_back(
-      Posted{id, done, hard_fail, what, dst, has_value, std::move(effect)});
+  Posted p{id,  done,      hard_fail,         what,    dst,
+           has_value, std::move(effect), nullptr, nullptr};
+  if (sharded && !hard_fail) {
+    // Ship the remote half to dst's shard at the (fully projected, in-order
+    // bumped) completion time; the dst-shard effect replaces the inline one.
+    p.rec = std::make_shared<argosim::SimRecord>();
+    p.finish = std::move(finish);
+    p.effect = nullptr;
+    argosim::Engine::current()->post_effect(
+        static_cast<std::uint32_t>(dst), done, 1,
+        static_cast<std::uint64_t>(src), box.effect_seq++,
+        [rec = p.rec, apply = std::move(dst_apply)] {
+          if (apply) apply(*rec);
+          rec->complete();
+        });
+  }
+  box.sendq.push_back(std::move(p));
   box.stats.posted_inflight_hwm =
       std::max<std::uint64_t>(box.stats.posted_inflight_hwm, box.sendq.size());
   return PostedHandle{src, id};
@@ -313,11 +438,22 @@ PostedHandle Interconnect::post_read(int src, int dst, const void* remote,
     std::memcpy(local, remote, n);
     return retired_handle(src, false, 0);
   }
-  return post_remote(src, dst, n, cfg_.rdma_latency, "RDMA read", false,
-                     [remote, local, n]() -> std::uint64_t {
-                       std::memcpy(local, remote, n);
-                       return 0;
-                     });
+  return post_remote(
+      src, dst, n, cfg_.rdma_latency, "RDMA read", false,
+      [remote, local, n]() -> std::uint64_t {
+        std::memcpy(local, remote, n);
+        return 0;
+      },
+      // Sharded: capture the remote bytes on dst's shard at the completion
+      // instant; copy them out on the issuing shard at retirement.
+      [remote, n](argosim::SimRecord& r) {
+        const auto* p = static_cast<const std::byte*>(remote);
+        r.bytes.assign(p, p + n);
+      },
+      [local, n](argosim::SimRecord& r) -> std::uint64_t {
+        std::memcpy(local, r.bytes.data(), n);
+        return 0;
+      });
 }
 
 PostedHandle Interconnect::post_write(int src, int dst, void* remote,
@@ -335,11 +471,16 @@ PostedHandle Interconnect::post_write(int src, int dst, void* remote,
   auto buf = std::make_shared<std::vector<std::byte>>(
       static_cast<const std::byte*>(local),
       static_cast<const std::byte*>(local) + n);
-  return post_remote(src, dst, n, cfg_.rdma_latency, "RDMA write", false,
-                     [remote, buf, n]() -> std::uint64_t {
-                       std::memcpy(remote, buf->data(), n);
-                       return 0;
-                     });
+  return post_remote(
+      src, dst, n, cfg_.rdma_latency, "RDMA write", false,
+      [remote, buf, n]() -> std::uint64_t {
+        std::memcpy(remote, buf->data(), n);
+        return 0;
+      },
+      [remote, buf, n](argosim::SimRecord&) {
+        std::memcpy(remote, buf->data(), n);
+      },
+      nullptr);
 }
 
 PostedHandle Interconnect::post_write_gather(int src, int dst,
@@ -372,8 +513,39 @@ PostedHandle Interconnect::post_write_gather(int src, int dst,
     effect();
     return retired_handle(src, false, 0);
   }
+  auto dst_apply = [effect](argosim::SimRecord&) { effect(); };
   return post_remote(src, dst, wire, cfg_.rdma_latency, "RDMA gather write",
-                     false, std::move(effect));
+                     false, std::move(effect), std::move(dst_apply), nullptr);
+}
+
+PostedHandle Interconnect::post_fetch_or(int src, int dst,
+                                         std::uint64_t* remote,
+                                         std::uint64_t bits,
+                                         std::function<void(std::uint64_t)>
+                                             on_remote) {
+  auto& s = boxes_[src]->stats;
+  ++s.rdma_atomics;
+  if (src == dst) {
+    argosim::delay(cfg_.mem_latency);
+    const std::uint64_t old = *remote;
+    *remote = old | bits;
+    if (on_remote) on_remote(old);
+    return retired_handle(src, true, old);
+  }
+  return post_remote(
+      src, dst, 0, cfg_.rdma_latency, "RDMA fetch-or", true,
+      [remote, bits, on_remote]() -> std::uint64_t {
+        const std::uint64_t old = *remote;
+        *remote = old | bits;
+        if (on_remote) on_remote(old);
+        return old;
+      },
+      [remote, bits, on_remote](argosim::SimRecord& r) {
+        r.value = *remote;
+        *remote = r.value | bits;
+        if (on_remote) on_remote(r.value);
+      },
+      [](argosim::SimRecord& r) -> std::uint64_t { return r.value; });
 }
 
 PostedHandle Interconnect::post_fetch_or(int src, int dst,
@@ -387,12 +559,18 @@ PostedHandle Interconnect::post_fetch_or(int src, int dst,
     *remote = old | bits;
     return retired_handle(src, true, old);
   }
-  return post_remote(src, dst, 0, cfg_.rdma_latency, "RDMA fetch-or", true,
-                     [remote, bits]() -> std::uint64_t {
-                       const std::uint64_t old = *remote;
-                       *remote = old | bits;
-                       return old;
-                     });
+  return post_remote(
+      src, dst, 0, cfg_.rdma_latency, "RDMA fetch-or", true,
+      [remote, bits]() -> std::uint64_t {
+        const std::uint64_t old = *remote;
+        *remote = old | bits;
+        return old;
+      },
+      [remote, bits](argosim::SimRecord& r) {
+        r.value = *remote;
+        *remote = r.value | bits;
+      },
+      [](argosim::SimRecord& r) -> std::uint64_t { return r.value; });
 }
 
 PostedHandle Interconnect::post_fetch_add(int src, int dst,
@@ -406,12 +584,18 @@ PostedHandle Interconnect::post_fetch_add(int src, int dst,
     *remote = old + v;
     return retired_handle(src, true, old);
   }
-  return post_remote(src, dst, 0, cfg_.rdma_latency, "RDMA fetch-add", true,
-                     [remote, v]() -> std::uint64_t {
-                       const std::uint64_t old = *remote;
-                       *remote = old + v;
-                       return old;
-                     });
+  return post_remote(
+      src, dst, 0, cfg_.rdma_latency, "RDMA fetch-add", true,
+      [remote, v]() -> std::uint64_t {
+        const std::uint64_t old = *remote;
+        *remote = old + v;
+        return old;
+      },
+      [remote, v](argosim::SimRecord& r) {
+        r.value = *remote;
+        *remote = r.value + v;
+      },
+      [](argosim::SimRecord& r) -> std::uint64_t { return r.value; });
 }
 
 PostedHandle Interconnect::post_cas(int src, int dst, std::uint64_t* remote,
@@ -425,13 +609,48 @@ PostedHandle Interconnect::post_cas(int src, int dst, std::uint64_t* remote,
     if (old == expected) *remote = desired;
     return retired_handle(src, true, old);
   }
-  return post_remote(src, dst, 0, cfg_.rdma_latency, "RDMA CAS", true,
-                     [remote, expected, desired]() -> std::uint64_t {
-                       const std::uint64_t old = *remote;
-                       if (old == expected) *remote = desired;
-                       return old;
-                     });
+  return post_remote(
+      src, dst, 0, cfg_.rdma_latency, "RDMA CAS", true,
+      [remote, expected, desired]() -> std::uint64_t {
+        const std::uint64_t old = *remote;
+        if (old == expected) *remote = desired;
+        return old;
+      },
+      [remote, expected, desired](argosim::SimRecord& r) {
+        r.value = *remote;
+        if (r.value == expected) *remote = desired;
+      },
+      [](argosim::SimRecord& r) -> std::uint64_t { return r.value; });
 }
+
+namespace {
+
+// Sharded dst_apply for reads: capture the remote content on dst's shard at
+// the wire-completion instant; the issuing fiber copies it out after await.
+std::function<void(argosim::SimRecord&)> capture_bytes(const void* remote,
+                                                       std::size_t n) {
+  return [remote, n](argosim::SimRecord& r) {
+    const auto* p = static_cast<const std::byte*>(remote);
+    r.bytes.assign(p, p + n);
+  };
+}
+
+// Sharded dst_apply for writes: the payload snapshot taken at issue time
+// lands on dst's shard at the completion instant.
+std::function<void(argosim::SimRecord&)> apply_bytes(
+    void* remote, std::shared_ptr<std::vector<std::byte>> buf) {
+  return [remote, buf = std::move(buf)](argosim::SimRecord&) {
+    std::memcpy(remote, buf->data(), buf->size());
+  };
+}
+
+std::shared_ptr<std::vector<std::byte>> snapshot(const void* local,
+                                                 std::size_t n) {
+  const auto* p = static_cast<const std::byte*>(local);
+  return std::make_shared<std::vector<std::byte>>(p, p + n);
+}
+
+}  // namespace
 
 void Interconnect::read(int src, int dst, const void* remote, void* local,
                         std::size_t n) {
@@ -440,6 +659,12 @@ void Interconnect::read(int src, int dst, const void* remote, void* local,
   s.bytes_read += n;
   if (src == dst) {
     argosim::delay(cfg_.mem_latency + cfg_.mem_copy(n));
+  } else if (sharded_engine()) {
+    auto rec = sharded_op(src, dst, n, cfg_.rdma_latency, "RDMA read",
+                          capture_bytes(remote, n));
+    argosim::Engine::current()->await(rec);
+    std::memcpy(local, rec->bytes.data(), n);
+    return;
   } else {
     remote_op(src, dst, n, cfg_.rdma_latency, "RDMA read");
   }
@@ -454,6 +679,14 @@ bool Interconnect::try_read(int src, int dst, const void* remote, void* local,
   s.bytes_read += n;
   if (src == dst) {
     argosim::delay(cfg_.mem_latency + cfg_.mem_copy(n));
+  } else if (sharded_engine()) {
+    auto rec = std::make_shared<argosim::SimRecord>();
+    if (!sharded_attempt(src, dst, n, cfg_.rdma_latency, "RDMA read", rec,
+                         capture_bytes(remote, n)))
+      return false;
+    argosim::Engine::current()->await(rec);
+    std::memcpy(local, rec->bytes.data(), n);
+    return true;
   } else if (!remote_attempt(src, dst, n, cfg_.rdma_latency, "RDMA read")) {
     return false;
   }
@@ -468,6 +701,14 @@ void Interconnect::write(int src, int dst, void* remote, const void* local,
   s.bytes_written += n;
   if (src == dst) {
     argosim::delay(cfg_.mem_latency + cfg_.mem_copy(n));
+  } else if (sharded_engine()) {
+    // Snapshot at issue time (as the posted verbs do) and apply on dst's
+    // shard at the completion instant. No await: the fiber's clock already
+    // equals the completion time, and any later verb touching the same
+    // remote bytes lands at a strictly later effect key.
+    sharded_op(src, dst, n, cfg_.rdma_latency, "RDMA write",
+               apply_bytes(remote, snapshot(local, n)));
+    return;
   } else {
     remote_op(src, dst, n, cfg_.rdma_latency, "RDMA write");
   }
@@ -482,6 +723,10 @@ bool Interconnect::try_write(int src, int dst, void* remote, const void* local,
   s.bytes_written += n;
   if (src == dst) {
     argosim::delay(cfg_.mem_latency + cfg_.mem_copy(n));
+  } else if (sharded_engine()) {
+    auto rec = std::make_shared<argosim::SimRecord>();
+    return sharded_attempt(src, dst, n, cfg_.rdma_latency, "RDMA write", rec,
+                           apply_bytes(remote, snapshot(local, n)));
   } else if (!remote_attempt(src, dst, n, cfg_.rdma_latency, "RDMA write")) {
     return false;
   }
@@ -500,21 +745,77 @@ void Interconnect::charge_write(int src, int dst, std::size_t n) {
   }
 }
 
+void Interconnect::write_gather(int src, int dst,
+                                const std::vector<GatherRun>& runs,
+                                std::size_t header_bytes) {
+  std::size_t wire = 0;
+  for (const GatherRun& r : runs) wire += r.len + header_bytes;
+  auto& s = boxes_[src]->stats;
+  ++s.rdma_writes;
+  s.bytes_written += wire;
+  if (src == dst) {
+    argosim::delay(cfg_.mem_latency + cfg_.mem_copy(wire));
+    for (const GatherRun& r : runs) std::memcpy(r.remote, r.local, r.len);
+    return;
+  }
+  if (sharded_engine()) {
+    auto buf = std::make_shared<std::vector<std::byte>>();
+    buf->reserve(wire);
+    std::vector<std::pair<void*, std::size_t>> targets;
+    targets.reserve(runs.size());
+    for (const GatherRun& r : runs) {
+      const std::byte* p = static_cast<const std::byte*>(r.local);
+      buf->insert(buf->end(), p, p + r.len);
+      targets.emplace_back(r.remote, r.len);
+    }
+    sharded_op(src, dst, wire, cfg_.rdma_latency, "RDMA write",
+               [buf, targets = std::move(targets)](argosim::SimRecord&) {
+                 std::size_t off = 0;
+                 for (const auto& [to, len] : targets) {
+                   std::memcpy(to, buf->data() + off, len);
+                   off += len;
+                 }
+               });
+    return;
+  }
+  // Legacy engine: charge one wire transfer, then apply the runs in place
+  // at completion time — charge_write() plus the caller's own memcpys,
+  // byte-identical in virtual time.
+  remote_op(src, dst, wire, cfg_.rdma_latency, "RDMA write");
+  for (const GatherRun& r : runs) std::memcpy(r.remote, r.local, r.len);
+}
+
 // Remote atomics share one attempt shape: no payload streaming, one
 // completion latency; the operation commits only on a successful attempt
 // (a failed attempt is detected before the NIC executes it remotely).
 
 std::uint64_t Interconnect::fetch_or(int src, int dst, std::uint64_t* remote,
                                      std::uint64_t bits) {
+  return fetch_or(src, dst, remote, bits, nullptr);
+}
+
+std::uint64_t Interconnect::fetch_or(
+    int src, int dst, std::uint64_t* remote, std::uint64_t bits,
+    std::function<void(std::uint64_t)> on_remote) {
   auto& s = boxes_[src]->stats;
   ++s.rdma_atomics;
   if (src == dst) {
     argosim::delay(cfg_.mem_latency);
+  } else if (sharded_engine()) {
+    auto rec = sharded_op(src, dst, 0, cfg_.rdma_latency, "RDMA fetch-or",
+                          [remote, bits, on_remote](argosim::SimRecord& r) {
+                            r.value = *remote;
+                            *remote = r.value | bits;
+                            if (on_remote) on_remote(r.value);
+                          });
+    argosim::Engine::current()->await(rec);
+    return rec->value;
   } else {
     remote_op(src, dst, 0, cfg_.rdma_latency, "RDMA fetch-or");
   }
   std::uint64_t old = *remote;
   *remote = old | bits;
+  if (on_remote) on_remote(old);
   return old;
 }
 
@@ -525,6 +826,16 @@ std::optional<std::uint64_t> Interconnect::try_fetch_or(int src, int dst,
   ++s.rdma_atomics;
   if (src == dst) {
     argosim::delay(cfg_.mem_latency);
+  } else if (sharded_engine()) {
+    auto rec = std::make_shared<argosim::SimRecord>();
+    if (!sharded_attempt(src, dst, 0, cfg_.rdma_latency, "RDMA fetch-or", rec,
+                         [remote, bits](argosim::SimRecord& r) {
+                           r.value = *remote;
+                           *remote = r.value | bits;
+                         }))
+      return std::nullopt;
+    argosim::Engine::current()->await(rec);
+    return rec->value;
   } else if (!remote_attempt(src, dst, 0, cfg_.rdma_latency,
                              "RDMA fetch-or")) {
     return std::nullopt;
@@ -540,6 +851,14 @@ std::uint64_t Interconnect::fetch_add(int src, int dst, std::uint64_t* remote,
   ++s.rdma_atomics;
   if (src == dst) {
     argosim::delay(cfg_.mem_latency);
+  } else if (sharded_engine()) {
+    auto rec = sharded_op(src, dst, 0, cfg_.rdma_latency, "RDMA fetch-add",
+                          [remote, v](argosim::SimRecord& r) {
+                            r.value = *remote;
+                            *remote = r.value + v;
+                          });
+    argosim::Engine::current()->await(rec);
+    return rec->value;
   } else {
     remote_op(src, dst, 0, cfg_.rdma_latency, "RDMA fetch-add");
   }
@@ -555,6 +874,16 @@ std::optional<std::uint64_t> Interconnect::try_fetch_add(int src, int dst,
   ++s.rdma_atomics;
   if (src == dst) {
     argosim::delay(cfg_.mem_latency);
+  } else if (sharded_engine()) {
+    auto rec = std::make_shared<argosim::SimRecord>();
+    if (!sharded_attempt(src, dst, 0, cfg_.rdma_latency, "RDMA fetch-add",
+                         rec, [remote, v](argosim::SimRecord& r) {
+                           r.value = *remote;
+                           *remote = r.value + v;
+                         }))
+      return std::nullopt;
+    argosim::Engine::current()->await(rec);
+    return rec->value;
   } else if (!remote_attempt(src, dst, 0, cfg_.rdma_latency,
                              "RDMA fetch-add")) {
     return std::nullopt;
@@ -570,6 +899,14 @@ std::uint64_t Interconnect::cas(int src, int dst, std::uint64_t* remote,
   ++s.rdma_atomics;
   if (src == dst) {
     argosim::delay(cfg_.mem_latency);
+  } else if (sharded_engine()) {
+    auto rec = sharded_op(src, dst, 0, cfg_.rdma_latency, "RDMA CAS",
+                          [remote, expected, desired](argosim::SimRecord& r) {
+                            r.value = *remote;
+                            if (r.value == expected) *remote = desired;
+                          });
+    argosim::Engine::current()->await(rec);
+    return rec->value;
   } else {
     remote_op(src, dst, 0, cfg_.rdma_latency, "RDMA CAS");
   }
@@ -586,6 +923,16 @@ std::optional<std::uint64_t> Interconnect::try_cas(int src, int dst,
   ++s.rdma_atomics;
   if (src == dst) {
     argosim::delay(cfg_.mem_latency);
+  } else if (sharded_engine()) {
+    auto rec = std::make_shared<argosim::SimRecord>();
+    if (!sharded_attempt(src, dst, 0, cfg_.rdma_latency, "RDMA CAS", rec,
+                         [remote, expected, desired](argosim::SimRecord& r) {
+                           r.value = *remote;
+                           if (r.value == expected) *remote = desired;
+                         }))
+      return std::nullopt;
+    argosim::Engine::current()->await(rec);
+    return rec->value;
   } else if (!remote_attempt(src, dst, 0, cfg_.rdma_latency, "RDMA CAS")) {
     return std::nullopt;
   }
@@ -600,6 +947,14 @@ std::uint64_t Interconnect::exchange(int src, int dst, std::uint64_t* remote,
   ++s.rdma_atomics;
   if (src == dst) {
     argosim::delay(cfg_.mem_latency);
+  } else if (sharded_engine()) {
+    auto rec = sharded_op(src, dst, 0, cfg_.rdma_latency, "RDMA exchange",
+                          [remote, desired](argosim::SimRecord& r) {
+                            r.value = *remote;
+                            *remote = desired;
+                          });
+    argosim::Engine::current()->await(rec);
+    return rec->value;
   } else {
     remote_op(src, dst, 0, cfg_.rdma_latency, "RDMA exchange");
   }
@@ -615,6 +970,16 @@ std::optional<std::uint64_t> Interconnect::try_exchange(int src, int dst,
   ++s.rdma_atomics;
   if (src == dst) {
     argosim::delay(cfg_.mem_latency);
+  } else if (sharded_engine()) {
+    auto rec = std::make_shared<argosim::SimRecord>();
+    if (!sharded_attempt(src, dst, 0, cfg_.rdma_latency, "RDMA exchange",
+                         rec, [remote, desired](argosim::SimRecord& r) {
+                           r.value = *remote;
+                           *remote = desired;
+                         }))
+      return std::nullopt;
+    argosim::Engine::current()->await(rec);
+    return rec->value;
   } else if (!remote_attempt(src, dst, 0, cfg_.rdma_latency,
                              "RDMA exchange")) {
     return std::nullopt;
@@ -642,6 +1007,23 @@ void Interconnect::deliver(Message msg, Time deliver_at) {
   box.rx_waiters.notify_all();
 }
 
+void Interconnect::ship_message(Message msg, Time deliver_at) {
+  // Sharded engine: the inbox belongs to dst's shard, so delivery travels
+  // as a timestamped effect. The inbox sequence number is assigned on the
+  // destination in effect-key order — deterministic regardless of which
+  // workers ran the senders.
+  auto& src_box = *boxes_[msg.src];
+  const int dst = msg.dst;
+  argosim::Engine::current()->post_effect(
+      static_cast<std::uint32_t>(dst), deliver_at, 1,
+      static_cast<std::uint64_t>(msg.src), src_box.effect_seq++,
+      [this, dst, deliver_at, m = std::make_shared<Message>(std::move(msg))] {
+        auto& box = *boxes_[dst];
+        box.inbox.push(Pending{deliver_at, box.rx_seq++, std::move(*m)});
+        box.rx_waiters.notify_all();
+      });
+}
+
 void Interconnect::purge_stale(NodeBox& box) {
   if (!faults_ || !faults_->has_crashes()) return;
   while (!box.inbox.empty() && box.inbox.top().deliver_at <= argosim::now() &&
@@ -649,7 +1031,7 @@ void Interconnect::purge_stale(NodeBox& box) {
     // "No message from a dead node is applied": the sender crash-stopped
     // before this delivery instant, so the message dies in the inbox.
     box.inbox.pop();
-    ++stale_msgs_dropped_;
+    stale_msgs_dropped_.fetch_add(1, std::memory_order_relaxed);
   }
 }
 
@@ -671,9 +1053,14 @@ bool Interconnect::try_send(Message msg) {
     deliver(std::move(msg), argosim::now());
     return true;
   }
+  const bool sharded = sharded_engine();
   if (!faults_) {
     charge(msg.src, cfg_.nic_overhead + cfg_.net_transfer(wire), 0);
-    deliver(std::move(msg), argosim::now() + cfg_.msg_latency);
+    const Time deliver_at = argosim::now() + cfg_.msg_latency;
+    if (sharded)
+      ship_message(std::move(msg), deliver_at);
+    else
+      deliver(std::move(msg), deliver_at);
     return true;
   }
   const AttemptPlan p = faults_->plan_attempt(msg.src, msg.dst, argosim::now());
@@ -681,7 +1068,7 @@ bool Interconnect::try_send(Message msg) {
   if (p.bw_frac < 1.0 && stream > 0)
     stream = static_cast<Time>(static_cast<double>(stream) / p.bw_frac);
   charge(msg.src, cfg_.nic_overhead + stream, 0);
-  if (faults_->drop_message()) {
+  if (faults_->drop_message(msg.src)) {
     ++s.faults_injected;
     return false;
   }
@@ -689,13 +1076,20 @@ bool Interconnect::try_send(Message msg) {
       static_cast<Time>(static_cast<double>(cfg_.msg_latency) *
                         p.latency_mult) +
       p.extra_latency;
-  const bool dup = faults_->duplicate_message();
+  const bool dup = faults_->duplicate_message(msg.src);
   const Time deliver_at = argosim::now() + latency;
   if (dup) {
     Message copy = msg;
-    deliver(std::move(copy), deliver_at);
-    // The spurious retransmission arrives one latency later still.
-    deliver(std::move(msg), deliver_at + cfg_.msg_latency);
+    if (sharded) {
+      ship_message(std::move(copy), deliver_at);
+      // The spurious retransmission arrives one latency later still.
+      ship_message(std::move(msg), deliver_at + cfg_.msg_latency);
+    } else {
+      deliver(std::move(copy), deliver_at);
+      deliver(std::move(msg), deliver_at + cfg_.msg_latency);
+    }
+  } else if (sharded) {
+    ship_message(std::move(msg), deliver_at);
   } else {
     deliver(std::move(msg), deliver_at);
   }

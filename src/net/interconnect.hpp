@@ -15,6 +15,7 @@
 // interconnect at any point in time" MPI prototype limitation (§3.6.2).
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <deque>
@@ -150,11 +151,30 @@ class Interconnect {
   /// Charge an RDMA write of `n` payload bytes without performing a copy.
   /// Used for scattered payloads (diff runs): the caller applies the bytes
   /// itself immediately after this returns (i.e. at completion time).
+  /// Legacy-engine only as a remote-apply idiom: under the sharded engine a
+  /// caller-side apply would touch another shard's memory — use
+  /// write_gather(), which ships the runs to the target's shard.
   void charge_write(int src, int dst, std::size_t n);
+
+  /// Blocking scatter-gather write: one wire transfer of
+  /// sum(len + header_bytes) covering every run, applied at completion
+  /// time. Charges exactly what charge_write(sum) does; on the sharded
+  /// engine the runs are snapshotted and applied on `dst`'s shard at the
+  /// completion instant.
+  void write_gather(int src, int dst, const std::vector<GatherRun>& runs,
+                    std::size_t header_bytes);
 
   /// Remote atomic OR; returns the previous value (MPI_Fetch_and_op(BOR)).
   std::uint64_t fetch_or(int src, int dst, std::uint64_t* remote,
                          std::uint64_t bits);
+
+  /// fetch_or variant for callers that must update target-side state
+  /// atomically with the OR (directory generation bumps): `on_remote(old)`
+  /// runs immediately after the OR commits, in the target's context —
+  /// inline on the legacy engine, inside the dst-shard effect when sharded.
+  std::uint64_t fetch_or(int src, int dst, std::uint64_t* remote,
+                         std::uint64_t bits,
+                         std::function<void(std::uint64_t)> on_remote);
 
   /// Remote atomic add; returns the previous value.
   std::uint64_t fetch_add(int src, int dst, std::uint64_t* remote,
@@ -205,6 +225,12 @@ class Interconnect {
 
   PostedHandle post_fetch_or(int src, int dst, std::uint64_t* remote,
                              std::uint64_t bits);
+
+  /// Posted fetch_or whose `on_remote(old)` runs in the target's context
+  /// right after the OR commits (see the blocking overload).
+  PostedHandle post_fetch_or(int src, int dst, std::uint64_t* remote,
+                             std::uint64_t bits,
+                             std::function<void(std::uint64_t)> on_remote);
   PostedHandle post_fetch_add(int src, int dst, std::uint64_t* remote,
                               std::uint64_t v);
   PostedHandle post_cas(int src, int dst, std::uint64_t* remote,
@@ -253,7 +279,9 @@ class Interconnect {
 
   /// Messages dropped at delivery because their sender had crash-stopped
   /// (the "no message from a dead epoch is applied" rule).
-  std::uint64_t stale_msgs_dropped() const { return stale_msgs_dropped_; }
+  std::uint64_t stale_msgs_dropped() const {
+    return stale_msgs_dropped_.load(std::memory_order_relaxed);
+  }
 
   // --- Fallible single-attempt variants -----------------------------------
   //
@@ -342,7 +370,13 @@ class Interconnect {
     const char* what;
     int dst;  ///< target node (error context)
     bool has_value;
-    std::function<std::uint64_t()> effect;  ///< applied at retirement
+    std::function<std::uint64_t()> effect;  ///< applied at retirement (legacy)
+    /// Sharded engine: the remote effect was shipped to dst's shard as a
+    /// timestamped effect completing this record; retirement awaits it and
+    /// runs `finish` (src-side copy-out / value extraction) instead of
+    /// `effect`.
+    std::shared_ptr<argosim::SimRecord> rec;
+    std::function<std::uint64_t(argosim::SimRecord&)> finish;
   };
 
   struct PostedFailure {
@@ -360,6 +394,12 @@ class Interconnect {
     std::map<std::uint64_t, std::uint64_t> posted_results;  // unclaimed values
     std::map<std::uint64_t, PostedFailure> posted_failed;   // unclaimed errors
     std::uint64_t posted_aborted = 0;  // failures cleared since last take
+    // Sharded engine: per-source effect keys and per-destination inbox
+    // sequence. effect_seq makes every (when, src, seq) cross-shard effect
+    // key unique and post-ordered; rx_seq is assigned on the destination
+    // shard in effect-key order, replacing the legacy global send_seq_.
+    std::uint64_t effect_seq = 1;
+    std::uint64_t rx_seq = 0;
   };
 
   /// Hold node `src`'s NIC for `busy` ns, then charge `extra_latency` more
@@ -384,14 +424,36 @@ class Interconnect {
   void remote_op(int src, int dst, std::size_t stream_bytes,
                  Time base_latency, const char* what);
 
+  /// Sharded-engine attempt: identical charges to remote_attempt, but a
+  /// successful attempt ships `apply` to dst's shard as an effect executing
+  /// exactly at the attempt's completion instant (NIC acquisition + busy +
+  /// latency), filling and completing `rec`. Failed attempts post nothing.
+  bool sharded_attempt(int src, int dst, std::size_t stream_bytes,
+                       Time base_latency, const char* what,
+                       const std::shared_ptr<argosim::SimRecord>& rec,
+                       const std::function<void(argosim::SimRecord&)>& apply);
+
+  /// Reliable sharded remote op: retry sharded_attempt under the
+  /// RetryPolicy (same loop as remote_op); returns the completion record.
+  std::shared_ptr<argosim::SimRecord> sharded_op(
+      int src, int dst, std::size_t stream_bytes, Time base_latency,
+      const char* what, std::function<void(argosim::SimRecord&)> apply);
+
+  /// Post one message-delivery effect on the destination's shard.
+  void ship_message(Message msg, Time deliver_at);
+
   /// Core of the posted verbs: reclaim a queue slot if the pipeline is
   /// full, charge this op's NIC occupancy, project its completion time
   /// (including fault retries), and enqueue it. At depth 1, runs the
   /// blocking remote_op and returns an already-retired handle.
-  PostedHandle post_remote(int src, int dst, std::size_t stream_bytes,
-                           Time base_latency, const char* what,
-                           bool has_value,
-                           std::function<std::uint64_t()> effect);
+  /// `effect` is the legacy inline retirement effect; `dst_apply`/`finish`
+  /// are the sharded split of the same work (remote half on dst's shard at
+  /// the completion instant, src-side half at retirement).
+  PostedHandle post_remote(
+      int src, int dst, std::size_t stream_bytes, Time base_latency,
+      const char* what, bool has_value, std::function<std::uint64_t()> effect,
+      std::function<void(argosim::SimRecord&)> dst_apply,
+      std::function<std::uint64_t(argosim::SimRecord&)> finish);
 
   /// Handle for an op that completed synchronously (local ops, depth 1).
   PostedHandle retired_handle(int src, bool has_value, std::uint64_t value);
@@ -414,7 +476,9 @@ class Interconnect {
   std::unique_ptr<FaultInjector> faults_;
   argoobs::Tracer* tracer_ = nullptr;
   std::uint64_t send_seq_ = 0;
-  std::uint64_t stale_msgs_dropped_ = 0;
+  // Bumped by purge_stale, which runs on the receiving fiber's shard —
+  // concurrent across shards under the parallel engine.
+  std::atomic<std::uint64_t> stale_msgs_dropped_{0};
 };
 
 }  // namespace argonet

@@ -46,9 +46,14 @@ void Tracer::emit_slow(int node, Ev kind, std::uint64_t page,
     ring.buf.emplace_back();
   }
   TraceEvent& e = ring.buf[static_cast<std::size_t>(ring.count % capacity_)];
-  ++ring.count;
 
-  e.seq = seq_++;
+  // Sharded: every emit site runs on the emitting node's shard, so the
+  // ring is single-writer and a ring-local seq suffices. The shared
+  // counter would be both a data race and a nondeterminism source (its
+  // order depends on worker interleaving); snapshot() reconstructs the
+  // global order from (t, node, ring order) instead.
+  e.seq = sharded_ ? ring.count : seq_++;
+  ++ring.count;
   const argosim::Engine* eng = argosim::Engine::current();
   e.t = eng ? eng->now() : 0;
   const argosim::SimThread* th = argosim::Engine::current_thread();
@@ -86,16 +91,37 @@ std::vector<TraceEvent> Tracer::snapshot() const {
   for (std::size_t n = 0; n < rings_.size(); ++n)
     per.push_back(node_events(static_cast<int>(n)));
   std::vector<std::size_t> idx(per.size(), 0);
+  // Merge key: in legacy mode the global seq is the emission order; in
+  // sharded mode no global order was ever observed, so rebuild one from
+  // (t, node, ring order) — the engine's own tie-break at equal
+  // timestamps — and renumber so seqs stay gap-free and deterministic for
+  // any worker count.
+  const auto before = [this](const TraceEvent& a, const TraceEvent& b) {
+    if (!sharded_) return a.seq < b.seq;
+    if (a.t != b.t) return a.t < b.t;
+    if (a.node != b.node) return a.node < b.node;
+    return a.seq < b.seq;  // ring-local order
+  };
   while (out.size() < total) {
     std::size_t best = per.size();
     for (std::size_t n = 0; n < per.size(); ++n) {
       if (idx[n] >= per[n].size()) continue;
-      if (best == per.size() || per[n][idx[n]].seq < per[best][idx[best]].seq)
+      if (best == per.size() || before(per[n][idx[n]], per[best][idx[best]]))
         best = n;
     }
     out.push_back(per[best][idx[best]++]);
   }
+  if (sharded_)
+    for (std::size_t i = 0; i < out.size(); ++i)
+      out[i].seq = static_cast<std::uint64_t>(i);
   return out;
+}
+
+std::uint64_t Tracer::emitted() const {
+  if (!sharded_) return seq_;
+  std::uint64_t n = 0;
+  for (const Ring& r : rings_) n += r.count;
+  return n;
 }
 
 std::uint64_t Tracer::dropped() const {

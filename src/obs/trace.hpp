@@ -92,6 +92,15 @@ class Tracer {
   /// Size the per-node rings. Allocates only when cfg.enabled.
   void configure(int nodes, const TraceConfig& cfg);
 
+  /// Switch to sharded-engine emission. Every emit site runs on the
+  /// emitting node's shard, so each ring stays single-writer; the only
+  /// shared state would be the global `seq_` counter. In sharded mode
+  /// events carry a ring-local seq instead, and snapshot() rebuilds the
+  /// global order from (t, node, ring order) — a pure function of the
+  /// per-shard histories, identical for any worker count.
+  void enable_sharded() { sharded_ = true; }
+  bool sharded() const { return sharded_; }
+
   bool enabled() const { return enabled_; }
 
   /// Record one event. Free of virtual time; a no-op branch when disabled.
@@ -107,7 +116,7 @@ class Tracer {
   /// Retained events of one node, oldest first.
   std::vector<TraceEvent> node_events(int node) const;
 
-  std::uint64_t emitted() const { return seq_; }   ///< total ever emitted
+  std::uint64_t emitted() const;                   ///< total ever emitted
   std::uint64_t dropped() const;                   ///< overwritten by wraps
 
   /// Drop all retained events (the sequence keeps counting).
@@ -123,8 +132,9 @@ class Tracer {
   };
 
   bool enabled_ = false;
+  bool sharded_ = false;
   std::size_t capacity_ = 0;
-  std::uint64_t seq_ = 0;
+  std::uint64_t seq_ = 0;  // global order; unused (stays 0) when sharded
   std::vector<Ring> rings_;
 };
 

@@ -4,8 +4,10 @@
 
 #include "sim/slowpath.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <exception>
+#include <limits>
 #include <sstream>
 
 // AddressSanitizer needs to be told about stack switches, otherwise its
@@ -23,6 +25,21 @@
 #include <sanitizer/common_interface_defs.h>
 #endif
 
+// ThreadSanitizer likewise needs to be told about fiber switches: it keeps
+// one shadow stack + vector clock per execution context, so every
+// swapcontext must be preceded by __tsan_switch_to_fiber or TSan reports
+// wild races between fibers that share an OS thread (ARGO_TSAN builds).
+#if defined(__SANITIZE_THREAD__)
+#define ARGO_TSAN_FIBERS 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define ARGO_TSAN_FIBERS 1
+#endif
+#endif
+#if defined(ARGO_TSAN_FIBERS)
+#include <sanitizer/tsan_interface.h>
+#endif
+
 namespace argosim {
 
 namespace {
@@ -30,9 +47,24 @@ namespace {
 thread_local Engine* g_engine = nullptr;
 thread_local SimThread* g_thread = nullptr;
 
-// The context the scheduler loop runs in. One engine is active per OS thread
-// at a time, so a thread_local slot is sufficient.
+// The context the scheduler loop runs in. Each host worker owns its own
+// scheduler context, so a thread_local slot is sufficient — and static
+// shard-to-worker pinning guarantees a fiber only ever swaps with the one
+// scheduler context it started against.
 thread_local ucontext_t g_sched_ctx;
+
+constexpr std::uint32_t kNoShard = 0xffffffffu;
+thread_local std::uint32_t g_shard_idx = kNoShard;
+
+inline void cpu_pause() {
+#if defined(__x86_64__)
+  __builtin_ia32_pause();
+#elif defined(__aarch64__)
+  asm volatile("yield");
+#else
+  std::this_thread::yield();
+#endif
+}
 
 // makecontext() only passes ints; smuggle the SimThread* through two halves.
 void pack_ptr(SimThread* t, unsigned& hi, unsigned& lo) {
@@ -53,6 +85,14 @@ thread_local const void* g_sched_stack_bottom = nullptr;
 thread_local std::size_t g_sched_stack_size = 0;
 #endif
 
+#if defined(ARGO_TSAN_FIBERS)
+// TSan context of the scheduler loop's own execution (one per host
+// worker, captured on each scheduler -> fiber switch); fibers switch TSan
+// back to it before swapping out. Shard-to-worker pinning guarantees a
+// fiber always returns to the same worker's scheduler.
+thread_local void* g_tsan_sched_fiber = nullptr;
+#endif
+
 }  // namespace
 
 struct SimThread::Impl {
@@ -61,6 +101,12 @@ struct SimThread::Impl {
   std::size_t stack_size = 0;
   bool started = false;
   std::exception_ptr error;
+#if defined(ARGO_TSAN_FIBERS)
+  void* tsan_fiber = nullptr;
+  ~Impl() {
+    if (tsan_fiber != nullptr) __tsan_destroy_fiber(tsan_fiber);
+  }
+#endif
 };
 
 SimThread::SimThread(Engine* eng, std::uint64_t id, std::string name,
@@ -83,6 +129,37 @@ Engine::Engine() = default;
 
 Engine::~Engine() { shutdown(); }
 
+Time Engine::now() const {
+  if (sharded_ && g_engine == this && g_shard_idx != kNoShard)
+    return shards_[g_shard_idx]->clock;
+  return now_;
+}
+
+std::uint32_t Engine::current_shard() { return g_shard_idx; }
+
+void Engine::enable_sharding(std::uint32_t shards, Time l,
+                             std::uint32_t workers) {
+  assert(threads_.empty() && "enable_sharding must precede any spawn");
+  assert(shards > 0);
+  sharded_ = true;
+  lookahead_ = l > 0 ? l : 1;
+  if (workers < 1) workers = 1;
+  workers_ = std::min<std::uint32_t>(workers, shards);
+  shards_.clear();
+  for (std::uint32_t i = 0; i < shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+    shards_.back()->clock = now_;
+  }
+}
+
+void Engine::require_serial(const char* why) const {
+  if (!sharded_) return;
+  throw std::logic_error(
+      std::string("argosim: ") + why +
+      " needs same-time cross-shard wakeups and cannot run on the sharded "
+      "engine; unset ARGO_THREADS/ARGO_SEQ_ENGINE for this workload");
+}
+
 void Engine::shutdown() {
   // Unwind any fibers that are still alive (typically daemon message
   // handlers) so their stacks and captures are destroyed properly.
@@ -91,14 +168,43 @@ void Engine::shutdown() {
       t->stop_requested_ = true;
       if (t->blocked_) {
         t->blocked_ = false;
-        make_runnable(t.get(), now_);
+        make_runnable(t.get(),
+                      sharded_ ? shards_[t->shard_]->clock : now_);
       }
     }
+  }
+  if (sharded_) {
+    window_end_.store(std::numeric_limits<Time>::max(),
+                      std::memory_order_relaxed);
+    route_outboxes();
+    // Drain every shard on the main thread, multiple passes until no
+    // progress (a shard can stall on an effect a later shard still holds).
+    bool progressed = true;
+    bool pending = true;
+    while (pending && progressed) {
+      pending = false;
+      progressed = false;
+      for (std::uint32_t i = 0; i < shards_.size(); ++i) {
+        g_shard_idx = i;
+        if (!shard_step(*shards_[i], std::numeric_limits<Time>::max(),
+                        progressed))
+          pending = true;
+        shards_[i]->error = nullptr;  // errors during shutdown are dropped
+      }
+      g_shard_idx = kNoShard;
+      route_outboxes();
+    }
+    stop_pool();
+    return;
   }
   while (!runq_.empty()) {
     QueueEntry e = runq_.top();
     runq_.pop();
-    if (e.thread->finished_ || e.token != e.thread->wake_token_) continue;
+    if (e.thread->finished_ || e.token != e.thread->wake_token_) {
+      if (runq_dead_ > 0) --runq_dead_;
+      continue;
+    }
+    e.thread->queued_ = false;
     now_ = std::max(now_, e.when);
     try {
       switch_to(e.thread);
@@ -113,13 +219,28 @@ SimThread* Engine::current_thread() { return g_thread; }
 
 SimThread* Engine::spawn(std::string name, std::function<void()> body,
                          bool daemon, std::size_t stack_size) {
+  std::uint32_t shard = 0;
+  if (sharded_ && g_thread != nullptr && g_thread->engine_ == this)
+    shard = g_thread->shard_;  // inherit the spawner's shard
+  return spawn_on(shard, std::move(name), std::move(body), daemon,
+                  stack_size);
+}
+
+SimThread* Engine::spawn_on(std::uint32_t shard, std::string name,
+                            std::function<void()> body, bool daemon,
+                            std::size_t stack_size) {
+  if (sharded_ && in_window_)
+    throw std::logic_error(
+        "argosim: spawn during a parallel window is not supported; spawn "
+        "between runs instead");
   std::unique_ptr<char[]> stack;
 #if !defined(ARGO_ASAN_FIBERS)
   // Recycle a finished fiber's stack rather than freeing and re-mapping
   // one per spawn. Only default-size stacks are pooled (odd sizes are rare
   // enough not to matter). ASan builds always allocate fresh: its shadow
-  // poisoning from a dead fiber's frames may outlive the fiber.
-  if (!slow_paths() && stack_size == default_stack_size &&
+  // poisoning from a dead fiber's frames may outlive the fiber. Sharded
+  // runs reap on worker threads, so the pool stays off there too.
+  if (!slow_paths() && !sharded_ && stack_size == default_stack_size &&
       !stack_pool_.empty()) {
     stack = std::move(stack_pool_.back());
     stack_pool_.pop_back();
@@ -131,21 +252,66 @@ SimThread* Engine::spawn(std::string name, std::function<void()> body,
       new SimThread(this, next_id_++, std::move(name), std::move(body),
                     std::move(stack), stack_size, daemon));
   SimThread* raw = t.get();
+  if (sharded_) {
+    assert(shard < shards_.size());
+    raw->shard_ = shard;
+  }
   threads_.push_back(std::move(t));
   ++spawned_;
   if (daemon)
-    ++live_daemon_;
+    live_daemon_.fetch_add(1, std::memory_order_relaxed);
   else
-    ++live_nondaemon_;
-  make_runnable(raw, now_);
+    live_nondaemon_.fetch_add(1, std::memory_order_relaxed);
+  // Between sharded runs a shard's clock may sit ahead of the committed
+  // global clock (daemon events inside the final lookahead window); keep
+  // per-shard time monotone by spawning no earlier than the shard clock.
+  Time when = now_;
+  if (sharded_ && shards_[shard]->clock > when) when = shards_[shard]->clock;
+  make_runnable(raw, when);
   return raw;
+}
+
+void Engine::push_entry(PurgeableQueue<QueueEntry>& q, std::size_t& dead,
+                        QueueEntry e) {
+  // A fiber has at most one live entry: pushing a new one stales any
+  // previous entry (its token no longer matches).
+  if (e.thread->queued_) ++dead;
+  e.thread->queued_ = true;
+  q.push(e);
+  if (dead > q.size() / 2 && q.size() > 64) compact(q, dead);
+}
+
+void Engine::compact(PurgeableQueue<QueueEntry>& q, std::size_t& dead) {
+  auto& c = q.container();
+  std::size_t before = c.size();
+  c.erase(std::remove_if(c.begin(), c.end(),
+                         [](const QueueEntry& e) {
+                           return e.thread->finished_ ||
+                                  e.token != e.thread->wake_token_;
+                         }),
+          c.end());
+  std::make_heap(c.begin(), c.end(), std::greater<>{});
+  runq_purged_.fetch_add(before - c.size(), std::memory_order_relaxed);
+  dead = 0;
 }
 
 void Engine::make_runnable(SimThread* t, Time when) {
   assert(!t->finished_);
+  if (sharded_) {
+    if (in_window_ && g_shard_idx != t->shard_)
+      throw std::logic_error(
+          "argosim: same-time cross-shard wakeup of fiber '" + t->name_ +
+          "' is not supported by the sharded engine; route it through the "
+          "interconnect or run without ARGO_THREADS/ARGO_SEQ_ENGINE");
+    Shard& s = *shards_[t->shard_];
+    push_entry(s.runq, s.dead,
+               QueueEntry{when, s.next_seq++, t, ++t->wake_token_});
+    return;
+  }
   // Bumping the wake token invalidates any entry already queued for this
   // thread (e.g. the timeout entry of a timed wait that got notified first).
-  runq_.push(QueueEntry{when, next_seq_++, t, ++t->wake_token_});
+  push_entry(runq_, runq_dead_,
+             QueueEntry{when, next_seq_++, t, ++t->wake_token_});
 }
 
 void Engine::fiber_main(unsigned hi, unsigned lo) {
@@ -170,6 +336,9 @@ void Engine::fiber_main(unsigned hi, unsigned lo) {
   __sanitizer_start_switch_fiber(nullptr, g_sched_stack_bottom,
                                  g_sched_stack_size);
 #endif
+#if defined(ARGO_TSAN_FIBERS)
+  __tsan_switch_to_fiber(g_tsan_sched_fiber, 0);
+#endif
   swapcontext(&t->impl_->ctx, &g_sched_ctx);
 }
 
@@ -178,7 +347,7 @@ void Engine::switch_to(SimThread* t) {
   SimThread* prev_thread = g_thread;
   g_engine = this;
   g_thread = t;
-  running_ = t;
+  if (!sharded_) running_ = t;
 
   if (!t->impl_->started) {
     t->impl_->started = true;
@@ -196,12 +365,18 @@ void Engine::switch_to(SimThread* t) {
   __sanitizer_start_switch_fiber(&fake_stack, t->impl_->stack.get(),
                                  t->impl_->stack_size);
 #endif
+#if defined(ARGO_TSAN_FIBERS)
+  if (t->impl_->tsan_fiber == nullptr)
+    t->impl_->tsan_fiber = __tsan_create_fiber(0);
+  g_tsan_sched_fiber = __tsan_get_current_fiber();
+  __tsan_switch_to_fiber(t->impl_->tsan_fiber, 0);
+#endif
   swapcontext(&g_sched_ctx, &t->impl_->ctx);
 #if defined(ARGO_ASAN_FIBERS)
   __sanitizer_finish_switch_fiber(fake_stack, nullptr, nullptr);
 #endif
 
-  running_ = nullptr;
+  if (!sharded_) running_ = nullptr;
   g_engine = prev_engine;
   g_thread = prev_thread;
 
@@ -211,15 +386,24 @@ void Engine::switch_to(SimThread* t) {
 void Engine::reap_finished_one(SimThread* t) {
 #if !defined(ARGO_ASAN_FIBERS)
   // The fiber has swapped back to the scheduler for good — its stack is
-  // dead and can serve the next spawn.
-  if (!slow_paths() && t->impl_->stack_size == default_stack_size &&
-      t->impl_->stack)
+  // dead and can serve the next spawn (legacy engine only: sharded runs
+  // reap on worker threads and the pool is unsynchronized).
+  if (!slow_paths() && !sharded_ &&
+      t->impl_->stack_size == default_stack_size && t->impl_->stack)
     stack_pool_.push_back(std::move(t->impl_->stack));
 #endif
-  if (t->daemon_)
-    --live_daemon_;
-  else
-    --live_nondaemon_;
+  if (t->daemon_) {
+    live_daemon_.fetch_sub(1, std::memory_order_relaxed);
+  } else {
+    live_nondaemon_.fetch_sub(1, std::memory_order_relaxed);
+    if (sharded_) {
+      Time fin = shards_[t->shard_]->clock;
+      Time cur = finish_max_.load(std::memory_order_relaxed);
+      while (fin > cur && !finish_max_.compare_exchange_weak(
+                              cur, fin, std::memory_order_relaxed)) {
+      }
+    }
+  }
   if (t->impl_->error) {
     std::exception_ptr err = t->impl_->error;
     t->impl_->error = nullptr;
@@ -235,6 +419,9 @@ void Engine::switch_to_scheduler() {
   __sanitizer_start_switch_fiber(&fake_stack, g_sched_stack_bottom,
                                  g_sched_stack_size);
 #endif
+#if defined(ARGO_TSAN_FIBERS)
+  __tsan_switch_to_fiber(g_tsan_sched_fiber, 0);
+#endif
   swapcontext(&self->impl_->ctx, &g_sched_ctx);
 #if defined(ARGO_ASAN_FIBERS)
   __sanitizer_finish_switch_fiber(fake_stack, &g_sched_stack_bottom,
@@ -246,6 +433,26 @@ void Engine::switch_to_scheduler() {
 void Engine::delay(Time ns) {
   SimThread* self = g_thread;
   assert(self && "delay() outside a simulated thread");
+  if (sharded_) {
+    Shard& s = *shards_[self->shard_];
+    const Time when = s.clock + ns;
+    if (!slow_paths() && !self->stop_requested_) {
+      // Same-fiber fast-forward, additionally bounded by the lookahead
+      // window: the shard may not run past window_end_ this window, and
+      // ties (including a pending effect at `when`) go to the queue.
+      Time nxt;
+      bool has = next_event_time(s, nxt);
+      if ((!has || when < nxt) &&
+          when < window_end_.load(std::memory_order_relaxed)) {
+        s.clock = when;
+        fast_forwards_.fetch_add(1, std::memory_order_relaxed);
+        return;
+      }
+    }
+    make_runnable(self, when);
+    switch_to_scheduler();
+    return;
+  }
   const Time when = now_ + ns;
   // Same-fiber fast-forward: if no other runnable fiber is due strictly
   // before `when`, the scheduler would pop our own entry next and hand
@@ -258,6 +465,7 @@ void Engine::delay(Time ns) {
     while (!runq_.empty()) {
       const QueueEntry& top = runq_.top();
       if (top.thread->finished_ || top.token != top.thread->wake_token_) {
+        if (runq_dead_ > 0) --runq_dead_;
         runq_.pop();  // stale: the scheduler loop would discard it anyway
         continue;
       }
@@ -268,7 +476,7 @@ void Engine::delay(Time ns) {
       // invalidates prior ones and the scheduler consumed the one that
       // resumed us), so skipping the push/pop leaves no state behind.
       now_ = when;
-      ++fast_forwards_;
+      fast_forwards_.fetch_add(1, std::memory_order_relaxed);
       return;
     }
   }
@@ -285,13 +493,17 @@ void Engine::kill(SimThread* t) {
   // switch_to_scheduler() throws SimStopped right after resumption, before
   // any primitive logic can act on the spurious wakeup.
   t->blocked_ = false;
-  make_runnable(t, now_);
+  make_runnable(t, sharded_ ? shards_[t->shard_]->clock : now_);
 }
 
 void Engine::run() {
+  if (sharded_) {
+    run_sharded();
+    return;
+  }
   assert(!in_run_ && "Engine::run() is not reentrant");
   in_run_ = true;
-  while (live_nondaemon_ > 0) {
+  while (live_nondaemon_.load(std::memory_order_relaxed) > 0) {
     if (runq_.empty()) {
       std::ostringstream os;
       os << "simulation deadlock at t=" << now_ << "ns; blocked threads:";
@@ -302,7 +514,11 @@ void Engine::run() {
     }
     QueueEntry e = runq_.top();
     runq_.pop();
-    if (e.thread->finished_ || e.token != e.thread->wake_token_) continue;
+    if (e.thread->finished_ || e.token != e.thread->wake_token_) {
+      if (runq_dead_ > 0) --runq_dead_;
+      continue;
+    }
+    e.thread->queued_ = false;
     assert(e.when >= now_);
     now_ = e.when;
     try {
@@ -313,6 +529,305 @@ void Engine::run() {
     }
   }
   in_run_ = false;
+}
+
+// --- sharded mode ---------------------------------------------------------
+
+void Engine::route_outboxes() {
+  for (auto& sp : shards_) {
+    for (auto& [dst, eff] : sp->outbox)
+      shards_[dst]->effq.push(std::move(eff));
+    sp->outbox.clear();
+  }
+}
+
+bool Engine::next_event_time(Shard& s, Time& t) {
+  while (!s.runq.empty()) {
+    const QueueEntry& top = s.runq.top();
+    if (top.thread->finished_ || top.token != top.thread->wake_token_) {
+      if (s.dead > 0) --s.dead;
+      s.runq.pop();
+      continue;
+    }
+    break;
+  }
+  bool any = false;
+  if (!s.runq.empty()) {
+    t = s.runq.top().when;
+    any = true;
+  }
+  if (!s.effq.empty() && (!any || s.effq.top().when < t)) {
+    t = s.effq.top().when;
+    any = true;
+  }
+  return any;
+}
+
+void Engine::post_effect(std::uint32_t dst, Time when, std::uint32_t klass,
+                         std::uint64_t a, std::uint64_t b,
+                         std::function<void()> fn) {
+  assert(sharded_);
+  assert(dst < shards_.size());
+  if (in_window_ && g_shard_idx != kNoShard) {
+    Shard& cur = *shards_[g_shard_idx];
+    // Conservative-lookahead soundness: anything posted during a window
+    // must land at least one lookahead past the poster's clock, i.e. in a
+    // strictly later window.
+    assert(when >= cur.clock + lookahead_);
+    cur.outbox.emplace_back(dst, Effect{when, klass, a, b, std::move(fn)});
+    return;
+  }
+  shards_[dst]->effq.push(Effect{when, klass, a, b, std::move(fn)});
+}
+
+void Engine::await(const std::shared_ptr<SimRecord>& rec) {
+  if (!sharded_) return;  // legacy engine applies effects inline
+  SimThread* self = g_thread;
+  assert(self && "await() outside a simulated thread");
+  while (!rec->ready()) {
+    Shard& s = *shards_[self->shard_];
+    s.stalled = self;
+    s.stall_rec = rec.get();
+    switch_to_scheduler();  // worker revisits once the record completes
+  }
+}
+
+bool Engine::shard_step(Shard& s, Time w1, bool& progressed) {
+  if (s.error) return true;
+  if (s.stalled != nullptr) {
+    if (!s.stall_rec->ready() && !s.stalled->stop_requested_) return false;
+    SimThread* f = s.stalled;
+    s.stalled = nullptr;
+    s.stall_rec = nullptr;
+    progressed = true;
+    try {
+      switch_to(f);
+    } catch (...) {
+      s.error = std::current_exception();
+      return true;
+    }
+    if (s.stalled != nullptr) return false;
+  }
+  while (true) {
+    Time t;
+    if (!next_event_time(s, t) || t >= w1) return true;
+    bool run_effect;
+    if (s.effq.empty())
+      run_effect = false;
+    else if (s.runq.empty() ||
+             s.runq.top().thread->finished_ ||  // (heads are fresh, but be safe)
+             s.runq.top().token != s.runq.top().thread->wake_token_)
+      run_effect = true;
+    else
+      run_effect = s.effq.top().when <= s.runq.top().when;
+    progressed = true;
+    if (run_effect) {
+      Effect e = std::move(const_cast<Effect&>(s.effq.top()));
+      s.effq.pop();
+      s.clock = e.when;
+      Engine* prev = g_engine;
+      g_engine = this;
+      try {
+        e.fn();
+      } catch (...) {
+        g_engine = prev;
+        s.error = std::current_exception();
+        return true;
+      }
+      g_engine = prev;
+    } else {
+      QueueEntry e = s.runq.top();
+      s.runq.pop();
+      e.thread->queued_ = false;
+      s.clock = e.when;
+      try {
+        switch_to(e.thread);
+      } catch (...) {
+        s.error = std::current_exception();
+        return true;
+      }
+      if (s.stalled != nullptr) return false;
+    }
+  }
+}
+
+void Engine::run_window(std::uint32_t w, Time w1) {
+  int idle = 0;
+  while (true) {
+    bool all = true;
+    bool progressed = false;
+    for (std::uint32_t s = w; s < shards_.size(); s += workers_) {
+      g_shard_idx = s;
+      if (!shard_step(*shards_[s], w1, progressed)) all = false;
+    }
+    g_shard_idx = kNoShard;
+    if (all) break;
+    if (!progressed) {
+      if (workers_ == 1)
+        throw std::logic_error(
+            "argosim: await() stalled on an effect no shard can deliver");
+      // Waiting on another worker's shard: spin briefly for the common
+      // case where it is running right now, then hand the core back — on
+      // an oversubscribed host the worker that can complete the record
+      // may be preempted behind this very spin.
+      if (++idle < 64)
+        cpu_pause();
+      else
+        std::this_thread::yield();
+    } else {
+      idle = 0;
+    }
+  }
+}
+
+void Engine::run_sharded() {
+  assert(!in_run_ && "Engine::run() is not reentrant");
+  in_run_ = true;
+  if (workers_ > 1) start_pool();
+  std::exception_ptr err;
+  while (live_nondaemon_.load(std::memory_order_relaxed) > 0) {
+    route_outboxes();
+    Time tmin = 0;
+    bool any = false;
+    for (auto& sp : shards_) {
+      Time t;
+      if (!next_event_time(*sp, t)) continue;
+      if (!any || t < tmin) {
+        tmin = t;
+        any = true;
+      }
+    }
+    if (!any) {
+      Time dl = now_;
+      for (auto& sp : shards_) dl = std::max(dl, sp->clock);
+      std::ostringstream os;
+      os << "simulation deadlock at t=" << dl << "ns; blocked threads:";
+      for (auto& t : threads_)
+        if (!t->finished_ && t->blocked_) os << ' ' << t->name_;
+      in_run_ = false;
+      throw SimDeadlock(os.str());
+    }
+    const Time w1 = tmin > std::numeric_limits<Time>::max() - lookahead_
+                        ? std::numeric_limits<Time>::max()
+                        : tmin + lookahead_;
+    window_end_.store(w1, std::memory_order_relaxed);
+    in_window_ = true;
+    if (workers_ > 1) {
+      done_count_.store(0, std::memory_order_relaxed);
+      {
+        std::lock_guard<std::mutex> lk(pool_mu_);
+        epoch_.fetch_add(1, std::memory_order_release);
+      }
+      pool_cv_.notify_all();
+      run_window(0, w1);
+      // Same spin-then-yield as run_window: windows are short, so the
+      // stragglers usually finish within the spin, but when the host has
+      // fewer cores than workers they need this one to run at all.
+      for (int idle = 0;
+           done_count_.load(std::memory_order_acquire) < workers_ - 1;) {
+        if (++idle < 256)
+          cpu_pause();
+        else
+          std::this_thread::yield();
+      }
+    } else {
+      run_window(0, w1);
+    }
+    in_window_ = false;
+    for (auto& sp : shards_) {
+      if (sp->error) {  // lowest shard id wins (deterministic)
+        err = sp->error;
+        sp->error = nullptr;
+        break;
+      }
+    }
+    if (err) break;
+  }
+  route_outboxes();
+  Time f = finish_max_.load(std::memory_order_relaxed);
+  if (f > now_) now_ = f;
+  in_run_ = false;
+  if (err) std::rethrow_exception(err);
+}
+
+void Engine::start_pool() {
+  if (!pool_.empty()) return;
+  for (std::uint32_t w = 1; w < workers_; ++w)
+    pool_.emplace_back([this, w] { worker_loop(w); });
+}
+
+void Engine::stop_pool() {
+  if (pool_.empty()) return;
+  {
+    std::lock_guard<std::mutex> lk(pool_mu_);
+    pool_exit_.store(true, std::memory_order_release);
+  }
+  pool_cv_.notify_all();
+  for (auto& th : pool_) th.join();
+  pool_.clear();
+  pool_exit_.store(false, std::memory_order_relaxed);
+}
+
+void Engine::worker_loop(std::uint32_t w) {
+  std::uint64_t last = 0;
+  while (true) {
+    int spins = 0;
+    while (epoch_.load(std::memory_order_acquire) == last &&
+           !pool_exit_.load(std::memory_order_acquire)) {
+      if (++spins < 4096) {
+        cpu_pause();
+      } else {
+        std::unique_lock<std::mutex> lk(pool_mu_);
+        pool_cv_.wait(lk, [&] {
+          return epoch_.load(std::memory_order_acquire) != last ||
+                 pool_exit_.load(std::memory_order_acquire);
+        });
+      }
+    }
+    if (pool_exit_.load(std::memory_order_acquire)) break;
+    last = epoch_.load(std::memory_order_acquire);
+    run_window(w, window_end_.load(std::memory_order_relaxed));
+    done_count_.fetch_add(1, std::memory_order_release);
+  }
+}
+
+// --- SimGate ---------------------------------------------------------------
+
+SimGate::SimGate(Engine* eng, std::size_t parties, Time cost)
+    : eng_(eng),
+      parties_(parties),
+      cost_(std::max(cost, eng->lookahead())),
+      id_(eng->next_gate_id_++) {
+  assert(eng->sharded() && "SimGate is a sharded-engine primitive");
+  waiters_.reserve(parties);
+}
+
+void SimGate::arrive_and_wait() {
+  SimThread* self = Engine::current_thread();
+  assert(self != nullptr);
+  Engine* eng = eng_;
+  const Time t = eng->now();
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    waiters_.push_back(self);
+    if (t > tmax_) tmax_ = t;
+    if (++count_ == parties_) {
+      // Release time and wake keys depend only on the arrival *times*, not
+      // on which arrival the host happens to schedule last — determinism.
+      const Time release = tmax_ + cost_;
+      for (SimThread* w : waiters_)
+        eng->post_effect(w->shard_, release, /*klass=*/0, id_, w->id_,
+                         [eng, w, release] {
+                           w->blocked_ = false;
+                           eng->make_runnable(w, release);
+                         });
+      count_ = 0;
+      tmax_ = 0;
+      waiters_.clear();
+    }
+  }
+  self->blocked_ = true;
+  eng->switch_to_scheduler();
 }
 
 }  // namespace argosim

@@ -47,9 +47,9 @@ void GlobalMcsLock::host_reset_queue() {
 }
 
 bool GlobalMcsLock::recover_after_crash(int dead_node) {
-  if (holder_ != dead_node) return false;
+  if (holder_.load(std::memory_order_relaxed) != dead_node) return false;
   host_reset_queue();
-  holder_ = -1;
+  holder_.store(-1, std::memory_order_relaxed);
   return true;
 }
 
@@ -69,7 +69,7 @@ void GlobalMcsLock::acquire(Thread& t) {
       continue;
     }
     if (prev == 0) {
-      holder_ = static_cast<int>(me);
+      holder_.store(static_cast<int>(me), std::memory_order_relaxed);
       return;
     }
     // Link into the predecessor's slot (one remote write), then spin on
@@ -87,7 +87,7 @@ void GlobalMcsLock::acquire(Thread& t) {
     for (;;) {
       const std::uint64_t v = t.atomic_load(flag_[me]);
       if (v == kGranted) {
-        holder_ = static_cast<int>(me);
+        holder_.store(static_cast<int>(me), std::memory_order_relaxed);
         return;
       }
       if (v == kRestart) break;  // queue force-reset after a crash: retry
@@ -114,7 +114,7 @@ bool GlobalMcsLock::try_acquire_for(Thread& t, argosim::Time timeout) {
       return false;
     }
     if (cur == 0) {
-      holder_ = static_cast<int>(me);
+      holder_.store(static_cast<int>(me), std::memory_order_relaxed);
       return true;
     }
     // A declared-dead tail cannot drain until the lease sweep resets the
@@ -133,7 +133,7 @@ void GlobalMcsLock::release(Thread& t) {
   if (t.atomic_load(next_[me]) == 0) {
     // Appear to have no successor: try to swing the tail back to free.
     if (t.atomic_cas(tail_, me + 1, 0) == me + 1) {
-      holder_ = -1;
+      holder_.store(-1, std::memory_order_relaxed);
       return;
     }
     // Someone swapped in concurrently; wait for the link to appear.
@@ -147,7 +147,7 @@ void GlobalMcsLock::release(Thread& t) {
       if (membership_ != nullptr && membership_->any_dead() &&
           ++stalled >= kStuckPolls) {
         host_reset_queue();
-        holder_ = -1;
+        holder_.store(-1, std::memory_order_relaxed);
         return;
       }
       t.compute(kPoll);
@@ -160,11 +160,11 @@ void GlobalMcsLock::release(Thread& t) {
     // the lease expires; reset the queue now instead. Live waiters queued
     // behind the dead successor see kRestart and re-contend.
     host_reset_queue();
-    holder_ = -1;
+    holder_.store(-1, std::memory_order_relaxed);
     return;
   }
   t.atomic_store(flag_[succ], kGranted);  // grant: remote write to their node
-  holder_ = static_cast<int>(succ);
+  holder_.store(static_cast<int>(succ), std::memory_order_relaxed);
   // All DSM locks (HQDL, cohort, mutex) funnel global handovers through
   // here; the lock's identity is its tail word's global address.
   t.cluster().tracer().emit(t.node(), argoobs::Ev::LockHandover, tail_.raw(),

@@ -1,8 +1,14 @@
 #include "sync/qd_lock.hpp"
 
+#include "sim/engine.hpp"
+
 namespace argosync {
 
 void QdLock::execute(int core, const std::function<void(int)>& cs, bool wait) {
+  // The TATAS word, queue and helper flag are one host-shared object; a
+  // sharded run would race fibers from different shards over them.
+  if (argosim::Engine* e = argosim::Engine::current())
+    e->require_serial("QD-lock delegation (host-shared queue)");
   for (;;) {
     word_.rmw(core);  // TATAS acquire attempt
     if (!helper_active_) {

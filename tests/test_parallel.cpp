@@ -1,0 +1,536 @@
+// Parallel virtual-time engine identity suite.
+//
+// The determinism contract under test: for a fixed (program, config, seed)
+// triple, the sharded engine produces BIT-IDENTICAL results at every worker
+// count — traces, statistics counters, virtual times and memory images all
+// match the single-worker sharded reference (the mode ARGO_SEQ_ENGINE=1
+// selects) exactly. Parallelism may only change wall-clock time.
+//
+// Scenarios sweep the protocol surface: PS3 and PSNaive classification,
+// posted-verb pipelines of depth 1 and 16, chaos fault injection (jitter,
+// RDMA failures, message drop/duplication, brownouts), a DSM lock, and a
+// barrier-free crash-stop schedule — each across three seeds and worker
+// counts {1, 2, 8}. Directed tests cover the conservative-lookahead edge
+// cases: same-shard self-sends, simultaneous cross-shard timestamps,
+// shard-local starvation, and the cross-shard same-time wakeup guard.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <cstring>
+#include <functional>
+#include <stdexcept>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "core/cluster.hpp"
+#include "net/faults.hpp"
+#include "net/interconnect.hpp"
+#include "obs/trace.hpp"
+#include "sim/engine.hpp"
+#include "sim/par.hpp"
+#include "sim/random.hpp"
+#include "sim/sync.hpp"
+#include "sync/dsm_locks.hpp"
+
+namespace {
+
+using argo::Cluster;
+using argo::ClusterConfig;
+using argo::Mode;
+using argo::Thread;
+using argonet::FaultConfig;
+using argonet::Interconnect;
+using argonet::Message;
+using argonet::NetConfig;
+using argonet::NodeFailedError;
+using argosim::Engine;
+using argosim::Time;
+
+// ---------------------------------------------------------------------------
+// Fingerprint: everything the identity contract covers, in comparable form
+// ---------------------------------------------------------------------------
+
+struct Fingerprint {
+  Time elapsed = 0;
+  std::vector<std::uint64_t> memory;     // raw words of every allocation
+  std::vector<std::string> counters;     // "name=value" per registry metric
+  std::vector<std::string> trace;        // serialized merged trace events
+};
+
+void expect_identical(const Fingerprint& ref, const Fingerprint& got,
+                      const std::string& label) {
+  EXPECT_EQ(ref.elapsed, got.elapsed) << label << ": virtual time diverged";
+  EXPECT_EQ(ref.memory, got.memory) << label << ": memory image diverged";
+  EXPECT_EQ(ref.counters, got.counters) << label << ": counters diverged";
+  EXPECT_EQ(ref.trace, got.trace) << label << ": trace diverged";
+}
+
+void append_words(Fingerprint& f, const void* p, std::size_t bytes) {
+  const std::size_t words = bytes / sizeof(std::uint64_t);
+  const auto* w = static_cast<const std::uint64_t*>(p);
+  f.memory.insert(f.memory.end(), w, w + words);
+}
+
+void append_counters(Fingerprint& f, const Cluster& cl) {
+  for (const auto& c : const_cast<Cluster&>(cl).stats().counters)
+    f.counters.push_back(c.name + "=" + std::to_string(c.value));
+}
+
+void append_trace(Fingerprint& f, Cluster& cl) {
+  for (const auto& e : cl.tracer().snapshot())
+    f.trace.push_back(std::to_string(e.seq) + ":" + std::to_string(e.t) +
+                      ":" + std::to_string(e.page) + ":" +
+                      std::to_string(e.arg) + ":" + std::to_string(e.thread) +
+                      ":" + std::to_string(e.node) + ":" +
+                      std::to_string(e.kind) + ":" + std::to_string(e.state));
+}
+
+// ---------------------------------------------------------------------------
+// Scenario 1: coherent stencil + reduction (barriers, fences, line fetches,
+// writebacks, directory traffic, one RDMA atomic per round)
+// ---------------------------------------------------------------------------
+
+struct StencilOpts {
+  Mode mode = Mode::PS3;
+  int pipeline = 1;
+  FaultConfig faults;  // disabled by default
+  std::uint64_t seed = 1;
+  int iters = 3;
+};
+
+Fingerprint run_stencil(const StencilOpts& o, int workers) {
+  ClusterConfig cfg;
+  cfg.nodes = 4;
+  cfg.threads_per_node = 2;
+  cfg.global_mem_bytes = 1u << 20;
+  cfg.cache.classification = o.mode;
+  cfg.net.pipeline = o.pipeline;
+  cfg.faults = o.faults;
+  cfg.trace.enabled = true;
+  cfg.engine_threads = workers;
+  Cluster cl(cfg);
+
+  constexpr std::size_t N = 2048;
+  auto data = cl.alloc<double>(N);
+  auto next = cl.alloc<double>(N);
+  auto partial = cl.alloc<double>(static_cast<std::size_t>(cl.nthreads()));
+  auto rounds = cl.alloc<std::uint64_t>(1);
+  {
+    argosim::Rng rng(o.seed);
+    double* d = cl.host_ptr(data);
+    for (std::size_t i = 0; i < N; ++i) d[i] = rng.next_double(-1, 1);
+    std::memset(cl.host_ptr(next), 0, N * sizeof(double));
+    std::memset(cl.host_ptr(partial), 0,
+                static_cast<std::size_t>(cl.nthreads()) * sizeof(double));
+    *cl.host_ptr(rounds) = 0;
+  }
+  cl.reset_classification();
+
+  Fingerprint f;
+  f.elapsed = cl.run([&](Thread& t) {
+    const auto nt = static_cast<std::size_t>(t.nthreads());
+    const auto gid = static_cast<std::size_t>(t.gid());
+    const std::size_t lo = N * gid / nt, hi = N * (gid + 1) / nt;
+    for (int it = 0; it < o.iters; ++it) {
+      for (std::size_t i = lo; i < hi; ++i) {
+        const double l = t.load(data + static_cast<std::ptrdiff_t>(
+                                           (i + N - 1) % N));
+        const double m = t.load(data + static_cast<std::ptrdiff_t>(i));
+        const double r =
+            t.load(data + static_cast<std::ptrdiff_t>((i + 1) % N));
+        t.store(next + static_cast<std::ptrdiff_t>(i),
+                0.25 * l + 0.5 * m + 0.25 * r);
+      }
+      t.atomic_fetch_add(rounds, 1);
+      t.barrier();
+      for (std::size_t i = lo; i < hi; ++i)
+        t.store(data + static_cast<std::ptrdiff_t>(i),
+                t.load(next + static_cast<std::ptrdiff_t>(i)));
+      t.barrier();
+    }
+    double s = 0;
+    for (std::size_t i = lo; i < hi; ++i)
+      s += t.load(data + static_cast<std::ptrdiff_t>(i));
+    t.store(partial + t.gid(), s);
+    t.barrier();
+  });
+
+  append_words(f, cl.host_ptr(data), N * sizeof(double));
+  append_words(f, cl.host_ptr(next), N * sizeof(double));
+  append_words(f, cl.host_ptr(partial),
+               static_cast<std::size_t>(cl.nthreads()) * sizeof(double));
+  append_words(f, cl.host_ptr(rounds), sizeof(std::uint64_t));
+  append_counters(f, cl);
+  append_trace(f, cl);
+  return f;
+}
+
+void stencil_identity(StencilOpts o) {
+  for (const std::uint64_t seed : {3u, 17u, 4242u}) {
+    o.seed = seed;
+    const Fingerprint ref = run_stencil(o, 1);
+    for (const int w : {2, 8})
+      expect_identical(ref, run_stencil(o, w),
+                       "seed " + std::to_string(seed) + ", workers " +
+                           std::to_string(w));
+  }
+}
+
+TEST(ParallelIdentity, StencilPS3Pipeline1) {
+  StencilOpts o;
+  o.mode = Mode::PS3;
+  o.pipeline = 1;
+  stencil_identity(o);
+}
+
+TEST(ParallelIdentity, StencilPSNaivePipeline16) {
+  StencilOpts o;
+  o.mode = Mode::PSNaive;
+  o.pipeline = 16;
+  stencil_identity(o);
+}
+
+TEST(ParallelIdentity, ChaosFaults) {
+  StencilOpts o;
+  o.mode = Mode::PS3;
+  o.pipeline = 16;
+  o.faults.enabled = true;
+  o.faults.rdma_fail_prob = 0.02;
+  o.faults.jitter_prob = 0.2;
+  o.faults.jitter_max = 800;
+  o.faults.msg_drop_prob = 0.05;
+  o.faults.msg_dup_prob = 0.02;
+  o.faults.brownout_mean_interval = 300000;
+  o.faults.brownout_mean_duration = 40000;
+  stencil_identity(o);
+}
+
+// The legacy single-queue engine and the sharded engine agree on the
+// outcome of fault-free runs: same verb costs, same barrier timing, so
+// identical virtual times, memory images and counters. Event-level traces
+// are NOT required to match — at equal timestamps the two schedulers may
+// run symmetric fibers in different orders (legacy uses FIFO insertion
+// order across all nodes, sharded breaks ties by (time, node, seq)), and
+// whichever fiber runs first wins same-instant races such as directory
+// requests. Pin the outcome equivalence plus the event count.
+TEST(ParallelIdentity, LegacyMatchesShardedFaultFree) {
+  StencilOpts o;
+  o.seed = 99;
+  const Fingerprint legacy = run_stencil(o, 0);  // engine_threads 0 = legacy
+  const Fingerprint sharded = run_stencil(o, 1);
+  EXPECT_EQ(legacy.elapsed, sharded.elapsed) << "virtual time diverged";
+  EXPECT_EQ(legacy.memory, sharded.memory) << "memory image diverged";
+  EXPECT_EQ(legacy.counters, sharded.counters) << "counters diverged";
+  EXPECT_EQ(legacy.trace.size(), sharded.trace.size())
+      << "trace cardinality diverged";
+}
+
+// ARGO_SEQ_ENGINE / ARGO_THREADS (via their programmatic setters) select
+// the same sharded modes cfg.engine_threads does.
+TEST(ParallelIdentity, EnvTogglesSelectShardedEngine) {
+  StencilOpts o;
+  o.seed = 11;
+  const Fingerprint ref = run_stencil(o, 1);
+
+  argosim::set_seq_engine(true);
+  const Fingerprint seq = run_stencil(o, 0);
+  argosim::set_seq_engine(false);
+  expect_identical(ref, seq, "ARGO_SEQ_ENGINE=1");
+
+  argosim::set_engine_threads(4);
+  const Fingerprint par = run_stencil(o, 0);
+  argosim::set_engine_threads(0);
+  expect_identical(ref, par, "ARGO_THREADS=4");
+}
+
+// ---------------------------------------------------------------------------
+// Scenario 2: DSM mutex (MCS handovers, acquire/release fences)
+// ---------------------------------------------------------------------------
+
+Fingerprint run_dsm_mutex(std::uint64_t seed, int workers) {
+  ClusterConfig cfg;
+  cfg.nodes = 4;
+  cfg.threads_per_node = 2;
+  cfg.global_mem_bytes = 1u << 20;
+  cfg.trace.enabled = true;
+  cfg.engine_threads = workers;
+  Cluster cl(cfg);
+
+  auto counter = cl.alloc<double>(1);
+  *cl.host_ptr(counter) = 0;
+  cl.reset_classification();
+  argosync::DsmMutex mu(cl);
+
+  constexpr int kIncrements = 5;
+  Fingerprint f;
+  f.elapsed = cl.run([&](Thread& t) {
+    // Deterministic per-thread stagger so acquisition order is interesting
+    // but fixed by the seed.
+    argosim::Rng rng(seed + static_cast<std::uint64_t>(t.gid()));
+    for (int i = 0; i < kIncrements; ++i) {
+      t.compute(static_cast<Time>(rng.next_below(20000)));
+      mu.lock(t);
+      t.store(counter, t.load(counter) + 1.0);
+      mu.unlock(t);
+    }
+  });
+  EXPECT_EQ(*cl.host_ptr(counter),
+            static_cast<double>(cl.nthreads() * kIncrements));
+
+  append_words(f, cl.host_ptr(counter), sizeof(double));
+  append_counters(f, cl);
+  append_trace(f, cl);
+  return f;
+}
+
+TEST(ParallelIdentity, DsmMutexHandovers) {
+  for (const std::uint64_t seed : {5u, 23u, 777u}) {
+    const Fingerprint ref = run_dsm_mutex(seed, 1);
+    for (const int w : {2, 8})
+      expect_identical(ref, run_dsm_mutex(seed, w),
+                       "seed " + std::to_string(seed) + ", workers " +
+                           std::to_string(w));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Scenario 3: barrier-free crash-stop (the one crash shape the sharded
+// engine supports: a fixed-time schedule with no global rendezvous)
+// ---------------------------------------------------------------------------
+
+Fingerprint run_crash_stop(std::uint64_t seed, int workers) {
+  ClusterConfig cfg;
+  cfg.nodes = 4;
+  cfg.threads_per_node = 2;
+  cfg.global_mem_bytes = 1u << 20;
+  cfg.engine_threads = workers;
+  cfg.faults.enabled = true;
+  cfg.faults.seed = seed;
+  cfg.faults.jitter_prob = 0.1;
+  cfg.faults.jitter_max = 700;
+  cfg.faults.crashes.push_back(argonet::CrashEvent{/*node=*/3,
+                                                   /*at=*/2500000,
+                                                   /*after_ops=*/0,
+                                                   /*rejoin_at=*/0});
+  Cluster cl(cfg);
+
+  std::vector<argomem::gptr<std::uint64_t>> slots;
+  for (int n = 0; n < cfg.nodes; ++n) {
+    slots.push_back(cl.gmem().alloc_on_node<std::uint64_t>(n, 1));
+    *cl.host_ptr(slots.back()) = 0;
+  }
+  auto tallies = cl.alloc<std::uint64_t>(static_cast<std::size_t>(
+      cl.nthreads()));
+  std::memset(cl.host_ptr(tallies), 0,
+              static_cast<std::size_t>(cl.nthreads()) * sizeof(std::uint64_t));
+  cl.reset_classification();
+
+  Fingerprint f;
+  f.elapsed = cl.run([&](Thread& t) {
+    std::uint64_t ok = 0, dead = 0;
+    for (int round = 0; round < 60; ++round) {
+      t.compute(50000);
+      const int target = (round + t.gid()) % t.nodes();
+      try {
+        t.atomic_fetch_add(slots[static_cast<std::size_t>(target)], 1);
+        ++ok;
+      } catch (const NodeFailedError&) {
+        ++dead;  // target crash-stopped; skip it and keep going
+      }
+    }
+    t.atomic_store(tallies + t.gid(), (ok << 16) | dead);
+  });
+
+  for (int n = 0; n < cfg.nodes; ++n)
+    append_words(f, cl.host_ptr(slots[static_cast<std::size_t>(n)]),
+                 sizeof(std::uint64_t));
+  append_words(f, cl.host_ptr(tallies),
+               static_cast<std::size_t>(cl.nthreads()) * sizeof(std::uint64_t));
+  append_counters(f, cl);
+  return f;
+}
+
+TEST(ParallelIdentity, CrashStopBarrierFree) {
+  for (const std::uint64_t seed : {2u, 31u, 555u}) {
+    const Fingerprint ref = run_crash_stop(seed, 1);
+    for (const int w : {2, 8})
+      expect_identical(ref, run_crash_stop(seed, w),
+                       "seed " + std::to_string(seed) + ", workers " +
+                           std::to_string(w));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Directed lookahead edge cases (raw engine + interconnect)
+// ---------------------------------------------------------------------------
+
+NetConfig raw_cfg() {
+  NetConfig c;
+  c.rdma_latency = 1000;
+  c.msg_latency = 1000;
+  c.nic_overhead = 100;
+  c.net_bytes_per_ns = 2.0;
+  c.mem_latency = 50;
+  c.mem_bytes_per_ns = 10.0;
+  return c;
+}
+
+// A node messaging itself never crosses a shard: delivery must work even
+// though the effect lands on the posting shard, and times must not depend
+// on the worker count.
+TEST(ParallelLookahead, SelfSendStaysShardLocal) {
+  auto run = [](std::uint32_t workers) {
+    const NetConfig c = raw_cfg();
+    Engine eng;
+    eng.enable_sharding(2, std::min(c.rdma_latency, c.msg_latency), workers);
+    Interconnect net(2, c);
+    std::vector<std::uint64_t> got;
+    eng.spawn_on(0, "self", [&] {
+      for (int i = 0; i < 3; ++i) {
+        Message m;
+        m.src = 0;
+        m.dst = 0;
+        m.tag = i;
+        net.send(m);
+      }
+      for (int i = 0; i < 3; ++i) {
+        const Message m = net.recv(0);
+        got.push_back(static_cast<std::uint64_t>(m.tag));
+        got.push_back(argosim::now());
+      }
+    });
+    eng.run();
+    return got;
+  };
+  const auto ref = run(1);
+  EXPECT_EQ(ref, run(2));
+  EXPECT_EQ(ref, run(4));
+  ASSERT_EQ(ref.size(), 6u);
+  EXPECT_EQ(ref[0], 0u);  // FIFO per sender
+  EXPECT_EQ(ref[2], 1u);
+  EXPECT_EQ(ref[4], 2u);
+}
+
+// Two senders on different shards timed so their messages carry the SAME
+// delivery timestamp at one receiver: the tie must break by source node
+// id, identically at every worker count.
+TEST(ParallelLookahead, SimultaneousCrossShardTimestamps) {
+  auto run = [](std::uint32_t workers) {
+    const NetConfig c = raw_cfg();
+    Engine eng;
+    eng.enable_sharding(3, std::min(c.rdma_latency, c.msg_latency), workers);
+    Interconnect net(3, c);
+    std::vector<std::uint64_t> got;
+    for (int src = 0; src < 2; ++src) {
+      eng.spawn_on(static_cast<std::uint32_t>(src), "s" + std::to_string(src),
+                   [&net, src] {
+                     Message m;
+                     m.src = src;
+                     m.dst = 2;
+                     m.tag = 100 + src;
+                     net.send(m);  // same issue time, same latency
+                   });
+    }
+    eng.spawn_on(2, "rx", [&] {
+      for (int i = 0; i < 2; ++i) {
+        const Message m = net.recv(2);
+        got.push_back(static_cast<std::uint64_t>(m.src));
+        got.push_back(argosim::now());
+      }
+    });
+    eng.run();
+    return got;
+  };
+  const auto ref = run(1);
+  EXPECT_EQ(ref, run(2));
+  EXPECT_EQ(ref, run(4));
+  ASSERT_EQ(ref.size(), 4u);
+  EXPECT_EQ(ref[0], 0u);          // node id breaks the tie
+  EXPECT_EQ(ref[2], 1u);
+  EXPECT_EQ(ref[1], ref[3]);      // genuinely simultaneous
+}
+
+// One shard sleeps far ahead of the others (no events for many windows):
+// the busy shards must keep advancing through the quiet one's horizon, and
+// the sleeper must wake at exactly its requested time.
+TEST(ParallelLookahead, ShardLocalStarvation) {
+  auto run = [](std::uint32_t workers) {
+    const NetConfig c = raw_cfg();
+    Engine eng;
+    eng.enable_sharding(2, std::min(c.rdma_latency, c.msg_latency), workers);
+    Interconnect net(2, c);
+    std::uint64_t remote = 0;
+    std::uint64_t sleep_t = 0, busy_t = 0;
+    eng.spawn_on(0, "sleeper", [&] {
+      argosim::delay(10000000);  // ~10k lookahead windows of silence
+      sleep_t = argosim::now();
+    });
+    eng.spawn_on(1, "busy", [&] {
+      for (int i = 0; i < 200; ++i)
+        net.fetch_add(1, 0, &remote, 1);  // cross-shard atomics throughout
+      busy_t = argosim::now();
+    });
+    eng.run();
+    return std::vector<std::uint64_t>{sleep_t, busy_t, remote};
+  };
+  const auto ref = run(1);
+  EXPECT_EQ(ref, run(2));
+  ASSERT_EQ(ref.size(), 3u);
+  EXPECT_EQ(ref[0], 10000000u);
+  EXPECT_EQ(ref[2], 200u);
+}
+
+// Same-time cross-shard wakeups (SimEvent delegation and friends) are
+// impossible under conservative lookahead; the engine must reject them
+// loudly instead of deadlocking or racing.
+TEST(ParallelLookahead, CrossShardWakeThrows) {
+  Engine eng;
+  eng.enable_sharding(2, 1000, 1);
+  argosim::SimEvent ev;
+  eng.spawn_on(0, "waiter", [&] { ev.wait(); });
+  eng.spawn_on(1, "setter", [&] {
+    argosim::delay(5000);
+    ev.set();  // cross-shard make_runnable at the current instant
+  });
+  EXPECT_THROW(eng.run(), std::logic_error);
+}
+
+// require_serial names the offending feature when the sharded engine is on.
+TEST(ParallelLookahead, RequireSerialThrowsWhenSharded) {
+  Engine eng;
+  eng.enable_sharding(2, 1000, 1);
+  EXPECT_THROW(eng.require_serial("test feature"), std::logic_error);
+  Engine legacy;
+  legacy.require_serial("test feature");  // no-op on the legacy engine
+}
+
+// ---------------------------------------------------------------------------
+// Run-queue lazy compaction (legacy engine satellite): dead entries from
+// early notify_one() wakeups must be purged once they dominate the queue.
+// ---------------------------------------------------------------------------
+
+TEST(RunQueue, LazyCompactionPurgesDeadEntries) {
+  Engine eng;
+  argosim::WaitQueue q;
+  bool stop = false;
+  eng.spawn("sleeper", [&] {
+    // Every timed wait that is notified early leaves one dead (stale-token)
+    // entry in the run queue at the old deadline.
+    while (!stop) q.wait_until(argosim::now() + 1000000);
+  });
+  eng.spawn("waker", [&] {
+    for (int i = 0; i < 4096; ++i) {
+      argosim::delay(10);
+      q.notify_one();
+    }
+    stop = true;
+    argosim::delay(10);
+    q.notify_one();
+  });
+  eng.run();
+  EXPECT_GT(eng.runq_purged(), 0u);
+}
+
+}  // namespace
