@@ -115,7 +115,8 @@ int main(int argc, char** argv) {
                Table::fmt("%llu", (unsigned long long)s.pages_lost),
                Table::fmt("%.3f", static_cast<double>(r.elapsed) / 1e6)});
     benchutil::bench_row(json, "recovery", "series",
-                         Table::fmt("hb%llu", (unsigned long long)hb), opts)
+                         Table::fmt("hb%llu", (unsigned long long)hb), opts,
+                         4)
         .num("heartbeat_ns", static_cast<std::uint64_t>(hb))
         .num("detect_ns", s.detect_ns.mean_ns())
         .num("recover_ns", s.recovery_ns.mean_ns())

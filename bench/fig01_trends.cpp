@@ -65,6 +65,7 @@ int main(int argc, char** argv) {
   for (const Row& r : rows)
     json.row()
         .str("fig", "fig01")
+        .num("nodes", 0)  // historical trend data: no cluster runs
         .num("year", r.year)
         .num("cpu_mhz", r.cpu_mhz)
         .num("dram_lat_cycles", r.dram_lat_cycles)

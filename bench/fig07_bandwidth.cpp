@@ -120,6 +120,7 @@ int main(int argc, char** argv) {
           .str("fig", "fig07")
           .num("unit_bytes", static_cast<std::uint64_t>(ppl * kPageSize))
           .num("pipeline", opts.pipeline)
+          .num("nodes", 2)
           .num("argo_mb_s", argo_bw)
           .num("rma_mb_s", rma_bw);
     }

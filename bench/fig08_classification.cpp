@@ -11,45 +11,56 @@
 int main(int argc, char** argv) {
   using namespace benchutil;
   const BenchOpts opts = BenchOpts::parse(argc, argv);
-  header("Figure 8", "classification impact on execution time (4 nodes x 15 threads)");
+
+  // The paper's figure runs on 4 nodes; --nodes 64,128 repeats the
+  // comparison at full scale (the multi-word directory range).
+  const std::vector<int> node_counts =
+      opts.nodes.empty() ? std::vector<int>{4} : opts.nodes;
 
   const argo::Mode modes[] = {argo::Mode::S, argo::Mode::PSNaive,
                               argo::Mode::PS3};
   const char* mode_names[] = {"S", "PSNaive", "PS3"};
-  Table t({"benchmark", "S (ms)", "PS naive", "PS3", "PS naive (norm)",
-           "PS3 (norm)", "SI invalidations S -> PS3"});
   JsonReport json;
-  double sum_naive = 0, sum_ps3 = 0;
-  int count = 0;
   auto apps = six_apps();
   if (opts.quick) apps.resize(2);
-  for (const AppSpec& app : apps) {
-    double ms[3] = {0, 0, 0};
-    std::uint64_t si[3] = {0, 0, 0};
-    for (int m = 0; m < 3; ++m) {
-      auto cfg = paper_cfg(4, kPaperTpn, app.mem_bytes, modes[m]);
-      cfg.net.pipeline = opts.pipeline;
-      argo::Cluster cl(cfg);
-      ms[m] = argosim::to_ms(app.run(cl));
-      si[m] = cl.stats().counter("carina.si_invalidations");
-      benchutil::bench_row(json, "fig08", app.name, opts)
-          .str("mode", mode_names[m])
-          .num("virtual_ms", ms[m])
-          .num("si_invalidations", si[m]);
+  for (const int nc : node_counts) {
+    header("Figure 8",
+           Table::fmt("classification impact on execution time "
+                      "(%d nodes x 15 threads)",
+                      nc)
+               .c_str());
+    Table t({"benchmark", "S (ms)", "PS naive", "PS3", "PS naive (norm)",
+             "PS3 (norm)", "SI invalidations S -> PS3"});
+    double sum_naive = 0, sum_ps3 = 0;
+    int count = 0;
+    for (const AppSpec& app : apps) {
+      double ms[3] = {0, 0, 0};
+      std::uint64_t si[3] = {0, 0, 0};
+      for (int m = 0; m < 3; ++m) {
+        auto cfg = paper_cfg(nc, kPaperTpn, app.mem_bytes, modes[m]);
+        cfg.net.pipeline = opts.pipeline;
+        argo::Cluster cl(cfg);
+        ms[m] = argosim::to_ms(app.run(cl));
+        si[m] = cl.stats().counter("carina.si_invalidations");
+        benchutil::bench_row(json, "fig08", app.name, opts, nc)
+            .str("mode", mode_names[m])
+            .num("virtual_ms", ms[m])
+            .num("si_invalidations", si[m]);
+      }
+      const double n_naive = ms[1] / ms[0], n_ps3 = ms[2] / ms[0];
+      sum_naive += n_naive;
+      sum_ps3 += n_ps3;
+      ++count;
+      t.row({app.name, Table::fmt("%.2f", ms[0]), Table::fmt("%.2f", ms[1]),
+             Table::fmt("%.2f", ms[2]), Table::fmt("%.2f", n_naive),
+             Table::fmt("%.2f", n_ps3),
+             Table::fmt("%llu -> %llu", static_cast<unsigned long long>(si[0]),
+                        static_cast<unsigned long long>(si[2]))});
     }
-    const double n_naive = ms[1] / ms[0], n_ps3 = ms[2] / ms[0];
-    sum_naive += n_naive;
-    sum_ps3 += n_ps3;
-    ++count;
-    t.row({app.name, Table::fmt("%.2f", ms[0]), Table::fmt("%.2f", ms[1]),
-           Table::fmt("%.2f", ms[2]), Table::fmt("%.2f", n_naive),
-           Table::fmt("%.2f", n_ps3),
-           Table::fmt("%llu -> %llu", static_cast<unsigned long long>(si[0]),
-                      static_cast<unsigned long long>(si[2]))});
+    t.row({"Average", "", "", "", Table::fmt("%.2f", sum_naive / count),
+           Table::fmt("%.2f", sum_ps3 / count), ""});
+    t.print();
   }
-  t.row({"Average", "", "", "", Table::fmt("%.2f", sum_naive / count),
-         Table::fmt("%.2f", sum_ps3 / count), ""});
-  t.print();
   note("");
   note("Normalized to the S classification (paper Fig. 8: naive P/S ~1.0,");
   note("P/S3 ~0.7 on average; P/S3's private/shared split eliminates most");

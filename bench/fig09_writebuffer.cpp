@@ -36,7 +36,7 @@ int main(int argc, char** argv) {
       const argo::ClusterStats s = cl.stats();
       const argoobs::LatencyHist sd = s.hist("carina.sd_fence_ns");
       const argoobs::LatencyHist si = s.hist("carina.si_fence_ns");
-      bench_row(json, "fig09", app.name, opts)
+      bench_row(json, "fig09", app.name, opts, 4)
           .num("wb", static_cast<std::uint64_t>(wb))
           .num("virtual_ms", ms)
           .num("sd_fences", sd.samples)

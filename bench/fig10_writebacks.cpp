@@ -35,7 +35,7 @@ int main(int argc, char** argv) {
       row.push_back(Table::fmt(
           "%llu",
           static_cast<unsigned long long>(s.counter("carina.writebacks"))));
-      bench_row(json, "fig10", app.name, opts)
+      bench_row(json, "fig10", app.name, opts, 4)
           .num("wb", static_cast<std::uint64_t>(wb))
           .num("virtual_ms", ms)
           .num("writebacks", s.counter("carina.writebacks"))

@@ -56,6 +56,7 @@ int main(int argc, char** argv) {
       json.row()
           .str("fig", "fig11")
           .str("lock", k.name)
+          .num("nodes", 1)
           .num("threads", t)
           .num("ops_per_us", r.ops_per_us());
       std::fprintf(stderr, " .");

@@ -42,8 +42,7 @@ int main(int argc, char** argv) {
       argo::Cluster cl(cfg);
       const auto r = pq_bench_dsm(cl, kind, p);
       row.push_back(Table::fmt("%.2f", r.ops_per_us()));
-      benchutil::bench_row(json, "fig12", "lock", name, opts)
-          .num("nodes", nodes)
+      benchutil::bench_row(json, "fig12", "lock", name, opts, nodes)
           .num("ops_per_us", r.ops_per_us());
     }
     table.row(std::move(row));

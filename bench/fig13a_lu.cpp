@@ -27,7 +27,7 @@ int main(int argc, char** argv) {
   note("gaining up to ~8 nodes despite the data migration.");
   JsonReport json;
   scaling_rows(json, "fig13a", "pthreads", s.threads, s.pthread_ms, s.seq_ms,
-               opts);
+               opts, /*fixed_nodes=*/1);
   scaling_rows(json, "fig13a", "argo", s.nodes, s.argo_ms, s.seq_ms, opts);
   return json.write(opts.json_path) ? 0 : 1;
 }

@@ -36,7 +36,7 @@ int main(int argc, char** argv) {
   note("Paper Fig. 13b: Argo scales to 32 nodes, exceeding the MPI port.");
   JsonReport json;
   scaling_rows(json, "fig13b", "pthreads", s.threads, s.pthread_ms, s.seq_ms,
-               opts);
+               opts, /*fixed_nodes=*/1);
   scaling_rows(json, "fig13b", "argo", s.nodes, s.argo_ms, s.seq_ms, opts);
   scaling_rows(json, "fig13b", "mpi", s.nodes, mpi_ms, s.seq_ms, opts);
   return json.write(opts.json_path) ? 0 : 1;

@@ -38,7 +38,7 @@ int main(int argc, char** argv) {
     rep.print();
     const std::string tag = "argo_n" + std::to_string(n);
     scaling_rows(json, "fig13d", ("pthreads_n" + std::to_string(n)).c_str(),
-                 s.threads, s.pthread_ms, s.seq_ms, opts);
+                 s.threads, s.pthread_ms, s.seq_ms, opts, /*fixed_nodes=*/1);
     scaling_rows(json, "fig13d", tag.c_str(), s.nodes, s.argo_ms, s.seq_ms,
                  opts);
     scaling_rows(json, "fig13d", ("mpi_n" + std::to_string(n)).c_str(),

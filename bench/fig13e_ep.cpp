@@ -35,7 +35,7 @@ int main(int argc, char** argv) {
   note("Paper Fig. 13e: Argo and UPC scale together up to the largest runs.");
   JsonReport json;
   scaling_rows(json, "fig13e", "openmp", s.threads, s.pthread_ms, s.seq_ms,
-               opts);
+               opts, /*fixed_nodes=*/1);
   scaling_rows(json, "fig13e", "argo", s.nodes, s.argo_ms, s.seq_ms, opts);
   scaling_rows(json, "fig13e", "upc", s.nodes, upc_ms, s.seq_ms, opts);
   return json.write(opts.json_path) ? 0 : 1;

@@ -38,7 +38,7 @@ int main(int argc, char** argv) {
   note("Argo continues to 32 without changing the algorithm.");
   JsonReport json;
   scaling_rows(json, "fig13f", "openmp", s.threads, s.pthread_ms, s.seq_ms,
-               opts);
+               opts, /*fixed_nodes=*/1);
   scaling_rows(json, "fig13f", "argo", s.nodes, s.argo_ms, s.seq_ms, opts);
   scaling_rows(json, "fig13f", "upc", s.nodes, upc_ms, s.seq_ms, opts);
   return json.write(opts.json_path) ? 0 : 1;

@@ -96,13 +96,16 @@ inline void note(const char* text) { std::printf("  %s\n", text); }
 ///   --threads <n>      engine host workers (same as ARGO_THREADS=n; 1 is
 ///                      the sequential sharded reference, 0 the legacy
 ///                      engine — virtual-time results are identical)
-///   --nodes <n>        restrict scaling sweeps to this one node count
+///   --nodes <list>     restrict scaling sweeps to these node counts, a
+///                      comma-separated list ("--nodes 32" or
+///                      "--nodes 32,64,128"); each count must fit the
+///                      directory encoding (at most argodir::max_nodes())
 /// Unrecognized arguments are kept (fig07 forwards them to its harness).
 struct BenchOpts {
   std::string json_path;
   int pipeline = 1;
   bool quick = false;
-  int nodes = 0;  // 0 = the sweep's default node counts
+  std::vector<int> nodes;   // empty = the sweep's default node counts
   std::vector<char*> rest;  // argv[0] + unconsumed arguments
 
   static BenchOpts parse(int argc, char** argv) {
@@ -117,8 +120,13 @@ struct BenchOpts {
       } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
         argosim::set_engine_threads(std::atoi(argv[++i]));
       } else if (std::strcmp(argv[i], "--nodes") == 0 && i + 1 < argc) {
-        o.nodes = std::atoi(argv[++i]);
-        if (o.nodes < 0) o.nodes = 0;
+        for (const char* p = argv[++i]; *p != '\0';) {
+          const int n = std::atoi(p);
+          if (n > 0) o.nodes.push_back(n);
+          const char* comma = std::strchr(p, ',');
+          if (comma == nullptr) break;
+          p = comma + 1;
+        }
       } else if (std::strcmp(argv[i], "--quick") == 0) {
         o.quick = true;
       } else {
@@ -133,7 +141,10 @@ struct BenchOpts {
 /// when a field is renamed or its meaning changes so downstream consumers
 /// (scripts/bench_compare.py, notebooks) can refuse mismatched inputs.
 /// Schema 3 added the "threads"/"engine" stamp for the parallel engine.
-inline constexpr int kBenchSchemaVersion = 3;
+/// Schema 4 stamps "nodes" (the cluster node count a row was measured on,
+/// 0 for rows that run no cluster) so 32/64/128-node sweeps can share one
+/// file and be filtered apart (bench_compare.py --nodes).
+inline constexpr int kBenchSchemaVersion = 4;
 
 /// Effective engine worker count for this process: 1 for the legacy
 /// engine and the ARGO_SEQ_ENGINE reference (both sequential), N when
@@ -238,20 +249,24 @@ class JsonReport {
 
 /// One JSON row per (fig, label, measurement) with the shared prefix every
 /// cluster bench emits — figure id, a label column (usually "app"; lock
-/// benches use "lock", scaling curves use "series"), and the pipeline
-/// depth — so per-bench emission code adds only its own columns.
+/// benches use "lock", scaling curves use "series"), the pipeline depth,
+/// and the cluster node count the measurement ran on — so per-bench
+/// emission code adds only its own columns.
 inline JsonReport::Row& bench_row(JsonReport& json, const char* fig,
                                   const char* label_key,
                                   const std::string& label,
-                                  const BenchOpts& opts) {
-  return json.row().str("fig", fig).str(label_key, label).num("pipeline",
-                                                              opts.pipeline);
+                                  const BenchOpts& opts, int nodes) {
+  return json.row()
+      .str("fig", fig)
+      .str(label_key, label)
+      .num("pipeline", opts.pipeline)
+      .num("nodes", nodes);
 }
 
 inline JsonReport::Row& bench_row(JsonReport& json, const char* fig,
                                   const std::string& app,
-                                  const BenchOpts& opts) {
-  return bench_row(json, fig, "app", app, opts);
+                                  const BenchOpts& opts, int nodes) {
+  return bench_row(json, fig, "app", app, opts, nodes);
 }
 
 /// Per-node fence-duration histograms and posted-queue high-water marks

@@ -7,7 +7,7 @@
 #include "bench/report.hpp"
 #include "argo/argo.hpp"
 
-using argocore::DirWord;
+using argocore::DirEntry;
 using argocore::Mode;
 using argocore::SdAction;
 
@@ -16,13 +16,13 @@ namespace {
 struct State {
   const char* name;
   const char* comment;
-  DirWord word;  // as seen by node 0 ("me")
+  DirEntry entry;  // as seen by node 0 ("me")
 };
 
 std::string si_sd(Mode m, const State& s) {
-  const bool si = argocore::si_required(m, s.word, 0);
+  const bool si = argocore::si_required(m, s.entry, 0);
   const bool sd =
-      argocore::sd_action(m, s.word, 0) == SdAction::WriteBack;
+      argocore::sd_action(m, s.entry, 0) == SdAction::WriteBack;
   std::string out;
   out += si ? "SI" : "--";
   out += " ";
@@ -36,17 +36,18 @@ int main() {
   benchutil::header("Table 1",
                     "classification x (SI, SD) matrix, from live policy code");
 
-  const std::uint32_t me = 1, other = 2;
+  // Node 0 is "me", node 1 the other sharer; the entry builders place the
+  // bits in whatever word covers each node.
   const State states[] = {
-      {"P", "private to me",
-       DirWord{me | (std::uint64_t{me} << 32)}},
-      {"S,NW", "shared, no writers", DirWord{me | other}},
+      {"P", "private to me", DirEntry::accessor(0)},
+      {"S,NW", "shared, no writers",
+       DirEntry::reader(0).add_reader(1)},
       {"S,SW(me)", "shared, I am the single writer",
-       DirWord{(me | other) | (std::uint64_t{me} << 32)}},
+       DirEntry::reader(0).add_reader(1).add_writer(0)},
       {"S,SW(other)", "shared, another node is the single writer",
-       DirWord{(me | other) | (std::uint64_t{other} << 32)}},
+       DirEntry::reader(0).add_reader(1).add_writer(1)},
       {"S,MW", "shared, multiple writers",
-       DirWord{(me | other) | (std::uint64_t{me | other} << 32)}},
+       DirEntry::reader(0).add_reader(1).add_writer(0).add_writer(1)},
   };
 
   benchutil::Table t({"state", "S", "P/S(naive)", "P/S", "P/S3", "meaning"});

@@ -6,6 +6,7 @@ Usage:
   scripts/bench_compare.py BASELINE FRESH [--max-regress 0.10]
                                           [--min-speedup 1.25]
                                           [--mode fast]
+                                          [--nodes 64]
   scripts/bench_compare.py --par-gate FILE [--min-par-speedup 2.0]
                                            [--par-threads 8]
 
@@ -28,8 +29,11 @@ the fresh build is faster). Gates:
 
 Rows carry the provenance stamp written by bench/report.hpp and
 scripts/bench_host.sh ({"schema", "commit", "date", ...}); schema 2
-(pre-parallel-engine) and 3 are accepted, others are an error, missing
-stamps (schema-1 files) a warning. Stdlib only — runs in the CI container.
+(pre-parallel-engine), 3, and 4 (per-row "nodes" stamp) are accepted,
+others are an error, missing stamps (schema-1 files) a warning. --nodes N
+keeps only rows measured on an N-node cluster; rows without a "nodes"
+stamp (schema <= 3) are kept, so mixed files still compare. Stdlib only —
+runs in the CI container.
 """
 
 import argparse
@@ -37,7 +41,7 @@ import json
 import math
 import sys
 
-SCHEMAS = (2, 3)
+SCHEMAS = (2, 3, 4)
 
 
 def check_schema(path, row, warned):
@@ -51,7 +55,7 @@ def check_schema(path, row, warned):
     return warned
 
 
-def load_rows(path, mode):
+def load_rows(path, mode, nodes=None):
     with open(path) as f:
         rows = json.load(f)
     out = {}
@@ -63,9 +67,21 @@ def load_rows(path, mode):
             stamp = (row.get("commit", "unknown"), row.get("date", "unknown"))
         if row.get("mode") != mode:
             continue
-        out[row["bench"]] = float(row["wall_s"])
+        # --nodes filter: drop rows measured at a different node count.
+        # Rows without the stamp (schema <= 3 files) are kept so old
+        # baselines remain comparable.
+        if nodes is not None and row.get("nodes") is not None \
+                and int(row["nodes"]) != nodes:
+            continue
+        key = row["bench"]
+        # Unfiltered, a multi-node-count file (mode "scale") would collapse
+        # each bench to its last row; qualify the key instead.
+        if nodes is None and row.get("nodes") is not None:
+            key = f"{key}@n{int(row['nodes'])}"
+        out[key] = float(row["wall_s"])
     if not out:
-        sys.exit(f"{path}: no rows with mode={mode!r}")
+        sys.exit(f"{path}: no rows with mode={mode!r}"
+                 + (f" and nodes={nodes}" if nodes is not None else ""))
     return out, stamp or ("unknown", "unknown")
 
 
@@ -137,6 +153,9 @@ def main():
                     help="fail when geomean ratio < S")
     ap.add_argument("--mode", default="fast",
                     help="which rows to compare (default: fast)")
+    ap.add_argument("--nodes", type=int, default=None,
+                    help="keep only rows measured on this cluster node "
+                         "count (rows without a 'nodes' stamp are kept)")
     ap.add_argument("--par-gate", metavar="FILE", default=None,
                     help="gate the parallel-engine sweep in FILE")
     ap.add_argument("--par-threads", type=int, default=8,
@@ -153,8 +172,8 @@ def main():
         ap.error("BASELINE and FRESH files are required unless --par-gate "
                  "is used alone")
 
-    base, base_stamp = load_rows(args.baseline, args.mode)
-    fresh, fresh_stamp = load_rows(args.fresh, args.mode)
+    base, base_stamp = load_rows(args.baseline, args.mode, args.nodes)
+    fresh, fresh_stamp = load_rows(args.fresh, args.mode, args.nodes)
 
     common = sorted(set(base) & set(fresh))
     if not common:
@@ -170,6 +189,8 @@ def main():
     print(f"fresh:    {args.fresh} (commit {fresh_stamp[0]}, "
           f"{fresh_stamp[1]})")
     print(f"mode:     {args.mode}")
+    if args.nodes is not None:
+        print(f"nodes:    {args.nodes}")
     print(f"{'bench':<24} {'base_s':>8} {'fresh_s':>8} {'ratio':>7}")
     log_sum = 0.0
     for bench in common:

@@ -15,19 +15,26 @@
 # judge the 8-worker wall-clock speedup, and skip honestly on hosts
 # without enough cores to demonstrate one.
 #
+# A third sweep ("scale" mode) runs fig13a and fig08 at the paper's full
+# node counts (--scale-nodes, default "64 128" — the multi-word directory
+# range) and records host wall time per count, each row stamped with its
+# "nodes" so scripts/bench_compare.py --nodes can filter.
+#
 # Usage: scripts/bench_host.sh [--build <dir>] [--out <path>] [--gate]
 #                              [--threads "1 2 4 8"]
+#                              [--scale-nodes "64 128"]
 #   --gate   fail unless fast_total <= 0.95 * slow_total (perf smoke)
 #
 # Output: a JSON array (one object per line, like the other BENCH files)
 # of rows {"schema", "commit", "date", "bench", "mode", "engine",
-# "threads", "host_cpus", "wall_s", "max_rss_kb"} — the same provenance
-# stamp benchutil::JsonReport puts on every row (bench/report.hpp
+# "threads", "host_cpus", "wall_s", "max_rss_kb"} — plus "nodes" on the
+# par/scale rows that pin one cluster size — the same provenance stamp
+# benchutil::JsonReport puts on every row (bench/report.hpp
 # kBenchSchemaVersion).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-SCHEMA=3
+SCHEMA=4
 ARGO_GIT_COMMIT="${ARGO_GIT_COMMIT:-$(git rev-parse --short HEAD 2>/dev/null || echo unknown)}"
 export ARGO_GIT_COMMIT
 RUN_DATE="$(date -u +%Y-%m-%d)"
@@ -37,11 +44,13 @@ OUT="BENCH_host.json"
 BUILD="build"
 GATE=0
 THREADS_SWEEP="1 2 4 8"
+SCALE_NODES="64 128"
 while [ $# -gt 0 ]; do
   case "$1" in
     --out) OUT="$2"; shift ;;
     --build) BUILD="$2"; shift ;;
     --threads) THREADS_SWEEP="$2"; shift ;;
+    --scale-nodes) SCALE_NODES="$2"; shift ;;
     --gate) GATE=1 ;;
     *) echo "unknown argument: $1" >&2; exit 2 ;;
   esac
@@ -104,10 +113,22 @@ for T in $THREADS_SWEEP; do
   for bench in $PAR_BENCHES; do
     read -r wall rss < <(measure "$BUILD/bench/$bench" --quick --nodes 32)
     echo "-- $bench [par threads=$T] ${wall}s rss=${rss}kB"
-    ROWS="$ROWS{\"schema\":$SCHEMA,\"commit\":\"$ARGO_GIT_COMMIT\",\"date\":\"$RUN_DATE\",\"bench\":\"$bench\",\"mode\":\"par\",\"engine\":\"$ENGINE\",\"threads\":$T,\"host_cpus\":$HOST_CPUS,\"wall_s\":$wall,\"max_rss_kb\":$rss},\n"
+    ROWS="$ROWS{\"schema\":$SCHEMA,\"commit\":\"$ARGO_GIT_COMMIT\",\"date\":\"$RUN_DATE\",\"bench\":\"$bench\",\"mode\":\"par\",\"engine\":\"$ENGINE\",\"threads\":$T,\"host_cpus\":$HOST_CPUS,\"nodes\":32,\"wall_s\":$wall,\"max_rss_kb\":$rss},\n"
   done
 done
 unset ARGO_THREADS ARGO_SEQ_ENGINE || true
+
+# Full-scale sweep: the paper's 64/128-node points (the multi-word
+# directory range), quick workloads — one row per (bench, node count) so
+# the host cost of wide entries is tracked over time.
+SCALE_BENCHES="fig13a_lu fig08_classification"
+for N in $SCALE_NODES; do
+  for bench in $SCALE_BENCHES; do
+    read -r wall rss < <(measure "$BUILD/bench/$bench" --quick --nodes "$N")
+    echo "-- $bench [scale nodes=$N] ${wall}s rss=${rss}kB"
+    ROWS="$ROWS{\"schema\":$SCHEMA,\"commit\":\"$ARGO_GIT_COMMIT\",\"date\":\"$RUN_DATE\",\"bench\":\"$bench\",\"mode\":\"scale\",\"engine\":\"seq\",\"threads\":1,\"host_cpus\":$HOST_CPUS,\"nodes\":$N,\"wall_s\":$wall,\"max_rss_kb\":$rss},\n"
+  done
+done
 
 {
   echo "["

@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # Pipeline-depth benchmark sweep: runs the RDMA-bound figures at posted
-# send-queue depths 1 / 4 / 16 and merges the per-run JSON into one file
-# (BENCH_pipeline.json by default).
+# send-queue depths 1 / 4 / 16, plus (full mode) the fig08 classification
+# figure and the 64/128-node full-scale legs of fig13a/fig08, and merges
+# the per-run JSON into one file (BENCH_pipeline.json by default).
 #
 # Usage: scripts/bench_json.sh [--quick] [--chaos] [--out <path>] [--build <dir>]
 #                               [--threads <n>]
@@ -76,6 +77,16 @@ for d in $DEPTHS; do
     run fig13a_lu fig13a "$d"
   fi
 done
+
+# Full-scale legs (full mode only): the classification figure at its
+# default 4 nodes, then fig13a's scaling curve and fig08's comparison at
+# the paper's 64/128-node points — the multi-word directory range. Every
+# row carries its "nodes" stamp, so one merged file holds all the curves.
+if [ "$QUICK" != 1 ]; then
+  run fig08_classification fig08 1
+  run fig13a_lu fig13a-scale 1 --nodes 64,128
+  run fig08_classification fig08-scale 1 --nodes 64,128
+fi
 
 # Merge the per-run arrays (one object per line) into a single array.
 {

@@ -19,6 +19,18 @@ if grep -rnE '#include "(core|dir|mem|net|sim|sync|apps|baseline|obs)/' \
 fi
 echo "  OK: examples/ and bench/ include only argo/*.hpp"
 
+echo "=== directory-capacity constant gate ==="
+# kMaxNodes is the directory encoding's build-time ceiling and belongs to
+# src/dir/ alone. Everything else must go through argodir::max_nodes() (or
+# better, ClusterConfig::validate()), so a future re-encoding only touches
+# the directory layer.
+if grep -rn "kMaxNodes" src bench examples tests --include='*.hpp' \
+     --include='*.cpp' | grep -v '^src/dir/'; then
+  echo "FAIL: kMaxNodes referenced outside src/dir/ — use argodir::max_nodes()" >&2
+  exit 1
+fi
+echo "  OK: kMaxNodes referenced only under src/dir/"
+
 echo "=== default build ==="
 cmake -B build -S .
 cmake --build build -j "$JOBS"

@@ -7,7 +7,8 @@
 
 namespace argocore {
 
-using argodir::DirWord;
+using argodir::DirEntry;
+using argodir::NodeSet;
 using argomem::page_of;
 using argomem::page_offset;
 
@@ -40,7 +41,7 @@ static_assert(static_cast<int>(PageState::SharedMW) == 3);
 
 std::uint8_t NodeCache::traced_state(std::uint64_t page) {
   return static_cast<std::uint8_t>(
-      classify(DirWord{dir_.cache_get(node_, dir_page(page))}, node_));
+      classify(dir_.cache_get(node_, dir_page(page)), node_));
 }
 
 NodeCache::NodeCache(int node, GlobalMemory& gmem, argonet::Interconnect& net,
@@ -69,11 +70,11 @@ std::size_t NodeCache::checkpoint_reserve() const {
 }
 
 bool NodeCache::my_reader_bit_set(std::uint64_t page) const {
-  return DirWord{dir_.cache_get(node_, dir_page(page))}.is_reader(node_);
+  return dir_.cache_get(node_, dir_page(page)).is_reader(node_);
 }
 
 bool NodeCache::my_writer_bit_set(std::uint64_t page) const {
-  return DirWord{dir_.cache_get(node_, dir_page(page))}.is_writer(node_);
+  return dir_.cache_get(node_, dir_page(page)).is_writer(node_);
 }
 
 void NodeCache::lock_line(Line& l) {
@@ -308,14 +309,14 @@ void NodeCache::ensure_cached(std::uint64_t page, bool for_write) {
     // self-downgrade avoids). Skipped if we registered within this miss:
     // registration already healed on fresh information.
     if (cfg_.classification == Mode::PSNaive && !registered_this_call) {
-      const DirWord stale{dir_.cache_get(node_, page)};
+      const DirEntry stale = dir_.cache_get(node_, page);
       const bool resident =
           l.group == group && slot_of(l, page).valid && !l.fetching;
       if (!resident && stale.writer_count() == 1 &&
           stale.single_writer() != node_) {
         ++stats_.dir_ops;
-        const DirWord fresh = dir_.read(node_, page);
-        dir_.cache_merge_local(node_, page, fresh.raw);
+        const DirEntry fresh = dir_.read(node_, page);
+        dir_.cache_merge_local(node_, page, fresh);
         if (fresh.writer_count() == 1 && fresh.single_writer() != node_)
           heal_from_checkpoint(fresh.single_writer(), page);
       }
@@ -372,14 +373,15 @@ void NodeCache::ensure_cached_pipelined(std::uint64_t page, bool for_write) {
     // the wire. The send queue is FIFO, so the home-side fetch_or still
     // precedes the data reads — same ordering as the blocking path, minus
     // the dead time between them.
-    argonet::PostedHandle reg{};
-    std::uint64_t bits = 0, dp = 0;
+    argodir::RegTicket reg;
+    DirEntry bits;
+    std::uint64_t dp = 0;
     if ((for_write && !my_writer_bit_set(page)) || !my_reader_bit_set(page)) {
       dp = dir_page(page);
-      bits = DirWord::reader_bit(node_);
-      if (for_write) bits |= DirWord::writer_bit(node_);
+      bits.add_reader(node_);
+      if (for_write) bits.add_writer(node_);
       ++stats_.dir_ops;
-      reg = dir_.post_fetch_or(node_, dp, bits);
+      dir_.post_fetch_or(node_, dp, bits, reg);
     }
     lock_line(l);
     try {
@@ -406,7 +408,7 @@ void NodeCache::ensure_cached_pipelined(std::uint64_t page, bool for_write) {
     }
     unlock_line(l);
     if (reg) {
-      const DirWord prev = dir_.wait_word(reg);
+      const DirEntry prev = dir_.wait_entry(reg);
       apply_registration(page, dp, prev, bits, for_write);
     }
     if (l.group == group && slot_of(l, page).valid && my_reader_bit_set(page) &&
@@ -421,21 +423,25 @@ void NodeCache::ensure_cached_pipelined(std::uint64_t page, bool for_write) {
 
 bool NodeCache::register_access(std::uint64_t page, bool for_write) {
   const std::uint64_t dp = dir_page(page);
-  std::uint64_t bits = DirWord::reader_bit(node_);
-  if (for_write) bits |= DirWord::writer_bit(node_);
+  DirEntry bits = DirEntry::reader(node_);
+  if (for_write) bits.add_writer(node_);
   ++stats_.dir_ops;
-  const DirWord prev = dir_.fetch_or(node_, dp, bits);
+  const DirEntry prev = dir_.fetch_or(node_, dp, bits);
   return apply_registration(page, dp, prev, bits, for_write);
 }
 
 bool NodeCache::apply_registration(std::uint64_t page, std::uint64_t dp,
-                                   DirWord prev, std::uint64_t bits,
+                                   const DirEntry& prev, const DirEntry& bits,
                                    bool for_write) {
-  const DirWord updated{prev.raw | bits};
-  dir_.cache_merge_local(node_, dp, updated.raw);
+  const DirEntry updated = prev | bits;
+  dir_.cache_merge_local(node_, dp, updated);
 
-  const std::uint32_t me = std::uint32_t{1} << node_;
-  std::uint32_t notified = 0;
+  // Traced transitions carry the updated word covering this node's own
+  // map slice — at 32 nodes or fewer that is the whole (single-word)
+  // entry, bit-identical to the historical single-uint64_t payload.
+  const std::uint64_t traced_word =
+      updated.w[static_cast<std::size_t>(DirEntry::word_of(node_))];
+  NodeSet notified;
 
   // Notification fan-out: blocking one at a time at depth 1 (the historical
   // behaviour), collected and posted as one coalesced batch when
@@ -448,23 +454,21 @@ bool NodeCache::apply_registration(std::uint64_t page, std::uint64_t dp,
     // the re-run skips the node once it is declared.)
     if (membership_ != nullptr && !membership_->is_live(dst)) return;
     if (pipelined())
-      batch.push_back(argodir::DirNotify{dst, dp, updated.raw});
+      batch.push_back(argodir::DirNotify{dst, dp, updated});
     else
-      dir_.cache_merge_remote(node_, dst, dp, updated.raw);
+      dir_.cache_merge_remote(node_, dst, dp, updated);
   };
 
   // P→S: before us, exactly one *other* node had accessed the page. The
   // displaced private owner learns of the transition via one RDMA update
   // of its directory cache (deferred invalidation, §3.4.1).
-  const std::uint32_t prev_accessors = prev.accessors();
-  if (prev_accessors != 0 && (prev_accessors & me) == 0 &&
-      __builtin_popcount(prev_accessors) == 1) {
-    const int owner = __builtin_ctz(prev_accessors);
+  if (!prev.is_accessor(node_) && prev.accessor_count() == 1) {
+    const int owner = prev.single_accessor();
     ++stats_.transitions_caused;
     trace(argoobs::Ev::ClassTransition, dp,
-          static_cast<std::uint8_t>(classify(updated, node_)), updated.raw);
+          static_cast<std::uint8_t>(classify(updated, node_)), traced_word);
     notify(owner);
-    notified |= std::uint32_t{1} << owner;
+    notified.set(owner);
   }
   // Naive P/S: if — per the *fresh* word we just fetched — the page has a
   // single writer that is not us, the home copy may lag that writer's last
@@ -486,29 +490,29 @@ bool NodeCache::apply_registration(std::uint64_t page, std::uint64_t dp,
       case 0: {
         // NW→SW: every other node caching the page must learn there is now
         // a writer (they can no longer treat it as read-only).
-        std::uint32_t readers = prev.readers() & ~me & ~notified;
-        if (readers != 0) {
-          ++stats_.transitions_caused;
-          trace(argoobs::Ev::ClassTransition, dp,
-                static_cast<std::uint8_t>(classify(updated, node_)),
-                updated.raw);
-        }
-        while (readers != 0) {
-          const int r = __builtin_ctz(readers);
-          readers &= readers - 1;
+        bool traced = false;
+        prev.for_each_reader([&](int r) {
+          if (r == node_ || notified.test(r)) return;
+          if (!traced) {
+            ++stats_.transitions_caused;
+            trace(argoobs::Ev::ClassTransition, dp,
+                  static_cast<std::uint8_t>(classify(updated, node_)),
+                  traced_word);
+            traced = true;
+          }
           notify(r);
-        }
+        });
         break;
       }
       case 1: {
         // SW→MW: only the previous single writer needs to know (§3.5) —
         // for everyone else SW-other and MW mean the same thing.
         const int w = prev.single_writer();
-        if (w != node_ && ((notified >> w) & 1) == 0) {
+        if (w != node_ && !notified.test(w)) {
           ++stats_.transitions_caused;
           trace(argoobs::Ev::ClassTransition, dp,
                 static_cast<std::uint8_t>(classify(updated, node_)),
-                updated.raw);
+                traced_word);
           notify(w);
         }
         break;
@@ -679,9 +683,9 @@ void NodeCache::writeback_locked(Line& l, std::uint64_t page) {
   const GAddr base = page * kPageSize;
   std::byte* home = gmem_.home_ptr(base);
   const int home_node = gmem_.home_of_page(page);
-  const DirWord w{dir_.cache_get(node_, dir_page(page))};
+  const DirEntry w = dir_.cache_get(node_, dir_page(page));
 
-  const bool sole_writer = w.writers() == (std::uint32_t{1} << node_);
+  const bool sole_writer = w.sole_writer(node_);
   std::size_t wire = 0;
   if (!s.twin || (cfg_.sw_diff_suppression && sole_writer)) {
     // Whole-page downgrade: no diff scan, more wire bytes (§3.2's
@@ -799,7 +803,7 @@ bool NodeCache::drain_oldest() {
       const std::uint64_t page = write_buffer_[r];
       if (!is_live(page)) continue;  // drop stale entries as we scan
       if (!allow_private &&
-          DirWord{dir_.cache_get(node_, dir_page(page))}.private_to(node_)) {
+          dir_.cache_get(node_, dir_page(page)).private_to(node_)) {
         write_buffer_[w++] = page;
         continue;
       }
@@ -910,7 +914,7 @@ void NodeCache::si_fence_impl() {
         PageSlot& s = l.pages[i];
         if (!s.valid) continue;
         const std::uint64_t page = l.group * cfg_.pages_per_line + i;
-        const DirWord w{dir_.cache_get(node_, dir_page(page))};
+        const DirEntry w = dir_.cache_get(node_, dir_page(page));
         const bool registered = w.is_reader(node_) || w.is_writer(node_);
         if (registered && !si_required(cfg_.classification, w, node_)) continue;
         if (s.dirty) writeback_locked(l, page);
@@ -965,7 +969,7 @@ void NodeCache::sd_fence_impl() {
     }
     try {
       if (naive) {
-        const DirWord w{dir_.cache_get(node_, page)};
+        const DirEntry w = dir_.cache_get(node_, page);
         if (w.private_to(node_)) {
           // Naive P/S: private pages are not downgraded; instead the node
           // checkpoints them at every synchronization point so a later P→S
@@ -979,8 +983,7 @@ void NodeCache::sd_fence_impl() {
           writeback_locked(l, page);
           // While we remain the page's sole writer, newcomers heal from
           // our checkpoint — keep it as fresh as what we just flushed.
-          if (w.writers() == (std::uint32_t{1} << node_))
-            refresh_checkpoint(l, page);
+          if (w.sole_writer(node_)) refresh_checkpoint(l, page);
         }
       } else {
         writeback_locked(l, page);

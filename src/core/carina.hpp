@@ -28,6 +28,7 @@
 #include "core/policy.hpp"
 #include "core/stats.hpp"
 #include "core/tlb.hpp"
+#include "dir/nodeset.hpp"
 #include "dir/pyxis.hpp"
 #include "mem/global_memory.hpp"
 #include "mem/pool.hpp"
@@ -233,13 +234,13 @@ class NodeCache {
   /// copy fetched before the heal).
   bool register_access(std::uint64_t page, bool for_write);
 
-  /// Post-fetch_or half of register_access: merge the updated word into
+  /// Post-fetch_or half of register_access: merge the updated entry into
   /// our directory cache and fan out the transition notifications `prev`
   /// implies (batched/coalesced when pipelining). Returns true if the
   /// naive-P/S path healed the home copy.
   bool apply_registration(std::uint64_t page, std::uint64_t dp,
-                          argodir::DirWord prev, std::uint64_t bits,
-                          bool for_write);
+                          const argodir::DirEntry& prev,
+                          const argodir::DirEntry& bits, bool for_write);
 
   /// Evict the current contents of `l` (flushing dirty pages). Latch held.
   void evict_line_locked(Line& l);

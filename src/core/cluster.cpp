@@ -1,19 +1,37 @@
 #include "core/cluster.hpp"
 
 #include <cstdio>
+#include <stdexcept>
 #include <string>
 
 #include "sim/par.hpp"
 
+namespace argocore {
+
+void ClusterConfig::validate() const {
+  if (nodes < 1 || nodes > argodir::max_nodes())
+    throw std::invalid_argument(
+        "ClusterConfig::nodes = " + std::to_string(nodes) +
+        " is outside [1, " + std::to_string(argodir::max_nodes()) +
+        "]: the directory encodes at most " +
+        std::to_string(argodir::max_nodes()) +
+        " nodes (ceil(N/32) words of paired reader/writer bits, capped by "
+        "the 32-byte extended-atomic operand)");
+  if (threads_per_node < 1)
+    throw std::invalid_argument(
+        "ClusterConfig::threads_per_node = " +
+        std::to_string(threads_per_node) + " must be at least 1");
+}
+
+}  // namespace argocore
+
 namespace argo {
 
 Cluster::Cluster(ClusterConfig cfg)
-    : cfg_(cfg),
+    : cfg_((cfg.validate(), cfg)),
       net_(cfg.nodes, cfg.net),
       gmem_(cfg.nodes, cfg.global_mem_bytes, cfg.mapping),
       dir_(gmem_, net_) {
-  assert(cfg_.nodes >= 1 && cfg_.nodes <= argodir::kMaxNodes);
-  assert(cfg_.threads_per_node >= 1);
   caches_.reserve(static_cast<std::size_t>(cfg_.nodes));
   for (int n = 0; n < cfg_.nodes; ++n)
     caches_.push_back(

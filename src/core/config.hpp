@@ -95,6 +95,13 @@ struct ClusterConfig {
   /// barrier hooks, op-count crash triggers) fall back to the legacy
   /// engine with a stderr notice.
   int engine_threads = 0;
+
+  /// Throw std::invalid_argument with a descriptive message when the
+  /// configuration is unusable — in particular a `nodes` count outside
+  /// [1, argodir::max_nodes()], the build-time ceiling of the multi-word
+  /// directory encoding. Called by the Cluster constructor; callers that
+  /// want to reject bad configs before constructing can call it directly.
+  void validate() const;
 };
 
 }  // namespace argocore

@@ -36,9 +36,9 @@ void MembershipService::begin_run(int active_nodes) {
 
   // Liveness persists across runs: a node that crashed in a previous run
   // stays dead (and its fresh worker fibers are reaped at t=run-start).
-  std::uint32_t alive = 0;
+  argodir::NodeSet alive;
   for (int n = 0; n < active_nodes_; ++n)
-    if (is_live(n)) alive |= std::uint32_t{1} << n;
+    if (is_live(n)) alive.set(n);
   for (int n = 0; n < active_nodes_; ++n) views_[n].live = alive;
   barrier_.configure(active_nodes_);
   for (int n = 0; n < active_nodes_; ++n)
@@ -76,7 +76,7 @@ void MembershipService::note_worker(int node, argosim::SimThread* t) {
 
 void MembershipService::await_recovery(int node) {
   assert(cfg_.enabled);
-  while (((recovered_mask_ >> node) & 1) == 0) recovery_waiters_.wait();
+  while (!recovered_mask_.test(node)) recovery_waiters_.wait();
 }
 
 void MembershipService::register_lock(RecoverableLock* l) {
@@ -119,14 +119,12 @@ void MembershipService::monitor_body(int self) {
     // force-recover any lock its crash stranded. The swept mask makes the
     // sweep run exactly once per victim, from whichever monitor ticks first
     // past the expiry.
-    if (resolved_mask_ != 0) {
+    if (resolved_mask_.any()) {
       const Time now = argosim::now();
       for (int v = 0; v < active_nodes_; ++v) {
-        const std::uint32_t bit = std::uint32_t{1} << v;
-        if ((resolved_mask_ & bit) == 0 || (lock_swept_mask_ & bit) != 0)
-          continue;
+        if (!resolved_mask_.test(v) || lock_swept_mask_.test(v)) continue;
         if (now >= detect_time_[static_cast<std::size_t>(v)] + cfg_.lease) {
-          lock_swept_mask_ |= bit;
+          lock_swept_mask_.set(v);
           sweep_locks(v);
         }
       }
@@ -177,15 +175,14 @@ void MembershipService::reaper_body() {
 
 void MembershipService::declare_dead(int detector, int victim) {
   View& v = views_[static_cast<std::size_t>(detector)];
-  v.live &= ~(std::uint32_t{1} << victim);
+  v.live.reset(victim);
   ++v.epoch;
   if (v.epoch > epoch_) epoch_ = v.epoch;
 
-  const std::uint32_t bit = std::uint32_t{1} << victim;
-  if ((resolved_mask_ & bit) != 0) return;  // someone else detected first
-  resolved_mask_ |= bit;
-  dead_mask_ |= bit;
-  departed_mask_ |= bit;
+  if (resolved_mask_.test(victim)) return;  // someone else detected first
+  resolved_mask_.set(victim);
+  dead_mask_.set(victim);
+  departed_mask_.set(victim);
   const Time now = argosim::now();
   detect_time_[static_cast<std::size_t>(victim)] = now;
   ++stats_.deaths;
@@ -200,7 +197,7 @@ void MembershipService::declare_dead(int detector, int victim) {
   // serialized (resolved_mask_ keeps every later detector out).
   recover(detector, victim);
 
-  recovered_mask_ |= bit;
+  recovered_mask_.set(victim);
   ++stats_.recovery_events;
   stats_.recovery_ns.add(static_cast<std::uint64_t>(argosim::now() - now));
   recovery_waiters_.notify_all();
@@ -210,16 +207,15 @@ void MembershipService::declare_dead(int detector, int victim) {
 
 void MembershipService::declare_rejoin(int detector, int node) {
   View& v = views_[static_cast<std::size_t>(detector)];
-  v.live |= std::uint32_t{1} << node;
+  v.live.set(node);
   ++v.epoch;
   if (v.epoch > epoch_) epoch_ = v.epoch;
 
-  const std::uint32_t bit = std::uint32_t{1} << node;
-  if ((dead_mask_ & bit) == 0) return;  // already re-admitted
+  if (!dead_mask_.test(node)) return;  // already re-admitted
   // Rejoin as a *fresh* node: it answers probes and may serve new traffic,
   // but departed_mask_ keeps its old identity out of collectives and lock
   // queues, and its lost home pages stay redirected to the successor.
-  dead_mask_ &= ~bit;
+  dead_mask_.reset(node);
   ++stats_.rejoins;
 }
 
@@ -238,12 +234,12 @@ void MembershipService::recover(int detector, int victim) {
   }
   if (succ < 0) return;  // whole cluster dead; nothing to recover for
 
-  // Dead reader/writer bits to drop from every reconstructed word.
-  std::uint64_t dead_bits = 0;
+  // Dead reader/writer bits to drop from every reconstructed entry —
+  // accumulated word-wise, so a death past node 31 scrubs the right word
+  // instead of aliasing into the first 32 nodes.
+  argodir::DirEntry dead_bits;
   for (int d = 0; d < active_nodes_; ++d)
-    if (!is_live(d))
-      dead_bits |= argodir::DirWord::reader_bit(d) |
-                   argodir::DirWord::writer_bit(d);
+    if (!is_live(d)) dead_bits.add_reader(d).add_writer(d);
 
   const auto& netc = net_.config();
   const std::uint64_t pages = gmem_.pages();
@@ -271,7 +267,7 @@ void MembershipService::recover(int detector, int victim) {
       }
     }
 
-    const std::uint64_t home_word = dir_.host_word(p).raw;
+    const argodir::DirEntry home_entry = dir_.host_entry(p);
     if (best != nullptr) {
       // Copy before charging: host_page_image points into a live cache
       // line that another fiber could evict across a delay().
@@ -279,7 +275,7 @@ void MembershipService::recover(int detector, int victim) {
                   argomem::kPageSize);
       argosim::delay(netc.rdma_latency + netc.net_transfer(argomem::kPageSize));
       ++stats_.pages_recovered;
-    } else if (home_word != 0) {
+    } else if (home_entry.any()) {
       // Someone touched the page but no survivor holds a copy: the
       // authoritative data died with its home. Conservatively zero it so
       // readers see defined (if lost) contents, and count it.
@@ -288,14 +284,15 @@ void MembershipService::recover(int detector, int victim) {
       ++stats_.pages_lost;
     }
 
-    // Rebuild the directory word from the survivors' caches (their own
+    // Rebuild the directory entry from the survivors' caches (their own
     // bits are always present in their own cache), minus dead bits.
-    std::uint64_t rebuilt = 0;
+    argodir::DirEntry rebuilt;
     for (int n = 0; n < active_nodes_; ++n)
       if (is_live(n)) rebuilt |= dir_.cache_get(n, p);
-    rebuilt &= ~dead_bits;
-    if (rebuilt != home_word) {
-      dir_.host_set_word(p, rebuilt);
+    for (std::size_t i = 0; i < rebuilt.w.size(); ++i)
+      rebuilt.w[i] &= ~dead_bits.w[i];
+    if (rebuilt != home_entry) {
+      dir_.host_set_entry(p, rebuilt);
       ++stats_.dir_words_rebuilt;
     }
 
@@ -323,8 +320,7 @@ void MembershipService::recover(int detector, int victim) {
 
   // Retire the victim's reader/writer bits everywhere (pages homed on
   // survivors included): it can never downgrade or be notified again.
-  dir_.host_scrub_bits(argodir::DirWord::reader_bit(victim) |
-                       argodir::DirWord::writer_bit(victim));
+  dir_.host_scrub_node(victim);
 
   // From here on the victim's pages are served — and charged — by the
   // successor. The flat home buffer means no bytes move.

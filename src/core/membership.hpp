@@ -36,6 +36,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "dir/nodeset.hpp"
 #include "obs/metrics.hpp"
 #include "sim/sync.hpp"
 #include "sim/time.hpp"
@@ -83,10 +84,10 @@ struct MembershipConfig {
 /// defining property of a timeout-based detector.
 struct View {
   std::uint64_t epoch = 0;
-  std::uint32_t live = 0;  ///< bit n = node n believed live
+  argodir::NodeSet live;  ///< nodes believed live
 
-  bool is_live(int node) const { return (live >> node) & 1; }
-  int live_count() const { return __builtin_popcount(live); }
+  bool is_live(int node) const { return live.test(node); }
+  int live_count() const { return live.count(); }
 };
 
 /// Counters and latency distributions for the recovery machinery. Sampled
@@ -128,14 +129,13 @@ class RecoverableLock {
 class ViewBarrier {
  public:
   void configure(int parties) {
-    participants_ = parties >= 32 ? ~std::uint32_t{0}
-                                  : (std::uint32_t{1} << parties) - 1;
-    arrived_ = 0;
+    participants_ = argodir::NodeSet::first_n(parties);
+    arrived_ = argodir::NodeSet{};
   }
 
   void arrive_and_wait(int node) {
     const std::uint64_t gen = generation_;
-    arrived_ |= std::uint32_t{1} << node;
+    arrived_.set(node);
     if (try_release()) return;
     while (generation_ == gen) q_.wait();
   }
@@ -143,7 +143,7 @@ class ViewBarrier {
   /// Called by the recovery path when a node is declared dead: if that
   /// node was the only straggler of the current round, release it.
   void on_node_departed(int node) {
-    departed_ |= std::uint32_t{1} << node;
+    departed_.set(node);
     try_release();
   }
 
@@ -151,15 +151,15 @@ class ViewBarrier {
   bool try_release() {
     if (((arrived_ | departed_) & participants_) != participants_)
       return false;
-    arrived_ = 0;
+    arrived_ = argodir::NodeSet{};
     ++generation_;
     q_.notify_all();
     return true;
   }
 
-  std::uint32_t participants_ = 0;
-  std::uint32_t arrived_ = 0;
-  std::uint32_t departed_ = 0;  // only ever grows: rejoiners stay out
+  argodir::NodeSet participants_;
+  argodir::NodeSet arrived_;
+  argodir::NodeSet departed_;  // only ever grows: rejoiners stay out
   std::uint64_t generation_ = 0;
   argosim::WaitQueue q_;
 };
@@ -200,12 +200,12 @@ class MembershipService {
   std::uint64_t epoch() const { return epoch_; }
   /// Liveness per the *service's* knowledge (lags the injector by up to
   /// miss_threshold heartbeats — that is the point of a failure detector).
-  bool is_live(int node) const { return ((dead_mask_ >> node) & 1) == 0; }
-  bool any_dead() const { return dead_mask_ != 0; }
-  std::uint32_t dead_mask() const { return dead_mask_; }
+  bool is_live(int node) const { return !dead_mask_.test(node); }
+  bool any_dead() const { return dead_mask_.any(); }
+  const argodir::NodeSet& dead_set() const { return dead_mask_; }
   /// Nodes that have ever crashed (rejoin does not clear this; collectives
   /// and lock queues never re-admit a rejoined node's old identity).
-  std::uint32_t departed_mask() const { return departed_mask_; }
+  const argodir::NodeSet& departed_set() const { return departed_mask_; }
   /// Virtual time `node`'s death was first detected (0 if never declared).
   argosim::Time detect_time(int node) const {
     return detect_time_[static_cast<std::size_t>(node)];
@@ -213,7 +213,7 @@ class MembershipService {
   /// True once `node`'s recovery pass (redirect, page and directory
   /// reconstruction) has completed. The validator keys its epoch-aware
   /// invariants off this: before it, survivor state is legitimately stale.
-  bool recovered(int node) const { return (recovered_mask_ >> node) & 1; }
+  bool recovered(int node) const { return recovered_mask_.test(node); }
 
   /// Block the calling fiber until `node`'s crash has been detected and
   /// its recovery pass (home redirect, page reconstruction) completed.
@@ -262,11 +262,11 @@ class MembershipService {
 
   std::vector<View> views_;
   std::uint64_t epoch_ = 0;
-  std::uint32_t dead_mask_ = 0;      // declared dead, not yet rejoined
-  std::uint32_t departed_mask_ = 0;  // ever declared dead
-  std::uint32_t resolved_mask_ = 0;  // recovery started (first detector won)
-  std::uint32_t recovered_mask_ = 0; // recovery finished
-  std::uint32_t lock_swept_mask_ = 0;
+  argodir::NodeSet dead_mask_;       // declared dead, not yet rejoined
+  argodir::NodeSet departed_mask_;   // ever declared dead
+  argodir::NodeSet resolved_mask_;   // recovery started (first detector won)
+  argodir::NodeSet recovered_mask_;  // recovery finished
+  argodir::NodeSet lock_swept_mask_;
   std::vector<argosim::Time> detect_time_;
   argosim::WaitQueue recovery_waiters_;
   ViewBarrier barrier_;

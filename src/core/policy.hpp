@@ -9,9 +9,9 @@
 
 namespace argocore {
 
-using argodir::DirWord;
+using argodir::DirEntry;
 
-/// Page classification as inferred by node `me` from a directory word.
+/// Page classification as inferred by node `me` from a directory entry.
 enum class PageState {
   Private,   ///< P: me is the only accessor (so far)
   SharedNW,  ///< S,NW: multiple accessors, no writer
@@ -21,7 +21,7 @@ enum class PageState {
 
 const char* to_string(PageState s);
 
-inline PageState classify(DirWord w, int me) {
+inline PageState classify(const DirEntry& w, int me) {
   if (w.private_to(me)) return PageState::Private;
   switch (w.writer_count()) {
     case 0:
@@ -34,7 +34,7 @@ inline PageState classify(DirWord w, int me) {
 }
 
 /// Must node `me` self-invalidate its cached copy at an SI fence?
-inline bool si_required(Mode mode, DirWord w, int me) {
+inline bool si_required(Mode mode, const DirEntry& w, int me) {
   switch (mode) {
     case Mode::S:
       return true;  // no classification: everything invalidates
@@ -58,7 +58,7 @@ enum class SdAction {
   Checkpoint,  ///< naive P/S: copy to a local checkpoint, keep dirty
 };
 
-inline SdAction sd_action(Mode mode, DirWord w, int me) {
+inline SdAction sd_action(Mode mode, const DirEntry& w, int me) {
   if (mode == Mode::PSNaive && w.private_to(me)) return SdAction::Checkpoint;
   return SdAction::WriteBack;
 }

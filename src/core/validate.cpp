@@ -7,7 +7,7 @@
 
 namespace argocore {
 
-using argodir::DirWord;
+using argodir::DirEntry;
 
 void ProtocolValidator::attach() {
   cluster_.set_barrier_hook([this](int node) { check_post_barrier(node); });
@@ -29,11 +29,10 @@ void ProtocolValidator::check(int node) {
   // Directory bits of departed-and-recovered nodes: scrubbed from every
   // home word, but survivor directory *caches* may retain them until their
   // next SI reset — legitimate staleness the epoch-aware checks mask out.
-  std::uint64_t departed_bits = 0;
+  DirEntry departed_bits;
   if (degraded) {
     for (int n = 0; n < cluster_.nodes(); ++n)
-      if (ms.recovered(n))
-        departed_bits |= DirWord::reader_bit(n) | DirWord::writer_bit(n);
+      if (ms.recovered(n)) departed_bits.add_reader(n).add_writer(n);
   }
 
   NodeCache& cache = cluster_.node_cache(node);
@@ -44,14 +43,23 @@ void ProtocolValidator::check(int node) {
   for (const NodeCache::CachedPage& p : cache.cached_pages()) {
     if (p.in_wb) ++in_wb_flags;
     const std::uint64_t key = cache.dir_key(p.page);
-    const DirWord home = dir.host_word(key);
+    const DirEntry home = dir.host_entry(key);
     if (p.dirty && !home.is_writer(node))
       fail(node, p.page, "dirty but writer bit not set at home");
-    const std::uint64_t cached = dir.cache_get(node, key);
-    if ((cached & ~home.raw & ~departed_bits) != 0)
-      fail(node, p.page, "cached directory word claims bits home lacks");
-    if ((home.raw & departed_bits) != 0)
-      fail(node, p.page, "home directory word retains a departed node's bits");
+    const DirEntry cached = dir.cache_get(node, key);
+    for (std::size_t i = 0; i < cached.w.size(); ++i) {
+      if ((cached.w[i] & ~home.w[i] & ~departed_bits.w[i]) != 0) {
+        fail(node, p.page, "cached directory entry claims bits home lacks");
+        break;
+      }
+    }
+    for (std::size_t i = 0; i < home.w.size(); ++i) {
+      if ((home.w[i] & departed_bits.w[i]) != 0) {
+        fail(node, p.page,
+             "home directory entry retains a departed node's bits");
+        break;
+      }
+    }
   }
 
   // Lease invariant: a lock may stay "held" by a dead node only until its
@@ -105,7 +113,7 @@ void ProtocolValidator::check_post_barrier(int node) {
     // The word a node acts on is keyed at classification granularity (the
     // line's first page, except per-page under naive P/S).
     const std::uint64_t key = cache.dir_key(p.page);
-    const DirWord cached{dir.cache_get(node, key)};
+    const DirEntry cached = dir.cache_get(node, key);
     if (p.dirty) {
       const bool naive_private =
           mode == Mode::PSNaive && cached.private_to(node);
@@ -114,7 +122,7 @@ void ProtocolValidator::check_post_barrier(int node) {
     }
     if (si_required(mode, cached, node))
       fail(node, p.page, "survived SI fence but classification requires drop");
-    if (!dir.host_word(key).is_reader(node))
+    if (!dir.host_entry(key).is_reader(node))
       fail(node, p.page, "cached without reader registration at home");
   }
 }

@@ -1,0 +1,84 @@
+// NodeSet: a set of node ids sized to the directory's build-time node
+// ceiling (kMaxNodes = 128, dir/pyxis.hpp).
+//
+// Before the multi-word directory, membership masks (dead/departed/
+// recovered nodes, barrier arrival maps) were bare uint32_t bitmaps and
+// silently capped the cluster at 32 nodes alongside the directory word.
+// NodeSet replaces those masks with a two-word bitmap carrying the same
+// monotonic-OR update idiom.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace argodir {
+
+struct NodeSet {
+  // 128 bits: word i covers nodes [64*i, 64*i + 64).
+  std::array<std::uint64_t, 2> w{};
+
+  static NodeSet of(int node) {
+    NodeSet s;
+    s.set(node);
+    return s;
+  }
+
+  /// The full set {0, ..., n-1} (barrier participant maps).
+  static NodeSet first_n(int n) {
+    NodeSet s;
+    for (int i = 0; i < n; ++i) s.set(i);
+    return s;
+  }
+
+  void set(int node) { w[word(node)] |= bit(node); }
+  void reset(int node) { w[word(node)] &= ~bit(node); }
+  bool test(int node) const { return (w[word(node)] & bit(node)) != 0; }
+
+  bool any() const { return (w[0] | w[1]) != 0; }
+  bool none() const { return !any(); }
+  int count() const {
+    return __builtin_popcountll(w[0]) + __builtin_popcountll(w[1]);
+  }
+
+  NodeSet& operator|=(const NodeSet& o) {
+    w[0] |= o.w[0];
+    w[1] |= o.w[1];
+    return *this;
+  }
+  NodeSet& operator&=(const NodeSet& o) {
+    w[0] &= o.w[0];
+    w[1] &= o.w[1];
+    return *this;
+  }
+  /// Remove `o`'s members from this set.
+  NodeSet& operator-=(const NodeSet& o) {
+    w[0] &= ~o.w[0];
+    w[1] &= ~o.w[1];
+    return *this;
+  }
+  friend NodeSet operator|(NodeSet a, const NodeSet& b) { return a |= b; }
+  friend NodeSet operator&(NodeSet a, const NodeSet& b) { return a &= b; }
+  friend NodeSet operator-(NodeSet a, const NodeSet& b) { return a -= b; }
+  friend bool operator==(const NodeSet& a, const NodeSet& b) {
+    return a.w == b.w;
+  }
+  friend bool operator!=(const NodeSet& a, const NodeSet& b) {
+    return !(a == b);
+  }
+
+  /// Call `f(node)` for every member, in ascending order.
+  template <typename F>
+  void for_each(F&& f) const {
+    for (int i = 0; i < 2; ++i)
+      for (std::uint64_t m = w[i]; m; m &= m - 1)
+        f(i * 64 + __builtin_ctzll(m));
+  }
+
+ private:
+  static constexpr int word(int node) { return node >> 6; }
+  static constexpr std::uint64_t bit(int node) {
+    return std::uint64_t{1} << (node & 63);
+  }
+};
+
+}  // namespace argodir

@@ -19,37 +19,67 @@ inline bool sharded_engine() {
 
 PyxisDirectory::PyxisDirectory(GlobalMemory& gmem, argonet::Interconnect& net)
     : gmem_(gmem), net_(net) {
-  words_.assign(gmem.pages(), 0);
-  caches_.assign(static_cast<std::size_t>(net.nodes()),
-                 std::vector<std::uint64_t>(gmem.pages(), 0));
-  notify_count_.assign(static_cast<std::size_t>(net.nodes()), 0);
   assert(net.nodes() <= kMaxNodes &&
-         "directory word encodes at most 32 nodes");
+         "directory entries encode at most kMaxNodes nodes");
+  nwords_ = dir_words_for(net.nodes());
+  words_.assign(gmem.pages() * static_cast<std::size_t>(nwords_), 0);
+  caches_.assign(
+      static_cast<std::size_t>(net.nodes()),
+      std::vector<std::uint64_t>(
+          gmem.pages() * static_cast<std::size_t>(nwords_), 0));
+  notify_count_.assign(static_cast<std::size_t>(net.nodes()), 0);
 }
 
-DirWord PyxisDirectory::fetch_or(int src, std::uint64_t page,
-                                 std::uint64_t bits) {
+DirEntry PyxisDirectory::fetch_or(int src, std::uint64_t page,
+                                  const DirEntry& bits) {
   const int home = gmem_.home_of_page(page);
-  std::uint64_t prev = net_.fetch_or(src, home, &words_[page], bits);
-  return DirWord{prev};
+  std::uint64_t* entry = &words_[page * static_cast<std::size_t>(nwords_)];
+  DirEntry prev;
+  if (nwords_ == 1) {
+    // Single-word cluster: exactly the old 8-byte fetch-or fast path.
+    prev.w[0] = net_.fetch_or(src, home, entry, bits.w[0]);
+  } else {
+    net_.fetch_or_span(src, home, entry, bits.w.data(), nwords_,
+                       prev.w.data());
+  }
+  return prev;
 }
 
-argonet::PostedHandle PyxisDirectory::post_fetch_or(int src,
-                                                    std::uint64_t page,
-                                                    std::uint64_t bits) {
+void PyxisDirectory::post_fetch_or(int src, std::uint64_t page,
+                                   const DirEntry& bits, RegTicket& t) {
   const int home = gmem_.home_of_page(page);
-  return net_.post_fetch_or(src, home, &words_[page], bits);
+  std::uint64_t* entry = &words_[page * static_cast<std::size_t>(nwords_)];
+  t.prev.fill(0);
+  t.pending = true;
+  if (nwords_ == 1) {
+    t.multi = false;
+    t.h = net_.post_fetch_or(src, home, entry, bits.w[0]);
+  } else {
+    t.multi = true;
+    t.h = net_.post_fetch_or_span(src, home, entry, bits.w.data(), nwords_,
+                                  t.prev.data());
+  }
 }
 
-DirWord PyxisDirectory::wait_word(argonet::PostedHandle h) {
-  return DirWord{net_.wait(h)};
+DirEntry PyxisDirectory::wait_entry(RegTicket& t) {
+  assert(t.pending && "wait_entry on an idle ticket");
+  const std::uint64_t v = net_.wait(t.h);
+  DirEntry prev;
+  if (t.multi) {
+    prev.w = t.prev;  // filled by the extended atomic before retirement
+  } else {
+    prev.w[0] = v;
+  }
+  t.pending = false;
+  return prev;
 }
 
-DirWord PyxisDirectory::read(int src, std::uint64_t page) {
+DirEntry PyxisDirectory::read(int src, std::uint64_t page) {
   const int home = gmem_.home_of_page(page);
-  std::uint64_t word = 0;
-  net_.read(src, home, &words_[page], &word, sizeof(word));
-  return DirWord{word};
+  DirEntry e;
+  net_.read(src, home, &words_[page * static_cast<std::size_t>(nwords_)],
+            e.w.data(), sizeof(std::uint64_t) * static_cast<std::size_t>(nwords_));
+  return e;
 }
 
 void PyxisDirectory::reset_all() {
@@ -61,21 +91,33 @@ void PyxisDirectory::reset_all() {
     bump_gen(static_cast<int>(n));
 }
 
+void PyxisDirectory::host_scrub_node(int victim) {
+  const std::uint64_t mask =
+      DirEntry::reader_bit(victim) | DirEntry::writer_bit(victim);
+  const std::size_t word = static_cast<std::size_t>(DirEntry::word_of(victim));
+  for (std::size_t p = 0; p < words_.size() / nwords_; ++p)
+    words_[p * static_cast<std::size_t>(nwords_) + word] &= ~mask;
+}
+
 void PyxisDirectory::cache_merge_remote(int src, int dst, std::uint64_t page,
-                                        std::uint64_t word) {
-  // One small RDMA atomic into the displaced owner's (registered)
-  // directory-cache window. An OR at completion time, so it commutes with
-  // the owner's own lookups and with other racing notifications.
-  if (sharded_engine()) {
-    net_.fetch_or(src, dst, &cache_slot(dst, page), word,
-                  [this, dst](std::uint64_t) {
-                    bump_gen(dst);
-                    ++notify_count_[static_cast<std::size_t>(dst)];
-                  });
-  } else {
-    net_.fetch_or(src, dst, &cache_slot(dst, page), word);
-    bump_gen(dst);  // deferred invalidation delivered: revoke dst's TLB
-    ++notify_count_[static_cast<std::size_t>(dst)];
+                                        const DirEntry& entry) {
+  // One small RDMA atomic per touched word into the displaced owner's
+  // (registered) directory-cache window. ORs at completion time, so they
+  // commute with the owner's own lookups and with racing notifications.
+  std::uint64_t* slot = cache_slot(dst, page);
+  for (int i = 0; i < nwords_; ++i) {
+    const std::uint64_t word = entry.w[static_cast<std::size_t>(i)];
+    if (word == 0) continue;
+    if (sharded_engine()) {
+      net_.fetch_or(src, dst, slot + i, word, [this, dst](std::uint64_t) {
+        bump_gen(dst);
+        ++notify_count_[static_cast<std::size_t>(dst)];
+      });
+    } else {
+      net_.fetch_or(src, dst, slot + i, word);
+      bump_gen(dst);  // deferred invalidation delivered: revoke dst's TLB
+      ++notify_count_[static_cast<std::size_t>(dst)];
+    }
   }
   if (tracer_)
     tracer_->emit(src, argoobs::Ev::DeferredInval, page,
@@ -92,26 +134,29 @@ void PyxisDirectory::cache_merge_remote_batch(int src,
   std::vector<argonet::PostedHandle> posted;
   posted.reserve(batch.size());
   for (std::size_t i = 0; i < batch.size();) {
-    std::uint64_t word = 0;
+    DirEntry merged;
     std::size_t j = i;
     while (j < batch.size() && batch[j].dst == batch[i].dst &&
            batch[j].page == batch[i].page) {
-      word |= batch[j].word;
+      merged |= batch[j].entry;
       ++j;
     }
     const int dst = batch[i].dst;
-    if (sharded_engine()) {
-      posted.push_back(net_.post_fetch_or(
-          src, dst, &cache_slot(dst, batch[i].page), word,
-          [this, dst](std::uint64_t) {
-            bump_gen(dst);
-            ++notify_count_[static_cast<std::size_t>(dst)];
-          }));
-    } else {
-      posted.push_back(net_.post_fetch_or(
-          src, dst, &cache_slot(dst, batch[i].page), word));
-      bump_gen(dst);  // deferred invalidation: revoke dst's TLB
-      ++notify_count_[static_cast<std::size_t>(dst)];
+    std::uint64_t* slot = cache_slot(dst, batch[i].page);
+    for (int k = 0; k < nwords_; ++k) {
+      const std::uint64_t word = merged.w[static_cast<std::size_t>(k)];
+      if (word == 0) continue;
+      if (sharded_engine()) {
+        posted.push_back(net_.post_fetch_or(
+            src, dst, slot + k, word, [this, dst](std::uint64_t) {
+              bump_gen(dst);
+              ++notify_count_[static_cast<std::size_t>(dst)];
+            }));
+      } else {
+        posted.push_back(net_.post_fetch_or(src, dst, slot + k, word));
+        bump_gen(dst);  // deferred invalidation: revoke dst's TLB
+        ++notify_count_[static_cast<std::size_t>(dst)];
+      }
     }
     if (tracer_)
       tracer_->emit(src, argoobs::Ev::DeferredInval, batch[i].page,

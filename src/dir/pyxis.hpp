@@ -7,21 +7,26 @@
 // (Private/Shared, No-Writer/Single-Writer/Multiple-Writers) is *inferred*
 // by the accessing nodes from the maps.
 //
-// Encoding: one 64-bit word per page; bit r (r < 32) = node r has read the
-// page, bit 32+w = node w has written it. A single fetch-or therefore
-// registers the caller and returns both maps in one network atomic — the
-// paper's "Fetch&Add [that] returns the updated reader and writer full
-// maps". This caps the cluster at 32 nodes (the paper's own runs beyond 32
-// nodes are reproduced at reduced scale; see EXPERIMENTS.md).
+// Encoding: each page's entry is ceil(N/32) consecutive 64-bit words. Word
+// i covers nodes [32i, 32i+32): within it, bit r (r < 32) = node 32i+r has
+// read the page, bit 32+w = node 32i+w has written it. A single extended
+// fetch-or spanning the entry therefore registers the caller and returns
+// both full maps in one network atomic — the paper's "Fetch&Add [that]
+// returns the updated reader and writer full maps". One word (N <= 32)
+// uses the plain 8-byte fetch-or; larger clusters (up to kMaxNodes = 128)
+// use the masked extended atomic, whose 32-byte operand cap on
+// ConnectX-class HCAs sets the build-time ceiling.
 //
-// Every node also keeps a *directory cache*: a local copy of the word for
+// Every node also keeps a *directory cache*: a local copy of the entry for
 // every page it has ever looked up. Nodes that cause a classification
 // transition (P→S, NW→SW, SW→MW) notify the displaced owner by remotely
-// writing the updated word into the owner's directory cache (one RDMA
-// write, no handler). The owner observes the change at its next fence or
-// miss — the paper's *deferred invalidation*, valid under DRF semantics.
+// writing the updated entry into the owner's directory cache (one RDMA
+// atomic per touched word, no handler). The owner observes the change at
+// its next fence or miss — the paper's *deferred invalidation*, valid
+// under DRF semantics.
 #pragma once
 
+#include <array>
 #include <cassert>
 #include <cstdint>
 #include <vector>
@@ -34,55 +39,196 @@ namespace argodir {
 using argomem::GAddr;
 using argomem::GlobalMemory;
 
-/// Maximum cluster size representable in one directory word.
-inline constexpr int kMaxNodes = 32;
+/// Build-time cluster-size ceiling: kMaxDirWords extended-atomic words of
+/// kNodesPerWord paired reader/writer bits each.
+inline constexpr int kNodesPerWord = 32;
+inline constexpr int kMaxDirWords = argonet::Interconnect::kMaxAtomicSpan;
+inline constexpr int kMaxNodes = kNodesPerWord * kMaxDirWords;
 
-/// Reader/writer full maps for one page.
-struct DirWord {
-  std::uint64_t raw = 0;
+/// Public accessor for the ceiling. Code outside src/dir/ must use this
+/// (or ClusterConfig::validate()) instead of naming kMaxNodes directly —
+/// scripts/check.sh gates on it.
+inline constexpr int max_nodes() { return kMaxNodes; }
 
+/// Directory words needed to encode `nodes` reader/writer maps.
+inline constexpr int dir_words_for(int nodes) {
+  return (nodes + kNodesPerWord - 1) / kNodesPerWord;
+}
+
+/// Reader/writer full maps for one page, viewed over the entry's word
+/// span. Unused high words are always zero, so every query scans the full
+/// kMaxDirWords array unconditionally; with one live word that degenerates
+/// to the old single-uint64_t accessors.
+struct DirEntry {
+  std::array<std::uint64_t, kMaxDirWords> w{};
+
+  static constexpr int word_of(int node) { return node / kNodesPerWord; }
   static constexpr std::uint64_t reader_bit(int node) {
-    return std::uint64_t{1} << node;
+    return std::uint64_t{1} << (node % kNodesPerWord);
   }
   static constexpr std::uint64_t writer_bit(int node) {
-    return std::uint64_t{1} << (32 + node);
+    return std::uint64_t{1} << (kNodesPerWord + node % kNodesPerWord);
   }
 
-  std::uint32_t readers() const { return static_cast<std::uint32_t>(raw); }
-  std::uint32_t writers() const { return static_cast<std::uint32_t>(raw >> 32); }
+  static DirEntry reader(int node) { return DirEntry{}.add_reader(node); }
+  static DirEntry writer(int node) { return DirEntry{}.add_writer(node); }
+  static DirEntry accessor(int node) {
+    return DirEntry{}.add_reader(node).add_writer(node);
+  }
 
-  bool is_reader(int node) const { return readers() >> node & 1; }
-  bool is_writer(int node) const { return writers() >> node & 1; }
+  /// Per-word 32-bit maps: readers/writers among nodes
+  /// [32*word, 32*word + 32).
+  std::uint32_t readers(int word = 0) const {
+    return static_cast<std::uint32_t>(w[static_cast<std::size_t>(word)]);
+  }
+  std::uint32_t writers(int word = 0) const {
+    return static_cast<std::uint32_t>(w[static_cast<std::size_t>(word)] >>
+                                      kNodesPerWord);
+  }
+  /// Nodes in `word`'s range that have touched the page (read or write).
+  std::uint32_t accessors(int word = 0) const {
+    return readers(word) | writers(word);
+  }
 
-  int reader_count() const { return __builtin_popcount(readers()); }
-  int writer_count() const { return __builtin_popcount(writers()); }
+  bool is_reader(int node) const {
+    return readers(word_of(node)) >> (node % kNodesPerWord) & 1;
+  }
+  bool is_writer(int node) const {
+    return writers(word_of(node)) >> (node % kNodesPerWord) & 1;
+  }
+  bool is_accessor(int node) const {
+    return accessors(word_of(node)) >> (node % kNodesPerWord) & 1;
+  }
 
-  /// All nodes that have touched the page (read or write).
-  std::uint32_t accessors() const { return readers() | writers(); }
+  int reader_count() const {
+    int c = 0;
+    for (int i = 0; i < kMaxDirWords; ++i) c += __builtin_popcount(readers(i));
+    return c;
+  }
+  int writer_count() const {
+    int c = 0;
+    for (int i = 0; i < kMaxDirWords; ++i) c += __builtin_popcount(writers(i));
+    return c;
+  }
+  int accessor_count() const {
+    int c = 0;
+    for (int i = 0; i < kMaxDirWords; ++i)
+      c += __builtin_popcount(accessors(i));
+    return c;
+  }
 
-  /// Private: at most one node has ever accessed the page.
+  /// Any bit set in any word.
+  bool any() const {
+    std::uint64_t acc = 0;
+    for (std::uint64_t x : w) acc |= x;
+    return acc != 0;
+  }
+
+  /// Private: at most one node — `node` — has ever accessed the page.
   bool private_to(int node) const {
-    return (accessors() & ~(std::uint32_t{1} << node)) == 0;
+    for (int i = 0; i < kMaxDirWords; ++i) {
+      std::uint32_t a = accessors(i);
+      if (i == word_of(node)) a &= ~(std::uint32_t{1} << (node % kNodesPerWord));
+      if (a != 0) return false;
+    }
+    return true;
   }
 
-  /// Index of the single reader/writer (precondition: count == 1).
-  int single_reader() const { return __builtin_ctz(readers()); }
-  int single_writer() const { return __builtin_ctz(writers()); }
+  /// `node` has touched the page and nobody else has.
+  bool self_only(int node) const {
+    return is_accessor(node) && private_to(node);
+  }
+
+  /// `node` is the page's one and only writer — checked across every
+  /// word, not just node's own (the 32-bit `writers() == 1u << node`
+  /// idiom this replaces was wrong past one word).
+  bool sole_writer(int node) const {
+    for (int i = 0; i < kMaxDirWords; ++i) {
+      const std::uint32_t ws = writers(i);
+      if (i == word_of(node)) {
+        if (ws != std::uint32_t{1} << (node % kNodesPerWord)) return false;
+      } else if (ws != 0) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  /// Index of the single reader/writer/accessor (precondition: the
+  /// respective count is exactly 1).
+  int single_reader() const {
+    for (int i = 0; i < kMaxDirWords; ++i)
+      if (readers(i)) return i * kNodesPerWord + __builtin_ctz(readers(i));
+    return -1;
+  }
+  int single_writer() const {
+    for (int i = 0; i < kMaxDirWords; ++i)
+      if (writers(i)) return i * kNodesPerWord + __builtin_ctz(writers(i));
+    return -1;
+  }
+  int single_accessor() const {
+    for (int i = 0; i < kMaxDirWords; ++i)
+      if (accessors(i)) return i * kNodesPerWord + __builtin_ctz(accessors(i));
+    return -1;
+  }
+
+  DirEntry& add_reader(int node) {
+    w[static_cast<std::size_t>(word_of(node))] |= reader_bit(node);
+    return *this;
+  }
+  DirEntry& add_writer(int node) {
+    w[static_cast<std::size_t>(word_of(node))] |= writer_bit(node);
+    return *this;
+  }
+
+  DirEntry& operator|=(const DirEntry& o) {
+    for (std::size_t i = 0; i < w.size(); ++i) w[i] |= o.w[i];
+    return *this;
+  }
+  friend DirEntry operator|(DirEntry a, const DirEntry& b) { return a |= b; }
+  friend bool operator==(const DirEntry& a, const DirEntry& b) {
+    return a.w == b.w;
+  }
+  friend bool operator!=(const DirEntry& a, const DirEntry& b) {
+    return !(a == b);
+  }
+
+  /// Call `f(node)` for every reader, in ascending node order.
+  template <typename F>
+  void for_each_reader(F&& f) const {
+    for (int i = 0; i < kMaxDirWords; ++i)
+      for (std::uint32_t m = readers(i); m; m &= m - 1)
+        f(i * kNodesPerWord + __builtin_ctz(m));
+  }
 };
 
-// Directory-cache words start at 0 ("no knowledge"). Because maps are
+// Directory-cache entries start at 0 ("no knowledge"). Because maps are
 // monotonic (bits are only ever set between resets), every update — the
 // node's own lookups and remote transition notifications alike — is an OR,
-// so concurrent updates commute and no versioning is needed. A node with a
-// page in its page cache always has at least its own reader bit cached.
+// so concurrent updates commute word-wise and no versioning is needed. A
+// node with a page in its page cache always has at least its own reader
+// bit cached.
 
-/// One pending transition notification: OR `word` into `dst`'s directory
+/// One pending transition notification: OR `entry` into `dst`'s directory
 /// cache slot for `page`. Batches of these are coalesced and posted by
 /// cache_merge_remote_batch.
 struct DirNotify {
   int dst;
   std::uint64_t page;
-  std::uint64_t word;
+  DirEntry entry;
+};
+
+/// An in-flight posted registration: the posted handle plus the pre-OR
+/// snapshot buffer the extended atomic fills by retirement time. The
+/// ticket must stay alive and in place (no moves) between post_fetch_or
+/// and wait_entry — the NIC effect holds a pointer into `prev`.
+struct RegTicket {
+  argonet::PostedHandle h{};
+  std::array<std::uint64_t, kMaxDirWords> prev{};
+  bool pending = false;
+  bool multi = false;
+
+  explicit operator bool() const { return pending; }
 };
 
 /// The home-side directory plus each node's directory cache.
@@ -94,29 +240,37 @@ class PyxisDirectory {
   /// events for transition notifications toward displaced owners.
   void set_tracer(argoobs::Tracer* tracer) { tracer_ = tracer; }
 
+  /// Words per directory entry for this cluster size (1 up to N = 32
+  /// nodes — the old single-word layout — through kMaxDirWords at 128).
+  int entry_words() const { return nwords_; }
+
   // --- Home-side directory, accessed only via RDMA ----------------------
 
   /// Register bits (reader and/or writer) for `page` at its home directory.
-  /// Issued by node `src`; returns the word *before* the OR (the caller
-  /// derives the updated maps locally). Charged as one remote atomic.
-  DirWord fetch_or(int src, std::uint64_t page, std::uint64_t bits);
+  /// Issued by node `src`; returns the entry *before* the OR (the caller
+  /// derives the updated maps locally). Charged as one remote atomic: the
+  /// plain 8-byte fetch-or at one word, the masked extended atomic above.
+  DirEntry fetch_or(int src, std::uint64_t page, const DirEntry& bits);
 
   /// Posted variant of fetch_or: returns immediately after the NIC charge
-  /// so the caller can overlap the registration with the line's data fetch;
-  /// redeem the previous word with wait_word. At pipeline depth 1 this is
-  /// exactly fetch_or.
-  argonet::PostedHandle post_fetch_or(int src, std::uint64_t page,
-                                      std::uint64_t bits);
+  /// so the caller can overlap the registration with the line's data
+  /// fetch; redeem the previous entry with wait_entry. At pipeline depth 1
+  /// this is exactly fetch_or. The ticket must outlive the op in place.
+  void post_fetch_or(int src, std::uint64_t page, const DirEntry& bits,
+                     RegTicket& t);
 
-  /// Retire a post_fetch_or and return the word before the OR.
-  DirWord wait_word(argonet::PostedHandle h);
+  /// Retire a post_fetch_or and return the entry before the OR.
+  DirEntry wait_entry(RegTicket& t);
 
-  /// Read the home directory word without modifying it (one RDMA read).
-  DirWord read(int src, std::uint64_t page);
+  /// Read the home directory entry without modifying it (one RDMA read of
+  /// entry_words() * 8 bytes).
+  DirEntry read(int src, std::uint64_t page);
 
-  /// Host-side (zero-cost) view of a home directory word, for tests and
+  /// Host-side (zero-cost) view of a home directory entry, for tests and
   /// benchmark reporting outside the simulation.
-  DirWord host_word(std::uint64_t page) const { return DirWord{words_[page]}; }
+  DirEntry host_entry(std::uint64_t page) const {
+    return load_entry(&words_[page * static_cast<std::size_t>(nwords_)]);
+  }
 
   /// Zero every map and every directory cache. Models the paper's reset of
   /// reader/writer maps at the end of the (sequential) initialization phase
@@ -125,46 +279,52 @@ class PyxisDirectory {
 
   // --- Crash-recovery host-side mutators ---------------------------------
   // The recovery pass (core/membership.cpp) rebuilds dead-homed directory
-  // words from survivors' caches and scrubs a dead node's bits everywhere.
-  // These are host-side (zero virtual cost): the network charges for the
-  // reconstruction are accounted once by the recovery pass itself.
+  // entries from survivors' caches and scrubs a dead node's bits
+  // everywhere. These are host-side (zero virtual cost): the network
+  // charges for the reconstruction are accounted once by the recovery pass
+  // itself.
 
-  /// Overwrite the home word of `page` (recovery reconstruction only).
-  void host_set_word(std::uint64_t page, std::uint64_t w) { words_[page] = w; }
-
-  /// Clear `mask` bits from every home directory word — used to retire a
-  /// dead node's reader/writer bits cluster-wide. Survivor caches may
-  /// transiently keep stale copies of the victim's bits (in-flight
-  /// notifications); the validator masks departed nodes accordingly.
-  void host_scrub_bits(std::uint64_t mask) {
-    for (auto& w : words_) w &= ~mask;
+  /// Overwrite the home entry of `page` (recovery reconstruction only).
+  void host_set_entry(std::uint64_t page, const DirEntry& e) {
+    store_entry(&words_[page * static_cast<std::size_t>(nwords_)], e);
   }
+
+  /// Clear `victim`'s reader and writer bits from every home directory
+  /// entry — used to retire a dead node's bits cluster-wide. Survivor
+  /// caches may transiently keep stale copies of the victim's bits
+  /// (in-flight notifications); the validator masks departed nodes
+  /// accordingly.
+  void host_scrub_node(int victim);
 
   // --- Per-node directory caches -----------------------------------------
 
   /// Local lookup in `node`'s directory cache (free: node-local memory).
-  /// Returns 0 if the node has no knowledge of the page.
-  std::uint64_t cache_get(int node, std::uint64_t page) const {
-    return caches_[static_cast<std::size_t>(node)][page];
+  /// Returns the zero entry if the node has no knowledge of the page.
+  DirEntry cache_get(int node, std::uint64_t page) const {
+    return load_entry(&caches_[static_cast<std::size_t>(node)]
+                              [page * static_cast<std::size_t>(nwords_)]);
   }
 
   /// Merge new knowledge into `node`'s own cache (free: node-local).
-  void cache_merge_local(int node, std::uint64_t page, std::uint64_t word) {
-    cache_slot(node, page) |= word;
+  void cache_merge_local(int node, std::uint64_t page, const DirEntry& e) {
+    std::uint64_t* slot = cache_slot(node, page);
+    for (int i = 0; i < nwords_; ++i)
+      slot[i] |= e.w[static_cast<std::size_t>(i)];
   }
 
-  /// Remotely merge `word` into `dst`'s directory cache: the RDMA write a
-  /// transition-causing node uses to notify a displaced private owner or
-  /// single writer. Charged as one remote write of 8 bytes issued by `src`.
+  /// Remotely merge `entry` into `dst`'s directory cache: the RDMA
+  /// notification a transition-causing node uses to tell a displaced
+  /// private owner or single writer. Charged as one remote atomic per
+  /// *touched* (nonzero) word of the entry, issued by `src`.
   void cache_merge_remote(int src, int dst, std::uint64_t page,
-                          std::uint64_t word);
+                          const DirEntry& entry);
 
   /// Pipelined notification fan-out: coalesce entries that target the same
-  /// (destination, directory word) into one remote atomic — several pages
-  /// of one line share a word, so a transition touching many of them needs
-  /// one OR, not one per page — then post the distinct atomics back to
-  /// back and wait for all of them. Notification counts reflect the
-  /// coalesced (actually transmitted) atomics.
+  /// (destination, directory entry) into one merged entry — several pages
+  /// of one line share an entry, so a transition touching many of them
+  /// needs one OR, not one per page — then post the distinct atomics (one
+  /// per touched word) back to back and wait for all of them. Notification
+  /// counts reflect the coalesced (actually transmitted) atomics.
   void cache_merge_remote_batch(int src, std::vector<DirNotify> batch);
 
   /// Number of transition notifications delivered to each node (stats).
@@ -174,7 +334,7 @@ class PyxisDirectory {
 
   /// Register `node`'s soft-TLB generation counter (see core/tlb.hpp). A
   /// deferred invalidation merged into that node's directory cache bumps
-  /// it, so thread-held translations re-validate against the new word.
+  /// it, so thread-held translations re-validate against the new entry.
   /// (Merges only OR bits in, which cannot clear the owner's own hit
   /// conditions — the bump is conservative, matching the invalidation
   /// event list.) Null slots (tests constructing a bare directory) are
@@ -192,16 +352,27 @@ class PyxisDirectory {
       ++*gen_slots_[static_cast<std::size_t>(node)];
   }
 
-  std::uint64_t& cache_slot(int node, std::uint64_t page) {
-    return caches_[static_cast<std::size_t>(node)][page];
+  std::uint64_t* cache_slot(int node, std::uint64_t page) {
+    return &caches_[static_cast<std::size_t>(node)]
+                   [page * static_cast<std::size_t>(nwords_)];
+  }
+
+  DirEntry load_entry(const std::uint64_t* p) const {
+    DirEntry e;
+    for (int i = 0; i < nwords_; ++i) e.w[static_cast<std::size_t>(i)] = p[i];
+    return e;
+  }
+  void store_entry(std::uint64_t* p, const DirEntry& e) {
+    for (int i = 0; i < nwords_; ++i) p[i] = e.w[static_cast<std::size_t>(i)];
   }
 
   GlobalMemory& gmem_;
   argonet::Interconnect& net_;
   argoobs::Tracer* tracer_ = nullptr;
-  std::vector<std::uint64_t> words_;                // home dir, one per page
-  std::vector<std::vector<std::uint64_t>> caches_;  // [node][page]
+  int nwords_ = 1;                    // words per entry for this cluster
+  std::vector<std::uint64_t> words_;  // home dir, nwords_ per page
   std::vector<std::uint64_t> notify_count_;
+  std::vector<std::vector<std::uint64_t>> caches_;  // [node][page * nwords_]
   std::vector<std::uint64_t*> gen_slots_;  // per-node soft-TLB generations
 };
 

@@ -1,6 +1,7 @@
 #include "net/interconnect.hpp"
 
 #include <algorithm>
+#include <array>
 #include <cassert>
 #include <cstring>
 #include <string>
@@ -573,6 +574,42 @@ PostedHandle Interconnect::post_fetch_or(int src, int dst,
       [](argosim::SimRecord& r) -> std::uint64_t { return r.value; });
 }
 
+PostedHandle Interconnect::post_fetch_or_span(int src, int dst,
+                                              std::uint64_t* remote,
+                                              const std::uint64_t* bits,
+                                              int nwords,
+                                              std::uint64_t* prev_out) {
+  assert(nwords >= 1 && nwords <= kMaxAtomicSpan);
+  auto& s = boxes_[src]->stats;
+  ++s.rdma_atomics;
+  std::array<std::uint64_t, kMaxAtomicSpan> b{};
+  std::copy_n(bits, nwords, b.begin());
+  auto apply = [remote, b, nwords, prev_out]() {
+    for (int i = 0; i < nwords; ++i) {
+      prev_out[i] = remote[i];
+      remote[i] |= b[static_cast<std::size_t>(i)];
+    }
+  };
+  if (src == dst) {
+    argosim::delay(cfg_.mem_latency);
+    apply();
+    return retired_handle(src, true, prev_out[0]);
+  }
+  const std::size_t extra = sizeof(std::uint64_t) *
+                            static_cast<std::size_t>(nwords - 1);
+  return post_remote(
+      src, dst, extra, cfg_.rdma_latency, "RDMA masked fetch-or", true,
+      [apply, prev_out]() -> std::uint64_t {
+        apply();
+        return prev_out[0];
+      },
+      [apply, prev_out](argosim::SimRecord& r) {
+        apply();
+        r.value = prev_out[0];
+      },
+      [](argosim::SimRecord& r) -> std::uint64_t { return r.value; });
+}
+
 PostedHandle Interconnect::post_fetch_add(int src, int dst,
                                           std::uint64_t* remote,
                                           std::uint64_t v) {
@@ -817,6 +854,45 @@ std::uint64_t Interconnect::fetch_or(
   *remote = old | bits;
   if (on_remote) on_remote(old);
   return old;
+}
+
+void Interconnect::fetch_or_span(int src, int dst, std::uint64_t* remote,
+                                 const std::uint64_t* bits, int nwords,
+                                 std::uint64_t* prev_out) {
+  assert(nwords >= 1 && nwords <= kMaxAtomicSpan);
+  auto& s = boxes_[src]->stats;
+  ++s.rdma_atomics;
+  std::array<std::uint64_t, kMaxAtomicSpan> b{};
+  std::copy_n(bits, nwords, b.begin());
+  // One extended atomic: every word's pre-OR value is snapshotted at the
+  // same commit instant the ORs land — concurrent registrants therefore
+  // totally order, and exactly one of them observes any given displaced
+  // owner as the sole accessor.
+  auto apply = [remote, b, nwords, prev_out]() {
+    for (int i = 0; i < nwords; ++i) {
+      prev_out[i] = remote[i];
+      remote[i] |= b[static_cast<std::size_t>(i)];
+    }
+  };
+  const std::size_t extra = sizeof(std::uint64_t) *
+                            static_cast<std::size_t>(nwords - 1);
+  if (src == dst) {
+    argosim::delay(cfg_.mem_latency);
+    apply();
+    return;
+  }
+  if (sharded_engine()) {
+    auto rec = sharded_op(src, dst, extra, cfg_.rdma_latency,
+                          "RDMA masked fetch-or",
+                          [apply](argosim::SimRecord& r) {
+                            apply();
+                            r.value = 0;
+                          });
+    argosim::Engine::current()->await(rec);
+    return;
+  }
+  remote_op(src, dst, extra, cfg_.rdma_latency, "RDMA masked fetch-or");
+  apply();
 }
 
 std::optional<std::uint64_t> Interconnect::try_fetch_or(int src, int dst,

@@ -176,6 +176,21 @@ class Interconnect {
                          std::uint64_t bits,
                          std::function<void(std::uint64_t)> on_remote);
 
+  /// Maximum span (in 64-bit words) of one extended remote atomic —
+  /// models the 32-byte masked-atomic operand cap of ConnectX-class HCAs.
+  static constexpr int kMaxAtomicSpan = 4;
+
+  /// Extended remote atomic OR over `nwords` consecutive 64-bit words
+  /// (1 <= nwords <= kMaxAtomicSpan): ORs bits[i] into remote[i] and
+  /// snapshots every pre-OR word into prev_out[i] at one commit instant —
+  /// the multi-word directory's full-map Fetch&Or. Charged as one remote
+  /// atomic streaming the 8*(nwords-1) operand bytes beyond the first
+  /// word, so nwords == 1 charges exactly what fetch_or does. `bits` is
+  /// snapshotted; `prev_out` must stay valid until the call returns.
+  void fetch_or_span(int src, int dst, std::uint64_t* remote,
+                     const std::uint64_t* bits, int nwords,
+                     std::uint64_t* prev_out);
+
   /// Remote atomic add; returns the previous value.
   std::uint64_t fetch_add(int src, int dst, std::uint64_t* remote,
                           std::uint64_t v);
@@ -231,6 +246,13 @@ class Interconnect {
   PostedHandle post_fetch_or(int src, int dst, std::uint64_t* remote,
                              std::uint64_t bits,
                              std::function<void(std::uint64_t)> on_remote);
+  /// Posted fetch_or_span: `prev_out` is filled with the pre-OR words by
+  /// retirement time and must stay valid (and in place) until wait(h)
+  /// returns. The handle's wait() value is prev_out[0].
+  PostedHandle post_fetch_or_span(int src, int dst, std::uint64_t* remote,
+                                  const std::uint64_t* bits, int nwords,
+                                  std::uint64_t* prev_out);
+
   PostedHandle post_fetch_add(int src, int dst, std::uint64_t* remote,
                               std::uint64_t v);
   PostedHandle post_cas(int src, int dst, std::uint64_t* remote,

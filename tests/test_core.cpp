@@ -3,10 +3,13 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <stdexcept>
+#include <string>
 #include <tuple>
 #include <vector>
 
 #include "core/cluster.hpp"
+#include "dir/pyxis.hpp"
 #include "sim/random.hpp"
 
 namespace argo {
@@ -328,7 +331,7 @@ TEST(Carina, ResetClassificationDropsCaches) {
   EXPECT_GT(cl.node_cache(0).resident_pages(), 0u);
   cl.reset_classification();
   EXPECT_EQ(cl.node_cache(0).resident_pages(), 0u);
-  EXPECT_EQ(cl.dir().host_word(16).raw, 0u);
+  EXPECT_FALSE(cl.dir().host_entry(16).any());
 }
 
 TEST(Carina, RunSubsetUsesFewerNodes) {
@@ -395,6 +398,35 @@ TEST(Carina, AllModesComputeTheSameResult) {
   auto s = run_mode(Mode::S);
   EXPECT_EQ(s, run_mode(Mode::PS));
   EXPECT_EQ(s, run_mode(Mode::PS3));
+}
+
+TEST(ClusterConfig, ValidateRejectsOutOfRangeNodeCounts) {
+  ClusterConfig cfg;
+  cfg.nodes = argodir::max_nodes();  // the full multi-word range is legal
+  EXPECT_NO_THROW(cfg.validate());
+  cfg.nodes = argodir::max_nodes() + 1;
+  try {
+    cfg.validate();
+    FAIL() << "expected std::invalid_argument for nodes past the ceiling";
+  } catch (const std::invalid_argument& e) {
+    // The message must name the offending value and the supported range.
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find(std::to_string(argodir::max_nodes() + 1)),
+              std::string::npos)
+        << msg;
+    EXPECT_NE(msg.find(std::to_string(argodir::max_nodes())),
+              std::string::npos)
+        << msg;
+  }
+  cfg.nodes = 0;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg.nodes = 4;
+  cfg.threads_per_node = 0;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  // The Cluster constructor applies the same validation.
+  ClusterConfig bad = small_cfg(1, 1, Mode::PS3);
+  bad.nodes = argodir::max_nodes() + 1;
+  EXPECT_THROW(Cluster{bad}, std::invalid_argument);
 }
 
 }  // namespace

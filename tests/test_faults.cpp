@@ -885,9 +885,56 @@ TEST(CrashRecovery, DetectionAndRejoinAsFreshNode) {
   EXPECT_TRUE(svc.is_live(2));
   EXPECT_EQ(svc.stats().deaths, 1u);
   EXPECT_EQ(svc.stats().rejoins, 1u);
-  EXPECT_NE(svc.departed_mask() & (1u << 2), 0u);
+  EXPECT_TRUE(svc.departed_set().test(2));
   EXPECT_GE(svc.epoch(), 2u);
   EXPECT_EQ(svc.stats().detect_ns.samples, 1u);
+}
+
+TEST(CrashRecovery, HighNodeDeathAt128NodesRebuildsUpperWords) {
+  // 128 nodes: four-word directory entries on every page. The victim sits
+  // past node 31, so its reader/writer bits — and the survivor-OR rebuild
+  // and scrub that must clear them — live in the entry's last word, the
+  // region the old single-word encoding could not even represent.
+  ClusterConfig cfg = crash_cfg(404);
+  cfg.nodes = 128;
+  cfg.threads_per_node = 1;
+  cfg.cache.cache_lines = 1024;
+  cfg.global_mem_bytes = 1024 * kPageSize;  // 8 pages per node
+  constexpr int kVictim = 100;
+  cfg.faults.crashes.push_back(
+      argonet::CrashEvent{.node = kVictim, .at = 5'000'000});
+  Cluster cl(cfg);
+  // pageA: homed on node 0, read by the victim before dying — the
+  // victim's reader bit lands in entry word 3.
+  const argomem::gptr<std::uint64_t> pageA{0};
+  // pageB: homed on the victim, privately written by node 0 — recoverable
+  // from the survivor's copy after the home dies.
+  const argomem::gptr<std::uint64_t> pageB{
+      static_cast<std::uint64_t>(kVictim) * cl.gmem().pages_per_node() *
+      kPageSize};
+  std::uint64_t after = 0;
+  cl.run([&](argo::Thread& t) {
+    if (t.node() == 0) {
+      t.store(pageA, std::uint64_t{111});
+      t.store(pageB, std::uint64_t{222});
+    }
+    t.barrier();
+    if (t.node() == kVictim) (void)t.load(pageA);
+    t.barrier();
+    t.compute(15'000'000);  // victim dies at 5ms, mid-compute
+    t.barrier();            // completes over the surviving view
+    if (t.node() == 0) after = t.load(pageB);
+  });
+  EXPECT_EQ(after, 222u);
+  EXPECT_EQ(cl.membership().stats().deaths, 1u);
+  EXPECT_FALSE(cl.membership().is_live(kVictim));
+  EXPECT_GE(cl.membership().stats().pages_recovered, 1u);
+  // The victim's bits are gone from pageA's home entry (word 3), while
+  // node 0's own registration survives untouched in word 0.
+  const argodir::DirEntry entry = cl.dir().host_entry(0);
+  EXPECT_FALSE(entry.is_reader(kVictim));
+  EXPECT_FALSE(entry.is_writer(kVictim));
+  EXPECT_TRUE(entry.is_writer(0));
 }
 
 TEST(CrashRecovery, MembershipIdleRunsAreBitIdentical) {
