@@ -83,18 +83,21 @@ inline ArgoScaling run_argo_scaling(
   if (opts.nodes.empty()) {
     auto cfg = paper_cfg(1, 1, mem_bytes);
     cfg.net.pipeline = opts.pipeline;
+    opts.apply_adapt(cfg);
     argo::Cluster cl(cfg);
     out.seq_ms = argosim::to_ms(run(cl));
   }
   for (int tc : out.threads) {
     auto cfg = paper_cfg(1, tc, mem_bytes);
     cfg.net.pipeline = opts.pipeline;
+    opts.apply_adapt(cfg);
     argo::Cluster cl(cfg);
     out.pthread_ms.push_back(argosim::to_ms(run(cl)));
   }
   for (int nc : out.nodes) {
     auto cfg = paper_cfg(nc, kPaperTpn, mem_bytes);
     cfg.net.pipeline = opts.pipeline;
+    opts.apply_adapt(cfg);
     argo::Cluster cl(cfg);
     out.argo_ms.push_back(argosim::to_ms(run(cl)));
   }

@@ -100,11 +100,16 @@ inline void note(const char* text) { std::printf("  %s\n", text); }
 ///                      comma-separated list ("--nodes 32" or
 ///                      "--nodes 32,64,128"); each count must fit the
 ///                      directory encoding (at most argodir::max_nodes())
+///   --adaptive         enable all three adaptive runtime-tuning policies
+///   --adapt-wb         enable only phase-adaptive write-buffer sizing
+///   --adapt-diff       enable only density-driven diff granularity
+///   --adapt-stride     enable only stride prefetch
 /// Unrecognized arguments are kept (fig07 forwards them to its harness).
 struct BenchOpts {
   std::string json_path;
   int pipeline = 1;
   bool quick = false;
+  int adapt = 0;  // bitmask: 1 = wb sizing, 2 = diff granularity, 4 = stride
   std::vector<int> nodes;   // empty = the sweep's default node counts
   std::vector<char*> rest;  // argv[0] + unconsumed arguments
 
@@ -129,11 +134,26 @@ struct BenchOpts {
         }
       } else if (std::strcmp(argv[i], "--quick") == 0) {
         o.quick = true;
+      } else if (std::strcmp(argv[i], "--adaptive") == 0) {
+        o.adapt = 7;
+      } else if (std::strcmp(argv[i], "--adapt-wb") == 0) {
+        o.adapt |= 1;
+      } else if (std::strcmp(argv[i], "--adapt-diff") == 0) {
+        o.adapt |= 2;
+      } else if (std::strcmp(argv[i], "--adapt-stride") == 0) {
+        o.adapt |= 4;
       } else {
         o.rest.push_back(argv[i]);
       }
     }
     return o;
+  }
+
+  /// Turn the --adaptive/--adapt-* bitmask into ClusterConfig policy flags.
+  void apply_adapt(ClusterConfig& c) const {
+    c.adapt.write_buffer = (adapt & 1) != 0;
+    c.adapt.diff_granularity = (adapt & 2) != 0;
+    c.adapt.stride_prefetch = (adapt & 4) != 0;
   }
 };
 
@@ -144,7 +164,11 @@ struct BenchOpts {
 /// Schema 4 stamps "nodes" (the cluster node count a row was measured on,
 /// 0 for rows that run no cluster) so 32/64/128-node sweeps can share one
 /// file and be filtered apart (bench_compare.py --nodes).
-inline constexpr int kBenchSchemaVersion = 4;
+/// Schema 5 stamps "adapt" (the adaptive-policy bitmask the row ran with:
+/// 1 = write-buffer sizing, 2 = diff granularity, 4 = stride prefetch, 0 =
+/// fixed knobs) so adaptive and fixed rows can live in one file and be
+/// paired apart (bench_compare.py --adapt-gate).
+inline constexpr int kBenchSchemaVersion = 5;
 
 /// Effective engine worker count for this process: 1 for the legacy
 /// engine and the ARGO_SEQ_ENGINE reference (both sequential), N when
@@ -260,7 +284,8 @@ inline JsonReport::Row& bench_row(JsonReport& json, const char* fig,
       .str("fig", fig)
       .str(label_key, label)
       .num("pipeline", opts.pipeline)
-      .num("nodes", nodes);
+      .num("nodes", nodes)
+      .num("adapt", opts.adapt);
 }
 
 inline JsonReport::Row& bench_row(JsonReport& json, const char* fig,

@@ -20,6 +20,14 @@
 # range) and records host wall time per count, each row stamped with its
 # "nodes" so scripts/bench_compare.py --nodes can filter.
 #
+# A fourth sweep ("adapt" mode) runs the fig13 quick suite twice — fixed
+# knobs (adapt bitmask 0) and all adaptive runtime-tuning policies on
+# (--adaptive, bitmask 7) — and records, besides wall time, the summed
+# simulated virtual_ms of the argo-series rows from each bench's own JSON
+# report. Virtual time is deterministic, so scripts/bench_compare.py
+# --adapt-gate can require the adaptive build to win the geomean without
+# any host-noise margin.
+#
 # Usage: scripts/bench_host.sh [--build <dir>] [--out <path>] [--gate]
 #                              [--threads "1 2 4 8"]
 #                              [--scale-nodes "64 128"]
@@ -27,14 +35,14 @@
 #
 # Output: a JSON array (one object per line, like the other BENCH files)
 # of rows {"schema", "commit", "date", "bench", "mode", "engine",
-# "threads", "host_cpus", "wall_s", "max_rss_kb"} — plus "nodes" on the
-# par/scale rows that pin one cluster size — the same provenance stamp
-# benchutil::JsonReport puts on every row (bench/report.hpp
-# kBenchSchemaVersion).
+# "threads", "host_cpus", "adapt", "wall_s", "max_rss_kb"} — plus "nodes"
+# on the par/scale rows that pin one cluster size and "virtual_ms" on the
+# adapt rows — the same provenance stamp benchutil::JsonReport puts on
+# every row (bench/report.hpp kBenchSchemaVersion).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-SCHEMA=4
+SCHEMA=5
 ARGO_GIT_COMMIT="${ARGO_GIT_COMMIT:-$(git rev-parse --short HEAD 2>/dev/null || echo unknown)}"
 export ARGO_GIT_COMMIT
 RUN_DATE="$(date -u +%Y-%m-%d)"
@@ -90,7 +98,7 @@ for mode in slow fast; do
   for bench in $BENCHES; do
     read -r wall rss < <(measure "$BUILD/bench/$bench" --quick)
     echo "-- $bench [$mode] ${wall}s rss=${rss}kB"
-    ROWS="$ROWS{\"schema\":$SCHEMA,\"commit\":\"$ARGO_GIT_COMMIT\",\"date\":\"$RUN_DATE\",\"bench\":\"$bench\",\"mode\":\"$mode\",\"engine\":\"seq\",\"threads\":1,\"host_cpus\":$HOST_CPUS,\"wall_s\":$wall,\"max_rss_kb\":$rss},\n"
+    ROWS="$ROWS{\"schema\":$SCHEMA,\"commit\":\"$ARGO_GIT_COMMIT\",\"date\":\"$RUN_DATE\",\"bench\":\"$bench\",\"mode\":\"$mode\",\"engine\":\"seq\",\"threads\":1,\"host_cpus\":$HOST_CPUS,\"adapt\":0,\"wall_s\":$wall,\"max_rss_kb\":$rss},\n"
     TOTAL[$mode]=$(awk -v a="${TOTAL[$mode]}" -v b="$wall" 'BEGIN { printf "%.3f", a + b }')
   done
 done
@@ -113,7 +121,7 @@ for T in $THREADS_SWEEP; do
   for bench in $PAR_BENCHES; do
     read -r wall rss < <(measure "$BUILD/bench/$bench" --quick --nodes 32)
     echo "-- $bench [par threads=$T] ${wall}s rss=${rss}kB"
-    ROWS="$ROWS{\"schema\":$SCHEMA,\"commit\":\"$ARGO_GIT_COMMIT\",\"date\":\"$RUN_DATE\",\"bench\":\"$bench\",\"mode\":\"par\",\"engine\":\"$ENGINE\",\"threads\":$T,\"host_cpus\":$HOST_CPUS,\"nodes\":32,\"wall_s\":$wall,\"max_rss_kb\":$rss},\n"
+    ROWS="$ROWS{\"schema\":$SCHEMA,\"commit\":\"$ARGO_GIT_COMMIT\",\"date\":\"$RUN_DATE\",\"bench\":\"$bench\",\"mode\":\"par\",\"engine\":\"$ENGINE\",\"threads\":$T,\"host_cpus\":$HOST_CPUS,\"adapt\":0,\"nodes\":32,\"wall_s\":$wall,\"max_rss_kb\":$rss},\n"
   done
 done
 unset ARGO_THREADS ARGO_SEQ_ENGINE || true
@@ -126,7 +134,33 @@ for N in $SCALE_NODES; do
   for bench in $SCALE_BENCHES; do
     read -r wall rss < <(measure "$BUILD/bench/$bench" --quick --nodes "$N")
     echo "-- $bench [scale nodes=$N] ${wall}s rss=${rss}kB"
-    ROWS="$ROWS{\"schema\":$SCHEMA,\"commit\":\"$ARGO_GIT_COMMIT\",\"date\":\"$RUN_DATE\",\"bench\":\"$bench\",\"mode\":\"scale\",\"engine\":\"seq\",\"threads\":1,\"host_cpus\":$HOST_CPUS,\"nodes\":$N,\"wall_s\":$wall,\"max_rss_kb\":$rss},\n"
+    ROWS="$ROWS{\"schema\":$SCHEMA,\"commit\":\"$ARGO_GIT_COMMIT\",\"date\":\"$RUN_DATE\",\"bench\":\"$bench\",\"mode\":\"scale\",\"engine\":\"seq\",\"threads\":1,\"host_cpus\":$HOST_CPUS,\"adapt\":0,\"nodes\":$N,\"wall_s\":$wall,\"max_rss_kb\":$rss},\n"
+  done
+done
+
+# Adaptive-tuning sweep: the fig13 quick suite with fixed knobs (adapt
+# bitmask 0) and with every adaptive policy on (--adaptive, bitmask 7).
+# Each bench writes its own JSON report; the summed virtual_ms of the
+# argo-series rows (the only series adaptation touches) goes on the host
+# row so scripts/bench_compare.py --adapt-gate can judge the deterministic
+# simulated-time win without host noise.
+ADAPT_BENCHES="fig13a_lu fig13b_nbody fig13c_blackscholes fig13d_mm fig13e_ep fig13f_cg"
+for A in 0 7; do
+  FLAG=""
+  [ "$A" = 7 ] && FLAG="--adaptive"
+  for bench in $ADAPT_BENCHES; do
+    TMP_JSON="$(mktemp)"
+    # shellcheck disable=SC2086  # FLAG is intentionally word-split
+    read -r wall rss < <(measure "$BUILD/bench/$bench" --quick $FLAG --json "$TMP_JSON")
+    vms="$(python3 - "$TMP_JSON" <<'EOF'
+import json, sys
+rows = json.load(open(sys.argv[1]))
+print(f"{sum(r['virtual_ms'] for r in rows if r['series'].startswith('argo')):.6f}")
+EOF
+)"
+    rm -f "$TMP_JSON"
+    echo "-- $bench [adapt=$A] ${wall}s virtual=${vms}ms"
+    ROWS="$ROWS{\"schema\":$SCHEMA,\"commit\":\"$ARGO_GIT_COMMIT\",\"date\":\"$RUN_DATE\",\"bench\":\"$bench\",\"mode\":\"adapt\",\"engine\":\"seq\",\"threads\":1,\"host_cpus\":$HOST_CPUS,\"adapt\":$A,\"virtual_ms\":$vms,\"wall_s\":$wall,\"max_rss_kb\":$rss},\n"
   done
 done
 

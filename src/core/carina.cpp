@@ -45,8 +45,17 @@ std::uint8_t NodeCache::traced_state(std::uint64_t page) {
 }
 
 NodeCache::NodeCache(int node, GlobalMemory& gmem, argonet::Interconnect& net,
-                     PyxisDirectory& dir, CacheConfig cfg)
-    : node_(node), gmem_(gmem), net_(net), dir_(dir), cfg_(cfg) {
+                     PyxisDirectory& dir, CacheConfig cfg, AdaptConfig adapt)
+    : node_(node),
+      gmem_(gmem),
+      net_(net),
+      dir_(dir),
+      cfg_(cfg),
+      // Naive P/S checkpoints instead of diffing and keeps private pages
+      // dirty across fences — none of the adaptive policies' signals mean
+      // what they assume there, so the engine is inert in that mode.
+      adapt_(adapt, cfg.write_buffer_pages,
+             cfg.classification != Mode::PSNaive) {
   assert(cfg_.cache_lines >= 1);
   assert(cfg_.pages_per_line >= 1);
   assert(cfg_.write_buffer_pages >= 1);
@@ -92,7 +101,8 @@ void NodeCache::unlock_line(Line& l) {
 // Access paths
 // ---------------------------------------------------------------------------
 
-const std::byte* NodeCache::read_ptr(GAddr a, std::size_t len, SoftTlb* tlb) {
+const std::byte* NodeCache::read_ptr(GAddr a, std::size_t len, SoftTlb* tlb,
+                                     StrideTable* st) {
   assert(page_offset(a) + len <= kPageSize && "access must not straddle pages");
   (void)len;
   const std::uint64_t page = page_of(a);
@@ -115,6 +125,10 @@ const std::byte* NodeCache::read_ptr(GAddr a, std::size_t len, SoftTlb* tlb) {
   if (l.group == group) {
     PageSlot& s = slot_of(l, page);
     if (s.valid && my_reader_bit_set(page)) {
+      if (s.prefetched) {
+        s.prefetched = false;  // first demand touch: the prefetch paid off
+        ++adapt_.stats().prefetch_useful;
+      }
       ++stats_.read_hits;
       if (tlb)
         tlb->insert_read(page, tlb_gen_, page_data(l, page),
@@ -124,6 +138,7 @@ const std::byte* NodeCache::read_ptr(GAddr a, std::size_t len, SoftTlb* tlb) {
   }
   ++stats_.read_misses;
   argosim::delay(cfg_.fault_overhead);
+  bool prefetched = false;
   for (;;) {
     try {
       ensure_cached(page, /*for_write=*/false);
@@ -132,6 +147,16 @@ const std::byte* NodeCache::read_ptr(GAddr a, std::size_t len, SoftTlb* tlb) {
       // have been parked inside it across the recovery). Own-home pages
       // are never cached — re-dispatch for the home fast path.
       if (gmem_.home_of_page(page) == node_) return read_ptr(a, len, tlb);
+      if (!prefetched && st != nullptr && adapt_.stride_active()) {
+        // Prefetch inside the retry loop, before the pointer leaves: the
+        // fills yield, so the demand page must be re-validated afterwards
+        // (below) — never between a validation and the returned pointer.
+        prefetched = true;
+        maybe_prefetch(page, st);
+        if (!(l.group == group && slot_of(l, page).valid &&
+              my_reader_bit_set(page)))
+          continue;
+      }
       break;
     } catch (const argonet::NodeFailedError& e) {
       // The page's home (or an owner we had to contact) crash-stopped
@@ -151,7 +176,8 @@ const std::byte* NodeCache::read_ptr(GAddr a, std::size_t len, SoftTlb* tlb) {
   return page_data(l, page) + page_offset(a);
 }
 
-std::byte* NodeCache::write_ptr(GAddr a, std::size_t len, SoftTlb* tlb) {
+std::byte* NodeCache::write_ptr(GAddr a, std::size_t len, SoftTlb* tlb,
+                                StrideTable* st) {
   assert(page_offset(a) + len <= kPageSize && "access must not straddle pages");
   (void)len;
   const std::uint64_t page = page_of(a);
@@ -180,6 +206,7 @@ std::byte* NodeCache::write_ptr(GAddr a, std::size_t len, SoftTlb* tlb) {
   }
   ++stats_.write_misses;
   argosim::delay(cfg_.fault_overhead);
+  bool prefetched = false;
   for (;;) {
     try {
       ensure_cached(page, /*for_write=*/true);
@@ -195,11 +222,21 @@ std::byte* NodeCache::write_ptr(GAddr a, std::size_t len, SoftTlb* tlb) {
     // onto this node mid-miss (e.g. while we were parked on the write
     // buffer below): re-dispatch for the home fast path.
     if (gmem_.home_of_page(page) == node_) return write_ptr(a, len, tlb);
+    if (!prefetched && st != nullptr && adapt_.stride_active()) {
+      // Safe before the latch: the lock_line + re-validation below already
+      // handles the line being displaced while the prefetch yielded.
+      prefetched = true;
+      maybe_prefetch(page, st);
+    }
     lock_line(l);
     PageSlot& s = slot_of(l, page);
     if (!(l.group == group && s.valid && my_writer_bit_set(page))) {
       unlock_line(l);
       continue;  // displaced while we were away; retry
+    }
+    if (s.prefetched) {
+      s.prefetched = false;  // first demand touch: the prefetch paid off
+      ++adapt_.stats().prefetch_useful;
     }
     if (!s.dirty) {
       // Admission control BEFORE dirtying: when the buffer is full, drain
@@ -207,15 +244,16 @@ std::byte* NodeCache::write_ptr(GAddr a, std::size_t len, SoftTlb* tlb) {
       // occupancy to fall after its page is admitted — gating on that
       // livelocks as soon as concurrent writers outnumber buffer slots
       // (each drain victim simply re-dirties its page).
-      if (wb_live_ >= cfg_.write_buffer_pages) {
+      if (wb_live_ >= adapt_.wb_capacity()) {
         unlock_line(l);
         // If nothing was drainable (every live entry is mid-writeback in
         // another fiber), park until one of those writebacks completes and
         // releases its slot. No lost wakeup: drain_oldest's failure path
         // never yields, so the occupancy cannot drop between the re-check
         // and the wait.
+        const argosim::Time stall_start = argosim::now();
         try {
-          if (!drain_oldest() && wb_live_ >= cfg_.write_buffer_pages)
+          if (!drain_oldest() && wb_live_ >= adapt_.wb_capacity())
             wb_slot_waiters_.wait();
         } catch (const argonet::NodeFailedError& e) {
           if (!crash_failover(e)) throw;
@@ -225,6 +263,9 @@ std::byte* NodeCache::write_ptr(GAddr a, std::size_t len, SoftTlb* tlb) {
           // every writer parks here forever.
           requeue_stranded_wb();
         }
+        // Feed the sizing policy the virtual time this store lost to the
+        // full buffer (a no-op, like the admit note below, while inert).
+        adapt_.note_drain_stall(argosim::now() - stall_start);
         continue;
       }
       // Write-allocate: twin for later diffing (checkpoint of the fetched
@@ -240,6 +281,7 @@ std::byte* NodeCache::write_ptr(GAddr a, std::size_t len, SoftTlb* tlb) {
           s.in_wb = true;
           write_buffer_.push_back(page);
           ++wb_live_;
+          adapt_.note_wb_admit(wb_live_);
         }
       } else {
         unlock_line(l);
@@ -336,6 +378,7 @@ void NodeCache::ensure_cached(std::uint64_t page, bool for_write) {
           s.valid = false;
           s.dirty = false;
           s.in_wb = false;
+          s.prefetched = false;
           s.twin.reset();
         }
         fetch_line_locked(l, group);
@@ -396,6 +439,7 @@ void NodeCache::ensure_cached_pipelined(std::uint64_t page, bool for_write) {
           s.valid = false;
           s.dirty = false;
           s.in_wb = false;
+          s.prefetched = false;
           s.twin.reset();
         }
         fetch_line_locked(l, group);
@@ -596,6 +640,7 @@ void NodeCache::fetch_line_locked(Line& l, std::uint64_t group) {
         qs.valid = true;
         qs.dirty = false;
         qs.in_wb = false;
+        qs.prefetched = false;
         qs.twin.reset();
       }
     }
@@ -609,6 +654,7 @@ void NodeCache::fetch_line_locked(Line& l, std::uint64_t group) {
         qs.valid = true;
         qs.dirty = false;
         qs.in_wb = false;
+        qs.prefetched = false;
         qs.twin.reset();
       }
   }
@@ -687,7 +733,19 @@ void NodeCache::writeback_locked(Line& l, std::uint64_t page) {
 
   const bool sole_writer = w.sole_writer(node_);
   std::size_t wire = 0;
-  if (!s.twin || (cfg_.sw_diff_suppression && sole_writer)) {
+  bool full = !s.twin || (cfg_.sw_diff_suppression && sole_writer);
+  if (!full && sole_writer && adapt_.diff_active()) {
+    // Density policy (b): when this page's diff history says its diffs are
+    // dense, a single full-page write beats the twin scan + run headers.
+    // Gated on sole_writer — the same DRF disjointness argument that makes
+    // sw_diff_suppression safe; multi-writer pages always diff.
+    bool flipped = false;
+    if (adapt_.prefer_full_page(page, flipped)) full = true;
+    if (flipped)
+      trace(argoobs::Ev::AdaptDiffMode, page, traced_state(page),
+            full ? 1 : 0);
+  }
+  if (full) {
     // Whole-page downgrade: no diff scan, more wire bytes (§3.2's
     // bandwidth-for-latency trade). Safe: either nobody else writes this
     // page, or (defensively, missing twin) the values we'd "clobber" are
@@ -718,6 +776,7 @@ void NodeCache::writeback_locked(Line& l, std::uint64_t page) {
     ++stats_.diffs_built;
     if (runs.empty()) {
       // Nothing actually changed; no transmission needed.
+      adapt_.note_diff(page, 0);
       diff_scratch_ = std::move(runs);
       release_wb_slot(s);
       return;
@@ -728,6 +787,7 @@ void NodeCache::writeback_locked(Line& l, std::uint64_t page) {
       wire += r.len + 8;
       gather.push_back(argonet::GatherRun{home + r.off, cur + r.off, r.len});
     }
+    adapt_.note_diff(page, wire);
     if (pipelined()) {
       // One posted scatter-gather writeback for the whole page: the
       // payload is snapshotted at post time, so the diff for the *next*
@@ -940,6 +1000,11 @@ void NodeCache::si_fence_impl() {
   trace(argoobs::Ev::SiFenceEnd, 0, argoobs::kUnknownState,
         stats_.si_invalidations - inval_before);
   stats_.si_fence_ns.add(argosim::now() - fence_start);
+  // Fence boundary = phase boundary for the sizing policy. Host work only;
+  // charges no virtual time.
+  if (const std::size_t cap = adapt_.sample_fence(
+          argosim::now(), argosim::now() - fence_start, wb_live_))
+    trace(argoobs::Ev::AdaptWbResize, 0, argoobs::kUnknownState, cap);
 }
 
 void NodeCache::sd_fence_impl() {
@@ -1005,6 +1070,125 @@ void NodeCache::sd_fence_impl() {
   trace(argoobs::Ev::SdFenceEnd, 0, argoobs::kUnknownState,
         stats_.writebacks - wb_before);
   stats_.sd_fence_ns.add(argosim::now() - fence_start);
+  // Fence boundary = phase boundary for the sizing policy. Host work only;
+  // charges no virtual time.
+  if (const std::size_t cap = adapt_.sample_fence(
+          argosim::now(), argosim::now() - fence_start, wb_live_))
+    trace(argoobs::Ev::AdaptWbResize, 0, argoobs::kUnknownState, cap);
+}
+
+// ---------------------------------------------------------------------------
+// Stride prefetch (core/adapt.hpp, policy c)
+// ---------------------------------------------------------------------------
+
+void NodeCache::maybe_prefetch(std::uint64_t page, StrideTable* st) {
+  const StrideTable::Prediction pred =
+      st->note_miss(page, adapt_.config(), adapt_.stats());
+  if (pred.degree == 0 || pred.stride == 0) return;
+  // Usefulness governor: when most prefetched pages go untouched (short
+  // per-thread slices whose streams end right after the stride confirms),
+  // the blocking fills are a net loss. Stand down, but re-probe every
+  // 32nd suppressed prediction — lazily credited touches of pages already
+  // in flight can restore the ratio and turn the policy back on.
+  AdaptStats& ast = adapt_.stats();
+  if (ast.prefetched_pages >= 16 &&
+      ast.prefetch_useful * 2 < ast.prefetched_pages &&
+      ++ast.prefetch_suppressed % 32 != 0)
+    return;
+  ++ast.prefetch_issued;
+  const std::uint64_t demand_group = group_of(page);
+  const int demand_home = gmem_.home_of_page(page);
+  std::size_t fetched = 0;
+  for (int k = 1; k <= pred.degree; ++k) {
+    const std::int64_t q = static_cast<std::int64_t>(page) +
+                           static_cast<std::int64_t>(k) * pred.stride;
+    if (q < 0) break;
+    const std::uint64_t qp = static_cast<std::uint64_t>(q);
+    if (qp >= gmem_.pages()) break;
+    // Same-home widening only: the prediction extends the demand fill
+    // within one home's segment. Crossing into another home's segment —
+    // under the blocked distribution, typically another node's exclusive
+    // slice — would register reader bits on pages this node may never
+    // touch, flipping them P->S and taxing the real writer's fences.
+    if (gmem_.home_of_page(qp) != demand_home) break;
+    if (group_of(qp) == demand_group) continue;  // demand fill covers it
+    try {
+      fetched += try_prefetch_line(qp);
+    } catch (const argonet::NodeFailedError& e) {
+      // A predicted page's home crashed: a prefetch is the one place that
+      // may simply give up — nothing downstream depends on it. Wait out
+      // the recovery when the membership service can, then stop.
+      if (membership_ != nullptr) crash_failover(e);
+      break;
+    } catch (const argonet::NetworkError&) {
+      break;  // transient wire failure: best effort only
+    }
+  }
+  if (fetched > 0) {
+    adapt_.stats().prefetched_pages += fetched;
+    trace(argoobs::Ev::AdaptPrefetch, page, argoobs::kUnknownState, fetched);
+  }
+}
+
+std::size_t NodeCache::try_prefetch_line(std::uint64_t page) {
+  const std::uint64_t group = group_of(page);
+  Line& l = line_of_group(group);
+  // Pollution guard: never displace. A line that is mid-fetch, already
+  // holds the page, or holds a *different* group is left alone — the last
+  // case also protects the demand line when the predicted group conflicts
+  // with it in the direct-mapped array.
+  auto blocked = [&] {
+    if (l.fetching) return true;
+    if (l.group == group) return slot_of(l, page).valid;
+    return l.group != kNoGroup;
+  };
+  if (blocked()) return 0;
+  if (!my_reader_bit_set(page)) {
+    // The fill needs the reader registration just like a demand miss; the
+    // fetch_or yields, so re-check everything it may have changed.
+    register_access(page, /*for_write=*/false);
+    if (gmem_.home_of_page(page) == node_) return 0;  // re-homed onto us
+    if (blocked()) return 0;
+  }
+  lock_line(l);  // immediate: blocked() just saw fetching == false
+  if (l.group != group) {
+    l.group = group;
+    occupy(group % cfg_.cache_lines);
+    if (!l.data) l.data = pool_.acquire(cfg_.pages_per_line * kPageSize);
+    if (l.pages.size() != cfg_.pages_per_line)
+      l.pages.resize(cfg_.pages_per_line);
+    for (auto& s : l.pages) {
+      s.valid = false;
+      s.dirty = false;
+      s.in_wb = false;
+      s.prefetched = false;
+      s.twin.reset();
+    }
+  }
+  // Snapshot which slots were already valid: only the newly filled ones
+  // are this prefetch's doing. (The node-global pages_fetched delta would
+  // over-count — the fill yields, and other fibers fetch meanwhile.)
+  std::uint64_t pre = 0;
+  for (std::size_t i = 0; i < l.pages.size(); ++i)
+    if (l.pages[i].valid) pre |= std::uint64_t{1} << i;
+  try {
+    fetch_line_locked(l, group);
+  } catch (...) {
+    // A failed fill leaves the claimed line all-invalid — the same state
+    // every demand path already handles — but the latch must not wedge.
+    unlock_line(l);
+    throw;
+  }
+  std::size_t fetched = 0;
+  for (std::size_t i = 0; i < l.pages.size(); ++i) {
+    PageSlot& s = l.pages[i];
+    if (s.valid && (pre & (std::uint64_t{1} << i)) == 0) {
+      s.prefetched = true;  // cleared (and credited) on first demand touch
+      ++fetched;
+    }
+  }
+  unlock_line(l);
+  return fetched;
 }
 
 // ---------------------------------------------------------------------------
@@ -1073,6 +1257,7 @@ void NodeCache::invalidate_all_free() {
       s.valid = false;
       s.dirty = false;
       s.in_wb = false;
+      s.prefetched = false;
       s.twin.reset();
     }
     occ_bits_[idx >> 6] &= ~(std::uint64_t{1} << (idx & 63));
@@ -1081,6 +1266,9 @@ void NodeCache::invalidate_all_free() {
   ++tlb_gen_;  // every translation any thread holds is now invalid
   write_buffer_.clear();
   wb_live_ = 0;
+  // Adaptive runtime state (capacity, density history, phase accumulators)
+  // starts over with the cache: the pages it described are gone.
+  adapt_.reset_runtime();
   // Shrink: drop the page images AND any oversized bucket table a long
   // initialization phase grew, then re-reserve the steady-state sizing so
   // the measured phase starts rehash-free.

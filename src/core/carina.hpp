@@ -23,6 +23,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "core/adapt.hpp"
 #include "core/config.hpp"
 #include "core/diff.hpp"
 #include "core/policy.hpp"
@@ -46,7 +47,7 @@ using argomem::kPageSize;
 class NodeCache {
  public:
   NodeCache(int node, GlobalMemory& gmem, argonet::Interconnect& net,
-            PyxisDirectory& dir, CacheConfig cfg);
+            PyxisDirectory& dir, CacheConfig cfg, AdaptConfig adapt = {});
 
   int node() const { return node_; }
   const CacheConfig& config() const { return cfg_; }
@@ -57,16 +58,21 @@ class NodeCache {
   /// next protocol operation — callers copy out immediately. When `tlb` is
   /// non-null the resulting translation is cached there for MMU-analogue
   /// reuse (src/core/tlb.hpp); passing null (the ARGO_SLOW_PATHS seed
-  /// behavior) changes nothing observable.
-  const std::byte* read_ptr(GAddr a, std::size_t len, SoftTlb* tlb = nullptr);
+  /// behavior) changes nothing observable. When `st` is non-null and the
+  /// stride-prefetch policy is active, demand misses feed the thread's
+  /// stride table and confirmed strides widen the fill (core/adapt.hpp);
+  /// with the policy off the table is never touched.
+  const std::byte* read_ptr(GAddr a, std::size_t len, SoftTlb* tlb = nullptr,
+                            StrideTable* st = nullptr);
 
   /// Writable span [a, a+len) (must not cross a page boundary). Remote
   /// pages get write-allocated: twin created, marked dirty, queued in the
   /// write buffer; registration and classification transitions happen here.
   /// A cached write translation stays valid only while the page remains
   /// dirty + write-buffered — every event that ends that (writeback, drain,
-  /// fence, checkpoint) bumps the TLB generation.
-  std::byte* write_ptr(GAddr a, std::size_t len, SoftTlb* tlb = nullptr);
+  /// fence, checkpoint) bumps the TLB generation. `st` as in read_ptr.
+  std::byte* write_ptr(GAddr a, std::size_t len, SoftTlb* tlb = nullptr,
+                       StrideTable* st = nullptr);
 
   /// SI fence: drop every cached page the classification says may be stale
   /// (flushing it first if dirty). Acquire-side of every synchronization.
@@ -117,7 +123,18 @@ class NodeCache {
   void invalidate_all_free();
 
   const CoherenceStats& stats() const { return stats_; }
-  void reset_stats() { stats_ = CoherenceStats{}; }
+  void reset_stats() {
+    stats_ = CoherenceStats{};
+    adapt_.reset_stats();
+  }
+
+  /// The adaptive policy engine (core/adapt.hpp) — decision counters,
+  /// current write-buffer capacity and its trajectory.
+  const AdaptEngine& adapt() const { return adapt_; }
+
+  /// Effective write-buffer page capacity right now: the configured knob
+  /// when the sizing policy is inert, the adapted value otherwise.
+  std::size_t wb_capacity() const { return adapt_.wb_capacity(); }
 
   /// Attach a protocol tracer (not owned; may be null). Emits fence,
   /// fill, writeback, transition and eviction events for this node.
@@ -136,8 +153,9 @@ class NodeCache {
   };
   std::vector<CachedPage> cached_pages() const;
 
-  /// Live (non-stale) write-buffer entries; bounded by
-  /// CacheConfig::write_buffer_pages at all times.
+  /// Live (non-stale) write-buffer entries; bounded by wb_capacity() —
+  /// the configured CacheConfig::write_buffer_pages unless the adaptive
+  /// sizing policy has moved it — at all times.
   std::size_t write_buffer_live() const { return wb_live_; }
 
   /// The node's page-buffer pool (twins, checkpoints, line buffers), for
@@ -172,6 +190,7 @@ class NodeCache {
     bool valid = false;
     bool dirty = false;
     bool in_wb = false;  // queued in the write buffer
+    bool prefetched = false;  // filled by stride prefetch, not yet touched
     argomem::PageBuf twin;  // pool-backed; reset() recycles the block
   };
 
@@ -283,6 +302,18 @@ class NodeCache {
   /// checkpoint (RDMA read from owner + RDMA write to home).
   void heal_from_checkpoint(int owner, std::uint64_t page);
 
+  /// Stride prefetch (policy c): feed the demand miss on `page` into the
+  /// thread's stride table and, when a stride is confirmed, pull predicted
+  /// lines in ahead of demand. Best-effort: network failures are swallowed
+  /// (the demand access does not depend on the prefetch). May yield.
+  void maybe_prefetch(std::uint64_t page, StrideTable* st);
+
+  /// Fetch the line holding `page` if that costs no displacement: skips
+  /// lines that are mid-fetch, already resident, or occupied by another
+  /// group (which also protects the demand line — a conflicting group maps
+  /// to the same slot). Returns the number of pages actually fetched.
+  std::size_t try_prefetch_line(std::uint64_t page);
+
   /// Crash failover: wait out the recovery of the dead node an operation
   /// just tripped over, account ops the crash aborted, and report that the
   /// caller should retry. Returns false — callers rethrow — when no
@@ -307,6 +338,7 @@ class NodeCache {
   argonet::Interconnect& net_;
   PyxisDirectory& dir_;
   CacheConfig cfg_;
+  AdaptEngine adapt_;
   // Backs every twin, checkpoint and line buffer; declared before them so
   // it outlives the PageBufs it issued (members destroy in reverse order).
   argomem::BufferPool pool_;

@@ -34,8 +34,8 @@ Cluster::Cluster(ClusterConfig cfg)
       dir_(gmem_, net_) {
   caches_.reserve(static_cast<std::size_t>(cfg_.nodes));
   for (int n = 0; n < cfg_.nodes; ++n)
-    caches_.push_back(
-        std::make_unique<NodeCache>(n, gmem_, net_, dir_, cfg_.cache));
+    caches_.push_back(std::make_unique<NodeCache>(n, gmem_, net_, dir_,
+                                                  cfg_.cache, cfg_.adapt));
   peer_view_.clear();
   for (auto& c : caches_) peer_view_.push_back(c.get());
   for (auto& c : caches_) c->set_peers(&peer_view_);
@@ -137,6 +137,40 @@ void Cluster::register_metrics() {
 
   metrics_.add_counter("trace.emitted", [this] { return tracer_.emitted(); });
   metrics_.add_counter("trace.dropped", [this] { return tracer_.dropped(); });
+
+  // Adaptive-tuning metrics exist only when at least one policy is on, so
+  // the fixed-knob metric enumeration matches the seed exactly.
+  if (cfg_.adapt.any()) {
+    auto ad = [this](std::uint64_t argocore::AdaptStats::* field) {
+      return [this, field] {
+        std::uint64_t total = 0;
+        for (const auto& c : caches_) total += c->adapt().stats().*field;
+        return total;
+      };
+    };
+    using AS = argocore::AdaptStats;
+    metrics_.add_counter("carina.adapt.wb_grows", ad(&AS::wb_grows));
+    metrics_.add_counter("carina.adapt.wb_shrinks", ad(&AS::wb_shrinks));
+    metrics_.add_counter("carina.adapt.wb_reverts", ad(&AS::wb_reverts));
+    metrics_.add_counter("carina.adapt.full_page_selected",
+                         ad(&AS::full_page_selected));
+    metrics_.add_counter("carina.adapt.density_probes",
+                         ad(&AS::density_probes));
+    metrics_.add_counter("carina.adapt.prefetch_issued",
+                         ad(&AS::prefetch_issued));
+    metrics_.add_counter("carina.adapt.prefetched_pages",
+                         ad(&AS::prefetched_pages));
+    metrics_.add_counter("carina.adapt.prefetch_useful",
+                         ad(&AS::prefetch_useful));
+    metrics_.add_counter("carina.adapt.prefetch_suppressed",
+                         ad(&AS::prefetch_suppressed));
+    metrics_.add_counter("carina.adapt.stride_resets", ad(&AS::stride_resets));
+    metrics_.add_counter("carina.adapt.wb_capacity", [this] {
+      std::uint64_t total = 0;
+      for (const auto& c : caches_) total += c->wb_capacity();
+      return total;
+    });
+  }
 
   // Membership/recovery metrics exist only when the feature is on, so the
   // fault-free metric enumeration matches the seed exactly.
@@ -431,7 +465,7 @@ void Thread::load_bytes(GAddr a, std::byte* dst, std::size_t n) {
     if (src)
       src += argomem::page_offset(a);
     else
-      src = cache_->read_ptr(a, chunk, tlb);
+      src = cache_->read_ptr(a, chunk, tlb, &stride_);
     std::memcpy(dst, src, chunk);
     a += chunk;
     dst += chunk;
@@ -450,7 +484,7 @@ void Thread::store_bytes(GAddr a, const std::byte* src, std::size_t n) {
     if (dst)
       dst += argomem::page_offset(a);
     else
-      dst = cache_->write_ptr(a, chunk, tlb);
+      dst = cache_->write_ptr(a, chunk, tlb, &stride_);
     std::memcpy(dst, src, chunk);
     a += chunk;
     src += chunk;

@@ -115,7 +115,8 @@ class Thread {
           return v;
         }
       }
-      std::memcpy(&v, cache_->read_ptr(a, sizeof(T), tlb), sizeof(T));
+      std::memcpy(&v, cache_->read_ptr(a, sizeof(T), tlb, &stride_),
+                  sizeof(T));
     } else {
       load_bytes(a, reinterpret_cast<std::byte*>(&v), sizeof(T));
     }
@@ -136,7 +137,8 @@ class Thread {
           return;
         }
       }
-      std::memcpy(cache_->write_ptr(a, sizeof(T), tlb), &v, sizeof(T));
+      std::memcpy(cache_->write_ptr(a, sizeof(T), tlb, &stride_), &v,
+                  sizeof(T));
     } else {
       store_bytes(a, reinterpret_cast<const std::byte*>(&v), sizeof(T));
     }
@@ -191,7 +193,8 @@ class Thread {
               argomem::page_of(a), cache_->tlb_generation()))
         return {reinterpret_cast<const T*>(base + off), count};
     }
-    const std::byte* ptr = cache_->read_ptr(a, count * sizeof(T), tlb);
+    const std::byte* ptr = cache_->read_ptr(a, count * sizeof(T), tlb,
+                                            &stride_);
     return {reinterpret_cast<const T*>(ptr), count};
   }
 
@@ -214,7 +217,7 @@ class Thread {
                                               cache_->tlb_generation()))
         return {reinterpret_cast<T*>(base + off), count};
     }
-    std::byte* ptr = cache_->write_ptr(a, count * sizeof(T), tlb);
+    std::byte* ptr = cache_->write_ptr(a, count * sizeof(T), tlb, &stride_);
     return {reinterpret_cast<T*>(ptr), count};
   }
 
@@ -279,6 +282,12 @@ class Thread {
   // Per-thread translation cache (~4 KB, lives on the fiber stack with the
   // Thread object).
   argocore::SoftTlb tlb_;
+  // Per-thread stride table over this thread's page-miss history
+  // (core/adapt.hpp). Always passed down; NodeCache only consults it when
+  // the stride-prefetch policy is active. NOT gated on ARGO_SLOW_PATHS:
+  // prefetching changes virtual time, so fast and slow host paths must
+  // make identical prefetch decisions.
+  argocore::StrideTable stride_;
 };
 
 /// The simulated Argo cluster: nodes, interconnect, global memory, Pyxis

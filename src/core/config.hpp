@@ -3,6 +3,7 @@
 
 #include <cstddef>
 
+#include "core/adapt.hpp"
 #include "core/membership.hpp"
 #include "mem/global_memory.hpp"
 #include "net/faults.hpp"
@@ -84,6 +85,12 @@ struct ClusterConfig {
   /// metrics are registered, and every virtual time matches a build
   /// without the feature exactly.
   MembershipConfig membership;
+
+  /// Adaptive runtime tuning policies (core/adapt.hpp). All disabled by
+  /// default: no adapt metrics are registered and every trace/stat/virtual
+  /// time matches the fixed-knob behaviour exactly. ARGO_NO_ADAPT=1 forces
+  /// the same regardless of these flags.
+  AdaptConfig adapt;
 
   /// Sharded-engine worker count for this cluster (sim/par.hpp):
   ///   0  inherit the process-wide ARGO_THREADS / ARGO_SEQ_ENGINE toggles

@@ -37,7 +37,6 @@ void ProtocolValidator::check(int node) {
 
   NodeCache& cache = cluster_.node_cache(node);
   argodir::PyxisDirectory& dir = cluster_.dir();
-  const CacheConfig& cfg = cache.config();
 
   std::size_t in_wb_flags = 0;
   for (const NodeCache::CachedPage& p : cache.cached_pages()) {
@@ -82,11 +81,13 @@ void ProtocolValidator::check(int node) {
     }
   }
 
-  if (cache.write_buffer_live() > cfg.write_buffer_pages)
+  // Capacity comes from the cache, not the config: the adaptive sizing
+  // policy may have legitimately moved it away from write_buffer_pages.
+  if (cache.write_buffer_live() > cache.wb_capacity())
     fail(node, 0,
          "write buffer live count " +
              std::to_string(cache.write_buffer_live()) + " exceeds capacity " +
-             std::to_string(cfg.write_buffer_pages));
+             std::to_string(cache.wb_capacity()));
   if (in_wb_flags != cache.write_buffer_live())
     fail(node, 0,
          "in_wb flags (" + std::to_string(in_wb_flags) +

@@ -27,6 +27,12 @@
 //                      the lock's tail-word global address, arg = grantee
 //   PostedRetire       a posted verb retired from a send queue; page =
 //                      the op id, arg = 1 if it hard-failed
+//   AdaptWbResize      adaptive write-buffer sizing decision at a fence
+//                      boundary; arg = the new capacity in pages
+//   AdaptDiffMode      a page's diff-density classification flipped;
+//                      arg = 1 entering full-page mode, 0 back to diffs
+//   AdaptPrefetch      a confirmed stride widened a miss; page = the
+//                      demand page, arg = pages prefetched
 #pragma once
 
 #include <cstddef>
@@ -51,6 +57,9 @@ enum class Ev : std::uint8_t {
   Eviction = 8,
   LockHandover = 9,
   PostedRetire = 10,
+  AdaptWbResize = 11,
+  AdaptDiffMode = 12,
+  AdaptPrefetch = 13,
 };
 
 const char* to_string(Ev kind);

@@ -1,0 +1,621 @@
+// Adaptive runtime tuning (core/adapt.*): the three policies must be
+// deterministic (bit-identical across reruns, engine worker counts, and
+// chaos/crash schedules), must vanish completely in reference mode
+// (ARGO_NO_ADAPT / all policies off == the seed's fixed knobs), and each
+// policy's controller must honor its directed semantics: the write-buffer
+// hill-climber's priming/judgment/revert/bounds, the diff-density streak
+// and probe cadence, and the stride table's confidence gate and
+// misprediction accounting.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <random>
+#include <utility>
+#include <vector>
+
+#include "apps/lu.hpp"
+#include "core/adapt.hpp"
+#include "core/carina.hpp"
+#include "core/cluster.hpp"
+#include "net/faults.hpp"
+#include "obs/export.hpp"
+#include "obs/trace.hpp"
+#include "sim/par.hpp"
+#include "sim/slowpath.hpp"
+
+namespace {
+
+using argocore::AdaptConfig;
+using argocore::AdaptEngine;
+using argocore::AdaptStats;
+using argocore::StrideTable;
+
+constexpr std::size_t kWordsPerPage = argomem::kPageSize / sizeof(std::uint64_t);
+
+// Restores the reference-mode toggle on scope exit so a failing test
+// cannot leak ARGO_NO_ADAPT semantics into later tests.
+struct AdaptGuard {
+  bool prev = argocore::adapt_forced_off();
+  ~AdaptGuard() { argocore::set_adapt_forced_off(prev); }
+};
+
+// Restores the process-wide engine selection (ARGO_THREADS/ARGO_SEQ_ENGINE).
+struct EngineGuard {
+  int prev_threads = argosim::engine_threads();
+  bool prev_seq = argosim::seq_engine();
+  ~EngineGuard() {
+    argosim::set_engine_threads(prev_threads);
+    argosim::set_seq_engine(prev_seq);
+  }
+};
+
+// The curated comparable footprint of one node's CoherenceStats (same
+// fields tests/test_hostperf.cpp compares) plus every adapt decision
+// counter — policy decisions are part of the observable behaviour.
+std::vector<std::uint64_t> stat_fields(const argocore::CoherenceStats& s) {
+  return {s.read_hits,      s.read_misses,
+          s.write_hits,     s.write_misses,
+          s.home_accesses,  s.line_fetches,
+          s.pages_fetched,  s.bytes_fetched,
+          s.writebacks,     s.writeback_bytes,
+          s.diffs_built,    s.full_page_writebacks,
+          s.si_fences,      s.sd_fences,
+          s.si_invalidations, s.evictions,
+          s.dir_ops,        s.transitions_caused,
+          s.checkpoints,    s.checkpoint_bytes,
+          s.heals,          s.sd_fence_ns.samples,
+          s.si_fence_ns.samples};
+}
+
+std::vector<std::uint64_t> adapt_fields(const AdaptStats& a) {
+  return {a.wb_grows,          a.wb_shrinks,       a.wb_reverts,
+          a.full_page_selected, a.density_probes,   a.prefetch_issued,
+          a.prefetched_pages,  a.prefetch_useful,  a.prefetch_suppressed,
+          a.stride_resets};
+}
+
+struct RunObs {
+  std::vector<std::uint8_t> trace;
+  argosim::Time elapsed = 0;
+  std::vector<std::vector<std::uint64_t>> stats;
+  std::uint64_t mem_hash = 0;
+
+  bool operator==(const RunObs& o) const {
+    return trace == o.trace && elapsed == o.elapsed && stats == o.stats &&
+           mem_hash == o.mem_hash;
+  }
+};
+
+void apply_mask(argo::ClusterConfig& c, int mask) {
+  c.adapt.write_buffer = (mask & 1) != 0;
+  c.adapt.diff_granularity = (mask & 2) != 0;
+  c.adapt.stride_prefetch = (mask & 4) != 0;
+}
+
+// The same DRF torture workload the host-path suite uses — alternating
+// owner-write / read-anywhere phases on a cache small enough to force
+// evictions and a write buffer small enough to force overflow drains —
+// with the adaptive policy mask as a parameter.
+RunObs run_random_workload(unsigned seed, bool chaos, int adapt_mask) {
+  argo::ClusterConfig c;
+  c.nodes = 2;
+  c.threads_per_node = 2;
+  c.global_mem_bytes = 128 * argomem::kPageSize;
+  c.cache.cache_lines = 8;
+  c.cache.pages_per_line = 2;
+  c.cache.write_buffer_pages = 4;
+  c.trace.enabled = true;
+  apply_mask(c, adapt_mask);
+  if (chaos) {
+    c.faults.enabled = true;
+    c.faults.seed = 4321;
+    c.faults.rdma_fail_prob = 0.02;
+    c.faults.jitter_prob = 0.1;
+    c.faults.jitter_max = 500;
+  }
+  argo::Cluster cl(c);
+  constexpr std::size_t kPages = 96;
+  auto arr = cl.alloc<std::uint64_t>(kPages * kWordsPerPage);
+  cl.reset_classification();
+  RunObs obs;
+  obs.elapsed = cl.run([&](argo::Thread& t) {
+    std::mt19937 rng(seed * 7919u + static_cast<unsigned>(t.gid()));
+    const std::size_t slice = kPages / static_cast<std::size_t>(t.nthreads());
+    const std::size_t own_lo = slice * static_cast<std::size_t>(t.gid());
+    for (int round = 0; round < 6; ++round) {
+      for (int k = 0; k < 40; ++k) {  // writes confined to the own slice
+        const std::size_t pg = own_lo + rng() % slice;
+        const std::size_t idx = pg * kWordsPerPage + rng() % kWordsPerPage;
+        t.store(arr + static_cast<std::ptrdiff_t>(idx),
+                static_cast<std::uint64_t>(rng()));
+      }
+      t.barrier();
+      std::uint64_t sink = 0;  // reads roam everywhere (no writes in flight)
+      for (int k = 0; k < 80; ++k) {
+        const std::size_t pg = rng() % kPages;
+        const std::size_t idx = pg * kWordsPerPage + rng() % kWordsPerPage;
+        sink ^= t.load(arr + static_cast<std::ptrdiff_t>(idx));
+      }
+      (void)sink;
+      t.barrier();
+    }
+  });
+  obs.trace = argoobs::encode_binary(cl.tracer().snapshot(),
+                                     cl.tracer().dropped());
+  for (int n = 0; n < c.nodes; ++n) {
+    obs.stats.push_back(stat_fields(cl.node_cache(n).stats()));
+    obs.stats.push_back(adapt_fields(cl.node_cache(n).adapt().stats()));
+  }
+  const std::byte* bytes = cl.gmem().home_ptr(0);
+  std::uint64_t h = 14695981039346656037ull;  // FNV-1a over home memory
+  for (std::size_t i = 0; i < cl.gmem().size(); ++i) {
+    h ^= static_cast<std::uint8_t>(bytes[i]);
+    h *= 1099511628211ull;
+  }
+  obs.mem_hash = h;
+  return obs;
+}
+
+// ---------------------------------------------------------------------------
+// Determinism: reruns, worker counts, chaos, crash schedules
+
+TEST(AdaptDeterminism, BitIdenticalAcrossRerunsAndWorkerCounts) {
+  AdaptGuard guard;
+  argocore::set_adapt_forced_off(false);
+  for (const unsigned seed : {11u, 22u, 33u}) {
+    for (const bool chaos : {false, true}) {
+      auto run_at = [&](int workers) {
+        EngineGuard eg;
+        argosim::set_seq_engine(false);
+        argosim::set_engine_threads(workers);
+        return run_random_workload(seed, chaos, /*adapt_mask=*/7);
+      };
+      const RunObs ref = run_at(1);
+      ASSERT_GT(ref.trace.size(), 32u) << "seed " << seed;
+      EXPECT_EQ(ref, run_at(1)) << "rerun, seed " << seed << " chaos " << chaos;
+      EXPECT_EQ(ref, run_at(2)) << "2 workers, seed " << seed;
+      EXPECT_EQ(ref, run_at(8)) << "8 workers, seed " << seed;
+    }
+  }
+}
+
+TEST(AdaptDeterminism, CrashRecoveryRunsReplayBitIdentically) {
+  // A mid-run crash-stop failure with lease recovery, transient RDMA chaos
+  // on top, and every adaptive policy active: (elapsed, checksum) must
+  // replay bit-identically per seed, sequential and at 8 workers.
+  AdaptGuard guard;
+  argocore::set_adapt_forced_off(false);
+  for (const std::uint64_t seed : {101ull, 202ull, 303ull}) {
+    auto run_at = [&](int workers) {
+      EngineGuard eg;
+      argosim::set_seq_engine(false);
+      argosim::set_engine_threads(workers);
+      argo::ClusterConfig cfg;
+      cfg.nodes = 4;
+      cfg.threads_per_node = 2;
+      cfg.global_mem_bytes = 2048 * argomem::kPageSize;
+      cfg.cache.cache_lines = 8192;
+      cfg.cache.write_buffer_pages = 1024;
+      cfg.faults.enabled = true;
+      cfg.faults.seed = seed;
+      cfg.faults.rdma_fail_prob = 0.01;
+      cfg.membership.enabled = true;
+      cfg.faults.crashes.push_back(argonet::CrashEvent{.node = 3, .at = 400'000});
+      apply_mask(cfg, 7);
+      argo::Cluster cl(cfg);
+      argoapps::LuParams p;
+      p.n = 128;
+      p.block = 32;
+      const auto r = argoapps::lu_run_argo(cl, p);
+      EXPECT_EQ(cl.membership().stats().deaths, 1u);
+      return std::make_pair(r.elapsed, r.checksum);
+    };
+    const auto ref = run_at(1);
+    EXPECT_EQ(ref, run_at(1)) << "seed " << seed;
+    EXPECT_EQ(ref, run_at(8)) << "seed " << seed;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Reference mode: policies off == the seed, bit for bit
+
+TEST(AdaptReference, ForcedOffReproducesSeedForEveryPolicyMask) {
+  AdaptGuard guard;
+  argocore::set_adapt_forced_off(false);
+  const RunObs seed_run = run_random_workload(11, false, /*adapt_mask=*/0);
+  ASSERT_GT(seed_run.trace.size(), 32u);
+  // ARGO_NO_ADAPT forces every mask — each policy alone and all together —
+  // back to the seed's traces, virtual times, stats, and memory image.
+  argocore::set_adapt_forced_off(true);
+  for (const int mask : {1, 2, 4, 7}) {
+    EXPECT_EQ(seed_run, run_random_workload(11, false, mask))
+        << "forced-off mask " << mask;
+  }
+  argocore::set_adapt_forced_off(false);
+}
+
+TEST(AdaptReference, InertPolicyPreservesSeedKnobVerbatim) {
+  // With the policy off the configured knob passes through unclamped:
+  // the seed's behaviour must not change just because adapt.hpp exists.
+  AdaptGuard guard;
+  argocore::set_adapt_forced_off(false);
+  AdaptConfig cfg;  // write_buffer = false
+  AdaptEngine eng(cfg, /*base_wb_pages=*/3, /*protocol_supported=*/true);
+  EXPECT_EQ(eng.wb_capacity(), 3u);  // below wb_min_pages, kept verbatim
+  eng.note_wb_admit(1);
+  EXPECT_EQ(eng.sample_fence(1000, 100, 0), 0u);
+  EXPECT_EQ(eng.stats().wb_shrinks, 0u);
+}
+
+TEST(AdaptReference, ForcedOffMakesActiveEngineInert) {
+  AdaptGuard guard;
+  AdaptConfig cfg;
+  cfg.write_buffer = true;
+  AdaptEngine eng(cfg, 64, true);
+  argocore::set_adapt_forced_off(true);
+  EXPECT_FALSE(eng.wb_active());
+  eng.note_wb_admit(1);
+  eng.note_drain_stall(5000);
+  EXPECT_EQ(eng.sample_fence(100'000, 10'000, 0), 0u);
+  EXPECT_EQ(eng.wb_capacity(), 64u);
+  EXPECT_EQ(eng.stats().wb_shrinks + eng.stats().wb_grows, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Directed policy (a): the write-buffer hill-climber
+
+AdaptEngine wb_engine(std::size_t base, AdaptConfig cfg = {}) {
+  cfg.write_buffer = true;
+  return AdaptEngine(cfg, base, /*protocol_supported=*/true);
+}
+
+TEST(AdaptWriteBuffer, FirstActingFencePrimesWithoutMoving) {
+  AdaptGuard guard;
+  argocore::set_adapt_forced_off(false);
+  AdaptEngine eng = wb_engine(64);
+  // Fences before any admission carry no signal at all.
+  EXPECT_EQ(eng.sample_fence(50'000, 10'000, 0), 0u);
+  // The first admitting fence only starts the phase clock.
+  eng.note_wb_admit(1);
+  EXPECT_EQ(eng.sample_fence(100'000, 10'000, 0), 0u);
+  EXPECT_EQ(eng.wb_capacity(), 64u);
+  EXPECT_EQ(eng.stats().wb_shrinks, 0u);
+}
+
+TEST(AdaptWriteBuffer, GrosslyOversizedBufferJumpsToFourTimesPeak) {
+  AdaptGuard guard;
+  argocore::set_adapt_forced_off(false);
+  AdaptEngine eng = wb_engine(1024);
+  eng.note_wb_admit(1);
+  EXPECT_EQ(eng.sample_fence(100'000, 10'000, 0), 0u);  // prime
+  // One real phase with peak occupancy 2 on a 1024-page buffer: the
+  // climber skips the halving walk and jumps to pow2(4 * peak) = 8.
+  eng.note_wb_admit(2);
+  EXPECT_EQ(eng.sample_fence(200'000, 10'000, 0), 8u);
+  EXPECT_EQ(eng.wb_capacity(), 8u);
+  EXPECT_EQ(eng.stats().wb_shrinks, 1u);
+}
+
+TEST(AdaptWriteBuffer, SlowerStallingPhaseRevertsTheMoveAndHolds) {
+  AdaptGuard guard;
+  argocore::set_adapt_forced_off(false);
+  AdaptEngine eng = wb_engine(1024);
+  eng.note_wb_admit(1);
+  EXPECT_EQ(eng.sample_fence(100'000, 10'000, 0), 0u);
+  eng.note_wb_admit(2);
+  EXPECT_EQ(eng.sample_fence(200'000, 10'000, 0), 8u);  // the jump
+  // The post-move phase runs much slower with real overflow stall: the
+  // jump is judged harmful and the old capacity restored.
+  eng.note_drain_stall(50'000);
+  eng.note_wb_admit(8);
+  EXPECT_EQ(eng.sample_fence(400'000, 10'000, 0), 1024u);
+  EXPECT_EQ(eng.wb_capacity(), 1024u);
+  EXPECT_EQ(eng.stats().wb_reverts, 1u);
+  // The revert starts a cooldown: the next acting fence must not move.
+  eng.note_wb_admit(1);
+  EXPECT_EQ(eng.sample_fence(500'000, 10'000, 0), 0u);
+  EXPECT_EQ(eng.wb_capacity(), 1024u);
+}
+
+TEST(AdaptWriteBuffer, GrowNeedsSustainedStallPressure) {
+  AdaptGuard guard;
+  argocore::set_adapt_forced_off(false);
+  AdaptEngine eng = wb_engine(4);  // at the floor: shrinking impossible
+  eng.note_wb_admit(1);
+  EXPECT_EQ(eng.sample_fence(100'000, 1'000, 0), 0u);  // prime
+  // Heavy per-admission stall raises the pressure EWMA past the
+  // threshold, but a grow also needs the two-phase baseline.
+  eng.note_drain_stall(8'000);
+  eng.note_wb_admit(1);
+  EXPECT_EQ(eng.sample_fence(200'000, 1'000, 0), 0u);
+  eng.note_drain_stall(8'000);
+  eng.note_wb_admit(1);
+  EXPECT_EQ(eng.sample_fence(300'000, 1'000, 0), 8u);  // the grow probe
+  EXPECT_EQ(eng.stats().wb_grows, 1u);
+}
+
+TEST(AdaptWriteBuffer, GrowWithoutStallReliefIsReverted) {
+  AdaptGuard guard;
+  argocore::set_adapt_forced_off(false);
+  AdaptEngine eng = wb_engine(4);
+  eng.note_wb_admit(1);
+  EXPECT_EQ(eng.sample_fence(100'000, 1'000, 0), 0u);
+  eng.note_drain_stall(8'000);
+  eng.note_wb_admit(1);
+  EXPECT_EQ(eng.sample_fence(200'000, 1'000, 0), 0u);
+  eng.note_drain_stall(8'000);
+  eng.note_wb_admit(1);
+  EXPECT_EQ(eng.sample_fence(300'000, 1'000, 0), 8u);
+  // Post-grow phase: same length, stall undiminished — the capacity was
+  // not what throttled the phase, so the grow must not be kept.
+  eng.note_drain_stall(8'000);
+  eng.note_wb_admit(1);
+  EXPECT_EQ(eng.sample_fence(400'000, 1'000, 0), 4u);
+  EXPECT_EQ(eng.wb_capacity(), 4u);
+  EXPECT_EQ(eng.stats().wb_reverts, 1u);
+}
+
+TEST(AdaptWriteBuffer, GrowKeptWhenStallVanishesAndPhaseImproves) {
+  AdaptGuard guard;
+  argocore::set_adapt_forced_off(false);
+  AdaptEngine eng = wb_engine(4);
+  eng.note_wb_admit(1);
+  EXPECT_EQ(eng.sample_fence(100'000, 1'000, 0), 0u);
+  eng.note_drain_stall(8'000);
+  eng.note_wb_admit(1);
+  EXPECT_EQ(eng.sample_fence(200'000, 1'000, 0), 0u);
+  eng.note_drain_stall(8'000);
+  eng.note_wb_admit(1);
+  EXPECT_EQ(eng.sample_fence(300'000, 1'000, 0), 8u);
+  // Post-grow phase: clearly faster AND stall-free — kept.
+  eng.note_wb_admit(1);
+  EXPECT_EQ(eng.sample_fence(380'000, 1'000, 0), 0u);
+  EXPECT_EQ(eng.wb_capacity(), 8u);
+  EXPECT_EQ(eng.stats().wb_reverts, 0u);
+}
+
+TEST(AdaptWriteBuffer, CapacityRespectsFloorLiveEntriesAndCeiling) {
+  AdaptGuard guard;
+  argocore::set_adapt_forced_off(false);
+  AdaptConfig cfg;
+  cfg.wb_max_pages = 64;
+  AdaptEngine eng = wb_engine(64, cfg);
+  // Shrink as hard as possible while 5 pages stay queued (SI fences do
+  // not drain): capacity must never go below pow2(live) = 8, and with
+  // heavy stall pressure grows must never exceed the 64-page ceiling.
+  std::uint64_t t = 0;
+  for (int phase = 0; phase < 40; ++phase) {
+    eng.note_drain_stall(phase >= 20 ? 8'000 : 0);
+    eng.note_wb_admit(5);
+    t += 100'000;
+    eng.sample_fence(t, 50'000, /*live=*/5);
+    EXPECT_GE(eng.wb_capacity(), 8u) << "phase " << phase;
+    EXPECT_LE(eng.wb_capacity(), 64u) << "phase " << phase;
+  }
+}
+
+TEST(AdaptWriteBuffer, ResetRuntimeRestoresBaseCapacity) {
+  AdaptGuard guard;
+  argocore::set_adapt_forced_off(false);
+  AdaptEngine eng = wb_engine(1024);
+  eng.note_wb_admit(1);
+  eng.sample_fence(100'000, 10'000, 0);
+  eng.note_wb_admit(2);
+  eng.sample_fence(200'000, 10'000, 0);
+  ASSERT_NE(eng.wb_capacity(), 1024u);
+  eng.reset_runtime();
+  EXPECT_EQ(eng.wb_capacity(), 1024u);
+  EXPECT_EQ(eng.wb_capacity_history().size(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Directed policy (b): diff-density classification
+
+AdaptEngine diff_engine() {
+  AdaptConfig cfg;
+  cfg.diff_granularity = true;
+  return AdaptEngine(cfg, 512, /*protocol_supported=*/true);
+}
+
+TEST(AdaptDiffDensity, FullPageNeedsBothDenseEwmaAndStreak) {
+  AdaptGuard guard;
+  argocore::set_adapt_forced_off(false);
+  AdaptEngine eng = diff_engine();
+  bool flipped = false;
+  // Never-diffed pages stay on the diff path.
+  EXPECT_FALSE(eng.prefer_full_page(7, flipped));
+  // Two dense diffs: EWMA is dense but the streak (3) is not yet met.
+  eng.note_diff(7, argomem::kPageSize);
+  eng.note_diff(7, argomem::kPageSize);
+  EXPECT_FALSE(eng.prefer_full_page(7, flipped));
+  EXPECT_FALSE(flipped);
+  // The third consecutive dense diff crosses the streak threshold.
+  eng.note_diff(7, argomem::kPageSize);
+  EXPECT_TRUE(eng.prefer_full_page(7, flipped));
+  EXPECT_TRUE(flipped);  // classification changed diff -> full page
+  EXPECT_EQ(eng.stats().full_page_selected, 1u);
+  // One sparse diff breaks the streak and knocks the EWMA down: back to
+  // run-coalesced diffs, reported as a flip again.
+  eng.note_diff(7, 64);
+  EXPECT_FALSE(eng.prefer_full_page(7, flipped));
+  EXPECT_TRUE(flipped);
+}
+
+TEST(AdaptDiffDensity, AlternatingDenseCleanPagesKeepDiffing) {
+  // A page that alternates dense and clean writebacks must never flip to
+  // full-page mode: a full-page write of an unchanged page ships 4 KiB
+  // for nothing.
+  AdaptGuard guard;
+  argocore::set_adapt_forced_off(false);
+  AdaptEngine eng = diff_engine();
+  bool flipped = false;
+  for (int round = 0; round < 12; ++round) {
+    eng.note_diff(3, (round % 2 == 0) ? argomem::kPageSize : 0);
+    EXPECT_FALSE(eng.prefer_full_page(3, flipped)) << "round " << round;
+  }
+  EXPECT_EQ(eng.stats().full_page_selected, 0u);
+}
+
+TEST(AdaptDiffDensity, PeriodicProbeRediffsDensePages) {
+  AdaptGuard guard;
+  argocore::set_adapt_forced_off(false);
+  AdaptEngine eng = diff_engine();  // density_probe_interval = 8
+  bool flipped = false;
+  for (int i = 0; i < 3; ++i) eng.note_diff(9, argomem::kPageSize);
+  // 16 full-page-eligible consultations: every 8th is forced back onto
+  // the diff path so the EWMA keeps observing real wire bytes.
+  unsigned full = 0, probes = 0;
+  for (int i = 0; i < 16; ++i) {
+    if (eng.prefer_full_page(9, flipped))
+      ++full;
+    else
+      ++probes;
+  }
+  EXPECT_EQ(full, 14u);
+  EXPECT_EQ(probes, 2u);
+  EXPECT_EQ(eng.stats().density_probes, 2u);
+  EXPECT_EQ(eng.stats().full_page_selected, 14u);
+}
+
+// ---------------------------------------------------------------------------
+// Directed policy (c): the stride table
+
+TEST(AdaptStride, ConfidenceGateBlocksShortStreams) {
+  AdaptConfig cfg;  // stride_confidence = 6, prefetch_degree = 2
+  AdaptStats stats;
+  StrideTable st;
+  // Five same-stride misses after adoption stay below the confidence bar
+  // (a short array slice must never trigger predictions)...
+  for (std::uint64_t pg = 100; pg < 106; ++pg)
+    EXPECT_EQ(st.note_miss(pg, cfg, stats).degree, 0) << "page " << pg;
+  // ...the sixth confirmation clears it and predictions fire.
+  const auto pred = st.note_miss(106, cfg, stats);
+  EXPECT_EQ(pred.degree, 2);
+  EXPECT_EQ(pred.stride, 1);
+  EXPECT_EQ(stats.stride_resets, 0u);
+}
+
+TEST(AdaptStride, JumpsWithinDegreePlusOneContinueTheStream) {
+  AdaptConfig cfg;
+  AdaptStats stats;
+  StrideTable st;
+  for (std::uint64_t pg = 100; pg < 107; ++pg) st.note_miss(pg, cfg, stats);
+  // Prefetched pages absorb intermediate misses, so the next demand miss
+  // lands degree+1 strides ahead: still the same stream.
+  const auto pred = st.note_miss(109, cfg, stats);
+  EXPECT_EQ(pred.degree, 2);
+  EXPECT_EQ(pred.stride, 1);
+}
+
+TEST(AdaptStride, EvictingAConfidentStreamCountsAsMisprediction) {
+  AdaptConfig cfg;
+  AdaptStats stats;
+  StrideTable st;
+  for (std::uint64_t pg = 100; pg < 107; ++pg)
+    st.note_miss(pg, cfg, stats);  // entry 0: confident stride-1 stream
+  st.note_miss(1000, cfg, stats);  // entry 1: fresh candidate
+  st.note_miss(2000, cfg, stats);  // entry 1 adopts stride 1000
+  EXPECT_EQ(stats.stride_resets, 0u);
+  // A third unrelated page matches neither entry; the LRU victim is the
+  // confident stream — that eviction is the misprediction signal.
+  st.note_miss(2500, cfg, stats);
+  EXPECT_EQ(stats.stride_resets, 1u);
+}
+
+TEST(AdaptStride, RepeatMissesCarryNoInformation) {
+  AdaptConfig cfg;
+  AdaptStats stats;
+  StrideTable st;
+  for (std::uint64_t pg = 100; pg < 107; ++pg) st.note_miss(pg, cfg, stats);
+  // The same page missing again (e.g. a capacity re-fetch) neither
+  // advances nor resets the stream.
+  EXPECT_EQ(st.note_miss(106, cfg, stats).degree, 0);
+  EXPECT_EQ(st.note_miss(107, cfg, stats).degree, 2);
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end: every policy acts on a workload shaped for it, and the
+// memory image matches the fixed-knob run exactly (policies move virtual
+// time, never data).
+
+TEST(AdaptCluster, PoliciesActOnAStreamingWorkloadWithoutChangingMemory) {
+  AdaptGuard guard;
+  argocore::set_adapt_forced_off(false);
+  auto run_once = [&](int mask) {
+    argo::ClusterConfig c;
+    c.nodes = 2;
+    c.threads_per_node = 1;
+    c.global_mem_bytes = 256 * argomem::kPageSize;
+    c.cache.write_buffer_pages = 32;
+    c.trace.enabled = true;
+    apply_mask(c, mask);
+    argo::Cluster cl(c);
+    constexpr std::size_t kPages = 256, kQuarter = 64;
+    auto arr = cl.alloc<std::uint64_t>(kPages * kWordsPerPage);
+    cl.reset_classification();
+    cl.run([&](argo::Thread& t) {
+      // Each node streams full-page writes over a quarter homed on the
+      // OTHER node (64 remote dirty pages vs a 32-page buffer: overflow
+      // drains plus dense sole-writer diffs), then — after the barrier's
+      // SI fence dropped its cached copies — streams reads back over the
+      // same quarter: a long stride-1 remote miss stream.
+      const std::size_t lo = t.node() == 0 ? 128 : 0;
+      for (int round = 0; round < 5; ++round) {
+        for (std::size_t p = 0; p < kQuarter; ++p)
+          for (std::size_t w = 0; w < kWordsPerPage; ++w)
+            t.store(arr + static_cast<std::ptrdiff_t>(
+                              (lo + p) * kWordsPerPage + w),
+                    static_cast<std::uint64_t>(round * kPages + p));
+        t.barrier();
+        std::uint64_t sum = 0;
+        for (std::size_t p = 0; p < kQuarter; ++p)
+          sum += t.load(arr + static_cast<std::ptrdiff_t>(
+                                  (lo + p) * kWordsPerPage));
+        EXPECT_EQ(sum, [&] {
+          std::uint64_t s = 0;
+          for (std::size_t p = 0; p < kQuarter; ++p)
+            s += static_cast<std::uint64_t>(round * kPages + p);
+          return s;
+        }());
+        t.barrier();
+      }
+    });
+    AdaptStats total;
+    for (int n = 0; n < c.nodes; ++n) total += cl.node_cache(n).adapt().stats();
+    std::uint64_t kinds[3] = {0, 0, 0};
+    for (const auto& e : cl.tracer().snapshot()) {
+      if (e.kind == static_cast<std::uint8_t>(argoobs::Ev::AdaptWbResize))
+        ++kinds[0];
+      if (e.kind == static_cast<std::uint8_t>(argoobs::Ev::AdaptDiffMode))
+        ++kinds[1];
+      if (e.kind == static_cast<std::uint8_t>(argoobs::Ev::AdaptPrefetch))
+        ++kinds[2];
+    }
+    const std::byte* bytes = cl.gmem().home_ptr(0);
+    std::uint64_t h = 14695981039346656037ull;
+    for (std::size_t i = 0; i < cl.gmem().size(); ++i) {
+      h ^= static_cast<std::uint8_t>(bytes[i]);
+      h *= 1099511628211ull;
+    }
+    return std::make_tuple(total, kinds[0], kinds[1], kinds[2], h);
+  };
+  const auto [stats, wb_ev, diff_ev, pf_ev, hash] = run_once(7);
+  // Every policy made at least one decision and traced it.
+  EXPECT_GT(stats.wb_grows + stats.wb_shrinks + stats.wb_reverts, 0u);
+  EXPECT_GT(stats.full_page_selected, 0u);
+  EXPECT_GT(stats.prefetch_issued, 0u);
+  EXPECT_GT(stats.prefetch_useful, 0u);
+  EXPECT_GT(wb_ev, 0u);
+  EXPECT_GT(diff_ev, 0u);
+  EXPECT_GT(pf_ev, 0u);
+  // Adaptation reshapes timing, never data: the final memory image is the
+  // fixed-knob run's, bit for bit.
+  const auto [stats0, w0, d0, p0, hash0] = run_once(0);
+  EXPECT_EQ(adapt_fields(stats0), std::vector<std::uint64_t>(10, 0));
+  EXPECT_EQ(w0 + d0 + p0, 0u);
+  EXPECT_EQ(hash, hash0);
+}
+
+}  // namespace
