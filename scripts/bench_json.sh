@@ -71,10 +71,12 @@ DEPTHS="1 4 16"
 for d in $DEPTHS; do
   if [ "$QUICK" = 1 ]; then
     run fig09_writebuffer fig09 "$d" --quick
+    run microbench_engine microbench "$d" --quick
   else
     run fig07_bandwidth fig07 "$d"
     run fig09_writebuffer fig09 "$d"
     run fig13a_lu fig13a "$d"
+    run microbench_engine microbench "$d"
   fi
 done
 

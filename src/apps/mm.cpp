@@ -35,71 +35,71 @@ void mm_rows(const double* a, const double* b, double* c, std::size_t n,
 // A rows by the same B, once per iteration per configuration, so each row
 // product recurs bit-identically across the sweep (see apps/memo.hpp). B
 // operands are interned by exact comparison (the benches use one per
-// size); each cached row stores its A row and result row, verified with a
-// full memcmp before replay. Random row data rejects mismatches on the
-// first word, so the newest-first scan is effectively O(entries) cheap
-// word compares. Bounded by total bytes; disabled by ARGO_SLOW_PATHS.
+// size); interning is a separate step the backends run ONCE per local B
+// buffer fill — comparing the full B on every row call made the intern
+// memcmp, not the product, the dominant host cost. Each cached row stores
+// its A row and result row, verified with a full memcmp before replay.
+// Random row data rejects mismatches on the first word, so the
+// newest-first scan is effectively O(entries) cheap word compares.
+// Bounded by total bytes; disabled by ARGO_SLOW_PATHS.
 struct MmRow {
   std::size_t b_id;
   std::vector<double> a, c;
 };
 
-void mm_rows_memo(const double* a, const double* b, double* c,
-                  std::size_t n, std::size_t rows) {
-  if (argosim::slow_paths()) {
+// Shared across the parallel engine's host workers: entries are never
+// evicted (the byte cap just stops inserts), so a hit is served entirely
+// under the lock and the expensive product runs outside it. Two workers
+// may compute the same row block concurrently; the duplicate insert is
+// harmless.
+std::deque<std::vector<double>> mm_bmats;  // deque: stable growth
+std::deque<MmRow> mm_cache;
+std::size_t mm_memo_bytes = 0;
+std::mutex mm_memo_mu;
+constexpr std::size_t kMmMaxBytes = 96u << 20;
+constexpr std::size_t kMmNoMemo = static_cast<std::size_t>(-1);
+
+/// Resolve `b` (n x n) to its interned id — one full memcmp against the
+/// few known B operands. Returns kMmNoMemo (compute without caching) under
+/// ARGO_SLOW_PATHS or when the byte budget is exhausted.
+std::size_t mm_intern_b(const double* b, std::size_t n) {
+  if (argosim::slow_paths()) return kMmNoMemo;
+  const std::size_t bn = n * n;
+  std::lock_guard<std::mutex> g(mm_memo_mu);
+  for (std::size_t i = mm_bmats.size(); i-- > 0;) {
+    if (mm_bmats[i].size() == bn &&
+        std::memcmp(mm_bmats[i].data(), b, bn * sizeof(double)) == 0)
+      return i;
+  }
+  if (mm_memo_bytes + bn * sizeof(double) > kMmMaxBytes) return kMmNoMemo;
+  mm_bmats.emplace_back(b, b + bn);
+  mm_memo_bytes += bn * sizeof(double);
+  return mm_bmats.size() - 1;
+}
+
+void mm_rows_memo(const double* a, std::size_t b_id, const double* b,
+                  double* c, std::size_t n, std::size_t rows) {
+  if (b_id == kMmNoMemo) {  // slow paths, or memo over budget
     mm_rows(a, b, c, n, 0, rows);
     return;
   }
-  // Shared across the parallel engine's host workers: entries are never
-  // evicted (the byte cap just stops inserts), so a hit is served entirely
-  // under the lock and the expensive product runs outside it. Two workers
-  // may compute the same row block concurrently; the duplicate insert is
-  // harmless.
-  static std::deque<std::vector<double>> bmats;  // deque: stable growth
-  static std::deque<MmRow> cache;
-  static std::size_t memo_bytes = 0;
-  static std::mutex mu;
-  constexpr std::size_t kMaxBytes = 96u << 20;
-  constexpr std::size_t kFull = static_cast<std::size_t>(-1);
-
-  const std::size_t bn = n * n;
   const std::size_t an = rows * n;
-  std::size_t b_id;
   {
-    std::lock_guard<std::mutex> g(mu);
-    b_id = bmats.size();
-    for (std::size_t i = bmats.size(); i-- > 0;) {
-      if (bmats[i].size() == bn &&
-          std::memcmp(bmats[i].data(), b, bn * sizeof(double)) == 0) {
-        b_id = i;
-        break;
-      }
-    }
-    if (b_id == bmats.size()) {
-      if (memo_bytes + bn * sizeof(double) > kMaxBytes) {
-        b_id = kFull;  // over budget: compute without caching
-      } else {
-        bmats.emplace_back(b, b + bn);
-        memo_bytes += bn * sizeof(double);
-      }
-    }
-    if (b_id != kFull) {
-      for (auto it = cache.rbegin(); it != cache.rend(); ++it) {
-        if (it->b_id == b_id && it->a.size() == an &&
-            std::memcmp(it->a.data(), a, an * sizeof(double)) == 0) {
-          std::memcpy(c, it->c.data(), an * sizeof(double));
-          return;
-        }
+    std::lock_guard<std::mutex> g(mm_memo_mu);
+    for (auto it = mm_cache.rbegin(); it != mm_cache.rend(); ++it) {
+      if (it->b_id == b_id && it->a.size() == an &&
+          std::memcmp(it->a.data(), a, an * sizeof(double)) == 0) {
+        std::memcpy(c, it->c.data(), an * sizeof(double));
+        return;
       }
     }
   }
   mm_rows(a, b, c, n, 0, rows);
-  if (b_id == kFull) return;
-  std::lock_guard<std::mutex> g(mu);
-  if (memo_bytes + 2 * an * sizeof(double) <= kMaxBytes) {
-    cache.push_back(MmRow{b_id, std::vector<double>(a, a + an),
-                          std::vector<double>(c, c + an)});
-    memo_bytes += 2 * an * sizeof(double);
+  std::lock_guard<std::mutex> g(mm_memo_mu);
+  if (mm_memo_bytes + 2 * an * sizeof(double) <= kMmMaxBytes) {
+    mm_cache.push_back(MmRow{b_id, std::vector<double>(a, a + an),
+                             std::vector<double>(c, c + an)});
+    mm_memo_bytes += 2 * an * sizeof(double);
   }
 }
 
@@ -148,10 +148,12 @@ MmResult mm_run_argo(argo::Cluster& cl, const MmParams& p) {
       // (S,NW) — under P/S3 both stay cached across the barrier.
       t.load_bulk(a + static_cast<std::ptrdiff_t>(lo * n), la.data(), rows * n);
       t.load_bulk(b, lb.data(), n * n);
+      const std::size_t b_id = mm_intern_b(lb.data(), n);
       // One row at a time, storing each result row as it is produced
       // (like the original element-wise code).
       for (std::size_t i = 0; i < rows; ++i) {
-        mm_rows_memo(la.data() + i * n, lb.data(), lc.data() + i * n, n, 1);
+        mm_rows_memo(la.data() + i * n, b_id, lb.data(), lc.data() + i * n,
+                     n, 1);
         t.compute(static_cast<Time>(n * n) * p.ns_per_mac);
         t.store_bulk(c + static_cast<std::ptrdiff_t>((lo + i) * n),
                      lc.data() + i * n, n);
@@ -200,9 +202,11 @@ MmResult mm_run_mpi(argompi::MpiEnv& env, const MmParams& p) {
       w.recv(me, 0, 10, la.data(), rows * n * sizeof(double));
     }
     w.bcast(me, 0, b.data(), n * n * sizeof(double));
+    const std::size_t b_id = mm_intern_b(b.data(), n);
     for (int iter = 0; iter < p.iterations; ++iter) {
       for (std::size_t i = 0; i < rows; ++i) {
-        mm_rows_memo(la.data() + i * n, b.data(), lc.data() + i * n, n, 1);
+        mm_rows_memo(la.data() + i * n, b_id, b.data(), lc.data() + i * n,
+                     n, 1);
         argosim::delay(static_cast<Time>(n * n) * p.ns_per_mac);
       }
       w.barrier(me);

@@ -23,19 +23,44 @@ void accumulate_force(const double* x, const double* y, const double* z,
                       const double* m, std::size_t n, std::size_t i,
                       double& fx, double& fy, double& fz) {
   const double xi = x[i], yi = y[i], zi = z[i];
-  double ax = 0, ay = 0, az = 0;
-  for (std::size_t j = 0; j < n; ++j) {
+  // Two independent accumulator lanes: the explicit even/odd split spells
+  // out the summation order (lane sums combined once at the end), so the
+  // compiler can keep the pair in one vector register — packed subtract /
+  // multiply / sqrt / divide — without being licensed to reassociate
+  // anything. The result is deterministic: it depends only on n, not on
+  // the optimization level or the ARGO_SLOW_PATHS mode.
+  double ax0 = 0, ay0 = 0, az0 = 0;
+  double ax1 = 0, ay1 = 0, az1 = 0;
+  std::size_t j = 0;
+  for (; j + 2 <= n; j += 2) {
+    const double dx0 = x[j] - xi, dy0 = y[j] - yi, dz0 = z[j] - zi;
+    const double dx1 = x[j + 1] - xi, dy1 = y[j + 1] - yi,
+                 dz1 = z[j + 1] - zi;
+    const double r20 = dx0 * dx0 + dy0 * dy0 + dz0 * dz0 + kSoftening;
+    const double r21 = dx1 * dx1 + dy1 * dy1 + dz1 * dz1 + kSoftening;
+    const double inv0 = 1.0 / std::sqrt(r20);
+    const double inv1 = 1.0 / std::sqrt(r21);
+    const double s0 = m[j] * inv0 * inv0 * inv0;
+    const double s1 = m[j + 1] * inv1 * inv1 * inv1;
+    ax0 += dx0 * s0;
+    ay0 += dy0 * s0;
+    az0 += dz0 * s0;
+    ax1 += dx1 * s1;
+    ay1 += dy1 * s1;
+    az1 += dz1 * s1;
+  }
+  if (j < n) {
     const double dx = x[j] - xi, dy = y[j] - yi, dz = z[j] - zi;
     const double r2 = dx * dx + dy * dy + dz * dz + kSoftening;
     const double inv_r = 1.0 / std::sqrt(r2);
     const double s = m[j] * inv_r * inv_r * inv_r;
-    ax += dx * s;
-    ay += dy * s;
-    az += dz * s;
+    ax0 += dx * s;
+    ay0 += dy * s;
+    az0 += dz * s;
   }
-  fx = ax;
-  fy = ay;
-  fz = az;
+  fx = ax0 + ax1;
+  fy = ay0 + ay1;
+  fz = az0 + az1;
 }
 
 /// Lazily-filled per-body force table for one position state (the

@@ -138,6 +138,37 @@ void Cluster::register_metrics() {
   metrics_.add_counter("trace.emitted", [this] { return tracer_.emitted(); });
   metrics_.add_counter("trace.dropped", [this] { return tracer_.dropped(); });
 
+  // Host-side scheduler diagnostics (sim.*): deterministic for a fixed
+  // engine configuration, but NOT part of the cross-engine identity
+  // contract — the legacy and sharded schedulers context-switch different
+  // amounts, and the slow-path oracle takes none of the fast paths these
+  // count. Identity suites compare only non-"sim." counters.
+  metrics_.add_counter("sim.context_switches",
+                       [this] { return eng_.context_switches(); });
+  metrics_.add_counter("sim.runq_pushes", [this] { return eng_.runq_pushes(); });
+  metrics_.add_counter("sim.runq_pops", [this] { return eng_.runq_pops(); });
+  metrics_.add_counter("sim.runq_purged", [this] { return eng_.runq_purged(); });
+  metrics_.add_counter("sim.calendar_resizes",
+                       [this] { return eng_.calendar_resizes(); });
+  metrics_.add_counter("sim.fast_forwards",
+                       [this] { return eng_.delay_fast_forwards(); });
+  metrics_.add_counter("sim.stacks_reused",
+                       [this] { return eng_.stacks_reused(); });
+  // The SmallFn counters are process-wide; report this cluster's share by
+  // subtracting the construction-time baseline.
+  metrics_.add_counter("sim.effect_pool_hits",
+                       [base = argosim::smallfn_inline_hits()] {
+                         return argosim::smallfn_inline_hits() - base;
+                       });
+  metrics_.add_counter("sim.effect_pool_misses",
+                       [base = argosim::smallfn_heap_spills()] {
+                         return argosim::smallfn_heap_spills() - base;
+                       });
+  metrics_.add_counter("sim.record_pool_hits",
+                       [this] { return net_.record_pool_hits(); });
+  metrics_.add_counter("sim.record_pool_misses",
+                       [this] { return net_.record_pool_misses(); });
+
   // Adaptive-tuning metrics exist only when at least one policy is on, so
   // the fixed-knob metric enumeration matches the seed exactly.
   if (cfg_.adapt.any()) {
@@ -241,8 +272,16 @@ void Cluster::maybe_enable_sharding() {
     }
   }
   if (serial_only != nullptr) {
-    std::fprintf(stderr, "argo: sharded engine unavailable (%s); %s\n",
-                 serial_only, "running on the legacy engine");
+    engine_fallback_reason_ = serial_only;
+    // Once per process: sweeps and test suites construct hundreds of
+    // affected clusters, and a per-construction notice drowns real
+    // diagnostics. The per-cluster reason stays queryable via
+    // ClusterStats::engine_fallback_reason.
+    static std::atomic<bool> notice_printed{false};
+    if (!notice_printed.exchange(true, std::memory_order_relaxed)) {
+      std::fprintf(stderr, "argo: sharded engine unavailable (%s); %s\n",
+                   serial_only, "running on the legacy engine");
+    }
     return;
   }
 
@@ -346,6 +385,8 @@ ClusterStats Cluster::stats() const {
   s.net = net_.total_stats();
   s.counters = metrics_.sample_counters();
   s.hists = metrics_.sample_hists();
+  if (engine_fallback_reason_ != nullptr)
+    s.engine_fallback_reason = engine_fallback_reason_;
   return s;
 }
 

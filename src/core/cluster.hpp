@@ -73,6 +73,10 @@ struct ClusterStats {
   std::vector<argoobs::CounterSample> counters;
   std::vector<argoobs::HistSample> hists;
 
+  /// Why the cluster fell back to the legacy engine when sharding was
+  /// requested (empty when sharding engaged or was never asked for).
+  std::string engine_fallback_reason;
+
   /// Value of one named counter (0 if absent — names are stable, so an
   /// absent name is a typo).
   std::uint64_t counter(const std::string& name) const;
@@ -405,6 +409,9 @@ class Cluster {
   int active_nodes_ = 1;
   int active_tpn_ = 1;
   bool sharding_decided_ = false;
+  /// Why sharding was refused (static string from maybe_enable_sharding;
+  /// null when sharded or never requested). Surfaced through stats().
+  const char* engine_fallback_reason_ = nullptr;
   ClusterConfig cfg_;
   argosim::Engine eng_;
   argonet::Interconnect net_;

@@ -6,6 +6,8 @@
 #include <cstring>
 #include <string>
 
+#include "sim/slowpath.hpp"
+
 namespace argonet {
 
 NodeNetStats& NodeNetStats::operator+=(const NodeNetStats& o) {
@@ -144,10 +146,60 @@ void Interconnect::remote_op(int src, int dst, std::size_t stream_bytes,
   }
 }
 
+namespace {
+// Pool growth bound per node: past this, acquisitions with no free slot
+// fall back to plain allocations (the shared_ptr still retires normally,
+// it just isn't retained for reuse). Sized past any realistic pipeline
+// depth so steady state never allocates.
+constexpr std::size_t kPoolCap = 64;
+
+// Round-robin scan for a slot nobody but the pool references.
+template <class P>
+typename P::value_type acquire_slot(P& pool, std::size_t& cursor) {
+  for (std::size_t probe = 0; probe < pool.size(); ++probe) {
+    auto& slot = pool[cursor];
+    cursor = (cursor + 1) % pool.size();
+    if (slot.use_count() == 1) return slot;
+  }
+  return nullptr;
+}
+}  // namespace
+
+std::shared_ptr<argosim::SimRecord> Interconnect::acquire_record(NodeBox& box) {
+  if (!argosim::slow_paths()) {
+    if (auto rec = acquire_slot(box.rec_pool, box.rec_cursor)) {
+      rec->reset();
+      rec_pool_hits_.fetch_add(1, std::memory_order_relaxed);
+      return rec;
+    }
+  }
+  rec_pool_misses_.fetch_add(1, std::memory_order_relaxed);
+  auto rec = std::make_shared<argosim::SimRecord>();
+  if (!argosim::slow_paths() && box.rec_pool.size() < kPoolCap)
+    box.rec_pool.push_back(rec);
+  return rec;
+}
+
+std::shared_ptr<std::vector<std::byte>> Interconnect::acquire_buf(
+    NodeBox& box) {
+  if (!argosim::slow_paths()) {
+    if (auto buf = acquire_slot(box.buf_pool, box.buf_cursor)) {
+      buf->clear();
+      rec_pool_hits_.fetch_add(1, std::memory_order_relaxed);
+      return buf;
+    }
+  }
+  rec_pool_misses_.fetch_add(1, std::memory_order_relaxed);
+  auto buf = std::make_shared<std::vector<std::byte>>();
+  if (!argosim::slow_paths() && box.buf_pool.size() < kPoolCap)
+    box.buf_pool.push_back(buf);
+  return buf;
+}
+
 bool Interconnect::sharded_attempt(
     int src, int dst, std::size_t stream_bytes, Time base_latency,
     const char* what, const std::shared_ptr<argosim::SimRecord>& rec,
-    const std::function<void(argosim::SimRecord&)>& apply) {
+    ApplyFn& apply) {
   auto& box = *boxes_[src];
   bool fail = false;
   Time stream = cfg_.net_transfer(stream_bytes);
@@ -171,9 +223,12 @@ bool Interconnect::sharded_attempt(
     std::optional<argosim::SimLockGuard> g;
     if (cfg_.serialize_nic) g.emplace(box.nic);
     if (!fail && apply) {
+      // A successful attempt is the op's last: consuming `apply` here is
+      // safe because the retry loop returns as soon as we report success.
       argosim::Engine::current()->post_effect(
           static_cast<std::uint32_t>(dst), argosim::now() + busy + latency, 1,
-          static_cast<std::uint64_t>(src), box.effect_seq++, [rec, apply] {
+          static_cast<std::uint64_t>(src), box.effect_seq++,
+          [rec, apply = std::move(apply)]() mutable {
             apply(*rec);
             rec->complete();
           });
@@ -190,8 +245,8 @@ bool Interconnect::sharded_attempt(
 
 std::shared_ptr<argosim::SimRecord> Interconnect::sharded_op(
     int src, int dst, std::size_t stream_bytes, Time base_latency,
-    const char* what, std::function<void(argosim::SimRecord&)> apply) {
-  auto rec = std::make_shared<argosim::SimRecord>();
+    const char* what, ApplyFn apply) {
+  auto rec = acquire_record(*boxes_[src]);
   if (!faults_) {
     sharded_attempt(src, dst, stream_bytes, base_latency, what, rec, apply);
     return rec;
@@ -281,11 +336,11 @@ PostedHandle Interconnect::retired_handle(int src, bool has_value,
   return PostedHandle{src, id};
 }
 
-PostedHandle Interconnect::post_remote(
-    int src, int dst, std::size_t stream_bytes, Time base_latency,
-    const char* what, bool has_value, std::function<std::uint64_t()> effect,
-    std::function<void(argosim::SimRecord&)> dst_apply,
-    std::function<std::uint64_t(argosim::SimRecord&)> finish) {
+PostedHandle Interconnect::post_remote(int src, int dst,
+                                       std::size_t stream_bytes,
+                                       Time base_latency, const char* what,
+                                       bool has_value, PostedEffectFn effect,
+                                       ApplyFn dst_apply, FinishFn finish) {
   auto& box = *boxes_[src];
   crash_check(src, dst, what);
   const bool sharded = sharded_engine();
@@ -378,13 +433,13 @@ PostedHandle Interconnect::post_remote(
   if (sharded && !hard_fail) {
     // Ship the remote half to dst's shard at the (fully projected, in-order
     // bumped) completion time; the dst-shard effect replaces the inline one.
-    p.rec = std::make_shared<argosim::SimRecord>();
+    p.rec = acquire_record(box);
     p.finish = std::move(finish);
     p.effect = nullptr;
     argosim::Engine::current()->post_effect(
         static_cast<std::uint32_t>(dst), done, 1,
         static_cast<std::uint64_t>(src), box.effect_seq++,
-        [rec = p.rec, apply = std::move(dst_apply)] {
+        [rec = p.rec, apply = std::move(dst_apply)]() mutable {
           if (apply) apply(*rec);
           rec->complete();
         });
@@ -469,9 +524,9 @@ PostedHandle Interconnect::post_write(int src, int dst, void* remote,
   }
   // Posted semantics capture the payload at post time: the source buffer
   // may be reused (page evicted, refetched, re-dirtied) before retirement.
-  auto buf = std::make_shared<std::vector<std::byte>>(
-      static_cast<const std::byte*>(local),
-      static_cast<const std::byte*>(local) + n);
+  auto buf = acquire_buf(*boxes_[src]);
+  buf->assign(static_cast<const std::byte*>(local),
+              static_cast<const std::byte*>(local) + n);
   return post_remote(
       src, dst, n, cfg_.rdma_latency, "RDMA write", false,
       [remote, buf, n]() -> std::uint64_t {
@@ -492,7 +547,7 @@ PostedHandle Interconnect::post_write_gather(int src, int dst,
   auto& s = boxes_[src]->stats;
   ++s.rdma_writes;
   s.bytes_written += wire;
-  auto buf = std::make_shared<std::vector<std::byte>>();
+  auto buf = acquire_buf(*boxes_[src]);
   buf->reserve(wire);
   std::vector<std::pair<void*, std::size_t>> targets;
   targets.reserve(runs.size());
@@ -717,9 +772,10 @@ bool Interconnect::try_read(int src, int dst, const void* remote, void* local,
   if (src == dst) {
     argosim::delay(cfg_.mem_latency + cfg_.mem_copy(n));
   } else if (sharded_engine()) {
-    auto rec = std::make_shared<argosim::SimRecord>();
+    auto rec = acquire_record(*boxes_[src]);
+    ApplyFn apply = capture_bytes(remote, n);
     if (!sharded_attempt(src, dst, n, cfg_.rdma_latency, "RDMA read", rec,
-                         capture_bytes(remote, n)))
+                         apply))
       return false;
     argosim::Engine::current()->await(rec);
     std::memcpy(local, rec->bytes.data(), n);
@@ -761,9 +817,10 @@ bool Interconnect::try_write(int src, int dst, void* remote, const void* local,
   if (src == dst) {
     argosim::delay(cfg_.mem_latency + cfg_.mem_copy(n));
   } else if (sharded_engine()) {
-    auto rec = std::make_shared<argosim::SimRecord>();
+    auto rec = acquire_record(*boxes_[src]);
+    ApplyFn apply = apply_bytes(remote, snapshot(local, n));
     return sharded_attempt(src, dst, n, cfg_.rdma_latency, "RDMA write", rec,
-                           apply_bytes(remote, snapshot(local, n)));
+                           apply);
   } else if (!remote_attempt(src, dst, n, cfg_.rdma_latency, "RDMA write")) {
     return false;
   }
@@ -903,12 +960,13 @@ std::optional<std::uint64_t> Interconnect::try_fetch_or(int src, int dst,
   if (src == dst) {
     argosim::delay(cfg_.mem_latency);
   } else if (sharded_engine()) {
-    auto rec = std::make_shared<argosim::SimRecord>();
+    auto rec = acquire_record(*boxes_[src]);
+    ApplyFn apply = [remote, bits](argosim::SimRecord& r) {
+      r.value = *remote;
+      *remote = r.value | bits;
+    };
     if (!sharded_attempt(src, dst, 0, cfg_.rdma_latency, "RDMA fetch-or", rec,
-                         [remote, bits](argosim::SimRecord& r) {
-                           r.value = *remote;
-                           *remote = r.value | bits;
-                         }))
+                         apply))
       return std::nullopt;
     argosim::Engine::current()->await(rec);
     return rec->value;
@@ -951,12 +1009,13 @@ std::optional<std::uint64_t> Interconnect::try_fetch_add(int src, int dst,
   if (src == dst) {
     argosim::delay(cfg_.mem_latency);
   } else if (sharded_engine()) {
-    auto rec = std::make_shared<argosim::SimRecord>();
+    auto rec = acquire_record(*boxes_[src]);
+    ApplyFn apply = [remote, v](argosim::SimRecord& r) {
+      r.value = *remote;
+      *remote = r.value + v;
+    };
     if (!sharded_attempt(src, dst, 0, cfg_.rdma_latency, "RDMA fetch-add",
-                         rec, [remote, v](argosim::SimRecord& r) {
-                           r.value = *remote;
-                           *remote = r.value + v;
-                         }))
+                         rec, apply))
       return std::nullopt;
     argosim::Engine::current()->await(rec);
     return rec->value;
@@ -1000,12 +1059,13 @@ std::optional<std::uint64_t> Interconnect::try_cas(int src, int dst,
   if (src == dst) {
     argosim::delay(cfg_.mem_latency);
   } else if (sharded_engine()) {
-    auto rec = std::make_shared<argosim::SimRecord>();
+    auto rec = acquire_record(*boxes_[src]);
+    ApplyFn apply = [remote, expected, desired](argosim::SimRecord& r) {
+      r.value = *remote;
+      if (r.value == expected) *remote = desired;
+    };
     if (!sharded_attempt(src, dst, 0, cfg_.rdma_latency, "RDMA CAS", rec,
-                         [remote, expected, desired](argosim::SimRecord& r) {
-                           r.value = *remote;
-                           if (r.value == expected) *remote = desired;
-                         }))
+                         apply))
       return std::nullopt;
     argosim::Engine::current()->await(rec);
     return rec->value;
@@ -1047,12 +1107,13 @@ std::optional<std::uint64_t> Interconnect::try_exchange(int src, int dst,
   if (src == dst) {
     argosim::delay(cfg_.mem_latency);
   } else if (sharded_engine()) {
-    auto rec = std::make_shared<argosim::SimRecord>();
+    auto rec = acquire_record(*boxes_[src]);
+    ApplyFn apply = [remote, desired](argosim::SimRecord& r) {
+      r.value = *remote;
+      *remote = desired;
+    };
     if (!sharded_attempt(src, dst, 0, cfg_.rdma_latency, "RDMA exchange",
-                         rec, [remote, desired](argosim::SimRecord& r) {
-                           r.value = *remote;
-                           *remote = desired;
-                         }))
+                         rec, apply))
       return std::nullopt;
     argosim::Engine::current()->await(rec);
     return rec->value;

@@ -31,11 +31,22 @@
 #include "net/netconfig.hpp"
 #include "obs/trace.hpp"
 #include "sim/engine.hpp"
+#include "sim/smallfn.hpp"
 #include "sim/sync.hpp"
 
 namespace argonet {
 
 using argosim::Time;
+
+// Hot-path closures ride in inline-storage SmallFns (sim/smallfn.hpp): a
+// posted verb builds up to three of them, and std::function would heap-
+// allocate each. Capacities cover the largest capture each role carries
+// (post_fetch_or_span's apply: a pointer, a 32-byte operand array, a count
+// and an output pointer); oversized captures still work, they just spill
+// to the heap and tick sim.effect_pool_misses.
+using ApplyFn = argosim::SmallFn<void(argosim::SimRecord&), 64>;
+using PostedEffectFn = argosim::SmallFn<std::uint64_t(), 64>;
+using FinishFn = argosim::SmallFn<std::uint64_t(argosim::SimRecord&), 32>;
 
 /// Thrown by the reliable verbs when an op still fails after the
 /// RetryPolicy's attempt budget / deadline is exhausted (a hard, rather
@@ -371,6 +382,16 @@ class Interconnect {
   NodeNetStats total_stats() const;
   void reset_stats();
 
+  /// Completion-record / payload-buffer pool reuses vs fresh allocations
+  /// across all nodes (host-side diagnostics; zero under ARGO_SLOW_PATHS
+  /// hits, every acquisition a miss).
+  std::uint64_t record_pool_hits() const {
+    return rec_pool_hits_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t record_pool_misses() const {
+    return rec_pool_misses_.load(std::memory_order_relaxed);
+  }
+
  private:
   struct Pending {
     Time deliver_at;
@@ -392,13 +413,13 @@ class Interconnect {
     const char* what;
     int dst;  ///< target node (error context)
     bool has_value;
-    std::function<std::uint64_t()> effect;  ///< applied at retirement (legacy)
+    PostedEffectFn effect;  ///< applied at retirement (legacy)
     /// Sharded engine: the remote effect was shipped to dst's shard as a
     /// timestamped effect completing this record; retirement awaits it and
     /// runs `finish` (src-side copy-out / value extraction) instead of
     /// `effect`.
     std::shared_ptr<argosim::SimRecord> rec;
-    std::function<std::uint64_t(argosim::SimRecord&)> finish;
+    FinishFn finish;
   };
 
   struct PostedFailure {
@@ -422,6 +443,15 @@ class Interconnect {
     // shard in effect-key order, replacing the legacy global send_seq_.
     std::uint64_t effect_seq = 1;
     std::uint64_t rx_seq = 0;
+    // Completion-record / payload-snapshot freelists (single-writer: every
+    // op on this box runs on its node's shard). A slot whose use_count()
+    // has fallen back to 1 is referenced by nobody but the pool and can be
+    // reset and handed out again; disabled under ARGO_SLOW_PATHS so the
+    // oracle keeps the seed's allocation pattern.
+    std::vector<std::shared_ptr<argosim::SimRecord>> rec_pool;
+    std::size_t rec_cursor = 0;
+    std::vector<std::shared_ptr<std::vector<std::byte>>> buf_pool;
+    std::size_t buf_cursor = 0;
   };
 
   /// Hold node `src`'s NIC for `busy` ns, then charge `extra_latency` more
@@ -450,16 +480,20 @@ class Interconnect {
   /// successful attempt ships `apply` to dst's shard as an effect executing
   /// exactly at the attempt's completion instant (NIC acquisition + busy +
   /// latency), filling and completing `rec`. Failed attempts post nothing.
+  /// `apply` is consumed (moved into the effect) by a successful attempt —
+  /// which is always the last one — and left intact by failed attempts.
   bool sharded_attempt(int src, int dst, std::size_t stream_bytes,
                        Time base_latency, const char* what,
                        const std::shared_ptr<argosim::SimRecord>& rec,
-                       const std::function<void(argosim::SimRecord&)>& apply);
+                       ApplyFn& apply);
 
   /// Reliable sharded remote op: retry sharded_attempt under the
   /// RetryPolicy (same loop as remote_op); returns the completion record.
-  std::shared_ptr<argosim::SimRecord> sharded_op(
-      int src, int dst, std::size_t stream_bytes, Time base_latency,
-      const char* what, std::function<void(argosim::SimRecord&)> apply);
+  std::shared_ptr<argosim::SimRecord> sharded_op(int src, int dst,
+                                                 std::size_t stream_bytes,
+                                                 Time base_latency,
+                                                 const char* what,
+                                                 ApplyFn apply);
 
   /// Post one message-delivery effect on the destination's shard.
   void ship_message(Message msg, Time deliver_at);
@@ -471,11 +505,16 @@ class Interconnect {
   /// `effect` is the legacy inline retirement effect; `dst_apply`/`finish`
   /// are the sharded split of the same work (remote half on dst's shard at
   /// the completion instant, src-side half at retirement).
-  PostedHandle post_remote(
-      int src, int dst, std::size_t stream_bytes, Time base_latency,
-      const char* what, bool has_value, std::function<std::uint64_t()> effect,
-      std::function<void(argosim::SimRecord&)> dst_apply,
-      std::function<std::uint64_t(argosim::SimRecord&)> finish);
+  PostedHandle post_remote(int src, int dst, std::size_t stream_bytes,
+                           Time base_latency, const char* what, bool has_value,
+                           PostedEffectFn effect, ApplyFn dst_apply,
+                           FinishFn finish);
+
+  /// Pooled completion record / payload-snapshot buffer for `box`'s next
+  /// op: reuses a free slot when one exists, else allocates (and grows the
+  /// pool up to its cap). Fresh allocations under ARGO_SLOW_PATHS.
+  std::shared_ptr<argosim::SimRecord> acquire_record(NodeBox& box);
+  std::shared_ptr<std::vector<std::byte>> acquire_buf(NodeBox& box);
 
   /// Handle for an op that completed synchronously (local ops, depth 1).
   PostedHandle retired_handle(int src, bool has_value, std::uint64_t value);
@@ -501,6 +540,9 @@ class Interconnect {
   // Bumped by purge_stale, which runs on the receiving fiber's shard —
   // concurrent across shards under the parallel engine.
   std::atomic<std::uint64_t> stale_msgs_dropped_{0};
+  // Pool diagnostics; bumped from every node's shard concurrently.
+  std::atomic<std::uint64_t> rec_pool_hits_{0};
+  std::atomic<std::uint64_t> rec_pool_misses_{0};
 };
 
 }  // namespace argonet

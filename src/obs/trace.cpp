@@ -36,19 +36,24 @@ const char* state_name(std::uint8_t state) {
 
 void Tracer::configure(int nodes, const TraceConfig& cfg) {
   enabled_ = cfg.enabled && cfg.ring_capacity > 0;
-  capacity_ = cfg.ring_capacity;
+  // Rounded up to a power of two: the ring index is then a mask, and the
+  // rings are sized in full up front, so the enabled emit path is pure
+  // straight-line stores — no grow branch, no division.
+  capacity_ = 1;
+  while (capacity_ < cfg.ring_capacity) capacity_ *= 2;
   seq_ = 0;
   rings_.clear();
-  if (enabled_) rings_.resize(static_cast<std::size_t>(nodes));
+  if (enabled_) {
+    rings_.resize(static_cast<std::size_t>(nodes));
+    for (Ring& r : rings_) r.buf.resize(capacity_);
+  }
 }
 
 void Tracer::emit_slow(int node, Ev kind, std::uint64_t page,
                        std::uint8_t state, std::uint64_t arg) {
   Ring& ring = rings_[static_cast<std::size_t>(node)];
-  if (ring.buf.size() < capacity_) {
-    ring.buf.emplace_back();
-  }
-  TraceEvent& e = ring.buf[static_cast<std::size_t>(ring.count % capacity_)];
+  TraceEvent& e =
+      ring.buf[static_cast<std::size_t>(ring.count) & (capacity_ - 1)];
 
   // Sharded: every emit site runs on the emitting node's shard, so the
   // ring is single-writer and a ring-local seq suffices. The shared
@@ -72,13 +77,18 @@ std::vector<TraceEvent> Tracer::node_events(int node) const {
   std::vector<TraceEvent> out;
   if (!enabled_ || static_cast<std::size_t>(node) >= rings_.size()) return out;
   const Ring& ring = rings_[static_cast<std::size_t>(node)];
-  const std::size_t n = ring.buf.size();
+  // The rings are pre-sized, so the retained-event count comes from
+  // `count`, not the buffer size.
+  const std::size_t n = static_cast<std::size_t>(
+      ring.count < capacity_ ? ring.count : capacity_);
   out.reserve(n);
   // Oldest retained event first: once wrapped, that is the slot just past
   // the most recently written one.
   const std::size_t start =
-      ring.count > n ? static_cast<std::size_t>(ring.count % capacity_) : 0;
-  for (std::size_t i = 0; i < n; ++i) out.push_back(ring.buf[(start + i) % n]);
+      ring.count > n ? static_cast<std::size_t>(ring.count) & (capacity_ - 1)
+                     : 0;
+  for (std::size_t i = 0; i < n; ++i)
+    out.push_back(ring.buf[(start + i) & (capacity_ - 1)]);
   return out;
 }
 
@@ -86,7 +96,9 @@ std::vector<TraceEvent> Tracer::snapshot() const {
   std::vector<TraceEvent> out;
   if (!enabled_) return out;
   std::size_t total = 0;
-  for (const Ring& r : rings_) total += r.buf.size();
+  for (const Ring& r : rings_)
+    total += static_cast<std::size_t>(r.count < capacity_ ? r.count
+                                                          : capacity_);
   out.reserve(total);
   // K-way merge by seq: each per-node ring is already seq-sorted.
   std::vector<std::vector<TraceEvent>> per;
@@ -130,15 +142,12 @@ std::uint64_t Tracer::emitted() const {
 std::uint64_t Tracer::dropped() const {
   std::uint64_t d = 0;
   for (const Ring& r : rings_)
-    if (r.count > r.buf.size()) d += r.count - r.buf.size();
+    if (r.count > capacity_) d += r.count - capacity_;
   return d;
 }
 
 void Tracer::clear() {
-  for (Ring& r : rings_) {
-    r.buf.clear();
-    r.count = 0;
-  }
+  for (Ring& r : rings_) r.count = 0;
 }
 
 }  // namespace argoobs

@@ -88,7 +88,8 @@ struct TraceEvent {
 /// false the tracer allocates nothing and every emit is one branch.
 struct TraceConfig {
   bool enabled = false;
-  /// Per-node ring capacity in events (40 B each). When a ring wraps, the
+  /// Per-node ring capacity in events (40 B each), rounded up to the next
+  /// power of two so the ring index is a mask. When a ring wraps, the
   /// oldest events are overwritten and counted in dropped().
   std::size_t ring_capacity = 1u << 18;
 };
@@ -136,7 +137,8 @@ class Tracer {
                  std::uint64_t arg);
 
   struct Ring {
-    std::vector<TraceEvent> buf;  // circular once count >= buf.size()
+    std::vector<TraceEvent> buf;  // pre-sized to capacity_ by configure();
+                                  // circular once count >= capacity_
     std::uint64_t count = 0;      // total events pushed into this ring
   };
 

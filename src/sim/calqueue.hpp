@@ -1,0 +1,297 @@
+// O(1)-amortized calendar run queue for the virtual-time engine.
+//
+// A binary heap charges O(log n) comparisons per event; with hundreds of
+// fibers and per-event costs already trimmed elsewhere, the heap shows up.
+// A calendar queue exploits what a discrete-event scheduler knows about
+// its keys: they are virtual times, popped in nondecreasing order, with
+// most events clustered a few verb latencies past the clock. Events hash
+// by time into an array of "day" buckets of width 2^shift ns (the array is
+// one "year"; later years share buckets, distinguished by key). Pops walk
+// days forward from a low-watermark; pushes append to a bucket — both
+// amortized O(1) for the stationary arrival pattern a simulation produces.
+//
+// Two refinements over the textbook structure keep the worst cases tame:
+//
+//  * Current-day rung. Instead of min-scanning the head bucket on every
+//    pop, the first pop into a day extracts the whole day into a sorted
+//    staging vector ("rung") drained by cursor. Same-time mass wakeups —
+//    a barrier releasing hundreds of fibers at one instant — cost one
+//    O(k log k) sort instead of k O(k) scans, and same-day pushes insert
+//    into the rung by binary search, preserving pop order exactly.
+//
+//  * Deterministic order. Pop order is a pure function of the element
+//    multiset under T::operator> (a total order: the engine's (time, seq)
+//    and (time, klass, a, b) keys never tie), so bucket geometry, resizes
+//    and the rung are invisible to the simulation — the binary heap and
+//    the calendar pop identical sequences, which is what the bit-identity
+//    suite checks.
+//
+// The bucket array doubles when occupancy outgrows it (and halves when it
+// empties out), re-tuning the day width to the observed inter-event gap;
+// resizes are counted and exported as sim.calendar_resizes.
+//
+// EventQueue<T> is the engine-facing facade: it picks the calendar or the
+// seed's binary heap (the reference oracle) once at construction, from
+// ARGO_SLOW_PATHS (sim/slowpath.hpp).
+//
+// T requirements: a `Time when` member and a total-order operator> ("later
+// than"), both cheap to evaluate; moves must preserve `when`.
+#pragma once
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <queue>
+#include <utility>
+#include <vector>
+
+#include "sim/slowpath.hpp"
+#include "sim/time.hpp"
+
+namespace argosim {
+
+template <class T>
+class CalQueue {
+ public:
+  CalQueue() : buckets_(kMinBuckets) {}
+
+  bool empty() const { return size_ == 0; }
+  std::size_t size() const { return size_; }
+  /// Bucket-array rebuilds performed (growth, shrink, width re-tuning).
+  std::uint64_t resizes() const { return resizes_; }
+
+  void push(T e) {
+    const Time w = e.when;
+    if (rung_end_ != 0 && w < rung_end_) {
+      // Lands in the day currently being drained: insert sorted, at or
+      // after the drain cursor (everything before it is already popped).
+      auto pos = std::lower_bound(rung_.begin() + static_cast<std::ptrdiff_t>(head_),
+                                  rung_.end(), e, less);
+      rung_.insert(pos, std::move(e));
+    } else {
+      if (size_ == rung_live() || w < low_) low_ = w;
+      buckets_[bucket_of(w)].push_back(std::move(e));
+      if (size_ + 1 > buckets_.size() * 2 && buckets_.size() < kMaxBuckets)
+        rebuild(buckets_.size() * 2);
+    }
+    ++size_;
+  }
+
+  /// The smallest element under operator>. Valid until the next mutation.
+  const T& top() {
+    find_min();
+    return rung_[head_];
+  }
+
+  void pop() {
+    find_min();
+    ++head_;
+    --size_;
+    if (size_ * 8 < buckets_.size() && buckets_.size() > kMinBuckets)
+      rebuild(buckets_.size() / 2);
+  }
+
+  /// Remove every element for which `stale` holds; returns the count.
+  template <class Pred>
+  std::size_t purge(Pred stale) {
+    std::size_t removed = 0;
+    auto sweep = [&](std::vector<T>& v, std::size_t from) {
+      auto it = std::remove_if(v.begin() + static_cast<std::ptrdiff_t>(from),
+                               v.end(), stale);
+      removed += static_cast<std::size_t>(v.end() - it);
+      v.erase(it, v.end());
+    };
+    // Drop the rung's already-popped prefix, then filter what remains (the
+    // survivors stay sorted, so the cursor just resets to the front).
+    rung_.erase(rung_.begin(), rung_.begin() + static_cast<std::ptrdiff_t>(head_));
+    head_ = 0;
+    sweep(rung_, 0);
+    for (auto& b : buckets_) sweep(b, 0);
+    size_ -= removed;
+    return removed;
+  }
+
+ private:
+  static constexpr std::size_t kMinBuckets = 16;
+  static constexpr std::size_t kMaxBuckets = std::size_t{1} << 14;
+  static constexpr unsigned kInitShift = 10;  // 1 us days
+
+  static bool less(const T& a, const T& b) { return b > a; }
+
+  std::size_t rung_live() const { return rung_.size() - head_; }
+
+  std::size_t bucket_of(Time w) const {
+    return static_cast<std::size_t>(w >> shift_) & (buckets_.size() - 1);
+  }
+
+  // First time past day `d`, saturating instead of wrapping.
+  std::uint64_t day_end(std::uint64_t d) const {
+    if (d + 1 > (std::numeric_limits<std::uint64_t>::max() >> shift_))
+      return std::numeric_limits<std::uint64_t>::max();
+    return (d + 1) << shift_;
+  }
+
+  // Move every element of day `d` from its bucket into the rung.
+  void extract_day(std::uint64_t d) {
+    std::vector<T>& b = buckets_[static_cast<std::size_t>(d) & (buckets_.size() - 1)];
+    for (std::size_t i = 0; i < b.size();) {
+      if ((b[i].when >> shift_) == d) {
+        rung_.push_back(std::move(b[i]));
+        if (i + 1 != b.size()) b[i] = std::move(b.back());
+        b.pop_back();
+      } else {
+        ++i;
+      }
+    }
+  }
+
+  void load_day(std::uint64_t d) {
+    extract_day(d);
+    std::sort(rung_.begin(), rung_.end(), less);
+    rung_end_ = day_end(d);
+    low_ = static_cast<Time>(d) << shift_;
+  }
+
+  // Ensure rung_[head_] is the global minimum.
+  void find_min() {
+    assert(size_ > 0);
+    if (head_ < rung_.size()) return;  // rung still draining: sorted min
+    rung_.clear();
+    head_ = 0;
+    if (rung_end_ != 0) {
+      low_ = rung_end_;  // the loaded day is exhausted
+      rung_end_ = 0;
+    }
+    std::uint64_t day = low_ >> shift_;
+    for (std::size_t n = 0; n < buckets_.size(); ++n, ++day) {
+      const std::vector<T>& b = buckets_[static_cast<std::size_t>(day) & (buckets_.size() - 1)];
+      if (b.empty()) continue;
+      bool any = false;
+      for (const T& e : b)
+        if ((e.when >> shift_) == day) {
+          any = true;
+          break;
+        }
+      if (any) {
+        load_day(day);
+        return;
+      }
+    }
+    // Nothing within one calendar year of the watermark (a long quiet
+    // stretch, e.g. only timeout sentinels remain): direct scan for the
+    // earliest populated day. O(n), self-correcting via the watermark.
+    std::uint64_t best_day = 0;
+    bool found = false;
+    for (const auto& b : buckets_)
+      for (const T& e : b) {
+        const std::uint64_t d = e.when >> shift_;
+        if (!found || d < best_day) {
+          best_day = d;
+          found = true;
+        }
+      }
+    assert(found && "size_ > 0 but no bucket element");
+    load_day(best_day);
+  }
+
+  // Re-tune the day width to the observed inter-event gaps and rehash the
+  // buckets. The rung is untouched: its elements stay ahead of the
+  // watermark and drain before any bucket is consulted again.
+  void rebuild(std::size_t nbuckets) {
+    ++resizes_;
+    retune_shift();
+    std::vector<std::vector<T>> old;
+    old.swap(buckets_);
+    buckets_.resize(nbuckets);
+    for (auto& b : old)
+      for (auto& e : b) buckets_[bucket_of(e.when)].push_back(std::move(e));
+  }
+
+  void retune_shift() {
+    // Sample up to 64 pending times; aim the day width at twice the mean
+    // adjacent gap, so a day holds a couple of events.
+    Time sample[64];
+    std::size_t n = 0;
+    for (const auto& b : buckets_) {
+      for (const T& e : b) {
+        if (n == 64) break;
+        sample[n++] = e.when;
+      }
+      if (n == 64) break;
+    }
+    if (n < 2) return;
+    std::sort(sample, sample + n);
+    std::uint64_t span = sample[n - 1] - sample[0];
+    if (span == 0) return;
+    const std::uint64_t gap = std::max<std::uint64_t>(1, span / (n - 1));
+    unsigned s = static_cast<unsigned>(std::bit_width(2 * gap)) - 1;
+    shift_ = std::min(s, 40u);
+  }
+
+  std::vector<std::vector<T>> buckets_;  // power-of-two count
+  std::vector<T> rung_;  // current day, sorted ascending, drained by head_
+  std::size_t head_ = 0;
+  unsigned shift_ = kInitShift;
+  std::size_t size_ = 0;       // rung (live part) + buckets
+  Time low_ = 0;               // no bucket element is earlier than this
+  std::uint64_t rung_end_ = 0;  // first time past the loaded day; 0 = none
+  std::uint64_t resizes_ = 0;
+};
+
+/// Engine-facing event queue: the calendar under the host fast paths, the
+/// seed's binary heap as the ARGO_SLOW_PATHS reference oracle. The backend
+/// is fixed at construction — an Engine's queues live exactly as long as
+/// the engine, and the toggle is read at engine construction time.
+template <class T>
+class EventQueue {
+ public:
+  EventQueue() : cal_enabled_(!slow_paths()) {}
+
+  bool calendar() const { return cal_enabled_; }
+  bool empty() const { return cal_enabled_ ? cal_.empty() : heap_.empty(); }
+  std::size_t size() const { return cal_enabled_ ? cal_.size() : heap_.size(); }
+  std::uint64_t resizes() const { return cal_enabled_ ? cal_.resizes() : 0; }
+
+  void push(T e) {
+    if (cal_enabled_)
+      cal_.push(std::move(e));
+    else
+      heap_.push(std::move(e));
+  }
+
+  const T& top() { return cal_enabled_ ? cal_.top() : heap_.top(); }
+
+  void pop() {
+    if (cal_enabled_)
+      cal_.pop();
+    else
+      heap_.pop();
+  }
+
+  /// Remove every element for which `stale` holds; returns the count.
+  template <class Pred>
+  std::size_t compact(Pred stale) {
+    if (cal_enabled_) return cal_.purge(stale);
+    auto& c = heap_.container();
+    const std::size_t before = c.size();
+    c.erase(std::remove_if(c.begin(), c.end(), stale), c.end());
+    std::make_heap(c.begin(), c.end(), std::greater<>{});
+    return before - c.size();
+  }
+
+ private:
+  // The seed implementation: a std::priority_queue exposing its container
+  // so compaction can remove stale entries in place and re-heapify.
+  struct Heap : std::priority_queue<T, std::vector<T>, std::greater<>> {
+    std::vector<T>& container() { return this->c; }
+  };
+
+  bool cal_enabled_;
+  CalQueue<T> cal_;
+  Heap heap_;
+};
+
+}  // namespace argosim

@@ -40,6 +40,19 @@
 #include <sanitizer/tsan_interface.h>
 #endif
 
+#include "sim/fcontext.hpp"
+
+// The hand-rolled assembly switch (sim/fcontext.S) is the fast path on
+// supported architectures. Sanitizer builds keep ucontext: ASan and TSan
+// track fiber stacks through the annotations bracketing swapcontext, and
+// neither understands a stack pointer that moves without them. At runtime
+// ARGO_SLOW_PATHS=1 also pins new fibers to ucontext (the seed reference),
+// which is how the bit-identity suite gets a syscall-path oracle.
+#if defined(ARGO_FCONTEXT_SUPPORTED) && !defined(ARGO_ASAN_FIBERS) && \
+    !defined(ARGO_TSAN_FIBERS)
+#define ARGO_USE_FCONTEXT 1
+#endif
+
 namespace argosim {
 
 namespace {
@@ -55,6 +68,15 @@ thread_local ucontext_t g_sched_ctx;
 
 constexpr std::uint32_t kNoShard = 0xffffffffu;
 thread_local std::uint32_t g_shard_idx = kNoShard;
+
+#if defined(ARGO_USE_FCONTEXT)
+// The suspended scheduler context while an fcontext fiber runs. Handles
+// are one-shot (every jump re-captures the jumper), so both sides refresh
+// this slot on each switch. One slot per host worker suffices for the same
+// reason as g_sched_ctx: exactly one fiber runs per worker, and shard
+// pinning keeps a fiber on the worker it started on.
+thread_local fctx_t g_sched_fctx = nullptr;
+#endif
 
 inline void cpu_pause() {
 #if defined(__x86_64__)
@@ -100,6 +122,12 @@ struct SimThread::Impl {
   std::unique_ptr<char[]> stack;
   std::size_t stack_size = 0;
   bool started = false;
+  // fcontext backend (engine fast path): the fiber's suspended context.
+  // The backend is fixed at first start — a fiber begun on one switch
+  // mechanism must keep using it for life, so flipping ARGO_SLOW_PATHS
+  // mid-run only affects fibers started afterwards.
+  void* fctx = nullptr;
+  bool use_fctx = false;
   std::exception_ptr error;
 #if defined(ARGO_TSAN_FIBERS)
   void* tsan_fiber = nullptr;
@@ -271,7 +299,7 @@ SimThread* Engine::spawn_on(std::uint32_t shard, std::string name,
   return raw;
 }
 
-void Engine::push_entry(PurgeableQueue<QueueEntry>& q, std::size_t& dead,
+void Engine::push_entry(EventQueue<QueueEntry>& q, std::size_t& dead,
                         QueueEntry e) {
   // A fiber has at most one live entry: pushing a new one stales any
   // previous entry (its token no longer matches).
@@ -281,17 +309,11 @@ void Engine::push_entry(PurgeableQueue<QueueEntry>& q, std::size_t& dead,
   if (dead > q.size() / 2 && q.size() > 64) compact(q, dead);
 }
 
-void Engine::compact(PurgeableQueue<QueueEntry>& q, std::size_t& dead) {
-  auto& c = q.container();
-  std::size_t before = c.size();
-  c.erase(std::remove_if(c.begin(), c.end(),
-                         [](const QueueEntry& e) {
-                           return e.thread->finished_ ||
-                                  e.token != e.thread->wake_token_;
-                         }),
-          c.end());
-  std::make_heap(c.begin(), c.end(), std::greater<>{});
-  runq_purged_.fetch_add(before - c.size(), std::memory_order_relaxed);
+void Engine::compact(EventQueue<QueueEntry>& q, std::size_t& dead) {
+  const std::size_t removed = q.compact([](const QueueEntry& e) {
+    return e.thread->finished_ || e.token != e.thread->wake_token_;
+  });
+  runq_purged_.fetch_add(removed, std::memory_order_relaxed);
   dead = 0;
 }
 
@@ -304,12 +326,14 @@ void Engine::make_runnable(SimThread* t, Time when) {
           "' is not supported by the sharded engine; route it through the "
           "interconnect or run without ARGO_THREADS/ARGO_SEQ_ENGINE");
     Shard& s = *shards_[t->shard_];
+    ++s.pushes;
     push_entry(s.runq, s.dead,
                QueueEntry{when, s.next_seq++, t, ++t->wake_token_});
     return;
   }
   // Bumping the wake token invalidates any entry already queued for this
   // thread (e.g. the timeout entry of a timed wait that got notified first).
+  ++runq_pushes_;
   push_entry(runq_, runq_dead_,
              QueueEntry{when, next_seq_++, t, ++t->wake_token_});
 }
@@ -342,23 +366,70 @@ void Engine::fiber_main(unsigned hi, unsigned lo) {
   swapcontext(&t->impl_->ctx, &g_sched_ctx);
 }
 
+// fcontext flavor of fiber_main: the first jump into a made context lands
+// here with the suspending scheduler as `from`. Exits by jumping to the
+// scheduler for good — never returns.
+void Engine::fiber_main_fctx(void* from, void* data) {
+#if defined(ARGO_USE_FCONTEXT)
+  g_sched_fctx = from;
+  SimThread* t = static_cast<SimThread*>(data);
+  try {
+    if (t->stop_requested_) throw SimStopped{};
+    t->body_();
+  } catch (const SimStopped&) {
+    // clean shutdown of a parked fiber
+  } catch (...) {
+    t->impl_->error = std::current_exception();
+  }
+  t->finished_ = true;
+  t->body_ = nullptr;
+  argo_fctx_jump(g_sched_fctx, nullptr);
+#else
+  (void)from;
+  (void)data;
+#endif
+}
+
+const char* Engine::context_backend() {
+#if defined(ARGO_USE_FCONTEXT)
+  return slow_paths() ? "ucontext" : "fcontext";
+#else
+  return "ucontext";
+#endif
+}
+
 void Engine::switch_to(SimThread* t) {
   Engine* prev_engine = g_engine;
   SimThread* prev_thread = g_thread;
   g_engine = this;
   g_thread = t;
   if (!sharded_) running_ = t;
+  if (g_shard_idx != kNoShard)
+    ++shards_[g_shard_idx]->switches;
+  else
+    ++switches_;
 
   if (!t->impl_->started) {
     t->impl_->started = true;
-    getcontext(&t->impl_->ctx);
-    t->impl_->ctx.uc_stack.ss_sp = t->impl_->stack.get();
-    t->impl_->ctx.uc_stack.ss_size = t->impl_->stack_size;
-    t->impl_->ctx.uc_link = &g_sched_ctx;
-    unsigned hi, lo;
-    pack_ptr(t, hi, lo);
-    makecontext(&t->impl_->ctx,
-                reinterpret_cast<void (*)()>(&Engine::fiber_main), 2, hi, lo);
+#if defined(ARGO_USE_FCONTEXT)
+    if (!slow_paths()) {
+      t->impl_->use_fctx = true;
+      t->impl_->fctx =
+          argo_fctx_make(t->impl_->stack.get(), t->impl_->stack_size,
+                         &Engine::fiber_main_fctx);
+    }
+#endif
+    if (!t->impl_->use_fctx) {
+      getcontext(&t->impl_->ctx);
+      t->impl_->ctx.uc_stack.ss_sp = t->impl_->stack.get();
+      t->impl_->ctx.uc_stack.ss_size = t->impl_->stack_size;
+      t->impl_->ctx.uc_link = &g_sched_ctx;
+      unsigned hi, lo;
+      pack_ptr(t, hi, lo);
+      makecontext(&t->impl_->ctx,
+                  reinterpret_cast<void (*)()>(&Engine::fiber_main), 2, hi,
+                  lo);
+    }
   }
 #if defined(ARGO_ASAN_FIBERS)
   void* fake_stack = nullptr;
@@ -371,7 +442,15 @@ void Engine::switch_to(SimThread* t) {
   g_tsan_sched_fiber = __tsan_get_current_fiber();
   __tsan_switch_to_fiber(t->impl_->tsan_fiber, 0);
 #endif
-  swapcontext(&g_sched_ctx, &t->impl_->ctx);
+#if defined(ARGO_USE_FCONTEXT)
+  if (t->impl_->use_fctx) {
+    // The jump returns once the fiber suspends (yield or exit); its handle
+    // was re-captured by that suspending jump.
+    FctxTransfer tr = argo_fctx_jump(t->impl_->fctx, t);
+    t->impl_->fctx = tr.fctx;
+  } else
+#endif
+    swapcontext(&g_sched_ctx, &t->impl_->ctx);
 #if defined(ARGO_ASAN_FIBERS)
   __sanitizer_finish_switch_fiber(fake_stack, nullptr, nullptr);
 #endif
@@ -422,7 +501,15 @@ void Engine::switch_to_scheduler() {
 #if defined(ARGO_TSAN_FIBERS)
   __tsan_switch_to_fiber(g_tsan_sched_fiber, 0);
 #endif
-  swapcontext(&self->impl_->ctx, &g_sched_ctx);
+#if defined(ARGO_USE_FCONTEXT)
+  if (self->impl_->use_fctx) {
+    // On resumption the scheduler has just suspended into us again;
+    // refresh its handle for the next yield.
+    FctxTransfer tr = argo_fctx_jump(g_sched_fctx, nullptr);
+    g_sched_fctx = tr.fctx;
+  } else
+#endif
+    swapcontext(&self->impl_->ctx, &g_sched_ctx);
 #if defined(ARGO_ASAN_FIBERS)
   __sanitizer_finish_switch_fiber(fake_stack, &g_sched_stack_bottom,
                                   &g_sched_stack_size);
@@ -519,6 +606,7 @@ void Engine::run() {
       continue;
     }
     e.thread->queued_ = false;
+    ++runq_pops_;
     assert(e.when >= now_);
     now_ = e.when;
     try {
@@ -564,8 +652,7 @@ bool Engine::next_event_time(Shard& s, Time& t) {
 }
 
 void Engine::post_effect(std::uint32_t dst, Time when, std::uint32_t klass,
-                         std::uint64_t a, std::uint64_t b,
-                         std::function<void()> fn) {
+                         std::uint64_t a, std::uint64_t b, EffectFn fn) {
   assert(sharded_);
   assert(dst < shards_.size());
   if (in_window_ && g_shard_idx != kNoShard) {
@@ -639,6 +726,7 @@ bool Engine::shard_step(Shard& s, Time w1, bool& progressed) {
       QueueEntry e = s.runq.top();
       s.runq.pop();
       e.thread->queued_ = false;
+      ++s.pops;
       s.clock = e.when;
       try {
         switch_to(e.thread);

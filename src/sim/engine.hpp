@@ -34,12 +34,14 @@
 #include <functional>
 #include <memory>
 #include <mutex>
-#include <queue>
 #include <stdexcept>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "sim/calqueue.hpp"
+#include "sim/smallfn.hpp"
+#include "sim/smallvec.hpp"
 #include "sim/time.hpp"
 
 namespace argosim {
@@ -67,10 +69,22 @@ struct SimRecord {
   std::vector<std::byte> bytes;
   void complete() { done_.store(true, std::memory_order_release); }
   bool ready() const { return done_.load(std::memory_order_acquire); }
+  /// Return the record to its freshly-constructed state (`bytes` keeps its
+  /// capacity). Only for pool reuse of a record nobody references anymore.
+  void reset() {
+    value = 0;
+    bytes.clear();
+    done_.store(false, std::memory_order_relaxed);
+  }
 
  private:
   std::atomic<bool> done_{false};
 };
+
+/// Cross-shard effect body. Inline capacity covers every closure the
+/// engine and interconnect post (the largest is a posted verb's remote
+/// apply — itself a SmallFn — plus its completion record).
+using EffectFn = SmallFn<void(), 96>;
 
 /// A simulated thread. Created via Engine::spawn(); users interact with it
 /// through the engine's static current()/delay()/now() interface and the
@@ -195,6 +209,37 @@ class Engine {
   std::uint64_t runq_purged() const {
     return runq_purged_.load(std::memory_order_relaxed);
   }
+  /// Scheduler-to-fiber context switches performed (each implies a matching
+  /// fiber-to-scheduler switch; same-fiber fast-forwards skip both).
+  std::uint64_t context_switches() const {
+    std::uint64_t n = switches_;
+    for (const auto& s : shards_) n += s->switches;
+    return n;
+  }
+  /// Run-queue traffic: live entries pushed / popped across every queue
+  /// (legacy plus per-shard), stale pops excluded.
+  std::uint64_t runq_pushes() const {
+    std::uint64_t n = runq_pushes_;
+    for (const auto& s : shards_) n += s->pushes;
+    return n;
+  }
+  std::uint64_t runq_pops() const {
+    std::uint64_t n = runq_pops_;
+    for (const auto& s : shards_) n += s->pops;
+    return n;
+  }
+  /// Calendar-queue bucket-array rebuilds, summed over every queue
+  /// (0 on the heap reference path).
+  std::uint64_t calendar_resizes() const {
+    std::uint64_t n = runq_.resizes();
+    for (const auto& s : shards_) n += s->runq.resizes() + s->effq.resizes();
+    return n;
+  }
+  /// Fiber-switch backend the engine would use for the next fiber started:
+  /// "fcontext" (hand-rolled assembly switch, sim/fcontext.S) on supported
+  /// architectures under the fast paths, "ucontext" under sanitizers,
+  /// ARGO_SLOW_PATHS, or unsupported architectures.
+  static const char* context_backend();
 
   /// Reschedule the calling fiber at the current time, after every other
   /// fiber already runnable at this time (round-robin fairness point).
@@ -221,8 +266,7 @@ class Engine {
   /// current window start (any ≥-L-latency cross-shard interaction
   /// satisfies this by construction).
   void post_effect(std::uint32_t dst, Time when, std::uint32_t klass,
-                   std::uint64_t a, std::uint64_t b,
-                   std::function<void()> fn);
+                   std::uint64_t a, std::uint64_t b, EffectFn fn);
 
   /// Block the calling fiber (without advancing virtual time) until the
   /// record is complete. In sharded mode the fiber's whole shard parks and
@@ -257,7 +301,7 @@ class Engine {
     Time when;
     std::uint32_t klass;
     std::uint64_t a, b;
-    std::function<void()> fn;
+    EffectFn fn;
     bool operator>(const Effect& o) const {
       if (when != o.when) return when > o.when;
       if (klass != o.klass) return klass > o.klass;
@@ -266,24 +310,22 @@ class Engine {
     }
   };
 
-  // priority_queue subclass exposing the container so compaction can
-  // remove stale entries in place and re-heapify.
-  template <class T>
-  struct PurgeableQueue
-      : std::priority_queue<T, std::vector<T>, std::greater<>> {
-    std::vector<T>& container() { return this->c; }
-  };
-
   struct Shard {
-    PurgeableQueue<QueueEntry> runq;
-    PurgeableQueue<Effect> effq;
+    EventQueue<QueueEntry> runq;
+    EventQueue<Effect> effq;
     // Effects posted by fibers of this shard during the current window,
     // routed to their destination shards by the main thread at the next
     // window boundary (single-writer during the window, so no lock).
-    std::vector<std::pair<std::uint32_t, Effect>> outbox;
+    // Inline storage: a window rarely accumulates more than a few.
+    SmallVec<std::pair<std::uint32_t, Effect>, 8> outbox;
     Time clock = 0;
     std::uint64_t next_seq = 0;
     std::size_t dead = 0;  // stale runq entries awaiting compaction
+    // Scheduler diagnostics, single-writer (the shard's worker); summed by
+    // the Engine accessors between windows.
+    std::uint64_t switches = 0;
+    std::uint64_t pushes = 0;
+    std::uint64_t pops = 0;
     SimThread* stalled = nullptr;     // fiber parked in await()
     const SimRecord* stall_rec = nullptr;
     std::exception_ptr error;
@@ -291,10 +333,10 @@ class Engine {
   };
 
   static void fiber_main(unsigned hi, unsigned lo);
+  static void fiber_main_fctx(void* from, void* data);
   void make_runnable(SimThread* t, Time when);
-  void push_entry(PurgeableQueue<QueueEntry>& q, std::size_t& dead,
-                  QueueEntry e);
-  void compact(PurgeableQueue<QueueEntry>& q, std::size_t& dead);
+  void push_entry(EventQueue<QueueEntry>& q, std::size_t& dead, QueueEntry e);
+  void compact(EventQueue<QueueEntry>& q, std::size_t& dead);
   void switch_to(SimThread* t);
   void switch_to_scheduler();  // called from inside a fiber
   void reap_finished_one(SimThread* t);
@@ -312,7 +354,7 @@ class Engine {
   void stop_pool();
   void worker_loop(std::uint32_t w);
 
-  PurgeableQueue<QueueEntry> runq_;
+  EventQueue<QueueEntry> runq_;
   std::size_t runq_dead_ = 0;
   std::vector<std::unique_ptr<SimThread>> threads_;
   // Recycled default-size fiber stacks: a finished fiber's stack is reused
@@ -322,6 +364,9 @@ class Engine {
   std::atomic<std::uint64_t> fast_forwards_{0};
   std::uint64_t stacks_reused_ = 0;
   std::atomic<std::uint64_t> runq_purged_{0};
+  std::uint64_t switches_ = 0;     // legacy-engine context switches
+  std::uint64_t runq_pushes_ = 0;  // legacy-engine live pushes/pops
+  std::uint64_t runq_pops_ = 0;
   Time now_ = 0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t next_id_ = 0;

@@ -1,0 +1,94 @@
+// SmallVec: a minimal inline-storage vector for the sharded engine's
+// per-shard outboxes.
+//
+// An outbox holds the effects a shard's fibers posted during one window —
+// usually zero, occasionally a handful — and is drained at every window
+// boundary. A std::vector would heap-allocate on the first post and keep
+// that block alive per shard; SmallVec keeps the first N elements in the
+// object itself and only spills to the heap under bursts, which it then
+// keeps (capacity is sticky across clear(), like vector).
+//
+// Supports exactly what the outbox needs: emplace_back, range-for,
+// size/empty, clear. Move-only elements are fine (Effect holds a SmallFn);
+// the container itself is neither copyable nor movable — it lives inside
+// a Shard, which never moves.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace argosim {
+
+template <class T, std::size_t N>
+class SmallVec {
+ public:
+  SmallVec() = default;
+  SmallVec(const SmallVec&) = delete;
+  SmallVec& operator=(const SmallVec&) = delete;
+  ~SmallVec() {
+    clear();
+    release_heap(heap_);
+  }
+
+  bool empty() const { return size_ == 0; }
+  std::size_t size() const { return size_; }
+
+  T* begin() { return data(); }
+  T* end() { return data() + size_; }
+  const T* begin() const { return data(); }
+  const T* end() const { return data() + size_; }
+
+  template <class... A>
+  T& emplace_back(A&&... a) {
+    if (size_ == cap_) grow();
+    T* p = ::new (static_cast<void*>(data() + size_)) T(std::forward<A>(a)...);
+    ++size_;
+    return *p;
+  }
+
+  /// Destroy all elements; heap capacity (if any) is kept.
+  void clear() {
+    T* d = data();
+    for (std::size_t i = 0; i < size_; ++i) d[i].~T();
+    size_ = 0;
+  }
+
+ private:
+  T* data() {
+    return heap_ != nullptr ? static_cast<T*>(heap_)
+                            : std::launder(reinterpret_cast<T*>(inline_));
+  }
+  const T* data() const {
+    return heap_ != nullptr ? static_cast<const T*>(heap_)
+                            : std::launder(reinterpret_cast<const T*>(inline_));
+  }
+
+  static void release_heap(void* p) {
+    if (p != nullptr)
+      ::operator delete(p, std::align_val_t{alignof(T)});
+  }
+
+  void grow() {
+    const std::size_t ncap = cap_ * 2;
+    void* nheap = ::operator new(ncap * sizeof(T), std::align_val_t{alignof(T)});
+    T* src = data();
+    T* dst = static_cast<T*>(nheap);
+    for (std::size_t i = 0; i < size_; ++i) {
+      ::new (static_cast<void*>(dst + i)) T(std::move(src[i]));
+      src[i].~T();
+    }
+    release_heap(heap_);
+    heap_ = nheap;
+    cap_ = ncap;
+  }
+
+  alignas(T) unsigned char inline_[N * sizeof(T)];
+  void* heap_ = nullptr;
+  std::size_t size_ = 0;
+  std::size_t cap_ = N;
+};
+
+}  // namespace argosim

@@ -74,8 +74,13 @@ void append_words(Fingerprint& f, const void* p, std::size_t bytes) {
 }
 
 void append_counters(Fingerprint& f, const Cluster& cl) {
+  // sim.* counters are host-side scheduler diagnostics (context switches,
+  // queue ops, pool hits): deterministic per engine configuration but
+  // intentionally different between the legacy and sharded schedulers and
+  // between fast and slow paths — outside the identity contract.
   for (const auto& c : const_cast<Cluster&>(cl).stats().counters)
-    f.counters.push_back(c.name + "=" + std::to_string(c.value));
+    if (c.name.rfind("sim.", 0) != 0)
+      f.counters.push_back(c.name + "=" + std::to_string(c.value));
 }
 
 void append_trace(Fingerprint& f, Cluster& cl) {
